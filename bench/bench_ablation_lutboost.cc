@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Ablation study of LUTBoost's ingredients (the design choices Sec. V
+ * argues for), on the MiniResNet-20 substitute:
+ *
+ *   full          - k-means calibration + centroid stage + joint stage
+ *                   with reconstruction loss,
+ *   no-recon      - full pipeline but Lre penalty = 0,
+ *   no-calib      - random centroid init, stages 2+3 unchanged,
+ *   no-stage2     - calibration then joint only (no centroid-only stage),
+ *   single-stage  - random centroids + joint only (the prior-work recipe).
+ *
+ * Expected: every ablation costs accuracy; dropping calibration or the
+ * centroid stage hurts most, reproducing the paper's argument that
+ * weights otherwise overfit to suboptimal centroids.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace lutdla;
+using namespace lutdla::bench;
+
+int
+main()
+{
+    nn::ShapeImageConfig dcfg;
+    dcfg.classes = 8;
+    dcfg.train_per_class = 40;
+    dcfg.test_per_class = 12;
+    dcfg.noise = 0.35;
+    const nn::Dataset ds = nn::makeShapeImages(dcfg);
+    auto factory = [] { return nn::makeMiniResNet(1, 8, 8); };
+    const int pre = 8;
+
+    Table t("LUTBoost ablation (MiniResNet20 substitute, v=4, c=16, L2)",
+            {"variant", "accuracy (%)", "drop vs full"});
+
+    // Full pipeline.
+    const auto full = runMultistage(
+        factory, ds, pre, benchConvertOptions(4, 16, vq::Metric::L2, 2, 4));
+
+    // No reconstruction loss.
+    auto opts_norecon = benchConvertOptions(4, 16, vq::Metric::L2, 2, 4);
+    opts_norecon.recon_penalty_centroid = 0.0;
+    opts_norecon.recon_penalty_joint = 0.0;
+    const auto norecon = runMultistage(factory, ds, pre, opts_norecon);
+
+    // No calibration: random centroids, then stages 2+3. Emulated by
+    // replacing operators manually and skipping calibrateCentroids.
+    double nocalib_acc = 0.0;
+    {
+        nn::LayerPtr model = trainFloatModel(factory, ds, pre);
+        auto opts = benchConvertOptions(4, 16, vq::Metric::L2, 2, 4);
+        lutboost::replaceOperators(model, opts);
+        for (auto *layer : lutboost::findLutLayers(model))
+            layer->setReconPenalty(opts.recon_penalty_centroid);
+        {
+            nn::Trainer trainer(model, ds, opts.centroid_stage);
+            std::vector<nn::Parameter *> cents;
+            for (auto *layer : lutboost::findLutLayers(model))
+                cents.push_back(&layer->centroids());
+            trainer.setTrainableParams(cents);
+            trainer.train();
+        }
+        {
+            nn::Trainer trainer(model, ds, opts.joint_stage);
+            trainer.train();
+        }
+        for (auto *layer : lutboost::findLutLayers(model))
+            layer->setReconPenalty(0.0);
+        nn::Trainer probe(model, ds, {});
+        nocalib_acc = probe.evaluate(ds.test_x, ds.test_y);
+    }
+
+    // No centroid-only stage: calibrate, then joint directly.
+    double nostage2_acc = 0.0;
+    {
+        nn::LayerPtr model = trainFloatModel(factory, ds, pre);
+        auto opts = benchConvertOptions(4, 16, vq::Metric::L2, 0, 6);
+        lutboost::replaceOperators(model, opts);
+        lutboost::calibrateCentroids(model, ds, opts);
+        for (auto *layer : lutboost::findLutLayers(model))
+            layer->setReconPenalty(opts.recon_penalty_joint);
+        nn::Trainer trainer(model, ds, opts.joint_stage);
+        trainer.train();
+        for (auto *layer : lutboost::findLutLayers(model))
+            layer->setReconPenalty(0.0);
+        nn::Trainer probe(model, ds, {});
+        nostage2_acc = probe.evaluate(ds.test_x, ds.test_y);
+    }
+
+    // Single-stage prior-work recipe.
+    const auto single = runSingleStage(
+        factory, ds, pre, benchConvertOptions(4, 16, vq::Metric::L2, 2, 4),
+        lutboost::SingleStageMode::JointFromRandom);
+
+    auto row = [&](const char *name, double acc) {
+        t.addRow({name, pct(acc),
+                  Table::fmt(100.0 * (full.final_accuracy - acc), 1)});
+    };
+    row("full LUTBoost", full.final_accuracy);
+    row("no reconstruction loss", norecon.final_accuracy);
+    row("no k-means calibration", nocalib_acc);
+    row("no centroid-only stage", nostage2_acc);
+    row("single-stage (prior work)", single.final_accuracy);
+    t.addNote("float baseline " + pct(full.baseline_accuracy) + "%");
+    t.print();
+    return 0;
+}

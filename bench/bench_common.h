@@ -1,0 +1,107 @@
+#ifndef LUTDLA_BENCH_BENCH_COMMON_H
+#define LUTDLA_BENCH_BENCH_COMMON_H
+
+/**
+ * @file
+ * Shared helpers for the bench binaries that regenerate the paper's tables
+ * and figures. Accuracy benches run the full LUTBoost pipeline on the
+ * synthetic substitute workloads (see DESIGN.md) with deliberately small
+ * epoch budgets so the whole bench suite completes in minutes.
+ */
+
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "lutboost/converter.h"
+#include "nn/dataset.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+#include "util/table.h"
+
+namespace lutdla::bench {
+
+/** Percentage formatting for accuracy cells. */
+inline std::string
+pct(double fraction, int precision = 1)
+{
+    return Table::fmt(100.0 * fraction, precision);
+}
+
+/** A reusable "train a float model" step. */
+inline nn::LayerPtr
+trainFloatModel(const std::function<nn::LayerPtr()> &factory,
+                const nn::Dataset &ds, int epochs, double lr = 0.05,
+                bool adam = false)
+{
+    nn::LayerPtr model = factory();
+    nn::TrainConfig cfg;
+    cfg.epochs = epochs;
+    cfg.lr = lr;
+    cfg.use_adam = adam;
+    nn::Trainer(model, ds, cfg).train();
+    return model;
+}
+
+/** Standard conversion options for the accuracy benches. */
+inline lutboost::ConvertOptions
+benchConvertOptions(int64_t v, int64_t c, vq::Metric metric,
+                    int centroid_epochs = 2, int joint_epochs = 5)
+{
+    lutboost::ConvertOptions opts;
+    opts.pq.v = v;
+    opts.pq.c = c;
+    opts.pq.metric = metric;
+    opts.recon_penalty_centroid = 0.05;
+    opts.recon_penalty_joint = 0.05;
+    opts.centroid_stage.epochs = centroid_epochs;
+    opts.joint_stage.epochs = joint_epochs;
+    return opts;
+}
+
+/** One multistage conversion of a freshly trained model. */
+inline lutboost::ConversionReport
+runMultistage(const std::function<nn::LayerPtr()> &factory,
+              const nn::Dataset &ds, int pre_epochs,
+              const lutboost::ConvertOptions &opts,
+              nn::LayerPtr *out_model = nullptr)
+{
+    nn::LayerPtr model = trainFloatModel(factory, ds, pre_epochs);
+    auto report = lutboost::convert(model, ds, opts);
+    if (out_model)
+        *out_model = model;
+    return report;
+}
+
+/** One single-stage conversion with an equal total epoch budget. */
+inline lutboost::ConversionReport
+runSingleStage(const std::function<nn::LayerPtr()> &factory,
+               const nn::Dataset &ds, int pre_epochs,
+               const lutboost::ConvertOptions &opts,
+               lutboost::SingleStageMode mode)
+{
+    nn::LayerPtr model = trainFloatModel(factory, ds, pre_epochs);
+    const int budget =
+        opts.centroid_stage.epochs + opts.joint_stage.epochs;
+    return lutboost::singleStageConvert(model, ds, opts, mode, budget);
+}
+
+/** Evaluate a converted model under a LUT precision setting. */
+inline double
+evalWithPrecision(const nn::LayerPtr &model, const nn::Dataset &ds,
+                  vq::LutPrecision precision)
+{
+    for (auto *layer : lutboost::findLutLayers(model)) {
+        layer->setPrecision(precision);
+        layer->refreshInferenceLut();
+    }
+    nn::Trainer probe(model, ds, {});
+    const double acc = probe.evaluate(ds.test_x, ds.test_y);
+    for (auto *layer : lutboost::findLutLayers(model))
+        layer->clearInferenceLut();
+    return acc;
+}
+
+} // namespace lutdla::bench
+
+#endif // LUTDLA_BENCH_BENCH_COMMON_H

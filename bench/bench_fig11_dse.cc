@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Figure 11: the co-design search engine walking its pruning stages over
+ * the (v, c) grid, rendered as ASCII heatmaps, ending in parallelism
+ * expansion. The paper's running example lands on v=3, c=16 with
+ * nIMM=8, nCCU=2 for a ResNet-class workload under tight constraints.
+ */
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "dse/search.h"
+#include "util/table.h"
+
+using namespace lutdla;
+using namespace lutdla::dse;
+
+namespace {
+
+char
+stageGlyph(PruneStage stage)
+{
+    switch (stage) {
+      case PruneStage::Survived: return 'O';
+      case PruneStage::Compute:  return 'c';
+      case PruneStage::Memory:   return 'm';
+      case PruneStage::Hardware: return 'h';
+      case PruneStage::Accuracy: return 'a';
+    }
+    return '?';
+}
+
+/** Accuracy probe shaped like Fig. 8's sensitivity (no training here;
+ * the real probe is LUTBoost's stage-2 early estimate). */
+double
+resnetProbe(int64_t v, int64_t c)
+{
+    double acc = 0.93 - 0.018 * static_cast<double>(v);
+    acc += 0.012 * (std::log2(static_cast<double>(c)) - 3.0);
+    if (c > 64)
+        acc -= 0.01;  // diminishing returns past 32-64 centroids
+    return acc;
+}
+
+} // namespace
+
+int
+main()
+{
+    SearchSpace space;
+    space.vs = {2, 3, 4, 6, 8, 9, 16};
+    space.cs = {8, 16, 32, 64, 128};
+    space.max_imm = 8;
+    space.max_ccu = 4;
+
+    SearchConstraints cs;
+    // Representative ResNet-stage GEMM after im2col.
+    cs.workload = {784, 1152, 128, "resnet-stage"};
+    cs.compute_ratio = 0.5;
+    cs.memory_budget_bits = 48.0 * 8192 * 1024;
+    cs.max_area_mm2 = 1.2;
+    cs.max_power_mw = 320.0;
+    cs.min_accuracy = 0.85;
+    cs.metric = vq::Metric::L2;
+
+    CoDesignSearchEngine engine(space, cs, resnetProbe);
+    const SearchResult result = engine.run();
+
+    std::map<std::pair<int64_t, int64_t>, const Candidate *> grid;
+    for (const auto &cand : result.grid)
+        grid[{cand.v, cand.c}] = &cand;
+
+    std::printf("== Fig.11: pruning heatmap (rows c, cols v) ==\n");
+    std::printf("legend: O survived, c compute-pruned, m memory-pruned, "
+                "h hardware-pruned, a accuracy-pruned\n\n     ");
+    for (int64_t v : space.vs)
+        std::printf("v=%-3ld ", static_cast<long>(v));
+    std::printf("\n");
+    for (auto it = space.cs.rbegin(); it != space.cs.rend(); ++it) {
+        std::printf("c=%-3ld", static_cast<long>(*it));
+        for (int64_t v : space.vs) {
+            const Candidate *cand = grid[{v, *it}];
+            std::printf("  %c   ", cand ? stageGlyph(cand->stage) : '.');
+        }
+        std::printf("\n");
+    }
+    std::printf("\n");
+
+    Table t("Fig.11 survivors after parallelism expansion",
+            {"v", "c", "n_IMM", "n_CCU", "omega(kcycles)", "bottleneck",
+             "area(mm^2)", "power(mW)", "probe acc"});
+    for (const auto &cand : result.grid) {
+        if (cand.stage != PruneStage::Survived)
+            continue;
+        t.addRow({std::to_string(cand.v), std::to_string(cand.c),
+                  std::to_string(cand.n_imm), std::to_string(cand.n_ccu),
+                  Table::fmt(cand.omega.bottleneck() / 1e3, 0),
+                  cand.omega.bottleneckName(),
+                  Table::fmt(cand.ppa.area_mm2, 3),
+                  Table::fmt(cand.ppa.power_mw, 1),
+                  Table::fmt(cand.accuracy, 3)});
+    }
+    t.print();
+
+    if (result.found) {
+        Table best("Fig.11 search result (paper example: v=3, c=16, "
+                   "nIMM=8, nCCU=2)",
+                   {"v", "c", "n_IMM", "n_CCU"});
+        best.addRow({std::to_string(result.best.v),
+                     std::to_string(result.best.c),
+                     std::to_string(result.best.n_imm),
+                     std::to_string(result.best.n_ccu)});
+        best.print();
+    }
+    return 0;
+}

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Figure 13: end-to-end throughput and energy of ResNet-18/34/50 and
+ * BERT on NVDLA-Small/Large, Gemmini, and LUT-DLA Designs 1-3.
+ *
+ * Expected shape (paper): Design2 outruns NVDLA-Large on ResNets with
+ * ~11x energy savings; Design3 peaks on BERT (up to 72x over the weakest
+ * baseline) with ~11.5x lower energy; Design1 trades some ResNet speed
+ * for the smallest area/power envelope.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/nvdla_model.h"
+#include "baselines/systolic.h"
+#include "hw/accel.h"
+#include "sim/lutdla_sim.h"
+#include "util/table.h"
+#include "workloads/model_zoo.h"
+
+using namespace lutdla;
+
+namespace {
+
+struct Result
+{
+    double seconds = 0.0;
+    double energy_mj = 0.0;
+};
+
+// Chip power assumptions for the baselines (paper Table VIII values).
+constexpr double kNvdlaSmallMw = 55.0;
+constexpr double kNvdlaLargeMw = 766.0;
+constexpr double kGemminiMw = 312.41;
+constexpr double kDramPjPerByte = 20.0;
+
+Result
+runLutDla(const hw::LutDlaDesign &design,
+          const workloads::Network &net, double power_mw)
+{
+    sim::LutDlaSimulator sim(sim::SimConfig::fromDesign(design));
+    const sim::SimStats stats = sim.simulateNetwork(net.gemms);
+    return {stats.seconds(sim.config()),
+            sim.energyMj(stats, power_mw, kDramPjPerByte)};
+}
+
+Result
+runNvdla(const baselines::NvdlaConfig &cfg,
+         const workloads::Network &net, double power_mw)
+{
+    baselines::NvdlaModel model(cfg);
+    const baselines::NvdlaStats stats = model.simulateNetwork(net.gemms);
+    const double secs = stats.seconds(cfg);
+    return {secs, power_mw * secs +
+                      stats.dram_bytes * kDramPjPerByte * 1e-9};
+}
+
+Result
+runGemmini(const workloads::Network &net)
+{
+    baselines::SystolicConfig cfg;  // 16x16 @ 500 MHz
+    baselines::SystolicSimulator sim(cfg);
+    const baselines::SystolicStats stats = sim.simulateNetwork(net.gemms);
+    const double secs = stats.seconds(cfg);
+    return {secs,
+            kGemminiMw * secs + stats.dram_bytes * kDramPjPerByte * 1e-9};
+}
+
+} // namespace
+
+int
+main()
+{
+    hw::ArithLibrary lib(hw::tech28());
+    hw::SramModel sram(hw::tech28());
+    const hw::LutDlaDesign designs[] = {hw::design1Tiny(),
+                                        hw::design2Large(),
+                                        hw::design3Fit()};
+    double design_power[3];
+    for (int i = 0; i < 3; ++i)
+        design_power[i] =
+            evaluateDesign(lib, sram, designs[i]).power_mw;
+
+    const std::vector<workloads::Network> nets = {
+        workloads::resnet18(), workloads::resnet34(),
+        workloads::resnet50(), workloads::bertBase()};
+
+    Table t("Fig.13: end-to-end inference time (ms) and energy (mJ)",
+            {"network", "NV-Small", "NV-Large", "Gemmini", "Design1",
+             "Design2", "Design3"});
+    Table e("Fig.13: energy (mJ)",
+            {"network", "NV-Small", "NV-Large", "Gemmini", "Design1",
+             "Design2", "Design3"});
+
+    std::vector<std::vector<Result>> all;
+    for (const auto &net : nets) {
+        std::vector<Result> row;
+        row.push_back(runNvdla(baselines::nvdlaSmall(), net,
+                               kNvdlaSmallMw));
+        row.push_back(runNvdla(baselines::nvdlaLarge(), net,
+                               kNvdlaLargeMw));
+        row.push_back(runGemmini(net));
+        for (int i = 0; i < 3; ++i)
+            row.push_back(runLutDla(designs[i], net, design_power[i]));
+        all.push_back(row);
+
+        std::vector<std::string> trow{net.name}, erow{net.name};
+        for (const auto &r : row) {
+            trow.push_back(Table::fmt(r.seconds * 1e3, 2));
+            erow.push_back(Table::fmt(r.energy_mj, 2));
+        }
+        t.addRow(trow);
+        e.addRow(erow);
+    }
+    t.print();
+    e.print();
+
+    // Paper headline ratios.
+    const auto &bert = all.back();
+    const auto &r18 = all.front();
+    Table s("Fig.13 headline comparisons", {"quantity", "paper", "ours"});
+    s.addRow({"Design3 vs NV-Small speedup (BERT)", "up to 72x",
+              Table::fmtRatio(bert[0].seconds / bert[5].seconds, 1)});
+    s.addRow({"Design3 vs NV-Large energy saving (BERT)", "11.5x",
+              Table::fmtRatio(bert[1].energy_mj / bert[5].energy_mj, 1)});
+    s.addRow({"Design2 vs NV-Large speedup (ResNet18)", ">1x",
+              Table::fmtRatio(r18[1].seconds / r18[4].seconds, 1)});
+    s.addRow({"Design2 vs NV-Large energy saving (ResNet)", "~11x",
+              Table::fmtRatio(r18[1].energy_mj / r18[4].energy_mj, 1)});
+    s.addRow({"Design2 vs Gemmini speedup (ResNet18)", "7.8x",
+              Table::fmtRatio(r18[2].seconds / r18[4].seconds, 1)});
+    s.addNote("LUT-DLA executes K/v lookups instead of K MACs per output; "
+              "baseline powers from Table VIII");
+    s.print();
+    return 0;
+}

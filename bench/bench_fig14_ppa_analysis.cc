@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Figure 14: normalized performance, area efficiency, and energy
+ * efficiency on BERT and ResNet-18 for the six designs (NVDLA-Small
+ * baseline = 1.0).
+ *
+ * Expected shape (paper): Design1 ~6.2x (BERT) / 12x (ResNet18) faster
+ * than NVDLA-Small at similar area; Design2 ~14.6x/10.7x NVDLA-Large
+ * area efficiency; Design3 best overall.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "baselines/nvdla_model.h"
+#include "baselines/systolic.h"
+#include "hw/accel.h"
+#include "sim/lutdla_sim.h"
+#include "util/table.h"
+#include "workloads/model_zoo.h"
+
+using namespace lutdla;
+
+namespace {
+
+struct DesignPoint
+{
+    std::string name;
+    double area_mm2;
+    double power_mw;
+    double seconds_bert;
+    double seconds_r18;
+};
+
+} // namespace
+
+int
+main()
+{
+    hw::ArithLibrary lib(hw::tech28());
+    hw::SramModel sram(hw::tech28());
+    const workloads::Network bert = workloads::bertBase();
+    const workloads::Network r18 = workloads::resnet18();
+
+    std::vector<DesignPoint> points;
+
+    {
+        baselines::NvdlaModel small(baselines::nvdlaSmall());
+        baselines::NvdlaModel large(baselines::nvdlaLarge());
+        points.push_back(
+            {"NV-Small", 0.91, 55.0,
+             small.simulateNetwork(bert.gemms).seconds(small.config()),
+             small.simulateNetwork(r18.gemms).seconds(small.config())});
+        points.push_back(
+            {"NV-Large", 5.5, 766.0,
+             large.simulateNetwork(bert.gemms).seconds(large.config()),
+             large.simulateNetwork(r18.gemms).seconds(large.config())});
+        baselines::SystolicSimulator gem((baselines::SystolicConfig()));
+        points.push_back(
+            {"Gemmini", 1.21, 312.41,
+             gem.simulateNetwork(bert.gemms).seconds(gem.config()),
+             gem.simulateNetwork(r18.gemms).seconds(gem.config())});
+    }
+    for (const hw::LutDlaDesign &d :
+         {hw::design1Tiny(), hw::design2Large(), hw::design3Fit()}) {
+        const hw::AccelPpa ppa = evaluateDesign(lib, sram, d);
+        sim::LutDlaSimulator sim(sim::SimConfig::fromDesign(d));
+        points.push_back(
+            {d.name, ppa.area_mm2, ppa.power_mw,
+             sim.simulateNetwork(bert.gemms).seconds(sim.config()),
+             sim.simulateNetwork(r18.gemms).seconds(sim.config())});
+    }
+
+    const DesignPoint &ref = points[0];  // NVDLA-Small
+    Table t("Fig.14: PPA normalized to NVDLA-Small",
+            {"design", "perf BERT", "perf R18", "area-eff BERT",
+             "area-eff R18", "energy-eff BERT", "energy-eff R18"});
+    for (const auto &p : points) {
+        const double perf_bert = ref.seconds_bert / p.seconds_bert;
+        const double perf_r18 = ref.seconds_r18 / p.seconds_r18;
+        const double ae_bert = perf_bert / (p.area_mm2 / ref.area_mm2);
+        const double ae_r18 = perf_r18 / (p.area_mm2 / ref.area_mm2);
+        const double ee_bert =
+            (ref.seconds_bert * ref.power_mw) /
+            (p.seconds_bert * p.power_mw);
+        const double ee_r18 = (ref.seconds_r18 * ref.power_mw) /
+                              (p.seconds_r18 * p.power_mw);
+        t.addRow({p.name, Table::fmtRatio(perf_bert, 1),
+                  Table::fmtRatio(perf_r18, 1),
+                  Table::fmtRatio(ae_bert, 1), Table::fmtRatio(ae_r18, 1),
+                  Table::fmtRatio(ee_bert, 1),
+                  Table::fmtRatio(ee_r18, 1)});
+    }
+    t.addNote("paper: Design1 6.2x/12.0x perf vs NV-Small; area-eff "
+              "2.5x/4.8x; energy-eff 1.1x/4.01x");
+    t.print();
+    return 0;
+}

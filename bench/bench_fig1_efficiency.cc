@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 1: area efficiency (ops/cycle/mm^2) and power efficiency (ops/pJ)
+ * of conventional ALUs across bitwidths vs LUT-based approximate computing
+ * across (V, C), at 28 nm / 300 MHz for a 1k^3 GEMM.
+ *
+ * Expected shape (paper): LUT configurations sit 1-5 orders of magnitude
+ * above the ALU curves in area efficiency and 1-2 orders in power
+ * efficiency; efficiency rises with V and falls with C.
+ */
+
+#include <cstdio>
+#include <map>
+
+#include "hw/efficiency.h"
+#include "util/table.h"
+
+using namespace lutdla;
+using namespace lutdla::hw;
+
+int
+main()
+{
+    ArithLibrary lib(tech28());
+    SramModel sram(tech28());
+
+    Table alu("Fig.1 (ALU curves) - 28nm, per functional unit",
+              {"series", "bitwidth", "OPs/cycle/mm^2", "OPs/pJ"});
+    for (const auto &p : aluEfficiencyCurves(lib)) {
+        alu.addRow({p.series, Table::fmt(p.bitwidth, 0),
+                    Table::fmt(p.ops_per_mm2, 1),
+                    Table::fmt(p.ops_per_pj, 3)});
+    }
+    alu.print();
+
+    Table lut("Fig.1 (LUT curves) - equivalent bitwidth = log2(C)/V",
+              {"series", "C", "equiv bits", "OPs/cycle/mm^2", "OPs/pJ"});
+    LutEfficiencyConfig cfg;
+    for (int64_t v : {2, 4, 8, 16}) {
+        for (int64_t c : {8, 16, 32, 64, 128, 256, 512}) {
+            const EfficiencyPoint p =
+                lutEfficiencyPoint(lib, sram, cfg, v, c);
+            lut.addRow({p.series, std::to_string(c),
+                        Table::fmt(p.bitwidth, 3),
+                        Table::fmt(p.ops_per_mm2, 1),
+                        Table::fmt(p.ops_per_pj, 3)});
+        }
+    }
+    lut.print();
+
+    // Headline ratios the paper quotes ("1~5 orders of magnitude in
+    // computational efficiency, 1~2 orders in power efficiency").
+    const EfficiencyPoint best =
+        lutEfficiencyPoint(lib, sram, cfg, 16, 8);
+    const EfficiencyPoint worst =
+        lutEfficiencyPoint(lib, sram, cfg, 2, 512);
+    const UnitCost fp32_mult = lib.fpMult(32);
+    const double alu_area_eff = 1.0 / (fp32_mult.area_um2 * 1e-6);
+    const double alu_power_eff = 1.0 / fp32_mult.energy_pj;
+
+    Table summary("Fig.1 summary - LUT vs FP32 multiplier",
+                  {"quantity", "paper", "ours"});
+    summary.addRow({"area-eff gain (best LUT)", "~1e5 x",
+                    Table::fmtRatio(best.ops_per_mm2 / alu_area_eff, 0)});
+    summary.addRow({"area-eff gain (worst LUT)", "~1e1 x",
+                    Table::fmtRatio(worst.ops_per_mm2 / alu_area_eff, 1)});
+    summary.addRow({"power-eff gain (best LUT)", "~1e2 x",
+                    Table::fmtRatio(best.ops_per_pj / alu_power_eff, 0)});
+    summary.addRow({"power-eff gain (worst LUT)", "~1e0-1e1 x",
+                    Table::fmtRatio(worst.ops_per_pj / alu_power_eff, 1)});
+    summary.addNote("LUT engine: 1 CCU + 256 lookup lanes, INT8 entries, "
+                    "BF16 similarity");
+    summary.print();
+    return 0;
+}

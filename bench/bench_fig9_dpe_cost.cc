@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Figure 9: dPE area and power. Left panel: metric (L2/L1/Chebyshev) and
+ * precision (FP32/FP16) at v=8. Right panel: hardware overhead vs vector
+ * length (v = 4/8/16, Chebyshev/L1/L2).
+ *
+ * Expected shape: L2 > L1 > Chebyshev in both area and power; FP16 well
+ * under FP32; cost grows roughly linearly in v with a mild superlinear
+ * reduction-tree term.
+ */
+
+#include <cstdio>
+
+#include "hw/dpe.h"
+#include "util/table.h"
+
+using namespace lutdla;
+using namespace lutdla::hw;
+
+namespace {
+
+/** Power (mW) of one dPE comparing every cycle at 300 MHz. */
+double
+dpePowerMw(const UnitCost &cost)
+{
+    return cost.energy_pj * 300e6 * 1e-9;
+}
+
+} // namespace
+
+int
+main()
+{
+    ArithLibrary lib(tech28());
+
+    Table left("Fig.9 (left): dPE cost by metric and precision, v=8",
+               {"metric", "format", "area(um^2)", "power(mW @300MHz)"});
+    for (vq::Metric m :
+         {vq::Metric::L2, vq::Metric::L1, vq::Metric::Chebyshev}) {
+        for (NumFormat f : {NumFormat::Fp32, NumFormat::Fp16,
+                            NumFormat::Bf16}) {
+            DpeConfig cfg{8, m, f};
+            const UnitCost cost = dpeCost(lib, cfg);
+            left.addRow({vq::metricName(m), formatName(f),
+                         Table::fmt(cost.area_um2, 0),
+                         Table::fmt(dpePowerMw(cost), 4)});
+        }
+    }
+    left.addNote("paper shape: L2 > L1 > Chebyshev; FP16 < FP32");
+    left.print();
+
+    Table right("Fig.9 (right): dPE cost vs vector length",
+                {"v", "metric", "area(um^2)", "power(mW @300MHz)"});
+    for (int64_t v : {4, 8, 16}) {
+        for (vq::Metric m :
+             {vq::Metric::Chebyshev, vq::Metric::L1, vq::Metric::L2}) {
+            DpeConfig cfg{v, m, NumFormat::Fp16};
+            const UnitCost cost = dpeCost(lib, cfg);
+            right.addRow({std::to_string(v), vq::metricName(m),
+                          Table::fmt(cost.area_um2, 0),
+                          Table::fmt(dpePowerMw(cost), 4)});
+        }
+    }
+    right.addNote("approximately linear growth in v; reduction-tree "
+                  "wiring adds ~12%/doubling beyond 4 lanes");
+    right.print();
+
+    // Relative savings headline.
+    const UnitCost l2 = dpeCost(lib, {8, vq::Metric::L2, NumFormat::Fp32});
+    const UnitCost l1 = dpeCost(lib, {8, vq::Metric::L1, NumFormat::Fp32});
+    const UnitCost ch =
+        dpeCost(lib, {8, vq::Metric::Chebyshev, NumFormat::Fp32});
+    Table s("Fig.9 summary: savings vs L2 (FP32, v=8)",
+            {"metric", "area saving", "power saving"});
+    s.addRow({"L1", Table::fmtRatio(l2.area_um2 / l1.area_um2, 2),
+              Table::fmtRatio(l2.energy_pj / l1.energy_pj, 2)});
+    s.addRow({"Chebyshev", Table::fmtRatio(l2.area_um2 / ch.area_um2, 2),
+              Table::fmtRatio(l2.energy_pj / ch.energy_pj, 2)});
+    s.print();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks: exact GEMM vs LUT-GEMM (encode +
+ * lookup) software kernels, plus the encode and lookup phases separately.
+ * These are software-kernel timings (host CPU), complementing the cycle
+ * simulator's hardware numbers.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+#include "vq/lut.h"
+
+using namespace lutdla;
+
+namespace {
+
+Tensor
+randomMatrix(int64_t r, int64_t c, uint64_t seed)
+{
+    Tensor t(Shape{r, c});
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return t;
+}
+
+struct KernelFixture
+{
+    KernelFixture(int64_t m, int64_t k, int64_t n, int64_t v, int64_t c)
+        : a(randomMatrix(m, k, 1)), w(randomMatrix(k, n, 2))
+    {
+        vq::PQConfig cfg;
+        cfg.v = v;
+        cfg.c = c;
+        engine = std::make_unique<vq::LutGemmEngine>(
+            cfg, w, randomMatrix(256, k, 3));
+    }
+
+    Tensor a, w;
+    std::unique_ptr<vq::LutGemmEngine> engine;
+};
+
+void
+BM_ExactGemm(benchmark::State &state)
+{
+    KernelFixture fx(state.range(0), state.range(1), state.range(2), 4,
+                     16);
+    for (auto _ : state) {
+        Tensor c = matmul(fx.a, fx.w);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * fx.a.dim(0) *
+                            fx.a.dim(1) * fx.w.dim(1));
+}
+
+void
+BM_LutGemm(benchmark::State &state)
+{
+    KernelFixture fx(state.range(0), state.range(1), state.range(2), 4,
+                     16);
+    for (auto _ : state) {
+        Tensor c = fx.engine->matmul(fx.a);
+        benchmark::DoNotOptimize(c.data());
+    }
+    state.SetItemsProcessed(state.iterations() * fx.a.dim(0) *
+                            fx.a.dim(1) * fx.w.dim(1));
+}
+
+void
+BM_Encode(benchmark::State &state)
+{
+    KernelFixture fx(state.range(0), state.range(1), 64, state.range(2),
+                     16);
+    for (auto _ : state) {
+        auto codes = fx.engine->quantizer().encode(fx.a);
+        benchmark::DoNotOptimize(codes.data());
+    }
+}
+
+void
+BM_Lookup(benchmark::State &state)
+{
+    KernelFixture fx(state.range(0), state.range(1), state.range(2), 4,
+                     16);
+    auto codes = fx.engine->quantizer().encode(fx.a);
+    for (auto _ : state) {
+        Tensor c = fx.engine->lut().lookupGemm(codes, fx.a.dim(0));
+        benchmark::DoNotOptimize(c.data());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_ExactGemm)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_LutGemm)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Encode)
+    ->Args({256, 512, 4})
+    ->Args({256, 512, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_Lookup)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Table I: on-chip memory requirements of six dataflows for the GEMM
+ * M=512, K=N=768, c=32 (Nc=86, Tn=32, 1-byte psum/LUT entries — the
+ * calibration that reproduces the published cells exactly; the caption's
+ * v=4 is inconsistent with every row, see DESIGN.md).
+ */
+
+#include <cstdio>
+
+#include "hw/dataflow.h"
+#include "util/table.h"
+
+using namespace lutdla;
+using namespace lutdla::hw;
+
+namespace {
+
+/** The paper's published cells for side-by-side comparison. */
+struct PaperRow
+{
+    const char *scratch;
+    const char *indices;
+    const char *lut;
+    const char *total;
+};
+
+PaperRow
+paperRow(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::MNK:
+        return {"0.03KB", "0.05KB", "2064KB", "2064.1KB"};
+      case Dataflow::NMK:
+        return {"0.03KB", "26.9KB", "2064KB", "2090.9KB"};
+      case Dataflow::MKN:
+        return {"0.75KB", "0.6B", "2064KB", "2064.8KB"};
+      case Dataflow::KMN:
+        return {"384KB", "0.6B", "24KB", "408.0KB"};
+      case Dataflow::KNM:
+        return {"384KB", "0.31KB", "1KB", "385.3KB"};
+      case Dataflow::LutStationary:
+        return {"16KB", "0.31KB", "1KB", "17.3KB"};
+    }
+    return {};
+}
+
+std::string
+fmtBytes(double bytes)
+{
+    if (bytes < 1024.0)
+        return Table::fmt(bytes, 2) + "B";
+    return Table::fmt(bytes / 1024.0, 2) + "KB";
+}
+
+} // namespace
+
+int
+main()
+{
+    DataflowParams p;
+    p.m = 512;
+    p.k = 768;
+    p.n = 768;
+    p.v = 9;
+    p.c = 32;
+    p.tn = 32;
+
+    Table t("Table I: dataflow on-chip memory (M=512, K=N=768, c=32, "
+            "Nc=86, Tn=32)",
+            {"dataflow", "scratchpad", "(paper)", "indices", "(paper)",
+             "psum LUT", "(paper)", "total", "(paper)", "LUT loads"});
+    for (Dataflow df : allDataflows()) {
+        const DataflowMemory m = dataflowMemory(df, p);
+        const PaperRow pr = paperRow(df);
+        t.addRow({dataflowName(df), fmtBytes(m.scratchpad_bytes),
+                  pr.scratch, fmtBytes(m.indices_bytes), pr.indices,
+                  fmtBytes(m.psum_lut_bytes), pr.lut,
+                  fmtBytes(m.totalBytes()), pr.total,
+                  std::to_string(dataflowLutLoads(df, p))});
+    }
+    t.addNote("minimum buffering that never reloads the same LUT content; "
+              "LS trades tile reloads (ping-pong hidden) for 119x less "
+              "on-chip memory vs MNK");
+    t.print();
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Table IV: accuracy of LUT-based models across the CNN zoo under
+ * FP32+FP32 and BF16+INT8, with L2 and L1 similarity, against the float
+ * baseline. Synthetic substitutes per DESIGN.md: MiniResNet / VGG-style /
+ * LeNet-style on the shape-image task, MLP on the Gaussian-mixture task.
+ *
+ * Expected shape (paper): drops of ~0.1-3.1% (L2) and ~0.1-3.4% (L1);
+ * BF16+INT8 costs <1% extra.
+ */
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+using namespace lutdla;
+using namespace lutdla::bench;
+
+int
+main()
+{
+    nn::ShapeImageConfig icfg;
+    icfg.classes = 8;
+    icfg.train_per_class = 40;
+    icfg.test_per_class = 12;
+    icfg.noise = 0.3;
+    const nn::Dataset images = nn::makeShapeImages(icfg);
+
+    nn::GaussianMixtureConfig gcfg;
+    gcfg.classes = 10;
+    gcfg.dim = 32;
+    gcfg.train_per_class = 40;
+    gcfg.test_per_class = 12;
+    const nn::Dataset mixture = nn::makeGaussianMixture(gcfg);
+
+    struct ModelSpec
+    {
+        const char *name;
+        const char *dataset_name;
+        const nn::Dataset *ds;
+        std::function<nn::LayerPtr()> factory;
+        int pre_epochs;
+    };
+    const ModelSpec specs[] = {
+        {"MiniResNet20", "shapes-8", &images,
+         [] { return nn::makeMiniResNet(1, 8, 8); }, 8},
+        {"VGG-style", "shapes-8", &images,
+         [] { return nn::makeVggStyle(8); }, 8},
+        {"LeNet-style", "shapes-8", &images,
+         [] { return nn::makeLeNetStyle(8); }, 8},
+        {"MLP-768", "mixture-10", &mixture,
+         [] { return nn::makeMlp(32, {24}, 10); }, 10},
+    };
+
+    Table t("Table IV: accuracy of LUT-based models (v=4, c=16)",
+            {"model", "dataset", "baseline", "FP32 L2", "FP32 L1",
+             "BF16+INT8 L2", "BF16+INT8 L1"});
+    for (const auto &spec : specs) {
+        std::vector<std::string> row{spec.name, spec.dataset_name};
+        double baseline = 0.0;
+        std::string fp32[2], bf16[2];
+        int idx = 0;
+        for (vq::Metric metric : {vq::Metric::L2, vq::Metric::L1}) {
+            auto opts = benchConvertOptions(4, 16, metric, 2, 4);
+            nn::LayerPtr model;
+            const auto rep = runMultistage(spec.factory, *spec.ds,
+                                           spec.pre_epochs, opts, &model);
+            baseline = rep.baseline_accuracy;
+            fp32[idx] = pct(rep.final_accuracy);
+            bf16[idx] = pct(evalWithPrecision(
+                model, *spec.ds, vq::LutPrecision{true, true}));
+            ++idx;
+        }
+        row.push_back(pct(baseline));
+        row.push_back(fp32[0]);
+        row.push_back(fp32[1]);
+        row.push_back(bf16[0]);
+        row.push_back(bf16[1]);
+        t.addRow(row);
+    }
+    t.addNote("paper shape: L2 drop 0.1-3.1%, L1 drop 0.1-3.4%, BF16+INT8 "
+              "costs <1% extra while cutting LUT storage 4x");
+    t.print();
+    return 0;
+}

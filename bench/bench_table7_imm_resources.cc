@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Table VII: per-IMM settings and resource needs of the three searched
+ * designs. SRAM totals reproduce the paper exactly (scratchpad M*Tn +
+ * ping-pong 2*c*Tn + indices M*log2(c)/8); bandwidth uses our stall-free
+ * channel model and is compared against the published GB/s.
+ */
+
+#include <cstdio>
+
+#include "hw/accel.h"
+#include "util/table.h"
+
+using namespace lutdla;
+using namespace lutdla::hw;
+
+int
+main()
+{
+    const struct
+    {
+        LutDlaDesign design;
+        const char *paper_sram;
+        const char *paper_bw;
+    } rows[] = {
+        {design1Tiny(), "36.1KB", "4.1GB/s"},
+        {design2Large(), "72.1KB", "7.0GB/s"},
+        {design3Fit(), "408.2KB", "8.7GB/s"},
+    };
+
+    Table t("Table VII: IMM settings and resources",
+            {"design", "V", "c", "Tn", "M", "SRAM/IMM", "(paper)",
+             "min BW", "(paper)"});
+    for (const auto &row : rows) {
+        const ImmMemory mem = immMemory(row.design);
+        t.addRow({row.design.name, std::to_string(row.design.v),
+                  std::to_string(row.design.c),
+                  std::to_string(row.design.tn),
+                  std::to_string(row.design.m_rows),
+                  Table::fmtKb(static_cast<double>(mem.totalBytes()), 1),
+                  row.paper_sram,
+                  Table::fmt(minBandwidthBytesPerSec(row.design) * 1e-9,
+                             1) + "GB/s",
+                  row.paper_bw});
+    }
+    t.addNote("SRAM = scratchpad(M*Tn) + pingpong(2*c*Tn) + "
+              "indices(M*log2c/8), INT8 entries");
+    t.addNote("bandwidth = LUT tile streaming (c*Tn/M per IMM cycle) + "
+              "CCM input stream");
+    t.print();
+
+    Table b("Table VII breakdown (bytes per IMM)",
+            {"design", "scratchpad", "psum LUT (x2)", "indices"});
+    for (const auto &row : rows) {
+        const ImmMemory mem = immMemory(row.design);
+        b.addRow({row.design.name,
+                  std::to_string(mem.scratchpad_bytes),
+                  std::to_string(mem.psum_lut_bytes),
+                  std::to_string(mem.indices_bytes)});
+    }
+    b.print();
+    return 0;
+}

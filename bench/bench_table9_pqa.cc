@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table IX: LUT-DLA vs the PQA LUT accelerator on GEMM 512x768x768 with
+ * c=32, v=4, codebook parallelism 1, 16 LUT banks. PQA's published point
+ * (6912.25 KB on-chip, 7864k cycles) is reproduced exactly by its model;
+ * LUT-DLA runs the cycle simulator in the matching 16-bank single-lane
+ * configuration (paper: 10.5 KB, 4743k cycles, 1.6x faster).
+ */
+
+#include <cstdio>
+
+#include "baselines/pqa_model.h"
+#include "hw/accel.h"
+#include "sim/lutdla_sim.h"
+#include "util/table.h"
+
+using namespace lutdla;
+
+int
+main()
+{
+    const sim::GemmShape gemm{512, 768, 768, "gemm-512x768x768"};
+
+    baselines::PqaModel pqa(baselines::PqaConfig{});
+    const baselines::PqaStats pq = pqa.simulateGemm(gemm);
+
+    // LUT-DLA in the Table IX configuration: 16 single-lane banks.
+    sim::SimConfig cfg;
+    cfg.v = 4;
+    cfg.c = 32;
+    cfg.tn = 1;
+    cfg.n_imm = 16;
+    cfg.n_ccu = 1;
+    cfg.m_tile = 512;
+    sim::LutDlaSimulator sim(cfg);
+    const sim::SimStats lut = sim.simulateGemm(gemm);
+
+    // LUT-DLA on-chip: 16 banks of (pingpong 2*c*1B) + scratchpad
+    // (512 rows x 1 lane) + indices (512 x 5b).
+    hw::LutDlaDesign d;
+    d.v = 4;
+    d.c = 32;
+    d.tn = 1;
+    d.m_rows = 512;
+    d.n_imm = 16;
+    const double lut_onchip =
+        static_cast<double>(hw::immMemory(d).totalBytes() * d.n_imm);
+
+    Table t("Table IX: comparison with PQA (GEMM 512x768x768, c=32, v=4, "
+            "16 banks)",
+            {"design", "on-chip mem", "(paper)", "cycles", "(paper)",
+             "dataflow", "pipelined", "pingpong"});
+    t.addRow({"PQA", Table::fmtKb(pq.onchip_bytes, 2), "6912.25KB",
+              Table::fmt(static_cast<double>(pq.computeCycles()) / 1e3,
+                         0) + "k",
+              "7864k", "-", "yes", "no"});
+    t.addRow({"LUT-DLA", Table::fmtKb(lut_onchip, 1), "10.5KB",
+              Table::fmt(static_cast<double>(lut.total_cycles) / 1e3, 0) +
+                  "k",
+              "4743k", "LS", "yes", "yes"});
+    t.addNote("PQA: similarity (M*Nc*c = 3146k) + lookup (M*Nc*N/16 = "
+              "4719k) run back-to-back, whole-layer 12-bit LUT resident");
+    t.addNote("LUT-DLA: phases overlap; utilization " +
+              Table::fmt(lut.utilization() * 100.0, 1) + "%, LUT-load "
+              "stalls " + std::to_string(lut.stall_lut_cycles) +
+              " cycles");
+    t.print();
+
+    Table s("Table IX derived ratios", {"quantity", "paper", "ours"});
+    s.addRow({"cycle speedup (PQA/LUT-DLA)", "1.6x",
+              Table::fmtRatio(static_cast<double>(pq.computeCycles()) /
+                                  static_cast<double>(lut.total_cycles),
+                              2)});
+    s.addRow({"on-chip memory ratio (PQA/LUT-DLA)", "~658x",
+              Table::fmtRatio(pq.onchip_bytes / lut_onchip, 0)});
+    s.print();
+    return 0;
+}

@@ -1,0 +1,76 @@
+#include "baselines/nvdla_model.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lutdla::baselines {
+
+NvdlaConfig
+nvdlaSmall()
+{
+    NvdlaConfig cfg;
+    cfg.name = "NVDLA-Small";
+    cfg.atomic_c = 8;
+    cfg.atomic_k = 4;
+    cfg.freq_hz = 1e9;
+    cfg.pipe_efficiency = 0.90;
+    return cfg;
+}
+
+NvdlaConfig
+nvdlaLarge()
+{
+    NvdlaConfig cfg;
+    cfg.name = "NVDLA-Large";
+    cfg.atomic_c = 32;
+    cfg.atomic_k = 32;
+    cfg.freq_hz = 1e9;
+    cfg.pipe_efficiency = 0.55;
+    return cfg;
+}
+
+NvdlaStats
+NvdlaModel::simulateGemm(const sim::GemmShape &gemm) const
+{
+    const NvdlaConfig &cfg = config_;
+    LUTDLA_CHECK(gemm.m > 0 && gemm.k > 0 && gemm.n > 0, "bad GEMM");
+
+    const int64_t c_steps = (gemm.k + cfg.atomic_c - 1) / cfg.atomic_c;
+    const int64_t k_steps = (gemm.n + cfg.atomic_k - 1) / cfg.atomic_k;
+
+    NvdlaStats stats;
+    stats.effective_macs = gemm.macs();
+    // One output stripe per cycle: the engine walks M pixels for every
+    // (atomic_c, atomic_k) step pair; weight fetch is pipelined by the
+    // CBUF and costs a small per-stripe overhead.
+    const double stripe_overhead = 8.0;
+    stats.total_cycles = static_cast<uint64_t>(
+        (static_cast<double>(gemm.m) + stripe_overhead) *
+        static_cast<double>(c_steps) * static_cast<double>(k_steps) /
+        cfg.pipe_efficiency);
+
+    // DRAM: weights + activations + outputs, INT8.
+    const double bw_limited_cycles =
+        (static_cast<double>(gemm.k) * gemm.n +
+         static_cast<double>(gemm.m) * gemm.k +
+         static_cast<double>(gemm.m) * gemm.n) /
+        (cfg.dram_bytes_per_sec / cfg.freq_hz);
+    stats.total_cycles = std::max(
+        stats.total_cycles, static_cast<uint64_t>(bw_limited_cycles));
+    stats.dram_bytes = static_cast<double>(gemm.k) * gemm.n +
+                       static_cast<double>(gemm.m) * gemm.k +
+                       static_cast<double>(gemm.m) * gemm.n;
+    return stats;
+}
+
+NvdlaStats
+NvdlaModel::simulateNetwork(const std::vector<sim::GemmShape> &gemms) const
+{
+    NvdlaStats total;
+    for (const auto &g : gemms)
+        total += simulateGemm(g);
+    return total;
+}
+
+} // namespace lutdla::baselines

@@ -1,0 +1,46 @@
+#include "baselines/pqa_model.h"
+
+#include "util/logging.h"
+
+namespace lutdla::baselines {
+
+PqaStats
+PqaModel::simulateGemm(const sim::GemmShape &gemm) const
+{
+    const PqaConfig &cfg = config_;
+    LUTDLA_CHECK(gemm.m > 0 && gemm.k > 0 && gemm.n > 0, "bad GEMM");
+    const int64_t nc = (gemm.k + cfg.v - 1) / cfg.v;
+
+    PqaStats stats;
+    stats.effective_macs = gemm.macs();
+
+    // Sequential centroid scan: no dPE pipelining in PQA's CAM-style
+    // comparison, so every (row, subspace) costs c / codebook_parallel.
+    stats.similarity_cycles = static_cast<uint64_t>(
+        static_cast<double>(gemm.m) * static_cast<double>(nc) *
+        static_cast<double>(cfg.c) /
+        static_cast<double>(cfg.codebook_parallel));
+
+    // Lookup phase after similarity completes (no overlap).
+    stats.lookup_cycles = static_cast<uint64_t>(
+        static_cast<double>(gemm.m) * static_cast<double>(nc) *
+        static_cast<double>(gemm.n) / static_cast<double>(cfg.banks));
+
+    // Whole-layer LUT + centroids resident on chip.
+    const double lut_bytes = static_cast<double>(cfg.c) *
+                             static_cast<double>(nc) *
+                             static_cast<double>(gemm.n) *
+                             cfg.lut_entry_bits / 8.0;
+    const double centroid_store =
+        static_cast<double>(cfg.c) * static_cast<double>(cfg.v) *
+        static_cast<double>(cfg.centroid_bytes);
+    stats.onchip_bytes = lut_bytes + centroid_store;
+
+    // Loading that table stalls compute (the "compute pause" the paper
+    // criticizes).
+    stats.load_cycles = static_cast<uint64_t>(
+        lut_bytes / (cfg.dram_bytes_per_sec / cfg.freq_hz));
+    return stats;
+}
+
+} // namespace lutdla::baselines

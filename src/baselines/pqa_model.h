@@ -1,0 +1,73 @@
+#ifndef LUTDLA_BASELINES_PQA_MODEL_H
+#define LUTDLA_BASELINES_PQA_MODEL_H
+
+/**
+ * @file
+ * PQA-style LUT accelerator model (Table IX comparison).
+ *
+ * PQA (AbouElhamayed et al., TRETS'24) keeps the *entire* layer's
+ * precomputed table on chip — no tiling, no ping-pong reuse — and runs the
+ * similarity and lookup phases back-to-back without pipelining:
+ *   similarity:  M * Nc * c cycles (sequential centroid comparisons),
+ *   lookup:      M * Nc * N / banks cycles,
+ * with the whole-layer LUT (12-bit entries) plus the centroid store
+ * resident in on-chip memory. Reproduces the paper's published
+ * 6912.25 KB / 7864k-cycle point for GEMM 512x768x768, v=4, c=32.
+ */
+
+#include "sim/config.h"
+
+namespace lutdla::baselines {
+
+/** PQA hardware parameters. */
+struct PqaConfig
+{
+    int64_t v = 4;
+    int64_t c = 32;
+    int64_t banks = 16;             ///< parallel LUT banks
+    int64_t codebook_parallel = 1;  ///< concurrent codebook comparisons
+    double lut_entry_bits = 12.0;   ///< PQA stores 12-bit psums
+    int64_t centroid_bytes = 2;     ///< FP16 centroid storage
+    double freq_hz = 300e6;
+    double dram_bytes_per_sec = 25.6e9;
+};
+
+/** Timing/memory result of one PQA run. */
+struct PqaStats
+{
+    uint64_t similarity_cycles = 0;
+    uint64_t lookup_cycles = 0;
+    uint64_t load_cycles = 0;       ///< whole-layer LUT load (compute pause)
+    double onchip_bytes = 0.0;
+    double effective_macs = 0.0;
+
+    /** Compute-phase cycles (the paper's Table IX number). */
+    uint64_t computeCycles() const
+    {
+        return similarity_cycles + lookup_cycles;
+    }
+
+    /** End-to-end cycles including the initial LUT load pause. */
+    uint64_t totalCycles() const
+    {
+        return computeCycles() + load_cycles;
+    }
+};
+
+/** PQA timing/memory model. */
+class PqaModel
+{
+  public:
+    explicit PqaModel(PqaConfig config) : config_(config) {}
+
+    PqaStats simulateGemm(const sim::GemmShape &gemm) const;
+
+    const PqaConfig &config() const { return config_; }
+
+  private:
+    PqaConfig config_;
+};
+
+} // namespace lutdla::baselines
+
+#endif // LUTDLA_BASELINES_PQA_MODEL_H

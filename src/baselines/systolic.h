@@ -1,0 +1,90 @@
+#ifndef LUTDLA_BASELINES_SYSTOLIC_H
+#define LUTDLA_BASELINES_SYSTOLIC_H
+
+/**
+ * @file
+ * Weight-stationary systolic-array timing model (Gemmini-class baseline).
+ *
+ * The array holds an R x C INT8 weight tile; activations stream in
+ * skewed, products accumulate down columns. Per weight tile the array
+ * spends max(M, tile-load) + (R + C) fill/drain cycles; double-buffered
+ * weight loads overlap compute. This is the standard first-order model of
+ * Gemmini's WS mode and is what the paper compares against in Fig. 13/14.
+ */
+
+#include <cstdint>
+
+#include <vector>
+
+#include "sim/config.h"
+
+namespace lutdla::baselines {
+
+/** Systolic array configuration. */
+struct SystolicConfig
+{
+    int64_t rows = 16;     ///< K-dimension PEs
+    int64_t cols = 16;     ///< N-dimension PEs
+    double freq_hz = 500e6;
+    int64_t elem_bytes = 1;
+    double dram_bytes_per_sec = 25.6e9;
+
+    double peakGops() const
+    {
+        return 2.0 * static_cast<double>(rows * cols) * freq_hz * 1e-9;
+    }
+};
+
+/** Timing result of one systolic run. */
+struct SystolicStats
+{
+    uint64_t total_cycles = 0;
+    double effective_macs = 0.0;
+    double dram_bytes = 0.0;
+
+    double seconds(const SystolicConfig &cfg) const
+    {
+        return static_cast<double>(total_cycles) / cfg.freq_hz;
+    }
+    double achievedGops(const SystolicConfig &cfg) const
+    {
+        const double s = seconds(cfg);
+        return s > 0 ? 2.0 * effective_macs / s * 1e-9 : 0.0;
+    }
+    double utilization(const SystolicConfig &cfg) const
+    {
+        return total_cycles
+                   ? effective_macs /
+                         (static_cast<double>(total_cycles) *
+                          static_cast<double>(cfg.rows * cfg.cols))
+                   : 0.0;
+    }
+    SystolicStats &
+    operator+=(const SystolicStats &rhs)
+    {
+        total_cycles += rhs.total_cycles;
+        effective_macs += rhs.effective_macs;
+        dram_bytes += rhs.dram_bytes;
+        return *this;
+    }
+};
+
+/** Weight-stationary systolic simulator. */
+class SystolicSimulator
+{
+  public:
+    explicit SystolicSimulator(SystolicConfig config) : config_(config) {}
+
+    SystolicStats simulateGemm(const sim::GemmShape &gemm) const;
+    SystolicStats simulateNetwork(
+        const std::vector<sim::GemmShape> &gemms) const;
+
+    const SystolicConfig &config() const { return config_; }
+
+  private:
+    SystolicConfig config_;
+};
+
+} // namespace lutdla::baselines
+
+#endif // LUTDLA_BASELINES_SYSTOLIC_H

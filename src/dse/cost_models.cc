@@ -1,0 +1,94 @@
+#include "dse/cost_models.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::dse {
+
+double
+alphaSim(vq::Metric metric)
+{
+    switch (metric) {
+      case vq::Metric::L2:        return 2.0;  // multiplier + adder
+      case vq::Metric::L1:        return 1.5;  // subtract/abs + adder
+      case vq::Metric::Chebyshev: return 1.0;  // subtract/abs + max
+    }
+    return 2.0;
+}
+
+double
+tauOps(const sim::GemmShape &g, int64_t v, int64_t c, vq::Metric metric)
+{
+    // OP_sim = alpha * c * M * v * ceil(K / v): every row compares each of
+    // its ceil(K/v) subvectors against c centroids of length v.
+    const double nc = std::ceil(static_cast<double>(g.k) /
+                                static_cast<double>(v));
+    const double op_sim = alphaSim(metric) * static_cast<double>(c) *
+                          static_cast<double>(g.m) *
+                          static_cast<double>(v) * nc;
+    // OP_add = M * N * ceil(K / v): one accumulate per (row, col, subspace).
+    const double op_add = static_cast<double>(g.m) *
+                          static_cast<double>(g.n) * nc;
+    return op_sim + op_add;
+}
+
+double
+exactGemmOps(const sim::GemmShape &g)
+{
+    return 2.0 * g.macs();
+}
+
+double
+phiBits(const sim::GemmShape &g, int64_t v, int64_t c, int64_t lut_bits,
+        int64_t out_bits)
+{
+    const double nc = std::ceil(static_cast<double>(g.k) /
+                                static_cast<double>(v));
+    double idx_bits = 0.0;
+    for (int64_t x = 1; x < c; x *= 2)
+        idx_bits += 1.0;
+    idx_bits = std::max(idx_bits, 1.0);
+    // mem_lut + mem_out + mem_index (Eq. 2).
+    const double mem_lut = static_cast<double>(g.n) *
+                           static_cast<double>(c) * nc *
+                           static_cast<double>(lut_bits);
+    const double mem_out = static_cast<double>(g.m) *
+                           static_cast<double>(g.n) *
+                           static_cast<double>(out_bits);
+    const double mem_idx = nc * static_cast<double>(g.m) * idx_bits;
+    return mem_lut + mem_out + mem_idx;
+}
+
+const char *
+OmegaTerms::bottleneckName() const
+{
+    if (load >= sim && load >= lut)
+        return "load";
+    if (sim >= load && sim >= lut)
+        return "sim";
+    return "lut";
+}
+
+OmegaTerms
+omega(const sim::GemmShape &g, int64_t v, int64_t c, double beta_bits,
+      int64_t n_imm, int64_t n_ccu, int64_t lut_bits)
+{
+    LUTDLA_CHECK(beta_bits > 0 && n_imm >= 1 && n_ccu >= 1, "omega params");
+    OmegaTerms t;
+    // Eq. 5's load term totalled over the GEMM: every one of the
+    // Nc * N LUT columns (c entries of lut_bits each) crosses the shared
+    // channel once; adding IMMs does not add bandwidth, so this is the
+    // memory-bound floor of the pipeline.
+    t.load = static_cast<double>(c) * static_cast<double>(lut_bits) *
+             std::ceil(static_cast<double>(g.k) / static_cast<double>(v)) *
+             static_cast<double>(g.n) / beta_bits;
+    t.sim = static_cast<double>(g.m) * static_cast<double>(g.k) /
+            (static_cast<double>(v) * static_cast<double>(n_ccu));
+    t.lut = static_cast<double>(g.m) * static_cast<double>(g.n) *
+            static_cast<double>(g.k) /
+            (static_cast<double>(v) * static_cast<double>(n_imm));
+    return t;
+}
+
+} // namespace lutdla::dse

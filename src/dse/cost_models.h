@@ -1,0 +1,75 @@
+#ifndef LUTDLA_DSE_COST_MODELS_H
+#define LUTDLA_DSE_COST_MODELS_H
+
+/**
+ * @file
+ * The analytical models of Sec. VI-B that drive the co-design search:
+ *
+ *   tau (Eq. 1)   - computational cost of the LUT approximation,
+ *   phi (Eq. 2)   - memory footprint,
+ *   omega (Eq. 5) - pipeline-balanced cycles as max(load, sim, lut).
+ *
+ * Symbols follow Table III of the paper.
+ */
+
+#include <cstdint>
+
+#include "sim/config.h"
+#include "vq/distance.h"
+
+namespace lutdla::dse {
+
+/** Per-element op cost of a similarity metric (alpha_sim in Eq. 1). */
+double alphaSim(vq::Metric metric);
+
+/**
+ * Eq. 1: computational cost-utility tau(v, c) in scalar ops for a GEMM.
+ * Similarity comparisons plus lookup accumulations.
+ */
+double tauOps(const sim::GemmShape &g, int64_t v, int64_t c,
+              vq::Metric metric);
+
+/** Scalar ops of the exact GEMM (2*M*K*N), the pruning reference. */
+double exactGemmOps(const sim::GemmShape &g);
+
+/**
+ * Eq. 2: memory footprint phi(v, c) in bits: LUT storage + outputs +
+ * index stream.
+ */
+double phiBits(const sim::GemmShape &g, int64_t v, int64_t c,
+               int64_t lut_bits = 8, int64_t out_bits = 8);
+
+/** Eq. 5 inputs/outputs: the three pipeline phase lengths in cycles. */
+struct OmegaTerms
+{
+    double load = 0.0;  ///< LUT loading:  c * bit_lut / beta * n_imm
+    double sim = 0.0;   ///< similarity:   M * K / (v * n_ccu)
+    double lut = 0.0;   ///< table lookup: M * N * K / (v * n_imm)
+
+    double bottleneck() const
+    {
+        return load > sim ? (load > lut ? load : lut)
+                          : (sim > lut ? sim : lut);
+    }
+
+    /** Which phase dominates ("load" / "sim" / "lut"). */
+    const char *bottleneckName() const;
+};
+
+/**
+ * Eq. 5: omega, the balanced pipeline cycle count.
+ *
+ * @param g          Workload GEMM.
+ * @param v,c        Algorithm parameters.
+ * @param beta_bits  Memory bandwidth in bits/cycle.
+ * @param n_imm      IMM count.
+ * @param n_ccu      CCU count.
+ * @param lut_bits   LUT entry width.
+ */
+OmegaTerms omega(const sim::GemmShape &g, int64_t v, int64_t c,
+                 double beta_bits, int64_t n_imm, int64_t n_ccu,
+                 int64_t lut_bits = 8);
+
+} // namespace lutdla::dse
+
+#endif // LUTDLA_DSE_COST_MODELS_H

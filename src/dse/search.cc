@@ -1,0 +1,154 @@
+#include "dse/search.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lutdla::dse {
+
+std::string
+pruneStageName(PruneStage stage)
+{
+    switch (stage) {
+      case PruneStage::Survived: return "survived";
+      case PruneStage::Compute:  return "compute-pruned";
+      case PruneStage::Memory:   return "memory-pruned";
+      case PruneStage::Hardware: return "hardware-pruned";
+      case PruneStage::Accuracy: return "accuracy-pruned";
+    }
+    return "?";
+}
+
+CoDesignSearchEngine::CoDesignSearchEngine(SearchSpace space,
+                                           SearchConstraints constraints,
+                                           AccuracyProbe probe)
+    : space_(std::move(space)), constraints_(std::move(constraints)),
+      probe_(std::move(probe)), lib_(hw::tech28()), sram_(hw::tech28())
+{
+}
+
+hw::LutDlaDesign
+CoDesignSearchEngine::designFor(const Candidate &cand) const
+{
+    hw::LutDlaDesign d;
+    d.v = cand.v;
+    d.c = cand.c;
+    d.metric = constraints_.metric;
+    d.sim_format = hw::NumFormat::Bf16;
+    d.lut_entry_bytes = (constraints_.lut_bits + 7) / 8;
+    // Tile geometry scaled to the workload: Tn covers the N dimension in
+    // n_imm slices (capped), M rows buffered up to 512.
+    d.tn = std::clamp<int64_t>(constraints_.workload.n / 6, 64, 768);
+    d.m_rows = std::min<int64_t>(constraints_.workload.m, 512);
+    d.n_imm = cand.n_imm;
+    d.n_ccu = cand.n_ccu;
+    return d;
+}
+
+Candidate
+CoDesignSearchEngine::expandParallelism(Candidate cand) const
+{
+    const auto &cs = constraints_;
+    cand.n_imm = 1;
+    cand.n_ccu = 1;
+
+    auto fits = [&](const Candidate &c) {
+        const hw::AccelPpa ppa = evaluateDesign(lib_, sram_, designFor(c));
+        return ppa.area_mm2 <= cs.max_area_mm2 &&
+               ppa.power_mw <= cs.max_power_mw;
+    };
+
+    // LUT-first greedy growth (Algorithm 2 steps 3-4): while constraints
+    // hold, add an IMM when lookup-bound, else add a CCU.
+    while (true) {
+        Candidate next = cand;
+        const OmegaTerms terms =
+            omega(cs.workload, cand.v, cand.c, cs.beta_bits_per_cycle,
+                  cand.n_imm, cand.n_ccu, cs.lut_bits);
+        const bool imm_bound =
+            std::string(terms.bottleneckName()) == "lut" &&
+            cand.n_imm < space_.max_imm;
+        if (imm_bound) {
+            next.n_imm = cand.n_imm + 1;
+        } else if (cand.n_ccu < space_.max_ccu &&
+                   std::string(terms.bottleneckName()) == "sim") {
+            next.n_ccu = cand.n_ccu + 1;
+        } else {
+            break;  // load-bound: more units cannot help
+        }
+        if (!fits(next))
+            break;
+        cand = next;
+    }
+
+    cand.omega = omega(cs.workload, cand.v, cand.c,
+                       cs.beta_bits_per_cycle, cand.n_imm, cand.n_ccu,
+                       cs.lut_bits);
+    cand.ppa = evaluateDesign(lib_, sram_, designFor(cand));
+    return cand;
+}
+
+SearchResult
+CoDesignSearchEngine::run() const
+{
+    const auto &cs = constraints_;
+    SearchResult result;
+    const double exact_ops = exactGemmOps(cs.workload);
+
+    for (int64_t v : space_.vs) {
+        for (int64_t c : space_.cs) {
+            Candidate cand;
+            cand.v = v;
+            cand.c = c;
+            cand.tau = tauOps(cs.workload, v, c, cs.metric);
+            cand.phi_bits = phiBits(cs.workload, v, c, cs.lut_bits);
+
+            // Step 1a: computation pruning (Eq. 1).
+            if (cand.tau > cs.compute_ratio * exact_ops) {
+                cand.stage = PruneStage::Compute;
+                result.grid.push_back(cand);
+                continue;
+            }
+            // Step 1b: memory pruning (Eq. 2).
+            if (cand.phi_bits > cs.memory_budget_bits) {
+                cand.stage = PruneStage::Memory;
+                result.grid.push_back(cand);
+                continue;
+            }
+            // Step 2: hardware pruning on the minimal instance.
+            {
+                Candidate minimal = cand;
+                minimal.n_imm = 1;
+                minimal.n_ccu = 1;
+                const hw::AccelPpa ppa =
+                    evaluateDesign(lib_, sram_, designFor(minimal));
+                if (ppa.area_mm2 > cs.max_area_mm2 ||
+                    ppa.power_mw > cs.max_power_mw) {
+                    cand.stage = PruneStage::Hardware;
+                    result.grid.push_back(cand);
+                    continue;
+                }
+            }
+            // Step 3: coarse accuracy search.
+            cand.accuracy = probe_ ? probe_(v, c) : 1.0;
+            if (cand.accuracy < cs.min_accuracy) {
+                cand.stage = PruneStage::Accuracy;
+                result.grid.push_back(cand);
+                continue;
+            }
+            // Step 4: parallelism expansion for survivors.
+            cand = expandParallelism(cand);
+            cand.stage = PruneStage::Survived;
+            result.grid.push_back(cand);
+
+            if (!result.found ||
+                cand.omega.bottleneck() < result.best.omega.bottleneck()) {
+                result.best = cand;
+                result.found = true;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace lutdla::dse

@@ -1,0 +1,125 @@
+#ifndef LUTDLA_DSE_SEARCH_H
+#define LUTDLA_DSE_SEARCH_H
+
+/**
+ * @file
+ * Co-Design Space Search Engine (Sec. VI-C, Algorithm 2, Fig. 11).
+ *
+ * The engine walks the (v, c) grid, pruning by:
+ *   (a) computational utility  tau  <= exact-GEMM budget,
+ *   (b) memory footprint       phi  <= memory budget,
+ *   (c) minimal-instance area/power <= hardware constraints,
+ *   (d) coarse accuracy probe       >= accuracy constraint,
+ * then greedily expands parallelism (n_imm first while lookup-bound, per
+ * the LUT-first strategy) inside the area/power envelope, and returns the
+ * candidate minimizing omega.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dse/cost_models.h"
+#include "hw/accel.h"
+
+namespace lutdla::dse {
+
+/** Why a grid point survived or died (drives the Fig. 11 heatmaps). */
+enum class PruneStage
+{
+    Survived,
+    Compute,    ///< failed (a): tau exceeds the exact-GEMM ops budget
+    Memory,     ///< failed (b): phi exceeds the memory budget
+    Hardware,   ///< failed (c): minimal instance violates area/power
+    Accuracy    ///< failed (d): probe below the accuracy floor
+};
+
+/** Printable stage name. */
+std::string pruneStageName(PruneStage stage);
+
+/** Search constraints (right-hand sides of Algorithm 2). */
+struct SearchConstraints
+{
+    sim::GemmShape workload;        ///< representative GEMM
+    double compute_ratio = 1.0;     ///< tau <= ratio * exact ops
+    double memory_budget_bits = 64.0 * 8192 * 1024;  ///< phi budget
+    double max_area_mm2 = 4.0;
+    double max_power_mw = 600.0;
+    double min_accuracy = 0.0;      ///< probe floor (fraction)
+    double beta_bits_per_cycle = 683.0;  ///< 25.6 GB/s at 300 MHz
+    vq::Metric metric = vq::Metric::L2;
+    int64_t lut_bits = 8;
+};
+
+/** Grid and expansion limits. */
+struct SearchSpace
+{
+    std::vector<int64_t> vs = {2, 3, 4, 6, 8, 9, 16};
+    std::vector<int64_t> cs = {8, 16, 32, 64, 128};
+    int64_t max_imm = 64;
+    int64_t max_ccu = 16;
+};
+
+/** Fast accuracy estimate for a (v, c) pair; return fraction in [0,1]. */
+using AccuracyProbe = std::function<double(int64_t v, int64_t c)>;
+
+/** One explored grid point. */
+struct Candidate
+{
+    int64_t v = 0;
+    int64_t c = 0;
+    PruneStage stage = PruneStage::Survived;
+    double tau = 0.0;
+    double phi_bits = 0.0;
+    double accuracy = 0.0;
+    // Filled after parallelism expansion for survivors.
+    int64_t n_imm = 1;
+    int64_t n_ccu = 1;
+    OmegaTerms omega;
+    hw::AccelPpa ppa;
+};
+
+/** Full search output. */
+struct SearchResult
+{
+    std::vector<Candidate> grid;   ///< every (v, c) with its fate
+    Candidate best;                ///< omega-minimal survivor
+    bool found = false;
+};
+
+/** The search engine. */
+class CoDesignSearchEngine
+{
+  public:
+    /**
+     * @param space       Grid to explore.
+     * @param constraints Budget right-hand sides.
+     * @param probe       Accuracy estimator (may be a cached table).
+     */
+    CoDesignSearchEngine(SearchSpace space, SearchConstraints constraints,
+                         AccuracyProbe probe);
+
+    /** Run Algorithm 2 end to end. */
+    SearchResult run() const;
+
+    /**
+     * Parallelism expansion for one surviving (v, c): grow n_imm while the
+     * design is lookup-bound, else grow n_ccu, stopping at the area/power
+     * envelope (Algorithm 2 steps 3-4).
+     */
+    Candidate expandParallelism(Candidate cand) const;
+
+  private:
+    /** Build the hardware design for a candidate's parameters. */
+    hw::LutDlaDesign designFor(const Candidate &cand) const;
+
+    SearchSpace space_;
+    SearchConstraints constraints_;
+    AccuracyProbe probe_;
+    hw::ArithLibrary lib_;
+    hw::SramModel sram_;
+};
+
+} // namespace lutdla::dse
+
+#endif // LUTDLA_DSE_SEARCH_H

@@ -1,0 +1,185 @@
+#include "hw/accel.h"
+
+#include "util/logging.h"
+
+namespace lutdla::hw {
+
+int64_t
+LutDlaDesign::indexBits() const
+{
+    int64_t bits = 0;
+    while ((int64_t{1} << bits) < c)
+        ++bits;
+    return std::max<int64_t>(bits, 1);
+}
+
+double
+LutDlaDesign::peakOps() const
+{
+    // One lookup lane retires one psum/cycle, replacing v MACs = 2v ops.
+    return static_cast<double>(n_imm * tn) * 2.0 *
+           static_cast<double>(v) * freq_imm_hz;
+}
+
+ImmMemory
+immMemory(const LutDlaDesign &design)
+{
+    ImmMemory mem;
+    mem.scratchpad_bytes = design.m_rows * design.tn * design.psum_bytes;
+    mem.psum_lut_bytes = 2 * design.c * design.tn * design.lut_entry_bytes;
+    mem.indices_bytes = (design.m_rows * design.indexBits() + 7) / 8;
+    return mem;
+}
+
+double
+minBandwidthBytesPerSec(const LutDlaDesign &design)
+{
+    // The next LUT tile (c * tn entries) must land while the current one
+    // serves m_rows lookups; all n_imm tiles share the channel. The CCM
+    // additionally streams the input subvectors (v elements per index).
+    const double lut_tile =
+        static_cast<double>(design.c * design.tn * design.lut_entry_bytes);
+    const double per_imm =
+        lut_tile / static_cast<double>(design.m_rows) * design.freq_imm_hz;
+    const double input_stream =
+        static_cast<double>(design.v) * design.freq_ccm_hz;
+    return per_imm * static_cast<double>(design.n_imm) + input_stream;
+}
+
+AccelPpa
+evaluateDesign(const ArithLibrary &lib, const SramModel &sram,
+               const LutDlaDesign &design)
+{
+    AccelPpa ppa;
+    ppa.peak_gops = design.peakOps() * 1e-9;
+
+    // ---- IMM: memories + accumulators --------------------------------
+    const ImmMemory mem = immMemory(design);
+    const SramMacro scratch = sram.compile(mem.scratchpad_bytes);
+    const SramMacro lut = sram.compile(mem.psum_lut_bytes);
+    const SramMacro idx = sram.compile(mem.indices_bytes);
+    // Wide memories are physically banked; accesses see a 4 KB bank's
+    // bitlines, not the full macro's.
+    const SramMacro bank = sram.compile(4096);
+
+    // Accumulate in 16-bit regardless of the 8-bit stored psum.
+    const UnitCost accum = lib.intAdd(16);
+    const double n_imm = static_cast<double>(design.n_imm);
+    const double tn = static_cast<double>(design.tn);
+
+    double imm_area = (scratch.area_mm2 + lut.area_mm2 + idx.area_mm2) +
+                      accum.area_um2 * tn * 1e-6;
+    ppa.sram_area_mm2 =
+        (scratch.area_mm2 + lut.area_mm2 + idx.area_mm2) * n_imm;
+    ppa.imm_area_mm2 = imm_area * n_imm;
+
+    // Per-cycle IMM activity: read a tn-byte LUT row, read+write the
+    // tn-byte scratchpad line, read one index, run tn accumulators.
+    const double lut_bytes_cy =
+        tn * static_cast<double>(design.lut_entry_bytes);
+    const double sp_bytes_cy = tn * static_cast<double>(design.psum_bytes);
+    double imm_energy_pj =
+        bank.read_energy_pj * lut_bytes_cy +
+        bank.read_energy_pj * sp_bytes_cy +
+        bank.write_energy_pj * sp_bytes_cy +
+        idx.read_energy_pj * (static_cast<double>(design.indexBits()) / 8.0) +
+        accum.energy_pj * tn;
+    double imm_power =
+        imm_energy_pj * design.freq_imm_hz * 1e-9 +
+        scratch.leakage_mw + lut.leakage_mw + idx.leakage_mw;
+
+    // ---- CCM: CCUs + centroid/input buffers ---------------------------
+    CcuConfig ccu;
+    ccu.dpe.v = design.v;
+    ccu.dpe.metric = design.metric;
+    ccu.dpe.format = design.sim_format;
+    ccu.c = design.c;
+    const UnitCost ccu_cost = ccuCost(lib, ccu);
+    const SramMacro centroid_buf = sram.compile(ccuCentroidBytes(ccu));
+    const SramMacro input_buf = sram.compile(
+        design.m_rows * design.v * (formatBits(design.sim_format) / 8));
+
+    const double n_ccu = static_cast<double>(design.n_ccu);
+    ppa.ccm_area_mm2 = (ccu_cost.area_um2 * 1e-6 + centroid_buf.area_mm2 +
+                        input_buf.area_mm2) * n_ccu;
+
+    // Per CCM cycle the full pipeline is busy: one vector at each of the
+    // c dPE stages, plus an input-buffer read of v elements.
+    double ccm_energy_pj =
+        ccu_cost.energy_pj +
+        input_buf.read_energy_pj *
+            static_cast<double>(design.v *
+                                (formatBits(design.sim_format) / 8));
+    double ccm_power = ccm_energy_pj * design.freq_ccm_hz * 1e-9 * n_ccu +
+                       (centroid_buf.leakage_mw + input_buf.leakage_mw) *
+                           n_ccu;
+
+    // ---- Glue: global buffer, DMA/prefetcher, FIFOs, interconnect -----
+    // The architecture (Fig. 4) includes a global buffer for bandwidth
+    // smoothing plus control/prefetch logic; budget a 128 KB buffer and
+    // 15% interconnect overhead on the core.
+    const SramMacro global_buf = sram.compile(128 * 1024);
+    const double core_area = ppa.imm_area_mm2 + ppa.ccm_area_mm2;
+    ppa.other_area_mm2 =
+        0.15 * core_area + global_buf.area_mm2 + 0.05;
+    const double core_power = imm_power * n_imm + ccm_power;
+    const double other_power =
+        0.10 * core_power + global_buf.leakage_mw + 4.0;
+
+    ppa.area_mm2 = core_area + ppa.other_area_mm2;
+    ppa.power_mw = core_power + other_power;
+    return ppa;
+}
+
+LutDlaDesign
+design1Tiny()
+{
+    LutDlaDesign d;
+    d.name = "Design1 (Tiny)";
+    d.v = 3;
+    d.c = 16;
+    d.metric = vq::Metric::L2;
+    d.sim_format = NumFormat::Bf16;
+    d.tn = 128;
+    d.m_rows = 256;
+    d.n_imm = 2;
+    d.n_ccu = 2;
+    d.freq_ccm_hz = 1.2e9;  // decoupled faster CCM clock (Sec. IV-A)
+    return d;
+}
+
+LutDlaDesign
+design2Large()
+{
+    LutDlaDesign d;
+    d.name = "Design2 (Large)";
+    d.v = 4;
+    d.c = 16;
+    d.metric = vq::Metric::L2;
+    d.sim_format = NumFormat::Bf16;
+    d.tn = 256;
+    d.m_rows = 256;
+    d.n_imm = 2;
+    d.n_ccu = 2;
+    d.freq_ccm_hz = 1.2e9;
+    return d;
+}
+
+LutDlaDesign
+design3Fit()
+{
+    LutDlaDesign d;
+    d.name = "Design3 (Fit)";
+    d.v = 3;
+    d.c = 16;
+    d.metric = vq::Metric::L2;
+    d.sim_format = NumFormat::Bf16;
+    d.tn = 768;
+    d.m_rows = 512;
+    d.n_imm = 2;
+    d.n_ccu = 2;
+    d.freq_ccm_hz = 1.2e9;
+    return d;
+}
+
+} // namespace lutdla::hw

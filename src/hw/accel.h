@@ -1,0 +1,103 @@
+#ifndef LUTDLA_HW_ACCEL_H
+#define LUTDLA_HW_ACCEL_H
+
+/**
+ * @file
+ * Whole-accelerator PPA model (Eqs. 3-4 of the paper): aggregates CCM and
+ * IMM costs for a parameterized LUT-DLA instance and reports area, power,
+ * and peak throughput. The three evaluation designs (Tiny/Large/Fit,
+ * Tables VII-VIII) are provided as presets.
+ */
+
+#include <string>
+
+#include "hw/dpe.h"
+#include "hw/sram.h"
+
+namespace lutdla::hw {
+
+/** Full hardware configuration of one LUT-DLA instance. */
+struct LutDlaDesign
+{
+    std::string name = "custom";
+    // Algorithm-coupled parameters.
+    int64_t v = 4;                        ///< subvector length
+    int64_t c = 16;                       ///< centroids per codebook
+    vq::Metric metric = vq::Metric::L2;   ///< similarity metric
+    NumFormat sim_format = NumFormat::Bf16;   ///< CCM datapath precision
+    int64_t lut_entry_bytes = 1;          ///< PSum LUT entry size (INT8)
+    int64_t psum_bytes = 1;               ///< scratchpad entry size
+    // Tiling / parallelism.
+    int64_t tn = 128;     ///< output-tile width per IMM (lookup lanes)
+    int64_t m_rows = 256; ///< max input-tile rows buffered on chip
+    int64_t n_imm = 2;    ///< number of IMMs
+    int64_t n_ccu = 2;    ///< number of CCUs
+    // Clocks.
+    double freq_imm_hz = 300e6;
+    double freq_ccm_hz = 300e6;
+
+    /** Subspace count for a K-wide operand. */
+    int64_t
+    numSubspaces(int64_t k) const
+    {
+        return (k + v - 1) / v;
+    }
+
+    /** Index width in bits. */
+    int64_t indexBits() const;
+
+    /** Peak throughput in ops/s: each lookup lane retires 2v ops/cycle. */
+    double peakOps() const;
+};
+
+/** One IMM's memory inventory (Table VII columns). */
+struct ImmMemory
+{
+    int64_t scratchpad_bytes = 0;    ///< m_rows * tn * psum_bytes
+    int64_t psum_lut_bytes = 0;      ///< 2 * c * tn * lut_entry_bytes
+    int64_t indices_bytes = 0;       ///< m_rows * indexBits / 8
+    int64_t totalBytes() const
+    {
+        return scratchpad_bytes + psum_lut_bytes + indices_bytes;
+    }
+};
+
+/** Compute the per-IMM memory inventory. */
+ImmMemory immMemory(const LutDlaDesign &design);
+
+/**
+ * Minimum DRAM bandwidth (B/s) for stall-free operation: the LUT tile for
+ * the next (n, k) iteration must arrive within the m_rows lookups of the
+ * current one, plus streaming the input subvectors into the CCM.
+ */
+double minBandwidthBytesPerSec(const LutDlaDesign &design);
+
+/** Aggregated PPA of a design. */
+struct AccelPpa
+{
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+    double peak_gops = 0.0;
+    // Breakdown.
+    double ccm_area_mm2 = 0.0;
+    double imm_area_mm2 = 0.0;
+    double sram_area_mm2 = 0.0;
+    double other_area_mm2 = 0.0;
+
+    double areaEfficiency() const { return peak_gops / area_mm2; }
+    double powerEfficiency() const { return peak_gops / power_mw; }
+};
+
+/** Evaluate a design's PPA (Eqs. 3-4) at the library's node. */
+AccelPpa evaluateDesign(const ArithLibrary &lib, const SramModel &sram,
+                        const LutDlaDesign &design);
+
+/** @name The paper's three searched designs (Tables VII-VIII). @{ */
+LutDlaDesign design1Tiny();
+LutDlaDesign design2Large();
+LutDlaDesign design3Fit();
+/** @} */
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_ACCEL_H

@@ -1,0 +1,168 @@
+#include "hw/arith.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::hw {
+
+int
+formatBits(NumFormat fmt)
+{
+    switch (fmt) {
+      case NumFormat::Int8:  return 8;
+      case NumFormat::Int16: return 16;
+      case NumFormat::Int32: return 32;
+      case NumFormat::Fp16:  return 16;
+      case NumFormat::Bf16:  return 16;
+      case NumFormat::Fp32:  return 32;
+    }
+    return 32;
+}
+
+const char *
+formatName(NumFormat fmt)
+{
+    switch (fmt) {
+      case NumFormat::Int8:  return "INT8";
+      case NumFormat::Int16: return "INT16";
+      case NumFormat::Int32: return "INT32";
+      case NumFormat::Fp16:  return "FP16";
+      case NumFormat::Bf16:  return "BF16";
+      case NumFormat::Fp32:  return "FP32";
+    }
+    return "?";
+}
+
+ArithLibrary::ArithLibrary(TechNode node)
+    : node_(node),
+      area_scale_(tech45().areaScaleTo(node)),
+      energy_scale_(tech45().energyScaleTo(node))
+{
+}
+
+UnitCost
+ArithLibrary::intAdd(int bits) const
+{
+    LUTDLA_CHECK(bits >= 1, "adder width");
+    // Linear in width; anchors: 8b 36um^2/0.03pJ, 32b 137um^2/0.1pJ.
+    const double area = 36.0 * (static_cast<double>(bits) / 8.0);
+    // Slightly sub-linear energy (0.03 pJ @8b -> 0.1 pJ @32b).
+    const double energy =
+        0.03 * std::pow(static_cast<double>(bits) / 8.0, 0.87);
+    return {area * area_scale_, energy * energy_scale_};
+}
+
+UnitCost
+ArithLibrary::intMult(int bits) const
+{
+    LUTDLA_CHECK(bits >= 1, "multiplier width");
+    // Anchors give exponent ~1.81 for area and ~1.98 for energy.
+    const double r = static_cast<double>(bits) / 8.0;
+    const double area = 282.0 * std::pow(r, 1.81);
+    const double energy = 0.2 * std::pow(r, 1.98);
+    return {area * area_scale_, energy * energy_scale_};
+}
+
+UnitCost
+ArithLibrary::fpAdd(int bits) const
+{
+    LUTDLA_CHECK(bits >= 8, "fp adder width");
+    // Anchors: fp16 1360um^2/0.4pJ, fp32 4184um^2/0.9pJ.
+    const double r = static_cast<double>(bits) / 16.0;
+    const double area = 1360.0 * std::pow(r, 1.62);
+    const double energy = 0.4 * std::pow(r, 1.17);
+    return {area * area_scale_, energy * energy_scale_};
+}
+
+UnitCost
+ArithLibrary::fpMult(int bits) const
+{
+    LUTDLA_CHECK(bits >= 8, "fp multiplier width");
+    // Anchors: fp16 1640um^2/1.1pJ, fp32 7700um^2/3.7pJ.
+    const double r = static_cast<double>(bits) / 16.0;
+    const double area = 1640.0 * std::pow(r, 2.23);
+    const double energy = 1.1 * std::pow(r, 1.75);
+    return {area * area_scale_, energy * energy_scale_};
+}
+
+UnitCost
+ArithLibrary::add(NumFormat fmt) const
+{
+    switch (fmt) {
+      case NumFormat::Int8:
+      case NumFormat::Int16:
+      case NumFormat::Int32:
+        return intAdd(formatBits(fmt));
+      case NumFormat::Fp16:
+        return fpAdd(16);
+      case NumFormat::Bf16:
+        // Same width as fp16; the wider exponent/narrower mantissa nets
+        // out to a slightly cheaper significand adder.
+        return fpAdd(16) * 0.9;
+      case NumFormat::Fp32:
+        return fpAdd(32);
+    }
+    return {};
+}
+
+UnitCost
+ArithLibrary::mult(NumFormat fmt) const
+{
+    switch (fmt) {
+      case NumFormat::Int8:
+      case NumFormat::Int16:
+      case NumFormat::Int32:
+        return intMult(formatBits(fmt));
+      case NumFormat::Fp16:
+        return fpMult(16);
+      case NumFormat::Bf16:
+        // 8-bit mantissa multiplier vs fp16's 11-bit.
+        return fpMult(16) * 0.72;
+      case NumFormat::Fp32:
+        return fpMult(32);
+    }
+    return {};
+}
+
+UnitCost
+ArithLibrary::absUnit(NumFormat fmt) const
+{
+    // Conditional negate: xor row + increment (int) / sign clear (fp).
+    switch (fmt) {
+      case NumFormat::Fp16:
+      case NumFormat::Bf16:
+      case NumFormat::Fp32: {
+        // Clearing the sign bit is nearly free; budget a few gates.
+        const UnitCost a = intAdd(8);
+        return a * 0.1;
+      }
+      default:
+        return intAdd(formatBits(fmt)) * 0.5;
+    }
+}
+
+UnitCost
+ArithLibrary::maxUnit(NumFormat fmt) const
+{
+    // Comparator (subtract) + 2:1 mux.
+    const int bits = formatBits(fmt);
+    UnitCost cmp = intAdd(bits);
+    UnitCost mux = intAdd(bits) * 0.35;
+    return cmp + mux;
+}
+
+UnitCost
+ArithLibrary::comparator(NumFormat fmt) const
+{
+    return intAdd(formatBits(fmt));
+}
+
+UnitCost
+ArithLibrary::registerBit() const
+{
+    // Standard-cell flip-flop: ~5 um^2 and ~2 fJ per toggle at 45 nm.
+    return {5.0 * area_scale_, 0.002 * energy_scale_};
+}
+
+} // namespace lutdla::hw

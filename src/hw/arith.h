@@ -1,0 +1,109 @@
+#ifndef LUTDLA_HW_ARITH_H
+#define LUTDLA_HW_ARITH_H
+
+/**
+ * @file
+ * Arithmetic-unit area/energy library.
+ *
+ * Anchored on the widely used Horowitz ISSCC'14 45 nm numbers (INT8 add
+ * 0.03 pJ / 36 um^2, INT32 add 0.1 pJ / 137 um^2, INT8 mult 0.2 pJ /
+ * 282 um^2, INT32 mult 3.1 pJ / 3495 um^2, FP16 add 0.4 pJ / 1360 um^2,
+ * FP32 add 0.9 pJ / 4184 um^2, FP16 mult 1.1 pJ / 1640 um^2, FP32 mult
+ * 3.7 pJ / 7700 um^2) and extended to arbitrary bitwidths with fitted
+ * power laws. Everything is reported at a caller-chosen node via
+ * TechNode scaling — the paper evaluates at 28 nm FD-SOI.
+ */
+
+#include "hw/tech.h"
+
+namespace lutdla::hw {
+
+/** Numeric formats the CCM/IMM datapaths can be built in. */
+enum class NumFormat { Int8, Int16, Int32, Fp16, Bf16, Fp32 };
+
+/** Bit width of a format. */
+int formatBits(NumFormat fmt);
+
+/** Printable format name. */
+const char *formatName(NumFormat fmt);
+
+/** Area (um^2) and energy-per-op (pJ) of one functional unit. */
+struct UnitCost
+{
+    double area_um2 = 0.0;
+    double energy_pj = 0.0;
+
+    UnitCost
+    operator+(const UnitCost &rhs) const
+    {
+        return {area_um2 + rhs.area_um2, energy_pj + rhs.energy_pj};
+    }
+    UnitCost
+    operator*(double k) const
+    {
+        return {area_um2 * k, energy_pj * k};
+    }
+    UnitCost &
+    operator+=(const UnitCost &rhs)
+    {
+        area_um2 += rhs.area_um2;
+        energy_pj += rhs.energy_pj;
+        return *this;
+    }
+};
+
+/**
+ * Arithmetic library for one target node.
+ *
+ * All methods return costs already scaled from the 45 nm anchors to the
+ * node passed at construction.
+ */
+class ArithLibrary
+{
+  public:
+    explicit ArithLibrary(TechNode node = tech28());
+
+    /** Integer adder of `bits` width. */
+    UnitCost intAdd(int bits) const;
+
+    /** Integer multiplier of `bits` width. */
+    UnitCost intMult(int bits) const;
+
+    /** Floating-point adder of `bits` total width. */
+    UnitCost fpAdd(int bits) const;
+
+    /** Floating-point multiplier of `bits` total width. */
+    UnitCost fpMult(int bits) const;
+
+    /** Adder in a given format (dispatches int/fp/bf16). */
+    UnitCost add(NumFormat fmt) const;
+
+    /** Multiplier in a given format. */
+    UnitCost mult(NumFormat fmt) const;
+
+    /** Subtractor (costed as an adder). */
+    UnitCost sub(NumFormat fmt) const { return add(fmt); }
+
+    /** Absolute-value unit (conditional negate, ~half an adder). */
+    UnitCost absUnit(NumFormat fmt) const;
+
+    /** Two-input max/compare unit (comparator + mux). */
+    UnitCost maxUnit(NumFormat fmt) const;
+
+    /** Comparator for the dPE's running-min update. */
+    UnitCost comparator(NumFormat fmt) const;
+
+    /** One bit of pipeline register (flip-flop). */
+    UnitCost registerBit() const;
+
+    TechNode node() const { return node_; }
+
+  private:
+    TechNode node_;
+    double area_scale_;
+    double energy_scale_;
+};
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_ARITH_H

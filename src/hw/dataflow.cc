@@ -1,0 +1,120 @@
+#include "hw/dataflow.h"
+
+#include "util/logging.h"
+
+namespace lutdla::hw {
+
+std::string
+dataflowName(Dataflow df)
+{
+    switch (df) {
+      case Dataflow::MNK: return "MNK";
+      case Dataflow::NMK: return "NMK";
+      case Dataflow::MKN: return "MKN";
+      case Dataflow::KMN: return "KMN";
+      case Dataflow::KNM: return "KNM";
+      case Dataflow::LutStationary: return "LUT-Stationary";
+    }
+    return "?";
+}
+
+std::vector<Dataflow>
+allDataflows()
+{
+    return {Dataflow::MNK, Dataflow::NMK, Dataflow::MKN,
+            Dataflow::KMN, Dataflow::KNM, Dataflow::LutStationary};
+}
+
+int64_t
+DataflowParams::indexBits() const
+{
+    int64_t bits = 0;
+    while ((int64_t{1} << bits) < c)
+        ++bits;
+    return std::max<int64_t>(bits, 1);
+}
+
+DataflowMemory
+dataflowMemory(Dataflow df, const DataflowParams &p)
+{
+    const double nc = static_cast<double>(p.numSubspaces());
+    const double idx_bits = static_cast<double>(p.indexBits());
+    const double m = static_cast<double>(p.m);
+    const double n = static_cast<double>(p.n);
+    const double c = static_cast<double>(p.c);
+    const double tn = static_cast<double>(p.tn);
+    const double lutB = static_cast<double>(p.lut_entry_bytes);
+    const double psB = static_cast<double>(p.psum_bytes);
+    const double full_lut = c * nc * n * lutB;
+
+    DataflowMemory mem;
+    mem.dataflow = df;
+    switch (df) {
+      case Dataflow::MNK:
+        // K innermost: a tile of Tn output accumulators; row-m indices are
+        // computed once and reused across the n loop; every (k, n) LUT
+        // slice must stay resident or it would reload per m.
+        mem.scratchpad_bytes = tn * psB;
+        mem.indices_bytes = nc * idx_bits / 8.0;
+        mem.psum_lut_bytes = full_lut;
+        break;
+      case Dataflow::NMK:
+        // Same residency; indices of all (m, k) must be cached to survive
+        // the outer n loop without recomputation.
+        mem.scratchpad_bytes = tn * psB;
+        mem.indices_bytes = m * nc * idx_bits / 8.0;
+        mem.psum_lut_bytes = full_lut;
+        break;
+      case Dataflow::MKN:
+        // N innermost: one full output row of psums; a single (m, k)
+        // index; full LUT residency.
+        mem.scratchpad_bytes = n * psB;
+        mem.indices_bytes = idx_bits / 8.0;
+        mem.psum_lut_bytes = full_lut;
+        break;
+      case Dataflow::KMN:
+        // K outermost: all M*N partial sums live across k iterations, but
+        // only the per-k LUT slice (c x N) is needed at a time.
+        mem.scratchpad_bytes = m * n * psB;
+        mem.indices_bytes = idx_bits / 8.0;
+        mem.psum_lut_bytes = c * n * lutB;
+        break;
+      case Dataflow::KNM:
+        // M innermost: per-k indices for all m; LUT tile c x Tn.
+        mem.scratchpad_bytes = m * n * psB;
+        mem.indices_bytes = m * idx_bits / 8.0;
+        mem.psum_lut_bytes = c * tn * lutB;
+        break;
+      case Dataflow::LutStationary:
+        // N -> K -> M with an n-tile: M x Tn psums, M indices for the
+        // current subspace, one c x Tn LUT tile.
+        mem.scratchpad_bytes = m * tn * psB;
+        mem.indices_bytes = m * idx_bits / 8.0;
+        mem.psum_lut_bytes = c * tn * lutB;
+        break;
+    }
+    return mem;
+}
+
+int64_t
+dataflowLutLoads(Dataflow df, const DataflowParams &p)
+{
+    const int64_t nc = p.numSubspaces();
+    const int64_t no = (p.n + p.tn - 1) / p.tn;
+    switch (df) {
+      case Dataflow::MNK:
+      case Dataflow::NMK:
+      case Dataflow::MKN:
+        // Whole LUT loaded once (that is what the buffering bought).
+        return 1;
+      case Dataflow::KMN:
+        return nc;           // one c x N slice per subspace
+      case Dataflow::KNM:
+        return nc * no;      // one c x Tn tile per (k, n-tile)
+      case Dataflow::LutStationary:
+        return no * nc;      // same tile count, loop order swapped
+    }
+    return 0;
+}
+
+} // namespace lutdla::hw

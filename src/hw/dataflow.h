@@ -1,0 +1,72 @@
+#ifndef LUTDLA_HW_DATAFLOW_H
+#define LUTDLA_HW_DATAFLOW_H
+
+/**
+ * @file
+ * Analytical on-chip memory model for the six GEMM dataflows of Table I.
+ *
+ * Each entry is the *minimum* buffering that avoids loading the same LUT
+ * content from DRAM more than once (the paper's comparison criterion).
+ * Letters give the loop nest from outermost to innermost over the
+ * (M x K) x (K x N) GEMM; "LUT-Stationary" is the paper's N-K-M order with
+ * an n-tile of width Tn.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lutdla::hw {
+
+/** The candidate loop orders of Sec. IV-B. */
+enum class Dataflow { MNK, NMK, MKN, KMN, KNM, LutStationary };
+
+/** Printable dataflow name. */
+std::string dataflowName(Dataflow df);
+
+/** All six candidates in the paper's table order. */
+std::vector<Dataflow> allDataflows();
+
+/** Workload + hardware parameters of the analysis. */
+struct DataflowParams
+{
+    int64_t m = 512;
+    int64_t k = 768;
+    int64_t n = 768;
+    int64_t v = 9;    ///< matches the published Table I numbers (Nc = 86)
+    int64_t c = 32;
+    int64_t tn = 32;             ///< output-tile width
+    int64_t psum_bytes = 1;      ///< scratchpad entry size
+    int64_t lut_entry_bytes = 1; ///< PSum LUT entry size
+
+    int64_t numSubspaces() const { return (k + v - 1) / v; }
+    int64_t indexBits() const;
+};
+
+/** On-chip memory requirement of one dataflow (bytes). */
+struct DataflowMemory
+{
+    Dataflow dataflow;
+    double scratchpad_bytes = 0.0;
+    double indices_bytes = 0.0;
+    double psum_lut_bytes = 0.0;
+
+    double
+    totalBytes() const
+    {
+        return scratchpad_bytes + indices_bytes + psum_lut_bytes;
+    }
+};
+
+/** Evaluate the minimum-buffering model for one dataflow. */
+DataflowMemory dataflowMemory(Dataflow df, const DataflowParams &params);
+
+/**
+ * Number of LUT tile loads from DRAM each dataflow performs under its
+ * minimum buffering (the "multiple transmissions" trade-off of LS).
+ */
+int64_t dataflowLutLoads(Dataflow df, const DataflowParams &params);
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_DATAFLOW_H

@@ -1,0 +1,67 @@
+#include "hw/dpe.h"
+
+#include "util/logging.h"
+
+namespace lutdla::hw {
+
+UnitCost
+dpeCost(const ArithLibrary &lib, const DpeConfig &config)
+{
+    const int64_t v = config.v;
+    LUTDLA_CHECK(v >= 1, "dPE needs v >= 1");
+    UnitCost cost;
+
+    // Element-wise stage: v subtractors plus the metric-specific unit.
+    cost += lib.sub(config.format) * static_cast<double>(v);
+    switch (config.metric) {
+      case vq::Metric::L2:
+        cost += lib.mult(config.format) * static_cast<double>(v);
+        break;
+      case vq::Metric::L1:
+      case vq::Metric::Chebyshev:
+        cost += lib.absUnit(config.format) * static_cast<double>(v);
+        break;
+    }
+
+    // Reduction tree: v-1 two-input reducers (adders for L2/L1, max units
+    // for Chebyshev). Tree wiring adds a mild super-linear term, which we
+    // fold in as 12% per doubling beyond 4 lanes.
+    if (v > 1) {
+        UnitCost reducer = config.metric == vq::Metric::Chebyshev
+                               ? lib.maxUnit(config.format)
+                               : lib.add(config.format);
+        double wiring = 1.0;
+        for (int64_t w = 8; w <= v; w *= 2)
+            wiring *= 1.12;
+        cost += reducer * (static_cast<double>(v - 1) * wiring);
+    }
+
+    // Running-min compare + index mux + (dist, idx) latch.
+    cost += lib.comparator(config.format);
+    cost += lib.registerBit() *
+            static_cast<double>(formatBits(config.format) + 16);
+    return cost;
+}
+
+UnitCost
+ccuCost(const ArithLibrary &lib, const CcuConfig &config)
+{
+    LUTDLA_CHECK(config.c >= 1, "CCU needs c >= 1");
+    UnitCost one = dpeCost(lib, config.dpe);
+    UnitCost total = one * static_cast<double>(config.c);
+
+    // Input-vector pipeline registers between stages: each of the c stages
+    // forwards the v-element vector to the next dPE.
+    const double vec_bits = static_cast<double>(
+        config.dpe.v * formatBits(config.dpe.format));
+    total += lib.registerBit() * (vec_bits * static_cast<double>(config.c));
+    return total;
+}
+
+int64_t
+ccuCentroidBytes(const CcuConfig &config)
+{
+    return config.c * config.dpe.v * (formatBits(config.dpe.format) / 8);
+}
+
+} // namespace lutdla::hw

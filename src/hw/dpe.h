@@ -1,0 +1,51 @@
+#ifndef LUTDLA_HW_DPE_H
+#define LUTDLA_HW_DPE_H
+
+/**
+ * @file
+ * Cost models for the CCM's compute blocks (Fig. 5 of the paper):
+ *
+ *   dPE  - one distance processing element: computes the distance between
+ *          the input subvector and one centroid per cycle (v element-wise
+ *          ops + reduction) and keeps the running (min, index) pair.
+ *   CCU  - a pipeline of c dPEs; one input vector enters per cycle and an
+ *          argmin index emerges c cycles later (throughput 1 index/cycle).
+ *
+ * The similarity metric changes the element-wise datapath (Sec. V-2):
+ *   L2: sub + mult, reduce with adders;
+ *   L1: sub + abs,  reduce with adders (multiplier-free);
+ *   Chebyshev: sub + abs, reduce with max units (cheapest).
+ */
+
+#include "hw/arith.h"
+#include "vq/distance.h"
+
+namespace lutdla::hw {
+
+/** dPE configuration. */
+struct DpeConfig
+{
+    int64_t v = 4;                        ///< subvector length
+    vq::Metric metric = vq::Metric::L2;   ///< similarity metric
+    NumFormat format = NumFormat::Fp32;   ///< datapath precision
+};
+
+/** Area (um^2), per-comparison energy (pJ) of one dPE. */
+UnitCost dpeCost(const ArithLibrary &lib, const DpeConfig &config);
+
+/** CCU configuration: a c-deep chain of dPEs plus pipeline registers. */
+struct CcuConfig
+{
+    DpeConfig dpe;
+    int64_t c = 16;  ///< centroids, i.e. pipeline depth
+};
+
+/** Area/energy of one CCU (energy = per input vector fully compared). */
+UnitCost ccuCost(const ArithLibrary &lib, const CcuConfig &config);
+
+/** Centroid buffer bytes for one CCU: c * v elements. */
+int64_t ccuCentroidBytes(const CcuConfig &config);
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_DPE_H

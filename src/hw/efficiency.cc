@@ -1,0 +1,82 @@
+#include "hw/efficiency.h"
+
+#include <cmath>
+
+#include "hw/dpe.h"
+
+namespace lutdla::hw {
+
+std::vector<EfficiencyPoint>
+aluEfficiencyCurves(const ArithLibrary &lib)
+{
+    std::vector<EfficiencyPoint> points;
+    auto push = [&](const std::string &series, double bits, UnitCost cost) {
+        EfficiencyPoint p;
+        p.series = series;
+        p.bitwidth = bits;
+        p.ops_per_mm2 = 1.0 / (cost.area_um2 * 1e-6);
+        p.ops_per_pj = 1.0 / cost.energy_pj;
+        points.push_back(p);
+    };
+    for (int bits : {1, 2, 4, 8, 16, 32, 64}) {
+        push("INT ADD", bits, lib.intAdd(bits));
+        push("INT MULT", bits, lib.intMult(bits));
+    }
+    for (int bits : {8, 16, 32, 64}) {
+        push("FP ADD", bits, lib.fpAdd(bits));
+        push("FP MULT", bits, lib.fpMult(bits));
+    }
+    return points;
+}
+
+EfficiencyPoint
+lutEfficiencyPoint(const ArithLibrary &lib, const SramModel &sram,
+                   const LutEfficiencyConfig &config, int64_t v, int64_t c)
+{
+    CcuConfig ccu;
+    ccu.dpe.v = v;
+    ccu.dpe.metric = config.metric;
+    ccu.dpe.format = config.sim_format;
+    ccu.c = c;
+    const UnitCost ccu_cost = ccuCost(lib, ccu);
+
+    // One lane: ping-pong slice of c entries each plus a 16-bit adder.
+    const SramMacro slice =
+        sram.compile(2 * c * config.lut_entry_bytes);
+    const UnitCost accum = lib.intAdd(16);
+
+    const double lanes = static_cast<double>(config.lanes);
+    const double area_mm2 = ccu_cost.area_um2 * 1e-6 +
+                            lanes * (slice.area_mm2 +
+                                     accum.area_um2 * 1e-6);
+    const double energy_pj =
+        ccu_cost.energy_pj +
+        lanes * (slice.read_energy_pj *
+                     static_cast<double>(config.lut_entry_bytes) +
+                 accum.energy_pj);
+
+    const double ops_per_cycle = lanes * 2.0 * static_cast<double>(v);
+
+    EfficiencyPoint p;
+    p.series = "LUT V=" + std::to_string(v);
+    double bits = 0.0;
+    for (int64_t x = 1; x < c; x *= 2)
+        bits += 1.0;
+    p.bitwidth = bits / static_cast<double>(v);
+    p.ops_per_mm2 = ops_per_cycle / area_mm2;
+    p.ops_per_pj = ops_per_cycle / energy_pj;
+    return p;
+}
+
+std::vector<EfficiencyPoint>
+lutEfficiencyCurves(const ArithLibrary &lib, const SramModel &sram,
+                    const LutEfficiencyConfig &config)
+{
+    std::vector<EfficiencyPoint> points;
+    for (int64_t v : {2, 4, 8, 16})
+        for (int64_t c : {8, 16, 32, 64, 128, 256, 512})
+            points.push_back(lutEfficiencyPoint(lib, sram, config, v, c));
+    return points;
+}
+
+} // namespace lutdla::hw

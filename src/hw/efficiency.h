@@ -1,0 +1,60 @@
+#ifndef LUTDLA_HW_EFFICIENCY_H
+#define LUTDLA_HW_EFFICIENCY_H
+
+/**
+ * @file
+ * The Fig. 1 study: area efficiency (ops/cycle per mm^2) and power
+ * efficiency (ops per pJ) of conventional ALUs across bitwidths versus
+ * LUT-based approximate computing across (V, C) configurations, evaluated
+ * for a 1k x 1k x 1k matrix multiplication at 28 nm / 300 MHz.
+ *
+ * For the LUT engine we cost a balanced reference instance: one CCU
+ * (c-deep dPE pipeline at width V) feeding `lanes` lookup lanes, each lane
+ * owning its ping-pong LUT slice and a 16-bit accumulator; one lane
+ * retires 2V ops per cycle (the v MACs a lookup replaces).
+ */
+
+#include <string>
+#include <vector>
+
+#include "hw/arith.h"
+#include "hw/sram.h"
+#include "vq/distance.h"
+
+namespace lutdla::hw {
+
+/** One point of the Fig. 1 scatter. */
+struct EfficiencyPoint
+{
+    std::string series;     ///< e.g. "INT ADD", "LUT V=4"
+    double bitwidth = 0.0;  ///< x-axis: op bits or log2(C)/V equivalent
+    double ops_per_mm2 = 0.0;  ///< ops/cycle per mm^2
+    double ops_per_pj = 0.0;
+};
+
+/** ALU curves: INT/FP add/mult over power-of-two bitwidths. */
+std::vector<EfficiencyPoint> aluEfficiencyCurves(const ArithLibrary &lib);
+
+/** LUT-engine parameters for the study. */
+struct LutEfficiencyConfig
+{
+    vq::Metric metric = vq::Metric::L2;
+    NumFormat sim_format = NumFormat::Bf16;
+    int64_t lut_entry_bytes = 1;
+    int64_t lanes = 256;   ///< lookup lanes amortizing one CCU
+};
+
+/** LUT curves over V in {2,4,8,16} and C in {8..512}. */
+std::vector<EfficiencyPoint> lutEfficiencyCurves(
+    const ArithLibrary &lib, const SramModel &sram,
+    const LutEfficiencyConfig &config);
+
+/** Efficiency of one specific (v, c) LUT configuration. */
+EfficiencyPoint lutEfficiencyPoint(const ArithLibrary &lib,
+                                   const SramModel &sram,
+                                   const LutEfficiencyConfig &config,
+                                   int64_t v, int64_t c);
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_EFFICIENCY_H

@@ -1,0 +1,45 @@
+#include "hw/soa_db.h"
+
+#include "util/logging.h"
+
+namespace lutdla::hw {
+
+double
+AcceleratorSpec::scaledAreaEff(TechNode node) const
+{
+    const double factor = TechNode{tech_nm}.areaScaleTo(node);
+    return perf_gops / (area_mm2 * factor);
+}
+
+double
+AcceleratorSpec::scaledPowerEff(TechNode node) const
+{
+    const double factor = TechNode{tech_nm}.energyScaleTo(node);
+    return perf_gops / (power_mw * factor);
+}
+
+std::vector<AcceleratorSpec>
+publishedAccelerators()
+{
+    // Values as printed in the paper's Table VIII.
+    return {
+        {"NVIDIA A100", 7, 1512, 826.0, 300000.0, 624000.0, "C/T"},
+        {"Gemmini", 16, 500, 1.21, 312.41, 256.0, "C/T"},
+        {"NVDLA-Small", 28, 1000, 0.91, 55.0, 64.0, "C"},
+        {"NVDLA-Large", 28, 1000, 5.5, 766.0, 2048.0, "C"},
+        {"ELSA", 40, 1000, 2.147, 1047.08, 1088.0, "T"},
+        {"FACT", 28, 500, 6.03, 337.07, 928.0, "T"},
+        {"RRAM-DNN", 22, 120, 10.8, 127.9, 123.0, "C"},
+    };
+}
+
+AcceleratorSpec
+findAccelerator(const std::string &name)
+{
+    for (const auto &spec : publishedAccelerators())
+        if (spec.name == name)
+            return spec;
+    fatal("unknown accelerator '", name, "'");
+}
+
+} // namespace lutdla::hw

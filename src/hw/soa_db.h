@@ -1,0 +1,51 @@
+#ifndef LUTDLA_HW_SOA_DB_H
+#define LUTDLA_HW_SOA_DB_H
+
+/**
+ * @file
+ * Published state-of-the-art accelerator specs (Table VIII rows as printed
+ * in the paper) plus node-normalized efficiency computation. These are the
+ * comparison baselines; LUT-DLA designs are evaluated by our own models
+ * and appended alongside.
+ */
+
+#include <string>
+#include <vector>
+
+#include "hw/tech.h"
+
+namespace lutdla::hw {
+
+/** One published accelerator's data sheet. */
+struct AcceleratorSpec
+{
+    std::string name;
+    double tech_nm = 28.0;
+    double freq_mhz = 0.0;
+    double area_mm2 = 0.0;
+    double power_mw = 0.0;
+    double perf_gops = 0.0;
+    std::string func;  ///< "C", "T", or "C/T"
+
+    /** Raw (unscaled) GOPS/mm^2. */
+    double rawAreaEff() const { return perf_gops / area_mm2; }
+
+    /** Raw GOPS/mW. */
+    double rawPowerEff() const { return perf_gops / power_mw; }
+
+    /** Area efficiency with area scaled to `node` (paper's method [54]). */
+    double scaledAreaEff(TechNode node) const;
+
+    /** Power efficiency with power scaled to `node`. */
+    double scaledPowerEff(TechNode node) const;
+};
+
+/** The seven published rows of Table VIII. */
+std::vector<AcceleratorSpec> publishedAccelerators();
+
+/** Look a spec up by name (fatal if absent). */
+AcceleratorSpec findAccelerator(const std::string &name);
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_SOA_DB_H

@@ -1,0 +1,65 @@
+#include "hw/sram.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::hw {
+
+namespace {
+
+// 45 nm anchors (Horowitz ISSCC'14: 8 KB cache read ~10 pJ per 64-bit
+// word -> ~1.25 pJ/B; bit-cell + periphery ~0.6 um^2/bit).
+constexpr double kAreaPerBitUm2At45 = 0.60;
+constexpr double kRegfileAreaPerBitUm2At45 = 2.2;
+constexpr double kReadEnergyPerByteAt45Pj = 1.25;  // at 8 KB
+constexpr double kLeakPerKbAt45Mw = 0.012;
+
+} // namespace
+
+SramModel::SramModel(TechNode node)
+    : node_(node),
+      area_scale_(tech45().areaScaleTo(node)),
+      energy_scale_(tech45().energyScaleTo(node))
+{
+}
+
+SramMacro
+SramModel::compile(int64_t bytes) const
+{
+    LUTDLA_CHECK(bytes >= 0, "negative SRAM capacity");
+    SramMacro m;
+    m.bytes = bytes;
+    if (bytes == 0)
+        return m;
+
+    const double bits = static_cast<double>(bytes) * 8.0;
+    const bool regfile = bytes < 1024;
+    const double per_bit =
+        (regfile ? kRegfileAreaPerBitUm2At45 : kAreaPerBitUm2At45) *
+        area_scale_;
+    // Fixed periphery floor so tiny macros do not look free.
+    const double periphery_um2 = (regfile ? 150.0 : 900.0) * area_scale_;
+    m.area_mm2 = (bits * per_bit + periphery_um2) * 1e-6;
+
+    // Bitline energy grows ~sqrt(capacity) relative to the 8 KB anchor.
+    const double size_factor =
+        std::sqrt(std::max(static_cast<double>(bytes), 64.0) / 8192.0);
+    m.read_energy_pj =
+        kReadEnergyPerByteAt45Pj * size_factor * energy_scale_ *
+        (regfile ? 0.55 : 1.0);
+    m.write_energy_pj = m.read_energy_pj * 1.15;
+    m.leakage_mw = kLeakPerKbAt45Mw * (static_cast<double>(bytes) / 1024.0) *
+                   energy_scale_;
+    return m;
+}
+
+double
+SramModel::dynamicPowerMw(const SramMacro &macro, double bytes_per_cycle,
+                          double freq_hz) const
+{
+    // pJ/B * B/cycle * cycles/s = pJ/s = 1e-9 mW.
+    return macro.read_energy_pj * bytes_per_cycle * freq_hz * 1e-9;
+}
+
+} // namespace lutdla::hw

@@ -1,0 +1,54 @@
+#ifndef LUTDLA_HW_SRAM_H
+#define LUTDLA_HW_SRAM_H
+
+/**
+ * @file
+ * SRAM macro model standing in for the ARM memory compiler the paper uses
+ * (Sec. VII-B settings). Area is linear in capacity with a fixed periphery
+ * overhead; dynamic access energy grows with the square root of capacity
+ * (bitline length), the standard first-order model.
+ */
+
+#include <cstdint>
+
+#include "hw/tech.h"
+
+namespace lutdla::hw {
+
+/** PPA summary of one SRAM macro. */
+struct SramMacro
+{
+    int64_t bytes = 0;
+    double area_mm2 = 0.0;
+    double read_energy_pj = 0.0;   ///< per byte read
+    double write_energy_pj = 0.0;  ///< per byte written
+    double leakage_mw = 0.0;
+};
+
+/** SRAM generator for one process node. */
+class SramModel
+{
+  public:
+    explicit SramModel(TechNode node = tech28());
+
+    /**
+     * Compile a macro of `bytes` capacity.
+     * Small macros (<1 KB) are costed as register files (denser access,
+     * bigger per-bit area), matching how the designs implement the indices
+     * buffer.
+     */
+    SramMacro compile(int64_t bytes) const;
+
+    /** Dynamic power (mW) of a macro at `accesses_per_cycle` bytes/cycle. */
+    double dynamicPowerMw(const SramMacro &macro, double bytes_per_cycle,
+                          double freq_hz) const;
+
+  private:
+    TechNode node_;
+    double area_scale_;
+    double energy_scale_;
+};
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_SRAM_H

@@ -1,0 +1,48 @@
+#include "hw/tech.h"
+
+#include <cmath>
+
+namespace lutdla::hw {
+
+namespace {
+
+/**
+ * Effective scaling length: below 22 nm the nominal "node name" no longer
+ * tracks feature size, so we damp the exponent (FinFET correction).
+ */
+double
+effectiveLength(double nm)
+{
+    if (nm >= 22.0)
+        return nm;
+    // Map marketing nodes to effective density-equivalent lengths.
+    return 22.0 * std::pow(nm / 22.0, 0.72);
+}
+
+} // namespace
+
+double
+TechNode::areaScaleTo(const TechNode &to) const
+{
+    const double a = effectiveLength(nm);
+    const double b = effectiveLength(to.nm);
+    return (b * b) / (a * a);
+}
+
+double
+TechNode::energyScaleTo(const TechNode &to) const
+{
+    const double a = effectiveLength(nm);
+    const double b = effectiveLength(to.nm);
+    return std::pow(b / a, 1.56);
+}
+
+double
+TechNode::delayScaleTo(const TechNode &to) const
+{
+    const double a = effectiveLength(nm);
+    const double b = effectiveLength(to.nm);
+    return std::pow(b / a, 0.7);
+}
+
+} // namespace lutdla::hw

@@ -1,0 +1,45 @@
+#ifndef LUTDLA_HW_TECH_H
+#define LUTDLA_HW_TECH_H
+
+/**
+ * @file
+ * Process-node scaling, approximating Stillmaker & Baas, "Scaling equations
+ * for the accurate prediction of CMOS device performance from 180 nm to
+ * 7 nm" (Integration 2017) — the same reference the paper uses ([54]) to
+ * normalize published accelerators to a common node (Table VIII).
+ *
+ * We model area ~ (L/Lref)^2 and energy ~ (L/Lref)^1.56 with per-node
+ * correction factors for FinFET generations, which reproduces the
+ * commonly-cited factors within a few percent. Absolute fidelity to a
+ * foundry PDK is out of scope; cross-node *ratios* are what the paper's
+ * comparisons need.
+ */
+
+#include <cstdint>
+
+namespace lutdla::hw {
+
+/** A CMOS process node in nanometers. */
+struct TechNode
+{
+    double nm = 28.0;
+
+    /** Area scale factor from this node to `to`. */
+    double areaScaleTo(const TechNode &to) const;
+
+    /** Dynamic-energy scale factor from this node to `to`. */
+    double energyScaleTo(const TechNode &to) const;
+
+    /** Delay scale factor (smaller is faster) from this node to `to`. */
+    double delayScaleTo(const TechNode &to) const;
+};
+
+/** The paper's implementation node: 28 nm FD-SOI. */
+inline TechNode tech28() { return TechNode{28.0}; }
+
+/** The Horowitz ISSCC'14 reference node used by our arithmetic anchors. */
+inline TechNode tech45() { return TechNode{45.0}; }
+
+} // namespace lutdla::hw
+
+#endif // LUTDLA_HW_TECH_H

@@ -1,0 +1,184 @@
+#include "lutboost/converter.h"
+
+#include "nn/loss.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lutdla::lutboost {
+
+std::vector<LutLinear *>
+findLutLayers(const nn::LayerPtr &model)
+{
+    std::vector<LutLinear *> found;
+    if (auto *self = dynamic_cast<LutLinear *>(model.get()))
+        found.push_back(self);
+    if (auto *conv = dynamic_cast<LutConv2d *>(model.get()))
+        found.push_back(&conv->inner());
+    nn::visitAllSlots(model, [&](nn::LayerPtr &slot) {
+        if (auto *lin = dynamic_cast<LutLinear *>(slot.get()))
+            found.push_back(lin);
+        else if (auto *conv = dynamic_cast<LutConv2d *>(slot.get()))
+            found.push_back(&conv->inner());
+    });
+    return found;
+}
+
+int64_t
+replaceOperators(const nn::LayerPtr &model, const ConvertOptions &options)
+{
+    int64_t replaced = 0;
+    nn::visitAllSlots(model, [&](nn::LayerPtr &slot) {
+        if (options.replace_linear) {
+            if (auto *lin = dynamic_cast<nn::Linear *>(slot.get())) {
+                if (lin->inFeatures() >= options.min_in_features) {
+                    slot = LutLinear::fromLinear(*lin, options.pq);
+                    ++replaced;
+                    return;
+                }
+            }
+        }
+        if (options.replace_conv) {
+            if (auto *conv = dynamic_cast<nn::Conv2d *>(slot.get())) {
+                if (conv->geometry().patchSize() >=
+                    options.min_in_features) {
+                    slot = LutConv2d::fromConv(*conv, options.pq);
+                    ++replaced;
+                }
+            }
+        }
+    });
+    return replaced;
+}
+
+void
+calibrateCentroids(const nn::LayerPtr &model, const nn::Dataset &dataset,
+                   const ConvertOptions &options)
+{
+    auto layers = findLutLayers(model);
+    for (LutLinear *layer : layers)
+        layer->beginCalibration(options.calibration_rows);
+
+    // Stream training batches through the model until every layer has
+    // enough rows (conv layers multiply rows by output pixels, so a couple
+    // of batches usually suffice).
+    const int64_t batch = 64;
+    const int64_t n = dataset.trainSize();
+    for (int64_t start = 0; start < n; start += batch) {
+        const int64_t end = std::min(start + batch, n);
+        std::vector<int64_t> idx;
+        for (int64_t i = start; i < end; ++i)
+            idx.push_back(i);
+        Tensor x = nn::gatherRows(dataset.train_x, idx);
+        (void)model->forward(x, false);
+        bool all_full = true;
+        for (LutLinear *layer : layers)
+            all_full &= !layer->calibrating();
+        if (all_full || end >= std::min<int64_t>(n, 512))
+            break;
+    }
+    for (LutLinear *layer : layers)
+        if (layer->calibrating())
+            layer->finishCalibration();
+}
+
+namespace {
+
+/** Centroid parameters of every LUT layer in the model. */
+std::vector<nn::Parameter *>
+centroidParams(const nn::LayerPtr &model)
+{
+    std::vector<nn::Parameter *> params;
+    for (LutLinear *layer : findLutLayers(model))
+        params.push_back(&layer->centroids());
+    return params;
+}
+
+void
+setReconPenalty(const nn::LayerPtr &model, double penalty)
+{
+    for (LutLinear *layer : findLutLayers(model))
+        layer->setReconPenalty(penalty);
+}
+
+double
+evalModel(const nn::LayerPtr &model, const nn::Dataset &dataset)
+{
+    nn::Trainer probe(model, dataset, {});
+    return probe.evaluate(dataset.test_x, dataset.test_y);
+}
+
+} // namespace
+
+ConversionReport
+convert(const nn::LayerPtr &model, const nn::Dataset &dataset,
+        const ConvertOptions &options)
+{
+    ConversionReport report;
+    report.baseline_accuracy = evalModel(model, dataset);
+
+    // Stage 1: operator replace + k-means calibration on activations.
+    report.replaced_layers = replaceOperators(model, options);
+    LUTDLA_CHECK(report.replaced_layers > 0,
+                 "no operators eligible for LUT replacement");
+    calibrateCentroids(model, dataset, options);
+    report.post_replace_accuracy = evalModel(model, dataset);
+
+    // Stage 2: centroid-only training with reconstruction loss.
+    setReconPenalty(model, options.recon_penalty_centroid);
+    {
+        nn::Trainer trainer(model, dataset, options.centroid_stage);
+        trainer.setTrainableParams(centroidParams(model));
+        report.centroid_stage = trainer.train();
+    }
+
+    // Stage 3: joint training of centroids and weights.
+    setReconPenalty(model, options.recon_penalty_joint);
+    {
+        nn::Trainer trainer(model, dataset, options.joint_stage);
+        report.joint_stage = trainer.train();
+    }
+    setReconPenalty(model, 0.0);
+
+    report.final_accuracy = evalModel(model, dataset);
+    return report;
+}
+
+ConversionReport
+singleStageConvert(const nn::LayerPtr &model, const nn::Dataset &dataset,
+                   const ConvertOptions &options, SingleStageMode mode,
+                   int total_epochs)
+{
+    ConversionReport report;
+    report.baseline_accuracy = evalModel(model, dataset);
+    report.replaced_layers = replaceOperators(model, options);
+    LUTDLA_CHECK(report.replaced_layers > 0,
+                 "no operators eligible for LUT replacement");
+
+    if (mode == SingleStageMode::FromScratch) {
+        // PECAN-style: discard the trained weights as well.
+        Rng rng(options.pq.seed + 31);
+        for (nn::Parameter *p : nn::collectParameters(model)) {
+            const float bound =
+                0.5f / std::sqrt(
+                    static_cast<float>(std::max<int64_t>(
+                        p->value.dim(0), 1)));
+            for (int64_t i = 0; i < p->value.numel(); ++i)
+                p->value.at(i) =
+                    static_cast<float>(rng.uniform(-bound, bound));
+        }
+    }
+    report.post_replace_accuracy = evalModel(model, dataset);
+
+    // One long joint stage; same total epoch budget as multistage runs.
+    setReconPenalty(model, options.recon_penalty_joint);
+    nn::TrainConfig cfg = options.joint_stage;
+    cfg.epochs = total_epochs;
+    nn::Trainer trainer(model, dataset, cfg);
+    report.joint_stage = trainer.train();
+    setReconPenalty(model, 0.0);
+
+    report.final_accuracy = evalModel(model, dataset);
+    return report;
+}
+
+} // namespace lutdla::lutboost

@@ -1,0 +1,120 @@
+#ifndef LUTDLA_LUTBOOST_CONVERTER_H
+#define LUTDLA_LUTBOOST_CONVERTER_H
+
+/**
+ * @file
+ * LUTBoost: the multistage model converter (Sec. V, Fig. 6).
+ *
+ *   Stage 1 (operator replace): swap Linear/Conv2d for LUT operators,
+ *           carrying over trained weights; k-means-calibrate centroids on
+ *           real activations.
+ *   Stage 2 (centroid calibration): freeze everything except centroids and
+ *           train them with the reconstruction loss.
+ *   Stage 3 (joint training): train centroids and weights together to
+ *           recover accuracy.
+ *
+ * Single-stage baselines (PECAN/PQA-style, used by Fig. 7/12 and Table II)
+ * are provided for comparison: random centroids + joint training from the
+ * start, optionally from scratch.
+ */
+
+#include <vector>
+
+#include "lutboost/lut_conv.h"
+#include "lutboost/lut_linear.h"
+#include "nn/dataset.h"
+#include "nn/trainer.h"
+
+namespace lutdla::lutboost {
+
+/** Full conversion recipe. */
+struct ConvertOptions
+{
+    vq::PQConfig pq;                    ///< (v, c, metric) for every layer
+    double recon_penalty_centroid = 0.05;  ///< Lre weight in stage 2
+    double recon_penalty_joint = 0.05;     ///< Lre weight in stage 3
+    int64_t calibration_rows = 2048;    ///< activation rows for k-means
+    int64_t min_in_features = 0;        ///< skip layers narrower than this
+    bool replace_linear = true;
+    bool replace_conv = true;
+    nn::TrainConfig centroid_stage;     ///< stage-2 hyperparameters
+    nn::TrainConfig joint_stage;        ///< stage-3 hyperparameters
+
+    ConvertOptions()
+    {
+        centroid_stage.epochs = 3;
+        centroid_stage.lr = 1e-3;
+        centroid_stage.weight_decay = 0.0;
+        centroid_stage.use_adam = true;
+        joint_stage.epochs = 8;
+        joint_stage.lr = 5e-4;
+        joint_stage.weight_decay = 0.0;
+        joint_stage.use_adam = true;
+    }
+};
+
+/** What a conversion run produced. */
+struct ConversionReport
+{
+    int64_t replaced_layers = 0;
+    double baseline_accuracy = 0.0;   ///< float model before conversion
+    double post_replace_accuracy = 0.0;  ///< after k-means calibration only
+    nn::TrainResult centroid_stage;
+    nn::TrainResult joint_stage;
+    double final_accuracy = 0.0;
+
+    /** Accuracy drop vs the float baseline, in fraction (not %). */
+    double
+    accuracyDrop() const
+    {
+        return baseline_accuracy - final_accuracy;
+    }
+};
+
+/** All LUT operators found in a model (LutConv2d contributes its inner). */
+std::vector<LutLinear *> findLutLayers(const nn::LayerPtr &model);
+
+/**
+ * Stage 1: replace Linear/Conv2d operators with LUT operators in place.
+ * @return Number of replaced operators.
+ */
+int64_t replaceOperators(const nn::LayerPtr &model,
+                         const ConvertOptions &options);
+
+/**
+ * Calibrate every LUT layer's centroids by recording activations from
+ * forward passes over (a subset of) the training split, then running
+ * k-means per subspace.
+ */
+void calibrateCentroids(const nn::LayerPtr &model,
+                        const nn::Dataset &dataset,
+                        const ConvertOptions &options);
+
+/**
+ * Run the full LUTBoost pipeline on a *trained* float model, in place.
+ */
+ConversionReport convert(const nn::LayerPtr &model,
+                         const nn::Dataset &dataset,
+                         const ConvertOptions &options);
+
+/** Single-stage baseline flavors. */
+enum class SingleStageMode
+{
+    JointFromRandom,  ///< keep trained weights, random centroids, joint only
+    FromScratch       ///< PECAN-style: random weights and centroids
+};
+
+/**
+ * Single-stage conversion baseline: no calibration, no centroid-only
+ * stage; `epochs` of joint training. Used to reproduce the paper's
+ * single-vs-multi-stage comparisons.
+ */
+ConversionReport singleStageConvert(const nn::LayerPtr &model,
+                                    const nn::Dataset &dataset,
+                                    const ConvertOptions &options,
+                                    SingleStageMode mode,
+                                    int total_epochs);
+
+} // namespace lutdla::lutboost
+
+#endif // LUTDLA_LUTBOOST_CONVERTER_H

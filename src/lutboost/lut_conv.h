@@ -1,0 +1,50 @@
+#ifndef LUTDLA_LUTBOOST_LUT_CONV_H
+#define LUTDLA_LUTBOOST_LUT_CONV_H
+
+/**
+ * @file
+ * Vector-quantized convolution: im2col + LutLinear + reshape, matching how
+ * the LUT-DLA hardware executes convolutions (the paper's CNN evaluations
+ * lower every conv onto the LUT GEMM path after im2col).
+ */
+
+#include <memory>
+
+#include "lutboost/lut_linear.h"
+#include "nn/conv2d.h"
+#include "tensor/im2col.h"
+
+namespace lutdla::lutboost {
+
+/** Conv2d whose lowered GEMM runs through a LutLinear. */
+class LutConv2d : public nn::Layer
+{
+  public:
+    /** Construct with random centroids. */
+    LutConv2d(ConvGeometry geom, vq::PQConfig pq, bool bias = true,
+              uint64_t seed = 29);
+
+    /** Clone weights/bias from a trained Conv2d. */
+    static std::shared_ptr<LutConv2d> fromConv(const nn::Conv2d &conv,
+                                               vq::PQConfig pq);
+
+    std::string name() const override { return "LutConv2d"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<nn::Parameter *> parameters() override;
+    double auxLoss() const override { return inner_->auxLoss(); }
+
+    const ConvGeometry &geometry() const { return geom_; }
+
+    /** The wrapped LUT GEMM operator (centroids, weight, precision). */
+    LutLinear &inner() { return *inner_; }
+
+  private:
+    ConvGeometry geom_;
+    std::shared_ptr<LutLinear> inner_;
+    int64_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+} // namespace lutdla::lutboost
+
+#endif // LUTDLA_LUTBOOST_LUT_CONV_H

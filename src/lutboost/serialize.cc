@@ -1,0 +1,113 @@
+#include "lutboost/serialize.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lutdla::lutboost {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'U', 'T', 'D', 'L', 'A', '0', '1'};
+
+void
+writeU64(std::ofstream &out, uint64_t v)
+{
+    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+}
+
+bool
+readU64(std::ifstream &in, uint64_t &v)
+{
+    in.read(reinterpret_cast<char *>(&v), sizeof(v));
+    return static_cast<bool>(in);
+}
+
+} // namespace
+
+void
+saveParameters(const nn::LayerPtr &model, const std::string &path)
+{
+    const auto params = nn::collectParameters(model);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+
+    out.write(kMagic, sizeof(kMagic));
+    writeU64(out, params.size());
+    for (const nn::Parameter *p : params) {
+        writeU64(out, p->value.shape().size());
+        for (int64_t d : p->value.shape())
+            writeU64(out, static_cast<uint64_t>(d));
+        out.write(reinterpret_cast<const char *>(p->value.data()),
+                  static_cast<std::streamsize>(p->value.numel() *
+                                               sizeof(float)));
+    }
+    if (!out)
+        fatal("write failed for '", path, "'");
+}
+
+bool
+loadParameters(const nn::LayerPtr &model, const std::string &path)
+{
+    auto params = nn::collectParameters(model);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        warn("cannot open '", path, "' for reading");
+        return false;
+    }
+
+    char magic[8];
+    in.read(magic, sizeof(magic));
+    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+        warn("'", path, "' is not a LUT-DLA parameter file");
+        return false;
+    }
+    uint64_t count = 0;
+    if (!readU64(in, count) || count != params.size()) {
+        warn("parameter count mismatch: file has ", count, ", model has ",
+             params.size());
+        return false;
+    }
+
+    // Stage into a buffer first so a mismatch leaves the model intact.
+    std::vector<Tensor> staged;
+    staged.reserve(params.size());
+    for (const nn::Parameter *p : params) {
+        uint64_t rank = 0;
+        if (!readU64(in, rank) ||
+            rank != p->value.shape().size()) {
+            warn("rank mismatch for '", p->name, "'");
+            return false;
+        }
+        Shape shape;
+        for (uint64_t d = 0; d < rank; ++d) {
+            uint64_t dim = 0;
+            if (!readU64(in, dim))
+                return false;
+            shape.push_back(static_cast<int64_t>(dim));
+        }
+        if (shape != p->value.shape()) {
+            warn("shape mismatch for '", p->name, "': file ",
+                 shapeStr(shape), " vs model ", shapeStr(p->value.shape()));
+            return false;
+        }
+        Tensor t(shape);
+        in.read(reinterpret_cast<char *>(t.data()),
+                static_cast<std::streamsize>(t.numel() * sizeof(float)));
+        if (!in) {
+            warn("truncated payload in '", path, "'");
+            return false;
+        }
+        staged.push_back(std::move(t));
+    }
+
+    for (size_t i = 0; i < params.size(); ++i)
+        params[i]->value = std::move(staged[i]);
+    return true;
+}
+
+} // namespace lutdla::lutboost

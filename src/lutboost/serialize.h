@@ -1,0 +1,35 @@
+#ifndef LUTDLA_LUTBOOST_SERIALIZE_H
+#define LUTDLA_LUTBOOST_SERIALIZE_H
+
+/**
+ * @file
+ * Deployment-artifact serialization: save a converted model's parameters
+ * (weights, biases, codebooks — everything the accelerator's compiler
+ * needs to emit LUTs) to a simple binary container and load them back
+ * into a structurally identical model.
+ *
+ * Format: magic "LUTDLA01", then a count of tensors, then per tensor a
+ * rank, dims, and raw float payload, in deterministic traversal order.
+ * The loader checks shapes strictly — loading into a mismatched
+ * architecture is refused rather than silently misassigned.
+ */
+
+#include <string>
+
+#include "nn/layer.h"
+
+namespace lutdla::lutboost {
+
+/** Serialize every parameter of `model` to `path`. Fatal on I/O error. */
+void saveParameters(const nn::LayerPtr &model, const std::string &path);
+
+/**
+ * Load parameters saved by saveParameters into `model`.
+ * @return false when the file doesn't match the model's parameter
+ *         inventory (count or any shape); model is unchanged on failure.
+ */
+bool loadParameters(const nn::LayerPtr &model, const std::string &path);
+
+} // namespace lutdla::lutboost
+
+#endif // LUTDLA_LUTBOOST_SERIALIZE_H

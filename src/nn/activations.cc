@@ -1,0 +1,181 @@
+#include "nn/activations.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::nn {
+
+Tensor
+ReLU::forward(const Tensor &x, bool train)
+{
+    Tensor y = x;
+    if (train)
+        mask_ = Tensor(x.shape());
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        const bool pos = y.at(i) > 0.0f;
+        if (!pos)
+            y.at(i) = 0.0f;
+        if (train)
+            mask_.at(i) = pos ? 1.0f : 0.0f;
+    }
+    return y;
+}
+
+Tensor
+ReLU::backward(const Tensor &grad_out)
+{
+    LUTDLA_CHECK(mask_.numel() == grad_out.numel(), "ReLU backward shape");
+    Tensor g = grad_out;
+    for (int64_t i = 0; i < g.numel(); ++i)
+        g.at(i) *= mask_.at(i);
+    return g;
+}
+
+namespace {
+
+constexpr float kGeluC = 0.7978845608f;  // sqrt(2/pi)
+
+float
+geluForward(float x)
+{
+    const float inner = kGeluC * (x + 0.044715f * x * x * x);
+    return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float
+geluGrad(float x)
+{
+    const float x3 = x * x * x;
+    const float inner = kGeluC * (x + 0.044715f * x3);
+    const float t = std::tanh(inner);
+    const float sech2 = 1.0f - t * t;
+    return 0.5f * (1.0f + t) +
+           0.5f * x * sech2 * kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+}
+
+} // namespace
+
+Tensor
+GELU::forward(const Tensor &x, bool train)
+{
+    if (train)
+        cached_input_ = x;
+    Tensor y = x;
+    for (int64_t i = 0; i < y.numel(); ++i)
+        y.at(i) = geluForward(y.at(i));
+    return y;
+}
+
+Tensor
+GELU::backward(const Tensor &grad_out)
+{
+    LUTDLA_CHECK(cached_input_.numel() == grad_out.numel(),
+                 "GELU backward shape");
+    Tensor g = grad_out;
+    for (int64_t i = 0; i < g.numel(); ++i)
+        g.at(i) *= geluGrad(cached_input_.at(i));
+    return g;
+}
+
+Tensor
+Flatten::forward(const Tensor &x, bool train)
+{
+    if (train)
+        input_shape_ = x.shape();
+    return x.reshaped(Shape{x.dim(0), x.numel() / x.dim(0)});
+}
+
+Tensor
+Flatten::backward(const Tensor &grad_out)
+{
+    return grad_out.reshaped(input_shape_);
+}
+
+Tensor
+MaxPool2d::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 4, "MaxPool2d expects NCHW");
+    const int64_t N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+    const int64_t Ho = H / kernel_, Wo = W / kernel_;
+    LUTDLA_CHECK(Ho > 0 && Wo > 0, "pool collapsed output");
+
+    Tensor y(Shape{N, C, Ho, Wo});
+    if (train) {
+        input_shape_ = x.shape();
+        argmax_.assign(static_cast<size_t>(y.numel()), 0);
+    }
+    int64_t out_idx = 0;
+    for (int64_t n = 0; n < N; ++n) {
+        for (int64_t c = 0; c < C; ++c) {
+            for (int64_t ho = 0; ho < Ho; ++ho) {
+                for (int64_t wo = 0; wo < Wo; ++wo, ++out_idx) {
+                    float best = -1e30f;
+                    int64_t best_flat = 0;
+                    for (int64_t kh = 0; kh < kernel_; ++kh) {
+                        for (int64_t kw = 0; kw < kernel_; ++kw) {
+                            const int64_t hi = ho * kernel_ + kh;
+                            const int64_t wi = wo * kernel_ + kw;
+                            const float v = x.at4(n, c, hi, wi);
+                            if (v > best) {
+                                best = v;
+                                best_flat = ((n * C + c) * H + hi) * W + wi;
+                            }
+                        }
+                    }
+                    y.at4(n, c, ho, wo) = best;
+                    if (train)
+                        argmax_[static_cast<size_t>(out_idx)] = best_flat;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+MaxPool2d::backward(const Tensor &grad_out)
+{
+    Tensor g(input_shape_);
+    for (int64_t i = 0; i < grad_out.numel(); ++i)
+        g.at(argmax_[static_cast<size_t>(i)]) += grad_out.at(i);
+    return g;
+}
+
+Tensor
+GlobalAvgPool::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 4, "GlobalAvgPool expects NCHW");
+    if (train)
+        input_shape_ = x.shape();
+    const int64_t N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
+    Tensor y(Shape{N, C});
+    const float inv = 1.0f / static_cast<float>(H * W);
+    for (int64_t n = 0; n < N; ++n) {
+        for (int64_t c = 0; c < C; ++c) {
+            float s = 0.0f;
+            for (int64_t h = 0; h < H; ++h)
+                for (int64_t w = 0; w < W; ++w)
+                    s += x.at4(n, c, h, w);
+            y.at(n, c) = s * inv;
+        }
+    }
+    return y;
+}
+
+Tensor
+GlobalAvgPool::backward(const Tensor &grad_out)
+{
+    const int64_t N = input_shape_[0], C = input_shape_[1];
+    const int64_t H = input_shape_[2], W = input_shape_[3];
+    Tensor g(input_shape_);
+    const float inv = 1.0f / static_cast<float>(H * W);
+    for (int64_t n = 0; n < N; ++n)
+        for (int64_t c = 0; c < C; ++c)
+            for (int64_t h = 0; h < H; ++h)
+                for (int64_t w = 0; w < W; ++w)
+                    g.at4(n, c, h, w) = grad_out.at(n, c) * inv;
+    return g;
+}
+
+} // namespace lutdla::nn

@@ -1,0 +1,81 @@
+#ifndef LUTDLA_NN_ACTIVATIONS_H
+#define LUTDLA_NN_ACTIVATIONS_H
+
+/**
+ * @file
+ * Pointwise activations and shape plumbing layers. In the accelerator these
+ * map onto the IMM's element-wise/dequant path (Sec. IV-A); in software they
+ * are exact.
+ */
+
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** max(0, x). */
+class ReLU : public Layer
+{
+  public:
+    std::string name() const override { return "ReLU"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor mask_;
+};
+
+/** Gaussian error linear unit (tanh approximation, as in BERT). */
+class GELU : public Layer
+{
+  public:
+    std::string name() const override { return "GELU"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor cached_input_;
+};
+
+/** Collapse NCHW to [N, C*H*W] for classifier heads. */
+class Flatten : public Layer
+{
+  public:
+    std::string name() const override { return "Flatten"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Shape input_shape_;
+};
+
+/** Non-overlapping max pooling with stride == kernel. */
+class MaxPool2d : public Layer
+{
+  public:
+    explicit MaxPool2d(int64_t kernel) : kernel_(kernel) {}
+
+    std::string name() const override { return "MaxPool2d"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    int64_t kernel_;
+    Shape input_shape_;
+    std::vector<int64_t> argmax_;
+};
+
+/** Global average pooling: NCHW -> [N, C]. */
+class GlobalAvgPool : public Layer
+{
+  public:
+    std::string name() const override { return "GlobalAvgPool"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Shape input_shape_;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_ACTIVATIONS_H

@@ -1,0 +1,85 @@
+#ifndef LUTDLA_NN_ATTENTION_H
+#define LUTDLA_NN_ATTENTION_H
+
+/**
+ * @file
+ * Multi-head self-attention and a pre-LN transformer encoder block.
+ *
+ * The QKV/output projections and the FFN linears are ordinary Linear
+ * layers exposed as slots, which is exactly the set of operators the paper
+ * converts to LUTs for its BERT/DistilBERT/OPT evaluation (QKV projection
+ * and FFN layers, Sec. VII-C). Softmax/LayerNorm stay exact, mirroring the
+ * hardware's decision to offload them.
+ */
+
+#include "nn/layer.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/sequential.h"
+
+namespace lutdla::nn {
+
+/** Self-attention over [B*T, D] rows with a fixed sequence length. */
+class MultiHeadSelfAttention : public Layer
+{
+  public:
+    /**
+     * @param seq_len Sequence length T (rows must be a multiple of it).
+     * @param d_model Embedding width D.
+     * @param heads   Head count (must divide D).
+     * @param seed    Projection init seed.
+     */
+    MultiHeadSelfAttention(int64_t seq_len, int64_t d_model, int64_t heads,
+                           uint64_t seed = 17);
+
+    std::string name() const override { return "MultiHeadSelfAttention"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void visitSlots(const SlotVisitor &visitor) override;
+
+  private:
+    int64_t seq_len_;
+    int64_t d_model_;
+    int64_t heads_;
+    int64_t d_head_;
+    LayerPtr wq_, wk_, wv_, wo_;
+    // Training caches.
+    Tensor q_, k_, v_;
+    Tensor probs_;  ///< [B*heads, T, T]
+    int64_t batch_ = 0;
+};
+
+/** Pre-LN encoder block: x + MHSA(LN(x)), then x + FFN(LN(x)). */
+class TransformerBlock : public Layer
+{
+  public:
+    TransformerBlock(int64_t seq_len, int64_t d_model, int64_t heads,
+                     int64_t d_ff, uint64_t seed = 19);
+
+    std::string name() const override { return "TransformerBlock"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void visitSlots(const SlotVisitor &visitor) override;
+
+  private:
+    LayerPtr ln1_, attn_, ln2_, ffn_;
+};
+
+/** Mean-pool rows of each sequence: [B*T, D] -> [B, D]. */
+class SequencePool : public Layer
+{
+  public:
+    explicit SequencePool(int64_t seq_len) : seq_len_(seq_len) {}
+
+    std::string name() const override { return "SequencePool"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    int64_t seq_len_;
+    int64_t batch_ = 0, d_ = 0;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_ATTENTION_H

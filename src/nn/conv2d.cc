@@ -1,0 +1,96 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lutdla::nn {
+
+Conv2d::Conv2d(ConvGeometry geom, bool bias, uint64_t seed)
+    : geom_(geom), has_bias_(bias)
+{
+    Tensor w(Shape{geom_.patchSize(), geom_.out_channels});
+    Rng rng(seed);
+    const float bound =
+        std::sqrt(6.0f / static_cast<float>(geom_.patchSize()));
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.at(i) = static_cast<float>(rng.uniform(-bound, bound));
+    weight_ = Parameter("weight", std::move(w));
+    if (has_bias_)
+        bias_ = Parameter("bias", Tensor(Shape{geom_.out_channels}));
+}
+
+Tensor
+Conv2d::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 4, "Conv2d expects NCHW input");
+    const int64_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
+    const int64_t Ho = geom_.outSize(H), Wo = geom_.outSize(W);
+
+    Tensor cols = im2col(x, geom_);
+    if (train) {
+        cached_cols_ = cols;
+        cached_n_ = N;
+        cached_h_ = H;
+        cached_w_ = W;
+    }
+
+    // [N*Ho*Wo, C_out] -> NCHW
+    Tensor flat = matmul(cols, weight_.value);
+    Tensor y(Shape{N, geom_.out_channels, Ho, Wo});
+    int64_t row = 0;
+    for (int64_t n = 0; n < N; ++n) {
+        for (int64_t ho = 0; ho < Ho; ++ho) {
+            for (int64_t wo = 0; wo < Wo; ++wo, ++row) {
+                for (int64_t co = 0; co < geom_.out_channels; ++co) {
+                    float v = flat.at(row, co);
+                    if (has_bias_)
+                        v += bias_.value.at(co);
+                    y.at4(n, co, ho, wo) = v;
+                }
+            }
+        }
+    }
+    return y;
+}
+
+Tensor
+Conv2d::backward(const Tensor &grad_out)
+{
+    LUTDLA_CHECK(cached_cols_.numel() > 0,
+                 "backward without forward(train=true)");
+    const int64_t N = grad_out.dim(0), Ho = grad_out.dim(2);
+    const int64_t Wo = grad_out.dim(3);
+
+    // NCHW grad -> [N*Ho*Wo, C_out]
+    Tensor flat(Shape{N * Ho * Wo, geom_.out_channels});
+    int64_t row = 0;
+    for (int64_t n = 0; n < N; ++n)
+        for (int64_t ho = 0; ho < Ho; ++ho)
+            for (int64_t wo = 0; wo < Wo; ++wo, ++row)
+                for (int64_t co = 0; co < geom_.out_channels; ++co)
+                    flat.at(row, co) = grad_out.at4(n, co, ho, wo);
+
+    weight_.grad += matmulTransposedA(cached_cols_, flat);
+    if (has_bias_) {
+        for (int64_t r = 0; r < flat.dim(0); ++r)
+            for (int64_t co = 0; co < geom_.out_channels; ++co)
+                bias_.grad.at(co) += flat.at(r, co);
+    }
+
+    Tensor grad_cols = matmulTransposedB(flat, weight_.value);
+    return col2im(grad_cols, geom_, cached_n_, cached_h_, cached_w_);
+}
+
+std::vector<Parameter *>
+Conv2d::parameters()
+{
+    std::vector<Parameter *> out{&weight_};
+    if (has_bias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+} // namespace lutdla::nn

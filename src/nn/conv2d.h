@@ -1,0 +1,53 @@
+#ifndef LUTDLA_NN_CONV2D_H
+#define LUTDLA_NN_CONV2D_H
+
+/**
+ * @file
+ * 2-D convolution lowered onto GEMM via im2col — the exact lowering the
+ * LUT-DLA hardware assumes for CNN workloads. LUTBoost swaps this layer for
+ * a LUT convolution that quantizes the im2col rows.
+ */
+
+#include "nn/layer.h"
+#include "tensor/im2col.h"
+
+namespace lutdla::nn {
+
+/** NCHW convolution: weight [C_in*k*k, C_out], bias [C_out]. */
+class Conv2d : public Layer
+{
+  public:
+    /**
+     * Construct with Kaiming init.
+     *
+     * @param geom Convolution geometry (channels/kernel/stride/padding).
+     * @param bias Whether to learn a per-output-channel bias.
+     * @param seed Init seed.
+     */
+    explicit Conv2d(ConvGeometry geom, bool bias = true, uint64_t seed = 13);
+
+    std::string name() const override { return "Conv2d"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+
+    const ConvGeometry &geometry() const { return geom_; }
+    bool hasBias() const { return has_bias_; }
+
+    /** Lowered weight matrix [C_in*k*k, C_out]. */
+    Parameter &weight() { return weight_; }
+    const Parameter &weight() const { return weight_; }
+    Parameter &bias() { return bias_; }
+
+  private:
+    ConvGeometry geom_;
+    bool has_bias_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_cols_;   ///< im2col matrix from the last training forward
+    int64_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_CONV2D_H

@@ -1,0 +1,219 @@
+#include "nn/dataset.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lutdla::nn {
+
+namespace {
+
+/** Interleave per-class sample generation into a shuffled split. */
+template <typename GenFn>
+void
+generateSplit(int classes, int64_t per_class, int64_t feat, Rng &rng,
+              GenFn &&gen, Tensor &x, std::vector<int> &y)
+{
+    const int64_t n = static_cast<int64_t>(classes) * per_class;
+    x = Tensor(Shape{n, feat});
+    y.resize(static_cast<size_t>(n));
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        order[static_cast<size_t>(i)] = i;
+    rng.shuffle(order);
+    int64_t idx = 0;
+    for (int cls = 0; cls < classes; ++cls) {
+        for (int64_t s = 0; s < per_class; ++s, ++idx) {
+            const int64_t slot = order[static_cast<size_t>(idx)];
+            gen(cls, x.data() + slot * feat);
+            y[static_cast<size_t>(slot)] = cls;
+        }
+    }
+}
+
+} // namespace
+
+Dataset
+makeGaussianMixture(const GaussianMixtureConfig &config)
+{
+    Rng rng(config.seed);
+    // Class centers drawn once, shared by both splits.
+    std::vector<std::vector<float>> centers(
+        static_cast<size_t>(config.classes));
+    for (auto &ctr : centers) {
+        ctr.resize(static_cast<size_t>(config.dim));
+        for (auto &v : ctr)
+            v = static_cast<float>(rng.gaussian(0.0, config.center_scale));
+    }
+    auto gen = [&](int cls, float *out) {
+        const auto &ctr = centers[static_cast<size_t>(cls)];
+        for (int64_t j = 0; j < config.dim; ++j)
+            out[j] = ctr[static_cast<size_t>(j)] +
+                     static_cast<float>(rng.gaussian(0.0, config.noise));
+    };
+
+    Dataset ds;
+    ds.name = "gaussian-mixture-" + std::to_string(config.classes);
+    ds.num_classes = config.classes;
+    generateSplit(config.classes, config.train_per_class, config.dim, rng,
+                  gen, ds.train_x, ds.train_y);
+    generateSplit(config.classes, config.test_per_class, config.dim, rng,
+                  gen, ds.test_x, ds.test_y);
+    return ds;
+}
+
+namespace {
+
+/** Paint shape pattern `cls` onto a size x size canvas (values in [0,1]). */
+void
+paintShape(int cls, int64_t size, int64_t dx, int64_t dy, float *img)
+{
+    auto put = [&](int64_t r, int64_t c, float v) {
+        r += dy;
+        c += dx;
+        if (r >= 0 && r < size && c >= 0 && c < size)
+            img[r * size + c] = v;
+    };
+    const int64_t mid = size / 2;
+    const int64_t q = size / 4;
+    switch (cls % 10) {
+      case 0:  // horizontal bar
+        for (int64_t c = 1; c < size - 1; ++c)
+            for (int64_t r = mid - 1; r <= mid; ++r)
+                put(r, c, 1.0f);
+        break;
+      case 1:  // vertical bar
+        for (int64_t r = 1; r < size - 1; ++r)
+            for (int64_t c = mid - 1; c <= mid; ++c)
+                put(r, c, 1.0f);
+        break;
+      case 2:  // main diagonal
+        for (int64_t r = 0; r < size; ++r) {
+            put(r, r, 1.0f);
+            put(r, std::min(r + 1, size - 1), 1.0f);
+        }
+        break;
+      case 3:  // anti-diagonal
+        for (int64_t r = 0; r < size; ++r) {
+            put(r, size - 1 - r, 1.0f);
+            put(r, std::max<int64_t>(size - 2 - r, 0), 1.0f);
+        }
+        break;
+      case 4:  // cross
+        for (int64_t r = 1; r < size - 1; ++r) {
+            put(r, mid, 1.0f);
+            put(mid, r, 1.0f);
+        }
+        break;
+      case 5:  // hollow square
+        for (int64_t i = q; i < size - q; ++i) {
+            put(q, i, 1.0f);
+            put(size - 1 - q, i, 1.0f);
+            put(i, q, 1.0f);
+            put(i, size - 1 - q, 1.0f);
+        }
+        break;
+      case 6:  // filled blob (disc)
+        for (int64_t r = 0; r < size; ++r)
+            for (int64_t c = 0; c < size; ++c)
+                if ((r - mid) * (r - mid) + (c - mid) * (c - mid) <= q * q)
+                    put(r, c, 1.0f);
+        break;
+      case 7:  // checkerboard
+        for (int64_t r = 0; r < size; ++r)
+            for (int64_t c = 0; c < size; ++c)
+                if (((r / 2) + (c / 2)) % 2 == 0)
+                    put(r, c, 1.0f);
+        break;
+      case 8:  // horizontal gradient
+        for (int64_t r = 0; r < size; ++r)
+            for (int64_t c = 0; c < size; ++c)
+                put(r, c, static_cast<float>(c) /
+                              static_cast<float>(size - 1));
+        break;
+      case 9:  // two corner dots
+        for (int64_t r = 0; r < q; ++r) {
+            for (int64_t c = 0; c < q; ++c) {
+                put(r, c, 1.0f);
+                put(size - 1 - r, size - 1 - c, 1.0f);
+            }
+        }
+        break;
+    }
+}
+
+} // namespace
+
+Dataset
+makeShapeImages(const ShapeImageConfig &config)
+{
+    LUTDLA_CHECK(config.classes <= 10, "at most 10 shape classes");
+    Rng rng(config.seed);
+    const int64_t feat = config.size * config.size;
+    auto gen = [&](int cls, float *out) {
+        std::fill(out, out + feat, 0.0f);
+        const int64_t dx = rng.uniformInt(-config.max_shift,
+                                          config.max_shift);
+        const int64_t dy = rng.uniformInt(-config.max_shift,
+                                          config.max_shift);
+        paintShape(cls, config.size, dx, dy, out);
+        for (int64_t j = 0; j < feat; ++j)
+            out[j] += static_cast<float>(rng.gaussian(0.0, config.noise));
+    };
+
+    Dataset ds;
+    ds.name = "shape-images-" + std::to_string(config.classes);
+    ds.num_classes = config.classes;
+    generateSplit(config.classes, config.train_per_class, feat, rng, gen,
+                  ds.train_x, ds.train_y);
+    generateSplit(config.classes, config.test_per_class, feat, rng, gen,
+                  ds.test_x, ds.test_y);
+    const int64_t n_train = ds.train_x.dim(0);
+    const int64_t n_test = ds.test_x.dim(0);
+    ds.train_x = ds.train_x.reshaped(
+        Shape{n_train, 1, config.size, config.size});
+    ds.test_x = ds.test_x.reshaped(
+        Shape{n_test, 1, config.size, config.size});
+    return ds;
+}
+
+Dataset
+makeSequenceTask(const SequenceTaskConfig &config)
+{
+    Rng rng(config.seed);
+    // Class-specific mixing weights over a bank of temporal basis signals.
+    const int64_t feat = config.seq_len * config.dim;
+    std::vector<std::vector<float>> mix(static_cast<size_t>(config.classes));
+    for (auto &m : mix) {
+        m.resize(static_cast<size_t>(config.dim));
+        for (auto &v : m)
+            v = static_cast<float>(rng.gaussian(0.0, 1.0));
+    }
+    auto gen = [&](int cls, float *out) {
+        const double freq = 1.0 + cls;
+        const double phase = rng.uniform(0.0, 0.4);
+        for (int64_t t = 0; t < config.seq_len; ++t) {
+            const double base = std::sin(
+                2.0 * M_PI * freq * (static_cast<double>(t) /
+                                     config.seq_len) + phase);
+            for (int64_t j = 0; j < config.dim; ++j) {
+                out[t * config.dim + j] = static_cast<float>(
+                    base * mix[static_cast<size_t>(cls)]
+                              [static_cast<size_t>(j)] +
+                    rng.gaussian(0.0, config.noise));
+            }
+        }
+    };
+
+    Dataset ds;
+    ds.name = "sequence-task-" + std::to_string(config.classes);
+    ds.num_classes = config.classes;
+    generateSplit(config.classes, config.train_per_class, feat, rng, gen,
+                  ds.train_x, ds.train_y);
+    generateSplit(config.classes, config.test_per_class, feat, rng, gen,
+                  ds.test_x, ds.test_y);
+    return ds;
+}
+
+} // namespace lutdla::nn

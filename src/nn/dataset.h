@@ -1,0 +1,86 @@
+#ifndef LUTDLA_NN_DATASET_H
+#define LUTDLA_NN_DATASET_H
+
+/**
+ * @file
+ * Seeded synthetic datasets standing in for the paper's CIFAR/ImageNet/GLUE
+ * workloads (see DESIGN.md substitution table). Each generator is fully
+ * deterministic given its config, so every accuracy experiment reproduces
+ * bit-for-bit.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lutdla::nn {
+
+/** An in-memory supervised dataset split into train/test halves. */
+struct Dataset
+{
+    std::string name;
+    Tensor train_x;               ///< [N, ...] features
+    std::vector<int> train_y;
+    Tensor test_x;
+    std::vector<int> test_y;
+    int num_classes = 0;
+
+    int64_t trainSize() const { return train_x.dim(0); }
+    int64_t testSize() const { return test_x.dim(0); }
+};
+
+/** Gaussian-mixture vector classification ("synth10"/"synth100" style). */
+struct GaussianMixtureConfig
+{
+    int classes = 10;
+    int64_t dim = 32;
+    int64_t train_per_class = 64;
+    int64_t test_per_class = 16;
+    double center_scale = 2.0;    ///< class-center magnitude
+    double noise = 0.9;           ///< within-class spread
+    uint64_t seed = 42;
+};
+
+/** Build the mixture dataset; rank-2 features [N, dim]. */
+Dataset makeGaussianMixture(const GaussianMixtureConfig &config);
+
+/** Procedural shape images for CNN experiments (NCHW, 1 channel). */
+struct ShapeImageConfig
+{
+    int classes = 10;             ///< up to 10 distinct shape patterns
+    int64_t size = 12;            ///< square image side
+    int64_t train_per_class = 48;
+    int64_t test_per_class = 16;
+    double noise = 0.25;
+    int64_t max_shift = 2;        ///< random translation in pixels
+    uint64_t seed = 43;
+};
+
+/** Build the shape-image dataset; features [N, 1, size, size]. */
+Dataset makeShapeImages(const ShapeImageConfig &config);
+
+/** Synthetic sequence classification for transformer experiments. */
+struct SequenceTaskConfig
+{
+    int classes = 4;
+    int64_t seq_len = 8;
+    int64_t dim = 16;             ///< per-token feature width
+    int64_t train_per_class = 48;
+    int64_t test_per_class = 16;
+    double noise = 0.35;
+    uint64_t seed = 44;
+};
+
+/**
+ * Build the sequence dataset. Each class has a characteristic temporal
+ * pattern (class-specific sinusoid frequency/phase mixed across feature
+ * channels). Features are [N * seq_len, dim] row-blocks per sample, the
+ * layout the transformer layers consume.
+ */
+Dataset makeSequenceTask(const SequenceTaskConfig &config);
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_DATASET_H

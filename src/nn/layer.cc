@@ -1,0 +1,58 @@
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+namespace {
+
+/** Depth-first traversal applying `fn` to every layer in the subtree. */
+void
+forEachLayer(const LayerPtr &root, const std::function<void(Layer &)> &fn)
+{
+    if (!root)
+        return;
+    fn(*root);
+    root->visitSlots([&](LayerPtr &child) { forEachLayer(child, fn); });
+}
+
+} // namespace
+
+std::vector<Parameter *>
+collectParameters(const LayerPtr &layer)
+{
+    std::vector<Parameter *> params;
+    forEachLayer(layer, [&](Layer &l) {
+        for (Parameter *p : l.parameters())
+            params.push_back(p);
+    });
+    return params;
+}
+
+void
+visitAllSlots(const LayerPtr &root, const SlotVisitor &visitor)
+{
+    if (!root)
+        return;
+    root->visitSlots([&](LayerPtr &child) {
+        visitor(child);
+        visitAllSlots(child, visitor);
+    });
+}
+
+double
+collectAuxLoss(const LayerPtr &root)
+{
+    double total = 0.0;
+    forEachLayer(root, [&](Layer &l) { total += l.auxLoss(); });
+    return total;
+}
+
+int64_t
+countParameters(const LayerPtr &root)
+{
+    int64_t n = 0;
+    for (Parameter *p : collectParameters(root))
+        n += p->value.numel();
+    return n;
+}
+
+} // namespace lutdla::nn

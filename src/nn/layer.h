@@ -1,0 +1,102 @@
+#ifndef LUTDLA_NN_LAYER_H
+#define LUTDLA_NN_LAYER_H
+
+/**
+ * @file
+ * Layer abstraction for the NN training substrate.
+ *
+ * LUTBoost converts *trained* models, so the library needs its own training
+ * stack (no external ML framework). The design is deliberately simple:
+ * layers cache whatever the backward pass needs, forward/backward are
+ * explicit, and containers expose child slots so the LUTBoost converter can
+ * splice LUT operators in place of Linear/Conv2d (Fig. 6, step 1).
+ */
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lutdla::nn {
+
+/** A trainable tensor with its gradient accumulator. */
+struct Parameter
+{
+    std::string name;
+    Tensor value;
+    Tensor grad;
+
+    Parameter() = default;
+    Parameter(std::string n, Tensor v)
+        : name(std::move(n)), value(std::move(v)), grad(value.shape())
+    {
+    }
+
+    /** Zero the gradient accumulator. */
+    void zeroGrad() { grad.zero(); }
+};
+
+class Layer;
+
+/** Shared ownership handle used throughout the model graph. */
+using LayerPtr = std::shared_ptr<Layer>;
+
+/** Callback receiving a mutable child slot (for operator replacement). */
+using SlotVisitor = std::function<void(LayerPtr &)>;
+
+/**
+ * Base class for all layers.
+ *
+ * Contract: backward() must be called with the gradient of the most recent
+ * forward(train=true) output and returns the gradient w.r.t. that input,
+ * accumulating parameter gradients on the way.
+ */
+class Layer
+{
+  public:
+    virtual ~Layer() = default;
+
+    /** Layer type name for printing and conversion reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Run the layer.
+     * @param x     Input tensor.
+     * @param train True during training (enables caching, batch stats).
+     */
+    virtual Tensor forward(const Tensor &x, bool train) = 0;
+
+    /** Backpropagate; see class contract. */
+    virtual Tensor backward(const Tensor &grad_out) = 0;
+
+    /** Directly owned parameters (not children's). */
+    virtual std::vector<Parameter *> parameters() { return {}; }
+
+    /** Visit mutable child slots; containers override and recurse. */
+    virtual void visitSlots(const SlotVisitor &visitor) { (void)visitor; }
+
+    /**
+     * Auxiliary loss contributed by the layer for the current forward pass
+     * (LUT layers return their reconstruction loss here). Cleared by the
+     * next forward.
+     */
+    virtual double auxLoss() const { return 0.0; }
+};
+
+/** Collect all parameters in a subtree rooted at `layer` (inclusive). */
+std::vector<Parameter *> collectParameters(const LayerPtr &layer);
+
+/** Apply `visitor` to every slot in the subtree, depth-first. */
+void visitAllSlots(const LayerPtr &root, const SlotVisitor &visitor);
+
+/** Sum of auxLoss() over the subtree. */
+double collectAuxLoss(const LayerPtr &root);
+
+/** Count parameters in a subtree. */
+int64_t countParameters(const LayerPtr &root);
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_LAYER_H

@@ -1,0 +1,69 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lutdla::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, bool bias,
+               uint64_t seed)
+    : in_features_(in_features), out_features_(out_features), has_bias_(bias)
+{
+    Tensor w(Shape{in_features_, out_features_});
+    Rng rng(seed);
+    const float bound = std::sqrt(6.0f / static_cast<float>(in_features_));
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.at(i) = static_cast<float>(rng.uniform(-bound, bound));
+    weight_ = Parameter("weight", std::move(w));
+    if (has_bias_)
+        bias_ = Parameter("bias", Tensor(Shape{out_features_}));
+}
+
+Tensor
+Linear::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 2 && x.dim(1) == in_features_,
+                 "Linear expects [rows, ", in_features_, "], got ",
+                 shapeStr(x.shape()));
+    if (train)
+        cached_input_ = x;
+    Tensor y = matmul(x, weight_.value);
+    if (has_bias_) {
+        const int64_t rows = y.dim(0);
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t n = 0; n < out_features_; ++n)
+                y.at(r, n) += bias_.value.at(n);
+    }
+    return y;
+}
+
+Tensor
+Linear::backward(const Tensor &grad_out)
+{
+    LUTDLA_CHECK(cached_input_.numel() > 0,
+                 "backward without forward(train=true)");
+    // dW = x^T * dY
+    weight_.grad += matmulTransposedA(cached_input_, grad_out);
+    if (has_bias_) {
+        const int64_t rows = grad_out.dim(0);
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t n = 0; n < out_features_; ++n)
+                bias_.grad.at(n) += grad_out.at(r, n);
+    }
+    // dX = dY * W^T; matmulTransposedB takes W as [in, out] directly.
+    return matmulTransposedB(grad_out, weight_.value);
+}
+
+std::vector<Parameter *>
+Linear::parameters()
+{
+    std::vector<Parameter *> out{&weight_};
+    if (has_bias_)
+        out.push_back(&bias_);
+    return out;
+}
+
+} // namespace lutdla::nn

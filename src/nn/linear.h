@@ -1,0 +1,58 @@
+#ifndef LUTDLA_NN_LINEAR_H
+#define LUTDLA_NN_LINEAR_H
+
+/**
+ * @file
+ * Fully-connected layer. This is the operator LUTBoost's step 1 replaces
+ * with a LUT operator; both share the [rows, features] matrix convention so
+ * the swap is transparent to the surrounding graph.
+ */
+
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** y = x * W + b with W stored [in, out]. */
+class Linear : public Layer
+{
+  public:
+    /**
+     * Construct with Kaiming-uniform weight init.
+     *
+     * @param in_features  Input width K.
+     * @param out_features Output width N.
+     * @param bias         Whether to learn a bias.
+     * @param seed         Init seed (deterministic builds).
+     */
+    Linear(int64_t in_features, int64_t out_features, bool bias = true,
+           uint64_t seed = 11);
+
+    std::string name() const override { return "Linear"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+
+    int64_t inFeatures() const { return in_features_; }
+    int64_t outFeatures() const { return out_features_; }
+    bool hasBias() const { return has_bias_; }
+
+    /** Weight matrix [in, out]. */
+    Parameter &weight() { return weight_; }
+    const Parameter &weight() const { return weight_; }
+
+    /** Bias vector [out] (undefined when hasBias() is false). */
+    Parameter &bias() { return bias_; }
+    const Parameter &bias() const { return bias_; }
+
+  private:
+    int64_t in_features_;
+    int64_t out_features_;
+    bool has_bias_;
+    Parameter weight_;
+    Parameter bias_;
+    Tensor cached_input_;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_LINEAR_H

@@ -1,0 +1,42 @@
+#ifndef LUTDLA_NN_LOSS_H
+#define LUTDLA_NN_LOSS_H
+
+/**
+ * @file
+ * Classification loss and accuracy metrics.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace lutdla::nn {
+
+/** Softmax cross-entropy over logits [B, classes] with int labels. */
+class SoftmaxCrossEntropy
+{
+  public:
+    /**
+     * Compute mean loss and cache softmax probabilities for backward().
+     *
+     * @param logits [B, C] unnormalized scores.
+     * @param labels B class indices.
+     * @return Mean negative log-likelihood.
+     */
+    double forward(const Tensor &logits, const std::vector<int> &labels);
+
+    /** Gradient of the mean loss w.r.t. the logits. */
+    Tensor backward() const;
+
+  private:
+    Tensor probs_;
+    std::vector<int> labels_;
+};
+
+/** Fraction of rows whose argmax matches the label. */
+double accuracy(const Tensor &logits, const std::vector<int> &labels);
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_LOSS_H

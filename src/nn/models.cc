@@ -1,0 +1,181 @@
+#include "nn/models.h"
+
+#include "nn/activations.h"
+#include "nn/attention.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/norm.h"
+#include "nn/sequential.h"
+
+namespace lutdla::nn {
+
+LayerPtr
+makeMlp(int64_t in_dim, const std::vector<int64_t> &hidden, int64_t classes,
+        uint64_t seed)
+{
+    auto net = std::make_shared<Sequential>();
+    int64_t prev = in_dim;
+    uint64_t s = seed;
+    for (int64_t h : hidden) {
+        net->add(std::make_shared<Linear>(prev, h, true, s++));
+        net->add(std::make_shared<ReLU>());
+        prev = h;
+    }
+    net->add(std::make_shared<Linear>(prev, classes, true, s));
+    return net;
+}
+
+namespace {
+
+/** conv3x3 + BN (+ optional ReLU) helper for residual mains. */
+LayerPtr
+convBn(int64_t cin, int64_t cout, int64_t stride, bool relu, uint64_t seed)
+{
+    ConvGeometry g;
+    g.in_channels = cin;
+    g.out_channels = cout;
+    g.kernel = 3;
+    g.stride = stride;
+    g.padding = 1;
+    auto seq = std::make_shared<Sequential>();
+    seq->add(std::make_shared<Conv2d>(g, false, seed));
+    seq->add(std::make_shared<BatchNorm2d>(cout));
+    if (relu)
+        seq->add(std::make_shared<ReLU>());
+    return seq;
+}
+
+/** 1x1 strided projection for dimension-changing skips. */
+LayerPtr
+projection(int64_t cin, int64_t cout, int64_t stride, uint64_t seed)
+{
+    ConvGeometry g;
+    g.in_channels = cin;
+    g.out_channels = cout;
+    g.kernel = 1;
+    g.stride = stride;
+    g.padding = 0;
+    auto seq = std::make_shared<Sequential>();
+    seq->add(std::make_shared<Conv2d>(g, false, seed));
+    seq->add(std::make_shared<BatchNorm2d>(cout));
+    return seq;
+}
+
+/** Basic residual block: [conv-bn-relu, conv-bn] + skip. */
+LayerPtr
+basicBlock(int64_t cin, int64_t cout, int64_t stride, uint64_t seed)
+{
+    auto main = std::make_shared<Sequential>();
+    main->add(convBn(cin, cout, stride, true, seed));
+    main->add(convBn(cout, cout, 1, false, seed + 1));
+    LayerPtr shortcut;
+    if (cin != cout || stride != 1)
+        shortcut = projection(cin, cout, stride, seed + 2);
+    return std::make_shared<ResidualBlock>(main, shortcut);
+}
+
+} // namespace
+
+LayerPtr
+makeMiniResNet(int64_t blocks_per_stage, int64_t base_channels,
+               int64_t classes, uint64_t seed)
+{
+    auto net = std::make_shared<Sequential>();
+    uint64_t s = seed;
+    // Stem.
+    net->add(convBn(1, base_channels, 1, true, s));
+    s += 3;
+    // Stage 1 at full resolution.
+    for (int64_t b = 0; b < blocks_per_stage; ++b) {
+        net->add(basicBlock(base_channels, base_channels, 1, s));
+        s += 3;
+    }
+    // Stage 2 at half resolution, doubled channels.
+    const int64_t c2 = base_channels * 2;
+    net->add(basicBlock(base_channels, c2, 2, s));
+    s += 3;
+    for (int64_t b = 1; b < blocks_per_stage; ++b) {
+        net->add(basicBlock(c2, c2, 1, s));
+        s += 3;
+    }
+    net->add(std::make_shared<GlobalAvgPool>());
+    net->add(std::make_shared<Linear>(c2, classes, true, s));
+    return net;
+}
+
+LayerPtr
+makeLeNetStyle(int64_t classes, uint64_t seed)
+{
+    auto net = std::make_shared<Sequential>();
+    ConvGeometry g1;
+    g1.in_channels = 1;
+    g1.out_channels = 6;
+    g1.kernel = 3;
+    g1.stride = 1;
+    g1.padding = 0;
+    net->add(std::make_shared<Conv2d>(g1, true, seed));
+    net->add(std::make_shared<ReLU>());
+    net->add(std::make_shared<MaxPool2d>(2));  // 12 -> 10 -> 5
+    ConvGeometry g2;
+    g2.in_channels = 6;
+    g2.out_channels = 12;
+    g2.kernel = 3;
+    g2.stride = 1;
+    g2.padding = 0;
+    net->add(std::make_shared<Conv2d>(g2, true, seed + 1));  // 5 -> 3
+    net->add(std::make_shared<ReLU>());
+    net->add(std::make_shared<Flatten>());
+    net->add(std::make_shared<Linear>(12 * 3 * 3, 32, true, seed + 2));
+    net->add(std::make_shared<ReLU>());
+    net->add(std::make_shared<Linear>(32, classes, true, seed + 3));
+    return net;
+}
+
+LayerPtr
+makeVggStyle(int64_t classes, uint64_t seed)
+{
+    auto net = std::make_shared<Sequential>();
+    auto conv = [&](int64_t cin, int64_t cout, uint64_t s) {
+        ConvGeometry g;
+        g.in_channels = cin;
+        g.out_channels = cout;
+        g.kernel = 3;
+        g.stride = 1;
+        g.padding = 1;
+        net->add(std::make_shared<Conv2d>(g, true, s));
+        net->add(std::make_shared<ReLU>());
+    };
+    conv(1, 8, seed);
+    conv(8, 8, seed + 1);
+    net->add(std::make_shared<MaxPool2d>(2));  // 12 -> 6
+    conv(8, 16, seed + 2);
+    conv(16, 16, seed + 3);
+    net->add(std::make_shared<MaxPool2d>(2));  // 6 -> 3
+    net->add(std::make_shared<Flatten>());
+    net->add(std::make_shared<Linear>(16 * 3 * 3, 48, true, seed + 4));
+    net->add(std::make_shared<ReLU>());
+    net->add(std::make_shared<Linear>(48, classes, true, seed + 5));
+    return net;
+}
+
+LayerPtr
+makeTinyTransformer(const TinyTransformerConfig &config)
+{
+    auto net = std::make_shared<Sequential>();
+    net->add(std::make_shared<SequenceUnpack>(config.seq_len,
+                                              config.in_dim));
+    net->add(std::make_shared<Linear>(config.in_dim, config.d_model, true,
+                                      config.seed));
+    for (int64_t l = 0; l < config.layers; ++l) {
+        net->add(std::make_shared<TransformerBlock>(
+            config.seq_len, config.d_model, config.heads, config.d_ff,
+            config.seed + 20 * (static_cast<uint64_t>(l) + 1)));
+    }
+    net->add(std::make_shared<LayerNorm>(config.d_model));
+    net->add(std::make_shared<SequencePool>(config.seq_len));
+    net->add(std::make_shared<Linear>(config.d_model, config.classes, true,
+                                      config.seed + 99));
+    return net;
+}
+
+} // namespace lutdla::nn

@@ -1,0 +1,81 @@
+#ifndef LUTDLA_NN_MODELS_H
+#define LUTDLA_NN_MODELS_H
+
+/**
+ * @file
+ * Model builders standing in for the paper's evaluation zoo (DESIGN.md
+ * substitution table): MiniResNet-{20,32,56} for ResNet-20/32/56,
+ * LeNet-style and VGG-style CNNs, an MLP, and TinyTransformer for the
+ * BERT/DistilBERT/OPT family.
+ */
+
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** Reshape [B, T*D] sample rows to the [B*T, D] layout transformers use. */
+class SequenceUnpack : public Layer
+{
+  public:
+    SequenceUnpack(int64_t seq_len, int64_t dim)
+        : seq_len_(seq_len), dim_(dim)
+    {
+    }
+
+    std::string name() const override { return "SequenceUnpack"; }
+    Tensor
+    forward(const Tensor &x, bool) override
+    {
+        return x.reshaped(Shape{x.dim(0) * seq_len_, dim_});
+    }
+    Tensor
+    backward(const Tensor &g) override
+    {
+        return g.reshaped(Shape{g.dim(0) / seq_len_, seq_len_ * dim_});
+    }
+
+  private:
+    int64_t seq_len_;
+    int64_t dim_;
+};
+
+/** Plain MLP: in -> hidden... -> classes with ReLU between. */
+LayerPtr makeMlp(int64_t in_dim, const std::vector<int64_t> &hidden,
+                 int64_t classes, uint64_t seed = 101);
+
+/**
+ * Residual CNN on 1-channel square images, the MiniResNet family.
+ *
+ * @param blocks_per_stage Residual blocks in each of the two stages; the
+ *        paper-analogue depths are 2 ("MiniResNet20"), 3 ("32"), 5 ("56").
+ * @param base_channels    Stage-1 channel count (stage 2 doubles it).
+ * @param classes          Output classes.
+ */
+LayerPtr makeMiniResNet(int64_t blocks_per_stage, int64_t base_channels,
+                        int64_t classes, uint64_t seed = 103);
+
+/** LeNet-style CNN for the MNIST-analogue shape task (12x12 inputs). */
+LayerPtr makeLeNetStyle(int64_t classes, uint64_t seed = 105);
+
+/** VGG-style plain CNN (conv-conv-pool x2) for 12x12 inputs. */
+LayerPtr makeVggStyle(int64_t classes, uint64_t seed = 107);
+
+/** Transformer encoder classifier settings. */
+struct TinyTransformerConfig
+{
+    int64_t seq_len = 8;
+    int64_t in_dim = 16;    ///< raw token feature width
+    int64_t d_model = 32;
+    int64_t heads = 4;
+    int64_t layers = 2;
+    int64_t d_ff = 64;
+    int64_t classes = 4;
+    uint64_t seed = 109;
+};
+
+/** Build the TinyTransformer: unpack -> embed -> blocks -> pool -> head. */
+LayerPtr makeTinyTransformer(const TinyTransformerConfig &config);
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_MODELS_H

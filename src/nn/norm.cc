@@ -1,0 +1,223 @@
+#include "nn/norm.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::nn {
+
+BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
+    : channels_(channels), momentum_(momentum), eps_(eps),
+      gamma_("gamma", Tensor(Shape{channels}, 1.0f)),
+      beta_("beta", Tensor(Shape{channels})),
+      running_mean_(Shape{channels}),
+      running_var_(Shape{channels}, 1.0f)
+{
+}
+
+Tensor
+BatchNorm2d::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+                 "BatchNorm2d expects NCHW with C=", channels_);
+    const int64_t N = x.dim(0), H = x.dim(2), W = x.dim(3);
+    const int64_t count = N * H * W;
+    Tensor y(x.shape());
+
+    if (train) {
+        batch_mean_.assign(static_cast<size_t>(channels_), 0.0f);
+        batch_invstd_.assign(static_cast<size_t>(channels_), 0.0f);
+        xhat_ = Tensor(x.shape());
+        for (int64_t c = 0; c < channels_; ++c) {
+            double mean = 0.0;
+            for (int64_t n = 0; n < N; ++n)
+                for (int64_t h = 0; h < H; ++h)
+                    for (int64_t w = 0; w < W; ++w)
+                        mean += x.at4(n, c, h, w);
+            mean /= static_cast<double>(count);
+            double var = 0.0;
+            for (int64_t n = 0; n < N; ++n) {
+                for (int64_t h = 0; h < H; ++h) {
+                    for (int64_t w = 0; w < W; ++w) {
+                        const double d = x.at4(n, c, h, w) - mean;
+                        var += d * d;
+                    }
+                }
+            }
+            var /= static_cast<double>(count);
+            const float invstd =
+                1.0f / std::sqrt(static_cast<float>(var) + eps_);
+            batch_mean_[static_cast<size_t>(c)] = static_cast<float>(mean);
+            batch_invstd_[static_cast<size_t>(c)] = invstd;
+            running_mean_.at(c) = (1.0f - momentum_) * running_mean_.at(c) +
+                                  momentum_ * static_cast<float>(mean);
+            running_var_.at(c) = (1.0f - momentum_) * running_var_.at(c) +
+                                 momentum_ * static_cast<float>(var);
+            for (int64_t n = 0; n < N; ++n) {
+                for (int64_t h = 0; h < H; ++h) {
+                    for (int64_t w = 0; w < W; ++w) {
+                        const float xh = (x.at4(n, c, h, w) -
+                                          static_cast<float>(mean)) * invstd;
+                        xhat_.at4(n, c, h, w) = xh;
+                        y.at4(n, c, h, w) =
+                            gamma_.value.at(c) * xh + beta_.value.at(c);
+                    }
+                }
+            }
+        }
+    } else {
+        for (int64_t c = 0; c < channels_; ++c) {
+            const float invstd =
+                1.0f / std::sqrt(running_var_.at(c) + eps_);
+            const float mean = running_mean_.at(c);
+            const float g = gamma_.value.at(c), b = beta_.value.at(c);
+            for (int64_t n = 0; n < N; ++n)
+                for (int64_t h = 0; h < H; ++h)
+                    for (int64_t w = 0; w < W; ++w)
+                        y.at4(n, c, h, w) =
+                            g * (x.at4(n, c, h, w) - mean) * invstd + b;
+        }
+    }
+    return y;
+}
+
+Tensor
+BatchNorm2d::backward(const Tensor &grad_out)
+{
+    const int64_t N = grad_out.dim(0), H = grad_out.dim(2);
+    const int64_t W = grad_out.dim(3);
+    const int64_t count = N * H * W;
+    Tensor gx(grad_out.shape());
+
+    for (int64_t c = 0; c < channels_; ++c) {
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int64_t n = 0; n < N; ++n) {
+            for (int64_t h = 0; h < H; ++h) {
+                for (int64_t w = 0; w < W; ++w) {
+                    const float dy = grad_out.at4(n, c, h, w);
+                    sum_dy += dy;
+                    sum_dy_xhat += dy * xhat_.at4(n, c, h, w);
+                }
+            }
+        }
+        gamma_.grad.at(c) += static_cast<float>(sum_dy_xhat);
+        beta_.grad.at(c) += static_cast<float>(sum_dy);
+
+        const float g = gamma_.value.at(c);
+        const float invstd = batch_invstd_[static_cast<size_t>(c)];
+        const float inv_count = 1.0f / static_cast<float>(count);
+        for (int64_t n = 0; n < N; ++n) {
+            for (int64_t h = 0; h < H; ++h) {
+                for (int64_t w = 0; w < W; ++w) {
+                    const float dy = grad_out.at4(n, c, h, w);
+                    const float xh = xhat_.at4(n, c, h, w);
+                    gx.at4(n, c, h, w) =
+                        g * invstd *
+                        (dy - inv_count * (static_cast<float>(sum_dy) +
+                                           xh * static_cast<float>(
+                                                    sum_dy_xhat)));
+                }
+            }
+        }
+    }
+    return gx;
+}
+
+std::vector<Parameter *>
+BatchNorm2d::parameters()
+{
+    return {&gamma_, &beta_};
+}
+
+void
+BatchNorm2d::foldedAffine(std::vector<float> &scale,
+                          std::vector<float> &shift) const
+{
+    scale.resize(static_cast<size_t>(channels_));
+    shift.resize(static_cast<size_t>(channels_));
+    for (int64_t c = 0; c < channels_; ++c) {
+        const float invstd = 1.0f / std::sqrt(running_var_.at(c) + eps_);
+        scale[static_cast<size_t>(c)] = gamma_.value.at(c) * invstd;
+        shift[static_cast<size_t>(c)] =
+            beta_.value.at(c) - gamma_.value.at(c) * running_mean_.at(c) *
+                                    invstd;
+    }
+}
+
+LayerNorm::LayerNorm(int64_t features, float eps)
+    : features_(features), eps_(eps),
+      gamma_("gamma", Tensor(Shape{features}, 1.0f)),
+      beta_("beta", Tensor(Shape{features}))
+{
+}
+
+Tensor
+LayerNorm::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 2 && x.dim(1) == features_,
+                 "LayerNorm expects [rows, ", features_, "]");
+    const int64_t R = x.dim(0);
+    Tensor y(x.shape());
+    if (train) {
+        xhat_ = Tensor(x.shape());
+        invstd_.assign(static_cast<size_t>(R), 0.0f);
+    }
+    for (int64_t r = 0; r < R; ++r) {
+        double mean = 0.0;
+        for (int64_t j = 0; j < features_; ++j)
+            mean += x.at(r, j);
+        mean /= static_cast<double>(features_);
+        double var = 0.0;
+        for (int64_t j = 0; j < features_; ++j) {
+            const double d = x.at(r, j) - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(features_);
+        const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
+        for (int64_t j = 0; j < features_; ++j) {
+            const float xh =
+                (x.at(r, j) - static_cast<float>(mean)) * inv;
+            if (train)
+                xhat_.at(r, j) = xh;
+            y.at(r, j) = gamma_.value.at(j) * xh + beta_.value.at(j);
+        }
+        if (train)
+            invstd_[static_cast<size_t>(r)] = inv;
+    }
+    return y;
+}
+
+Tensor
+LayerNorm::backward(const Tensor &grad_out)
+{
+    const int64_t R = grad_out.dim(0);
+    Tensor gx(grad_out.shape());
+    const float inv_f = 1.0f / static_cast<float>(features_);
+    for (int64_t r = 0; r < R; ++r) {
+        double sum_dy = 0.0, sum_dy_xhat = 0.0;
+        for (int64_t j = 0; j < features_; ++j) {
+            const float dyg = grad_out.at(r, j) * gamma_.value.at(j);
+            sum_dy += dyg;
+            sum_dy_xhat += dyg * xhat_.at(r, j);
+            gamma_.grad.at(j) += grad_out.at(r, j) * xhat_.at(r, j);
+            beta_.grad.at(j) += grad_out.at(r, j);
+        }
+        const float inv = invstd_[static_cast<size_t>(r)];
+        for (int64_t j = 0; j < features_; ++j) {
+            const float dyg = grad_out.at(r, j) * gamma_.value.at(j);
+            gx.at(r, j) =
+                inv * (dyg - inv_f * (static_cast<float>(sum_dy) +
+                                      xhat_.at(r, j) *
+                                          static_cast<float>(sum_dy_xhat)));
+        }
+    }
+    return gx;
+}
+
+std::vector<Parameter *>
+LayerNorm::parameters()
+{
+    return {&gamma_, &beta_};
+}
+
+} // namespace lutdla::nn

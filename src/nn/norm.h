@@ -1,0 +1,66 @@
+#ifndef LUTDLA_NN_NORM_H
+#define LUTDLA_NN_NORM_H
+
+/**
+ * @file
+ * Normalization layers. The paper folds batch-norm into weights at deploy
+ * time and offloads layernorm to a vector path; for training fidelity we
+ * implement both exactly.
+ */
+
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** Per-channel batch normalization over NCHW with running statistics. */
+class BatchNorm2d : public Layer
+{
+  public:
+    explicit BatchNorm2d(int64_t channels, float momentum = 0.1f,
+                         float eps = 1e-5f);
+
+    std::string name() const override { return "BatchNorm2d"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+
+    /** Fold (gamma, beta, running stats) into an equivalent scale/shift. */
+    void foldedAffine(std::vector<float> &scale,
+                      std::vector<float> &shift) const;
+
+  private:
+    int64_t channels_;
+    float momentum_;
+    float eps_;
+    Parameter gamma_;
+    Parameter beta_;
+    Tensor running_mean_;
+    Tensor running_var_;
+    // Training-pass caches.
+    Tensor xhat_;
+    std::vector<float> batch_mean_, batch_invstd_;
+};
+
+/** Layer normalization over the last dimension of [rows, features]. */
+class LayerNorm : public Layer
+{
+  public:
+    explicit LayerNorm(int64_t features, float eps = 1e-5f);
+
+    std::string name() const override { return "LayerNorm"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    std::vector<Parameter *> parameters() override;
+
+  private:
+    int64_t features_;
+    float eps_;
+    Parameter gamma_;
+    Parameter beta_;
+    Tensor xhat_;
+    std::vector<float> invstd_;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_NORM_H

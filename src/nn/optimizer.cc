@@ -1,0 +1,104 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace lutdla::nn {
+
+Sgd::Sgd(std::vector<Parameter *> params, double lr, double momentum,
+         double weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay)
+{
+    bind(std::move(params));
+}
+
+void
+Sgd::bind(std::vector<Parameter *> params)
+{
+    params_ = std::move(params);
+    velocity_.clear();
+    velocity_.reserve(params_.size());
+    for (Parameter *p : params_)
+        velocity_.emplace_back(p->value.shape());
+}
+
+void
+Sgd::step()
+{
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Parameter *p = params_[i];
+        Tensor &vel = velocity_[i];
+        float *val = p->value.data();
+        float *grd = p->grad.data();
+        float *v = vel.data();
+        const float lr = static_cast<float>(lr_);
+        const float mom = static_cast<float>(momentum_);
+        const float wd = static_cast<float>(weight_decay_);
+        for (int64_t j = 0; j < p->value.numel(); ++j) {
+            const float g = grd[j] + wd * val[j];
+            v[j] = mom * v[j] + g;
+            val[j] -= lr * v[j];
+        }
+    }
+}
+
+void
+Sgd::zeroGrad()
+{
+    for (Parameter *p : params_)
+        p->zeroGrad();
+}
+
+Adam::Adam(std::vector<Parameter *> params, double lr, double beta1,
+           double beta2, double eps)
+    : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps)
+{
+    bind(std::move(params));
+}
+
+void
+Adam::bind(std::vector<Parameter *> params)
+{
+    params_ = std::move(params);
+    m_.clear();
+    v_.clear();
+    t_ = 0;
+    for (Parameter *p : params_) {
+        m_.emplace_back(p->value.shape());
+        v_.emplace_back(p->value.shape());
+    }
+}
+
+void
+Adam::step()
+{
+    ++t_;
+    const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+        Parameter *p = params_[i];
+        float *val = p->value.data();
+        float *grd = p->grad.data();
+        float *m = m_[i].data();
+        float *v = v_[i].data();
+        for (int64_t j = 0; j < p->value.numel(); ++j) {
+            const float g = grd[j];
+            m[j] = static_cast<float>(beta1_) * m[j] +
+                   static_cast<float>(1.0 - beta1_) * g;
+            v[j] = static_cast<float>(beta2_) * v[j] +
+                   static_cast<float>(1.0 - beta2_) * g * g;
+            const double mhat = m[j] / bc1;
+            const double vhat = v[j] / bc2;
+            val[j] -= static_cast<float>(lr_ * mhat /
+                                         (std::sqrt(vhat) + eps_));
+        }
+    }
+}
+
+void
+Adam::zeroGrad()
+{
+    for (Parameter *p : params_)
+        p->zeroGrad();
+}
+
+} // namespace lutdla::nn

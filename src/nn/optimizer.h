@@ -1,0 +1,73 @@
+#ifndef LUTDLA_NN_OPTIMIZER_H
+#define LUTDLA_NN_OPTIMIZER_H
+
+/**
+ * @file
+ * First-order optimizers over collected Parameter sets. LUTBoost's stages
+ * swap the parameter set between calls (centroids only, then centroids +
+ * weights), so optimizers support rebinding.
+ */
+
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** SGD with classical momentum and decoupled weight decay. */
+class Sgd
+{
+  public:
+    /**
+     * @param params       Parameters to update (rebindable via bind()).
+     * @param lr           Learning rate.
+     * @param momentum     Momentum coefficient (0 disables).
+     * @param weight_decay L2 decay applied to values (not to grads).
+     */
+    Sgd(std::vector<Parameter *> params, double lr, double momentum = 0.9,
+        double weight_decay = 0.0);
+
+    /** Replace the parameter set (velocity buffers reset). */
+    void bind(std::vector<Parameter *> params);
+
+    /** Apply one update step from accumulated grads. */
+    void step();
+
+    /** Zero all bound gradients. */
+    void zeroGrad();
+
+    /** Change the learning rate (for schedules). */
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    std::vector<Parameter *> params_;
+    std::vector<Tensor> velocity_;
+    double lr_;
+    double momentum_;
+    double weight_decay_;
+};
+
+/** Adam with bias correction. */
+class Adam
+{
+  public:
+    Adam(std::vector<Parameter *> params, double lr, double beta1 = 0.9,
+         double beta2 = 0.999, double eps = 1e-8);
+
+    void bind(std::vector<Parameter *> params);
+    void step();
+    void zeroGrad();
+    void setLr(double lr) { lr_ = lr; }
+    double lr() const { return lr_; }
+
+  private:
+    std::vector<Parameter *> params_;
+    std::vector<Tensor> m_, v_;
+    double lr_, beta1_, beta2_, eps_;
+    int64_t t_ = 0;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_OPTIMIZER_H

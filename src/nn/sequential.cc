@@ -1,0 +1,88 @@
+#include "nn/sequential.h"
+
+#include "util/logging.h"
+
+namespace lutdla::nn {
+
+Sequential &
+Sequential::add(LayerPtr layer)
+{
+    layers_.push_back(std::move(layer));
+    return *this;
+}
+
+Tensor
+Sequential::forward(const Tensor &x, bool train)
+{
+    Tensor h = x;
+    for (auto &layer : layers_)
+        h = layer->forward(h, train);
+    return h;
+}
+
+Tensor
+Sequential::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        g = (*it)->backward(g);
+    return g;
+}
+
+void
+Sequential::visitSlots(const SlotVisitor &visitor)
+{
+    for (auto &layer : layers_)
+        visitor(layer);
+}
+
+const LayerPtr &
+Sequential::child(int64_t i) const
+{
+    LUTDLA_CHECK(i >= 0 && i < size(), "child index out of range");
+    return layers_[static_cast<size_t>(i)];
+}
+
+Tensor
+ResidualBlock::forward(const Tensor &x, bool train)
+{
+    Tensor main_out = main_->forward(x, train);
+    Tensor skip = shortcut_ ? shortcut_->forward(x, train) : x;
+    LUTDLA_CHECK(main_out.numel() == skip.numel(),
+                 "residual branch shape mismatch: ",
+                 shapeStr(main_out.shape()), " vs ", shapeStr(skip.shape()));
+    Tensor y = main_out;
+    y += skip;
+    if (train)
+        relu_mask_ = Tensor(y.shape());
+    for (int64_t i = 0; i < y.numel(); ++i) {
+        const bool pos = y.at(i) > 0.0f;
+        if (!pos)
+            y.at(i) = 0.0f;
+        if (train)
+            relu_mask_.at(i) = pos ? 1.0f : 0.0f;
+    }
+    return y;
+}
+
+Tensor
+ResidualBlock::backward(const Tensor &grad_out)
+{
+    Tensor g = grad_out;
+    for (int64_t i = 0; i < g.numel(); ++i)
+        g.at(i) *= relu_mask_.at(i);
+    Tensor g_main = main_->backward(g);
+    Tensor g_skip = shortcut_ ? shortcut_->backward(g) : g;
+    g_main += g_skip;
+    return g_main;
+}
+
+void
+ResidualBlock::visitSlots(const SlotVisitor &visitor)
+{
+    visitor(main_);
+    if (shortcut_)
+        visitor(shortcut_);
+}
+
+} // namespace lutdla::nn

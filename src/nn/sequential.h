@@ -1,0 +1,65 @@
+#ifndef LUTDLA_NN_SEQUENTIAL_H
+#define LUTDLA_NN_SEQUENTIAL_H
+
+/**
+ * @file
+ * Container layers: Sequential chains and residual blocks. Containers expose
+ * mutable child slots so the LUTBoost converter can replace Linear/Conv2d
+ * children anywhere in the graph.
+ */
+
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** Runs children in order. */
+class Sequential : public Layer
+{
+  public:
+    Sequential() = default;
+    explicit Sequential(std::vector<LayerPtr> layers)
+        : layers_(std::move(layers))
+    {
+    }
+
+    /** Append a child layer and return *this for chaining. */
+    Sequential &add(LayerPtr layer);
+
+    std::string name() const override { return "Sequential"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void visitSlots(const SlotVisitor &visitor) override;
+
+    int64_t size() const { return static_cast<int64_t>(layers_.size()); }
+    const LayerPtr &child(int64_t i) const;
+
+  private:
+    std::vector<LayerPtr> layers_;
+};
+
+/**
+ * Pre-activation-free basic residual block: y = relu(main(x) + shortcut(x)).
+ * `shortcut` may be null for the identity skip.
+ */
+class ResidualBlock : public Layer
+{
+  public:
+    ResidualBlock(LayerPtr main, LayerPtr shortcut = nullptr)
+        : main_(std::move(main)), shortcut_(std::move(shortcut))
+    {
+    }
+
+    std::string name() const override { return "ResidualBlock"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+    void visitSlots(const SlotVisitor &visitor) override;
+
+  private:
+    LayerPtr main_;
+    LayerPtr shortcut_;
+    Tensor relu_mask_;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_SEQUENTIAL_H

@@ -1,0 +1,124 @@
+#include "nn/trainer.h"
+
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace lutdla::nn {
+
+Tensor
+gatherRows(const Tensor &x, const std::vector<int64_t> &indices)
+{
+    const int64_t n = static_cast<int64_t>(indices.size());
+    const int64_t row_elems = x.numel() / x.dim(0);
+    Shape out_shape = x.shape();
+    out_shape[0] = n;
+    Tensor out(out_shape);
+    for (int64_t i = 0; i < n; ++i) {
+        const float *src = x.data() + indices[static_cast<size_t>(i)] *
+                                          row_elems;
+        std::copy(src, src + row_elems, out.data() + i * row_elems);
+    }
+    return out;
+}
+
+Trainer::Trainer(LayerPtr model, const Dataset &dataset, TrainConfig config)
+    : model_(std::move(model)), dataset_(dataset), config_(config)
+{
+}
+
+void
+Trainer::setTrainableParams(std::vector<Parameter *> params)
+{
+    trainable_ = std::move(params);
+}
+
+TrainResult
+Trainer::train()
+{
+    TrainResult result;
+    std::vector<Parameter *> params =
+        trainable_.empty() ? collectParameters(model_) : trainable_;
+    std::vector<Parameter *> all_params = collectParameters(model_);
+
+    Sgd sgd(params, config_.lr, config_.momentum, config_.weight_decay);
+    Adam adam(params, config_.lr);
+    Rng rng(config_.seed);
+
+    const int64_t n = dataset_.trainSize();
+    std::vector<int64_t> order(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i)
+        order[static_cast<size_t>(i)] = i;
+
+    SoftmaxCrossEntropy loss;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        int64_t batches = 0;
+        for (int64_t start = 0; start < n; start += config_.batch_size) {
+            const int64_t end = std::min(start + config_.batch_size, n);
+            std::vector<int64_t> batch_idx(
+                order.begin() + start, order.begin() + end);
+            Tensor x = gatherRows(dataset_.train_x, batch_idx);
+            std::vector<int> y(batch_idx.size());
+            for (size_t i = 0; i < batch_idx.size(); ++i)
+                y[i] = dataset_.train_y[static_cast<size_t>(batch_idx[i])];
+
+            // Gradients of *all* parameters must be cleared: frozen layers
+            // still accumulate grads that would otherwise leak across
+            // LUTBoost stages.
+            for (Parameter *p : all_params)
+                p->zeroGrad();
+
+            Tensor logits = model_->forward(x, true);
+            const double batch_loss =
+                loss.forward(logits, y) + collectAuxLoss(model_);
+            model_->backward(loss.backward());
+
+            if (config_.use_adam)
+                adam.step();
+            else
+                sgd.step();
+
+            result.iter_losses.push_back(batch_loss);
+            epoch_loss += batch_loss;
+            ++batches;
+        }
+        epoch_loss /= std::max<int64_t>(batches, 1);
+        result.epoch_losses.push_back(epoch_loss);
+        if (config_.lr_decay != 1.0) {
+            sgd.setLr(sgd.lr() * config_.lr_decay);
+            adam.setLr(adam.lr() * config_.lr_decay);
+        }
+        if (config_.verbose)
+            inform("epoch ", epoch, " loss ", epoch_loss);
+    }
+
+    result.train_accuracy =
+        evaluate(dataset_.train_x, dataset_.train_y);
+    result.test_accuracy = evaluate(dataset_.test_x, dataset_.test_y);
+    return result;
+}
+
+double
+Trainer::evaluate(const Tensor &x, const std::vector<int> &labels,
+                  int64_t batch_size)
+{
+    const int64_t n = x.dim(0);
+    int64_t hits = 0;
+    for (int64_t start = 0; start < n; start += batch_size) {
+        const int64_t end = std::min(start + batch_size, n);
+        std::vector<int64_t> idx;
+        for (int64_t i = start; i < end; ++i)
+            idx.push_back(i);
+        Tensor bx = gatherRows(x, idx);
+        std::vector<int> by(labels.begin() + start, labels.begin() + end);
+        Tensor logits = model_->forward(bx, false);
+        hits += static_cast<int64_t>(
+            accuracy(logits, by) * static_cast<double>(end - start) + 0.5);
+    }
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+}
+
+} // namespace lutdla::nn

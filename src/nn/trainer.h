@@ -1,0 +1,79 @@
+#ifndef LUTDLA_NN_TRAINER_H
+#define LUTDLA_NN_TRAINER_H
+
+/**
+ * @file
+ * Mini-batch training loop shared by the float baselines and every
+ * LUTBoost stage. Supports restricting the optimized parameter set, which
+ * is how LUTBoost freezes weights during centroid calibration (Fig. 6,
+ * step 2).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/dataset.h"
+#include "nn/layer.h"
+
+namespace lutdla::nn {
+
+/** Training hyperparameters. */
+struct TrainConfig
+{
+    int epochs = 10;
+    int64_t batch_size = 32;
+    double lr = 0.05;
+    double momentum = 0.9;
+    double weight_decay = 1e-4;
+    double lr_decay = 1.0;        ///< multiplicative per-epoch decay
+    bool use_adam = false;
+    uint64_t seed = 7;            ///< batch shuffling seed
+    bool verbose = false;
+};
+
+/** Loss/accuracy trace of one training run. */
+struct TrainResult
+{
+    std::vector<double> iter_losses;   ///< per-batch total loss
+    std::vector<double> epoch_losses;  ///< mean loss per epoch
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;
+};
+
+/** Gather rows of a rank-2/rank-4 tensor along dim 0. */
+Tensor gatherRows(const Tensor &x, const std::vector<int64_t> &indices);
+
+/**
+ * Trains a model on a dataset.
+ *
+ * The forward loss is softmax cross-entropy plus the model's auxLoss()
+ * (LUT layers report their reconstruction losses there; their gradients
+ * are applied inside the layers' backward passes).
+ */
+class Trainer
+{
+  public:
+    Trainer(LayerPtr model, const Dataset &dataset, TrainConfig config);
+
+    /** Optimize only these parameters (empty = all model parameters). */
+    void setTrainableParams(std::vector<Parameter *> params);
+
+    /** Run the configured number of epochs. */
+    TrainResult train();
+
+    /** Mean accuracy over a split evaluated in inference mode. */
+    double evaluate(const Tensor &x, const std::vector<int> &labels,
+                    int64_t batch_size = 64);
+
+    LayerPtr model() const { return model_; }
+
+  private:
+    LayerPtr model_;
+    const Dataset &dataset_;
+    TrainConfig config_;
+    std::vector<Parameter *> trainable_;
+};
+
+} // namespace lutdla::nn
+
+#endif // LUTDLA_NN_TRAINER_H

@@ -1,0 +1,120 @@
+#ifndef LUTDLA_SIM_CONFIG_H
+#define LUTDLA_SIM_CONFIG_H
+
+/**
+ * @file
+ * Configuration and statistics types for the LUT-DLA timing simulator.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "hw/accel.h"
+
+namespace lutdla::sim {
+
+/** One GEMM workload: C[M,N] = A[M,K] * B[K,N]. */
+struct GemmShape
+{
+    int64_t m = 0;
+    int64_t k = 0;
+    int64_t n = 0;
+    std::string tag;  ///< layer name for reports
+
+    /** Multiply-accumulate count. */
+    double macs() const
+    {
+        return static_cast<double>(m) * static_cast<double>(k) *
+               static_cast<double>(n);
+    }
+};
+
+/** Timing-relevant hardware parameters. */
+struct SimConfig
+{
+    // Algorithm parameters.
+    int64_t v = 4;
+    int64_t c = 16;
+    // Per-IMM lookup lanes (outputs retired per cycle) and tiling.
+    int64_t tn = 128;
+    int64_t m_tile = 256;          ///< row-block size buffered on chip
+    int64_t n_imm = 2;
+    int64_t n_ccu = 2;
+    // Entry sizes.
+    int64_t lut_entry_bytes = 1;
+    int64_t input_bytes = 1;       ///< streamed activation element
+    int64_t output_bytes = 1;      ///< written-back output element
+    // Clocks: the CCM may run faster than the IMM (decoupled domains).
+    double freq_imm_hz = 300e6;
+    double freq_ccm_hz = 300e6;
+    // DRAM channel shared by LUT loads / input stream / output drain.
+    double dram_bytes_per_sec = 25.6e9;  // DDR4 per the paper
+
+    /** Derived: DRAM bytes available per IMM cycle. */
+    double
+    dramBytesPerCycle() const
+    {
+        return dram_bytes_per_sec / freq_imm_hz;
+    }
+
+    /** Derived: indices produced per IMM cycle (CCM aggregate rate). */
+    double
+    indexRatePerImmCycle() const
+    {
+        return static_cast<double>(n_ccu) * freq_ccm_hz / freq_imm_hz;
+    }
+
+    /** Subspaces for a K-wide operand. */
+    int64_t numSubspaces(int64_t k) const { return (k + v - 1) / v; }
+
+    /** Build a SimConfig matching a hardware design point. */
+    static SimConfig fromDesign(const hw::LutDlaDesign &design);
+};
+
+/** Cycle and traffic accounting of one simulated GEMM (IMM cycles). */
+struct SimStats
+{
+    uint64_t total_cycles = 0;
+    uint64_t lookup_cycles = 0;     ///< cycles IMMs spent retiring lookups
+    uint64_t stall_lut_cycles = 0;  ///< waiting on LUT tile loads
+    uint64_t stall_index_cycles = 0;///< waiting on the CCM index stream
+    uint64_t lut_tile_loads = 0;
+    double dram_lut_bytes = 0.0;
+    double dram_input_bytes = 0.0;
+    double dram_output_bytes = 0.0;
+    double effective_macs = 0.0;    ///< M*K*N of the GEMMs simulated
+
+    /** Busy fraction of the IMM array. */
+    double
+    utilization() const
+    {
+        return total_cycles
+                   ? static_cast<double>(lookup_cycles) / total_cycles
+                   : 0.0;
+    }
+
+    double totalDramBytes() const
+    {
+        return dram_lut_bytes + dram_input_bytes + dram_output_bytes;
+    }
+
+    /** Wall-clock seconds at the IMM frequency. */
+    double seconds(const SimConfig &config) const
+    {
+        return static_cast<double>(total_cycles) / config.freq_imm_hz;
+    }
+
+    /** Achieved throughput in GOPS (2 ops per MAC). */
+    double achievedGops(const SimConfig &config) const
+    {
+        const double s = seconds(config);
+        return s > 0 ? 2.0 * effective_macs / s * 1e-9 : 0.0;
+    }
+
+    /** Accumulate another GEMM's stats (sequential execution). */
+    SimStats &operator+=(const SimStats &rhs);
+};
+
+} // namespace lutdla::sim
+
+#endif // LUTDLA_SIM_CONFIG_H

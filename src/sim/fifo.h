@@ -1,0 +1,91 @@
+#ifndef LUTDLA_SIM_FIFO_H
+#define LUTDLA_SIM_FIFO_H
+
+/**
+ * @file
+ * Bounded FIFO queue modelling the asynchronous CCM->IMM index channels
+ * (Sec. IV-A: "CCMs and IMMs are connected through a group of asynchronous
+ * FIFOs"). The crossing between the two clock domains is modelled with a
+ * producer/consumer cycle ratio: push() and pop() take the caller's local
+ * cycle, and availability respects the domain-crossing latency.
+ */
+
+#include <cstdint>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace lutdla::sim {
+
+/** Clock-domain-crossing FIFO with a fixed synchronizer latency. */
+template <typename T>
+class AsyncFifo
+{
+  public:
+    /**
+     * @param capacity       Maximum occupancy.
+     * @param crossing_delay Consumer-side cycles before a pushed entry
+     *                       becomes visible (2-stage synchronizer default).
+     */
+    explicit AsyncFifo(int64_t capacity, double crossing_delay = 2.0)
+        : capacity_(capacity), crossing_delay_(crossing_delay)
+    {
+        LUTDLA_CHECK(capacity_ >= 1, "FIFO capacity must be positive");
+    }
+
+    /** True when another push would exceed capacity. */
+    bool full() const { return size() >= capacity_; }
+
+    /** Entries resident (visible or in flight). */
+    int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+    bool empty() const { return entries_.empty(); }
+
+    /**
+     * Push at producer time `t_push` (in consumer cycles already
+     * converted by the caller's clock ratio).
+     * @return false when full (caller must retry / stall).
+     */
+    bool
+    push(const T &value, double t_push)
+    {
+        if (full())
+            return false;
+        entries_.push_back({value, t_push + crossing_delay_});
+        return true;
+    }
+
+    /** True when the head entry is visible at consumer time `t`. */
+    bool
+    canPop(double t) const
+    {
+        return !entries_.empty() && entries_.front().visible_at <= t;
+    }
+
+    /** Pop the head (caller must have checked canPop). */
+    T
+    pop(double t)
+    {
+        LUTDLA_CHECK(canPop(t), "pop on empty/invisible FIFO head");
+        T v = entries_.front().value;
+        entries_.pop_front();
+        return v;
+    }
+
+    int64_t capacity() const { return capacity_; }
+
+  private:
+    struct Entry
+    {
+        T value;
+        double visible_at;
+    };
+
+    int64_t capacity_;
+    double crossing_delay_;
+    std::deque<Entry> entries_;
+};
+
+} // namespace lutdla::sim
+
+#endif // LUTDLA_SIM_FIFO_H

@@ -1,0 +1,221 @@
+#include "sim/lutdla_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::sim {
+
+SimConfig
+SimConfig::fromDesign(const hw::LutDlaDesign &design)
+{
+    SimConfig cfg;
+    cfg.v = design.v;
+    cfg.c = design.c;
+    cfg.tn = design.tn;
+    cfg.m_tile = design.m_rows;
+    cfg.n_imm = design.n_imm;
+    cfg.n_ccu = design.n_ccu;
+    cfg.lut_entry_bytes = design.lut_entry_bytes;
+    cfg.freq_imm_hz = design.freq_imm_hz;
+    cfg.freq_ccm_hz = design.freq_ccm_hz;
+    return cfg;
+}
+
+SimStats &
+SimStats::operator+=(const SimStats &rhs)
+{
+    total_cycles += rhs.total_cycles;
+    lookup_cycles += rhs.lookup_cycles;
+    stall_lut_cycles += rhs.stall_lut_cycles;
+    stall_index_cycles += rhs.stall_index_cycles;
+    lut_tile_loads += rhs.lut_tile_loads;
+    dram_lut_bytes += rhs.dram_lut_bytes;
+    dram_input_bytes += rhs.dram_input_bytes;
+    dram_output_bytes += rhs.dram_output_bytes;
+    effective_macs += rhs.effective_macs;
+    return *this;
+}
+
+namespace {
+
+/** Serializing DRAM channel: transfers are granted in request order. */
+class DramChannel
+{
+  public:
+    explicit DramChannel(double bytes_per_cycle)
+        : bytes_per_cycle_(bytes_per_cycle)
+    {
+    }
+
+    /** Schedule a transfer; returns its completion time (cycles). */
+    double
+    transfer(double request_time, double bytes)
+    {
+        const double start = std::max(request_time, free_time_);
+        free_time_ = start + bytes / bytes_per_cycle_;
+        return free_time_;
+    }
+
+    double freeTime() const { return free_time_; }
+
+  private:
+    double bytes_per_cycle_;
+    double free_time_ = 0.0;
+};
+
+} // namespace
+
+SimStats
+LutDlaSimulator::simulateGemm(const GemmShape &gemm) const
+{
+    const SimConfig &cfg = config_;
+    LUTDLA_CHECK(gemm.m > 0 && gemm.k > 0 && gemm.n > 0,
+                 "degenerate GEMM shape");
+
+    const int64_t nc = cfg.numSubspaces(gemm.k);
+    const int64_t no = (gemm.n + cfg.tn - 1) / cfg.tn;
+    const int64_t waves = (no + cfg.n_imm - 1) / cfg.n_imm;
+    const int64_t blocks = (gemm.m + cfg.m_tile - 1) / cfg.m_tile;
+    const double rate = cfg.indexRatePerImmCycle();
+    const double fill =
+        static_cast<double>(cfg.c) * cfg.freq_imm_hz / cfg.freq_ccm_hz;
+    DramChannel dram(cfg.dramBytesPerCycle());
+
+    SimStats stats;
+    stats.effective_macs = gemm.macs();
+
+    double t = 0.0;
+    for (int64_t w = 0; w < waves; ++w) {
+        // Sum of lane widths across the active IMMs of this wave
+        // (the last tile of the last wave may be ragged).
+        const int64_t first_tile = w * cfg.n_imm;
+        const int64_t active =
+            std::min<int64_t>(cfg.n_imm, no - first_tile);
+        double wave_width = 0.0;
+        for (int64_t i = 0; i < active; ++i) {
+            const int64_t start_n = (first_tile + i) * cfg.tn;
+            wave_width += static_cast<double>(
+                std::min<int64_t>(cfg.tn, gemm.n - start_n));
+        }
+        const double lut_tile_bytes =
+            static_cast<double>(cfg.c) * wave_width *
+            static_cast<double>(cfg.lut_entry_bytes);
+
+        // Runtime CCM-IMM adaptation (Sec. IV-A): when the wave covers
+        // fewer output columns than the array's lanes (narrow-N conv
+        // layers), idle lanes fold onto additional rows of the same
+        // subspace, bounded by the CCM's index supply rate.
+        const double lanes_total =
+            static_cast<double>(cfg.n_imm * cfg.tn);
+        const double fold = std::clamp(
+            std::floor(lanes_total / std::max(wave_width, 1.0)), 1.0,
+            std::max(1.0, std::floor(rate)));
+
+        for (int64_t b = 0; b < blocks; ++b) {
+            const int64_t rows =
+                std::min<int64_t>(cfg.m_tile, gemm.m - b * cfg.m_tile);
+            const double drows = static_cast<double>(rows);
+
+            // Per-phase state for the ping-pong algebra.
+            double phase_end_km1 = t;    // end of phase k-1
+            double phase_end_km2 = t;    // end of phase k-2
+            double load_end_prev = t;    // DRAM completion of tile k
+            double ccm_free = t;
+
+            // Preload tile k=0 (and input columns for subspace 0).
+            double load_end_k =
+                dram.transfer(t, lut_tile_bytes +
+                                     drows * cfg.v * cfg.input_bytes);
+            stats.dram_lut_bytes += lut_tile_bytes;
+            stats.dram_input_bytes += drows * cfg.v * cfg.input_bytes;
+            stats.lut_tile_loads += static_cast<uint64_t>(active);
+
+            for (int64_t k = 0; k < nc; ++k) {
+                // Prefetch tile k+1 once its buffer slot is free
+                // (the slot is released when phase k-1 finished).
+                double load_end_next = load_end_k;
+                if (k + 1 < nc) {
+                    const double request =
+                        std::max(phase_end_km1, load_end_prev);
+                    load_end_next = dram.transfer(
+                        request, lut_tile_bytes +
+                                     drows * cfg.v * cfg.input_bytes);
+                    stats.dram_lut_bytes += lut_tile_bytes;
+                    stats.dram_input_bytes +=
+                        drows * cfg.v * cfg.input_bytes;
+                    stats.lut_tile_loads +=
+                        static_cast<uint64_t>(active);
+                }
+
+                // CCM may run one phase ahead (double-buffered indices
+                // buffer). The c-stage dPE pipeline imposes a fill
+                // *latency* on each stream's first index, but centroids
+                // for the next subspace are double-buffered in the dPEs,
+                // so throughput stays at `rate` across k boundaries:
+                // ccm_free advances by occupancy (rows/rate) only.
+                const double ccm_start =
+                    std::max(ccm_free, k == 0 ? t : phase_end_km2);
+                const double first_idx = ccm_start + fill + 1.0 / rate;
+                const double last_idx = ccm_start + fill + drows / rate;
+                ccm_free = ccm_start + drows / rate;
+
+                const double lookup_len = std::ceil(drows / fold);
+                const double ready =
+                    std::max({phase_end_km1, load_end_k, first_idx});
+                const double end =
+                    std::max(ready + lookup_len - 1.0, last_idx);
+
+                stats.lookup_cycles += static_cast<uint64_t>(lookup_len);
+                if (load_end_k > std::max(phase_end_km1, first_idx)) {
+                    stats.stall_lut_cycles += static_cast<uint64_t>(
+                        load_end_k - std::max(phase_end_km1, first_idx));
+                }
+                if (first_idx > std::max(phase_end_km1, load_end_k)) {
+                    stats.stall_index_cycles += static_cast<uint64_t>(
+                        first_idx - std::max(phase_end_km1, load_end_k));
+                }
+
+                phase_end_km2 = phase_end_km1;
+                phase_end_km1 = end;
+                load_end_prev = load_end_k;
+                load_end_k = load_end_next;
+            }
+
+            // Drain the block's outputs; overlapped with later work via
+            // the shared channel.
+            const double out_bytes =
+                drows * wave_width * cfg.output_bytes;
+            dram.transfer(phase_end_km1, out_bytes);
+            stats.dram_output_bytes += out_bytes;
+
+            t = phase_end_km1;
+        }
+    }
+    // The final writeback must land before the GEMM is complete.
+    t = std::max(t, dram.freeTime());
+    stats.total_cycles = static_cast<uint64_t>(std::ceil(t));
+    return stats;
+}
+
+SimStats
+LutDlaSimulator::simulateNetwork(const std::vector<GemmShape> &gemms) const
+{
+    SimStats total;
+    for (const auto &g : gemms)
+        total += simulateGemm(g);
+    return total;
+}
+
+double
+LutDlaSimulator::energyMj(const SimStats &stats, double chip_power_mw,
+                          double dram_pj_per_byte) const
+{
+    const double secs = stats.seconds(config_);
+    const double chip_mj = chip_power_mw * secs;  // mW * s = mJ
+    const double dram_mj = stats.totalDramBytes() * dram_pj_per_byte * 1e-9;
+    return chip_mj + dram_mj;
+}
+
+} // namespace lutdla::sim

@@ -1,0 +1,59 @@
+#ifndef LUTDLA_SIM_LUTDLA_SIM_H
+#define LUTDLA_SIM_LUTDLA_SIM_H
+
+/**
+ * @file
+ * LUT-DLA timing simulator executing the LUT-Stationary dataflow
+ * (Algorithm 1 of the paper).
+ *
+ * Schedule: the No = ceil(N/Tn) output tiles are processed in waves of
+ * n_imm tiles. Within a wave, for each row block (m_tile rows) and each
+ * subspace k, the CCM streams the block's indices once (every IMM in the
+ * wave works at the same (m, k), so the stream is shared) while the IMMs
+ * retire one lookup per lane per cycle. LUT tiles for subspace k+1 are
+ * prefetched into the ping-pong buffer during subspace k and only stall
+ * the array when DRAM is late. The CCM's c-cycle dPE pipeline refill is
+ * paid once per (block, k) phase.
+ *
+ * The model tracks time at IMM-cycle resolution with exact phase algebra;
+ * tests cross-check it against the cycle-stepped MicroSim.
+ */
+
+#include <vector>
+
+#include "sim/config.h"
+
+namespace lutdla::sim {
+
+/** Phase-exact simulator for the LS dataflow. */
+class LutDlaSimulator
+{
+  public:
+    explicit LutDlaSimulator(SimConfig config) : config_(config) {}
+
+    /** Simulate one GEMM and return its cycle/traffic statistics. */
+    SimStats simulateGemm(const GemmShape &gemm) const;
+
+    /** Simulate a network as a sequence of GEMMs (stats accumulate). */
+    SimStats simulateNetwork(const std::vector<GemmShape> &gemms) const;
+
+    /**
+     * Energy estimate (mJ) for previously simulated stats, combining the
+     * design's average power with DRAM transfer energy.
+     *
+     * @param stats        Simulation output.
+     * @param chip_power_mw Average chip power from hw::evaluateDesign.
+     * @param dram_pj_per_byte DRAM access energy (default DDR4 ~20 pJ/B).
+     */
+    double energyMj(const SimStats &stats, double chip_power_mw,
+                    double dram_pj_per_byte = 20.0) const;
+
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace lutdla::sim
+
+#endif // LUTDLA_SIM_LUTDLA_SIM_H

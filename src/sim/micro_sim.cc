@@ -1,0 +1,213 @@
+#include "sim/micro_sim.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace lutdla::sim {
+
+namespace {
+
+/** A pending DRAM transfer. */
+struct Transfer
+{
+    double bytes_left = 0.0;
+    int64_t tag = -1;  ///< ping-pong slot index, or -1 for output drain
+};
+
+/** One ping-pong buffer slot. */
+struct Slot
+{
+    int64_t k = -1;      ///< subspace whose tile it holds
+    bool ready = false;  ///< fully loaded
+};
+
+} // namespace
+
+SimStats
+MicroSim::simulateGemm(const GemmShape &gemm) const
+{
+    const SimConfig &cfg = config_;
+    const int64_t nc = cfg.numSubspaces(gemm.k);
+    const int64_t no = (gemm.n + cfg.tn - 1) / cfg.tn;
+    const int64_t waves = (no + cfg.n_imm - 1) / cfg.n_imm;
+    const int64_t blocks = (gemm.m + cfg.m_tile - 1) / cfg.m_tile;
+    const double rate = cfg.indexRatePerImmCycle();
+    const double bw = cfg.dramBytesPerCycle();
+    // dPE pipeline depth converted to IMM cycles.
+    const double fill_cycles =
+        static_cast<double>(cfg.c) * cfg.freq_imm_hz / cfg.freq_ccm_hz;
+
+    SimStats stats;
+    stats.effective_macs = gemm.macs();
+
+    uint64_t cycle = 0;
+    std::deque<Transfer> dram;
+    double dram_budget = 0.0;
+
+    for (int64_t w = 0; w < waves; ++w) {
+        const int64_t first_tile = w * cfg.n_imm;
+        const int64_t active = std::min<int64_t>(cfg.n_imm,
+                                                 no - first_tile);
+        double wave_width = 0.0;
+        for (int64_t i = 0; i < active; ++i) {
+            const int64_t start_n = (first_tile + i) * cfg.tn;
+            wave_width += static_cast<double>(
+                std::min<int64_t>(cfg.tn, gemm.n - start_n));
+        }
+        const double tile_bytes =
+            static_cast<double>(cfg.c) * wave_width * cfg.lut_entry_bytes;
+        // Lane folding mirrors LutDlaSimulator (idle lanes take extra
+        // rows, bounded by the CCM index rate).
+        const int64_t fold = std::clamp<int64_t>(
+            static_cast<int64_t>(
+                static_cast<double>(cfg.n_imm * cfg.tn) /
+                std::max(wave_width, 1.0)),
+            1, std::max<int64_t>(1, static_cast<int64_t>(rate)));
+
+        for (int64_t b = 0; b < blocks; ++b) {
+            const int64_t rows =
+                std::min<int64_t>(cfg.m_tile, gemm.m - b * cfg.m_tile);
+            const double input_bytes =
+                static_cast<double>(rows) * cfg.v * cfg.input_bytes;
+
+            Slot slots[2];
+            int64_t next_load_k = 0;  ///< next subspace tile to request
+            int64_t k_proc = 0;       ///< subspace being consumed
+            int64_t m = 0;            ///< rows consumed in k_proc
+
+            // CCM stream bookkeeping: stream k's index i becomes visible
+            // at stream_start[k] + fill + (i+1)/rate (pipeline latency);
+            // production occupies the CCU for rows/rate cycles and may
+            // run one phase ahead of the consumer.
+            const double block_start = static_cast<double>(cycle);
+            std::vector<double> stream_start(static_cast<size_t>(nc),
+                                             -1.0);
+            stream_start[0] = block_start;
+            int64_t streams_started = 1;
+
+            auto requestLoad = [&](int64_t slot_id) {
+                slots[slot_id].k = next_load_k;
+                slots[slot_id].ready = false;
+                dram.push_back({tile_bytes + input_bytes, slot_id});
+                stats.dram_lut_bytes += tile_bytes;
+                stats.dram_input_bytes += input_bytes;
+                stats.lut_tile_loads += static_cast<uint64_t>(active);
+                ++next_load_k;
+            };
+            requestLoad(0);
+            if (nc > 1)
+                requestLoad(1);
+
+            while (k_proc < nc) {
+                // ---- DRAM: serve the queue head with this cycle's
+                // bandwidth budget.
+                dram_budget += bw;
+                while (!dram.empty() && dram_budget > 0.0) {
+                    Transfer &head = dram.front();
+                    const double served =
+                        std::min(head.bytes_left, dram_budget);
+                    head.bytes_left -= served;
+                    dram_budget -= served;
+                    if (head.bytes_left <= 1e-9) {
+                        if (head.tag >= 0)
+                            slots[head.tag].ready = true;
+                        dram.pop_front();
+                    } else {
+                        break;
+                    }
+                }
+                // Unused budget does not bank up beyond one cycle.
+                dram_budget = std::min(dram_budget, bw);
+
+                const double now = static_cast<double>(cycle);
+
+                // ---- CCM: launch the next index stream when the CCU is
+                // free and run-ahead (one phase) permits.
+                if (streams_started < nc &&
+                    streams_started <= k_proc + 1) {
+                    const double prev_done =
+                        stream_start[static_cast<size_t>(
+                            streams_started - 1)] +
+                        static_cast<double>(rows) / rate;
+                    if (now + 1e-9 >= prev_done) {
+                        stream_start[static_cast<size_t>(
+                            streams_started)] = std::max(now, prev_done);
+                        ++streams_started;
+                    }
+                }
+
+                // Indices of the consuming phase visible by now.
+                int64_t visible = 0;
+                const double st =
+                    stream_start[static_cast<size_t>(k_proc)];
+                if (st >= 0.0) {
+                    const double raw =
+                        (now - st - fill_cycles) * rate;
+                    visible = std::clamp<int64_t>(
+                        static_cast<int64_t>(raw), 0, rows);
+                }
+
+                // ---- IMMs: up to `fold` rows per cycle if tile + index
+                // ready.
+                Slot *cur = nullptr;
+                for (auto &s : slots)
+                    if (s.k == k_proc)
+                        cur = &s;
+                const bool tile_ok = cur && cur->ready;
+                int64_t served = 0;
+                while (tile_ok && served < fold && m < visible &&
+                       m < rows) {
+                    ++m;
+                    ++served;
+                }
+                if (served > 0) {
+                    ++stats.lookup_cycles;
+                    if (m == rows) {
+                        // Phase complete: release the slot and move on.
+                        cur->k = -1;
+                        cur->ready = false;
+                        if (next_load_k < nc)
+                            requestLoad(cur == &slots[0] ? 0 : 1);
+                        ++k_proc;
+                        m = 0;
+                    }
+                } else if (!tile_ok) {
+                    ++stats.stall_lut_cycles;
+                } else {
+                    ++stats.stall_index_cycles;
+                }
+                ++cycle;
+            }
+
+            // Output drain for the block.
+            const double out_bytes =
+                static_cast<double>(rows) * wave_width * cfg.output_bytes;
+            dram.push_back({out_bytes, -1});
+            stats.dram_output_bytes += out_bytes;
+        }
+    }
+
+    // Flush remaining DRAM traffic (final writebacks).
+    while (!dram.empty()) {
+        dram_budget += bw;
+        while (!dram.empty() && dram_budget > 0.0) {
+            Transfer &head = dram.front();
+            const double served = std::min(head.bytes_left, dram_budget);
+            head.bytes_left -= served;
+            dram_budget -= served;
+            if (head.bytes_left <= 1e-9)
+                dram.pop_front();
+        }
+        dram_budget = std::min(dram_budget, bw);
+        ++cycle;
+    }
+
+    stats.total_cycles = cycle;
+    return stats;
+}
+
+} // namespace lutdla::sim

@@ -1,0 +1,36 @@
+#ifndef LUTDLA_SIM_MICRO_SIM_H
+#define LUTDLA_SIM_MICRO_SIM_H
+
+/**
+ * @file
+ * Cycle-stepped micro-architectural simulator of the LS dataflow.
+ *
+ * Unlike LutDlaSimulator (exact phase algebra), MicroSim steps every IMM
+ * cycle and models the components explicitly: a serializing DRAM queue, the
+ * two ping-pong LUT buffer slots per wave, the CCM's c-deep pipeline with
+ * run-ahead into a double-buffered indices store, and the lookup engines.
+ * It exists to validate the fast model — tests assert the two agree.
+ */
+
+#include "sim/config.h"
+
+namespace lutdla::sim {
+
+/** Cycle-stepped reference simulator. */
+class MicroSim
+{
+  public:
+    explicit MicroSim(SimConfig config) : config_(config) {}
+
+    /** Run one GEMM to completion, stepping individual IMM cycles. */
+    SimStats simulateGemm(const GemmShape &gemm) const;
+
+    const SimConfig &config() const { return config_; }
+
+  private:
+    SimConfig config_;
+};
+
+} // namespace lutdla::sim
+
+#endif // LUTDLA_SIM_MICRO_SIM_H

@@ -1,0 +1,91 @@
+#include "sim/report.h"
+
+#include "util/logging.h"
+#include "util/table.h"
+
+namespace lutdla::sim {
+
+int64_t
+NetworkReport::hottestLayer() const
+{
+    int64_t best = -1;
+    uint64_t most = 0;
+    for (size_t i = 0; i < layers.size(); ++i) {
+        if (layers[i].stats.total_cycles >= most) {
+            most = layers[i].stats.total_cycles;
+            best = static_cast<int64_t>(i);
+        }
+    }
+    return best;
+}
+
+std::string
+NetworkReport::table(const SimConfig &config) const
+{
+    Table t("per-layer simulation breakdown",
+            {"layer", "M", "K", "N", "cycles", "share", "util",
+             "stall(lut)", "stall(idx)", "DRAM KB", "GOPS"});
+    for (const auto &layer : layers) {
+        t.addRow({layer.gemm.tag, std::to_string(layer.gemm.m),
+                  std::to_string(layer.gemm.k),
+                  std::to_string(layer.gemm.n),
+                  std::to_string(layer.stats.total_cycles),
+                  Table::fmt(100.0 * layer.cycle_share, 1) + "%",
+                  Table::fmt(100.0 * layer.stats.utilization(), 1) + "%",
+                  std::to_string(layer.stats.stall_lut_cycles),
+                  std::to_string(layer.stats.stall_index_cycles),
+                  Table::fmt(layer.stats.totalDramBytes() / 1024.0, 1),
+                  Table::fmt(layer.stats.achievedGops(config), 1)});
+    }
+    t.addRow({"TOTAL", "", "", "", std::to_string(total.total_cycles),
+              "100%", Table::fmt(100.0 * total.utilization(), 1) + "%",
+              std::to_string(total.stall_lut_cycles),
+              std::to_string(total.stall_index_cycles),
+              Table::fmt(total.totalDramBytes() / 1024.0, 1),
+              Table::fmt(total.achievedGops(config), 1)});
+    return t.str();
+}
+
+std::string
+NetworkReport::csv(const SimConfig &config) const
+{
+    Table t("breakdown", {"layer", "m", "k", "n", "cycles", "utilization",
+                          "stall_lut", "stall_index", "dram_bytes",
+                          "gops"});
+    for (const auto &layer : layers) {
+        t.addRow({layer.gemm.tag, std::to_string(layer.gemm.m),
+                  std::to_string(layer.gemm.k),
+                  std::to_string(layer.gemm.n),
+                  std::to_string(layer.stats.total_cycles),
+                  Table::fmt(layer.stats.utilization(), 4),
+                  std::to_string(layer.stats.stall_lut_cycles),
+                  std::to_string(layer.stats.stall_index_cycles),
+                  Table::fmt(layer.stats.totalDramBytes(), 0),
+                  Table::fmt(layer.stats.achievedGops(config), 2)});
+    }
+    return t.csv();
+}
+
+NetworkReport
+profileNetwork(const LutDlaSimulator &simulator,
+               const std::vector<GemmShape> &gemms)
+{
+    NetworkReport report;
+    for (const auto &g : gemms) {
+        LayerReport layer;
+        layer.gemm = g;
+        layer.stats = simulator.simulateGemm(g);
+        report.total += layer.stats;
+        report.layers.push_back(std::move(layer));
+    }
+    for (auto &layer : report.layers) {
+        layer.cycle_share =
+            report.total.total_cycles
+                ? static_cast<double>(layer.stats.total_cycles) /
+                      static_cast<double>(report.total.total_cycles)
+                : 0.0;
+    }
+    return report;
+}
+
+} // namespace lutdla::sim

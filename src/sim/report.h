@@ -1,0 +1,51 @@
+#ifndef LUTDLA_SIM_REPORT_H
+#define LUTDLA_SIM_REPORT_H
+
+/**
+ * @file
+ * Per-layer simulation reports: run a network layer by layer and collect
+ * a breakdown table (cycles, utilization, stall split, DRAM traffic per
+ * GEMM) — the artifact a performance engineer actually reads when mapping
+ * a model onto a LUT-DLA instance.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/lutdla_sim.h"
+
+namespace lutdla::sim {
+
+/** One layer's row in the breakdown. */
+struct LayerReport
+{
+    GemmShape gemm;
+    SimStats stats;
+
+    /** Fraction of the network's total cycles spent here. */
+    double cycle_share = 0.0;
+};
+
+/** Whole-network breakdown. */
+struct NetworkReport
+{
+    std::vector<LayerReport> layers;
+    SimStats total;
+
+    /** Index of the layer with the most cycles. */
+    int64_t hottestLayer() const;
+
+    /** Render as an aligned table string. */
+    std::string table(const SimConfig &config) const;
+
+    /** Render as CSV (one row per layer plus a total row). */
+    std::string csv(const SimConfig &config) const;
+};
+
+/** Simulate each GEMM separately and assemble the breakdown. */
+NetworkReport profileNetwork(const LutDlaSimulator &simulator,
+                             const std::vector<GemmShape> &gemms);
+
+} // namespace lutdla::sim
+
+#endif // LUTDLA_SIM_REPORT_H

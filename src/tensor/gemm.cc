@@ -1,0 +1,116 @@
+#include "tensor/gemm.h"
+
+#include "util/logging.h"
+
+namespace lutdla {
+
+namespace {
+
+/** Blocking factor tuned for L1-resident panels of float32. */
+constexpr int64_t kBlock = 64;
+
+} // namespace
+
+Tensor
+matmul(const Tensor &a, const Tensor &b)
+{
+    LUTDLA_CHECK(a.rank() == 2 && b.rank() == 2, "matmul needs matrices");
+    LUTDLA_CHECK(a.dim(1) == b.dim(0), "matmul inner dims: ",
+                 shapeStr(a.shape()), " x ", shapeStr(b.shape()));
+    Tensor c(Shape{a.dim(0), b.dim(1)});
+    matmulAccum(a, b, c);
+    return c;
+}
+
+void
+matmulAccum(const Tensor &a, const Tensor &b, Tensor &c)
+{
+    const int64_t M = a.dim(0), K = a.dim(1), N = b.dim(1);
+    LUTDLA_CHECK(b.dim(0) == K && c.dim(0) == M && c.dim(1) == N,
+                 "matmulAccum shape mismatch");
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+
+    for (int64_t m0 = 0; m0 < M; m0 += kBlock) {
+        const int64_t m1 = std::min(m0 + kBlock, M);
+        for (int64_t k0 = 0; k0 < K; k0 += kBlock) {
+            const int64_t k1 = std::min(k0 + kBlock, K);
+            for (int64_t m = m0; m < m1; ++m) {
+                for (int64_t k = k0; k < k1; ++k) {
+                    const float av = pa[m * K + k];
+                    if (av == 0.0f)
+                        continue;
+                    const float *brow = pb + k * N;
+                    float *crow = pc + m * N;
+                    for (int64_t n = 0; n < N; ++n)
+                        crow[n] += av * brow[n];
+                }
+            }
+        }
+    }
+}
+
+Tensor
+matmulTransposedB(const Tensor &a, const Tensor &b)
+{
+    const int64_t M = a.dim(0), K = a.dim(1), N = b.dim(0);
+    LUTDLA_CHECK(b.dim(1) == K, "matmulTransposedB inner dims");
+    Tensor c(Shape{M, N});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t m = 0; m < M; ++m) {
+        for (int64_t n = 0; n < N; ++n) {
+            const float *arow = pa + m * K;
+            const float *brow = pb + n * K;
+            float acc = 0.0f;
+            for (int64_t k = 0; k < K; ++k)
+                acc += arow[k] * brow[k];
+            pc[m * N + n] = acc;
+        }
+    }
+    return c;
+}
+
+Tensor
+matmulTransposedA(const Tensor &a, const Tensor &b)
+{
+    const int64_t K = a.dim(0), M = a.dim(1), N = b.dim(1);
+    LUTDLA_CHECK(b.dim(0) == K, "matmulTransposedA inner dims");
+    Tensor c(Shape{M, N});
+    const float *pa = a.data();
+    const float *pb = b.data();
+    float *pc = c.data();
+    for (int64_t k = 0; k < K; ++k) {
+        const float *arow = pa + k * M;
+        const float *brow = pb + k * N;
+        for (int64_t m = 0; m < M; ++m) {
+            const float av = arow[m];
+            if (av == 0.0f)
+                continue;
+            float *crow = pc + m * N;
+            for (int64_t n = 0; n < N; ++n)
+                crow[n] += av * brow[n];
+        }
+    }
+    return c;
+}
+
+Tensor
+matvec(const Tensor &a, const Tensor &x)
+{
+    LUTDLA_CHECK(a.rank() == 2 && x.rank() == 1 && a.dim(1) == x.dim(0),
+                 "matvec shapes");
+    const int64_t M = a.dim(0), K = a.dim(1);
+    Tensor y(Shape{M});
+    for (int64_t m = 0; m < M; ++m) {
+        float acc = 0.0f;
+        for (int64_t k = 0; k < K; ++k)
+            acc += a.at(m, k) * x.at(k);
+        y.at(m) = acc;
+    }
+    return y;
+}
+
+} // namespace lutdla

@@ -1,0 +1,38 @@
+#ifndef LUTDLA_TENSOR_GEMM_H
+#define LUTDLA_TENSOR_GEMM_H
+
+/**
+ * @file
+ * Reference dense GEMM kernels. These are both the exact baselines the
+ * LUT-approximated kernels are compared against and the building block of
+ * the NN substrate's linear/conv layers.
+ */
+
+#include "tensor/tensor.h"
+
+namespace lutdla {
+
+/**
+ * C = A(MxK) * B(KxN). Cache-blocked, single-threaded.
+ *
+ * @param a Left operand, rank-2 [M, K].
+ * @param b Right operand, rank-2 [K, N].
+ * @return Product, rank-2 [M, N].
+ */
+Tensor matmul(const Tensor &a, const Tensor &b);
+
+/** C += A * B into a preallocated output (shapes checked). */
+void matmulAccum(const Tensor &a, const Tensor &b, Tensor &c);
+
+/** C = A * B^T where b is [N, K]; used by backward passes. */
+Tensor matmulTransposedB(const Tensor &a, const Tensor &b);
+
+/** C = A^T * B where a is [K, M]; used by weight-gradient passes. */
+Tensor matmulTransposedA(const Tensor &a, const Tensor &b);
+
+/** y = A * x for rank-1 x of size K. */
+Tensor matvec(const Tensor &a, const Tensor &x);
+
+} // namespace lutdla
+
+#endif // LUTDLA_TENSOR_GEMM_H

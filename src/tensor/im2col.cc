@@ -1,0 +1,84 @@
+#include "tensor/im2col.h"
+
+#include "util/logging.h"
+
+namespace lutdla {
+
+Tensor
+im2col(const Tensor &input, const ConvGeometry &geom)
+{
+    LUTDLA_CHECK(input.rank() == 4, "im2col expects NCHW");
+    const int64_t N = input.dim(0), C = input.dim(1);
+    const int64_t H = input.dim(2), W = input.dim(3);
+    LUTDLA_CHECK(C == geom.in_channels, "channel mismatch in im2col");
+    const int64_t Ho = geom.outSize(H), Wo = geom.outSize(W);
+    LUTDLA_CHECK(Ho > 0 && Wo > 0, "conv output collapsed to zero");
+
+    Tensor cols(Shape{N * Ho * Wo, geom.patchSize()});
+    float *out = cols.data();
+    const int64_t k = geom.kernel;
+
+    int64_t row = 0;
+    for (int64_t n = 0; n < N; ++n) {
+        for (int64_t ho = 0; ho < Ho; ++ho) {
+            for (int64_t wo = 0; wo < Wo; ++wo, ++row) {
+                float *dst = out + row * geom.patchSize();
+                int64_t idx = 0;
+                for (int64_t c = 0; c < C; ++c) {
+                    for (int64_t kh = 0; kh < k; ++kh) {
+                        const int64_t hi = ho * geom.stride - geom.padding
+                                         + kh;
+                        for (int64_t kw = 0; kw < k; ++kw, ++idx) {
+                            const int64_t wi = wo * geom.stride
+                                             - geom.padding + kw;
+                            if (hi < 0 || hi >= H || wi < 0 || wi >= W) {
+                                dst[idx] = 0.0f;
+                            } else {
+                                dst[idx] = input.at4(n, c, hi, wi);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return cols;
+}
+
+Tensor
+col2im(const Tensor &cols, const ConvGeometry &geom, int64_t n, int64_t h,
+       int64_t w)
+{
+    const int64_t Ho = geom.outSize(h), Wo = geom.outSize(w);
+    LUTDLA_CHECK(cols.dim(0) == n * Ho * Wo &&
+                 cols.dim(1) == geom.patchSize(),
+                 "col2im shape mismatch");
+    Tensor grad(Shape{n, geom.in_channels, h, w});
+    const int64_t k = geom.kernel;
+    const float *src = cols.data();
+
+    int64_t row = 0;
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ho = 0; ho < Ho; ++ho) {
+            for (int64_t wo = 0; wo < Wo; ++wo, ++row) {
+                const float *patch = src + row * geom.patchSize();
+                int64_t idx = 0;
+                for (int64_t c = 0; c < geom.in_channels; ++c) {
+                    for (int64_t kh = 0; kh < k; ++kh) {
+                        const int64_t hi = ho * geom.stride - geom.padding
+                                         + kh;
+                        for (int64_t kw = 0; kw < k; ++kw, ++idx) {
+                            const int64_t wi = wo * geom.stride
+                                             - geom.padding + kw;
+                            if (hi >= 0 && hi < h && wi >= 0 && wi < w)
+                                grad.at4(b, c, hi, wi) += patch[idx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return grad;
+}
+
+} // namespace lutdla

@@ -1,0 +1,62 @@
+#ifndef LUTDLA_TENSOR_IM2COL_H
+#define LUTDLA_TENSOR_IM2COL_H
+
+/**
+ * @file
+ * im2col / col2im transforms that lower convolution onto GEMM.
+ *
+ * The LUT-DLA hardware only accelerates GEMM-shaped operators; convolutions
+ * reach it through exactly this lowering (as the paper notes for its
+ * ResNet/VGG evaluations).
+ */
+
+#include "tensor/tensor.h"
+
+namespace lutdla {
+
+/** Static geometry of a 2-D convolution. */
+struct ConvGeometry
+{
+    int64_t in_channels = 0;
+    int64_t out_channels = 0;
+    int64_t kernel = 1;       ///< square kernel size
+    int64_t stride = 1;
+    int64_t padding = 0;
+
+    /** Output spatial size for an input of height/width `in`. */
+    int64_t
+    outSize(int64_t in) const
+    {
+        return (in + 2 * padding - kernel) / stride + 1;
+    }
+
+    /** GEMM K dimension after lowering: C_in * k * k. */
+    int64_t patchSize() const { return in_channels * kernel * kernel; }
+};
+
+/**
+ * Lower an NCHW input to the im2col matrix.
+ *
+ * @param input NCHW tensor [N, C, H, W].
+ * @param geom  Convolution geometry (uses kernel/stride/padding/channels).
+ * @return Matrix [N * H_out * W_out, C * k * k]; each row is one receptive
+ *         field patch, ordered (c, kh, kw) within the row.
+ */
+Tensor im2col(const Tensor &input, const ConvGeometry &geom);
+
+/**
+ * Scatter-add the im2col-shaped gradient back to input layout.
+ *
+ * @param cols Gradient matrix shaped like im2col's output.
+ * @param geom Convolution geometry.
+ * @param n    Batch size.
+ * @param h    Input height.
+ * @param w    Input width.
+ * @return Gradient tensor [n, C, h, w].
+ */
+Tensor col2im(const Tensor &cols, const ConvGeometry &geom, int64_t n,
+              int64_t h, int64_t w);
+
+} // namespace lutdla
+
+#endif // LUTDLA_TENSOR_IM2COL_H

@@ -1,0 +1,219 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace lutdla {
+
+std::string
+shapeStr(const Shape &shape)
+{
+    std::ostringstream oss;
+    oss << "[";
+    for (size_t i = 0; i < shape.size(); ++i)
+        oss << (i ? ", " : "") << shape[i];
+    oss << "]";
+    return oss.str();
+}
+
+int64_t
+shapeNumel(const Shape &shape)
+{
+    int64_t n = 1;
+    for (int64_t d : shape)
+        n *= d;
+    return shape.empty() ? 0 : n;
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape))
+{
+    LUTDLA_CHECK(!shape_.empty(), "tensor must have rank >= 1");
+    for (int64_t d : shape_)
+        LUTDLA_CHECK(d > 0, "dims must be positive, got ", shapeStr(shape_));
+    data_.assign(static_cast<size_t>(shapeNumel(shape_)), 0.0f);
+}
+
+Tensor::Tensor(Shape shape, float fill_value) : Tensor(std::move(shape))
+{
+    fill(fill_value);
+}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data))
+{
+    LUTDLA_CHECK(shapeNumel(shape_) == static_cast<int64_t>(data_.size()),
+                 "data size ", data_.size(), " != shape ", shapeStr(shape_));
+}
+
+int64_t
+Tensor::dim(int64_t d) const
+{
+    if (d < 0)
+        d += rank();
+    LUTDLA_CHECK(d >= 0 && d < rank(), "dim ", d, " out of range");
+    return shape_[static_cast<size_t>(d)];
+}
+
+float &
+Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w)
+{
+    const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+float
+Tensor::at4(int64_t n, int64_t c, int64_t h, int64_t w) const
+{
+    const int64_t C = shape_[1], H = shape_[2], W = shape_[3];
+    return data_[static_cast<size_t>(((n * C + c) * H + h) * W + w)];
+}
+
+Tensor
+Tensor::reshaped(Shape new_shape) const
+{
+    LUTDLA_CHECK(shapeNumel(new_shape) == numel(), "reshape ",
+                 shapeStr(shape_), " -> ", shapeStr(new_shape),
+                 " changes numel");
+    Tensor out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
+}
+
+void
+Tensor::fill(float value)
+{
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor &
+Tensor::operator+=(const Tensor &rhs)
+{
+    LUTDLA_CHECK(numel() == rhs.numel(), "shape mismatch in +=");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] += rhs.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator-=(const Tensor &rhs)
+{
+    LUTDLA_CHECK(numel() == rhs.numel(), "shape mismatch in -=");
+    for (size_t i = 0; i < data_.size(); ++i)
+        data_[i] -= rhs.data_[i];
+    return *this;
+}
+
+Tensor &
+Tensor::operator*=(float s)
+{
+    for (auto &x : data_)
+        x *= s;
+    return *this;
+}
+
+Tensor
+Tensor::operator+(const Tensor &rhs) const
+{
+    Tensor out = *this;
+    out += rhs;
+    return out;
+}
+
+Tensor
+Tensor::operator-(const Tensor &rhs) const
+{
+    Tensor out = *this;
+    out -= rhs;
+    return out;
+}
+
+double
+Tensor::sum() const
+{
+    double s = 0.0;
+    for (float x : data_)
+        s += x;
+    return s;
+}
+
+double
+Tensor::mean() const
+{
+    return data_.empty() ? 0.0 : sum() / static_cast<double>(data_.size());
+}
+
+double
+Tensor::squaredNorm() const
+{
+    double s = 0.0;
+    for (float x : data_)
+        s += static_cast<double>(x) * x;
+    return s;
+}
+
+float
+Tensor::absMax() const
+{
+    float m = 0.0f;
+    for (float x : data_)
+        m = std::max(m, std::fabs(x));
+    return m;
+}
+
+Tensor
+Tensor::transposed2d() const
+{
+    LUTDLA_CHECK(rank() == 2, "transposed2d requires rank 2, got ",
+                 shapeStr(shape_));
+    const int64_t R = shape_[0], C = shape_[1];
+    Tensor out(Shape{C, R});
+    for (int64_t r = 0; r < R; ++r)
+        for (int64_t c = 0; c < C; ++c)
+            out.at(c, r) = at(r, c);
+    return out;
+}
+
+Tensor
+Tensor::row(int64_t r) const
+{
+    LUTDLA_CHECK(rank() == 2 && r >= 0 && r < shape_[0], "bad row index");
+    const int64_t C = shape_[1];
+    Tensor out(Shape{C});
+    for (int64_t c = 0; c < C; ++c)
+        out.at(c) = at(r, c);
+    return out;
+}
+
+bool
+Tensor::equals(const Tensor &rhs) const
+{
+    return shape_ == rhs.shape_ && data_ == rhs.data_;
+}
+
+float
+Tensor::maxAbsDiff(const Tensor &a, const Tensor &b)
+{
+    LUTDLA_CHECK(a.numel() == b.numel(), "maxAbsDiff shape mismatch");
+    float m = 0.0f;
+    for (int64_t i = 0; i < a.numel(); ++i)
+        m = std::max(m, std::fabs(a.at(i) - b.at(i)));
+    return m;
+}
+
+double
+Tensor::relError(const Tensor &a, const Tensor &b)
+{
+    LUTDLA_CHECK(a.numel() == b.numel(), "relError shape mismatch");
+    double num = 0.0, den = 0.0;
+    for (int64_t i = 0; i < a.numel(); ++i) {
+        double d = static_cast<double>(a.at(i)) - b.at(i);
+        num += d * d;
+        den += static_cast<double>(b.at(i)) * b.at(i);
+    }
+    return std::sqrt(num) / std::max(std::sqrt(den), 1e-12);
+}
+
+} // namespace lutdla

@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+namespace lutdla {
+
+namespace {
+
+/** Process-wide threshold; benches default to Warn to keep tables clean. */
+LogLevel g_threshold = LogLevel::Warn;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info:  return "INFO";
+      case LogLevel::Warn:  return "WARN";
+      case LogLevel::Error: return "ERROR";
+      default:              return "?";
+    }
+}
+
+} // namespace
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+namespace detail {
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    std::cerr << "[" << levelName(level) << "] " << msg << "\n";
+}
+
+} // namespace detail
+
+} // namespace lutdla

@@ -1,0 +1,108 @@
+#ifndef LUTDLA_UTIL_LOGGING_H
+#define LUTDLA_UTIL_LOGGING_H
+
+/**
+ * @file
+ * Minimal logging and error-reporting helpers.
+ *
+ * Follows the gem5 fatal()/panic() split: fatal() is a user error (bad
+ * configuration, impossible request) and exits cleanly; panic() is an
+ * internal invariant violation and aborts.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace lutdla {
+
+/** Log severity levels, ordered by verbosity. */
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Silent = 4 };
+
+/** Global log threshold; messages below it are suppressed. */
+LogLevel logThreshold();
+
+/** Set the global log threshold. */
+void setLogThreshold(LogLevel level);
+
+namespace detail {
+
+/** Emit one formatted log line to stderr if `level` passes the threshold. */
+void emitLog(LogLevel level, const std::string &msg);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/** Informational message for normal operation. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Info, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Warn about suspicious but survivable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn, detail::concat(std::forward<Args>(args)...));
+}
+
+/** Debug chatter, off by default. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emitLog(LogLevel::Debug,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Abort on a user-caused error (bad parameters, impossible configuration).
+ * Mirrors gem5's fatal(): prints and exits with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::emitLog(LogLevel::Error,
+                    detail::concat("fatal: ", std::forward<Args>(args)...));
+    std::exit(1);
+}
+
+/**
+ * Abort on an internal invariant violation (a bug in this library).
+ * Mirrors gem5's panic(): prints and calls abort() so a core is produced.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::emitLog(LogLevel::Error,
+                    detail::concat("panic: ", std::forward<Args>(args)...));
+    std::abort();
+}
+
+/** Assert-like check that survives NDEBUG; panics with a message on failure. */
+#define LUTDLA_CHECK(cond, ...)                                               \
+    do {                                                                      \
+        if (!(cond)) {                                                        \
+            ::lutdla::panic("check failed: ", #cond, " @ ", __FILE__, ":",    \
+                            __LINE__, " ", ##__VA_ARGS__);                    \
+        }                                                                     \
+    } while (0)
+
+} // namespace lutdla
+
+#endif // LUTDLA_UTIL_LOGGING_H

@@ -1,0 +1,80 @@
+#ifndef LUTDLA_UTIL_RNG_H
+#define LUTDLA_UTIL_RNG_H
+
+/**
+ * @file
+ * Seeded random-number utilities.
+ *
+ * All stochastic components (dataset synthesis, weight init, k-means init)
+ * take an explicit Rng so experiments are reproducible bit-for-bit.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace lutdla {
+
+/** Thin wrapper over a 64-bit Mersenne Twister with convenience draws. */
+class Rng
+{
+  public:
+    /** Construct from an explicit seed (default fixed for reproducibility). */
+    explicit Rng(uint64_t seed = 0x1ebf00d5) : engine_(seed) {}
+
+    /** Uniform real in [lo, hi). */
+    double
+    uniform(double lo = 0.0, double hi = 1.0)
+    {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /** Standard normal draw scaled by `stddev` around `mean`. */
+    double
+    gaussian(double mean = 0.0, double stddev = 1.0)
+    {
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    uniformInt(int64_t lo, int64_t hi)
+    {
+        return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    bernoulli(double p)
+    {
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /** Fill `out` with N(mean, stddev) floats. */
+    void
+    fillGaussian(std::vector<float> &out, float mean, float stddev)
+    {
+        std::normal_distribution<float> dist(mean, stddev);
+        for (auto &x : out)
+            x = dist(engine_);
+    }
+
+    /** In-place Fisher-Yates shuffle of an index vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        std::shuffle(v.begin(), v.end(), engine_);
+    }
+
+    /** Expose the engine for std distributions not wrapped here. */
+    std::mt19937_64 &engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+} // namespace lutdla
+
+#endif // LUTDLA_UTIL_RNG_H

@@ -1,0 +1,16 @@
+#include "util/stats.h"
+
+#include <sstream>
+
+namespace lutdla {
+
+std::string
+RunningStats::summary() const
+{
+    std::ostringstream oss;
+    oss << "n=" << n_ << " mean=" << mean() << " std=" << stddev()
+        << " min=" << min() << " max=" << max();
+    return oss.str();
+}
+
+} // namespace lutdla

@@ -1,0 +1,76 @@
+#ifndef LUTDLA_UTIL_STATS_H
+#define LUTDLA_UTIL_STATS_H
+
+/**
+ * @file
+ * Streaming summary statistics (count/mean/min/max/variance) used by the
+ * simulator's per-module counters and by accuracy sweeps.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace lutdla {
+
+/** Welford-style streaming accumulator for scalar samples. */
+class RunningStats
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void
+    add(double x)
+    {
+        ++n_;
+        double delta = x - mean_;
+        mean_ += delta / static_cast<double>(n_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    /** Number of samples folded so far. */
+    uint64_t count() const { return n_; }
+    /** Running sum of all samples. */
+    double sum() const { return sum_; }
+    /** Sample mean (0 when empty). */
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /** Smallest sample (+inf when empty). */
+    double min() const { return min_; }
+    /** Largest sample (-inf when empty). */
+    double max() const { return max_; }
+
+    /** Unbiased sample variance (0 with <2 samples). */
+    double
+    variance() const
+    {
+        return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+    }
+
+    /** Sample standard deviation. */
+    double stddev() const { return std::sqrt(variance()); }
+
+    /** Reset to the empty state. */
+    void
+    reset()
+    {
+        *this = RunningStats();
+    }
+
+    /** One-line human-readable rendering. */
+    std::string summary() const;
+
+  private:
+    uint64_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace lutdla
+
+#endif // LUTDLA_UTIL_STATS_H

@@ -1,0 +1,111 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace lutdla {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addNote(std::string note)
+{
+    notes_.push_back(std::move(note));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t i = 0; i < headers_.size(); ++i)
+        widths[i] = headers_[i].size();
+    for (const auto &row : rows_)
+        for (size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+
+    auto renderRow = [&](const std::vector<std::string> &row) {
+        std::ostringstream oss;
+        oss << "|";
+        for (size_t i = 0; i < headers_.size(); ++i) {
+            const std::string &cell = i < row.size() ? row[i] : "";
+            oss << " " << cell << std::string(widths[i] - cell.size(), ' ')
+                << " |";
+        }
+        return oss.str();
+    };
+
+    size_t total = 1;
+    for (size_t w : widths)
+        total += w + 3;
+
+    std::ostringstream oss;
+    oss << "== " << title_ << " ==\n";
+    oss << renderRow(headers_) << "\n";
+    oss << std::string(total, '-') << "\n";
+    for (const auto &row : rows_)
+        oss << renderRow(row) << "\n";
+    for (const auto &note : notes_)
+        oss << "  * " << note << "\n";
+    return oss.str();
+}
+
+std::string
+Table::csv() const
+{
+    std::ostringstream oss;
+    auto join = [&](const std::vector<std::string> &row) {
+        for (size_t i = 0; i < row.size(); ++i)
+            oss << (i ? "," : "") << row[i];
+        oss << "\n";
+    };
+    join(headers_);
+    for (const auto &row : rows_)
+        join(row);
+    for (const auto &note : notes_)
+        oss << "# " << note << "\n";
+    return oss.str();
+}
+
+void
+Table::print() const
+{
+    std::cout << str() << std::endl;
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtKb(double bytes, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fKB", precision, bytes / 1024.0);
+    return buf;
+}
+
+std::string
+Table::fmtRatio(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+} // namespace lutdla

@@ -1,0 +1,51 @@
+#ifndef LUTDLA_UTIL_TABLE_H
+#define LUTDLA_UTIL_TABLE_H
+
+/**
+ * @file
+ * Aligned ASCII table printer used by every bench binary to render the
+ * paper's tables and figure series in a uniform way. Also exports CSV.
+ */
+
+#include <string>
+#include <vector>
+
+namespace lutdla {
+
+/** A simple column-aligned table with a title and optional footnotes. */
+class Table
+{
+  public:
+    /** Create a table titled `title` with the given column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Append a row of preformatted cells; pads/truncates to column count. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a footnote line printed under the table. */
+    void addNote(std::string note);
+
+    /** Render the aligned table to a string. */
+    std::string str() const;
+
+    /** Render as CSV (header row first, notes as trailing comments). */
+    std::string csv() const;
+
+    /** Print to stdout. */
+    void print() const;
+
+    /** Number formatting helpers shared by benches. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtKb(double bytes, int precision = 2);
+    static std::string fmtRatio(double v, int precision = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+    std::vector<std::string> notes_;
+};
+
+} // namespace lutdla
+
+#endif // LUTDLA_UTIL_TABLE_H

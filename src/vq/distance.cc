@@ -1,0 +1,88 @@
+#include "vq/distance.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::vq {
+
+std::string
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::L2:        return "L2";
+      case Metric::L1:        return "L1";
+      case Metric::Chebyshev: return "Chebyshev";
+    }
+    return "?";
+}
+
+Metric
+metricFromName(const std::string &name)
+{
+    if (name == "L2" || name == "l2")
+        return Metric::L2;
+    if (name == "L1" || name == "l1")
+        return Metric::L1;
+    if (name == "Chebyshev" || name == "chebyshev" || name == "che")
+        return Metric::Chebyshev;
+    fatal("unknown metric '", name, "'");
+}
+
+float
+l2Squared(const float *a, const float *b, int64_t n)
+{
+    float acc = 0.0f;
+    for (int64_t i = 0; i < n; ++i) {
+        const float d = a[i] - b[i];
+        acc += d * d;
+    }
+    return acc;
+}
+
+float
+l1(const float *a, const float *b, int64_t n)
+{
+    float acc = 0.0f;
+    for (int64_t i = 0; i < n; ++i)
+        acc += std::fabs(a[i] - b[i]);
+    return acc;
+}
+
+float
+chebyshev(const float *a, const float *b, int64_t n)
+{
+    float acc = 0.0f;
+    for (int64_t i = 0; i < n; ++i)
+        acc = std::max(acc, std::fabs(a[i] - b[i]));
+    return acc;
+}
+
+float
+distance(Metric metric, const float *a, const float *b, int64_t n)
+{
+    switch (metric) {
+      case Metric::L2:        return l2Squared(a, b, n);
+      case Metric::L1:        return l1(a, b, n);
+      case Metric::Chebyshev: return chebyshev(a, b, n);
+    }
+    return 0.0f;
+}
+
+int32_t
+argminCentroid(Metric metric, const float *x, const float *centroids,
+               int64_t c, int64_t v)
+{
+    int32_t best = 0;
+    float best_dist = distance(metric, x, centroids, v);
+    for (int64_t j = 1; j < c; ++j) {
+        const float d = distance(metric, x, centroids + j * v, v);
+        if (d < best_dist) {
+            best_dist = d;
+            best = static_cast<int32_t>(j);
+        }
+    }
+    return best;
+}
+
+} // namespace lutdla::vq

@@ -1,0 +1,56 @@
+#ifndef LUTDLA_VQ_DISTANCE_H
+#define LUTDLA_VQ_DISTANCE_H
+
+/**
+ * @file
+ * Similarity metrics used by the CCM's distance PEs.
+ *
+ * LUT-DLA supports three metrics with decreasing hardware cost (Sec. V-2):
+ *   - Euclidean (L2): multiplier + adder per element,
+ *   - Manhattan (L1): subtract/abs/add only (multiplication-free),
+ *   - Chebyshev:      subtract/abs/max only (cheapest).
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace lutdla::vq {
+
+/** Similarity metric selector shared by software training and HW models. */
+enum class Metric { L2, L1, Chebyshev };
+
+/** Human-readable metric name ("L2" / "L1" / "Chebyshev"). */
+std::string metricName(Metric metric);
+
+/** Parse a metric name; fatal on unknown input. */
+Metric metricFromName(const std::string &name);
+
+/** Squared Euclidean distance between length-n vectors. */
+float l2Squared(const float *a, const float *b, int64_t n);
+
+/** Manhattan distance between length-n vectors. */
+float l1(const float *a, const float *b, int64_t n);
+
+/** Chebyshev (max-abs-diff) distance between length-n vectors. */
+float chebyshev(const float *a, const float *b, int64_t n);
+
+/** Dispatch on `metric`; L2 returns the squared distance (argmin-safe). */
+float distance(Metric metric, const float *a, const float *b, int64_t n);
+
+/**
+ * Index of the centroid nearest to `x` under `metric`.
+ *
+ * @param metric     Similarity metric.
+ * @param x          Query vector of length `v`.
+ * @param centroids  Row-major [c, v] centroid matrix.
+ * @param c          Number of centroids.
+ * @param v          Vector length.
+ * @return Winning centroid index in [0, c); ties break toward the lower
+ *         index, matching the dPE chain's MSB comparison order.
+ */
+int32_t argminCentroid(Metric metric, const float *x, const float *centroids,
+                       int64_t c, int64_t v);
+
+} // namespace lutdla::vq
+
+#endif // LUTDLA_VQ_DISTANCE_H

@@ -1,0 +1,200 @@
+#include "vq/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace lutdla::vq {
+
+namespace {
+
+/**
+ * Seed centroids with k-means++: each new centroid is drawn with
+ * probability proportional to its distance from the nearest chosen one.
+ */
+Tensor
+kmeansPlusPlusInit(const Tensor &data, const KMeansConfig &config, Rng &rng)
+{
+    const int64_t n = data.dim(0), v = data.dim(1);
+    const int64_t c = config.clusters;
+    Tensor centroids(Shape{c, v});
+
+    std::vector<double> min_dist(static_cast<size_t>(n),
+                                 std::numeric_limits<double>::infinity());
+    int64_t first = rng.uniformInt(0, n - 1);
+    for (int64_t j = 0; j < v; ++j)
+        centroids.at(0, j) = data.at(first, j);
+
+    for (int64_t k = 1; k < c; ++k) {
+        double total = 0.0;
+        const float *prev = centroids.data() + (k - 1) * v;
+        for (int64_t i = 0; i < n; ++i) {
+            const double d = distance(config.metric, data.data() + i * v,
+                                      prev, v);
+            min_dist[static_cast<size_t>(i)] =
+                std::min(min_dist[static_cast<size_t>(i)], d);
+            total += min_dist[static_cast<size_t>(i)];
+        }
+        int64_t pick = 0;
+        if (total > 0.0) {
+            double target = rng.uniform(0.0, total);
+            double acc = 0.0;
+            for (int64_t i = 0; i < n; ++i) {
+                acc += min_dist[static_cast<size_t>(i)];
+                if (acc >= target) {
+                    pick = i;
+                    break;
+                }
+            }
+        } else {
+            pick = rng.uniformInt(0, n - 1);
+        }
+        for (int64_t j = 0; j < v; ++j)
+            centroids.at(k, j) = data.at(pick, j);
+    }
+    return centroids;
+}
+
+/** Metric-specific M-step over the members of one cluster. */
+void
+updateCentroid(Metric metric, const Tensor &data,
+               const std::vector<int64_t> &members, float *out, int64_t v)
+{
+    const int64_t m = static_cast<int64_t>(members.size());
+    if (m == 0)
+        return;
+    switch (metric) {
+      case Metric::L2: {
+        for (int64_t j = 0; j < v; ++j) {
+            double s = 0.0;
+            for (int64_t i : members)
+                s += data.at(i * v + j);
+            out[j] = static_cast<float>(s / static_cast<double>(m));
+        }
+        break;
+      }
+      case Metric::L1: {
+        std::vector<float> col(static_cast<size_t>(m));
+        for (int64_t j = 0; j < v; ++j) {
+            for (int64_t i = 0; i < m; ++i)
+                col[static_cast<size_t>(i)] = data.at(members[i] * v + j);
+            auto mid = col.begin() + m / 2;
+            std::nth_element(col.begin(), mid, col.end());
+            float median = *mid;
+            if (m % 2 == 0) {
+                // Lower median averaged with the upper neighbour keeps the
+                // L1 objective minimal and deterministic.
+                auto lo = std::max_element(col.begin(), mid);
+                median = 0.5f * (median + *lo);
+            }
+            out[j] = median;
+        }
+        break;
+      }
+      case Metric::Chebyshev: {
+        for (int64_t j = 0; j < v; ++j) {
+            float lo = std::numeric_limits<float>::infinity();
+            float hi = -std::numeric_limits<float>::infinity();
+            for (int64_t i : members) {
+                const float x = data.at(i * v + j);
+                lo = std::min(lo, x);
+                hi = std::max(hi, x);
+            }
+            out[j] = 0.5f * (lo + hi);
+        }
+        break;
+      }
+    }
+}
+
+} // namespace
+
+double
+assignToCentroids(const Tensor &data, const Tensor &centroids, Metric metric,
+                  std::vector<int32_t> &assignments)
+{
+    const int64_t n = data.dim(0), v = data.dim(1);
+    const int64_t c = centroids.dim(0);
+    assignments.resize(static_cast<size_t>(n));
+    double inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+        const float *x = data.data() + i * v;
+        const int32_t idx = argminCentroid(metric, x, centroids.data(), c, v);
+        assignments[static_cast<size_t>(i)] = idx;
+        inertia += distance(metric, x, centroids.data() + idx * v, v);
+    }
+    return inertia;
+}
+
+KMeansResult
+kmeans(const Tensor &data, const KMeansConfig &config)
+{
+    LUTDLA_CHECK(data.rank() == 2, "kmeans expects [n, v] data");
+    LUTDLA_CHECK(config.clusters >= 1, "need at least one cluster");
+    const int64_t n = data.dim(0), v = data.dim(1);
+    Rng rng(config.seed);
+
+    KMeansResult result;
+    if (n < config.clusters) {
+        // Degenerate small-layer case: copy samples, tile the remainder.
+        result.centroids = Tensor(Shape{config.clusters, v});
+        for (int64_t k = 0; k < config.clusters; ++k)
+            for (int64_t j = 0; j < v; ++j)
+                result.centroids.at(k, j) = data.at((k % n) * v + j);
+        result.inertia = assignToCentroids(data, result.centroids,
+                                           config.metric, result.assignments);
+        return result;
+    }
+
+    result.centroids = kmeansPlusPlusInit(data, config, rng);
+    double prev_inertia = std::numeric_limits<double>::infinity();
+
+    for (int64_t iter = 0; iter < config.max_iters; ++iter) {
+        result.iterations = iter + 1;
+        result.inertia = assignToCentroids(data, result.centroids,
+                                           config.metric, result.assignments);
+
+        std::vector<std::vector<int64_t>> members(
+            static_cast<size_t>(config.clusters));
+        for (int64_t i = 0; i < n; ++i)
+            members[static_cast<size_t>(result.assignments[i])].push_back(i);
+
+        for (int64_t k = 0; k < config.clusters; ++k) {
+            auto &cluster = members[static_cast<size_t>(k)];
+            if (cluster.empty()) {
+                // Reseed dead centroids on the farthest sample.
+                int64_t far = 0;
+                double far_d = -1.0;
+                for (int64_t i = 0; i < n; ++i) {
+                    const int32_t a = result.assignments[i];
+                    const double d = distance(
+                        config.metric, data.data() + i * v,
+                        result.centroids.data() + a * v, v);
+                    if (d > far_d) {
+                        far_d = d;
+                        far = i;
+                    }
+                }
+                for (int64_t j = 0; j < v; ++j)
+                    result.centroids.at(k, j) = data.at(far, j);
+                continue;
+            }
+            updateCentroid(config.metric, data, cluster,
+                           result.centroids.data() + k * v, v);
+        }
+
+        if (prev_inertia - result.inertia <=
+            config.tol * std::max(prev_inertia, 1e-12)) {
+            break;
+        }
+        prev_inertia = result.inertia;
+    }
+
+    result.inertia = assignToCentroids(data, result.centroids, config.metric,
+                                       result.assignments);
+    return result;
+}
+
+} // namespace lutdla::vq

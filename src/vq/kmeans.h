@@ -1,0 +1,58 @@
+#ifndef LUTDLA_VQ_KMEANS_H
+#define LUTDLA_VQ_KMEANS_H
+
+/**
+ * @file
+ * Metric-aware k-means clustering (step 1 of Fig. 2 in the paper).
+ *
+ * Centroid updates minimize the chosen metric per cluster:
+ *   - L2        -> coordinate mean (classic Lloyd step),
+ *   - L1        -> coordinate median (k-medians),
+ *   - Chebyshev -> coordinate midrange ((min+max)/2).
+ * Initialization is k-means++ under the same metric.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+#include "vq/distance.h"
+
+namespace lutdla::vq {
+
+/** Clustering hyperparameters. */
+struct KMeansConfig
+{
+    int64_t clusters = 16;        ///< c, number of centroids
+    Metric metric = Metric::L2;   ///< distance used for assign + update
+    int64_t max_iters = 25;       ///< Lloyd iteration budget
+    double tol = 1e-5;            ///< relative inertia improvement to stop
+    uint64_t seed = 7;            ///< k-means++ seed
+};
+
+/** Clustering output. */
+struct KMeansResult
+{
+    Tensor centroids;                  ///< [c, v]
+    std::vector<int32_t> assignments;  ///< per-sample winning centroid
+    double inertia = 0.0;              ///< sum of metric distances
+    int64_t iterations = 0;            ///< Lloyd iterations executed
+};
+
+/**
+ * Cluster `data` ([n, v] rows) into `config.clusters` centroids.
+ *
+ * Empty clusters are reseeded from the farthest sample so the codebook
+ * always contains `c` live centroids. If n < c the extra centroids
+ * duplicate samples (the paper's small-layer case).
+ */
+KMeansResult kmeans(const Tensor &data, const KMeansConfig &config);
+
+/** Recompute assignments + inertia for fixed centroids (one E-step). */
+double assignToCentroids(const Tensor &data, const Tensor &centroids,
+                         Metric metric, std::vector<int32_t> &assignments);
+
+} // namespace lutdla::vq
+
+#endif // LUTDLA_VQ_KMEANS_H

@@ -1,0 +1,140 @@
+#include "vq/lut.h"
+
+#include "tensor/gemm.h"
+#include "util/logging.h"
+
+namespace lutdla::vq {
+
+namespace {
+
+/** Round a quantizer's view of the CCM inputs through BF16 when asked. */
+ProductQuantizer
+maybeBf16Quantizer(const ProductQuantizer &pq, bool bf16)
+{
+    if (!bf16)
+        return pq;
+    ProductQuantizer out = pq;
+    for (int64_t s = 0; s < out.numSubspaces(); ++s) {
+        Tensor cb = out.codebook(s);
+        tensorToBf16(cb);
+        out.setCodebook(s, std::move(cb));
+    }
+    return out;
+}
+
+} // namespace
+
+LookupTable::LookupTable(const ProductQuantizer &pq, const Tensor &weights,
+                         LutPrecision precision)
+    : out_dim_(weights.dim(1)),
+      num_subspaces_(pq.numSubspaces()),
+      num_centroids_(pq.config().c),
+      precision_(precision)
+{
+    LUTDLA_CHECK(pq.trained(), "quantizer must be trained to build a LUT");
+    LUTDLA_CHECK(weights.rank() == 2 && weights.dim(0) == pq.featureDim(),
+                 "weights must be [K, N] with K=", pq.featureDim());
+    const int64_t v = pq.config().v;
+    const int64_t K = pq.featureDim();
+    const int64_t N = out_dim_;
+
+    table_ = Tensor(Shape{num_subspaces_, num_centroids_, N});
+    float *t = table_.data();
+    for (int64_t s = 0; s < num_subspaces_; ++s) {
+        const Tensor &cb = pq.codebook(s);
+        const int64_t base = s * v;
+        for (int64_t j = 0; j < num_centroids_; ++j) {
+            float *dst = t + (s * num_centroids_ + j) * N;
+            for (int64_t tdim = 0; tdim < v && base + tdim < K; ++tdim) {
+                const float cv = cb.at(j, tdim);
+                if (cv == 0.0f)
+                    continue;
+                const float *wrow = weights.data() + (base + tdim) * N;
+                for (int64_t n = 0; n < N; ++n)
+                    dst[n] += cv * wrow[n];
+            }
+        }
+    }
+
+    if (precision_.int8_entries) {
+        // One symmetric scale per subspace table, like a per-bank scale
+        // register next to the PSum LUT.
+        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            Tensor view(Shape{num_centroids_, N});
+            float *src = t + s * num_centroids_ * N;
+            std::copy(src, src + num_centroids_ * N, view.data());
+            const Int8Scale scale = fitInt8Scale(view);
+            tensorThroughInt8(view, scale);
+            std::copy(view.data(), view.data() + num_centroids_ * N, src);
+        }
+    }
+}
+
+const float *
+LookupTable::entry(int64_t s, int64_t j) const
+{
+    return table_.data() + (s * num_centroids_ + j) * out_dim_;
+}
+
+int64_t
+LookupTable::sizeBytes() const
+{
+    return num_subspaces_ * num_centroids_ * out_dim_ *
+           precision_.entryBytes();
+}
+
+Tensor
+LookupTable::lookupGemm(const std::vector<int32_t> &codes, int64_t m) const
+{
+    LUTDLA_CHECK(static_cast<int64_t>(codes.size()) == m * num_subspaces_,
+                 "codes size mismatch in lookupGemm");
+    Tensor c(Shape{m, out_dim_});
+    float *out = c.data();
+    for (int64_t i = 0; i < m; ++i) {
+        float *crow = out + i * out_dim_;
+        const int32_t *row_codes = codes.data() + i * num_subspaces_;
+        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            const float *psum = entry(s, row_codes[s]);
+            for (int64_t n = 0; n < out_dim_; ++n)
+                crow[n] += psum[n];
+        }
+    }
+    return c;
+}
+
+LutGemmEngine::LutGemmEngine(PQConfig config, const Tensor &weights,
+                             const Tensor &samples, LutPrecision precision)
+    : pq_([&] {
+          ProductQuantizer q(weights.dim(0), config);
+          q.train(samples);
+          return maybeBf16Quantizer(q, precision.bf16_similarity);
+      }()),
+      weights_(weights),
+      precision_(precision),
+      lut_(pq_, weights_, precision)
+{
+}
+
+Tensor
+LutGemmEngine::matmul(const Tensor &a) const
+{
+    if (!precision_.bf16_similarity)
+        return lut_.lookupGemm(pq_.encode(a), a.dim(0));
+    Tensor a16 = a;
+    tensorToBf16(a16);
+    return lut_.lookupGemm(pq_.encode(a16), a16.dim(0));
+}
+
+Tensor
+LutGemmEngine::exactMatmul(const Tensor &a) const
+{
+    return lutdla::matmul(a, weights_);
+}
+
+double
+LutGemmEngine::approximationError(const Tensor &a) const
+{
+    return Tensor::relError(matmul(a), exactMatmul(a));
+}
+
+} // namespace lutdla::vq

@@ -1,0 +1,147 @@
+#include "vq/pq.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace lutdla::vq {
+
+double
+PQConfig::equivalentBits() const
+{
+    return static_cast<double>(indexBits()) / static_cast<double>(v);
+}
+
+int64_t
+PQConfig::indexBits() const
+{
+    int64_t bits = 0;
+    while ((int64_t{1} << bits) < c)
+        ++bits;
+    return std::max<int64_t>(bits, 1);
+}
+
+ProductQuantizer::ProductQuantizer(int64_t feature_dim, PQConfig config)
+    : feature_dim_(feature_dim), config_(config)
+{
+    LUTDLA_CHECK(feature_dim_ >= 1, "feature dim must be positive");
+    LUTDLA_CHECK(config_.v >= 1 && config_.c >= 1, "bad PQ config");
+    num_subspaces_ = (feature_dim_ + config_.v - 1) / config_.v;
+    codebooks_.resize(static_cast<size_t>(num_subspaces_));
+}
+
+const Tensor &
+ProductQuantizer::codebook(int64_t s) const
+{
+    LUTDLA_CHECK(s >= 0 && s < num_subspaces_, "subspace out of range");
+    return codebooks_[static_cast<size_t>(s)];
+}
+
+Tensor &
+ProductQuantizer::mutableCodebook(int64_t s)
+{
+    LUTDLA_CHECK(s >= 0 && s < num_subspaces_, "subspace out of range");
+    return codebooks_[static_cast<size_t>(s)];
+}
+
+void
+ProductQuantizer::extractSubvector(const float *row, int64_t s,
+                                   float *out) const
+{
+    const int64_t base = s * config_.v;
+    for (int64_t j = 0; j < config_.v; ++j) {
+        const int64_t k = base + j;
+        out[j] = k < feature_dim_ ? row[k] : 0.0f;
+    }
+}
+
+void
+ProductQuantizer::train(const Tensor &samples)
+{
+    LUTDLA_CHECK(samples.rank() == 2 && samples.dim(1) == feature_dim_,
+                 "train expects [n, K] with K=", feature_dim_);
+    const int64_t n = samples.dim(0);
+    Tensor sub(Shape{n, config_.v});
+
+    for (int64_t s = 0; s < num_subspaces_; ++s) {
+        for (int64_t i = 0; i < n; ++i) {
+            extractSubvector(samples.data() + i * feature_dim_, s,
+                             sub.data() + i * config_.v);
+        }
+        KMeansConfig kc;
+        kc.clusters = config_.c;
+        kc.metric = config_.metric;
+        kc.max_iters = config_.kmeans_iters;
+        kc.seed = config_.seed + static_cast<uint64_t>(s) * 7919;
+        codebooks_[static_cast<size_t>(s)] = kmeans(sub, kc).centroids;
+    }
+    trained_ = true;
+}
+
+void
+ProductQuantizer::setCodebook(int64_t s, Tensor centroids)
+{
+    LUTDLA_CHECK(centroids.rank() == 2 && centroids.dim(0) == config_.c &&
+                 centroids.dim(1) == config_.v,
+                 "codebook must be [c, v]");
+    mutableCodebook(s) = std::move(centroids);
+    trained_ = true;
+    for (const auto &cb : codebooks_)
+        if (cb.numel() == 0)
+            trained_ = false;
+}
+
+void
+ProductQuantizer::encodeRow(const float *row, int32_t *out) const
+{
+    std::vector<float> sub(static_cast<size_t>(config_.v));
+    for (int64_t s = 0; s < num_subspaces_; ++s) {
+        extractSubvector(row, s, sub.data());
+        out[s] = argminCentroid(config_.metric, sub.data(),
+                                codebooks_[static_cast<size_t>(s)].data(),
+                                config_.c, config_.v);
+    }
+}
+
+std::vector<int32_t>
+ProductQuantizer::encode(const Tensor &a) const
+{
+    LUTDLA_CHECK(trained_, "quantizer must be trained before encode");
+    LUTDLA_CHECK(a.rank() == 2 && a.dim(1) == feature_dim_,
+                 "encode expects [M, K]");
+    const int64_t m = a.dim(0);
+    std::vector<int32_t> codes(static_cast<size_t>(m * num_subspaces_));
+    for (int64_t i = 0; i < m; ++i)
+        encodeRow(a.data() + i * feature_dim_,
+                  codes.data() + i * num_subspaces_);
+    return codes;
+}
+
+Tensor
+ProductQuantizer::decode(const std::vector<int32_t> &codes, int64_t m) const
+{
+    LUTDLA_CHECK(static_cast<int64_t>(codes.size()) == m * num_subspaces_,
+                 "codes size mismatch");
+    Tensor out(Shape{m, feature_dim_});
+    for (int64_t i = 0; i < m; ++i) {
+        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            const int32_t idx = codes[static_cast<size_t>(
+                i * num_subspaces_ + s)];
+            const Tensor &cb = codebooks_[static_cast<size_t>(s)];
+            const int64_t base = s * config_.v;
+            for (int64_t j = 0; j < config_.v && base + j < feature_dim_;
+                 ++j) {
+                out.at(i, base + j) = cb.at(idx, j);
+            }
+        }
+    }
+    return out;
+}
+
+int64_t
+ProductQuantizer::parameterCount() const
+{
+    return num_subspaces_ * config_.c * config_.v;
+}
+
+} // namespace lutdla::vq

@@ -1,0 +1,107 @@
+#ifndef LUTDLA_VQ_PQ_H
+#define LUTDLA_VQ_PQ_H
+
+/**
+ * @file
+ * Product quantizer: the input matrix A[M, K] is split column-wise into
+ * Nc = ceil(K / v) subspaces of length v; each subspace owns an independent
+ * codebook of c centroids (Fig. 2, step 1). Encoding a row yields Nc
+ * indices, the "extreme low-bit" representation with an equivalent bitwidth
+ * of ceil(log2 c) / v bits per scalar.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "vq/distance.h"
+#include "vq/kmeans.h"
+
+namespace lutdla::vq {
+
+/** Hyperparameters shared by the quantizer, LUT layers, and HW models. */
+struct PQConfig
+{
+    int64_t v = 4;               ///< subvector length
+    int64_t c = 16;              ///< centroids per codebook
+    Metric metric = Metric::L2;  ///< similarity metric
+    int64_t kmeans_iters = 25;   ///< training budget per subspace
+    uint64_t seed = 7;           ///< clustering seed
+
+    /** Equivalent bits per scalar: ceil(log2 c) / v. */
+    double equivalentBits() const;
+
+    /** Bits needed to store one index. */
+    int64_t indexBits() const;
+};
+
+/**
+ * Per-subspace codebooks over a K-wide feature dimension.
+ *
+ * K need not be divisible by v; the tail subspace is zero-padded, which is
+ * exactly how the hardware pads ragged subvectors.
+ */
+class ProductQuantizer
+{
+  public:
+    /** Create an untrained quantizer for a K-wide feature dimension. */
+    ProductQuantizer(int64_t feature_dim, PQConfig config);
+
+    /** Feature dimension K this quantizer encodes. */
+    int64_t featureDim() const { return feature_dim_; }
+
+    /** Number of subspaces Nc = ceil(K / v). */
+    int64_t numSubspaces() const { return num_subspaces_; }
+
+    /** Configuration in force. */
+    const PQConfig &config() const { return config_; }
+
+    /** Codebook for subspace `s`, shaped [c, v]. */
+    const Tensor &codebook(int64_t s) const;
+    Tensor &mutableCodebook(int64_t s);
+
+    /**
+     * Train all codebooks on sample rows.
+     *
+     * @param samples [n, K] activation rows (typically a calibration batch).
+     */
+    void train(const Tensor &samples);
+
+    /** True once train() or setCodebook() has populated every subspace. */
+    bool trained() const { return trained_; }
+
+    /** Install an external codebook (used by LUTBoost's trainable path). */
+    void setCodebook(int64_t s, Tensor centroids);
+
+    /**
+     * Encode rows of `a` ([M, K]) to indices.
+     * @return [M, Nc] indices flattened row-major into the vector.
+     */
+    std::vector<int32_t> encode(const Tensor &a) const;
+
+    /** Encode a single row (K floats) into `out` (Nc entries). */
+    void encodeRow(const float *row, int32_t *out) const;
+
+    /** Reconstruct an approximation of `a` from its codes. */
+    Tensor decode(const std::vector<int32_t> &codes, int64_t m) const;
+
+    /**
+     * Copy the subvector of `row` for subspace `s` into `out` (length v),
+     * zero-padding past K.
+     */
+    void extractSubvector(const float *row, int64_t s, float *out) const;
+
+    /** Total number of trainable centroid parameters: Nc * c * v. */
+    int64_t parameterCount() const;
+
+  private:
+    int64_t feature_dim_;
+    PQConfig config_;
+    int64_t num_subspaces_;
+    std::vector<Tensor> codebooks_;
+    bool trained_ = false;
+};
+
+} // namespace lutdla::vq
+
+#endif // LUTDLA_VQ_PQ_H

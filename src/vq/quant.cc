@@ -1,0 +1,57 @@
+#include "vq/quant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace lutdla::vq {
+
+float
+toBf16(float x)
+{
+    uint32_t bits;
+    std::memcpy(&bits, &x, sizeof(bits));
+    // Round-to-nearest-even on the truncated 16 mantissa bits.
+    const uint32_t lsb = (bits >> 16) & 1u;
+    bits += 0x7fffu + lsb;
+    bits &= 0xffff0000u;
+    float out;
+    std::memcpy(&out, &bits, sizeof(out));
+    return out;
+}
+
+void
+tensorToBf16(Tensor &t)
+{
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = toBf16(p[i]);
+}
+
+int8_t
+Int8Scale::quantize(float x) const
+{
+    if (scale <= 0.0f)
+        return 0;
+    const float q = std::round(x / scale);
+    return static_cast<int8_t>(std::clamp(q, -127.0f, 127.0f));
+}
+
+Int8Scale
+fitInt8Scale(const Tensor &t)
+{
+    Int8Scale s;
+    const float m = t.absMax();
+    s.scale = m > 0.0f ? m / 127.0f : 1.0f;
+    return s;
+}
+
+void
+tensorThroughInt8(Tensor &t, const Int8Scale &scale)
+{
+    float *p = t.data();
+    for (int64_t i = 0; i < t.numel(); ++i)
+        p[i] = scale.dequantize(scale.quantize(p[i]));
+}
+
+} // namespace lutdla::vq

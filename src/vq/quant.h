@@ -1,0 +1,44 @@
+#ifndef LUTDLA_VQ_QUANT_H
+#define LUTDLA_VQ_QUANT_H
+
+/**
+ * @file
+ * Scalar quantization helpers for the paper's orthogonal "BF16 + INT8"
+ * experiments (Table IV): similarity comparison in BF16 and LUT entries in
+ * symmetric INT8. We model precision effects on float storage via
+ * round-trips rather than separate storage types.
+ */
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace lutdla::vq {
+
+/** Round a float to the nearest BF16 value (round-to-nearest-even). */
+float toBf16(float x);
+
+/** Apply toBf16 to every element in place. */
+void tensorToBf16(Tensor &t);
+
+/** Symmetric linear INT8 quantization parameters. */
+struct Int8Scale
+{
+    float scale = 1.0f;  ///< dequant multiplier: real = q * scale
+
+    /** Quantize a real value to int8 with saturation. */
+    int8_t quantize(float x) const;
+
+    /** Dequantize. */
+    float dequantize(int8_t q) const { return scale * static_cast<float>(q); }
+};
+
+/** Pick the symmetric scale that covers max|t| with 127 steps. */
+Int8Scale fitInt8Scale(const Tensor &t);
+
+/** Round-trip a tensor through int8 with the given scale, in place. */
+void tensorThroughInt8(Tensor &t, const Int8Scale &scale);
+
+} // namespace lutdla::vq
+
+#endif // LUTDLA_VQ_QUANT_H

@@ -1,0 +1,243 @@
+#include "workloads/model_zoo.h"
+
+#include "util/logging.h"
+
+namespace lutdla::workloads {
+
+double
+Network::totalMacs() const
+{
+    double total = 0.0;
+    for (const auto &g : gemms)
+        total += g.macs();
+    return total;
+}
+
+namespace {
+
+/** Append one conv layer as its im2col GEMM. */
+void
+addConv(std::vector<sim::GemmShape> &out, const std::string &tag,
+        int64_t res, int64_t cin, int64_t cout, int64_t kernel,
+        int64_t stride)
+{
+    sim::GemmShape g;
+    const int64_t out_res = res / stride;
+    g.m = out_res * out_res;
+    g.k = cin * kernel * kernel;
+    g.n = cout;
+    g.tag = tag;
+    out.push_back(g);
+}
+
+/** Append one fully-connected layer. */
+void
+addFc(std::vector<sim::GemmShape> &out, const std::string &tag, int64_t m,
+      int64_t k, int64_t n)
+{
+    out.push_back({m, k, n, tag});
+}
+
+/** Basic-block ResNet stage: `blocks` blocks, first may stride. */
+void
+addBasicStage(std::vector<sim::GemmShape> &out, const std::string &tag,
+              int64_t &res, int64_t &ch, int64_t out_ch, int64_t blocks,
+              int64_t first_stride)
+{
+    for (int64_t b = 0; b < blocks; ++b) {
+        const int64_t stride = b == 0 ? first_stride : 1;
+        addConv(out, tag + ".conv1", res, ch, out_ch, 3, stride);
+        const int64_t new_res = res / stride;
+        addConv(out, tag + ".conv2", new_res, out_ch, out_ch, 3, 1);
+        if (b == 0 && (stride != 1 || ch != out_ch))
+            addConv(out, tag + ".down", res, ch, out_ch, 1, stride);
+        res = new_res;
+        ch = out_ch;
+    }
+}
+
+/** Bottleneck ResNet stage (expansion 4). */
+void
+addBottleneckStage(std::vector<sim::GemmShape> &out, const std::string &tag,
+                   int64_t &res, int64_t &ch, int64_t width,
+                   int64_t blocks, int64_t first_stride)
+{
+    const int64_t out_ch = width * 4;
+    for (int64_t b = 0; b < blocks; ++b) {
+        const int64_t stride = b == 0 ? first_stride : 1;
+        addConv(out, tag + ".conv1", res, ch, width, 1, 1);
+        addConv(out, tag + ".conv2", res, width, width, 3, stride);
+        const int64_t new_res = res / stride;
+        addConv(out, tag + ".conv3", new_res, width, out_ch, 1, 1);
+        if (b == 0)
+            addConv(out, tag + ".down", res, ch, out_ch, 1, stride);
+        res = new_res;
+        ch = out_ch;
+    }
+}
+
+/** Transformer encoder/decoder stack: QKV + attn-out + FFN per layer. */
+Network
+transformer(const std::string &name, int64_t layers, int64_t d, int64_t ff,
+            int64_t seq)
+{
+    Network net;
+    net.name = name;
+    for (int64_t l = 0; l < layers; ++l) {
+        const std::string tag = "layer" + std::to_string(l);
+        addFc(net.gemms, tag + ".q", seq, d, d);
+        addFc(net.gemms, tag + ".k", seq, d, d);
+        addFc(net.gemms, tag + ".v", seq, d, d);
+        addFc(net.gemms, tag + ".attn_out", seq, d, d);
+        addFc(net.gemms, tag + ".ffn1", seq, d, ff);
+        addFc(net.gemms, tag + ".ffn2", seq, ff, d);
+    }
+    return net;
+}
+
+} // namespace
+
+Network
+resnet18()
+{
+    Network net;
+    net.name = "resnet18";
+    addConv(net.gemms, "conv1", 224, 3, 64, 7, 2);
+    int64_t res = 56;  // after 3x3/2 maxpool
+    int64_t ch = 64;
+    addBasicStage(net.gemms, "layer1", res, ch, 64, 2, 1);
+    addBasicStage(net.gemms, "layer2", res, ch, 128, 2, 2);
+    addBasicStage(net.gemms, "layer3", res, ch, 256, 2, 2);
+    addBasicStage(net.gemms, "layer4", res, ch, 512, 2, 2);
+    addFc(net.gemms, "fc", 1, 512, 1000);
+    return net;
+}
+
+Network
+resnet34()
+{
+    Network net;
+    net.name = "resnet34";
+    addConv(net.gemms, "conv1", 224, 3, 64, 7, 2);
+    int64_t res = 56;
+    int64_t ch = 64;
+    addBasicStage(net.gemms, "layer1", res, ch, 64, 3, 1);
+    addBasicStage(net.gemms, "layer2", res, ch, 128, 4, 2);
+    addBasicStage(net.gemms, "layer3", res, ch, 256, 6, 2);
+    addBasicStage(net.gemms, "layer4", res, ch, 512, 3, 2);
+    addFc(net.gemms, "fc", 1, 512, 1000);
+    return net;
+}
+
+Network
+resnet50()
+{
+    Network net;
+    net.name = "resnet50";
+    addConv(net.gemms, "conv1", 224, 3, 64, 7, 2);
+    int64_t res = 56;
+    int64_t ch = 64;
+    addBottleneckStage(net.gemms, "layer1", res, ch, 64, 3, 1);
+    addBottleneckStage(net.gemms, "layer2", res, ch, 128, 4, 2);
+    addBottleneckStage(net.gemms, "layer3", res, ch, 256, 6, 2);
+    addBottleneckStage(net.gemms, "layer4", res, ch, 512, 3, 2);
+    addFc(net.gemms, "fc", 1, 2048, 1000);
+    return net;
+}
+
+Network
+resnetCifar(int depth)
+{
+    LUTDLA_CHECK((depth - 2) % 6 == 0, "CIFAR ResNet depth must be 6n+2");
+    const int64_t n = (depth - 2) / 6;
+    Network net;
+    net.name = "resnet" + std::to_string(depth);
+    addConv(net.gemms, "conv1", 32, 3, 16, 3, 1);
+    int64_t res = 32;
+    int64_t ch = 16;
+    addBasicStage(net.gemms, "stage1", res, ch, 16, n, 1);
+    addBasicStage(net.gemms, "stage2", res, ch, 32, n, 2);
+    addBasicStage(net.gemms, "stage3", res, ch, 64, n, 2);
+    addFc(net.gemms, "fc", 1, 64, 10);
+    return net;
+}
+
+Network
+vgg11()
+{
+    Network net;
+    net.name = "vgg11";
+    addConv(net.gemms, "conv1", 224, 3, 64, 3, 1);
+    addConv(net.gemms, "conv2", 112, 64, 128, 3, 1);
+    addConv(net.gemms, "conv3", 56, 128, 256, 3, 1);
+    addConv(net.gemms, "conv4", 56, 256, 256, 3, 1);
+    addConv(net.gemms, "conv5", 28, 256, 512, 3, 1);
+    addConv(net.gemms, "conv6", 28, 512, 512, 3, 1);
+    addConv(net.gemms, "conv7", 14, 512, 512, 3, 1);
+    addConv(net.gemms, "conv8", 14, 512, 512, 3, 1);
+    addFc(net.gemms, "fc1", 1, 512 * 7 * 7, 4096);
+    addFc(net.gemms, "fc2", 1, 4096, 4096);
+    addFc(net.gemms, "fc3", 1, 4096, 1000);
+    return net;
+}
+
+Network
+lenet()
+{
+    Network net;
+    net.name = "lenet";
+    addConv(net.gemms, "conv1", 28, 1, 6, 5, 1);
+    addConv(net.gemms, "conv2", 12, 6, 16, 5, 1);
+    addFc(net.gemms, "fc1", 1, 16 * 4 * 4, 120);
+    addFc(net.gemms, "fc2", 1, 120, 84);
+    addFc(net.gemms, "fc3", 1, 84, 10);
+    return net;
+}
+
+Network
+bertBase()
+{
+    return transformer("bert-base", 12, 768, 3072, 512);
+}
+
+Network
+distilBert()
+{
+    return transformer("distilbert", 6, 768, 3072, 512);
+}
+
+Network
+opt125m()
+{
+    return transformer("opt-125m", 12, 768, 3072, 512);
+}
+
+Network
+networkByName(const std::string &name)
+{
+    if (name == "resnet18")
+        return resnet18();
+    if (name == "resnet34")
+        return resnet34();
+    if (name == "resnet50")
+        return resnet50();
+    if (name == "resnet20")
+        return resnetCifar(20);
+    if (name == "resnet32")
+        return resnetCifar(32);
+    if (name == "resnet56")
+        return resnetCifar(56);
+    if (name == "vgg11")
+        return vgg11();
+    if (name == "lenet")
+        return lenet();
+    if (name == "bert" || name == "bert-base")
+        return bertBase();
+    if (name == "distilbert")
+        return distilBert();
+    if (name == "opt-125m" || name == "opt125m")
+        return opt125m();
+    fatal("unknown network '", name, "'");
+}
+
+} // namespace lutdla::workloads

@@ -1,0 +1,63 @@
+#ifndef LUTDLA_WORKLOADS_MODEL_ZOO_H
+#define LUTDLA_WORKLOADS_MODEL_ZOO_H
+
+/**
+ * @file
+ * GEMM-shape inventories of the networks the paper evaluates end to end
+ * (Fig. 13/14): ResNet-18/34/50 at 224x224 and BERT-class transformers.
+ * Convolutions are listed post-im2col (M = output pixels, K = C_in*k*k,
+ * N = C_out), matching how all simulated accelerators consume them. For
+ * transformers we list the compute-dominant operators the paper times:
+ * QKV projections, attention output, and the two FFN layers.
+ */
+
+#include <string>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace lutdla::workloads {
+
+/** A named network workload. */
+struct Network
+{
+    std::string name;
+    std::vector<sim::GemmShape> gemms;
+
+    /** Total MAC count across layers. */
+    double totalMacs() const;
+};
+
+/** ResNet-18 (basic blocks, 224x224, batch 1). */
+Network resnet18();
+
+/** ResNet-34 (basic blocks, 224x224, batch 1). */
+Network resnet34();
+
+/** ResNet-50 (bottleneck blocks, 224x224, batch 1). */
+Network resnet50();
+
+/** CIFAR-style ResNet-20/32/56 (32x32 inputs). */
+Network resnetCifar(int depth);
+
+/** VGG-11 (224x224, batch 1). */
+Network vgg11();
+
+/** LeNet-5-style (28x28). */
+Network lenet();
+
+/** BERT-base encoder (12 layers, d=768, ff=3072, seq=512). */
+Network bertBase();
+
+/** DistilBERT (6 layers, d=768, ff=3072, seq=512). */
+Network distilBert();
+
+/** OPT-125M decoder (12 layers, d=768, ff=3072, seq=512). */
+Network opt125m();
+
+/** Look up a network by name ("resnet18", "bert", ...). */
+Network networkByName(const std::string &name);
+
+} // namespace lutdla::workloads
+
+#endif // LUTDLA_WORKLOADS_MODEL_ZOO_H

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Tests for the baseline accelerator models: systolic array, NVDLA-like
+ * engine, and the PQA model (which must reproduce Table IX exactly).
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/nvdla_model.h"
+#include "baselines/pqa_model.h"
+#include "baselines/systolic.h"
+
+namespace lutdla::baselines {
+namespace {
+
+TEST(Systolic, PeakGops)
+{
+    SystolicConfig cfg;  // 16x16 @ 500 MHz
+    EXPECT_NEAR(cfg.peakGops(), 256.0, 1e-9);
+}
+
+TEST(Systolic, PerfectlyTiledGemmNearFullUtilization)
+{
+    SystolicConfig cfg;
+    SystolicSimulator sim(cfg);
+    const SystolicStats stats =
+        sim.simulateGemm({4096, 256, 256, "big"});
+    EXPECT_GT(stats.utilization(cfg), 0.9);
+}
+
+TEST(Systolic, RaggedTilesWasteThroughput)
+{
+    SystolicConfig cfg;
+    SystolicSimulator sim(cfg);
+    // K=N=17 on a 16x16 array: 2x2 tiles mostly empty.
+    const SystolicStats stats = sim.simulateGemm({1024, 17, 17, "rag"});
+    EXPECT_LT(stats.utilization(cfg), 0.4);
+}
+
+TEST(Systolic, CyclesLowerBound)
+{
+    SystolicConfig cfg;
+    SystolicSimulator sim(cfg);
+    const sim::GemmShape g{512, 128, 128, "g"};
+    const SystolicStats stats = sim.simulateGemm(g);
+    EXPECT_GE(static_cast<double>(stats.total_cycles),
+              g.macs() / (cfg.rows * cfg.cols));
+}
+
+TEST(Systolic, NetworkAccumulates)
+{
+    SystolicSimulator sim(SystolicConfig{});
+    const sim::GemmShape g{128, 64, 64, "g"};
+    EXPECT_EQ(sim.simulateNetwork({g, g}).total_cycles,
+              2 * sim.simulateGemm(g).total_cycles);
+}
+
+TEST(Nvdla, ConfigPeaks)
+{
+    EXPECT_NEAR(nvdlaSmall().peakGops(), 64.0, 1e-9);
+    EXPECT_NEAR(nvdlaLarge().peakGops(), 2048.0, 1e-9);
+}
+
+TEST(Nvdla, CyclesScaleWithAtomics)
+{
+    const sim::GemmShape g{1024, 256, 256, "g"};
+    const NvdlaStats small = NvdlaModel(nvdlaSmall()).simulateGemm(g);
+    const NvdlaStats large = NvdlaModel(nvdlaLarge()).simulateGemm(g);
+    // 32x more MACs -> ~32x fewer cycles (modulo DRAM floor).
+    EXPECT_GT(static_cast<double>(small.total_cycles) /
+                  static_cast<double>(large.total_cycles),
+              10.0);
+}
+
+TEST(Nvdla, BandwidthFloorApplies)
+{
+    NvdlaConfig cfg = nvdlaLarge();
+    cfg.dram_bytes_per_sec = 1e9;
+    // A skinny GEMM (tiny compute, heavy weights) is memory-bound.
+    const sim::GemmShape g{1, 4096, 4096, "fc"};
+    const NvdlaStats stats = NvdlaModel(cfg).simulateGemm(g);
+    const double min_cycles =
+        (4096.0 * 4096.0) / (cfg.dram_bytes_per_sec / cfg.freq_hz);
+    EXPECT_GE(static_cast<double>(stats.total_cycles), min_cycles);
+}
+
+TEST(Pqa, TableNineCycles)
+{
+    // GEMM 512x768x768, v=4, c=32, 16 banks, codebook parallelism 1.
+    PqaModel pqa(PqaConfig{});
+    const PqaStats stats = pqa.simulateGemm({512, 768, 768, "bert"});
+    EXPECT_EQ(stats.similarity_cycles, 512u * 192u * 32u);   // 3,145,728
+    EXPECT_EQ(stats.lookup_cycles, 512u * 192u * 768u / 16u); // 4,718,592
+    EXPECT_EQ(stats.computeCycles(), 7864320u);              // "7864k"
+}
+
+TEST(Pqa, TableNineOnChipMemory)
+{
+    PqaModel pqa(PqaConfig{});
+    const PqaStats stats = pqa.simulateGemm({512, 768, 768, "bert"});
+    // 6912.25 KB: whole-layer 12-bit LUT + FP16 centroid store.
+    EXPECT_NEAR(stats.onchip_bytes / 1024.0, 6912.25, 0.01);
+}
+
+TEST(Pqa, LoadPauseCounted)
+{
+    PqaModel pqa(PqaConfig{});
+    const PqaStats stats = pqa.simulateGemm({512, 768, 768, "bert"});
+    EXPECT_GT(stats.load_cycles, 0u);
+    EXPECT_EQ(stats.totalCycles(),
+              stats.computeCycles() + stats.load_cycles);
+}
+
+TEST(Pqa, CodebookParallelismSpeedsSimilarity)
+{
+    PqaConfig cfg;
+    cfg.codebook_parallel = 4;
+    const PqaStats fast =
+        PqaModel(cfg).simulateGemm({512, 768, 768, "b"});
+    const PqaStats base =
+        PqaModel(PqaConfig{}).simulateGemm({512, 768, 768, "b"});
+    EXPECT_EQ(fast.similarity_cycles * 4, base.similarity_cycles);
+    EXPECT_EQ(fast.lookup_cycles, base.lookup_cycles);
+}
+
+} // namespace
+} // namespace lutdla::baselines

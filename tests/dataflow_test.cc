@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Tests reproducing Table I: on-chip memory for the six dataflows.
+ *
+ * The published numbers are matched exactly by: psum entry = 1 B,
+ * LUT entry = 1 B, Tn = 32, index = ceil(log2 c) bits, and Nc = 86
+ * (i.e. v = 9; the table caption's "v = 4" is inconsistent with every row,
+ * see DESIGN.md).
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/dataflow.h"
+
+namespace lutdla::hw {
+namespace {
+
+DataflowParams
+tableOneParams()
+{
+    DataflowParams p;
+    p.m = 512;
+    p.k = 768;
+    p.n = 768;
+    p.v = 9;   // Nc = ceil(768/9) = 86, matching all published cells
+    p.c = 32;
+    p.tn = 32;
+    return p;
+}
+
+TEST(Dataflow, SubspaceAndIndexDerivation)
+{
+    const DataflowParams p = tableOneParams();
+    EXPECT_EQ(p.numSubspaces(), 86);
+    EXPECT_EQ(p.indexBits(), 5);
+}
+
+TEST(Dataflow, TableOneMnk)
+{
+    const auto m = dataflowMemory(Dataflow::MNK, tableOneParams());
+    EXPECT_NEAR(m.scratchpad_bytes / 1024.0, 0.03, 0.005);
+    EXPECT_NEAR(m.indices_bytes / 1024.0, 0.05, 0.005);
+    EXPECT_NEAR(m.psum_lut_bytes / 1024.0, 2064.0, 1.0);
+    EXPECT_NEAR(m.totalBytes() / 1024.0, 2064.1, 1.0);
+}
+
+TEST(Dataflow, TableOneNmk)
+{
+    const auto m = dataflowMemory(Dataflow::NMK, tableOneParams());
+    EXPECT_NEAR(m.indices_bytes / 1024.0, 26.9, 0.1);
+    EXPECT_NEAR(m.totalBytes() / 1024.0, 2090.9, 1.0);
+}
+
+TEST(Dataflow, TableOneMkn)
+{
+    const auto m = dataflowMemory(Dataflow::MKN, tableOneParams());
+    EXPECT_NEAR(m.scratchpad_bytes / 1024.0, 0.75, 0.01);
+    EXPECT_NEAR(m.indices_bytes, 0.625, 0.01);  // "0.6B" in the paper
+    EXPECT_NEAR(m.totalBytes() / 1024.0, 2064.8, 1.0);
+}
+
+TEST(Dataflow, TableOneKmn)
+{
+    const auto m = dataflowMemory(Dataflow::KMN, tableOneParams());
+    EXPECT_NEAR(m.scratchpad_bytes / 1024.0, 384.0, 0.1);
+    EXPECT_NEAR(m.psum_lut_bytes / 1024.0, 24.0, 0.1);
+    EXPECT_NEAR(m.totalBytes() / 1024.0, 408.0, 0.5);
+}
+
+TEST(Dataflow, TableOneKnm)
+{
+    const auto m = dataflowMemory(Dataflow::KNM, tableOneParams());
+    EXPECT_NEAR(m.scratchpad_bytes / 1024.0, 384.0, 0.1);
+    EXPECT_NEAR(m.indices_bytes / 1024.0, 0.3125, 0.01);
+    EXPECT_NEAR(m.psum_lut_bytes / 1024.0, 1.0, 0.01);
+    EXPECT_NEAR(m.totalBytes() / 1024.0, 385.3, 0.5);
+}
+
+TEST(Dataflow, TableOneLutStationary)
+{
+    const auto m =
+        dataflowMemory(Dataflow::LutStationary, tableOneParams());
+    EXPECT_NEAR(m.scratchpad_bytes / 1024.0, 16.0, 0.01);
+    EXPECT_NEAR(m.indices_bytes / 1024.0, 0.3125, 0.01);
+    EXPECT_NEAR(m.psum_lut_bytes / 1024.0, 1.0, 0.01);
+    EXPECT_NEAR(m.totalBytes() / 1024.0, 17.3, 0.1);
+}
+
+TEST(Dataflow, LsHasSmallestTotal)
+{
+    const DataflowParams p = tableOneParams();
+    const double ls =
+        dataflowMemory(Dataflow::LutStationary, p).totalBytes();
+    for (Dataflow df : allDataflows()) {
+        if (df == Dataflow::LutStationary)
+            continue;
+        EXPECT_LT(ls, dataflowMemory(df, p).totalBytes())
+            << dataflowName(df);
+    }
+}
+
+TEST(Dataflow, LutLoadCounts)
+{
+    const DataflowParams p = tableOneParams();
+    EXPECT_EQ(dataflowLutLoads(Dataflow::MNK, p), 1);
+    EXPECT_EQ(dataflowLutLoads(Dataflow::KMN, p), 86);
+    EXPECT_EQ(dataflowLutLoads(Dataflow::LutStationary, p), 86 * 24);
+}
+
+TEST(Dataflow, NamesAndEnumeration)
+{
+    EXPECT_EQ(allDataflows().size(), 6u);
+    EXPECT_EQ(dataflowName(Dataflow::LutStationary), "LUT-Stationary");
+}
+
+TEST(Dataflow, ScalesWithProblemSize)
+{
+    DataflowParams small = tableOneParams();
+    DataflowParams big = tableOneParams();
+    big.m *= 2;
+    big.n *= 2;
+    for (Dataflow df : allDataflows()) {
+        EXPECT_LE(dataflowMemory(df, small).totalBytes(),
+                  dataflowMemory(df, big).totalBytes())
+            << dataflowName(df);
+    }
+}
+
+} // namespace
+} // namespace lutdla::hw

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Tests for the analytical cost models (Eqs. 1, 2, 5) and the Algorithm-2
+ * co-design search engine.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "dse/cost_models.h"
+#include "dse/search.h"
+
+namespace lutdla::dse {
+namespace {
+
+const sim::GemmShape kGemm{512, 768, 768, "bert"};
+
+TEST(CostModels, AlphaSimOrdering)
+{
+    EXPECT_GT(alphaSim(vq::Metric::L2), alphaSim(vq::Metric::L1));
+    EXPECT_GT(alphaSim(vq::Metric::L1), alphaSim(vq::Metric::Chebyshev));
+}
+
+TEST(CostModels, TauMatchesHandComputation)
+{
+    // v=4, c=16, L2: Nc = 192.
+    // OP_sim = 2 * 16 * 512 * 4 * 192; OP_add = 512 * 768 * 192.
+    const double expected = 2.0 * 16 * 512 * 4 * 192 +
+                            512.0 * 768 * 192;
+    EXPECT_NEAR(tauOps(kGemm, 4, 16, vq::Metric::L2), expected, 1.0);
+}
+
+TEST(CostModels, TauBelowExactGemmForGoodConfigs)
+{
+    EXPECT_LT(tauOps(kGemm, 4, 16, vq::Metric::L2), exactGemmOps(kGemm));
+    EXPECT_LT(tauOps(kGemm, 8, 32, vq::Metric::L2), exactGemmOps(kGemm));
+}
+
+TEST(CostModels, TauGrowsWithCentroids)
+{
+    EXPECT_LT(tauOps(kGemm, 4, 8, vq::Metric::L2),
+              tauOps(kGemm, 4, 64, vq::Metric::L2));
+}
+
+TEST(CostModels, PhiGrowsWithCentroidsAndShrinksWithV)
+{
+    EXPECT_LT(phiBits(kGemm, 4, 8), phiBits(kGemm, 4, 64));
+    EXPECT_GT(phiBits(kGemm, 2, 16), phiBits(kGemm, 8, 16));
+}
+
+TEST(CostModels, OmegaTermsAndBottleneck)
+{
+    const OmegaTerms t = omega(kGemm, 4, 16, 683.0, 1, 1, 8);
+    // With one IMM the lookup term dominates by construction.
+    EXPECT_EQ(std::string(t.bottleneckName()), "lut");
+    EXPECT_NEAR(t.lut, 512.0 * 768 * 768 / 4.0, 1.0);
+    EXPECT_NEAR(t.sim, 512.0 * 768 / 4.0, 1.0);
+}
+
+TEST(CostModels, OmegaLutShrinksWithImms)
+{
+    const OmegaTerms one = omega(kGemm, 4, 16, 683.0, 1, 1, 8);
+    const OmegaTerms four = omega(kGemm, 4, 16, 683.0, 4, 1, 8);
+    EXPECT_NEAR(one.lut / four.lut, 4.0, 1e-9);
+    EXPECT_EQ(one.load, four.load);  // bandwidth floor unchanged
+}
+
+SearchConstraints
+defaultConstraints()
+{
+    SearchConstraints cs;
+    cs.workload = kGemm;
+    cs.compute_ratio = 1.0;
+    cs.memory_budget_bits = 400e6;
+    cs.max_area_mm2 = 4.0;
+    cs.max_power_mw = 700.0;
+    cs.min_accuracy = 0.6;
+    return cs;
+}
+
+/** Synthetic probe mimicking Fig. 8: accuracy rises with c, falls with v. */
+double
+syntheticProbe(int64_t v, int64_t c)
+{
+    double acc = 0.95 - 0.02 * static_cast<double>(v);
+    acc += 0.015 * (std::log2(static_cast<double>(c)) - 3.0);
+    return std::min(acc, 0.99);
+}
+
+TEST(Search, FindsFeasibleDesign)
+{
+    CoDesignSearchEngine engine({}, defaultConstraints(), syntheticProbe);
+    const SearchResult result = engine.run();
+    ASSERT_TRUE(result.found);
+    EXPECT_GE(result.best.n_imm, 1);
+    EXPECT_GE(result.best.n_ccu, 1);
+    EXPECT_LE(result.best.ppa.area_mm2, 4.0);
+    EXPECT_LE(result.best.ppa.power_mw, 700.0);
+    EXPECT_GE(result.best.accuracy, 0.6);
+}
+
+TEST(Search, GridCoversWholeSpace)
+{
+    SearchSpace space;
+    CoDesignSearchEngine engine(space, defaultConstraints(),
+                                syntheticProbe);
+    const SearchResult result = engine.run();
+    EXPECT_EQ(result.grid.size(), space.vs.size() * space.cs.size());
+}
+
+TEST(Search, TightComputeBudgetPrunesBigC)
+{
+    SearchConstraints cs = defaultConstraints();
+    cs.compute_ratio = 0.35;  // only cheap configs survive
+    CoDesignSearchEngine engine({}, cs, syntheticProbe);
+    const SearchResult result = engine.run();
+    for (const auto &cand : result.grid) {
+        if (cand.stage != PruneStage::Survived)
+            continue;
+        // Survivors obey the tau budget.
+        EXPECT_LE(cand.tau, cs.compute_ratio * exactGemmOps(kGemm));
+    }
+}
+
+TEST(Search, AccuracyFloorPrunes)
+{
+    SearchConstraints cs = defaultConstraints();
+    cs.min_accuracy = 0.93;
+    CoDesignSearchEngine engine({}, cs, syntheticProbe);
+    const SearchResult result = engine.run();
+    int64_t accuracy_pruned = 0;
+    for (const auto &cand : result.grid)
+        if (cand.stage == PruneStage::Accuracy)
+            ++accuracy_pruned;
+    EXPECT_GT(accuracy_pruned, 0);
+}
+
+TEST(Search, ExpansionRespectsEnvelope)
+{
+    CoDesignSearchEngine engine({}, defaultConstraints(), syntheticProbe);
+    Candidate cand;
+    cand.v = 4;
+    cand.c = 16;
+    const Candidate grown = engine.expandParallelism(cand);
+    EXPECT_GE(grown.n_imm, 1);
+    EXPECT_LE(grown.ppa.area_mm2, 4.0);
+    EXPECT_LE(grown.ppa.power_mw, 700.0);
+    // Expansion targets the lookup bottleneck first.
+    EXPECT_GT(grown.n_imm, grown.n_ccu);
+}
+
+TEST(Search, StageNames)
+{
+    EXPECT_EQ(pruneStageName(PruneStage::Survived), "survived");
+    EXPECT_EQ(pruneStageName(PruneStage::Memory), "memory-pruned");
+}
+
+} // namespace
+} // namespace lutdla::dse

@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Tests for GEMM kernels and the im2col/col2im lowering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "tensor/im2col.h"
+#include "util/rng.h"
+
+namespace lutdla {
+namespace {
+
+Tensor
+randomMatrix(int64_t r, int64_t c, uint64_t seed)
+{
+    Tensor t(Shape{r, c});
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return t;
+}
+
+Tensor
+naiveMatmul(const Tensor &a, const Tensor &b)
+{
+    const int64_t M = a.dim(0), K = a.dim(1), N = b.dim(1);
+    Tensor c(Shape{M, N});
+    for (int64_t m = 0; m < M; ++m)
+        for (int64_t n = 0; n < N; ++n) {
+            float acc = 0.0f;
+            for (int64_t k = 0; k < K; ++k)
+                acc += a.at(m, k) * b.at(k, n);
+            c.at(m, n) = acc;
+        }
+    return c;
+}
+
+TEST(Gemm, MatchesNaive)
+{
+    for (auto [m, k, n] : {std::tuple<int64_t, int64_t, int64_t>{3, 5, 7},
+                           {64, 64, 64},
+                           {65, 70, 129},
+                           {1, 100, 1}}) {
+        Tensor a = randomMatrix(m, k, 1);
+        Tensor b = randomMatrix(k, n, 2);
+        EXPECT_LT(Tensor::maxAbsDiff(matmul(a, b), naiveMatmul(a, b)),
+                  1e-3f)
+            << "m=" << m << " k=" << k << " n=" << n;
+    }
+}
+
+TEST(Gemm, AccumAddsIntoOutput)
+{
+    Tensor a = randomMatrix(4, 4, 3);
+    Tensor b = randomMatrix(4, 4, 4);
+    Tensor c(Shape{4, 4}, 1.0f);
+    matmulAccum(a, b, c);
+    Tensor expected = naiveMatmul(a, b);
+    for (int64_t i = 0; i < c.numel(); ++i)
+        EXPECT_NEAR(c.at(i), expected.at(i) + 1.0f, 1e-4f);
+}
+
+TEST(Gemm, TransposedBMatchesExplicitTranspose)
+{
+    Tensor a = randomMatrix(5, 8, 5);
+    Tensor b = randomMatrix(6, 8, 6);  // [N, K]
+    Tensor expected = naiveMatmul(a, b.transposed2d());
+    EXPECT_LT(Tensor::maxAbsDiff(matmulTransposedB(a, b), expected), 1e-4f);
+}
+
+TEST(Gemm, TransposedAMatchesExplicitTranspose)
+{
+    Tensor a = randomMatrix(8, 5, 7);  // [K, M]
+    Tensor b = randomMatrix(8, 6, 8);
+    Tensor expected = naiveMatmul(a.transposed2d(), b);
+    EXPECT_LT(Tensor::maxAbsDiff(matmulTransposedA(a, b), expected), 1e-4f);
+}
+
+TEST(Gemm, Matvec)
+{
+    Tensor a = randomMatrix(4, 3, 9);
+    Tensor x(Shape{3}, std::vector<float>{1, 2, 3});
+    Tensor y = matvec(a, x);
+    for (int64_t m = 0; m < 4; ++m) {
+        const float expected =
+            a.at(m, 0) * 1 + a.at(m, 1) * 2 + a.at(m, 2) * 3;
+        EXPECT_NEAR(y.at(m), expected, 1e-5f);
+    }
+}
+
+TEST(Im2col, GeometryOutSize)
+{
+    ConvGeometry g;
+    g.in_channels = 3;
+    g.out_channels = 8;
+    g.kernel = 3;
+    g.stride = 2;
+    g.padding = 1;
+    EXPECT_EQ(g.outSize(32), 16);
+    EXPECT_EQ(g.patchSize(), 27);
+}
+
+TEST(Im2col, IdentityKernelExtractsPixels)
+{
+    // 1x1 kernel, stride 1: im2col is just a reshape.
+    ConvGeometry g;
+    g.in_channels = 2;
+    g.out_channels = 1;
+    g.kernel = 1;
+    Tensor x(Shape{1, 2, 2, 2},
+             std::vector<float>{1, 2, 3, 4, 5, 6, 7, 8});
+    Tensor cols = im2col(x, g);
+    EXPECT_EQ(cols.dim(0), 4);
+    EXPECT_EQ(cols.dim(1), 2);
+    EXPECT_EQ(cols.at(0, 0), 1.0f);
+    EXPECT_EQ(cols.at(0, 1), 5.0f);
+    EXPECT_EQ(cols.at(3, 1), 8.0f);
+}
+
+TEST(Im2col, PaddingProducesZeros)
+{
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 1;
+    g.kernel = 3;
+    g.padding = 1;
+    Tensor x(Shape{1, 1, 2, 2}, 1.0f);
+    Tensor cols = im2col(x, g);
+    // Top-left output patch: the first row/col of the 3x3 window is pad.
+    EXPECT_EQ(cols.at(0, 0), 0.0f);
+    EXPECT_EQ(cols.at(0, 4), 1.0f);  // center
+}
+
+TEST(Im2col, ConvViaGemmMatchesDirectConv)
+{
+    ConvGeometry g;
+    g.in_channels = 2;
+    g.out_channels = 3;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 1;
+    Rng rng(11);
+    Tensor x(Shape{2, 2, 5, 5});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0, 1));
+    Tensor w = randomMatrix(g.patchSize(), g.out_channels, 12);
+
+    Tensor cols = im2col(x, g);
+    Tensor flat = matmul(cols, w);
+
+    // Direct convolution reference.
+    for (int64_t n = 0; n < 2; ++n) {
+        for (int64_t co = 0; co < 3; ++co) {
+            for (int64_t ho = 0; ho < 5; ++ho) {
+                for (int64_t wo = 0; wo < 5; ++wo) {
+                    float acc = 0.0f;
+                    for (int64_t ci = 0; ci < 2; ++ci)
+                        for (int64_t kh = 0; kh < 3; ++kh)
+                            for (int64_t kw = 0; kw < 3; ++kw) {
+                                const int64_t hi = ho - 1 + kh;
+                                const int64_t wi = wo - 1 + kw;
+                                if (hi < 0 || hi >= 5 || wi < 0 || wi >= 5)
+                                    continue;
+                                const int64_t krow =
+                                    (ci * 3 + kh) * 3 + kw;
+                                acc += x.at4(n, ci, hi, wi) *
+                                       w.at(krow, co);
+                            }
+                    const int64_t row = (n * 5 + ho) * 5 + wo;
+                    EXPECT_NEAR(flat.at(row, co), acc, 1e-4f);
+                }
+            }
+        }
+    }
+}
+
+TEST(Col2im, RoundTripAccumulatesOverlaps)
+{
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 1;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 1;
+    Tensor ones(Shape{1 * 4 * 4, g.patchSize()}, 1.0f);
+    Tensor grad = col2im(ones, g, 1, 4, 4);
+    // Interior pixels are covered by 9 windows, corners by 4.
+    EXPECT_EQ(grad.at4(0, 0, 1, 1), 9.0f);
+    EXPECT_EQ(grad.at4(0, 0, 0, 0), 4.0f);
+}
+
+} // namespace
+} // namespace lutdla

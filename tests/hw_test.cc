@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the hardware cost models: tech scaling, arithmetic anchors,
+ * dPE metric ordering, SRAM, accelerator PPA, and Table VII memories.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/accel.h"
+#include "hw/arith.h"
+#include "hw/dpe.h"
+#include "hw/efficiency.h"
+#include "hw/soa_db.h"
+#include "hw/sram.h"
+#include "hw/tech.h"
+
+namespace lutdla::hw {
+namespace {
+
+TEST(Tech, IdentityScaleIsOne)
+{
+    TechNode n{28};
+    EXPECT_NEAR(n.areaScaleTo(n), 1.0, 1e-12);
+    EXPECT_NEAR(n.energyScaleTo(n), 1.0, 1e-12);
+}
+
+TEST(Tech, ShrinkReducesAreaAndEnergy)
+{
+    EXPECT_LT(tech45().areaScaleTo(tech28()), 1.0);
+    EXPECT_LT(tech45().energyScaleTo(tech28()), 1.0);
+    EXPECT_GT(tech28().areaScaleTo(tech45()), 1.0);
+}
+
+TEST(Tech, QuadraticAreaAboveFinfet)
+{
+    EXPECT_NEAR(TechNode{90}.areaScaleTo(TechNode{45}), 0.25, 1e-9);
+}
+
+TEST(Arith, AnchorsAt45nm)
+{
+    ArithLibrary lib(tech45());
+    EXPECT_NEAR(lib.intAdd(8).area_um2, 36.0, 1.0);
+    EXPECT_NEAR(lib.intAdd(32).energy_pj, 0.1, 0.02);
+    EXPECT_NEAR(lib.intMult(8).area_um2, 282.0, 5.0);
+    EXPECT_NEAR(lib.intMult(32).area_um2, 3495.0, 200.0);
+    EXPECT_NEAR(lib.fpAdd(32).area_um2, 4184.0, 200.0);
+    EXPECT_NEAR(lib.fpMult(32).energy_pj, 3.7, 0.3);
+}
+
+TEST(Arith, MultCostsMoreThanAdd)
+{
+    ArithLibrary lib;
+    for (int bits : {8, 16, 32}) {
+        EXPECT_GT(lib.intMult(bits).area_um2, lib.intAdd(bits).area_um2);
+        EXPECT_GT(lib.intMult(bits).energy_pj, lib.intAdd(bits).energy_pj);
+    }
+}
+
+TEST(Arith, Bf16CheaperThanFp32)
+{
+    ArithLibrary lib;
+    EXPECT_LT(lib.mult(NumFormat::Bf16).area_um2,
+              lib.mult(NumFormat::Fp32).area_um2);
+    EXPECT_LT(lib.add(NumFormat::Bf16).energy_pj,
+              lib.add(NumFormat::Fp32).energy_pj);
+}
+
+TEST(Dpe, MetricOrderingL2OverL1OverChebyshev)
+{
+    ArithLibrary lib;
+    for (int64_t v : {4, 8, 16}) {
+        DpeConfig l2{v, vq::Metric::L2, NumFormat::Fp32};
+        DpeConfig l1{v, vq::Metric::L1, NumFormat::Fp32};
+        DpeConfig che{v, vq::Metric::Chebyshev, NumFormat::Fp32};
+        const UnitCost c2 = dpeCost(lib, l2);
+        const UnitCost c1 = dpeCost(lib, l1);
+        const UnitCost cc = dpeCost(lib, che);
+        EXPECT_GT(c2.area_um2, c1.area_um2) << "v=" << v;
+        EXPECT_GT(c2.energy_pj, c1.energy_pj) << "v=" << v;
+        // Chebyshev swaps adders for max units; it must not be costlier
+        // than L1 on energy and should win clearly on L2.
+        EXPECT_LT(cc.energy_pj, c2.energy_pj);
+    }
+}
+
+TEST(Dpe, CostGrowsWithVectorLength)
+{
+    ArithLibrary lib;
+    double prev_area = 0.0;
+    for (int64_t v : {2, 4, 8, 16}) {
+        DpeConfig cfg{v, vq::Metric::L2, NumFormat::Fp16};
+        const double area = dpeCost(lib, cfg).area_um2;
+        EXPECT_GT(area, prev_area);
+        prev_area = area;
+    }
+}
+
+TEST(Dpe, CcuScalesWithCentroids)
+{
+    ArithLibrary lib;
+    CcuConfig small;
+    small.c = 8;
+    CcuConfig big;
+    big.c = 32;
+    EXPECT_NEAR(ccuCost(lib, big).area_um2,
+                4.0 * ccuCost(lib, small).area_um2,
+                0.1 * ccuCost(lib, big).area_um2);
+    EXPECT_EQ(ccuCentroidBytes(big), 32 * 4 * 4);  // c * v * fp32 bytes
+}
+
+TEST(Sram, AreaAndEnergyGrowWithSize)
+{
+    SramModel sram;
+    const SramMacro a = sram.compile(4096);
+    const SramMacro b = sram.compile(65536);
+    EXPECT_GT(b.area_mm2, a.area_mm2 * 10);
+    EXPECT_GT(b.read_energy_pj, a.read_energy_pj);
+    EXPECT_GT(b.leakage_mw, a.leakage_mw);
+}
+
+TEST(Sram, ZeroBytesIsFree)
+{
+    SramModel sram;
+    const SramMacro m = sram.compile(0);
+    EXPECT_EQ(m.area_mm2, 0.0);
+}
+
+TEST(Accel, PeakGopsMatchPaperDesigns)
+{
+    // 2 IMMs * Tn lanes * 2v ops at 300 MHz (Table VIII).
+    EXPECT_NEAR(design1Tiny().peakOps() * 1e-9, 460.8, 1e-6);
+    EXPECT_NEAR(design2Large().peakOps() * 1e-9, 1228.8, 1e-6);
+    EXPECT_NEAR(design3Fit().peakOps() * 1e-9, 2764.8, 1e-6);
+}
+
+TEST(Accel, ImmMemoryMatchesTableVii)
+{
+    // Table VII: 36.1 / 72.1 / 408.2 KB per IMM.
+    EXPECT_NEAR(immMemory(design1Tiny()).totalBytes() / 1024.0, 36.1, 0.1);
+    EXPECT_NEAR(immMemory(design2Large()).totalBytes() / 1024.0, 72.1,
+                0.1);
+    EXPECT_NEAR(immMemory(design3Fit()).totalBytes() / 1024.0, 408.2, 0.1);
+}
+
+TEST(Accel, PpaOrdering)
+{
+    ArithLibrary lib;
+    SramModel sram;
+    const AccelPpa p1 = evaluateDesign(lib, sram, design1Tiny());
+    const AccelPpa p2 = evaluateDesign(lib, sram, design2Large());
+    const AccelPpa p3 = evaluateDesign(lib, sram, design3Fit());
+    EXPECT_LT(p1.area_mm2, p2.area_mm2);
+    EXPECT_LT(p2.area_mm2, p3.area_mm2);
+    EXPECT_LT(p1.power_mw, p2.power_mw);
+    EXPECT_LT(p2.power_mw, p3.power_mw);
+    // Same order of magnitude as the paper's synthesis results.
+    EXPECT_GT(p1.area_mm2, 0.1);
+    EXPECT_LT(p1.area_mm2, 2.0);
+    EXPECT_GT(p1.power_mw, 50.0);
+    EXPECT_LT(p1.power_mw, 800.0);
+}
+
+TEST(Accel, MinBandwidthReasonable)
+{
+    // Table VII lists 4.1 / 7.0 / 8.7 GB/s; our model should land in the
+    // same few-GB/s regime and preserve the ordering.
+    const double b1 = minBandwidthBytesPerSec(design1Tiny()) * 1e-9;
+    const double b2 = minBandwidthBytesPerSec(design2Large()) * 1e-9;
+    const double b3 = minBandwidthBytesPerSec(design3Fit()) * 1e-9;
+    EXPECT_GT(b1, 1.0);
+    EXPECT_LT(b1, 10.0);
+    EXPECT_LT(b1, b2);
+    EXPECT_LT(b2, b3);
+}
+
+TEST(Efficiency, LutBeatsAluByOrders)
+{
+    ArithLibrary lib;
+    SramModel sram;
+    LutEfficiencyConfig cfg;
+    const EfficiencyPoint lut =
+        lutEfficiencyPoint(lib, sram, cfg, 8, 32);
+    // Compare against FP32 mult at its 32-bit point.
+    const UnitCost mult = lib.fpMult(32);
+    const double alu_per_mm2 = 1.0 / (mult.area_um2 * 1e-6);
+    const double alu_per_pj = 1.0 / mult.energy_pj;
+    EXPECT_GT(lut.ops_per_mm2, 10.0 * alu_per_mm2);
+    EXPECT_GT(lut.ops_per_pj, 10.0 * alu_per_pj);
+}
+
+TEST(Efficiency, CurvesCoverConfiguredGrid)
+{
+    ArithLibrary lib;
+    SramModel sram;
+    const auto curves = lutEfficiencyCurves(lib, sram, {});
+    EXPECT_EQ(curves.size(), 4u * 7u);
+    const auto alus = aluEfficiencyCurves(lib);
+    EXPECT_EQ(alus.size(), 7u * 2u + 4u * 2u);
+}
+
+TEST(Efficiency, HigherVImprovesEquivalentEfficiency)
+{
+    ArithLibrary lib;
+    SramModel sram;
+    LutEfficiencyConfig cfg;
+    const auto a = lutEfficiencyPoint(lib, sram, cfg, 4, 32);
+    const auto b = lutEfficiencyPoint(lib, sram, cfg, 16, 32);
+    EXPECT_GT(b.ops_per_mm2, a.ops_per_mm2);
+    EXPECT_GT(b.ops_per_pj, a.ops_per_pj);
+    EXPECT_LT(b.bitwidth, a.bitwidth);
+}
+
+TEST(SoaDb, TableViiiRowsPresent)
+{
+    const auto specs = publishedAccelerators();
+    EXPECT_EQ(specs.size(), 7u);
+    const AcceleratorSpec nv = findAccelerator("NVDLA-Small");
+    EXPECT_NEAR(nv.rawAreaEff(), 70.3, 0.5);
+    EXPECT_NEAR(nv.rawPowerEff(), 1.16, 0.05);
+}
+
+TEST(SoaDb, ScalingPenalizesNewerNodes)
+{
+    const AcceleratorSpec a100 = findAccelerator("NVIDIA A100");
+    // Scaling a 7 nm design's area up to 28 nm reduces area efficiency.
+    EXPECT_LT(a100.scaledAreaEff(tech28()), a100.rawAreaEff());
+    // And a 40 nm design gains when normalized down to 28 nm.
+    const AcceleratorSpec elsa = findAccelerator("ELSA");
+    EXPECT_GT(elsa.scaledAreaEff(tech28()), elsa.rawAreaEff());
+}
+
+} // namespace
+} // namespace lutdla::hw

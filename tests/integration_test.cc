@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cross-module integration tests: the full train -> convert -> deploy ->
+ * simulate pipeline the paper's system implements.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/nvdla_model.h"
+#include "dse/search.h"
+#include "lutboost/converter.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+#include "sim/lutdla_sim.h"
+#include "vq/lut.h"
+#include "workloads/model_zoo.h"
+
+namespace lutdla {
+namespace {
+
+TEST(Integration, TrainConvertDeploySimulate)
+{
+    // 1. Train a float MLP on the mixture task.
+    nn::GaussianMixtureConfig dcfg;
+    dcfg.classes = 4;
+    dcfg.dim = 16;
+    dcfg.train_per_class = 24;
+    dcfg.test_per_class = 8;
+    nn::Dataset ds = nn::makeGaussianMixture(dcfg);
+    auto model = nn::makeMlp(16, {20}, 4);
+    nn::TrainConfig pre;
+    pre.epochs = 8;
+    nn::Trainer(model, ds, pre).train();
+
+    // 2. LUTBoost conversion.
+    lutboost::ConvertOptions opts;
+    opts.pq.v = 4;
+    opts.pq.c = 16;
+    opts.centroid_stage.epochs = 2;
+    opts.joint_stage.epochs = 3;
+    const lutboost::ConversionReport report =
+        lutboost::convert(model, ds, opts);
+    EXPECT_GT(report.final_accuracy, 0.7);
+
+    // 3. Freeze inference LUTs in BF16+INT8 and re-evaluate.
+    for (auto *layer : lutboost::findLutLayers(model)) {
+        layer->setPrecision(vq::LutPrecision{true, true});
+        layer->refreshInferenceLut();
+    }
+    nn::Trainer probe(model, ds, {});
+    const double quant_acc = probe.evaluate(ds.test_x, ds.test_y);
+    EXPECT_GT(quant_acc, report.final_accuracy - 0.1);
+
+    // 4. Time the deployed model's GEMMs on the Design1 simulator.
+    sim::LutDlaSimulator simulator(
+        sim::SimConfig::fromDesign(hw::design1Tiny()));
+    std::vector<sim::GemmShape> gemms{{64, 16, 20, "fc1"},
+                                      {64, 20, 4, "fc2"}};
+    const sim::SimStats stats = simulator.simulateNetwork(gemms);
+    EXPECT_GT(stats.total_cycles, 0u);
+    EXPECT_GT(stats.achievedGops(simulator.config()), 0.0);
+}
+
+TEST(Integration, LutDlaBeatsNvdlaSmallOnBert)
+{
+    // The headline end-to-end claim (Fig. 14): Design1 outruns
+    // NVDLA-Small by ~6x on BERT within a similar area.
+    const workloads::Network bert = workloads::bertBase();
+
+    sim::LutDlaSimulator lutdla(
+        sim::SimConfig::fromDesign(hw::design1Tiny()));
+    const double lut_s =
+        lutdla.simulateNetwork(bert.gemms).seconds(lutdla.config());
+
+    baselines::NvdlaModel nvdla(baselines::nvdlaSmall());
+    const double nv_s = nvdla.simulateNetwork(bert.gemms)
+                            .seconds(nvdla.config());
+
+    const double speedup = nv_s / lut_s;
+    EXPECT_GT(speedup, 3.0);
+    EXPECT_LT(speedup, 30.0);
+}
+
+TEST(Integration, DseSearchedDesignSimulates)
+{
+    dse::SearchConstraints cs;
+    cs.workload = {512, 768, 768, "bert"};
+    cs.max_area_mm2 = 4.0;
+    cs.max_power_mw = 700.0;
+    cs.min_accuracy = 0.0;
+    dse::CoDesignSearchEngine engine({}, cs, nullptr);
+    const dse::SearchResult result = engine.run();
+    ASSERT_TRUE(result.found);
+
+    sim::SimConfig cfg;
+    cfg.v = result.best.v;
+    cfg.c = result.best.c;
+    cfg.n_imm = result.best.n_imm;
+    cfg.n_ccu = result.best.n_ccu;
+    cfg.tn = 128;
+    cfg.m_tile = 256;
+    const sim::SimStats stats =
+        sim::LutDlaSimulator(cfg).simulateGemm(cs.workload);
+    EXPECT_GT(stats.utilization(), 0.3);
+}
+
+TEST(Integration, EngineAccuracyTracksSimulatedDeployment)
+{
+    // The software LutGemmEngine and a LUT layer given identical
+    // codebooks/weights must agree bit-for-bit on outputs.
+    Rng rng(77);
+    Tensor samples(Shape{128, 12});
+    for (int64_t i = 0; i < samples.numel(); ++i)
+        samples.at(i) = static_cast<float>(rng.gaussian(0, 1));
+    Tensor w(Shape{12, 6});
+    for (int64_t i = 0; i < w.numel(); ++i)
+        w.at(i) = static_cast<float>(rng.gaussian(0, 1));
+
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    vq::LutGemmEngine engine(pq, w, samples);
+
+    lutboost::LutLinear layer(12, 6, pq, false);
+    layer.weight().value = w;
+    for (int64_t s = 0; s < engine.quantizer().numSubspaces(); ++s) {
+        const Tensor &cb = engine.quantizer().codebook(s);
+        std::copy(cb.data(), cb.data() + cb.numel(),
+                  layer.centroids().value.data() + s * pq.c * pq.v);
+    }
+    Tensor eval(Shape{32, 12});
+    for (int64_t i = 0; i < eval.numel(); ++i)
+        eval.at(i) = static_cast<float>(rng.gaussian(0, 1));
+    EXPECT_LT(Tensor::maxAbsDiff(engine.matmul(eval),
+                                 layer.forward(eval, false)),
+              1e-4f);
+}
+
+} // namespace
+} // namespace lutdla

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Tests for metric-aware k-means: clustering quality, metric-specific
+ * M-steps, and degenerate cases.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "vq/kmeans.h"
+
+namespace lutdla::vq {
+namespace {
+
+/** Two well-separated blobs in 2-D. */
+Tensor
+twoBlobs(int64_t per_blob, uint64_t seed)
+{
+    Tensor data(Shape{2 * per_blob, 2});
+    Rng rng(seed);
+    for (int64_t i = 0; i < per_blob; ++i) {
+        data.at(i, 0) = static_cast<float>(rng.gaussian(-5.0, 0.3));
+        data.at(i, 1) = static_cast<float>(rng.gaussian(0.0, 0.3));
+        data.at(per_blob + i, 0) = static_cast<float>(rng.gaussian(5, 0.3));
+        data.at(per_blob + i, 1) = static_cast<float>(rng.gaussian(0, 0.3));
+    }
+    return data;
+}
+
+TEST(KMeans, SeparatesTwoBlobs)
+{
+    Tensor data = twoBlobs(50, 1);
+    KMeansConfig cfg;
+    cfg.clusters = 2;
+    KMeansResult r = kmeans(data, cfg);
+    // Centroids near (-5, 0) and (5, 0) in some order.
+    const float x0 = r.centroids.at(0, 0), x1 = r.centroids.at(1, 0);
+    EXPECT_NEAR(std::min(x0, x1), -5.0f, 0.5f);
+    EXPECT_NEAR(std::max(x0, x1), 5.0f, 0.5f);
+}
+
+TEST(KMeans, AssignmentsAreNearest)
+{
+    Tensor data = twoBlobs(30, 2);
+    KMeansConfig cfg;
+    cfg.clusters = 4;
+    KMeansResult r = kmeans(data, cfg);
+    for (int64_t i = 0; i < data.dim(0); ++i) {
+        const int32_t a = r.assignments[static_cast<size_t>(i)];
+        const float da = distance(cfg.metric, data.data() + i * 2,
+                                  r.centroids.data() + a * 2, 2);
+        for (int64_t j = 0; j < cfg.clusters; ++j) {
+            const float dj = distance(cfg.metric, data.data() + i * 2,
+                                      r.centroids.data() + j * 2, 2);
+            EXPECT_LE(da, dj + 1e-5f);
+        }
+    }
+}
+
+TEST(KMeans, MoreClustersNeverWorse)
+{
+    Tensor data = twoBlobs(40, 3);
+    double prev = 1e18;
+    for (int64_t c : {1, 2, 4, 8}) {
+        KMeansConfig cfg;
+        cfg.clusters = c;
+        cfg.max_iters = 50;
+        const double inertia = kmeans(data, cfg).inertia;
+        EXPECT_LE(inertia, prev * 1.05) << "c=" << c;
+        prev = inertia;
+    }
+}
+
+TEST(KMeans, L1UsesMedianCenters)
+{
+    // One cluster with an outlier: the L1 center is the median, robust to
+    // the outlier, while the L2 center (mean) is dragged toward it.
+    Tensor data(Shape{5, 1},
+                std::vector<float>{0.0f, 0.1f, 0.2f, 0.3f, 100.0f});
+    KMeansConfig cfg;
+    cfg.clusters = 1;
+    cfg.metric = Metric::L1;
+    const float l1_center = kmeans(data, cfg).centroids.at(0);
+    cfg.metric = Metric::L2;
+    const float l2_center = kmeans(data, cfg).centroids.at(0);
+    EXPECT_LT(l1_center, 1.0f);
+    EXPECT_GT(l2_center, 15.0f);
+}
+
+TEST(KMeans, ChebyshevUsesMidrangeCenters)
+{
+    Tensor data(Shape{3, 1}, std::vector<float>{0.0f, 1.0f, 10.0f});
+    KMeansConfig cfg;
+    cfg.clusters = 1;
+    cfg.metric = Metric::Chebyshev;
+    EXPECT_NEAR(kmeans(data, cfg).centroids.at(0), 5.0f, 1e-5f);
+}
+
+TEST(KMeans, FewerSamplesThanClusters)
+{
+    Tensor data(Shape{2, 2}, std::vector<float>{1, 1, 2, 2});
+    KMeansConfig cfg;
+    cfg.clusters = 5;
+    KMeansResult r = kmeans(data, cfg);
+    EXPECT_EQ(r.centroids.dim(0), 5);
+    // Every centroid equals one of the samples.
+    for (int64_t k = 0; k < 5; ++k) {
+        const bool is_a = r.centroids.at(k, 0) == 1.0f;
+        const bool is_b = r.centroids.at(k, 0) == 2.0f;
+        EXPECT_TRUE(is_a || is_b);
+    }
+}
+
+TEST(KMeans, DeterministicWithSeed)
+{
+    Tensor data = twoBlobs(20, 4);
+    KMeansConfig cfg;
+    cfg.clusters = 3;
+    KMeansResult a = kmeans(data, cfg);
+    KMeansResult b = kmeans(data, cfg);
+    EXPECT_TRUE(a.centroids.equals(b.centroids));
+}
+
+TEST(KMeans, AssignRecomputesInertia)
+{
+    Tensor data = twoBlobs(10, 5);
+    KMeansConfig cfg;
+    cfg.clusters = 2;
+    KMeansResult r = kmeans(data, cfg);
+    std::vector<int32_t> assignments;
+    const double inertia =
+        assignToCentroids(data, r.centroids, cfg.metric, assignments);
+    EXPECT_NEAR(inertia, r.inertia, 1e-9);
+    EXPECT_EQ(assignments, r.assignments);
+}
+
+} // namespace
+} // namespace lutdla::vq

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * End-to-end training smoke tests: the substrate must actually learn on
+ * the synthetic datasets (these accuracies anchor every LUTBoost
+ * comparison).
+ */
+
+#include <gtest/gtest.h>
+
+#include "nn/dataset.h"
+#include "nn/models.h"
+#include "nn/trainer.h"
+
+namespace lutdla::nn {
+namespace {
+
+TEST(Datasets, GaussianMixtureShapes)
+{
+    GaussianMixtureConfig cfg;
+    cfg.classes = 4;
+    cfg.dim = 8;
+    cfg.train_per_class = 10;
+    cfg.test_per_class = 5;
+    Dataset ds = makeGaussianMixture(cfg);
+    EXPECT_EQ(ds.trainSize(), 40);
+    EXPECT_EQ(ds.testSize(), 20);
+    EXPECT_EQ(ds.num_classes, 4);
+    EXPECT_EQ(ds.train_x.dim(1), 8);
+}
+
+TEST(Datasets, Deterministic)
+{
+    GaussianMixtureConfig cfg;
+    Dataset a = makeGaussianMixture(cfg);
+    Dataset b = makeGaussianMixture(cfg);
+    EXPECT_TRUE(a.train_x.equals(b.train_x));
+    EXPECT_EQ(a.train_y, b.train_y);
+}
+
+TEST(Datasets, ShapeImagesAreNchw)
+{
+    ShapeImageConfig cfg;
+    cfg.classes = 3;
+    cfg.train_per_class = 4;
+    cfg.test_per_class = 2;
+    Dataset ds = makeShapeImages(cfg);
+    EXPECT_EQ(ds.train_x.rank(), 4);
+    EXPECT_EQ(ds.train_x.dim(1), 1);
+    EXPECT_EQ(ds.train_x.dim(2), cfg.size);
+}
+
+TEST(Datasets, SequenceTaskLayout)
+{
+    SequenceTaskConfig cfg;
+    cfg.classes = 2;
+    cfg.train_per_class = 4;
+    cfg.test_per_class = 2;
+    Dataset ds = makeSequenceTask(cfg);
+    EXPECT_EQ(ds.train_x.dim(1), cfg.seq_len * cfg.dim);
+}
+
+TEST(GatherRows, PicksAndReordersRows)
+{
+    Tensor x(Shape{3, 2}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor g = gatherRows(x, {2, 0});
+    EXPECT_EQ(g.at(0, 0), 5.0f);
+    EXPECT_EQ(g.at(1, 1), 2.0f);
+}
+
+TEST(Training, MlpLearnsGaussianMixture)
+{
+    GaussianMixtureConfig dcfg;
+    dcfg.classes = 6;
+    dcfg.dim = 16;
+    dcfg.train_per_class = 40;
+    dcfg.test_per_class = 12;
+    Dataset ds = makeGaussianMixture(dcfg);
+
+    auto model = makeMlp(16, {24}, 6);
+    TrainConfig tcfg;
+    tcfg.epochs = 12;
+    tcfg.lr = 0.05;
+    Trainer trainer(model, ds, tcfg);
+    TrainResult result = trainer.train();
+    EXPECT_GT(result.test_accuracy, 0.9)
+        << "train acc " << result.train_accuracy;
+    // Loss should drop substantially.
+    EXPECT_LT(result.epoch_losses.back(),
+              0.5 * result.epoch_losses.front());
+}
+
+TEST(Training, LeNetLearnsShapes)
+{
+    ShapeImageConfig dcfg;
+    dcfg.classes = 4;
+    dcfg.train_per_class = 24;
+    dcfg.test_per_class = 8;
+    dcfg.noise = 0.2;
+    Dataset ds = makeShapeImages(dcfg);
+
+    auto model = makeLeNetStyle(4);
+    TrainConfig tcfg;
+    tcfg.epochs = 8;
+    tcfg.lr = 0.03;
+    Trainer trainer(model, ds, tcfg);
+    TrainResult result = trainer.train();
+    EXPECT_GT(result.test_accuracy, 0.8);
+}
+
+TEST(Training, TinyTransformerLearnsSequences)
+{
+    SequenceTaskConfig dcfg;
+    dcfg.classes = 3;
+    dcfg.train_per_class = 30;
+    dcfg.test_per_class = 10;
+    Dataset ds = makeSequenceTask(dcfg);
+
+    TinyTransformerConfig mcfg;
+    mcfg.classes = 3;
+    mcfg.layers = 1;
+    mcfg.d_model = 16;
+    mcfg.heads = 2;
+    mcfg.d_ff = 32;
+    auto model = makeTinyTransformer(mcfg);
+    TrainConfig tcfg;
+    tcfg.epochs = 14;
+    tcfg.lr = 2e-3;
+    tcfg.use_adam = true;
+    Trainer trainer(model, ds, tcfg);
+    TrainResult result = trainer.train();
+    EXPECT_GT(result.test_accuracy, 0.8);
+}
+
+TEST(Training, TrainableSubsetOnlyUpdatesThoseParams)
+{
+    GaussianMixtureConfig dcfg;
+    dcfg.classes = 2;
+    dcfg.dim = 4;
+    dcfg.train_per_class = 8;
+    dcfg.test_per_class = 4;
+    Dataset ds = makeGaussianMixture(dcfg);
+
+    auto model = makeMlp(4, {6}, 2);
+    auto params = collectParameters(model);
+    ASSERT_GE(params.size(), 3u);
+    const Tensor frozen_before = params[0]->value;
+    const Tensor trained_before = params[2]->value;
+
+    TrainConfig tcfg;
+    tcfg.epochs = 2;
+    Trainer trainer(model, ds, tcfg);
+    trainer.setTrainableParams({params[2]});
+    trainer.train();
+
+    EXPECT_TRUE(params[0]->value.equals(frozen_before));
+    EXPECT_FALSE(params[2]->value.equals(trained_before));
+}
+
+TEST(Training, MiniResNetForwardBackwardRuns)
+{
+    // Smoke test only (full training is exercised by benches).
+    ShapeImageConfig dcfg;
+    dcfg.classes = 3;
+    dcfg.train_per_class = 6;
+    dcfg.test_per_class = 3;
+    Dataset ds = makeShapeImages(dcfg);
+    auto model = makeMiniResNet(1, 8, 3);
+    TrainConfig tcfg;
+    tcfg.epochs = 1;
+    tcfg.batch_size = 6;
+    Trainer trainer(model, ds, tcfg);
+    TrainResult r = trainer.train();
+    EXPECT_FALSE(r.epoch_losses.empty());
+    EXPECT_GT(countParameters(model), 1000);
+}
+
+} // namespace
+} // namespace lutdla::nn

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Tests for the product quantizer and LUT-GEMM engine (Fig. 2 pipeline).
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/gemm.h"
+#include "util/rng.h"
+#include "vq/lut.h"
+#include "vq/pq.h"
+
+namespace lutdla::vq {
+namespace {
+
+Tensor
+randomMatrix(int64_t r, int64_t c, uint64_t seed, double std = 1.0)
+{
+    Tensor t(Shape{r, c});
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.gaussian(0.0, std));
+    return t;
+}
+
+TEST(PQConfig, EquivalentBits)
+{
+    PQConfig cfg;
+    cfg.v = 9;
+    cfg.c = 8;
+    EXPECT_EQ(cfg.indexBits(), 3);
+    EXPECT_NEAR(cfg.equivalentBits(), 3.0 / 9.0, 1e-12);
+    cfg.v = 3;
+    cfg.c = 16;
+    EXPECT_NEAR(cfg.equivalentBits(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(PQ, SubspaceCountCeils)
+{
+    PQConfig cfg;
+    cfg.v = 4;
+    ProductQuantizer pq(10, cfg);
+    EXPECT_EQ(pq.numSubspaces(), 3);
+    EXPECT_EQ(pq.parameterCount(), 3 * 16 * 4);
+}
+
+TEST(PQ, EncodeDecodeReducesWithTraining)
+{
+    PQConfig cfg;
+    cfg.v = 4;
+    cfg.c = 32;
+    Tensor data = randomMatrix(256, 16, 7);
+    ProductQuantizer pq(16, cfg);
+    pq.train(data);
+    auto codes = pq.encode(data);
+    Tensor approx = pq.decode(codes, data.dim(0));
+    EXPECT_LT(Tensor::relError(approx, data), 0.8);
+}
+
+TEST(PQ, EncodeRowPaddedTail)
+{
+    PQConfig cfg;
+    cfg.v = 4;
+    cfg.c = 4;
+    ProductQuantizer pq(6, cfg);  // second subspace has 2 live dims
+    Tensor data = randomMatrix(64, 6, 8);
+    pq.train(data);
+    auto codes = pq.encode(data);
+    EXPECT_EQ(codes.size(), static_cast<size_t>(64 * 2));
+    for (int32_t c : codes) {
+        EXPECT_GE(c, 0);
+        EXPECT_LT(c, 4);
+    }
+}
+
+TEST(PQ, ExternalCodebookInstall)
+{
+    PQConfig cfg;
+    cfg.v = 2;
+    cfg.c = 2;
+    ProductQuantizer pq(4, cfg);
+    EXPECT_FALSE(pq.trained());
+    Tensor cb(Shape{2, 2}, std::vector<float>{0, 0, 1, 1});
+    pq.setCodebook(0, cb);
+    EXPECT_FALSE(pq.trained());  // subspace 1 still empty
+    pq.setCodebook(1, cb);
+    EXPECT_TRUE(pq.trained());
+}
+
+TEST(Lut, TableMatchesManualPrecompute)
+{
+    PQConfig cfg;
+    cfg.v = 2;
+    cfg.c = 2;
+    ProductQuantizer pq(4, cfg);
+    Tensor cb0(Shape{2, 2}, std::vector<float>{1, 0, 0, 1});
+    Tensor cb1(Shape{2, 2}, std::vector<float>{2, 0, 0, 2});
+    pq.setCodebook(0, cb0);
+    pq.setCodebook(1, cb1);
+    Tensor w = randomMatrix(4, 3, 9);
+    LookupTable lut(pq, w);
+    // Entry (s=0, j=0) = centroid [1,0] dot rows 0-1 of W.
+    for (int64_t n = 0; n < 3; ++n)
+        EXPECT_NEAR(lut.entry(0, 0)[n], w.at(0, n), 1e-5f);
+    // Entry (s=1, j=1) = [0,2] dot rows 2-3 -> 2 * w[3].
+    for (int64_t n = 0; n < 3; ++n)
+        EXPECT_NEAR(lut.entry(1, 1)[n], 2.0f * w.at(3, n), 1e-5f);
+}
+
+TEST(Lut, LookupGemmEqualsDecodedMatmul)
+{
+    PQConfig cfg;
+    cfg.v = 4;
+    cfg.c = 16;
+    Tensor data = randomMatrix(64, 12, 10);
+    Tensor w = randomMatrix(12, 8, 11);
+    ProductQuantizer pq(12, cfg);
+    pq.train(data);
+    LookupTable lut(pq, w);
+
+    auto codes = pq.encode(data);
+    Tensor via_lut = lut.lookupGemm(codes, data.dim(0));
+    Tensor via_decode = matmul(pq.decode(codes, data.dim(0)), w);
+    EXPECT_LT(Tensor::maxAbsDiff(via_lut, via_decode), 1e-3f);
+}
+
+TEST(Lut, SizeBytesTracksPrecision)
+{
+    PQConfig cfg;
+    cfg.v = 4;
+    cfg.c = 8;
+    Tensor data = randomMatrix(32, 8, 12);
+    Tensor w = randomMatrix(8, 10, 13);
+    ProductQuantizer pq(8, cfg);
+    pq.train(data);
+    LookupTable fp(pq, w, LutPrecision{false, false});
+    LookupTable i8(pq, w, LutPrecision{false, true});
+    EXPECT_EQ(fp.sizeBytes(), 2 * 8 * 10 * 4);
+    EXPECT_EQ(i8.sizeBytes(), 2 * 8 * 10 * 1);
+}
+
+TEST(LutEngine, ErrorDecreasesWithMoreCentroids)
+{
+    Tensor samples = randomMatrix(512, 16, 14);
+    Tensor eval = randomMatrix(128, 16, 15);
+    Tensor w = randomMatrix(16, 8, 16);
+    double prev = 1e9;
+    for (int64_t c : {2, 8, 32, 128}) {
+        PQConfig cfg;
+        cfg.v = 4;
+        cfg.c = c;
+        LutGemmEngine engine(cfg, w, samples);
+        const double err = engine.approximationError(eval);
+        EXPECT_LT(err, prev * 1.15) << "c=" << c;
+        prev = err;
+    }
+}
+
+TEST(LutEngine, Int8EntriesAddBoundedError)
+{
+    Tensor samples = randomMatrix(256, 12, 17);
+    Tensor eval = randomMatrix(64, 12, 18);
+    Tensor w = randomMatrix(12, 6, 19);
+    PQConfig cfg;
+    cfg.v = 3;
+    cfg.c = 32;
+    LutGemmEngine fp(cfg, w, samples, LutPrecision{false, false});
+    LutGemmEngine i8(cfg, w, samples, LutPrecision{false, true});
+    const double err_fp = fp.approximationError(eval);
+    const double err_i8 = i8.approximationError(eval);
+    EXPECT_GE(err_i8, err_fp * 0.99);
+    EXPECT_LT(err_i8, err_fp + 0.1);  // INT8 noise stays small
+}
+
+TEST(LutEngine, Bf16SimilarityMatchesNearly)
+{
+    Tensor samples = randomMatrix(256, 12, 20);
+    Tensor eval = randomMatrix(64, 12, 21);
+    Tensor w = randomMatrix(12, 6, 22);
+    PQConfig cfg;
+    cfg.v = 4;
+    cfg.c = 16;
+    LutGemmEngine fp(cfg, w, samples, LutPrecision{false, false});
+    LutGemmEngine bf(cfg, w, samples, LutPrecision{true, false});
+    EXPECT_LT(std::abs(fp.approximationError(eval) -
+                       bf.approximationError(eval)),
+              0.05);
+}
+
+TEST(LutEngine, L1AndChebyshevWork)
+{
+    Tensor samples = randomMatrix(256, 8, 23);
+    Tensor eval = randomMatrix(64, 8, 24);
+    Tensor w = randomMatrix(8, 4, 25);
+    for (Metric m : {Metric::L1, Metric::Chebyshev}) {
+        PQConfig cfg;
+        cfg.v = 4;
+        cfg.c = 32;
+        cfg.metric = m;
+        LutGemmEngine engine(cfg, w, samples);
+        EXPECT_LT(engine.approximationError(eval), 1.0)
+            << metricName(m);
+    }
+}
+
+} // namespace
+} // namespace lutdla::vq

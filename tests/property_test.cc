@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Parameterized property sweeps over the library's core invariants:
+ * approximation error trends over (v, c), simulator monotonicity, and
+ * dataflow memory dominance.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/dataflow.h"
+#include "sim/lutdla_sim.h"
+#include "util/rng.h"
+#include "vq/lut.h"
+
+namespace lutdla {
+namespace {
+
+Tensor
+randomMatrix(int64_t r, int64_t c, uint64_t seed)
+{
+    Tensor t(Shape{r, c});
+    Rng rng(seed);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        t.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return t;
+}
+
+// ---- Property: LUT-GEMM error shrinks as c grows, for every metric ----
+
+class ErrorVsCentroids
+    : public ::testing::TestWithParam<std::tuple<vq::Metric, int64_t>>
+{
+};
+
+TEST_P(ErrorVsCentroids, MoreCentroidsNeverMuchWorse)
+{
+    const auto [metric, v] = GetParam();
+    Tensor samples = randomMatrix(384, 16, 31);
+    Tensor eval = randomMatrix(96, 16, 32);
+    Tensor w = randomMatrix(16, 8, 33);
+    double prev = 1e9;
+    for (int64_t c : {4, 16, 64}) {
+        vq::PQConfig cfg;
+        cfg.v = v;
+        cfg.c = c;
+        cfg.metric = metric;
+        vq::LutGemmEngine engine(cfg, w, samples);
+        const double err = engine.approximationError(eval);
+        EXPECT_LT(err, prev * 1.10)
+            << vq::metricName(metric) << " v=" << v << " c=" << c;
+        prev = err;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MetricSweep, ErrorVsCentroids,
+    ::testing::Combine(::testing::Values(vq::Metric::L2, vq::Metric::L1,
+                                         vq::Metric::Chebyshev),
+                       ::testing::Values<int64_t>(2, 4, 8)));
+
+// ---- Property: longer subvectors raise error at fixed c ---------------
+
+class ErrorVsVectorLength : public ::testing::TestWithParam<vq::Metric>
+{
+};
+
+TEST_P(ErrorVsVectorLength, LongerVectorsLoseAccuracy)
+{
+    const vq::Metric metric = GetParam();
+    Tensor samples = randomMatrix(384, 16, 41);
+    Tensor eval = randomMatrix(96, 16, 42);
+    Tensor w = randomMatrix(16, 8, 43);
+    std::vector<double> errs;
+    for (int64_t v : {2, 4, 8}) {
+        vq::PQConfig cfg;
+        cfg.v = v;
+        cfg.c = 16;
+        cfg.metric = metric;
+        vq::LutGemmEngine engine(cfg, w, samples);
+        errs.push_back(engine.approximationError(eval));
+    }
+    EXPECT_LT(errs.front(), errs.back())
+        << "error should grow from v=2 to v=8";
+}
+
+INSTANTIATE_TEST_SUITE_P(MetricSweep, ErrorVsVectorLength,
+                         ::testing::Values(vq::Metric::L2, vq::Metric::L1,
+                                           vq::Metric::Chebyshev));
+
+// ---- Property: simulator cycles scale down with parallel hardware -----
+
+class SimMonotonicity : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(SimMonotonicity, MoreImmsNeverSlower)
+{
+    const int64_t n = GetParam();
+    sim::GemmShape g{256, 128, 64 * n, "g"};
+    sim::SimConfig cfg;
+    cfg.v = 4;
+    cfg.c = 16;
+    cfg.tn = 64;
+    cfg.m_tile = 256;
+    bool first = true;
+    uint64_t prev = 0;
+    for (int64_t imm : {1, 2, 4}) {
+        cfg.n_imm = imm;
+        const uint64_t cycles =
+            sim::LutDlaSimulator(cfg).simulateGemm(g).total_cycles;
+        if (!first)
+            EXPECT_LE(cycles, prev + 64) << "imm=" << imm << " n=" << n;
+        first = false;
+        prev = cycles;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SimMonotonicity,
+                         ::testing::Values<int64_t>(1, 2, 4, 8));
+
+// ---- Property: bigger GEMMs take proportionally longer ----------------
+
+class SimLinearity : public ::testing::TestWithParam<int64_t>
+{
+};
+
+TEST_P(SimLinearity, CyclesScaleWithK)
+{
+    const int64_t k = GetParam();
+    sim::SimConfig cfg;
+    cfg.v = 4;
+    cfg.c = 16;
+    cfg.tn = 32;
+    cfg.m_tile = 128;
+    cfg.n_imm = 2;
+    const uint64_t base =
+        sim::LutDlaSimulator(cfg)
+            .simulateGemm({128, k, 64, "g"})
+            .total_cycles;
+    const uint64_t twice =
+        sim::LutDlaSimulator(cfg)
+            .simulateGemm({128, 2 * k, 64, "g"})
+            .total_cycles;
+    EXPECT_NEAR(static_cast<double>(twice) / base, 2.0, 0.25);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, SimLinearity,
+                         ::testing::Values<int64_t>(64, 128, 256));
+
+// ---- Property: LS dataflow dominance holds across shapes --------------
+
+class DataflowDominance
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>>
+{
+};
+
+TEST_P(DataflowDominance, LsTotalIsMinimal)
+{
+    const auto [mk, n] = GetParam();
+    hw::DataflowParams p;
+    p.m = mk;
+    p.k = mk;
+    p.n = n;
+    p.v = 4;
+    p.c = 32;
+    p.tn = 32;
+    const double ls =
+        dataflowMemory(hw::Dataflow::LutStationary, p).totalBytes();
+    for (hw::Dataflow df : hw::allDataflows()) {
+        if (df == hw::Dataflow::LutStationary)
+            continue;
+        EXPECT_LE(ls, dataflowMemory(df, p).totalBytes() * 1.001)
+            << hw::dataflowName(df) << " mk=" << mk << " n=" << n;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, DataflowDominance,
+    ::testing::Combine(::testing::Values<int64_t>(128, 512, 1024),
+                       ::testing::Values<int64_t>(256, 768, 2048)));
+
+// ---- Property: equivalent bits track (v, c) as in Table V -------------
+
+TEST(EquivalentBits, MatchesTableVGrid)
+{
+    const struct
+    {
+        int64_t v, c;
+        double bits;
+    } rows[] = {{9, 8, 3.0 / 9}, {9, 16, 4.0 / 9}, {6, 8, 0.5},
+                {6, 16, 4.0 / 6}, {3, 8, 1.0},     {3, 16, 4.0 / 3}};
+    for (const auto &row : rows) {
+        vq::PQConfig cfg;
+        cfg.v = row.v;
+        cfg.c = row.c;
+        EXPECT_NEAR(cfg.equivalentBits(), row.bits, 1e-12)
+            << "v=" << row.v << " c=" << row.c;
+    }
+}
+
+} // namespace
+} // namespace lutdla

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Tests for the LUT-DLA timing simulator: phase-model vs cycle-stepped
+ * cross-validation, throughput bounds, bandwidth effects, the Table IX
+ * configuration, and the AsyncFifo component.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/fifo.h"
+#include "sim/lutdla_sim.h"
+#include "sim/micro_sim.h"
+
+namespace lutdla::sim {
+namespace {
+
+SimConfig
+smallConfig()
+{
+    SimConfig cfg;
+    cfg.v = 4;
+    cfg.c = 16;
+    cfg.tn = 32;
+    cfg.m_tile = 128;
+    cfg.n_imm = 2;
+    cfg.n_ccu = 1;
+    return cfg;
+}
+
+TEST(SimConfig, DerivedQuantities)
+{
+    SimConfig cfg = smallConfig();
+    EXPECT_NEAR(cfg.dramBytesPerCycle(), 25.6e9 / 300e6, 1e-9);
+    EXPECT_NEAR(cfg.indexRatePerImmCycle(), 1.0, 1e-12);
+    EXPECT_EQ(cfg.numSubspaces(10), 3);
+}
+
+TEST(SimConfig, FromDesignCopiesFields)
+{
+    const hw::LutDlaDesign d = hw::design1Tiny();
+    const SimConfig cfg = SimConfig::fromDesign(d);
+    EXPECT_EQ(cfg.v, d.v);
+    EXPECT_EQ(cfg.tn, d.tn);
+    EXPECT_EQ(cfg.n_imm, d.n_imm);
+}
+
+TEST(LutDlaSim, LowerBoundIsLookupCycles)
+{
+    SimConfig cfg = smallConfig();
+    LutDlaSimulator sim(cfg);
+    GemmShape g{128, 64, 64, "g"};
+    const SimStats stats = sim.simulateGemm(g);
+    // Ideal: waves(1) * blocks(1) * Nc(16) * rows(128) = 2048 cycles.
+    EXPECT_GE(stats.total_cycles, 2048u);
+    EXPECT_LT(stats.total_cycles, 2048u * 2);
+    EXPECT_EQ(stats.lookup_cycles, 2048u);
+}
+
+TEST(LutDlaSim, UtilizationHighWhenBalanced)
+{
+    LutDlaSimulator sim(smallConfig());
+    const SimStats stats = sim.simulateGemm({512, 256, 128, "g"});
+    EXPECT_GT(stats.utilization(), 0.9);
+}
+
+TEST(LutDlaSim, MoreImmsReduceCycles)
+{
+    GemmShape g{256, 128, 512, "g"};
+    SimConfig cfg = smallConfig();
+    cfg.n_imm = 1;
+    const uint64_t one = LutDlaSimulator(cfg).simulateGemm(g).total_cycles;
+    cfg.n_imm = 2;
+    const uint64_t two = LutDlaSimulator(cfg).simulateGemm(g).total_cycles;
+    cfg.n_imm = 4;
+    const uint64_t four = LutDlaSimulator(cfg).simulateGemm(g).total_cycles;
+    EXPECT_NEAR(static_cast<double>(one) / two, 2.0, 0.2);
+    EXPECT_NEAR(static_cast<double>(two) / four, 2.0, 0.3);
+}
+
+TEST(LutDlaSim, StarvedBandwidthStallsLuts)
+{
+    GemmShape g{64, 256, 512, "g"};
+    SimConfig cfg = smallConfig();
+    cfg.m_tile = 64;
+    const uint64_t fast =
+        LutDlaSimulator(cfg).simulateGemm(g).total_cycles;
+    cfg.dram_bytes_per_sec = 0.5e9;  // starve the channel
+    const SimStats slow = LutDlaSimulator(cfg).simulateGemm(g);
+    EXPECT_GT(slow.total_cycles, fast * 2);
+    EXPECT_GT(slow.stall_lut_cycles, 0u);
+}
+
+TEST(LutDlaSim, SlowCcmStallsIndices)
+{
+    GemmShape g{256, 256, 64, "g"};
+    SimConfig cfg = smallConfig();
+    cfg.freq_ccm_hz = 75e6;  // quarter-rate CCM, one CCU
+    const SimStats stats = LutDlaSimulator(cfg).simulateGemm(g);
+    // Index production at 0.25/cycle stretches every phase ~4x.
+    EXPECT_GT(stats.total_cycles, 3u * stats.lookup_cycles);
+}
+
+TEST(LutDlaSim, FasterCcmClockHidesFill)
+{
+    GemmShape g{256, 256, 64, "g"};
+    SimConfig cfg = smallConfig();
+    cfg.freq_ccm_hz = 600e6;  // CCM at 2x the IMM clock
+    const SimStats fast = LutDlaSimulator(cfg).simulateGemm(g);
+    cfg.freq_ccm_hz = 300e6;
+    const SimStats base = LutDlaSimulator(cfg).simulateGemm(g);
+    EXPECT_LE(fast.total_cycles, base.total_cycles);
+}
+
+TEST(LutDlaSim, NetworkAccumulates)
+{
+    LutDlaSimulator sim(smallConfig());
+    GemmShape g{128, 64, 64, "g"};
+    const SimStats one = sim.simulateGemm(g);
+    const SimStats three = sim.simulateNetwork({g, g, g});
+    EXPECT_EQ(three.total_cycles, 3 * one.total_cycles);
+    EXPECT_NEAR(three.effective_macs, 3 * one.effective_macs, 1.0);
+}
+
+TEST(LutDlaSim, EnergyCombinesChipAndDram)
+{
+    LutDlaSimulator sim(smallConfig());
+    const SimStats stats = sim.simulateGemm({128, 64, 64, "g"});
+    const double with_dram = sim.energyMj(stats, 100.0, 20.0);
+    const double chip_only = sim.energyMj(stats, 100.0, 0.0);
+    EXPECT_GT(with_dram, chip_only);
+    EXPECT_GT(chip_only, 0.0);
+}
+
+TEST(LutDlaSim, TableNineConfiguration)
+{
+    // GEMM 512x768x768, c=32, v=4, 16 single-lane banks (Table IX).
+    SimConfig cfg;
+    cfg.v = 4;
+    cfg.c = 32;
+    cfg.tn = 1;
+    cfg.n_imm = 16;
+    cfg.n_ccu = 1;
+    cfg.m_tile = 512;
+    cfg.freq_ccm_hz = 300e6;
+    LutDlaSimulator sim(cfg);
+    const SimStats stats = sim.simulateGemm({512, 768, 768, "bert-ffn"});
+    // Ideal lookup floor: 512 * 192 * 768 / 16 = 4718592; paper: 4743k.
+    EXPECT_GE(stats.total_cycles, 4718592u);
+    EXPECT_NEAR(static_cast<double>(stats.total_cycles), 4743000.0,
+                0.02 * 4743000.0);
+}
+
+// ---- Cross-validation: phase model vs cycle-stepped MicroSim ----------
+
+struct CrossCase
+{
+    int64_t m, k, n;
+    int64_t tn, n_imm;
+    double dram_gbps;
+};
+
+class SimCrossValidation : public ::testing::TestWithParam<CrossCase>
+{
+};
+
+TEST_P(SimCrossValidation, PhaseModelMatchesMicroSim)
+{
+    const CrossCase cc = GetParam();
+    SimConfig cfg = smallConfig();
+    cfg.tn = cc.tn;
+    cfg.n_imm = cc.n_imm;
+    cfg.m_tile = 128;
+    cfg.dram_bytes_per_sec = cc.dram_gbps * 1e9;
+    GemmShape g{cc.m, cc.k, cc.n, "x"};
+
+    const SimStats fast = LutDlaSimulator(cfg).simulateGemm(g);
+    const SimStats micro = MicroSim(cfg).simulateGemm(g);
+    EXPECT_EQ(fast.lookup_cycles, micro.lookup_cycles);
+    EXPECT_NEAR(static_cast<double>(fast.total_cycles),
+                static_cast<double>(micro.total_cycles),
+                0.05 * static_cast<double>(micro.total_cycles) + 32.0)
+        << "m=" << cc.m << " k=" << cc.k << " n=" << cc.n
+        << " tn=" << cc.tn << " imm=" << cc.n_imm
+        << " bw=" << cc.dram_gbps;
+    EXPECT_NEAR(fast.dram_lut_bytes, micro.dram_lut_bytes, 1.0);
+    EXPECT_NEAR(fast.dram_output_bytes, micro.dram_output_bytes, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimCrossValidation,
+    ::testing::Values(CrossCase{64, 32, 64, 16, 1, 25.6},
+                      CrossCase{128, 64, 128, 32, 2, 25.6},
+                      CrossCase{128, 64, 256, 32, 4, 25.6},
+                      CrossCase{200, 100, 96, 16, 2, 25.6},
+                      CrossCase{64, 128, 64, 16, 1, 1.0},
+                      CrossCase{256, 64, 64, 64, 1, 4.0},
+                      CrossCase{96, 48, 200, 32, 2, 2.0}));
+
+TEST(AsyncFifo, PushPopOrdering)
+{
+    AsyncFifo<int> fifo(4, 2.0);
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_TRUE(fifo.push(1, 0.0));
+    EXPECT_TRUE(fifo.push(2, 0.0));
+    EXPECT_FALSE(fifo.canPop(1.0));  // crossing delay not elapsed
+    EXPECT_TRUE(fifo.canPop(2.0));
+    EXPECT_EQ(fifo.pop(2.0), 1);
+    EXPECT_EQ(fifo.pop(2.0), 2);
+    EXPECT_TRUE(fifo.empty());
+}
+
+TEST(AsyncFifo, CapacityBlocksPush)
+{
+    AsyncFifo<int> fifo(2);
+    EXPECT_TRUE(fifo.push(1, 0.0));
+    EXPECT_TRUE(fifo.push(2, 0.0));
+    EXPECT_TRUE(fifo.full());
+    EXPECT_FALSE(fifo.push(3, 0.0));
+    (void)fifo.pop(10.0);
+    EXPECT_TRUE(fifo.push(3, 10.0));
+}
+
+} // namespace
+} // namespace lutdla::sim

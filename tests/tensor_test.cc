@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Unit tests for the Tensor container.
+ */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace lutdla {
+namespace {
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(Shape{2, 3});
+    EXPECT_EQ(t.numel(), 6);
+    for (int64_t i = 0; i < t.numel(); ++i)
+        EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, FillConstructor)
+{
+    Tensor t(Shape{4}, 2.5f);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(t.at(i), 2.5f);
+}
+
+TEST(Tensor, DataConstructorChecksSize)
+{
+    Tensor t(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+    EXPECT_EQ(t.at(1, 1), 4.0f);
+}
+
+TEST(Tensor, DimNegativeIndexing)
+{
+    Tensor t(Shape{2, 3, 4});
+    EXPECT_EQ(t.dim(-1), 4);
+    EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(Tensor, At4Layout)
+{
+    Tensor t(Shape{1, 2, 2, 2});
+    t.at4(0, 1, 1, 0) = 7.0f;
+    // NCHW row-major: ((0*2+1)*2+1)*2+0 = 6.
+    EXPECT_EQ(t.at(6), 7.0f);
+}
+
+TEST(Tensor, ReshapePreservesData)
+{
+    Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor r = t.reshaped(Shape{3, 2});
+    EXPECT_EQ(r.at(2, 1), 6.0f);
+    EXPECT_EQ(r.numel(), 6);
+}
+
+TEST(Tensor, ElementwiseOps)
+{
+    Tensor a(Shape{3}, std::vector<float>{1, 2, 3});
+    Tensor b(Shape{3}, std::vector<float>{4, 5, 6});
+    Tensor c = a + b;
+    EXPECT_EQ(c.at(2), 9.0f);
+    c -= a;
+    EXPECT_EQ(c.at(0), 4.0f);
+    c *= 2.0f;
+    EXPECT_EQ(c.at(1), 10.0f);
+}
+
+TEST(Tensor, Reductions)
+{
+    Tensor t(Shape{2, 2}, std::vector<float>{1, -2, 3, -4});
+    EXPECT_DOUBLE_EQ(t.sum(), -2.0);
+    EXPECT_DOUBLE_EQ(t.mean(), -0.5);
+    EXPECT_DOUBLE_EQ(t.squaredNorm(), 30.0);
+    EXPECT_EQ(t.absMax(), 4.0f);
+}
+
+TEST(Tensor, Transpose2d)
+{
+    Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor tt = t.transposed2d();
+    EXPECT_EQ(tt.dim(0), 3);
+    EXPECT_EQ(tt.at(0, 1), 4.0f);
+    EXPECT_EQ(tt.at(2, 0), 3.0f);
+}
+
+TEST(Tensor, RowExtraction)
+{
+    Tensor t(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+    Tensor r = t.row(1);
+    EXPECT_EQ(r.rank(), 1);
+    EXPECT_EQ(r.at(2), 6.0f);
+}
+
+TEST(Tensor, MaxAbsDiffAndRelError)
+{
+    Tensor a(Shape{2}, std::vector<float>{1, 2});
+    Tensor b(Shape{2}, std::vector<float>{1.5, 2});
+    EXPECT_FLOAT_EQ(Tensor::maxAbsDiff(a, b), 0.5f);
+    EXPECT_NEAR(Tensor::relError(a, a), 0.0, 1e-12);
+    EXPECT_GT(Tensor::relError(a, b), 0.0);
+}
+
+TEST(Tensor, EqualsIsExact)
+{
+    Tensor a(Shape{2}, std::vector<float>{1, 2});
+    Tensor b = a;
+    EXPECT_TRUE(a.equals(b));
+    b.at(0) += 1e-6f;
+    EXPECT_FALSE(a.equals(b));
+}
+
+TEST(ShapeUtils, NumelAndString)
+{
+    EXPECT_EQ(shapeNumel({2, 3, 4}), 24);
+    EXPECT_EQ(shapeNumel({}), 0);
+    EXPECT_EQ(shapeStr({2, 3}), "[2, 3]");
+}
+
+} // namespace
+} // namespace lutdla

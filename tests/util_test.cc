@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Unit tests for the util module: stats accumulators and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace lutdla {
+namespace {
+
+TEST(RunningStats, EmptyIsNeutral)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MeanMinMax)
+{
+    RunningStats s;
+    for (double x : {3.0, 1.0, 4.0, 1.0, 5.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 5u);
+    EXPECT_DOUBLE_EQ(s.mean(), 2.8);
+    EXPECT_DOUBLE_EQ(s.min(), 1.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 14.0);
+}
+
+TEST(RunningStats, VarianceMatchesTwoPass)
+{
+    Rng rng(9);
+    std::vector<double> xs;
+    RunningStats s;
+    for (int i = 0; i < 500; ++i) {
+        xs.push_back(rng.gaussian(2.0, 3.0));
+        s.add(xs.back());
+    }
+    double mean = 0.0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= (xs.size() - 1);
+    EXPECT_NEAR(s.variance(), var, 1e-9 * var);
+}
+
+TEST(RunningStats, ResetClears)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, UniformIntBounds)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i) {
+        const int64_t x = rng.uniformInt(-3, 7);
+        EXPECT_GE(x, -3);
+        EXPECT_LE(x, 7);
+    }
+}
+
+TEST(Table, RendersAlignedRowsAndNotes)
+{
+    Table t("Demo", {"a", "bb"});
+    t.addRow({"1", "2"});
+    t.addRow({"333", "4"});
+    t.addNote("note");
+    const std::string s = t.str();
+    EXPECT_NE(s.find("Demo"), std::string::npos);
+    EXPECT_NE(s.find("333"), std::string::npos);
+    EXPECT_NE(s.find("* note"), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows)
+{
+    Table t("T", {"x", "y"});
+    t.addRow({"1", "2"});
+    const std::string csv = t.csv();
+    EXPECT_EQ(csv.rfind("x,y\n", 0), 0u);
+    EXPECT_NE(csv.find("1,2"), std::string::npos);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmtKb(2048, 1), "2.0KB");
+    EXPECT_EQ(Table::fmtRatio(2.5, 1), "2.5x");
+}
+
+TEST(Table, ShortRowsArePadded)
+{
+    Table t("T", {"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NE(t.str().find("only"), std::string::npos);
+}
+
+} // namespace
+} // namespace lutdla

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Tests for the similarity metrics and argmin selection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "vq/distance.h"
+#include "vq/quant.h"
+
+namespace lutdla::vq {
+namespace {
+
+TEST(Distance, L2Squared)
+{
+    const float a[] = {1, 2, 3};
+    const float b[] = {4, 6, 3};
+    EXPECT_FLOAT_EQ(l2Squared(a, b, 3), 9.0f + 16.0f);
+}
+
+TEST(Distance, L1)
+{
+    const float a[] = {1, -2};
+    const float b[] = {-1, 2};
+    EXPECT_FLOAT_EQ(l1(a, b, 2), 6.0f);
+}
+
+TEST(Distance, Chebyshev)
+{
+    const float a[] = {1, 5, 0};
+    const float b[] = {2, -1, 0};
+    EXPECT_FLOAT_EQ(chebyshev(a, b, 3), 6.0f);
+}
+
+TEST(Distance, MetricOrderingCanDiffer)
+{
+    // Chebyshev and L1 can disagree on nearest neighbours.
+    const float x[] = {0, 0};
+    const float c1[] = {3, 0};    // L1=3, Che=3
+    const float c2[] = {2, 2};    // L1=4, Che=2
+    EXPECT_LT(l1(x, c1, 2), l1(x, c2, 2));
+    EXPECT_GT(chebyshev(x, c1, 2), chebyshev(x, c2, 2));
+}
+
+TEST(Distance, DispatchMatchesDirect)
+{
+    const float a[] = {0.5f, -1.5f, 2.0f, 0.0f};
+    const float b[] = {1.0f, 0.0f, -2.0f, 0.5f};
+    EXPECT_FLOAT_EQ(distance(Metric::L2, a, b, 4), l2Squared(a, b, 4));
+    EXPECT_FLOAT_EQ(distance(Metric::L1, a, b, 4), l1(a, b, 4));
+    EXPECT_FLOAT_EQ(distance(Metric::Chebyshev, a, b, 4),
+                    chebyshev(a, b, 4));
+}
+
+TEST(Distance, ArgminPicksNearest)
+{
+    const float centroids[] = {0, 0, 10, 10, 1, 1};
+    const float x[] = {1.2f, 0.9f};
+    EXPECT_EQ(argminCentroid(Metric::L2, x, centroids, 3, 2), 2);
+}
+
+TEST(Distance, ArgminTieBreaksLow)
+{
+    const float centroids[] = {1, 0, 1, 0};
+    const float x[] = {0, 0};
+    EXPECT_EQ(argminCentroid(Metric::L2, x, centroids, 2, 2), 0);
+}
+
+TEST(Distance, MetricNames)
+{
+    EXPECT_EQ(metricName(Metric::L1), "L1");
+    EXPECT_EQ(metricFromName("chebyshev"), Metric::Chebyshev);
+    EXPECT_EQ(metricFromName("L2"), Metric::L2);
+}
+
+TEST(Quant, Bf16DropsLowMantissa)
+{
+    const float x = 1.0f + 1.0f / 4096.0f;  // needs >8 mantissa bits
+    const float y = toBf16(x);
+    EXPECT_NE(x, y);
+    EXPECT_NEAR(y, x, 1e-2f);
+    // Values exactly representable survive.
+    EXPECT_EQ(toBf16(1.5f), 1.5f);
+    EXPECT_EQ(toBf16(0.0f), 0.0f);
+    EXPECT_EQ(toBf16(-2.0f), -2.0f);
+}
+
+TEST(Quant, Int8RoundTripBounded)
+{
+    Tensor t(Shape{4}, std::vector<float>{-1.0f, 0.3f, 0.9f, 1.0f});
+    const Int8Scale s = fitInt8Scale(t);
+    Tensor q = t;
+    tensorThroughInt8(q, s);
+    for (int64_t i = 0; i < 4; ++i)
+        EXPECT_NEAR(q.at(i), t.at(i), s.scale * 0.51f);
+}
+
+TEST(Quant, Int8Saturates)
+{
+    Int8Scale s;
+    s.scale = 0.01f;
+    EXPECT_EQ(s.quantize(100.0f), 127);
+    EXPECT_EQ(s.quantize(-100.0f), -127);
+}
+
+} // namespace
+} // namespace lutdla::vq

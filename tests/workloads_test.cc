@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Tests for the workload zoo: layer counts and MAC totals against known
+ * figures for the reference networks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workloads/model_zoo.h"
+
+namespace lutdla::workloads {
+namespace {
+
+TEST(Zoo, Resnet18MacsNearPublished)
+{
+    // ResNet-18 at 224x224 is ~1.8 GMACs.
+    const Network net = resnet18();
+    EXPECT_NEAR(net.totalMacs() / 1e9, 1.82, 0.15);
+    // conv1 + 16 block convs + 3 downsamples + fc = 21 GEMMs.
+    EXPECT_EQ(net.gemms.size(), 21u);
+}
+
+TEST(Zoo, Resnet34MacsNearPublished)
+{
+    EXPECT_NEAR(resnet34().totalMacs() / 1e9, 3.66, 0.3);
+}
+
+TEST(Zoo, Resnet50MacsNearPublished)
+{
+    EXPECT_NEAR(resnet50().totalMacs() / 1e9, 4.1, 0.4);
+}
+
+TEST(Zoo, CifarResnetFamily)
+{
+    // ResNet-20/32/56 at 32x32: ~41M / ~69M / ~126M MACs.
+    EXPECT_NEAR(resnetCifar(20).totalMacs() / 1e6, 41.0, 5.0);
+    EXPECT_NEAR(resnetCifar(32).totalMacs() / 1e6, 69.0, 8.0);
+    EXPECT_NEAR(resnetCifar(56).totalMacs() / 1e6, 126.0, 14.0);
+}
+
+TEST(Zoo, BertBaseGemmInventory)
+{
+    const Network net = bertBase();
+    EXPECT_EQ(net.gemms.size(), 12u * 6u);
+    // Per layer: 4 * (512*768*768) + 2 * (512*768*3072) MACs.
+    const double per_layer = 4.0 * 512 * 768 * 768 +
+                             2.0 * 512 * 768 * 3072;
+    EXPECT_NEAR(net.totalMacs(), 12.0 * per_layer, 1.0);
+}
+
+TEST(Zoo, DistilBertIsHalfOfBert)
+{
+    EXPECT_NEAR(distilBert().totalMacs(), bertBase().totalMacs() / 2.0,
+                1.0);
+}
+
+TEST(Zoo, EveryGemmIsWellFormed)
+{
+    for (const char *name :
+         {"resnet18", "resnet34", "resnet50", "resnet20", "vgg11",
+          "lenet", "bert", "distilbert", "opt-125m"}) {
+        const Network net = networkByName(name);
+        EXPECT_FALSE(net.gemms.empty()) << name;
+        for (const auto &g : net.gemms) {
+            EXPECT_GT(g.m, 0) << name << " " << g.tag;
+            EXPECT_GT(g.k, 0) << name << " " << g.tag;
+            EXPECT_GT(g.n, 0) << name << " " << g.tag;
+        }
+    }
+}
+
+TEST(Zoo, StageResolutionsHalve)
+{
+    // The last conv of resnet18 must be at 7x7 with 512 channels.
+    const Network net = resnet18();
+    const auto &last_conv = net.gemms[net.gemms.size() - 2];
+    EXPECT_EQ(last_conv.m, 49);
+    EXPECT_EQ(last_conv.n, 512);
+}
+
+TEST(Zoo, VggFcLayersPresent)
+{
+    const Network net = vgg11();
+    EXPECT_EQ(net.gemms.back().n, 1000);
+    EXPECT_EQ(net.gemms[net.gemms.size() - 3].k, 512 * 7 * 7);
+}
+
+} // namespace
+} // namespace lutdla::workloads
