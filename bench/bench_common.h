@@ -4,19 +4,18 @@
 /**
  * @file
  * Shared helpers for the bench binaries that regenerate the paper's tables
- * and figures. Accuracy benches run the full LUTBoost pipeline on the
- * synthetic substitute workloads (see DESIGN.md) with deliberately small
- * epoch budgets so the whole bench suite completes in minutes.
+ * and figures, built on the api::Pipeline facade. Accuracy benches run the
+ * full LUTBoost pipeline on the synthetic substitute workloads (see
+ * DESIGN.md) with deliberately small epoch budgets so the whole bench
+ * suite completes in minutes.
  */
 
 #include <cstdio>
 #include <functional>
 #include <string>
 
-#include "lutboost/converter.h"
-#include "nn/dataset.h"
+#include "api/lutdla.h"
 #include "nn/models.h"
-#include "nn/trainer.h"
 #include "util/table.h"
 
 namespace lutdla::bench {
@@ -34,11 +33,10 @@ trainFloatModel(const std::function<nn::LayerPtr()> &factory,
                 const nn::Dataset &ds, int epochs, double lr = 0.05,
                 bool adam = false)
 {
+    nn::TrainConfig cfg =
+        adam ? nn::TrainConfig::adam(epochs, lr)
+             : nn::TrainConfig::sgd(epochs, lr);
     nn::LayerPtr model = factory();
-    nn::TrainConfig cfg;
-    cfg.epochs = epochs;
-    cfg.lr = lr;
-    cfg.use_adam = adam;
     nn::Trainer(model, ds, cfg).train();
     return model;
 }
@@ -59,18 +57,32 @@ benchConvertOptions(int64_t v, int64_t c, vq::Metric metric,
     return opts;
 }
 
-/** One multistage conversion of a freshly trained model. */
+/** Fail hard on pipeline misconfiguration inside a bench. */
+inline api::RunArtifacts
+mustRun(api::Result<api::RunArtifacts> run)
+{
+    if (!run.ok())
+        fatal("bench pipeline failed: ", run.status().toString());
+    return run.take();
+}
+
+/** One multistage conversion of a freshly trained model (facade run). */
 inline lutboost::ConversionReport
 runMultistage(const std::function<nn::LayerPtr()> &factory,
               const nn::Dataset &ds, int pre_epochs,
               const lutboost::ConvertOptions &opts,
               nn::LayerPtr *out_model = nullptr)
 {
-    nn::LayerPtr model = trainFloatModel(factory, ds, pre_epochs);
-    auto report = lutboost::convert(model, ds, opts);
+    auto builder = api::Pipeline::builder()
+                       .tag("bench-multistage")
+                       .model(factory())
+                       .dataset(ds)
+                       .pretrain(nn::TrainConfig::sgd(pre_epochs, 0.05))
+                       .convert(opts);
+    const api::RunArtifacts artifacts = mustRun(builder.report());
     if (out_model)
-        *out_model = model;
-    return report;
+        *out_model = builder.convertedModel();
+    return artifacts.conversion;
 }
 
 /** One single-stage conversion with an equal total epoch budget. */
@@ -80,10 +92,15 @@ runSingleStage(const std::function<nn::LayerPtr()> &factory,
                const lutboost::ConvertOptions &opts,
                lutboost::SingleStageMode mode)
 {
-    nn::LayerPtr model = trainFloatModel(factory, ds, pre_epochs);
     const int budget =
         opts.centroid_stage.epochs + opts.joint_stage.epochs;
-    return lutboost::singleStageConvert(model, ds, opts, mode, budget);
+    auto builder = api::Pipeline::builder()
+                       .tag("bench-singlestage")
+                       .model(factory())
+                       .dataset(ds)
+                       .pretrain(nn::TrainConfig::sgd(pre_epochs, 0.05))
+                       .convertSingleStage(opts, mode, budget);
+    return mustRun(builder.report()).conversion;
 }
 
 /** Evaluate a converted model under a LUT precision setting. */
@@ -91,15 +108,16 @@ inline double
 evalWithPrecision(const nn::LayerPtr &model, const nn::Dataset &ds,
                   vq::LutPrecision precision)
 {
-    for (auto *layer : lutboost::findLutLayers(model)) {
-        layer->setPrecision(precision);
-        layer->refreshInferenceLut();
-    }
-    nn::Trainer probe(model, ds, {});
-    const double acc = probe.evaluate(ds.test_x, ds.test_y);
+    const api::RunArtifacts artifacts =
+        mustRun(api::Pipeline::builder()
+                    .tag("bench-precision")
+                    .model(model)
+                    .dataset(ds)
+                    .deployPrecision(precision)
+                    .report());
     for (auto *layer : lutboost::findLutLayers(model))
         layer->clearInferenceLut();
-    return acc;
+    return artifacts.deployed_accuracy;
 }
 
 } // namespace lutdla::bench

@@ -8,11 +8,30 @@
 
 #include <cstdio>
 
+#include "api/lutdla.h"
 #include "dse/cost_models.h"
-#include "sim/lutdla_sim.h"
 #include "util/table.h"
 
 using namespace lutdla;
+
+namespace {
+
+/** Facade run of one GEMM on one SimConfig. */
+sim::SimStats
+simulateOne(const sim::SimConfig &cfg, const sim::GemmShape &gemm)
+{
+    auto run = api::Pipeline::builder()
+                   .tag("fig10")
+                   .gemms({gemm})
+                   .design(cfg)
+                   .simulate()
+                   .report();
+    if (!run.ok())
+        fatal("fig10 pipeline failed: ", run.status().toString());
+    return run->report.total;
+}
+
+} // namespace
 
 int
 main()
@@ -33,8 +52,7 @@ main()
     uint64_t base = 0;
     for (int64_t imm : {1, 2, 4, 8}) {
         cfg.n_imm = imm;
-        const sim::SimStats stats =
-            sim::LutDlaSimulator(cfg).simulateGemm(gemm);
+        const sim::SimStats stats = simulateOne(cfg, gemm);
         if (imm == 1)
             base = stats.total_cycles;
         const dse::OmegaTerms terms = dse::omega(
@@ -59,8 +77,7 @@ main()
     cfg.freq_ccm_hz = 75e6;  // starved CCM
     for (int64_t imm : {1, 2, 4}) {
         cfg.n_imm = imm;
-        const sim::SimStats stats =
-            sim::LutDlaSimulator(cfg).simulateGemm(gemm);
+        const sim::SimStats stats = simulateOne(cfg, gemm);
         const char *label =
             stats.stall_index_cycles > stats.stall_lut_cycles
                 ? "index (similarity)"

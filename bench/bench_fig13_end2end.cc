@@ -1,7 +1,9 @@
 /**
  * @file
  * Figure 13: end-to-end throughput and energy of ResNet-18/34/50 and
- * BERT on NVDLA-Small/Large, Gemmini, and LUT-DLA Designs 1-3.
+ * BERT on NVDLA-Small/Large, Gemmini, and LUT-DLA Designs 1-3. LUT-DLA
+ * numbers come from api::Pipeline workload runs (timing + PPA + energy in
+ * one RunArtifacts); baselines keep their own simulators.
  *
  * Expected shape (paper): Design2 outruns NVDLA-Large on ResNets with
  * ~11x energy savings; Design3 peaks on BERT (up to 72x over the weakest
@@ -10,14 +12,13 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "api/lutdla.h"
 #include "baselines/nvdla_model.h"
 #include "baselines/systolic.h"
-#include "hw/accel.h"
-#include "sim/lutdla_sim.h"
 #include "util/table.h"
-#include "workloads/model_zoo.h"
 
 using namespace lutdla;
 
@@ -36,13 +37,16 @@ constexpr double kGemminiMw = 312.41;
 constexpr double kDramPjPerByte = 20.0;
 
 Result
-runLutDla(const hw::LutDlaDesign &design,
-          const workloads::Network &net, double power_mw)
+runLutDla(const hw::LutDlaDesign &design, const std::string &workload)
 {
-    sim::LutDlaSimulator sim(sim::SimConfig::fromDesign(design));
-    const sim::SimStats stats = sim.simulateNetwork(net.gemms);
-    return {stats.seconds(sim.config()),
-            sim.energyMj(stats, power_mw, kDramPjPerByte)};
+    auto run = api::Pipeline::forWorkload(workload)
+                   .design(design)
+                   .simulate()
+                   .dramEnergy(kDramPjPerByte)
+                   .report();
+    if (!run.ok())
+        fatal("fig13 pipeline failed: ", run.status().toString());
+    return {run->report.total.seconds(run->sim_config), run->energy_mj};
 }
 
 Result
@@ -72,19 +76,12 @@ runGemmini(const workloads::Network &net)
 int
 main()
 {
-    hw::ArithLibrary lib(hw::tech28());
-    hw::SramModel sram(hw::tech28());
     const hw::LutDlaDesign designs[] = {hw::design1Tiny(),
                                         hw::design2Large(),
                                         hw::design3Fit()};
-    double design_power[3];
-    for (int i = 0; i < 3; ++i)
-        design_power[i] =
-            evaluateDesign(lib, sram, designs[i]).power_mw;
-
-    const std::vector<workloads::Network> nets = {
-        workloads::resnet18(), workloads::resnet34(),
-        workloads::resnet50(), workloads::bertBase()};
+    // Registry names double as the row labels' workloads.
+    const std::vector<std::string> names = {"resnet18", "resnet34",
+                                            "resnet50", "bert-base"};
 
     Table t("Fig.13: end-to-end inference time (ms) and energy (mJ)",
             {"network", "NV-Small", "NV-Large", "Gemmini", "Design1",
@@ -94,7 +91,8 @@ main()
              "Design2", "Design3"});
 
     std::vector<std::vector<Result>> all;
-    for (const auto &net : nets) {
+    for (const std::string &name : names) {
+        const workloads::Network net = workloads::networkByName(name);
         std::vector<Result> row;
         row.push_back(runNvdla(baselines::nvdlaSmall(), net,
                                kNvdlaSmallMw));
@@ -102,7 +100,7 @@ main()
                                kNvdlaLargeMw));
         row.push_back(runGemmini(net));
         for (int i = 0; i < 3; ++i)
-            row.push_back(runLutDla(designs[i], net, design_power[i]));
+            row.push_back(runLutDla(designs[i], name));
         all.push_back(row);
 
         std::vector<std::string> trow{net.name}, erow{net.name};

@@ -2,7 +2,8 @@
  * @file
  * Figure 14: normalized performance, area efficiency, and energy
  * efficiency on BERT and ResNet-18 for the six designs (NVDLA-Small
- * baseline = 1.0).
+ * baseline = 1.0). LUT-DLA rows come from api::Pipeline workload runs
+ * (one RunArtifacts carries both the timing and the PPA).
  *
  * Expected shape (paper): Design1 ~6.2x (BERT) / 12x (ResNet18) faster
  * than NVDLA-Small at similar area; Design2 ~14.6x/10.7x NVDLA-Large
@@ -10,14 +11,13 @@
  */
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "api/lutdla.h"
 #include "baselines/nvdla_model.h"
 #include "baselines/systolic.h"
-#include "hw/accel.h"
-#include "sim/lutdla_sim.h"
 #include "util/table.h"
-#include "workloads/model_zoo.h"
 
 using namespace lutdla;
 
@@ -32,13 +32,27 @@ struct DesignPoint
     double seconds_r18;
 };
 
+/** One facade run; returns wall-clock seconds for the named workload. */
+double
+lutDlaSeconds(const hw::LutDlaDesign &design, const std::string &workload,
+              hw::AccelPpa *out_ppa)
+{
+    auto run = api::Pipeline::forWorkload(workload)
+                   .design(design)
+                   .simulate()
+                   .report();
+    if (!run.ok())
+        fatal("fig14 pipeline failed: ", run.status().toString());
+    if (out_ppa)
+        *out_ppa = run->ppa;
+    return run->report.total.seconds(run->sim_config);
+}
+
 } // namespace
 
 int
 main()
 {
-    hw::ArithLibrary lib(hw::tech28());
-    hw::SramModel sram(hw::tech28());
     const workloads::Network bert = workloads::bertBase();
     const workloads::Network r18 = workloads::resnet18();
 
@@ -63,12 +77,11 @@ main()
     }
     for (const hw::LutDlaDesign &d :
          {hw::design1Tiny(), hw::design2Large(), hw::design3Fit()}) {
-        const hw::AccelPpa ppa = evaluateDesign(lib, sram, d);
-        sim::LutDlaSimulator sim(sim::SimConfig::fromDesign(d));
-        points.push_back(
-            {d.name, ppa.area_mm2, ppa.power_mw,
-             sim.simulateNetwork(bert.gemms).seconds(sim.config()),
-             sim.simulateNetwork(r18.gemms).seconds(sim.config())});
+        hw::AccelPpa ppa;
+        const double bert_s = lutDlaSeconds(d, "bert-base", &ppa);
+        const double r18_s = lutDlaSeconds(d, "resnet18", nullptr);
+        points.push_back({d.name, ppa.area_mm2, ppa.power_mw, bert_s,
+                          r18_s});
     }
 
     const DesignPoint &ref = points[0];  // NVDLA-Small

@@ -3,7 +3,8 @@
  * CNN conversion pipeline: train a residual CNN, convert it with
  * LUTBoost's three stages, quantize the deployment (BF16 similarity +
  * INT8 LUT entries), and time the deployed network on the Design1 (Tiny)
- * simulator against an NVDLA-Small-class baseline.
+ * simulator against an NVDLA-Small-class baseline — all through the
+ * api::Pipeline facade in one builder chain.
  *
  * This is the end-to-end flow of the paper's CNN evaluation compressed to
  * a laptop-scale substitute workload (see DESIGN.md).
@@ -13,12 +14,8 @@
 
 #include <cstdio>
 
+#include "api/lutdla.h"
 #include "baselines/nvdla_model.h"
-#include "hw/accel.h"
-#include "lutboost/converter.h"
-#include "nn/models.h"
-#include "nn/trainer.h"
-#include "sim/lutdla_sim.h"
 #include "util/table.h"
 
 using namespace lutdla;
@@ -26,82 +23,67 @@ using namespace lutdla;
 int
 main()
 {
-    // 1. Data + float training.
-    nn::ShapeImageConfig dcfg;
-    dcfg.classes = 8;
-    dcfg.train_per_class = 40;
-    dcfg.test_per_class = 12;
-    nn::Dataset ds = nn::makeShapeImages(dcfg);
-
-    auto model = nn::makeMiniResNet(/*blocks_per_stage=*/1,
-                                    /*base_channels=*/8, /*classes=*/8);
-    nn::TrainConfig pre;
-    pre.epochs = 8;
-    pre.lr = 0.05;
-    std::printf("training float MiniResNet (%ld params)...\n",
-                static_cast<long>(nn::countParameters(model)));
-    nn::Trainer(model, ds, pre).train();
-
-    // 2. LUTBoost multistage conversion (v=4, c=16, L2).
+    // One chain: float training -> LUTBoost -> BF16+INT8 freeze ->
+    // Design1 timing. Model/dataset/recipe come from the registry; the
+    // deployment GEMM shapes come from the model's own conv geometry at
+    // batch 16.
     lutboost::ConvertOptions opts;
     opts.pq.v = 4;
     opts.pq.c = 16;
     opts.pq.metric = vq::Metric::L2;
     opts.centroid_stage.epochs = 2;
     opts.joint_stage.epochs = 4;
-    std::printf("converting with LUTBoost (replace -> calibrate -> "
-                "joint)...\n");
-    const auto report = lutboost::convert(model, ds, opts);
 
-    Table acc("conversion accuracy trail",
-              {"stage", "test accuracy (%)"});
-    acc.addRow({"float baseline",
-                Table::fmt(100 * report.baseline_accuracy, 1)});
-    acc.addRow({"after k-means replacement",
-                Table::fmt(100 * report.post_replace_accuracy, 1)});
-    acc.addRow({"after LUTBoost",
-                Table::fmt(100 * report.final_accuracy, 1)});
-
-    // 3. Deployment precision: BF16 similarity + INT8 LUT entries.
-    for (auto *layer : lutboost::findLutLayers(model)) {
-        layer->setPrecision(vq::LutPrecision{true, true});
-        layer->refreshInferenceLut();
-    }
-    nn::Trainer probe(model, ds, {});
-    acc.addRow({"BF16+INT8 deployment",
-                Table::fmt(100 * probe.evaluate(ds.test_x, ds.test_y),
-                           1)});
-    acc.print();
-
-    // 4. Time the deployed conv stack on Design1 vs an NVDLA-class MAC
-    //    engine. GEMM shapes come from the model's own conv geometry at
-    //    batch 16.
-    std::vector<sim::GemmShape> gemms;
     const int64_t batch = 16;
     // stem 12x12, stage1 12x12, transition+stage2 6x6 (from the builder).
-    gemms.push_back({batch * 144, 9, 8, "stem"});
-    gemms.push_back({batch * 144, 72, 8, "s1.conv1"});
-    gemms.push_back({batch * 144, 72, 8, "s1.conv2"});
-    gemms.push_back({batch * 36, 72, 16, "s2.down"});
-    gemms.push_back({batch * 36, 144, 16, "s2.conv2"});
-    gemms.push_back({batch, 16, 8, "fc"});
+    std::vector<sim::GemmShape> gemms{
+        {batch * 144, 9, 8, "stem"},    {batch * 144, 72, 8, "s1.conv1"},
+        {batch * 144, 72, 8, "s1.conv2"}, {batch * 36, 72, 16, "s2.down"},
+        {batch * 36, 144, 16, "s2.conv2"}, {batch, 16, 8, "fc"}};
 
-    sim::LutDlaSimulator lutdla(
-        sim::SimConfig::fromDesign(hw::design1Tiny()));
-    const sim::SimStats ls = lutdla.simulateNetwork(gemms);
+    std::printf("running the CNN pipeline (train -> LUTBoost -> "
+                "BF16+INT8 -> Design1 timing)...\n");
+    auto run = api::Pipeline::forWorkload("miniresnet-shapes")
+                   .pretrain()
+                   .convert(opts)
+                   .deployPrecision(vq::LutPrecision{true, true})
+                   .gemms(gemms)
+                   .design(hw::design1Tiny())
+                   .simulate()
+                   .report();
+    if (!run.ok()) {
+        std::printf("pipeline error: %s\n", run.status().toString().c_str());
+        return 1;
+    }
+    const api::RunArtifacts &artifacts = run.value();
 
+    Table acc("conversion accuracy trail", {"stage", "test accuracy (%)"});
+    acc.addRow({"float baseline",
+                Table::fmt(100 * artifacts.conversion.baseline_accuracy, 1)});
+    acc.addRow(
+        {"after k-means replacement",
+         Table::fmt(100 * artifacts.conversion.post_replace_accuracy, 1)});
+    acc.addRow({"after LUTBoost",
+                Table::fmt(100 * artifacts.conversion.final_accuracy, 1)});
+    acc.addRow({"BF16+INT8 deployment",
+                Table::fmt(100 * artifacts.deployed_accuracy, 1)});
+    acc.print();
+
+    // Compare against an NVDLA-class MAC engine on the same GEMMs.
     baselines::NvdlaModel nvdla(baselines::nvdlaSmall());
-    const baselines::NvdlaStats ns = nvdla.simulateNetwork(gemms);
+    const baselines::NvdlaStats ns = nvdla.simulateNetwork(artifacts.gemms);
 
+    const sim::SimStats &ls = artifacts.report.total;
     Table timing("deployment timing (batch 16)",
                  {"engine", "cycles", "time (us)", "achieved GOPS"});
     timing.addRow({"LUT-DLA Design1", std::to_string(ls.total_cycles),
-                   Table::fmt(ls.seconds(lutdla.config()) * 1e6, 1),
-                   Table::fmt(ls.achievedGops(lutdla.config()), 1)});
-    timing.addRow({"NVDLA-Small-class",
-                   std::to_string(ns.total_cycles),
+                   Table::fmt(ls.seconds(artifacts.sim_config) * 1e6, 1),
+                   Table::fmt(ls.achievedGops(artifacts.sim_config), 1)});
+    timing.addRow({"NVDLA-Small-class", std::to_string(ns.total_cycles),
                    Table::fmt(ns.seconds(nvdla.config()) * 1e6, 1),
                    Table::fmt(ns.achievedGops(nvdla.config()), 1)});
     timing.print();
+
+    std::printf("%s", artifacts.summary().c_str());
     return 0;
 }

@@ -7,7 +7,8 @@
  * The accuracy probe here is LUTBoost's fast early estimate, realized as
  * a quick centroid-calibration run of a small transformer proxy for a
  * few (v, c) points with interpolation in between — exactly the "agile
- * estimation" role Sec. V assigns to the multistage converter.
+ * estimation" role Sec. V assigns to the multistage converter. Both the
+ * probe and the winner validation run through the api::Pipeline facade.
  *
  * Build & run:  ./build/examples/dse_explorer
  */
@@ -16,11 +17,9 @@
 #include <cstdio>
 #include <map>
 
+#include "api/lutdla.h"
 #include "dse/search.h"
-#include "lutboost/converter.h"
 #include "nn/models.h"
-#include "nn/trainer.h"
-#include "sim/lutdla_sim.h"
 #include "util/table.h"
 
 using namespace lutdla;
@@ -54,21 +53,29 @@ class TrainedProbe
         mcfg.d_model = 16;
         mcfg.heads = 2;
         mcfg.d_ff = 32;
-        auto model = nn::makeTinyTransformer(mcfg);
-        nn::TrainConfig pre;
-        pre.epochs = 6;
-        pre.lr = 2e-3;
-        pre.use_adam = true;
-        nn::Trainer(model, ds_, pre).train();
 
         lutboost::ConvertOptions opts;
         opts.pq.v = v;
         opts.pq.c = c;
         opts.centroid_stage.epochs = 1;  // coarse early estimate
         opts.joint_stage.epochs = 1;
-        const auto report = lutboost::convert(model, ds_, opts);
-        cache_[key] = report.final_accuracy;
-        return report.final_accuracy;
+
+        auto run = api::Pipeline::builder()
+                       .tag("dse-probe")
+                       .model(nn::makeTinyTransformer(mcfg))
+                       .dataset(ds_)
+                       .pretrain(nn::TrainConfig::adam(6, 2e-3, 1e-4))
+                       .convert(opts)
+                       .report();
+        // Unsearchable points (e.g. non-power-of-two c) probe as accuracy
+        // 0; anything else failing is a bug in the probe itself.
+        if (!run.ok() &&
+            run.status().code() != api::StatusCode::InvalidArgument)
+            fatal("dse probe failed: ", run.status().toString());
+        const double accuracy =
+            run.ok() ? run->conversion.final_accuracy : 0.0;
+        cache_[key] = accuracy;
+        return accuracy;
     }
 
   private:
@@ -125,7 +132,7 @@ main()
         return 1;
     }
 
-    // Validate the winner on the cycle simulator.
+    // Validate the winner on the cycle simulator via the facade.
     sim::SimConfig sc;
     sc.v = result.best.v;
     sc.c = result.best.c;
@@ -133,8 +140,18 @@ main()
     sc.n_ccu = result.best.n_ccu;
     sc.tn = 128;
     sc.m_tile = 512;
-    const sim::SimStats stats =
-        sim::LutDlaSimulator(sc).simulateGemm(cs.workload);
+    auto validation = api::Pipeline::builder()
+                          .tag("dse-winner")
+                          .gemms({cs.workload})
+                          .design(sc)
+                          .simulate()
+                          .report();
+    if (!validation.ok()) {
+        std::printf("pipeline error: %s\n",
+                    validation.status().toString().c_str());
+        return 1;
+    }
+    const sim::SimStats &stats = validation->report.total;
 
     Table best("selected design",
                {"v", "c", "n_IMM", "n_CCU", "area(mm^2)", "power(mW)",

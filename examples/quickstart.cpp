@@ -6,15 +6,15 @@
  *   1. cluster activation subvectors into per-subspace codebooks,
  *   2. precompute centroid x weight partial sums into a lookup table,
  *   3. replace the GEMM with encode + lookup + accumulate,
- * then times the same GEMM on the cycle simulator and prints the
- * accuracy/cycle trade-off across (v, c).
+ * then times the same GEMM through the api::Pipeline facade and prints
+ * the accuracy/cycle trade-off across (v, c).
  *
  * Build & run:  ./build/examples/quickstart
  */
 
 #include <cstdio>
 
-#include "sim/lutdla_sim.h"
+#include "api/lutdla.h"
 #include "util/rng.h"
 #include "util/table.h"
 #include "vq/lut.h"
@@ -82,8 +82,18 @@ main()
             sc.tn = 32;
             sc.n_imm = 2;
             sc.m_tile = 256;
-            const sim::SimStats stats =
-                sim::LutDlaSimulator(sc).simulateGemm({M, K, N, "qs"});
+            auto run = api::Pipeline::builder()
+                           .tag("quickstart")
+                           .gemms({{M, K, N, "qs"}})
+                           .design(sc)
+                           .simulate()
+                           .report();
+            if (!run.ok()) {
+                std::printf("pipeline error: %s\n",
+                            run.status().toString().c_str());
+                return 1;
+            }
+            const sim::SimStats &stats = run->report.total;
             // A 16-MAC ALU engine needs M*K*N/16 cycles.
             const double alu_cycles =
                 static_cast<double>(M) * K * N / 16.0;

@@ -4,17 +4,15 @@
  * convert its QKV / attention-output / FFN projections to LUT operators
  * with all three similarity metrics, and compare accuracy and dPE
  * hardware cost per metric — the software/hardware trade-off at the heart
- * of Sec. V-2 of the paper.
+ * of Sec. V-2 of the paper. Each metric is one api::Pipeline run.
  *
  * Build & run:  ./build/examples/transformer_lut
  */
 
 #include <cstdio>
 
+#include "api/lutdla.h"
 #include "hw/dpe.h"
-#include "lutboost/converter.h"
-#include "nn/models.h"
-#include "nn/trainer.h"
 #include "util/table.h"
 
 using namespace lutdla;
@@ -22,12 +20,6 @@ using namespace lutdla;
 int
 main()
 {
-    nn::SequenceTaskConfig scfg;
-    scfg.classes = 4;
-    scfg.train_per_class = 40;
-    scfg.test_per_class = 12;
-    nn::Dataset ds = nn::makeSequenceTask(scfg);
-
     hw::ArithLibrary lib(hw::tech28());
 
     Table t("transformer LUT conversion: accuracy vs dPE cost (v=4, "
@@ -37,26 +29,26 @@ main()
 
     for (vq::Metric metric :
          {vq::Metric::L2, vq::Metric::L1, vq::Metric::Chebyshev}) {
-        nn::TinyTransformerConfig mcfg;
-        mcfg.classes = 4;
-        auto model = nn::makeTinyTransformer(mcfg);
-
-        nn::TrainConfig pre;
-        pre.epochs = 12;
-        pre.lr = 2e-3;
-        pre.use_adam = true;
-        nn::Trainer(model, ds, pre).train();
-
         lutboost::ConvertOptions opts;
         opts.pq.v = 4;
         opts.pq.c = 16;
         opts.pq.metric = metric;
         opts.centroid_stage.epochs = 2;
         opts.joint_stage.epochs = 4;
-        const auto report = lutboost::convert(model, ds, opts);
 
-        const hw::UnitCost dpe = dpeCost(
-            lib, {4, metric, hw::NumFormat::Bf16});
+        auto run = api::Pipeline::forWorkload("tinytransformer-seq")
+                       .pretrain()
+                       .convert(opts)
+                       .report();
+        if (!run.ok()) {
+            std::printf("pipeline error: %s\n",
+                        run.status().toString().c_str());
+            return 1;
+        }
+        const lutboost::ConversionReport &report = run->conversion;
+
+        const hw::UnitCost dpe =
+            dpeCost(lib, {4, metric, hw::NumFormat::Bf16});
         t.addRow({vq::metricName(metric),
                   Table::fmt(100 * report.baseline_accuracy, 1),
                   Table::fmt(100 * report.final_accuracy, 1),

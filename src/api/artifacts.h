@@ -1,0 +1,72 @@
+#ifndef LUTDLA_API_ARTIFACTS_H
+#define LUTDLA_API_ARTIFACTS_H
+
+/**
+ * @file
+ * RunArtifacts: everything one end-to-end pipeline run produced, in a
+ * single serializable object — the conversion accuracy trail, the GEMM
+ * trace the deployment executes, the per-layer timing breakdown, and the
+ * design's PPA/energy numbers. This is the facade's unit of output: a run
+ * either fails with a typed Status or yields one of these.
+ *
+ * Round-trips through the lutboost::serialize container family (magic
+ * "LUTDLAR1") so runs can be archived next to the model parameters.
+ */
+
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "hw/accel.h"
+#include "lutboost/converter.h"
+#include "sim/report.h"
+
+namespace lutdla::api {
+
+/** Bundled outputs of one pipeline run. Absent stages keep defaults. */
+struct RunArtifacts
+{
+    /** Workload / model tag the run was labeled with. */
+    std::string workload;
+
+    /** VQ hyperparameters in force for the conversion stage. */
+    vq::PQConfig pq;
+
+    // ---- Conversion stage (LUTBoost) ----
+    bool converted = false;
+    lutboost::ConversionReport conversion;
+    /** Accuracy after the deployment-precision freeze; < 0 means not run. */
+    double deployed_accuracy = -1.0;
+
+    // ---- Deployment trace ----
+    /** Per-layer GEMM shapes the deployed model executes. */
+    std::vector<sim::GemmShape> gemms;
+
+    // ---- Timing stage ----
+    bool simulated = false;
+    sim::SimConfig sim_config;
+    /** Per-layer breakdown; `report.total` aggregates the whole network. */
+    sim::NetworkReport report;
+
+    // ---- Hardware stage ----
+    bool has_ppa = false;
+    hw::AccelPpa ppa;
+    /** End-to-end energy (mJ) when both PPA and timing ran; else 0. */
+    double energy_mj = 0.0;
+
+    /** Total MACs across the deployment trace. */
+    double totalMacs() const;
+
+    /** Human-readable multi-line digest of the populated stages. */
+    std::string summary() const;
+};
+
+/** Serialize a run to `path`. @return IoError status on failure. */
+Status saveArtifacts(const RunArtifacts &artifacts, const std::string &path);
+
+/** Load a run saved by saveArtifacts. */
+Result<RunArtifacts> loadArtifacts(const std::string &path);
+
+} // namespace lutdla::api
+
+#endif // LUTDLA_API_ARTIFACTS_H

@@ -1,0 +1,27 @@
+#ifndef LUTDLA_API_LUTDLA_H
+#define LUTDLA_API_LUTDLA_H
+
+/**
+ * @file
+ * Umbrella header for the public LUT-DLA API. Includes the whole facade:
+ *
+ *   - api::Pipeline / api::PipelineBuilder — one fluent entry point from
+ *     model -> LUTBoost -> design -> simulation -> report;
+ *   - api::RunArtifacts — the serializable bundle a run produces;
+ *   - api::Status / api::Result<T> — typed errors for misconfiguration;
+ *   - api::findWorkload / api::registerWorkload — the named-workload
+ *     registry bridging the paper's evaluation zoo;
+ *
+ * plus the configuration types callers pass in (ConvertOptions, SimConfig,
+ * LutDlaDesign, TrainConfig, LutPrecision) via their home headers.
+ *
+ * Library consumers should include only this header; the sub-module
+ * headers remain available for research code that digs deeper.
+ */
+
+#include "api/artifacts.h"
+#include "api/pipeline.h"
+#include "api/status.h"
+#include "api/workload_registry.h"
+
+#endif // LUTDLA_API_LUTDLA_H

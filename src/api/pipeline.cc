@@ -1,0 +1,437 @@
+#include "api/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+#include <utility>
+
+#include "hw/arith.h"
+#include "hw/sram.h"
+#include "hw/tech.h"
+#include "nn/trainer.h"
+#include "sim/lutdla_sim.h"
+
+namespace lutdla::api {
+
+namespace {
+
+bool
+isPowerOfTwo(int64_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+Status
+validateStageEpochs(const char *stage, const nn::TrainConfig &config)
+{
+    if (config.epochs < 0)
+        return Status::invalidArgument(
+            std::string(stage) + " epochs must be >= 0 (got " +
+            std::to_string(config.epochs) + ")");
+    if (config.batch_size < 1)
+        return Status::invalidArgument(
+            std::string(stage) + " batch_size must be >= 1 (got " +
+            std::to_string(config.batch_size) + ")");
+    return Status();
+}
+
+} // namespace
+
+Status
+validatePqConfig(const vq::PQConfig &pq)
+{
+    if (pq.v < 1)
+        return Status::invalidArgument("v must be >= 1 (got " +
+                                       std::to_string(pq.v) + ")");
+    if (pq.c < 2)
+        return Status::invalidArgument("c must be >= 2 (got " +
+                                       std::to_string(pq.c) + ")");
+    if (!isPowerOfTwo(pq.c))
+        return Status::invalidArgument(
+            "c must be a power of two so indices pack densely (got " +
+            std::to_string(pq.c) + ")");
+    if (pq.kmeans_iters < 1)
+        return Status::invalidArgument("kmeans_iters must be >= 1 (got " +
+                                       std::to_string(pq.kmeans_iters) +
+                                       ")");
+    return Status();
+}
+
+Status
+validateSimConfig(const sim::SimConfig &config)
+{
+    if (config.v < 1)
+        return Status::invalidArgument("v must be >= 1 (got " +
+                                       std::to_string(config.v) + ")");
+    if (config.c < 2)
+        return Status::invalidArgument("c must be >= 2 (got " +
+                                       std::to_string(config.c) + ")");
+    if (config.tn < 1)
+        return Status::invalidArgument("tn must be >= 1 (got " +
+                                       std::to_string(config.tn) + ")");
+    if (config.m_tile < 1)
+        return Status::invalidArgument("m_tile must be >= 1 (got " +
+                                       std::to_string(config.m_tile) + ")");
+    if (config.n_imm < 1 || config.n_ccu < 1)
+        return Status::invalidArgument(
+            "n_imm and n_ccu must be >= 1 (got " +
+            std::to_string(config.n_imm) + ", " +
+            std::to_string(config.n_ccu) + ")");
+    if (config.freq_imm_hz <= 0.0 || config.freq_ccm_hz <= 0.0)
+        return Status::invalidArgument(
+            "clock frequencies must be positive (got imm=" +
+            std::to_string(config.freq_imm_hz) + " Hz, ccm=" +
+            std::to_string(config.freq_ccm_hz) + " Hz)");
+    if (config.dram_bytes_per_sec <= 0.0)
+        return Status::invalidArgument(
+            "dram_bytes_per_sec must be positive (got " +
+            std::to_string(config.dram_bytes_per_sec) + ")");
+    if (config.lut_entry_bytes < 1 || config.input_bytes < 1 ||
+        config.output_bytes < 1)
+        return Status::invalidArgument(
+            "entry/input/output byte widths must be >= 1");
+    return Status();
+}
+
+Result<std::vector<sim::GemmShape>>
+extractGemmTrace(const nn::LayerPtr &model, const Tensor &sample)
+{
+    const auto layers = lutboost::findLutLayers(model);
+    if (layers.empty())
+        return Status::failedPrecondition(
+            "model has no LUT operators to trace (convert it first)");
+    model->forward(sample, /*train=*/false);
+    std::vector<sim::GemmShape> trace;
+    trace.reserve(layers.size());
+    int64_t index = 0;
+    for (const lutboost::LutLinear *layer : layers) {
+        sim::GemmShape gemm;
+        gemm.m = layer->lastForwardRows();
+        gemm.k = layer->inFeatures();
+        gemm.n = layer->outFeatures();
+        gemm.tag = "lut" + std::to_string(index++);
+        trace.push_back(gemm);
+    }
+    return trace;
+}
+
+PipelineBuilder &
+PipelineBuilder::workload(const std::string &name)
+{
+    workload_name_ = name;
+    has_workload_ = true;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::model(nn::LayerPtr model)
+{
+    model_ = std::move(model);
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::dataset(nn::Dataset dataset)
+{
+    dataset_ = std::move(dataset);
+    has_dataset_ = true;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::gemms(std::vector<sim::GemmShape> trace)
+{
+    gemms_ = std::move(trace);
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::tag(std::string label)
+{
+    tag_ = std::move(label);
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::pretrain(const nn::TrainConfig &config)
+{
+    want_pretrain_ = true;
+    pretrain_from_workload_ = false;
+    pretrain_ = config;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::pretrain()
+{
+    want_pretrain_ = true;
+    pretrain_from_workload_ = true;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::convert(const lutboost::ConvertOptions &options)
+{
+    want_convert_ = true;
+    single_stage_ = false;
+    convert_ = options;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::convertSingleStage(const lutboost::ConvertOptions &options,
+                                    lutboost::SingleStageMode mode,
+                                    int total_epochs)
+{
+    want_convert_ = true;
+    single_stage_ = true;
+    single_stage_mode_ = mode;
+    single_stage_epochs_ = total_epochs;
+    convert_ = options;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::deployPrecision(vq::LutPrecision precision)
+{
+    want_deploy_ = true;
+    precision_ = precision;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::design(const hw::LutDlaDesign &design)
+{
+    design_ = design;
+    has_design_ = true;
+    sim_config_ = sim::SimConfig::fromDesign(design);
+    has_sim_config_ = true;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::design(const sim::SimConfig &config)
+{
+    sim_config_ = config;
+    has_sim_config_ = true;
+    has_design_ = false;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::simulate(bool enable)
+{
+    want_simulate_ = enable;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::traceRows(int64_t rows)
+{
+    trace_rows_ = rows;
+    return *this;
+}
+
+PipelineBuilder &
+PipelineBuilder::dramEnergy(double pj_per_byte)
+{
+    dram_pj_per_byte_ = pj_per_byte;
+    return *this;
+}
+
+Status
+PipelineBuilder::resolveWorkload()
+{
+    if (!has_workload_) {
+        if (tag_.empty())
+            tag_ = "run";
+        return Status();
+    }
+    Result<WorkloadSpec> spec = findWorkload(workload_name_);
+    if (!spec.ok())
+        return spec.status();
+    if (tag_.empty())
+        tag_ = spec->name;
+
+    const bool needs_model = want_pretrain_ || want_convert_ || want_deploy_;
+    if (!model_ && needs_model) {
+        if (!spec->model)
+            return Status::failedPrecondition(
+                "workload '" + workload_name_ +
+                "' has no trainable substitute model; supply model()");
+        model_ = spec->model();
+    }
+    if (!has_dataset_ && needs_model) {
+        if (!spec->dataset)
+            return Status::failedPrecondition(
+                "workload '" + workload_name_ +
+                "' has no dataset; supply dataset()");
+        dataset_ = spec->dataset();
+        has_dataset_ = true;
+    }
+    if (want_pretrain_ && pretrain_from_workload_)
+        pretrain_ = spec->pretrain;
+    if (gemms_.empty() && spec->network)
+        gemms_ = spec->network().gemms;
+    return Status();
+}
+
+Status
+PipelineBuilder::runModelStages(RunArtifacts &artifacts)
+{
+    if (want_pretrain_) {
+        if (!model_)
+            return Status::failedPrecondition(
+                "pretrain() requires model() or a trainable workload");
+        if (!has_dataset_)
+            return Status::failedPrecondition(
+                "pretrain() requires dataset()");
+        if (Status s = validateStageEpochs("pretrain", pretrain_); !s.ok())
+            return s;
+        nn::Trainer(model_, dataset_, pretrain_).train();
+    }
+
+    if (want_convert_) {
+        if (Status s = validatePqConfig(convert_.pq); !s.ok())
+            return s;
+        if (Status s =
+                validateStageEpochs("centroid_stage",
+                                    convert_.centroid_stage);
+            !s.ok())
+            return s;
+        if (Status s = validateStageEpochs("joint_stage",
+                                           convert_.joint_stage);
+            !s.ok())
+            return s;
+        if (convert_.calibration_rows < 1)
+            return Status::invalidArgument(
+                "calibration_rows must be >= 1 (got " +
+                std::to_string(convert_.calibration_rows) + ")");
+        if (!model_)
+            return Status::failedPrecondition(
+                "convert() requires model() or a trainable workload");
+        if (!has_dataset_)
+            return Status::failedPrecondition(
+                "convert() requires dataset() for calibration/training");
+        // numel(), not trainSize(): a default-constructed Dataset holds
+        // rank-0 tensors on which dim(0) panics.
+        if (dataset_.train_x.numel() == 0)
+            return Status::invalidArgument(
+                "dataset '" + dataset_.name + "' has no training rows");
+
+        artifacts.conversion =
+            single_stage_
+                ? lutboost::singleStageConvert(model_, dataset_, convert_,
+                                               single_stage_mode_,
+                                               single_stage_epochs_)
+                : lutboost::convert(model_, dataset_, convert_);
+        artifacts.converted = true;
+        artifacts.pq = convert_.pq;
+    }
+
+    if (want_deploy_) {
+        if (!model_)
+            return Status::failedPrecondition(
+                "deployPrecision() requires a model");
+        const auto layers = lutboost::findLutLayers(model_);
+        if (layers.empty())
+            return Status::failedPrecondition(
+                "deployPrecision() requires a converted model with LUT "
+                "operators");
+        if (!has_dataset_)
+            return Status::failedPrecondition(
+                "deployPrecision() requires dataset() to re-evaluate");
+        for (lutboost::LutLinear *layer : layers) {
+            layer->setPrecision(precision_);
+            layer->refreshInferenceLut();
+        }
+        nn::Trainer probe(model_, dataset_, {});
+        artifacts.deployed_accuracy =
+            probe.evaluate(dataset_.test_x, dataset_.test_y);
+    }
+    return Status();
+}
+
+Status
+PipelineBuilder::resolveTrace(RunArtifacts &artifacts)
+{
+    if (!gemms_.empty()) {
+        artifacts.gemms = gemms_;
+        return Status();
+    }
+    // No explicit or workload trace: extract one from a converted model.
+    if (!artifacts.converted || !has_dataset_ ||
+        dataset_.test_x.numel() == 0)
+        return Status();
+    const int64_t rows =
+        std::min<int64_t>(std::max<int64_t>(trace_rows_, 1),
+                          dataset_.testSize());
+    if (rows == 0)
+        return Status();
+    std::vector<int64_t> indices(rows);
+    std::iota(indices.begin(), indices.end(), 0);
+    Result<std::vector<sim::GemmShape>> trace =
+        extractGemmTrace(model_, nn::gatherRows(dataset_.test_x, indices));
+    if (!trace.ok())
+        return trace.status();
+    artifacts.gemms = trace.take();
+    return Status();
+}
+
+Status
+PipelineBuilder::runTimingStages(RunArtifacts &artifacts)
+{
+    if (want_simulate_) {
+        if (!has_sim_config_)
+            return Status::failedPrecondition(
+                "simulate() requires design(LutDlaDesign) or "
+                "design(SimConfig)");
+        if (Status s = validateSimConfig(sim_config_); !s.ok())
+            return s;
+        if (artifacts.gemms.empty())
+            return Status::failedPrecondition(
+                "simulate() has no deployment trace: supply gemms(), a "
+                "workload with a GEMM trace, or a converted model with a "
+                "dataset");
+        const sim::LutDlaSimulator simulator(sim_config_);
+        artifacts.report =
+            sim::profileNetwork(simulator, artifacts.gemms);
+        artifacts.sim_config = sim_config_;
+        artifacts.simulated = true;
+        if (!artifacts.converted) {
+            artifacts.pq.v = sim_config_.v;
+            artifacts.pq.c = sim_config_.c;
+        }
+    }
+
+    if (has_design_) {
+        const hw::ArithLibrary lib(hw::tech28());
+        const hw::SramModel sram(hw::tech28());
+        artifacts.ppa = hw::evaluateDesign(lib, sram, design_);
+        artifacts.has_ppa = true;
+        if (artifacts.simulated)
+            artifacts.energy_mj =
+                sim::LutDlaSimulator(sim_config_)
+                    .energyMj(artifacts.report.total, artifacts.ppa.power_mw,
+                              dram_pj_per_byte_);
+    }
+    return Status();
+}
+
+Result<RunArtifacts>
+PipelineBuilder::run()
+{
+    RunArtifacts artifacts;
+    if (Status s = resolveWorkload(); !s.ok())
+        return s;
+    artifacts.workload = tag_;
+    if (Status s = runModelStages(artifacts); !s.ok())
+        return s;
+    if (Status s = resolveTrace(artifacts); !s.ok())
+        return s;
+    if (Status s = runTimingStages(artifacts); !s.ok())
+        return s;
+    return artifacts;
+}
+
+} // namespace lutdla::api

@@ -1,0 +1,153 @@
+#ifndef LUTDLA_API_STATUS_H
+#define LUTDLA_API_STATUS_H
+
+/**
+ * @file
+ * Typed error reporting for the public pipeline API.
+ *
+ * The inner layers follow the gem5 fatal()/panic() convention, which is
+ * right for a research library but wrong for a serving-facing facade: a
+ * misconfigured request must come back to the caller as data, not take the
+ * process down. `Status` carries an error code + human-readable message;
+ * `Result<T>` is the standard status-or-value return used by every
+ * `PipelineBuilder` terminal.
+ */
+
+#include <string>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace lutdla::api {
+
+/** Error taxonomy, loosely after absl::Status. */
+enum class StatusCode
+{
+    Ok = 0,
+    InvalidArgument,     ///< a supplied value is out of range / malformed
+    FailedPrecondition,  ///< a required stage input was never supplied
+    NotFound,            ///< named workload/file does not exist
+    IoError,             ///< filesystem read/write failed
+    Internal             ///< invariant violation inside the pipeline
+};
+
+/** Printable name of a status code. */
+inline const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok:                 return "OK";
+      case StatusCode::InvalidArgument:    return "INVALID_ARGUMENT";
+      case StatusCode::FailedPrecondition: return "FAILED_PRECONDITION";
+      case StatusCode::NotFound:           return "NOT_FOUND";
+      case StatusCode::IoError:            return "IO_ERROR";
+      case StatusCode::Internal:           return "INTERNAL";
+    }
+    return "UNKNOWN";
+}
+
+/** An error code plus message; default-constructed means success. */
+class Status
+{
+  public:
+    Status() = default;
+    Status(StatusCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    static Status
+    invalidArgument(std::string msg)
+    {
+        return {StatusCode::InvalidArgument, std::move(msg)};
+    }
+    static Status
+    failedPrecondition(std::string msg)
+    {
+        return {StatusCode::FailedPrecondition, std::move(msg)};
+    }
+    static Status
+    notFound(std::string msg)
+    {
+        return {StatusCode::NotFound, std::move(msg)};
+    }
+    static Status
+    ioError(std::string msg)
+    {
+        return {StatusCode::IoError, std::move(msg)};
+    }
+    static Status
+    internal(std::string msg)
+    {
+        return {StatusCode::Internal, std::move(msg)};
+    }
+
+    bool ok() const { return code_ == StatusCode::Ok; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "INVALID_ARGUMENT: c must be a power of two (got 12)". */
+    std::string
+    toString() const
+    {
+        if (ok())
+            return "OK";
+        return std::string(statusCodeName(code_)) + ": " + message_;
+    }
+
+  private:
+    StatusCode code_ = StatusCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Status-or-value return type. `T` must be default-constructible (all
+ * pipeline artifacts are). Accessing value() on an error status panics —
+ * callers must check ok() first.
+ */
+template <typename T>
+class Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+    Result(Status status) : status_(std::move(status))
+    {
+        LUTDLA_CHECK(!status_.ok(),
+                     "Result constructed from an OK status without a value");
+    }
+
+    bool ok() const { return status_.ok(); }
+    const Status &status() const { return status_; }
+
+    const T &
+    value() const
+    {
+        LUTDLA_CHECK(ok(), "value() on error Result: ", status_.toString());
+        return value_;
+    }
+    T &
+    value()
+    {
+        LUTDLA_CHECK(ok(), "value() on error Result: ", status_.toString());
+        return value_;
+    }
+
+    /** Move the value out (for single-consumer call sites). */
+    T
+    take()
+    {
+        LUTDLA_CHECK(ok(), "take() on error Result: ", status_.toString());
+        return std::move(value_);
+    }
+
+    const T &operator*() const { return value(); }
+    const T *operator->() const { return &value(); }
+
+  private:
+    Status status_;
+    T value_{};
+};
+
+} // namespace lutdla::api
+
+#endif // LUTDLA_API_STATUS_H

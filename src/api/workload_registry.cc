@@ -1,0 +1,148 @@
+#include "api/workload_registry.h"
+
+#include <utility>
+
+#include "nn/models.h"
+
+namespace lutdla::api {
+
+namespace {
+
+/** Shape-only entry backed by the model zoo. */
+WorkloadSpec
+zooSpec(const std::string &name, const std::string &description)
+{
+    WorkloadSpec spec;
+    spec.name = name;
+    spec.description = description;
+    spec.network = [name] { return workloads::networkByName(name); };
+    return spec;
+}
+
+/** MLP on the Gaussian-mixture task (the integration-test substitute). */
+WorkloadSpec
+mlpMixtureSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "mlp-mixture";
+    spec.description =
+        "MLP 16-20-4 on the 4-class Gaussian-mixture task (trainable)";
+    spec.model = [] { return nn::makeMlp(16, {20}, 4); };
+    spec.dataset = [] {
+        nn::GaussianMixtureConfig cfg;
+        cfg.classes = 4;
+        cfg.dim = 16;
+        cfg.train_per_class = 24;
+        cfg.test_per_class = 8;
+        return nn::makeGaussianMixture(cfg);
+    };
+    spec.pretrain = nn::TrainConfig::sgd(8, 0.05);
+    return spec;
+}
+
+/** MiniResNet on shape images (the CNN-evaluation substitute). */
+WorkloadSpec
+miniResNetShapesSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "miniresnet-shapes";
+    spec.description =
+        "MiniResNet20-class CNN on 8-class shape images (trainable)";
+    spec.model = [] { return nn::makeMiniResNet(1, 8, 8); };
+    spec.dataset = [] {
+        nn::ShapeImageConfig cfg;
+        cfg.classes = 8;
+        cfg.train_per_class = 40;
+        cfg.test_per_class = 12;
+        return nn::makeShapeImages(cfg);
+    };
+    spec.pretrain = nn::TrainConfig::sgd(8, 0.05);
+    return spec;
+}
+
+/** TinyTransformer on the sequence task (the BERT-family substitute). */
+WorkloadSpec
+tinyTransformerSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "tinytransformer-seq";
+    spec.description =
+        "TinyTransformer encoder on the 4-class sequence task (trainable)";
+    spec.model = [] {
+        nn::TinyTransformerConfig cfg;
+        cfg.classes = 4;
+        return nn::makeTinyTransformer(cfg);
+    };
+    spec.dataset = [] {
+        nn::SequenceTaskConfig cfg;
+        cfg.classes = 4;
+        cfg.train_per_class = 40;
+        cfg.test_per_class = 12;
+        return nn::makeSequenceTask(cfg);
+    };
+    spec.pretrain = nn::TrainConfig::adam(12, 2e-3, 1e-4);
+    return spec;
+}
+
+std::vector<WorkloadSpec> &
+registry()
+{
+    static std::vector<WorkloadSpec> specs = [] {
+        std::vector<WorkloadSpec> s;
+        s.push_back(zooSpec("resnet18", "ResNet-18 @224 GEMM trace"));
+        s.push_back(zooSpec("resnet34", "ResNet-34 @224 GEMM trace"));
+        s.push_back(zooSpec("resnet50", "ResNet-50 @224 GEMM trace"));
+        s.push_back(zooSpec("resnet20", "CIFAR ResNet-20 GEMM trace"));
+        s.push_back(zooSpec("resnet32", "CIFAR ResNet-32 GEMM trace"));
+        s.push_back(zooSpec("resnet56", "CIFAR ResNet-56 GEMM trace"));
+        s.push_back(zooSpec("vgg11", "VGG-11 @224 GEMM trace"));
+        s.push_back(zooSpec("lenet", "LeNet-5-style GEMM trace"));
+        s.push_back(zooSpec("bert-base", "BERT-base encoder GEMM trace"));
+        s.push_back(zooSpec("distilbert", "DistilBERT GEMM trace"));
+        s.push_back(zooSpec("opt-125m", "OPT-125M decoder GEMM trace"));
+        s.push_back(mlpMixtureSpec());
+        s.push_back(miniResNetShapesSpec());
+        s.push_back(tinyTransformerSpec());
+        return s;
+    }();
+    return specs;
+}
+
+} // namespace
+
+Result<WorkloadSpec>
+findWorkload(const std::string &name)
+{
+    for (const WorkloadSpec &spec : registry())
+        if (spec.name == name)
+            return spec;
+    std::string known;
+    for (const std::string &n : workloadNames())
+        known += (known.empty() ? "" : ", ") + n;
+    return Status::notFound("unknown workload '" + name + "' (known: " +
+                            known + ")");
+}
+
+std::vector<std::string>
+workloadNames()
+{
+    std::vector<std::string> names;
+    names.reserve(registry().size());
+    for (const WorkloadSpec &spec : registry())
+        names.push_back(spec.name);
+    return names;
+}
+
+void
+registerWorkload(WorkloadSpec spec)
+{
+    for (WorkloadSpec &existing : registry()) {
+        if (existing.name == spec.name) {
+            existing = std::move(spec);
+            return;
+        }
+    }
+    registry().push_back(std::move(spec));
+}
+
+} // namespace lutdla::api

@@ -1,0 +1,57 @@
+#ifndef LUTDLA_API_WORKLOAD_REGISTRY_H
+#define LUTDLA_API_WORKLOAD_REGISTRY_H
+
+/**
+ * @file
+ * Named-workload registry bridging workloads::model_zoo into the pipeline
+ * facade. A workload bundles everything a run might need under one name:
+ * the GEMM trace of the real network (for timing) and, for the synthetic
+ * substitute tasks, a trainable model + dataset + float-training recipe
+ * (for accuracy/conversion runs). `Pipeline::forWorkload("resnet18")`
+ * resolves here.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "nn/dataset.h"
+#include "nn/layer.h"
+#include "nn/trainer.h"
+#include "workloads/model_zoo.h"
+
+namespace lutdla::api {
+
+/** One registered workload; unset callbacks mean the stage is unavailable. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string description;
+    /** GEMM trace of the (full-scale) network, for timing runs. */
+    std::function<workloads::Network()> network;
+    /** Trainable substitute model, for conversion runs. */
+    std::function<nn::LayerPtr()> model;
+    /** Dataset paired with the substitute model. */
+    std::function<nn::Dataset()> dataset;
+    /** Recommended float pre-training recipe for the substitute. */
+    nn::TrainConfig pretrain;
+    /** True when this spec can drive a LUTBoost conversion. */
+    bool trainable() const { return model != nullptr && dataset != nullptr; }
+};
+
+/** Look up a workload. NotFound status lists the known names. */
+Result<WorkloadSpec> findWorkload(const std::string &name);
+
+/** All registered names, built-ins first, in registration order. */
+std::vector<std::string> workloadNames();
+
+/**
+ * Register (or override, by name) a workload. Callers extend the registry
+ * with their own serving workloads; built-ins cover the paper's zoo.
+ */
+void registerWorkload(WorkloadSpec spec);
+
+} // namespace lutdla::api
+
+#endif // LUTDLA_API_WORKLOAD_REGISTRY_H

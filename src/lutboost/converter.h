@@ -37,20 +37,10 @@ struct ConvertOptions
     int64_t min_in_features = 0;        ///< skip layers narrower than this
     bool replace_linear = true;
     bool replace_conv = true;
-    nn::TrainConfig centroid_stage;     ///< stage-2 hyperparameters
-    nn::TrainConfig joint_stage;        ///< stage-3 hyperparameters
-
-    ConvertOptions()
-    {
-        centroid_stage.epochs = 3;
-        centroid_stage.lr = 1e-3;
-        centroid_stage.weight_decay = 0.0;
-        centroid_stage.use_adam = true;
-        joint_stage.epochs = 8;
-        joint_stage.lr = 5e-4;
-        joint_stage.weight_decay = 0.0;
-        joint_stage.use_adam = true;
-    }
+    /** Stage-2 hyperparameters. */
+    nn::TrainConfig centroid_stage = nn::TrainConfig::adam(3, 1e-3);
+    /** Stage-3 hyperparameters. */
+    nn::TrainConfig joint_stage = nn::TrainConfig::adam(8, 5e-4);
 };
 
 /** What a conversion run produced. */

@@ -99,6 +99,7 @@ LutLinear::forward(const Tensor &x, bool train)
                  "LutLinear expects [rows, ", in_features_, "], got ",
                  shapeStr(x.shape()));
     aux_loss_ = 0.0;
+    last_forward_rows_ = x.dim(0);
 
     if (calibrating_) {
         // Record activations and behave exactly like the float layer so

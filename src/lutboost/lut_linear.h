@@ -46,6 +46,14 @@ class LutLinear : public nn::Layer
 
     int64_t inFeatures() const { return in_features_; }
     int64_t outFeatures() const { return out_features_; }
+
+    /**
+     * Rows of the most recent forward() input (0 before any forward).
+     * Convolutions reach this layer post-im2col, so for them this is
+     * batch x output-pixels — exactly the M of the lowered GEMM, which is
+     * how the pipeline facade extracts a deployment trace from a model.
+     */
+    int64_t lastForwardRows() const { return last_forward_rows_; }
     const vq::PQConfig &pqConfig() const { return pq_config_; }
     int64_t numSubspaces() const { return num_subspaces_; }
 
@@ -107,6 +115,7 @@ class LutLinear : public nn::Layer
 
     double recon_penalty_ = 0.0;
     double aux_loss_ = 0.0;
+    int64_t last_forward_rows_ = 0;
 
     // Training caches.
     Tensor cached_input_;

@@ -1,9 +1,6 @@
 #include "lutboost/serialize.h"
 
-#include <cstdint>
 #include <cstring>
-#include <fstream>
-#include <vector>
 
 #include "util/logging.h"
 
@@ -11,42 +8,61 @@ namespace lutdla::lutboost {
 
 namespace {
 
-constexpr char kMagic[8] = {'L', 'U', 'T', 'D', 'L', 'A', '0', '1'};
+constexpr char kMagic[9] = "LUTDLA01";
 
-void
-writeU64(std::ofstream &out, uint64_t v)
+} // namespace
+
+bool
+BinReader::magic(const char (&expected)[9])
 {
-    out.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    char tag[8];
+    in_.read(tag, sizeof(tag));
+    return static_cast<bool>(in_) &&
+           std::memcmp(tag, expected, sizeof(tag)) == 0;
 }
 
 bool
-readU64(std::ifstream &in, uint64_t &v)
+BinReader::str(std::string &s, uint64_t max_len)
 {
-    in.read(reinterpret_cast<char *>(&v), sizeof(v));
-    return static_cast<bool>(in);
+    uint64_t len = 0;
+    if (!u64(len) || len > max_len)
+        return false;
+    s.resize(len);
+    in_.read(s.data(), static_cast<std::streamsize>(len));
+    return static_cast<bool>(in_);
 }
 
-} // namespace
+bool
+BinReader::f64vec(std::vector<double> &v, uint64_t max_len)
+{
+    uint64_t len = 0;
+    if (!u64(len) || len > max_len)
+        return false;
+    v.resize(len);
+    for (double &d : v)
+        if (!f64(d))
+            return false;
+    return true;
+}
 
 void
 saveParameters(const nn::LayerPtr &model, const std::string &path)
 {
     const auto params = nn::collectParameters(model);
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out)
+    BinWriter out(path);
+    if (!out.ok())
         fatal("cannot open '", path, "' for writing");
 
-    out.write(kMagic, sizeof(kMagic));
-    writeU64(out, params.size());
+    out.magic(kMagic);
+    out.u64(params.size());
     for (const nn::Parameter *p : params) {
-        writeU64(out, p->value.shape().size());
+        out.u64(p->value.shape().size());
         for (int64_t d : p->value.shape())
-            writeU64(out, static_cast<uint64_t>(d));
-        out.write(reinterpret_cast<const char *>(p->value.data()),
-                  static_cast<std::streamsize>(p->value.numel() *
-                                               sizeof(float)));
+            out.u64(static_cast<uint64_t>(d));
+        out.bytes(p->value.data(),
+                  p->value.numel() * static_cast<int64_t>(sizeof(float)));
     }
-    if (!out)
+    if (!out.ok())
         fatal("write failed for '", path, "'");
 }
 
@@ -54,20 +70,18 @@ bool
 loadParameters(const nn::LayerPtr &model, const std::string &path)
 {
     auto params = nn::collectParameters(model);
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
+    BinReader in(path);
+    if (!in.ok()) {
         warn("cannot open '", path, "' for reading");
         return false;
     }
 
-    char magic[8];
-    in.read(magic, sizeof(magic));
-    if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    if (!in.magic(kMagic)) {
         warn("'", path, "' is not a LUT-DLA parameter file");
         return false;
     }
     uint64_t count = 0;
-    if (!readU64(in, count) || count != params.size()) {
+    if (!in.u64(count) || count != params.size()) {
         warn("parameter count mismatch: file has ", count, ", model has ",
              params.size());
         return false;
@@ -78,15 +92,14 @@ loadParameters(const nn::LayerPtr &model, const std::string &path)
     staged.reserve(params.size());
     for (const nn::Parameter *p : params) {
         uint64_t rank = 0;
-        if (!readU64(in, rank) ||
-            rank != p->value.shape().size()) {
+        if (!in.u64(rank) || rank != p->value.shape().size()) {
             warn("rank mismatch for '", p->name, "'");
             return false;
         }
         Shape shape;
         for (uint64_t d = 0; d < rank; ++d) {
             uint64_t dim = 0;
-            if (!readU64(in, dim))
+            if (!in.u64(dim))
                 return false;
             shape.push_back(static_cast<int64_t>(dim));
         }
@@ -96,9 +109,8 @@ loadParameters(const nn::LayerPtr &model, const std::string &path)
             return false;
         }
         Tensor t(shape);
-        in.read(reinterpret_cast<char *>(t.data()),
-                static_cast<std::streamsize>(t.numel() * sizeof(float)));
-        if (!in) {
+        if (!in.bytes(t.data(),
+                      t.numel() * static_cast<int64_t>(sizeof(float)))) {
             warn("truncated payload in '", path, "'");
             return false;
         }

@@ -12,13 +12,125 @@
  * rank, dims, and raw float payload, in deterministic traversal order.
  * The loader checks shapes strictly — loading into a mismatched
  * architecture is refused rather than silently misassigned.
+ *
+ * The low-level container primitives (BinWriter/BinReader) are public so
+ * higher layers can serialize richer artifacts in the same container
+ * family — api::RunArtifacts ("LUTDLAR1") reuses them for its round-trip.
  */
 
+#include <cstdint>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "nn/layer.h"
 
 namespace lutdla::lutboost {
+
+/** Little-endian binary stream writer for LUT-DLA container files. */
+class BinWriter
+{
+  public:
+    /** Open `path` for writing (truncating). Check ok() before use. */
+    explicit BinWriter(const std::string &path)
+        : out_(path, std::ios::binary | std::ios::trunc)
+    {
+    }
+
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Write an 8-byte magic tag identifying the container flavor. */
+    void magic(const char (&tag)[9]) { out_.write(tag, 8); }
+
+    void
+    u64(uint64_t v)
+    {
+        out_.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+    void i64(int64_t v) { u64(static_cast<uint64_t>(v)); }
+    void
+    f64(double v)
+    {
+        out_.write(reinterpret_cast<const char *>(&v), sizeof(v));
+    }
+
+    /** Length-prefixed string. */
+    void
+    str(const std::string &s)
+    {
+        u64(s.size());
+        out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    }
+
+    void
+    f64vec(const std::vector<double> &v)
+    {
+        u64(v.size());
+        for (double d : v)
+            f64(d);
+    }
+
+    void
+    bytes(const void *data, int64_t n)
+    {
+        out_.write(static_cast<const char *>(data),
+                   static_cast<std::streamsize>(n));
+    }
+
+  private:
+    std::ofstream out_;
+};
+
+/** Mirror reader for BinWriter containers; every read reports success. */
+class BinReader
+{
+  public:
+    explicit BinReader(const std::string &path)
+        : in_(path, std::ios::binary)
+    {
+    }
+
+    bool ok() const { return static_cast<bool>(in_); }
+
+    /** Read and verify the 8-byte magic tag. */
+    bool magic(const char (&expected)[9]);
+
+    bool
+    u64(uint64_t &v)
+    {
+        in_.read(reinterpret_cast<char *>(&v), sizeof(v));
+        return static_cast<bool>(in_);
+    }
+    bool
+    i64(int64_t &v)
+    {
+        uint64_t raw = 0;
+        if (!u64(raw))
+            return false;
+        v = static_cast<int64_t>(raw);
+        return true;
+    }
+    bool
+    f64(double &v)
+    {
+        in_.read(reinterpret_cast<char *>(&v), sizeof(v));
+        return static_cast<bool>(in_);
+    }
+
+    bool str(std::string &s, uint64_t max_len = 1u << 20);
+    bool f64vec(std::vector<double> &v, uint64_t max_len = 1u << 24);
+
+    bool
+    bytes(void *data, int64_t n)
+    {
+        in_.read(static_cast<char *>(data),
+                 static_cast<std::streamsize>(n));
+        return static_cast<bool>(in_);
+    }
+
+  private:
+    std::ifstream in_;
+};
 
 /** Serialize every parameter of `model` to `path`. Fatal on I/O error. */
 void saveParameters(const nn::LayerPtr &model, const std::string &path);

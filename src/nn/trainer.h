@@ -29,6 +29,31 @@ struct TrainConfig
     bool use_adam = false;
     uint64_t seed = 7;            ///< batch shuffling seed
     bool verbose = false;
+
+    /** Adam recipe (the LUTBoost stages and transformer runs use this). */
+    static TrainConfig
+    adam(int epochs, double lr, double weight_decay = 0.0)
+    {
+        TrainConfig cfg;
+        cfg.epochs = epochs;
+        cfg.lr = lr;
+        cfg.weight_decay = weight_decay;
+        cfg.use_adam = true;
+        return cfg;
+    }
+
+    /** SGD-with-momentum recipe (the CNN float baselines use this). */
+    static TrainConfig
+    sgd(int epochs, double lr, double momentum = 0.9,
+        double weight_decay = 1e-4)
+    {
+        TrainConfig cfg;
+        cfg.epochs = epochs;
+        cfg.lr = lr;
+        cfg.momentum = momentum;
+        cfg.weight_decay = weight_decay;
+        return cfg;
+    }
 };
 
 /** Loss/accuracy trace of one training run. */

@@ -6,59 +6,53 @@
 
 #include <gtest/gtest.h>
 
+#include "api/lutdla.h"
 #include "baselines/nvdla_model.h"
 #include "dse/search.h"
-#include "lutboost/converter.h"
-#include "nn/models.h"
-#include "nn/trainer.h"
-#include "sim/lutdla_sim.h"
 #include "vq/lut.h"
-#include "workloads/model_zoo.h"
 
 namespace lutdla {
 namespace {
 
 TEST(Integration, TrainConvertDeploySimulate)
 {
-    // 1. Train a float MLP on the mixture task.
-    nn::GaussianMixtureConfig dcfg;
-    dcfg.classes = 4;
-    dcfg.dim = 16;
-    dcfg.train_per_class = 24;
-    dcfg.test_per_class = 8;
-    nn::Dataset ds = nn::makeGaussianMixture(dcfg);
-    auto model = nn::makeMlp(16, {20}, 4);
-    nn::TrainConfig pre;
-    pre.epochs = 8;
-    nn::Trainer(model, ds, pre).train();
-
-    // 2. LUTBoost conversion.
+    // The whole flow — float training, LUTBoost conversion, BF16+INT8
+    // deployment freeze, trace extraction, Design1 timing — through the
+    // facade's one builder chain, on the registry's MLP substitute.
     lutboost::ConvertOptions opts;
     opts.pq.v = 4;
     opts.pq.c = 16;
     opts.centroid_stage.epochs = 2;
     opts.joint_stage.epochs = 3;
-    const lutboost::ConversionReport report =
-        lutboost::convert(model, ds, opts);
-    EXPECT_GT(report.final_accuracy, 0.7);
 
-    // 3. Freeze inference LUTs in BF16+INT8 and re-evaluate.
-    for (auto *layer : lutboost::findLutLayers(model)) {
-        layer->setPrecision(vq::LutPrecision{true, true});
-        layer->refreshInferenceLut();
-    }
-    nn::Trainer probe(model, ds, {});
-    const double quant_acc = probe.evaluate(ds.test_x, ds.test_y);
-    EXPECT_GT(quant_acc, report.final_accuracy - 0.1);
+    auto run = api::Pipeline::forWorkload("mlp-mixture")
+                   .pretrain()
+                   .convert(opts)
+                   .deployPrecision(vq::LutPrecision{true, true})
+                   .design(hw::design1Tiny())
+                   .simulate()
+                   .report();
+    ASSERT_TRUE(run.ok()) << run.status().toString();
+    const api::RunArtifacts &artifacts = run.value();
 
-    // 4. Time the deployed model's GEMMs on the Design1 simulator.
-    sim::LutDlaSimulator simulator(
-        sim::SimConfig::fromDesign(hw::design1Tiny()));
-    std::vector<sim::GemmShape> gemms{{64, 16, 20, "fc1"},
-                                      {64, 20, 4, "fc2"}};
-    const sim::SimStats stats = simulator.simulateNetwork(gemms);
-    EXPECT_GT(stats.total_cycles, 0u);
-    EXPECT_GT(stats.achievedGops(simulator.config()), 0.0);
+    EXPECT_TRUE(artifacts.converted);
+    EXPECT_GT(artifacts.conversion.final_accuracy, 0.7);
+    EXPECT_GT(artifacts.deployed_accuracy,
+              artifacts.conversion.final_accuracy - 0.1);
+
+    // Trace extracted from the converted model: two LUT GEMMs.
+    ASSERT_EQ(artifacts.gemms.size(), 2u);
+    EXPECT_EQ(artifacts.gemms[0].k, 16);
+    EXPECT_EQ(artifacts.gemms[0].n, 20);
+    EXPECT_EQ(artifacts.gemms[1].k, 20);
+    EXPECT_EQ(artifacts.gemms[1].n, 4);
+
+    EXPECT_TRUE(artifacts.simulated);
+    EXPECT_GT(artifacts.report.total.total_cycles, 0u);
+    EXPECT_GT(artifacts.report.total.achievedGops(artifacts.sim_config),
+              0.0);
+    EXPECT_TRUE(artifacts.has_ppa);
+    EXPECT_GT(artifacts.energy_mj, 0.0);
 }
 
 TEST(Integration, LutDlaBeatsNvdlaSmallOnBert)
@@ -67,10 +61,12 @@ TEST(Integration, LutDlaBeatsNvdlaSmallOnBert)
     // NVDLA-Small by ~6x on BERT within a similar area.
     const workloads::Network bert = workloads::bertBase();
 
-    sim::LutDlaSimulator lutdla(
-        sim::SimConfig::fromDesign(hw::design1Tiny()));
-    const double lut_s =
-        lutdla.simulateNetwork(bert.gemms).seconds(lutdla.config());
+    auto run = api::Pipeline::forWorkload("bert-base")
+                   .design(hw::design1Tiny())
+                   .simulate()
+                   .report();
+    ASSERT_TRUE(run.ok()) << run.status().toString();
+    const double lut_s = run->report.total.seconds(run->sim_config);
 
     baselines::NvdlaModel nvdla(baselines::nvdlaSmall());
     const double nv_s = nvdla.simulateNetwork(bert.gemms)
@@ -99,9 +95,13 @@ TEST(Integration, DseSearchedDesignSimulates)
     cfg.n_ccu = result.best.n_ccu;
     cfg.tn = 128;
     cfg.m_tile = 256;
-    const sim::SimStats stats =
-        sim::LutDlaSimulator(cfg).simulateGemm(cs.workload);
-    EXPECT_GT(stats.utilization(), 0.3);
+    auto run = api::Pipeline::builder()
+                   .gemms({cs.workload})
+                   .design(cfg)
+                   .simulate()
+                   .report();
+    ASSERT_TRUE(run.ok()) << run.status().toString();
+    EXPECT_GT(run->report.total.utilization(), 0.3);
 }
 
 TEST(Integration, EngineAccuracyTracksSimulatedDeployment)

@@ -108,8 +108,9 @@ TEST_P(SimMonotonicity, MoreImmsNeverSlower)
         cfg.n_imm = imm;
         const uint64_t cycles =
             sim::LutDlaSimulator(cfg).simulateGemm(g).total_cycles;
-        if (!first)
+        if (!first) {
             EXPECT_LE(cycles, prev + 64) << "imm=" << imm << " n=" << n;
+        }
         first = false;
         prev = cycles;
     }
