@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Serving demo: convert a model with LUTBoost, freeze it, and serve it
+ * through the batched multi-threaded inference engine (src/serve/).
+ *
+ * Flow (all through the api:: facade):
+ *   1. Pipeline: pretrain + LUTBoost-convert the mlp-mixture workload and
+ *      freeze BF16 deployment LUTs.
+ *   2. Pipeline::engine(): stand up an InferenceEngine on the converted
+ *      model and serve a burst of requests; verify the engine's answers
+ *      are bit-exact with direct eval-mode model forwards.
+ *   3. Pipeline::engineForWorkload(): load-test serving of a registry
+ *      GEMM trace (lenet) without any trained model.
+ *
+ * Default output is deterministic (safe to diff across runs); pass any
+ * argument (e.g. `--stats`) to also print live latency numbers.
+ *
+ * Build & run:  ./build/examples/serving_demo
+ */
+
+#include <cstdio>
+#include <future>
+#include <vector>
+
+#include "api/lutdla.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace lutdla;
+
+namespace {
+
+Tensor
+randomRows(int64_t rows, int64_t width, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor x(Shape{rows, width});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return x;
+}
+
+} // namespace
+
+int
+main(int argc, char **)
+{
+    const bool live_stats = argc > 1;
+
+    // 1. Convert + freeze via the pipeline facade.
+    lutboost::ConvertOptions opts;
+    opts.pq.v = 4;
+    opts.pq.c = 16;
+    auto builder = api::Pipeline::forWorkload("mlp-mixture")
+                       .pretrain()
+                       .convert(opts)
+                       .deployPrecision(vq::LutPrecision{true, false});
+    auto run = builder.report();
+    if (!run.ok()) {
+        std::fprintf(stderr, "pipeline failed: %s\n",
+                     run.status().toString().c_str());
+        return 1;
+    }
+    std::printf("converted mlp-mixture: float %.3f -> deployed %.3f "
+                "accuracy\n",
+                run->conversion.baseline_accuracy, run->deployed_accuracy);
+
+    // 2. Serve the converted model. autostart=false + one worker makes the
+    //    batch composition deterministic: requests queue up first, then the
+    //    worker drains them in full batches.
+    serve::EngineOptions engine_opts;
+    engine_opts.threads = 1;
+    engine_opts.max_batch = 8;
+    engine_opts.max_wait_us = 2000;
+    engine_opts.queue_capacity = 64;
+    engine_opts.autostart = false;
+    auto engine = api::Pipeline::engine(builder.convertedModel(),
+                                        engine_opts);
+    if (!engine.ok()) {
+        std::fprintf(stderr, "engine failed: %s\n",
+                     engine.status().toString().c_str());
+        return 1;
+    }
+
+    const int64_t kRequests = 24;
+    const Tensor rows = randomRows(kRequests, 16, 7);
+    std::vector<std::future<api::Result<Tensor>>> futures;
+    for (int64_t r = 0; r < kRequests; ++r) {
+        Tensor row(Shape{1, 16});
+        std::copy(rows.data() + r * 16, rows.data() + (r + 1) * 16,
+                  row.data());
+        futures.push_back(engine.value()->submitAsync(std::move(row)));
+    }
+    engine.value()->start();
+
+    // Reference: the same rows through the model's eval forward.
+    const Tensor reference =
+        builder.convertedModel()->forward(rows, /*train=*/false);
+    float max_diff = 0.0f;
+    for (int64_t r = 0; r < kRequests; ++r) {
+        auto result = futures[static_cast<size_t>(r)].get();
+        if (!result.ok()) {
+            std::fprintf(stderr, "request %lld failed: %s\n",
+                         static_cast<long long>(r),
+                         result.status().toString().c_str());
+            return 1;
+        }
+        for (int64_t n = 0; n < result->dim(1); ++n)
+            max_diff = std::max(
+                max_diff,
+                std::abs(result->at(0, n) - reference.at(r, n)));
+    }
+    engine.value()->shutdown();
+    const serve::EngineStats stats = engine.value()->stats();
+
+    Table t("engine vs direct eval forward (mlp-mixture, frozen BF16)",
+            {"requests", "rows", "batches", "avg fill", "max |diff|"});
+    t.addRow({std::to_string(stats.requests), std::to_string(stats.rows),
+              std::to_string(stats.batches),
+              Table::fmt(stats.avgBatchFill(), 1),
+              Table::fmt(max_diff, 6)});
+    t.addNote("max |diff| must be 0: forwardBatch is bit-exact with "
+              "eval-mode forward()");
+    t.print();
+    if (max_diff != 0.0f) {
+        std::fprintf(stderr, "BUG: engine diverged from eval forward\n");
+        return 1;
+    }
+    if (live_stats)
+        std::printf("\n%s\n", stats.summary().c_str());
+
+    // 3. Trace serving: load-test a registry workload, no trained model.
+    vq::PQConfig trace_pq;
+    trace_pq.v = 8;
+    trace_pq.c = 16;
+    serve::EngineOptions trace_opts;
+    trace_opts.threads = 2;
+    trace_opts.max_batch = 32;
+    auto trace_engine =
+        api::Pipeline::engineForWorkload("lenet", trace_pq, trace_opts);
+    if (!trace_engine.ok()) {
+        std::fprintf(stderr, "trace engine failed: %s\n",
+                     trace_engine.status().toString().c_str());
+        return 1;
+    }
+    const int64_t width = trace_engine.value()->model().inputWidth();
+    auto batch = trace_engine.value()->submit(randomRows(16, width, 21));
+    if (!batch.ok()) {
+        std::fprintf(stderr, "trace request failed: %s\n",
+                     batch.status().toString().c_str());
+        return 1;
+    }
+    std::printf("\nlenet trace engine: served [%lld, %lld] -> [%lld, "
+                "%lld] across %lld LUT stages (%.1f KB tables)\n",
+                static_cast<long long>(16), static_cast<long long>(width),
+                static_cast<long long>(batch->dim(0)),
+                static_cast<long long>(batch->dim(1)),
+                static_cast<long long>(
+                    trace_engine.value()->model().numStages()),
+                static_cast<double>(
+                    trace_engine.value()->model().tableBytes()) /
+                    1024.0);
+    return 0;
+}

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Documentation gate for the public surface: every header in src/api/ and
+# src/serve/ must carry a Doxygen file-level comment (@file) and at least
+# one Doxygen block, so the facade docs cannot rot silently. Run from the
+# repo root (CI and ctest both do).
+set -u
+
+fail=0
+for header in src/api/*.h src/serve/*.h; do
+    if ! grep -q '@file' "$header"; then
+        echo "error: $header is missing a Doxygen file-level comment (@file)"
+        fail=1
+    fi
+    if ! grep -q '/\*\*' "$header"; then
+        echo "error: $header has no Doxygen comment blocks (/** ... */)"
+        fail=1
+    fi
+done
+
+# Every public class/struct in those headers must have a doc comment on an
+# adjacent preceding line (allowing template<> between them).
+while IFS=: read -r file line _; do
+    ok=0
+    for back in 1 2 3; do
+        prev=$((line - back))
+        [ "$prev" -lt 1 ] && break
+        text=$(sed -n "${prev}p" "$file")
+        case "$text" in
+          *'*/'*|*'///'*) ok=1; break ;;
+          *template*|*'@}'*) continue ;;
+          *) break ;;
+        esac
+    done
+    if [ "$ok" -eq 0 ]; then
+        echo "error: $file:$line public type lacks a doc comment"
+        fail=1
+    fi
+done < <(grep -nE '^(class|struct|enum class) [A-Za-z]' src/api/*.h src/serve/*.h)
+
+if [ "$fail" -ne 0 ]; then
+    echo "header documentation check FAILED"
+    exit 1
+fi
+echo "header documentation check passed"

@@ -11,6 +11,8 @@
  *   - api::Status / api::Result<T> — typed errors for misconfiguration;
  *   - api::findWorkload / api::registerWorkload — the named-workload
  *     registry bridging the paper's evaluation zoo;
+ *   - api::makeEngine / Pipeline::engine — the batched multi-threaded
+ *     serving layer over frozen LUT models (src/serve/);
  *
  * plus the configuration types callers pass in (ConvertOptions, SimConfig,
  * LutDlaDesign, TrainConfig, LutPrecision) via their home headers.
@@ -21,6 +23,7 @@
 
 #include "api/artifacts.h"
 #include "api/pipeline.h"
+#include "api/serving.h"
 #include "api/status.h"
 #include "api/workload_registry.h"
 

@@ -418,6 +418,20 @@ PipelineBuilder::runTimingStages(RunArtifacts &artifacts)
     return Status();
 }
 
+Result<EngineHandle>
+PipelineBuilder::engine(const serve::EngineOptions &options)
+{
+    Result<RunArtifacts> artifacts = run();
+    if (!artifacts.ok())
+        return artifacts.status();
+    if (!model_)
+        return Status::failedPrecondition(
+            "engine() needs a converted model; configure model()/workload "
+            "with convert() (trace-only runs can serve via "
+            "Pipeline::engineForArtifacts)");
+    return makeEngine(model_, options);
+}
+
 Result<RunArtifacts>
 PipelineBuilder::run()
 {

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "api/artifacts.h"
+#include "api/serving.h"
 #include "api/status.h"
 #include "api/workload_registry.h"
 #include "lutboost/converter.h"
@@ -98,6 +99,14 @@ class PipelineBuilder
     /** Fluent alias for run(), closing the builder chain. */
     Result<RunArtifacts> report() { return run(); }
 
+    /**
+     * Execute all configured stages, then stand up a serving engine on the
+     * converted model (freezing any layer deployPrecision() did not already
+     * freeze). The artifacts of the run are discarded; use run() +
+     * Pipeline::engine() to keep both.
+     */
+    Result<EngineHandle> engine(const serve::EngineOptions &options = {});
+
     /** The model the run operated on (converted in place); null pre-run. */
     const nn::LayerPtr &convertedModel() const { return model_; }
 
@@ -151,6 +160,32 @@ class Pipeline
     forWorkload(const std::string &name)
     {
         return builder().workload(name);
+    }
+
+    // ---- Serving entry points (thin aliases over api/serving.h) ----
+
+    /** Serve a LUTBoost-converted model; see api::makeEngine. */
+    static Result<EngineHandle>
+    engine(const nn::LayerPtr &converted_model,
+           const serve::EngineOptions &options = {})
+    {
+        return makeEngine(converted_model, options);
+    }
+
+    /** Load-test a named workload's trace; see api::makeEngineForWorkload. */
+    static Result<EngineHandle>
+    engineForWorkload(const std::string &name, const vq::PQConfig &pq,
+                      const serve::EngineOptions &options = {})
+    {
+        return makeEngineForWorkload(name, pq, options);
+    }
+
+    /** Replay a previous run's trace; see api::makeEngineForArtifacts. */
+    static Result<EngineHandle>
+    engineForArtifacts(const RunArtifacts &artifacts,
+                       const serve::EngineOptions &options = {})
+    {
+        return makeEngineForArtifacts(artifacts, options);
     }
 };
 

@@ -1,0 +1,70 @@
+#include "api/serving.h"
+
+#include <utility>
+
+#include "api/pipeline.h"
+#include "api/workload_registry.h"
+#include "lutboost/converter.h"
+#include "serve/frozen_model.h"
+
+namespace lutdla::api {
+
+Result<EngineHandle>
+makeEngine(const nn::LayerPtr &model, const serve::EngineOptions &options)
+{
+    // Validate the topology BEFORE freezing anything: a rejected model
+    // must come back to the caller completely unmodified (freezing pins
+    // eval-mode forward() to the inference LUT path).
+    if (Status status = serve::FrozenModel::validateServable(model);
+        !status.ok())
+        return status;
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(model))
+        if (!layer->inferenceLutReady())
+            layer->refreshInferenceLut();
+    Result<serve::FrozenModel> frozen = serve::FrozenModel::fromModel(model);
+    if (!frozen.ok())
+        return frozen.status();
+    return serve::InferenceEngine::create(frozen.take(), options);
+}
+
+Result<EngineHandle>
+makeTraceEngine(const std::vector<sim::GemmShape> &gemms,
+                const vq::PQConfig &pq, const serve::EngineOptions &options,
+                vq::LutPrecision precision, uint64_t seed)
+{
+    if (Status status = validatePqConfig(pq); !status.ok())
+        return status;
+    Result<serve::FrozenModel> frozen =
+        serve::FrozenModel::fromTrace(gemms, pq, precision, seed);
+    if (!frozen.ok())
+        return frozen.status();
+    return serve::InferenceEngine::create(frozen.take(), options);
+}
+
+Result<EngineHandle>
+makeEngineForWorkload(const std::string &workload, const vq::PQConfig &pq,
+                      const serve::EngineOptions &options)
+{
+    Result<WorkloadSpec> spec = findWorkload(workload);
+    if (!spec.ok())
+        return spec.status();
+    if (!spec->network)
+        return Status::failedPrecondition(
+            "workload '" + workload +
+            "' has no GEMM trace to serve; use makeEngine with its "
+            "converted model instead");
+    return makeTraceEngine(spec->network().gemms, pq, options);
+}
+
+Result<EngineHandle>
+makeEngineForArtifacts(const RunArtifacts &artifacts,
+                       const serve::EngineOptions &options)
+{
+    if (artifacts.gemms.empty())
+        return Status::failedPrecondition(
+            "artifacts carry no deployment trace; run a pipeline with "
+            "gemms(), a workload trace, or a converted model first");
+    return makeTraceEngine(artifacts.gemms, artifacts.pq, options);
+}
+
+} // namespace lutdla::api

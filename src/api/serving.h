@@ -1,0 +1,71 @@
+#ifndef LUTDLA_API_SERVING_H
+#define LUTDLA_API_SERVING_H
+
+/**
+ * @file
+ * Facade entry points into the serving layer (src/serve/): build a batched
+ * multi-threaded serve::InferenceEngine from the three things a caller
+ * typically holds — a LUTBoost-converted model, a named registry workload,
+ * or the RunArtifacts of a previous pipeline run. `Pipeline::engine(...)`
+ * and `PipelineBuilder::engine()` forward here; see docs/SERVING.md for the
+ * queueing model and tuning guide.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/artifacts.h"
+#include "api/status.h"
+#include "nn/layer.h"
+#include "serve/engine.h"
+
+namespace lutdla::api {
+
+/** Shared-ownership handle every factory below returns. */
+using EngineHandle = std::shared_ptr<serve::InferenceEngine>;
+
+/**
+ * Build an engine that serves a LUTBoost-converted model. Layers that are
+ * not yet frozen are frozen in place with their current precision (the
+ * same step deployPrecision() performs); the engine then snapshots the
+ * frozen tables, so later mutation of `model` does not affect it.
+ *
+ * @return FailedPrecondition when the model holds no LUT operators,
+ *         InvalidArgument for unsupported topologies or bad options.
+ */
+Result<EngineHandle> makeEngine(const nn::LayerPtr &model,
+                                const serve::EngineOptions &options = {});
+
+/**
+ * Build a load-testing engine from an explicit deployment GEMM trace:
+ * one synthetic frozen LUT layer per traced GEMM (random codebooks and
+ * weights, deterministic in `seed`).
+ */
+Result<EngineHandle>
+makeTraceEngine(const std::vector<sim::GemmShape> &gemms,
+                const vq::PQConfig &pq,
+                const serve::EngineOptions &options = {},
+                vq::LutPrecision precision = {}, uint64_t seed = 91);
+
+/**
+ * Trace engine for a named registry workload ("resnet18", "bert-base",
+ * ...). NotFound for unknown names; FailedPrecondition when the workload
+ * carries no GEMM trace.
+ */
+Result<EngineHandle>
+makeEngineForWorkload(const std::string &workload, const vq::PQConfig &pq,
+                      const serve::EngineOptions &options = {});
+
+/**
+ * Trace engine replaying the deployment trace captured in a previous
+ * run's artifacts, with the run's own PQ geometry. FailedPrecondition
+ * when the artifacts hold no trace.
+ */
+Result<EngineHandle>
+makeEngineForArtifacts(const RunArtifacts &artifacts,
+                       const serve::EngineOptions &options = {});
+
+} // namespace lutdla::api
+
+#endif // LUTDLA_API_SERVING_H

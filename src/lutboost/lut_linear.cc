@@ -99,7 +99,7 @@ LutLinear::forward(const Tensor &x, bool train)
                  "LutLinear expects [rows, ", in_features_, "], got ",
                  shapeStr(x.shape()));
     aux_loss_ = 0.0;
-    last_forward_rows_ = x.dim(0);
+    last_forward_rows_.store(x.dim(0), std::memory_order_relaxed);
 
     if (calibrating_) {
         // Record activations and behave exactly like the float layer so
@@ -309,6 +309,12 @@ LutLinear::refreshInferenceLut()
     infer_lut_ = std::make_unique<vq::LookupTable>(*infer_pq_,
                                                    weight_.value,
                                                    precision_);
+    {
+        // Invalidate any arena built from a previous freeze; the next
+        // serving call rebuilds it from the fresh tables.
+        std::unique_lock<std::mutex> lock(arena_mu_);
+        infer_arena_.reset();
+    }
     use_inference_lut_ = true;
 }
 
@@ -317,7 +323,35 @@ LutLinear::clearInferenceLut()
 {
     infer_pq_.reset();
     infer_lut_.reset();
+    {
+        std::unique_lock<std::mutex> lock(arena_mu_);
+        infer_arena_.reset();
+    }
     use_inference_lut_ = false;
+}
+
+std::shared_ptr<const LutTableArena>
+LutLinear::inferenceArena() const
+{
+    LUTDLA_CHECK(use_inference_lut_ && infer_pq_ && infer_lut_,
+                 "inferenceArena requires refreshInferenceLut() first");
+    std::unique_lock<std::mutex> lock(arena_mu_);
+    if (!infer_arena_)
+        infer_arena_ = std::make_shared<const LutTableArena>(
+            *infer_pq_, *infer_lut_, has_bias_ ? &bias_.value : nullptr,
+            precision_.bf16_similarity);
+    return infer_arena_;
+}
+
+Tensor
+LutLinear::forwardBatch(const Tensor &x) const
+{
+    LUTDLA_CHECK(use_inference_lut_,
+                 "forwardBatch requires refreshInferenceLut() first");
+    LUTDLA_CHECK(x.rank() == 2 && x.dim(1) == in_features_,
+                 "LutLinear::forwardBatch expects [rows, ", in_features_,
+                 "], got ", shapeStr(x.shape()));
+    return inferenceArena()->forwardBatch(x);
 }
 
 } // namespace lutdla::lutboost

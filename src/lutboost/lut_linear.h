@@ -14,8 +14,11 @@
  *           scaled by a penalty ratio.
  */
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 
+#include "lutboost/table_arena.h"
 #include "nn/layer.h"
 #include "nn/linear.h"
 #include "vq/lut.h"
@@ -52,8 +55,20 @@ class LutLinear : public nn::Layer
      * Convolutions reach this layer post-im2col, so for them this is
      * batch x output-pixels — exactly the M of the lowered GEMM, which is
      * how the pipeline facade extracts a deployment trace from a model.
+     *
+     * Contract: this is a *trace probe* for the single-threaded extraction
+     * flow (drive one forward(), then read it). The store/load pair is
+     * atomic so concurrent readers never see a torn value, but the probe is
+     * NOT a per-call result: interleaved forward() calls from several
+     * threads leave whichever row count was stored last. forwardBatch()
+     * deliberately never updates it — batched callers take the row count
+     * from the returned tensor (`result.dim(0)`) instead.
      */
-    int64_t lastForwardRows() const { return last_forward_rows_; }
+    int64_t
+    lastForwardRows() const
+    {
+        return last_forward_rows_.load(std::memory_order_relaxed);
+    }
     const vq::PQConfig &pqConfig() const { return pq_config_; }
     int64_t numSubspaces() const { return num_subspaces_; }
 
@@ -92,6 +107,36 @@ class LutLinear : public nn::Layer
     void refreshInferenceLut();
     void clearInferenceLut();
 
+    /** True once refreshInferenceLut() has frozen the inference tables. */
+    bool inferenceLutReady() const { return use_inference_lut_; }
+
+    /** Precision the inference LUT was (or will be) frozen with. */
+    const vq::LutPrecision &precision() const { return precision_; }
+
+    /**
+     * Batched frozen-LUT inference through the flat table arena.
+     *
+     * Bit-exact with calling eval-mode forward() row by row on a frozen
+     * layer, but row-blocked so table banks stay cache-resident across the
+     * batch. Thread-safe: const, touches only the immutable arena, and does
+     * not update lastForwardRows() or auxLoss(). Requires
+     * refreshInferenceLut() first (panics otherwise — serving code guards
+     * this via inferenceLutReady()).
+     */
+    Tensor forwardBatch(const Tensor &x) const;
+
+    /**
+     * Shared handle to the frozen arena; panics before
+     * refreshInferenceLut(). Built lazily on first use (forwardBatch or
+     * this accessor), so freeze-only flows — deployPrecision accuracy
+     * evals that never serve — pay no extra table memory. The serving
+     * layer aliases the returned pointer, so an engine keeps working even
+     * if the layer is later re-trained or re-frozen. Safe to call
+     * concurrently with forwardBatch(); NOT safe concurrently with
+     * refreshInferenceLut()/clearInferenceLut().
+     */
+    std::shared_ptr<const LutTableArena> inferenceArena() const;
+
   private:
     /** Copy the padded subvector for subspace `s` of `row` into `out`. */
     void extractSub(const float *row, int64_t s, float *out) const;
@@ -115,7 +160,7 @@ class LutLinear : public nn::Layer
 
     double recon_penalty_ = 0.0;
     double aux_loss_ = 0.0;
-    int64_t last_forward_rows_ = 0;
+    std::atomic<int64_t> last_forward_rows_{0};
 
     // Training caches.
     Tensor cached_input_;
@@ -129,11 +174,15 @@ class LutLinear : public nn::Layer
     std::vector<float> calib_rows_;
     int64_t calib_count_ = 0;
 
-    // Inference LUT.
+    // Inference LUT (reference path) + flat arena (batched path). The
+    // arena duplicates the frozen tables in serving layout, so it is
+    // built lazily under arena_mu_ the first time serving asks for it.
     vq::LutPrecision precision_;
     bool use_inference_lut_ = false;
     std::unique_ptr<vq::ProductQuantizer> infer_pq_;
     std::unique_ptr<vq::LookupTable> infer_lut_;
+    mutable std::mutex arena_mu_;
+    mutable std::shared_ptr<const LutTableArena> infer_arena_;
 };
 
 } // namespace lutdla::lutboost

@@ -1,0 +1,276 @@
+#include "lutboost/table_arena.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "vq/quant.h"
+
+namespace lutdla::lutboost {
+
+LutTableArena::LutTableArena(const vq::ProductQuantizer &pq,
+                             const vq::LookupTable &lut, const Tensor *bias,
+                             bool bf16_inputs)
+    : in_features_(pq.featureDim()),
+      out_features_(lut.outDim()),
+      subvector_len_(pq.config().v),
+      num_centroids_(pq.config().c),
+      num_subspaces_(pq.numSubspaces()),
+      metric_(pq.config().metric),
+      bf16_inputs_(bf16_inputs),
+      has_bias_(bias != nullptr)
+{
+    LUTDLA_CHECK(pq.trained(), "arena needs a trained quantizer");
+    LUTDLA_CHECK(lut.numSubspaces() == num_subspaces_ &&
+                     lut.numCentroids() == num_centroids_,
+                 "quantizer/table geometry mismatch in LutTableArena");
+    if (bias)
+        LUTDLA_CHECK(bias->numel() == out_features_,
+                     "bias width ", bias->numel(), " != N ", out_features_);
+
+    const size_t codebook_floats = static_cast<size_t>(
+        num_subspaces_ * num_centroids_ * subvector_len_);
+    const size_t table_floats = static_cast<size_t>(
+        num_subspaces_ * num_centroids_ * out_features_);
+    table_offset_ = codebook_floats;
+    bias_offset_ = codebook_floats + table_floats;
+    data_.resize(bias_offset_ +
+                 (has_bias_ ? static_cast<size_t>(out_features_) : 0));
+
+    // Codebooks land transposed ([v, c] per subspace): the encode kernel
+    // walks centroids contiguously for a fixed subvector element.
+    for (int64_t s = 0; s < num_subspaces_; ++s) {
+        const Tensor &cb = pq.codebook(s);
+        float *dst = data_.data() + s * num_centroids_ * subvector_len_;
+        for (int64_t j = 0; j < num_centroids_; ++j)
+            for (int64_t t = 0; t < subvector_len_; ++t)
+                dst[t * num_centroids_ + j] = cb.at(j, t);
+    }
+    const Tensor &table = lut.table();
+    std::copy(table.data(), table.data() + table.numel(),
+              data_.data() + table_offset_);
+    if (has_bias_)
+        std::copy(bias->data(), bias->data() + out_features_,
+                  data_.data() + bias_offset_);
+}
+
+namespace {
+
+/**
+ * Distances from one subvector to EVERY centroid of a transposed [v, c]
+ * codebook, written into `d[c]`. For a fixed centroid j the elementwise
+ * terms accumulate in ascending t order — exactly the order
+ * vq::l2Squared / l1 / chebyshev use — so each d[j] is bit-identical to
+ * the reference distance, and the ascending-j argmin scan below inherits
+ * vq::argminCentroid's lower-index tie-break. The transposed layout makes
+ * the inner loop contiguous over centroids, which is what lets it
+ * vectorize; per-centroid scalar chains are latency-bound instead.
+ */
+template <vq::Metric M>
+inline void
+distanceAll(const float *__restrict__ sub, const float *__restrict__ cbt,
+            int64_t c, int64_t v, float *__restrict__ d)
+{
+    for (int64_t j = 0; j < c; ++j)
+        d[j] = 0.0f;
+    for (int64_t t = 0; t < v; ++t) {
+        const float a = sub[t];
+        const float *__restrict__ row = cbt + t * c;
+        if constexpr (M == vq::Metric::L2) {
+            for (int64_t j = 0; j < c; ++j) {
+                const float diff = a - row[j];
+                d[j] += diff * diff;
+            }
+        } else if constexpr (M == vq::Metric::L1) {
+            for (int64_t j = 0; j < c; ++j)
+                d[j] += std::fabs(a - row[j]);
+        } else {
+            for (int64_t j = 0; j < c; ++j)
+                d[j] = std::max(d[j], std::fabs(a - row[j]));
+        }
+    }
+}
+
+inline int32_t
+argminScan(const float *__restrict__ d, int64_t c)
+{
+    int32_t best = 0;
+    float best_dist = d[0];
+    for (int64_t j = 1; j < c; ++j) {
+        if (d[j] < best_dist) {
+            best_dist = d[j];
+            best = static_cast<int32_t>(j);
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+template <vq::Metric M>
+void
+LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
+                              int32_t *codes) const
+{
+    const int64_t v = subvector_len_, c = num_centroids_;
+    // Subspace-outer: one ~c*v-float codebook stays L1-resident across the
+    // whole batch instead of streaming every codebook for every row. All
+    // subspaces except possibly the last read the row in place; the ragged
+    // tail is zero-padded into a scratch buffer, exactly like
+    // ProductQuantizer::extractSubvector.
+    const int64_t full_subspaces =
+        in_features_ % v == 0 ? num_subspaces_ : num_subspaces_ - 1;
+    std::vector<float> tail(static_cast<size_t>(v), 0.0f);
+    std::vector<float> dist(static_cast<size_t>(c));
+    for (int64_t s = 0; s < full_subspaces; ++s) {
+        const float *cbt = codebookT(s);
+        for (int64_t i = 0; i < rows; ++i) {
+            distanceAll<M>(x + i * in_features_ + s * v, cbt, c, v,
+                           dist.data());
+            codes[i * num_subspaces_ + s] = argminScan(dist.data(), c);
+        }
+    }
+    for (int64_t s = full_subspaces; s < num_subspaces_; ++s) {
+        const float *cbt = codebookT(s);
+        const int64_t base = s * v;
+        for (int64_t i = 0; i < rows; ++i) {
+            const float *row = x + i * in_features_;
+            for (int64_t t = 0; t < v; ++t) {
+                const int64_t k = base + t;
+                tail[static_cast<size_t>(t)] =
+                    k < in_features_ ? row[k] : 0.0f;
+            }
+            distanceAll<M>(tail.data(), cbt, c, v, dist.data());
+            codes[i * num_subspaces_ + s] = argminScan(dist.data(), c);
+        }
+    }
+}
+
+void
+LutTableArena::encodeRows(const float *x, int64_t rows, int32_t *codes) const
+{
+    switch (metric_) {
+      case vq::Metric::L2:
+        encodeRowsImpl<vq::Metric::L2>(x, rows, codes);
+        return;
+      case vq::Metric::L1:
+        encodeRowsImpl<vq::Metric::L1>(x, rows, codes);
+        return;
+      case vq::Metric::Chebyshev:
+        encodeRowsImpl<vq::Metric::Chebyshev>(x, rows, codes);
+        return;
+    }
+}
+
+void
+LutTableArena::forwardBatch(const float *x, int64_t rows, float *y) const
+{
+    const int64_t n = out_features_;
+    std::vector<int32_t> codes;
+    std::vector<float> rounded;  // BF16 staging, reused across blocks
+
+    for (int64_t b0 = 0; b0 < rows; b0 += kRowBlock) {
+        const int64_t bn = std::min(kRowBlock, rows - b0);
+        const float *xb = x + b0 * in_features_;
+
+        if (bf16_inputs_) {
+            rounded.assign(xb, xb + bn * in_features_);
+            for (float &value : rounded)
+                value = vq::toBf16(value);
+            xb = rounded.data();
+        }
+
+        codes.resize(static_cast<size_t>(bn * num_subspaces_));
+        encodeRows(xb, bn, codes.data());
+
+        float *yb = y + b0 * n;
+        std::fill(yb, yb + bn * n, 0.0f);
+
+        // Every path accumulates each output element's partial sums in
+        // ascending subspace order into a zero-initialized accumulator —
+        // float addition is never reassociated without -ffast-math — so
+        // the result matches the reference row-major path bit for bit.
+        if (bn >= kTileMinRows)
+            sweepBlockGrouped(codes.data(), bn, yb);
+        else
+            sweepBlockSimple(codes.data(), bn, yb);
+
+        if (has_bias_) {
+            const float *__restrict__ bias = biasPtr();
+            for (int64_t r = 0; r < bn; ++r) {
+                float *__restrict__ yr = yb + r * n;
+                for (int64_t col = 0; col < n; ++col)
+                    yr[col] += bias[col];
+            }
+        }
+    }
+}
+
+void
+LutTableArena::sweepBlockSimple(const int32_t *codes, int64_t bn,
+                                float *yb) const
+{
+    // Row-major reference shape: best for tiny batches, where the output
+    // row lives in L1 and each table entry is one contiguous stream.
+    const int64_t n = out_features_;
+    for (int64_t r = 0; r < bn; ++r) {
+        const int32_t *rcodes = codes + r * num_subspaces_;
+        float *__restrict__ yr = yb + r * n;
+        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            const float *__restrict__ psum = entry(s, rcodes[s]);
+            for (int64_t col = 0; col < n; ++col)
+                yr[col] += psum[col];
+        }
+    }
+}
+
+void
+LutTableArena::sweepBlockGrouped(const int32_t *codes, int64_t bn,
+                                 float *yb) const
+{
+    // Subspace-group-major: kSubspaceGroup table banks stay hot across the
+    // whole row block, and each group folds its partial sums into the
+    // output slab in ONE sweep, dividing y-slab read/write traffic by the
+    // group size. Entry rows are read contiguously (prefetch-friendly
+    // 4*N-byte streams) — column-tiled variants defeat the hardware
+    // prefetcher and measure far slower despite touching fewer bytes.
+    const int64_t n = out_features_;
+    constexpr int64_t G = kSubspaceGroup;
+    for (int64_t s0 = 0; s0 < num_subspaces_; s0 += G) {
+        const int64_t g = std::min<int64_t>(G, num_subspaces_ - s0);
+        for (int64_t r = 0; r < bn; ++r) {
+            const int32_t *rcodes = codes + r * num_subspaces_;
+            float *__restrict__ yr = yb + r * n;
+            if (g == G) {
+                const float *__restrict__ p[G];
+                for (int64_t gi = 0; gi < G; ++gi)
+                    p[gi] = entry(s0 + gi, rcodes[s0 + gi]);
+                for (int64_t col = 0; col < n; ++col) {
+                    float acc = yr[col];
+                    for (int64_t gi = 0; gi < G; ++gi)
+                        acc += p[gi][col];
+                    yr[col] = acc;
+                }
+            } else {
+                for (int64_t gi = 0; gi < g; ++gi) {
+                    const float *__restrict__ psum =
+                        entry(s0 + gi, rcodes[s0 + gi]);
+                    for (int64_t col = 0; col < n; ++col)
+                        yr[col] += psum[col];
+                }
+            }
+        }
+    }
+}
+
+Tensor
+LutTableArena::forwardBatch(const Tensor &x) const
+{
+    LUTDLA_CHECK(x.rank() == 2 && x.dim(1) == in_features_,
+                 "LutTableArena expects [rows, ", in_features_, "], got ",
+                 shapeStr(x.shape()));
+    Tensor y(Shape{x.dim(0), out_features_});
+    forwardBatch(x.data(), x.dim(0), y.data());
+    return y;
+}
+
+} // namespace lutdla::lutboost

@@ -1,0 +1,157 @@
+#ifndef LUTDLA_LUTBOOST_TABLE_ARENA_H
+#define LUTDLA_LUTBOOST_TABLE_ARENA_H
+
+/**
+ * @file
+ * LutTableArena: one frozen LUT layer packed into a single contiguous
+ * allocation — per-subspace codebooks, the precomputed PSum table, and the
+ * bias, in that order — plus the row-blocked batched inference kernel that
+ * runs on it.
+ *
+ * Rationale: LutLinear's training-time state scatters the tables the
+ * inference path needs across several heap objects (one Tensor per codebook
+ * inside ProductQuantizer, a separate table Tensor inside LookupTable, the
+ * bias parameter). Serving wants the opposite: everything the gather loop
+ * touches in one flat arena so a batch of rows sweeps each subspace's table
+ * bank while it is hot in L1/L2, instead of chasing per-layer allocations
+ * row by row. The arena is immutable after construction, which is what
+ * makes `forwardBatch` safe to call from many threads at once.
+ *
+ * Numerics contract: `forwardBatch` is bit-exact with the reference
+ * eval-mode path in LutLinear::forward (encode with the same
+ * argminCentroid, accumulate partial sums in ascending subspace order into
+ * a zero-initialized output, add the bias last). Tests enforce this.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "vq/distance.h"
+#include "vq/lut.h"
+#include "vq/pq.h"
+
+namespace lutdla::lutboost {
+
+/** One frozen LUT layer in a single flat allocation. Immutable. */
+class LutTableArena
+{
+  public:
+    /**
+     * Pack a trained quantizer + precomputed lookup table (+ optional bias)
+     * into the arena.
+     *
+     * @param pq          Trained quantizer; codebooks are copied as-is, so
+     *                    any BF16 rounding must already be applied.
+     * @param lut         Precomputed PSum table over the same quantizer
+     *                    (already INT8-round-tripped when requested).
+     * @param bias        Optional [N] bias added after accumulation; may be
+     *                    null.
+     * @param bf16_inputs When true, input rows are rounded to BF16 before
+     *                    encoding, mirroring LutPrecision::bf16_similarity.
+     */
+    LutTableArena(const vq::ProductQuantizer &pq, const vq::LookupTable &lut,
+                  const Tensor *bias, bool bf16_inputs);
+
+    /** Input width K this layer consumes. */
+    int64_t inFeatures() const { return in_features_; }
+
+    /** Output width N this layer produces. */
+    int64_t outFeatures() const { return out_features_; }
+
+    /** Number of subspaces Nc = ceil(K / v). */
+    int64_t numSubspaces() const { return num_subspaces_; }
+
+    /** Centroids per codebook c. */
+    int64_t numCentroids() const { return num_centroids_; }
+
+    /** Subvector length v. */
+    int64_t subvectorLen() const { return subvector_len_; }
+
+    /** True when inputs are rounded to BF16 before encoding. */
+    bool bf16Inputs() const { return bf16_inputs_; }
+
+    /** True when a bias row is packed into the arena. */
+    bool hasBias() const { return has_bias_; }
+
+    /** Total arena footprint in bytes (codebooks + table + bias). */
+    int64_t sizeBytes() const
+    {
+        return static_cast<int64_t>(data_.size() * sizeof(float));
+    }
+
+    /**
+     * Encode `rows` rows of `x` (each `inFeatures()` wide, already
+     * BF16-rounded when the arena demands it) into `codes` ([rows, Nc],
+     * row-major). Thread-safe.
+     */
+    void encodeRows(const float *x, int64_t rows, int32_t *codes) const;
+
+    /**
+     * Batched lookup-accumulate: y[rows, N] = gather(x) + bias.
+     *
+     * Rows are processed in blocks (kRowBlock) and, within a block, the
+     * accumulation walks subspace-major so one codebook's table bank stays
+     * cache-resident across the whole block. Thread-safe; `x` and `y` must
+     * not alias.
+     */
+    void forwardBatch(const float *x, int64_t rows, float *y) const;
+
+    /** Tensor-typed convenience wrapper over the raw kernel. */
+    Tensor forwardBatch(const Tensor &x) const;
+
+    /** Rows per internal block of the batched kernel. */
+    static constexpr int64_t kRowBlock = 256;
+
+    /** Subspace banks folded per output-slab sweep in the grouped path. */
+    static constexpr int64_t kSubspaceGroup = 8;
+
+    /** Minimum block rows before the grouped sweep beats the simple one. */
+    static constexpr int64_t kTileMinRows = 8;
+
+  private:
+    template <vq::Metric M>
+    void encodeRowsImpl(const float *x, int64_t rows, int32_t *codes) const;
+
+    /** Row-major accumulate: optimal for tiny batches. */
+    void sweepBlockSimple(const int32_t *codes, int64_t bn, float *yb) const;
+
+    /** Grouped-subspace accumulate: optimal for real batches. */
+    void sweepBlockGrouped(const int32_t *codes, int64_t bn,
+                           float *yb) const;
+
+    /**
+     * Codebook of subspace `s`, stored TRANSPOSED as [v, c] so the encode
+     * kernel's inner loop runs contiguously over centroids (SIMD-friendly)
+     * instead of strided over subvector elements.
+     */
+    const float *
+    codebookT(int64_t s) const
+    {
+        return data_.data() + s * num_centroids_ * subvector_len_;
+    }
+    const float *
+    entry(int64_t s, int64_t j) const
+    {
+        return data_.data() + table_offset_ +
+               (s * num_centroids_ + j) * out_features_;
+    }
+    const float *biasPtr() const { return data_.data() + bias_offset_; }
+
+    int64_t in_features_;
+    int64_t out_features_;
+    int64_t subvector_len_;
+    int64_t num_centroids_;
+    int64_t num_subspaces_;
+    vq::Metric metric_;
+    bool bf16_inputs_;
+    bool has_bias_;
+    size_t table_offset_;
+    size_t bias_offset_;
+    std::vector<float> data_;  ///< [codebooks | psum table | bias]
+};
+
+} // namespace lutdla::lutboost
+
+#endif // LUTDLA_LUTBOOST_TABLE_ARENA_H

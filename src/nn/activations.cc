@@ -36,12 +36,16 @@ namespace {
 
 constexpr float kGeluC = 0.7978845608f;  // sqrt(2/pi)
 
+} // namespace
+
 float
 geluForward(float x)
 {
     const float inner = kGeluC * (x + 0.044715f * x * x * x);
     return 0.5f * x * (1.0f + std::tanh(inner));
 }
+
+namespace {
 
 float
 geluGrad(float x)

@@ -12,6 +12,13 @@
 
 namespace lutdla::nn {
 
+/**
+ * Scalar tanh-approximation GELU (as in BERT). Exposed so the serving
+ * layer's frozen post-ops reuse the exact same math as GELU::forward —
+ * the engine's bit-exactness contract depends on a single definition.
+ */
+float geluForward(float x);
+
 /** max(0, x). */
 class ReLU : public Layer
 {

@@ -1,0 +1,266 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <utility>
+
+namespace lutdla::serve {
+
+using Clock = std::chrono::steady_clock;
+
+api::Result<std::shared_ptr<InferenceEngine>>
+InferenceEngine::create(FrozenModel model, const EngineOptions &options)
+{
+    if (options.threads < 0 || options.threads > 1024)
+        return api::Status::invalidArgument(
+            "threads must be in [0, 1024] (got " +
+            std::to_string(options.threads) + ")");
+    if (options.max_batch < 1 || options.max_batch > 65536)
+        return api::Status::invalidArgument(
+            "max_batch must be in [1, 65536] (got " +
+            std::to_string(options.max_batch) + ")");
+    if (options.max_wait_us < 0)
+        return api::Status::invalidArgument(
+            "max_wait_us must be >= 0 (got " +
+            std::to_string(options.max_wait_us) + ")");
+    if (options.queue_capacity < 1)
+        return api::Status::invalidArgument(
+            "queue_capacity must be >= 1 (got " +
+            std::to_string(options.queue_capacity) + ")");
+    if (model.numStages() == 0)
+        return api::Status::failedPrecondition(
+            "cannot serve an empty model");
+    return std::make_shared<InferenceEngine>(std::move(model), options);
+}
+
+InferenceEngine::InferenceEngine(FrozenModel model,
+                                 const EngineOptions &options)
+    : model_(std::move(model)), options_(options),
+      queue_(static_cast<size_t>(options.queue_capacity)),
+      batch_fill_(static_cast<size_t>(options.max_batch) + 1, 0)
+{
+    if (options_.threads == 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        options_.threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    if (options_.autostart)
+        start();
+}
+
+InferenceEngine::~InferenceEngine()
+{
+    shutdown();
+}
+
+void
+InferenceEngine::start()
+{
+    std::unique_lock<std::mutex> lock(lifecycle_mu_);
+    if (started_ || shut_down_)
+        return;
+    started_ = true;
+    workers_.reserve(static_cast<size_t>(options_.threads));
+    for (int i = 0; i < options_.threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+InferenceEngine::shutdown()
+{
+    {
+        std::unique_lock<std::mutex> lock(lifecycle_mu_);
+        if (shut_down_)
+            return;
+        shut_down_ = true;
+    }
+    queue_.close();
+    for (std::thread &worker : workers_)
+        worker.join();
+    workers_.clear();
+    // Never-started engines still owe answers for whatever was queued.
+    failRemaining();
+}
+
+void
+InferenceEngine::failRemaining()
+{
+    while (auto request = queue_.tryPop())
+        request->promise.set_value(api::Status::failedPrecondition(
+            "engine shut down before this request was served"));
+}
+
+std::future<api::Result<Tensor>>
+InferenceEngine::submitAsync(Tensor rows)
+{
+    std::promise<api::Result<Tensor>> promise;
+    std::future<api::Result<Tensor>> future = promise.get_future();
+
+    api::Status status;
+    if (rows.rank() != 2 ||
+        rows.dim(1) != model_.inputWidth())
+        status = api::Status::invalidArgument(
+            "request must be [rows, " +
+            std::to_string(model_.inputWidth()) + "], got " +
+            shapeStr(rows.shape()));
+    else if (rows.dim(0) < 1)
+        status = api::Status::invalidArgument(
+            "request must carry at least one row");
+    else if (rows.dim(0) > options_.max_batch)
+        status = api::Status::invalidArgument(
+            "request of " + std::to_string(rows.dim(0)) +
+            " rows exceeds max_batch " +
+            std::to_string(options_.max_batch) + "; split it");
+    bool workers_running = false;
+    {
+        std::unique_lock<std::mutex> lock(lifecycle_mu_);
+        if (status.ok() && shut_down_)
+            status = api::Status::failedPrecondition(
+                "engine is shut down; create a new one");
+        workers_running = started_;
+    }
+    if (!status.ok()) {
+        {
+            std::unique_lock<std::mutex> lock(stats_mu_);
+            rejected_++;
+        }
+        promise.set_value(status);
+        return future;
+    }
+
+    Request request;
+    request.rows = rows.dim(0);
+    request.input = std::move(rows);
+    request.promise = std::move(promise);
+    request.enqueued = Clock::now();
+    {
+        std::unique_lock<std::mutex> lock(stats_mu_);
+        if (!saw_first_submit_) {
+            saw_first_submit_ = true;
+            first_submit_ = request.enqueued;
+        }
+    }
+    // With no workers running (autostart=false, before start()), a full
+    // queue can never drain, so blocking for space would deadlock the
+    // submitter forever — fail fast instead.
+    const bool pushed = workers_running ? queue_.push(std::move(request))
+                                        : queue_.tryPush(std::move(request));
+    if (!pushed) {
+        // The request (and its promise) was dropped by the queue; answer
+        // through a fresh pair.
+        std::promise<api::Result<Tensor>> failed_promise;
+        future = failed_promise.get_future();
+        failed_promise.set_value(api::Status::failedPrecondition(
+            workers_running
+                ? "engine shut down while the request was waiting for "
+                  "queue space"
+                : "request queue is full and no workers are running; "
+                  "call start() or raise queue_capacity"));
+        std::unique_lock<std::mutex> lock(stats_mu_);
+        rejected_++;
+    }
+    return future;
+}
+
+api::Result<Tensor>
+InferenceEngine::submit(const Tensor &rows)
+{
+    return submitAsync(rows).get();
+}
+
+void
+InferenceEngine::workerLoop()
+{
+    while (true) {
+        auto first = queue_.pop();
+        if (!first)
+            return;  // closed and drained
+        std::vector<Request> batch;
+        int64_t rows = first->rows;
+        batch.push_back(std::move(*first));
+        const auto deadline =
+            Clock::now() + std::chrono::microseconds(options_.max_wait_us);
+        while (rows < options_.max_batch) {
+            const auto remaining = deadline - Clock::now();
+            if (remaining <= Clock::duration::zero())
+                break;
+            auto next = queue_.popIf(remaining, [&](const Request &r) {
+                return rows + r.rows <= options_.max_batch;
+            });
+            if (!next)
+                break;  // timeout, over-budget front, or drained
+            rows += next->rows;
+            batch.push_back(std::move(*next));
+        }
+        runBatch(batch, rows);
+    }
+}
+
+void
+InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows)
+{
+    const int64_t in_width = model_.inputWidth();
+    Tensor packed(Shape{rows, in_width});
+    int64_t offset = 0;
+    for (const Request &request : batch) {
+        std::memcpy(packed.data() + offset * in_width,
+                    request.input.data(),
+                    static_cast<size_t>(request.rows * in_width) *
+                        sizeof(float));
+        offset += request.rows;
+    }
+
+    const Tensor output = model_.forwardBatch(packed);
+    const int64_t out_width = output.dim(1);
+    const auto done = Clock::now();
+
+    // Record stats BEFORE fulfilling promises: a caller woken by its
+    // future must already see this batch reflected in stats().
+    {
+        std::unique_lock<std::mutex> lock(stats_mu_);
+        requests_ += batch.size();
+        rows_ += static_cast<uint64_t>(rows);
+        batches_++;
+        batch_fill_[static_cast<size_t>(
+            std::min<int64_t>(rows, options_.max_batch))]++;
+        for (const Request &request : batch)
+            latency_.record(static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    done - request.enqueued)
+                    .count()));
+        last_done_ = done;
+    }
+
+    offset = 0;
+    for (Request &request : batch) {
+        Tensor slice(Shape{request.rows, out_width});
+        std::memcpy(slice.data(), output.data() + offset * out_width,
+                    static_cast<size_t>(request.rows * out_width) *
+                        sizeof(float));
+        offset += request.rows;
+        request.promise.set_value(std::move(slice));
+    }
+}
+
+EngineStats
+InferenceEngine::stats() const
+{
+    std::unique_lock<std::mutex> lock(stats_mu_);
+    EngineStats out;
+    out.requests = requests_;
+    out.rows = rows_;
+    out.batches = batches_;
+    out.rejected = rejected_;
+    out.batch_fill = batch_fill_;
+    out.mean_latency_us = latency_.meanMicros();
+    out.p50_latency_us = latency_.percentileMicros(50.0);
+    out.p99_latency_us = latency_.percentileMicros(99.0);
+    if (saw_first_submit_ && batches_ > 0)
+        out.wall_seconds =
+            std::chrono::duration<double>(last_done_ - first_submit_)
+                .count();
+    return out;
+}
+
+} // namespace lutdla::serve

@@ -1,0 +1,151 @@
+#ifndef LUTDLA_SERVE_ENGINE_H
+#define LUTDLA_SERVE_ENGINE_H
+
+/**
+ * @file
+ * InferenceEngine: batched multi-threaded serving on top of a FrozenModel.
+ *
+ * Once LUTBoost freezes a model, inference is pure table-gather-and-
+ * accumulate — an embarrassingly batchable workload. The engine exploits
+ * that with a bounded MPMC request queue and a worker pool that performs
+ * dynamic batching: a worker opens a batch with the first request it pops,
+ * then keeps admitting requests until the batch holds `max_batch` rows or
+ * `max_wait_us` has elapsed since the batch opened, whichever comes first.
+ * The coalesced rows run through the row-blocked arena kernel
+ * (LutTableArena::forwardBatch), which is where the throughput comes from:
+ * each subspace's table bank is loaded into cache once per batch instead of
+ * once per row.
+ *
+ * Request lifecycle: submitAsync() validates, stamps, and enqueues the
+ * request (blocking for backpressure when the queue is full) and returns a
+ * future; a worker later fulfills the promise with the [rows, outputWidth]
+ * result or a typed api::Status. submit() is the blocking convenience
+ * wrapper. Every error is data — the engine never panics on a bad request.
+ *
+ * Shutdown contract: shutdown() refuses new submissions, lets workers
+ * drain everything already queued, then joins them; every accepted request
+ * still gets its result. The destructor calls shutdown().
+ */
+
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/status.h"
+#include "serve/frozen_model.h"
+#include "serve/request_queue.h"
+#include "serve/stats.h"
+#include "tensor/tensor.h"
+
+namespace lutdla::serve {
+
+/** Engine tuning knobs; see docs/SERVING.md for the tuning guide. */
+struct EngineOptions
+{
+    /** Worker threads; 0 means std::thread::hardware_concurrency(). */
+    int threads = 0;
+    /** Max rows per executed batch (also the per-request row cap). */
+    int64_t max_batch = 64;
+    /** Max microseconds a batch waits for more rows after it opens. */
+    int64_t max_wait_us = 200;
+    /** Bounded request-queue capacity (requests, not rows). */
+    int64_t queue_capacity = 256;
+    /**
+     * Spawn workers in the constructor. Turn off to pre-fill the queue and
+     * then start() — deterministic batch composition, used by tests and
+     * the serving demo. While workers are not running, submissions beyond
+     * queue_capacity fail fast with FailedPrecondition instead of
+     * blocking (nothing could ever drain the queue).
+     */
+    bool autostart = true;
+};
+
+/** Batched multi-threaded inference engine over a frozen LUT model. */
+class InferenceEngine
+{
+  public:
+    /**
+     * Validate options and build an engine. InvalidArgument on nonsense
+     * knobs (threads < 0, max_batch < 1, ...). The returned engine is
+     * ready for submissions (workers already running when autostart).
+     */
+    static api::Result<std::shared_ptr<InferenceEngine>>
+    create(FrozenModel model, const EngineOptions &options = {});
+
+    /** Prefer create(); this constructor trusts `options` blindly. */
+    InferenceEngine(FrozenModel model, const EngineOptions &options);
+
+    InferenceEngine(const InferenceEngine &) = delete;
+    InferenceEngine &operator=(const InferenceEngine &) = delete;
+
+    /** Graceful shutdown() — accepted requests are always answered. */
+    ~InferenceEngine();
+
+    /** Spawn the worker pool; idempotent; no-op after shutdown(). */
+    void start();
+
+    /**
+     * Refuse new submissions, drain queued work, join workers. Idempotent.
+     * If the engine was never start()ed, queued requests are failed with
+     * FailedPrecondition instead of hanging.
+     */
+    void shutdown();
+
+    /**
+     * Serve one request of [rows, inputWidth()] and block for the result.
+     * Errors come back as statuses: InvalidArgument for zero rows, width
+     * mismatch, or rows > max_batch; FailedPrecondition after shutdown().
+     */
+    api::Result<Tensor> submit(const Tensor &rows);
+
+    /** Fire-and-wait-later variant of submit(). */
+    std::future<api::Result<Tensor>> submitAsync(Tensor rows);
+
+    /** Consistent snapshot of the lifetime serving statistics. */
+    EngineStats stats() const;
+
+    /** The frozen model being served. */
+    const FrozenModel &model() const { return model_; }
+
+    /** The options the engine runs with. */
+    const EngineOptions &options() const { return options_; }
+
+  private:
+    struct Request
+    {
+        Tensor input;
+        std::promise<api::Result<Tensor>> promise;
+        std::chrono::steady_clock::time_point enqueued;
+        int64_t rows = 0;
+    };
+
+    void workerLoop();
+    void runBatch(std::vector<Request> &batch, int64_t rows);
+    void failRemaining();
+
+    FrozenModel model_;
+    EngineOptions options_;
+    BoundedQueue<Request> queue_;
+
+    std::mutex lifecycle_mu_;
+    std::vector<std::thread> workers_;
+    bool started_ = false;
+    bool shut_down_ = false;
+
+    mutable std::mutex stats_mu_;
+    uint64_t requests_ = 0;
+    uint64_t rows_ = 0;
+    uint64_t batches_ = 0;
+    uint64_t rejected_ = 0;
+    std::vector<uint64_t> batch_fill_;
+    LatencyHistogram latency_;
+    bool saw_first_submit_ = false;
+    std::chrono::steady_clock::time_point first_submit_;
+    std::chrono::steady_clock::time_point last_done_;
+};
+
+} // namespace lutdla::serve
+
+#endif // LUTDLA_SERVE_ENGINE_H

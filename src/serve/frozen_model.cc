@@ -1,0 +1,243 @@
+#include "serve/frozen_model.h"
+
+#include <cmath>
+#include <string>
+
+#include "lutboost/lut_linear.h"
+#include "nn/activations.h"
+#include "nn/sequential.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "vq/quant.h"
+
+namespace lutdla::serve {
+
+namespace {
+
+/** Depth-first, in-order flattening of Sequential containers. */
+void
+flattenLayers(const nn::LayerPtr &layer, std::vector<nn::Layer *> &out)
+{
+    if (auto *seq = dynamic_cast<nn::Sequential *>(layer.get())) {
+        for (int64_t i = 0; i < seq->size(); ++i)
+            flattenLayers(seq->child(i), out);
+        return;
+    }
+    out.push_back(layer.get());
+}
+
+void
+applyPost(Tensor &t, PostOp op)
+{
+    switch (op) {
+      case PostOp::None:
+        return;
+      case PostOp::Relu:
+        for (int64_t i = 0; i < t.numel(); ++i)
+            if (!(t.at(i) > 0.0f))
+                t.at(i) = 0.0f;
+        return;
+      case PostOp::Gelu:
+        // nn::geluForward IS the eval-path function — sharing the
+        // definition is what keeps the bit-exactness contract honest.
+        for (int64_t i = 0; i < t.numel(); ++i)
+            t.at(i) = nn::geluForward(t.at(i));
+        return;
+    }
+}
+
+/** Cyclic column replication used only by trace-synthesized models. */
+Tensor
+adaptWidth(const Tensor &x, int64_t want)
+{
+    const int64_t rows = x.dim(0), have = x.dim(1);
+    Tensor out(Shape{rows, want});
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *src = x.data() + r * have;
+        float *dst = out.data() + r * want;
+        for (int64_t j = 0; j < want; ++j)
+            dst[j] = src[j % have];
+    }
+    return out;
+}
+
+bool
+isPowerOfTwo(int64_t x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+TraceLayer
+synthesizeTraceLayer(const sim::GemmShape &gemm, const vq::PQConfig &pq,
+                     uint64_t seed, int64_t index, bool bf16_codebooks)
+{
+    Rng rng(seed + 7919ull * static_cast<uint64_t>(index));
+    vq::ProductQuantizer quantizer(gemm.k, pq);
+    for (int64_t s = 0; s < quantizer.numSubspaces(); ++s) {
+        Tensor cb(Shape{pq.c, pq.v});
+        for (int64_t i = 0; i < cb.numel(); ++i)
+            cb.at(i) = static_cast<float>(rng.gaussian(0.0, 0.5));
+        if (bf16_codebooks)
+            vq::tensorToBf16(cb);
+        quantizer.setCodebook(s, std::move(cb));
+    }
+    Tensor weights(Shape{gemm.k, gemm.n});
+    const double scale = 1.0 / std::sqrt(static_cast<double>(gemm.k));
+    for (int64_t i = 0; i < weights.numel(); ++i)
+        weights.at(i) = static_cast<float>(rng.gaussian(0.0, scale));
+    return {std::move(quantizer), std::move(weights)};
+}
+
+api::Status
+FrozenModel::validateServable(const nn::LayerPtr &model)
+{
+    if (!model)
+        return api::Status::invalidArgument(
+            "FrozenModel requires a model");
+    std::vector<nn::Layer *> layers;
+    flattenLayers(model, layers);
+
+    int64_t prev_out = -1;
+    bool prev_stage_open = false;  // a LUT stage with no post-op yet
+    bool any_lut = false;
+    for (nn::Layer *layer : layers) {
+        if (auto *lut = dynamic_cast<lutboost::LutLinear *>(layer)) {
+            if (prev_out >= 0 && prev_out != lut->inFeatures())
+                return api::Status::invalidArgument(
+                    "stage widths do not chain: previous layer emits " +
+                    std::to_string(prev_out) + ", next expects " +
+                    std::to_string(lut->inFeatures()));
+            prev_out = lut->outFeatures();
+            prev_stage_open = true;
+            any_lut = true;
+            continue;
+        }
+        if (dynamic_cast<nn::Flatten *>(layer) != nullptr)
+            continue;  // identity on the rank-2 rows serving handles
+        if (dynamic_cast<nn::ReLU *>(layer) != nullptr ||
+            dynamic_cast<nn::GELU *>(layer) != nullptr) {
+            if (!prev_stage_open)
+                return api::Status::invalidArgument(
+                    "unsupported activation placement for serving (must "
+                    "directly follow a LUT stage)");
+            prev_stage_open = false;
+            continue;
+        }
+        return api::Status::invalidArgument(
+            "unsupported layer '" + layer->name() +
+            "' for serving; FrozenModel handles Sequential chains of "
+            "LutLinear/ReLU/GELU/Flatten (use fromTrace for other "
+            "topologies)");
+    }
+    if (!any_lut)
+        return api::Status::failedPrecondition(
+            "model has no LUT operators; convert it before serving");
+    return {};
+}
+
+api::Result<FrozenModel>
+FrozenModel::fromModel(const nn::LayerPtr &model)
+{
+    if (api::Status status = validateServable(model); !status.ok())
+        return status;
+    std::vector<nn::Layer *> layers;
+    flattenLayers(model, layers);
+
+    // Topology is validated above; this pass only snapshots arenas and
+    // attaches post-ops.
+    FrozenModel frozen;
+    for (nn::Layer *layer : layers) {
+        if (auto *lut = dynamic_cast<lutboost::LutLinear *>(layer)) {
+            if (!lut->inferenceLutReady())
+                return api::Status::failedPrecondition(
+                    "LutLinear is not frozen; call refreshInferenceLut() "
+                    "(or Pipeline deployPrecision()) before serving");
+            frozen.stages_.push_back({lut->inferenceArena(), PostOp::None});
+        } else if (dynamic_cast<nn::ReLU *>(layer) != nullptr) {
+            frozen.stages_.back().post = PostOp::Relu;
+        } else if (dynamic_cast<nn::GELU *>(layer) != nullptr) {
+            frozen.stages_.back().post = PostOp::Gelu;
+        }
+    }
+    return frozen;
+}
+
+api::Result<FrozenModel>
+FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
+                       const vq::PQConfig &pq, vq::LutPrecision precision,
+                       uint64_t seed)
+{
+    if (gemms.empty())
+        return api::Status::invalidArgument(
+            "fromTrace requires a non-empty GEMM trace");
+    if (pq.v < 1)
+        return api::Status::invalidArgument("v must be >= 1");
+    if (pq.c < 2 || !isPowerOfTwo(pq.c))
+        return api::Status::invalidArgument(
+            "c must be a power of two >= 2 (got " + std::to_string(pq.c) +
+            ")");
+
+    FrozenModel frozen;
+    int64_t index = 0;
+    for (const sim::GemmShape &gemm : gemms) {
+        if (gemm.k < 1 || gemm.n < 1)
+            return api::Status::invalidArgument(
+                "trace gemm '" + gemm.tag + "' has invalid dims [k=" +
+                std::to_string(gemm.k) + ", n=" + std::to_string(gemm.n) +
+                "]");
+        TraceLayer layer = synthesizeTraceLayer(
+            gemm, pq, seed, index++, precision.bf16_similarity);
+        const vq::LookupTable lut(layer.quantizer, layer.weights,
+                                  precision);
+        frozen.stages_.push_back(
+            {std::make_shared<const lutboost::LutTableArena>(
+                 layer.quantizer, lut, nullptr,
+                 precision.bf16_similarity),
+             PostOp::None});
+    }
+    return frozen;
+}
+
+int64_t
+FrozenModel::inputWidth() const
+{
+    LUTDLA_CHECK(!stages_.empty(), "empty FrozenModel");
+    return stages_.front().lut->inFeatures();
+}
+
+int64_t
+FrozenModel::outputWidth() const
+{
+    LUTDLA_CHECK(!stages_.empty(), "empty FrozenModel");
+    return stages_.back().lut->outFeatures();
+}
+
+int64_t
+FrozenModel::tableBytes() const
+{
+    int64_t total = 0;
+    for (const FrozenStage &stage : stages_)
+        total += stage.lut->sizeBytes();
+    return total;
+}
+
+Tensor
+FrozenModel::forwardBatch(const Tensor &x) const
+{
+    LUTDLA_CHECK(!stages_.empty(), "empty FrozenModel");
+    LUTDLA_CHECK(x.rank() == 2 && x.dim(1) == inputWidth(),
+                 "FrozenModel expects [rows, ", inputWidth(), "], got ",
+                 shapeStr(x.shape()));
+    Tensor cur = x;
+    for (const FrozenStage &stage : stages_) {
+        if (cur.dim(1) != stage.lut->inFeatures())
+            cur = adaptWidth(cur, stage.lut->inFeatures());
+        cur = stage.lut->forwardBatch(cur);
+        applyPost(cur, stage.post);
+    }
+    return cur;
+}
+
+} // namespace lutdla::serve

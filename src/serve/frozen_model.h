@@ -1,0 +1,134 @@
+#ifndef LUTDLA_SERVE_FROZEN_MODEL_H
+#define LUTDLA_SERVE_FROZEN_MODEL_H
+
+/**
+ * @file
+ * FrozenModel: the serving layer's immutable view of a deployed network —
+ * an ordered list of flat LUT table arenas with pointwise post-ops between
+ * them. Once built it shares the arenas by shared_ptr and never touches the
+ * mutable nn:: training graph again, which is what makes concurrent
+ * forwardBatch() calls safe and keeps a live engine unaffected by later
+ * re-training or re-freezing of the source model.
+ *
+ * Two builders:
+ *  - fromModel(): snapshot a LUTBoost-converted, frozen nn model
+ *    (Sequential chains of LutLinear / ReLU / GELU / Flatten). Bit-exact
+ *    with eval-mode model->forward().
+ *  - fromTrace(): synthesize a load-testing model from a workload's GEMM
+ *    trace (randomized codebooks/weights, one arena per traced layer), so
+ *    throughput experiments can run the paper's full-scale networks —
+ *    e.g. resnet18 — whose float weights this repo does not ship. Stage
+ *    widths follow the trace, so consecutive stages need not chain; the
+ *    forward pass adapts widths by cyclic column replication, preserving
+ *    each layer's true gather workload.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "api/status.h"
+#include "lutboost/table_arena.h"
+#include "nn/layer.h"
+#include "sim/config.h"
+#include "vq/pq.h"
+
+namespace lutdla::serve {
+
+/** Synthesized quantizer + weights for one traced GEMM layer. */
+struct TraceLayer
+{
+    vq::ProductQuantizer quantizer;
+    Tensor weights;  ///< [k, n]
+};
+
+/**
+ * Deterministically synthesize one trace layer (Gaussian codebooks and
+ * 1/sqrt(k)-scaled weights from `seed` + `index`). Single source of truth
+ * for FrozenModel::fromTrace AND reference-path baselines (e.g.
+ * bench_serve_throughput), so both serving stacks are built from
+ * identical numbers and stay comparable.
+ */
+TraceLayer synthesizeTraceLayer(const sim::GemmShape &gemm,
+                                const vq::PQConfig &pq, uint64_t seed,
+                                int64_t index, bool bf16_codebooks = false);
+
+/** Pointwise op applied after a LUT stage (mirrors nn:: eval math). */
+enum class PostOp
+{
+    None,
+    Relu,
+    Gelu
+};
+
+/** One serving stage: a frozen LUT layer plus its trailing activation. */
+struct FrozenStage
+{
+    std::shared_ptr<const lutboost::LutTableArena> lut;
+    PostOp post = PostOp::None;
+};
+
+/** Immutable, thread-safe inference snapshot of a deployed LUT network. */
+class FrozenModel
+{
+  public:
+    /**
+     * Snapshot a converted nn model. Every LutLinear must already be
+     * frozen (refreshInferenceLut); supported layers are Sequential,
+     * LutLinear, ReLU, GELU, and rank-preserving Flatten. Anything else
+     * (unconverted Linear, convolutions, norms) yields InvalidArgument —
+     * serve conv/transformer graphs via fromTrace() for now.
+     */
+    static api::Result<FrozenModel> fromModel(const nn::LayerPtr &model);
+
+    /**
+     * Check that `model`'s topology is servable by fromModel WITHOUT
+     * requiring (or triggering) any freeze — side-effect free. Callers
+     * that freeze layers on the caller's behalf (api::makeEngine) run
+     * this first so a rejected model is returned unmodified.
+     */
+    static api::Status validateServable(const nn::LayerPtr &model);
+
+    /**
+     * Synthesize a load-testing model from a deployment GEMM trace: one
+     * arena per GEMM, Gaussian random codebooks and weights (deterministic
+     * in `seed`), no bias, no activations. Validates `pq` like the
+     * conversion pipeline does.
+     */
+    static api::Result<FrozenModel>
+    fromTrace(const std::vector<sim::GemmShape> &gemms,
+              const vq::PQConfig &pq, vq::LutPrecision precision = {},
+              uint64_t seed = 91);
+
+    /** Input width the first stage expects. */
+    int64_t inputWidth() const;
+
+    /** Output width the last stage produces. */
+    int64_t outputWidth() const;
+
+    /** Number of LUT stages. */
+    int64_t numStages() const
+    {
+        return static_cast<int64_t>(stages_.size());
+    }
+
+    /** Total arena footprint in bytes across stages. */
+    int64_t tableBytes() const;
+
+    /** Stage list (read-only). */
+    const std::vector<FrozenStage> &stages() const { return stages_; }
+
+    /**
+     * Run a batch of rows through every stage. Thread-safe and bit-exact
+     * with the source model's eval forward (fromModel case). Rows must be
+     * [batch, inputWidth()].
+     */
+    Tensor forwardBatch(const Tensor &x) const;
+
+  private:
+    std::vector<FrozenStage> stages_;
+};
+
+} // namespace lutdla::serve
+
+#endif // LUTDLA_SERVE_FROZEN_MODEL_H

@@ -1,0 +1,160 @@
+#ifndef LUTDLA_SERVE_REQUEST_QUEUE_H
+#define LUTDLA_SERVE_REQUEST_QUEUE_H
+
+/**
+ * @file
+ * BoundedQueue: the MPMC request queue under the inference engine.
+ *
+ * A classic mutex + two-condition-variable bounded queue, chosen over a
+ * lock-free ring because the engine's batches amortize every pop over
+ * hundreds of microseconds of LUT gathering — queue overhead is noise, and
+ * the blocking push doubles as admission control (backpressure) when
+ * submitters outrun the workers.
+ *
+ * Close semantics: after close(), pushes are refused but pops keep draining
+ * whatever is already queued, then report exhaustion. That is exactly the
+ * graceful-shutdown contract InferenceEngine::shutdown() needs.
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace lutdla::serve {
+
+/** Bounded blocking MPMC queue. T must be movable. */
+template <typename T>
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    BoundedQueue(const BoundedQueue &) = delete;
+    BoundedQueue &operator=(const BoundedQueue &) = delete;
+
+    /**
+     * Block until space is available, then enqueue.
+     * @return false when the queue was closed (item is dropped).
+     */
+    bool
+    push(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_full_.wait(lock, [&] {
+            return closed_ || items_.size() < capacity_;
+        });
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Enqueue only if space is available right now (never blocks).
+     * @return false when full or closed (item is dropped).
+     */
+    bool
+    tryPush(T item)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (closed_ || items_.size() >= capacity_)
+            return false;
+        items_.push_back(std::move(item));
+        not_empty_.notify_one();
+        return true;
+    }
+
+    /**
+     * Block until an item is available and dequeue it.
+     * @return nullopt only when the queue is closed AND drained.
+     */
+    std::optional<T>
+    pop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+        return takeFrontLocked();
+    }
+
+    /**
+     * Dequeue the front item only if `admit(front)` accepts it, waiting up
+     * to `timeout` for one to arrive. Returns nullopt on timeout, on a
+     * rejected front item (left in place), or when closed and drained —
+     * all three mean "close the current batch" to the engine's batcher.
+     */
+    template <typename Pred>
+    std::optional<T>
+    popIf(std::chrono::steady_clock::duration timeout, const Pred &admit)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!not_empty_.wait_for(lock, timeout, [&] {
+                return closed_ || !items_.empty();
+            }))
+            return std::nullopt;
+        if (!items_.empty() && !admit(items_.front()))
+            return std::nullopt;
+        return takeFrontLocked();
+    }
+
+    /** Dequeue without blocking; nullopt when empty. */
+    std::optional<T>
+    tryPop()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        return takeFrontLocked();
+    }
+
+    /** Refuse new pushes and wake every waiter. Pops keep draining. */
+    void
+    close()
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        closed_ = true;
+        not_empty_.notify_all();
+        not_full_.notify_all();
+    }
+
+    /** True after close(). */
+    bool
+    closed() const
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        return closed_;
+    }
+
+    /** Instantaneous queue depth (racy by nature; for stats only). */
+    size_t
+    size() const
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        return items_.size();
+    }
+
+  private:
+    std::optional<T>
+    takeFrontLocked()
+    {
+        if (items_.empty())
+            return std::nullopt;
+        std::optional<T> item(std::move(items_.front()));
+        items_.pop_front();
+        not_full_.notify_one();
+        return item;
+    }
+
+    mutable std::mutex mu_;
+    std::condition_variable not_empty_;
+    std::condition_variable not_full_;
+    std::deque<T> items_;
+    size_t capacity_;
+    bool closed_ = false;
+};
+
+} // namespace lutdla::serve
+
+#endif // LUTDLA_SERVE_REQUEST_QUEUE_H

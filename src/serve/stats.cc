@@ -1,0 +1,122 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lutdla::serve {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int
+LatencyHistogram::bucketIndex(uint64_t micros)
+{
+    if (micros < kSubBuckets)
+        return static_cast<int>(micros);
+    int log = 63;
+    while (((micros >> log) & 1) == 0)
+        --log;
+    // log >= 4 here; 16 linear sub-buckets spanning [2^log, 2^(log+1)).
+    const int sub = static_cast<int>((micros >> (log - 4)) & 15);
+    const int index = (log - 3) * kSubBuckets + sub;
+    return std::min(index, kBuckets - 1);
+}
+
+double
+LatencyHistogram::bucketMidpoint(int index)
+{
+    if (index < kSubBuckets)
+        return static_cast<double>(index);
+    const int log = index / kSubBuckets + 3;
+    const int sub = index % kSubBuckets;
+    const double low =
+        static_cast<double>((16ull + static_cast<uint64_t>(sub))
+                            << (log - 4));
+    const double width = static_cast<double>(1ull << (log - 4));
+    return low + width / 2.0;
+}
+
+void
+LatencyHistogram::record(uint64_t micros)
+{
+    buckets_[static_cast<size_t>(bucketIndex(micros))]++;
+    count_++;
+    total_micros_ += micros;
+}
+
+double
+LatencyHistogram::meanMicros() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(total_micros_) /
+           static_cast<double>(count_);
+}
+
+double
+LatencyHistogram::percentileMicros(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::min(100.0, std::max(0.0, p));
+    const uint64_t rank = static_cast<uint64_t>(
+        p / 100.0 * static_cast<double>(count_ - 1));
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+        seen += buckets_[static_cast<size_t>(i)];
+        if (seen > rank)
+            return bucketMidpoint(i);
+    }
+    return bucketMidpoint(kBuckets - 1);
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    for (int i = 0; i < kBuckets; ++i)
+        buckets_[static_cast<size_t>(i)] +=
+            other.buckets_[static_cast<size_t>(i)];
+    count_ += other.count_;
+    total_micros_ += other.total_micros_;
+}
+
+double
+EngineStats::rowsPerSec() const
+{
+    if (wall_seconds <= 0.0)
+        return 0.0;
+    return static_cast<double>(rows) / wall_seconds;
+}
+
+double
+EngineStats::avgBatchFill() const
+{
+    if (batches == 0)
+        return 0.0;
+    return static_cast<double>(rows) / static_cast<double>(batches);
+}
+
+std::string
+EngineStats::summary() const
+{
+    char line[256];
+    std::string out;
+    std::snprintf(line, sizeof(line),
+                  "requests: %llu (%llu rejected), rows: %llu, batches: "
+                  "%llu (avg fill %.2f)\n",
+                  static_cast<unsigned long long>(requests),
+                  static_cast<unsigned long long>(rejected),
+                  static_cast<unsigned long long>(rows),
+                  static_cast<unsigned long long>(batches), avgBatchFill());
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "throughput: %.1f rows/s over %.3f s busy window\n",
+                  rowsPerSec(), wall_seconds);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "latency us: mean %.1f, p50 ~%.1f, p99 ~%.1f\n",
+                  mean_latency_us, p50_latency_us, p99_latency_us);
+    out += line;
+    return out;
+}
+
+} // namespace lutdla::serve

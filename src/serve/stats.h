@@ -1,0 +1,104 @@
+#ifndef LUTDLA_SERVE_STATS_H
+#define LUTDLA_SERVE_STATS_H
+
+/**
+ * @file
+ * Serving statistics: a bounded log-linear latency histogram plus the
+ * EngineStats snapshot the engine hands back to callers.
+ *
+ * Percentile semantics: latencies are recorded into power-of-two buckets
+ * with 16 linear sub-buckets each (HdrHistogram-style), so p50/p99 are
+ * approximate with at most ~6% relative bucket error — plenty for tuning
+ * `max_batch` / `max_wait_us`, with O(1) memory no matter how many requests
+ * the engine serves. Counters (requests, rows, batches) are exact.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lutdla::serve {
+
+/** Fixed-size log-linear histogram of microsecond latencies. */
+class LatencyHistogram
+{
+  public:
+    LatencyHistogram();
+
+    /** Record one latency sample (saturates at ~2^35 us ~ 9.5 hours). */
+    void record(uint64_t micros);
+
+    /** Total recorded samples. */
+    uint64_t count() const { return count_; }
+
+    /** Sum of recorded samples in microseconds (for exact means). */
+    uint64_t totalMicros() const { return total_micros_; }
+
+    /** Mean latency in microseconds (0 when empty). */
+    double meanMicros() const;
+
+    /**
+     * Approximate percentile in microseconds; `p` in [0, 100].
+     * Returns the midpoint of the bucket containing the rank.
+     */
+    double percentileMicros(double p) const;
+
+    /** Merge another histogram into this one. */
+    void merge(const LatencyHistogram &other);
+
+  private:
+    static int bucketIndex(uint64_t micros);
+    static double bucketMidpoint(int index);
+
+    // 16 linear buckets below 16us, then 16 sub-buckets per power of two.
+    static constexpr int kSubBuckets = 16;
+    static constexpr int kBuckets = kSubBuckets * 33;
+
+    std::vector<uint64_t> buckets_;
+    uint64_t count_ = 0;
+    uint64_t total_micros_ = 0;
+};
+
+/**
+ * Snapshot of an engine's lifetime counters, taken under the stats lock so
+ * all fields are mutually consistent. Returned by InferenceEngine::stats().
+ */
+struct EngineStats
+{
+    uint64_t requests = 0;   ///< successfully served requests
+    uint64_t rows = 0;       ///< rows across served requests
+    uint64_t batches = 0;    ///< executed batches
+    uint64_t rejected = 0;   ///< submissions refused with an error status
+
+    /**
+     * Busy wall-clock window in seconds: first submission to most recent
+     * completion. 0 until the first batch finishes.
+     */
+    double wall_seconds = 0.0;
+
+    /** Mean request latency (submit -> result ready) in microseconds. */
+    double mean_latency_us = 0.0;
+    /** Approximate median request latency in microseconds. */
+    double p50_latency_us = 0.0;
+    /** Approximate 99th-percentile request latency in microseconds. */
+    double p99_latency_us = 0.0;
+
+    /**
+     * batch_fill[r] = number of executed batches that carried exactly `r`
+     * rows; index 0 is unused. Size is max_batch + 1.
+     */
+    std::vector<uint64_t> batch_fill;
+
+    /** Served-row throughput over the busy window (0 when unknown). */
+    double rowsPerSec() const;
+
+    /** Mean rows per executed batch (0 before any batch). */
+    double avgBatchFill() const;
+
+    /** Multi-line human-readable digest. */
+    std::string summary() const;
+};
+
+} // namespace lutdla::serve
+
+#endif // LUTDLA_SERVE_STATS_H

@@ -1,0 +1,496 @@
+// Tests for the serving layer: bit-exactness of the batched arena kernel
+// against the reference eval path, dynamic batching, shutdown semantics,
+// and the typed error paths of the engine facade.
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "api/lutdla.h"
+#include "lutboost/lut_linear.h"
+#include "nn/activations.h"
+#include "nn/models.h"
+#include "nn/sequential.h"
+#include "serve/frozen_model.h"
+#include "util/rng.h"
+
+namespace lutdla {
+namespace {
+
+Tensor
+randomRows(int64_t rows, int64_t width, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor x(Shape{rows, width});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return x;
+}
+
+/** A converted + frozen mlp-mixture model and its dataset rows. */
+struct FrozenFixture
+{
+    nn::LayerPtr model;
+    Tensor rows;
+};
+
+FrozenFixture
+makeFrozenMlp(vq::LutPrecision precision = {})
+{
+    lutboost::ConvertOptions opts;
+    opts.pq.v = 4;
+    opts.pq.c = 8;
+    opts.centroid_stage.epochs = 1;
+    opts.joint_stage.epochs = 1;
+
+    auto builder = api::Pipeline::forWorkload("mlp-mixture")
+                       .pretrain(nn::TrainConfig::sgd(2, 0.05))
+                       .convert(opts)
+                       .deployPrecision(precision);
+    auto run = builder.report();
+    EXPECT_TRUE(run.ok()) << run.status().toString();
+    FrozenFixture fx;
+    fx.model = builder.convertedModel();
+    fx.rows = randomRows(24, 16, 42);
+    return fx;
+}
+
+// ---------------------------------------------------------------------------
+// forwardBatch vs forward: bit-exact.
+
+TEST(LutTableArena, ForwardBatchBitExactWithEvalForward)
+{
+    for (bool bf16 : {false, true}) {
+        for (bool int8 : {false, true}) {
+            vq::PQConfig pq;
+            pq.v = 4;
+            pq.c = 8;
+            lutboost::LutLinear layer(22, 10, pq, /*bias=*/true,
+                                      /*seed=*/5);
+            layer.setPrecision(vq::LutPrecision{bf16, int8});
+            layer.refreshInferenceLut();
+
+            const Tensor x = randomRows(300, 22, 7);  // spans >1 row block
+            const Tensor batched = layer.forwardBatch(x);
+            const Tensor reference =
+                layer.forward(x, /*train=*/false);
+            EXPECT_TRUE(batched.equals(reference))
+                << "bf16=" << bf16 << " int8=" << int8 << " maxdiff="
+                << Tensor::maxAbsDiff(batched, reference);
+        }
+    }
+}
+
+TEST(LutTableArena, RowByRowForwardMatchesBatch)
+{
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+    lutboost::LutLinear layer(17, 6, pq, true, 11);
+    layer.refreshInferenceLut();
+
+    const Tensor x = randomRows(9, 17, 3);
+    const Tensor batched = layer.forwardBatch(x);
+    for (int64_t r = 0; r < x.dim(0); ++r) {
+        Tensor row(Shape{1, 17});
+        std::copy(x.data() + r * 17, x.data() + (r + 1) * 17, row.data());
+        const Tensor one = layer.forward(row, false);
+        for (int64_t n = 0; n < 6; ++n)
+            EXPECT_EQ(one.at(0, n), batched.at(r, n)) << "row " << r;
+    }
+}
+
+TEST(LutLinear, LastForwardRowsIsATraceProbeOnly)
+{
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    lutboost::LutLinear layer(12, 4, pq, true, 3);
+    layer.refreshInferenceLut();
+
+    EXPECT_EQ(layer.lastForwardRows(), 0);
+    layer.forward(randomRows(5, 12, 1), false);
+    EXPECT_EQ(layer.lastForwardRows(), 5);
+    // The batched path is per-call (rows come from the result), and must
+    // not disturb the single-threaded trace probe.
+    const Tensor y = layer.forwardBatch(randomRows(9, 12, 2));
+    EXPECT_EQ(y.dim(0), 9);
+    EXPECT_EQ(layer.lastForwardRows(), 5);
+}
+
+TEST(FrozenModel, MatchesModelEvalBitExact)
+{
+    FrozenFixture fx = makeFrozenMlp(vq::LutPrecision{true, true});
+    auto frozen = serve::FrozenModel::fromModel(fx.model);
+    ASSERT_TRUE(frozen.ok()) << frozen.status().toString();
+
+    const Tensor batched = frozen->forwardBatch(fx.rows);
+    const Tensor reference = fx.model->forward(fx.rows, false);
+    EXPECT_TRUE(batched.equals(reference))
+        << "maxdiff=" << Tensor::maxAbsDiff(batched, reference);
+    EXPECT_EQ(frozen->numStages(), 2);
+    EXPECT_GT(frozen->tableBytes(), 0);
+}
+
+TEST(FrozenModel, RejectsUnconvertedAndUnfrozenModels)
+{
+    nn::LayerPtr plain = nn::makeMlp(8, {6}, 3);
+    auto no_lut = serve::FrozenModel::fromModel(plain);
+    ASSERT_FALSE(no_lut.ok());
+    EXPECT_EQ(no_lut.status().code(), api::StatusCode::InvalidArgument);
+
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    auto unfrozen = std::make_shared<lutboost::LutLinear>(8, 3, pq);
+    auto not_ready = serve::FrozenModel::fromModel(unfrozen);
+    ASSERT_FALSE(not_ready.ok());
+    EXPECT_EQ(not_ready.status().code(),
+              api::StatusCode::FailedPrecondition);
+}
+
+TEST(ServingFacade, RejectedModelIsLeftUnfrozen)
+{
+    // makeEngine freezes layers on the caller's behalf, so validation
+    // must run FIRST: a topology rejection may not mutate the model.
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    auto lut = std::make_shared<lutboost::LutLinear>(8, 4, pq);
+    auto model = std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+        lut, std::make_shared<nn::MaxPool2d>(2)});
+
+    auto engine = api::makeEngine(model, {});
+    ASSERT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), api::StatusCode::InvalidArgument);
+    EXPECT_FALSE(lut->inferenceLutReady())
+        << "failed makeEngine must not freeze the model's layers";
+}
+
+TEST(FrozenModel, TraceModelAdaptsWidthsDeterministically)
+{
+    std::vector<sim::GemmShape> gemms{{4, 12, 6, "a"}, {4, 9, 5, "b"}};
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    auto frozen = serve::FrozenModel::fromTrace(gemms, pq);
+    ASSERT_TRUE(frozen.ok()) << frozen.status().toString();
+    EXPECT_EQ(frozen->inputWidth(), 12);
+    EXPECT_EQ(frozen->outputWidth(), 5);
+
+    const Tensor x = randomRows(7, 12, 9);
+    const Tensor a = frozen->forwardBatch(x);
+    const Tensor b = frozen->forwardBatch(x);
+    EXPECT_TRUE(a.equals(b));
+
+    auto empty = serve::FrozenModel::fromTrace({}, pq);
+    EXPECT_FALSE(empty.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Engine behavior.
+
+TEST(InferenceEngine, ServesConcurrentSubmittersCorrectly)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    auto frozen = serve::FrozenModel::fromModel(fx.model);
+    ASSERT_TRUE(frozen.ok());
+    const Tensor reference = frozen->forwardBatch(fx.rows);
+
+    serve::EngineOptions options;
+    options.threads = 2;
+    options.max_batch = 8;
+    options.max_wait_us = 100;
+    auto engine = serve::InferenceEngine::create(frozen.take(), options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    constexpr int kSubmitters = 4;
+    constexpr int kPerThread = 6;  // 24 single-row requests total
+    std::vector<std::thread> submitters;
+    std::vector<api::Status> failures(kSubmitters);
+    for (int t = 0; t < kSubmitters; ++t) {
+        submitters.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const int64_t r = t * kPerThread + i;
+                Tensor row(Shape{1, 16});
+                std::copy(fx.rows.data() + r * 16,
+                          fx.rows.data() + (r + 1) * 16, row.data());
+                auto result = engine.value()->submit(row);
+                if (!result.ok()) {
+                    failures[static_cast<size_t>(t)] = result.status();
+                    return;
+                }
+                for (int64_t n = 0; n < result->dim(1); ++n) {
+                    if (result->at(0, n) != reference.at(r, n)) {
+                        failures[static_cast<size_t>(t)] =
+                            api::Status::internal("row mismatch");
+                        return;
+                    }
+                }
+            }
+        });
+    }
+    for (std::thread &thread : submitters)
+        thread.join();
+    for (const api::Status &status : failures)
+        EXPECT_TRUE(status.ok()) << status.toString();
+
+    const serve::EngineStats stats = engine.value()->stats();
+    EXPECT_EQ(stats.requests, kSubmitters * kPerThread);
+    EXPECT_EQ(stats.rows, kSubmitters * kPerThread);
+    EXPECT_EQ(stats.rejected, 0u);
+    EXPECT_GE(stats.batches, 1u);
+    EXPECT_LE(stats.batches, stats.requests);
+}
+
+TEST(InferenceEngine, DynamicBatchingCoalescesQueuedRequests)
+{
+    FrozenFixture fx = makeFrozenMlp();
+
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.max_batch = 4;
+    options.max_wait_us = 50000;
+    options.queue_capacity = 64;
+    options.autostart = false;  // pre-fill, then start: deterministic
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    std::vector<std::future<api::Result<Tensor>>> futures;
+    for (int64_t r = 0; r < 8; ++r) {
+        Tensor row(Shape{1, 16});
+        std::copy(fx.rows.data() + r * 16, fx.rows.data() + (r + 1) * 16,
+                  row.data());
+        futures.push_back(engine.value()->submitAsync(std::move(row)));
+    }
+    engine.value()->start();
+    for (auto &future : futures) {
+        auto result = future.get();
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+    }
+
+    const serve::EngineStats stats = engine.value()->stats();
+    EXPECT_EQ(stats.requests, 8u);
+    EXPECT_EQ(stats.batches, 2u);  // 8 queued rows / max_batch 4
+    ASSERT_EQ(stats.batch_fill.size(), 5u);
+    EXPECT_EQ(stats.batch_fill[4], 2u);
+    EXPECT_DOUBLE_EQ(stats.avgBatchFill(), 4.0);
+    EXPECT_GT(stats.p99_latency_us, 0.0);
+}
+
+TEST(InferenceEngine, MultiRowRequestsRespectMaxBatch)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    auto frozen = serve::FrozenModel::fromModel(fx.model);
+    ASSERT_TRUE(frozen.ok());
+    const Tensor reference = frozen->forwardBatch(fx.rows);
+
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.max_batch = 5;
+    options.autostart = false;
+    auto engine = serve::InferenceEngine::create(frozen.take(), options);
+    ASSERT_TRUE(engine.ok());
+
+    // 3 + 3 rows cannot share a 5-row batch; expect two batches.
+    Tensor first(Shape{3, 16});
+    std::copy(fx.rows.data(), fx.rows.data() + 3 * 16, first.data());
+    Tensor second(Shape{3, 16});
+    std::copy(fx.rows.data() + 3 * 16, fx.rows.data() + 6 * 16,
+              second.data());
+    auto fut1 = engine.value()->submitAsync(std::move(first));
+    auto fut2 = engine.value()->submitAsync(std::move(second));
+    engine.value()->start();
+
+    auto res1 = fut1.get();
+    auto res2 = fut2.get();
+    ASSERT_TRUE(res1.ok() && res2.ok());
+    for (int64_t r = 0; r < 3; ++r)
+        for (int64_t n = 0; n < res1->dim(1); ++n) {
+            EXPECT_EQ(res1->at(r, n), reference.at(r, n));
+            EXPECT_EQ(res2->at(r, n), reference.at(r + 3, n));
+        }
+    const serve::EngineStats stats = engine.value()->stats();
+    EXPECT_EQ(stats.batches, 2u);
+    EXPECT_EQ(stats.rows, 6u);
+}
+
+TEST(InferenceEngine, CleanShutdownAnswersInFlightRequests)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 2;
+    options.max_batch = 4;
+    options.queue_capacity = 128;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+
+    std::vector<std::future<api::Result<Tensor>>> futures;
+    for (int i = 0; i < 64; ++i)
+        futures.push_back(
+            engine.value()->submitAsync(randomRows(1, 16, 100 + i)));
+    engine.value()->shutdown();  // must drain, not drop
+
+    for (auto &future : futures) {
+        auto result = future.get();
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        EXPECT_EQ(result->dim(0), 1);
+    }
+    EXPECT_EQ(engine.value()->stats().requests, 64u);
+
+    // And post-shutdown submissions come back as typed errors.
+    auto late = engine.value()->submit(randomRows(1, 16, 999));
+    ASSERT_FALSE(late.ok());
+    EXPECT_EQ(late.status().code(), api::StatusCode::FailedPrecondition);
+}
+
+TEST(InferenceEngine, NeverStartedShutdownFailsQueuedRequests)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.autostart = false;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+    auto future = engine.value()->submitAsync(randomRows(1, 16, 5));
+    engine.value()->shutdown();
+    auto result = future.get();
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), api::StatusCode::FailedPrecondition);
+}
+
+TEST(InferenceEngine, NotStartedEngineFailsFastWhenQueueFills)
+{
+    // With no workers running, a full queue can never drain; submissions
+    // beyond capacity must error out instead of blocking forever.
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.queue_capacity = 2;
+    options.max_batch = 4;
+    options.autostart = false;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+
+    auto fut1 = engine.value()->submitAsync(randomRows(1, 16, 1));
+    auto fut2 = engine.value()->submitAsync(randomRows(1, 16, 2));
+    auto overflow = engine.value()->submitAsync(randomRows(1, 16, 3));
+    auto rejected = overflow.get();  // must not hang
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(),
+              api::StatusCode::FailedPrecondition);
+
+    engine.value()->start();
+    EXPECT_TRUE(fut1.get().ok());
+    EXPECT_TRUE(fut2.get().ok());
+    EXPECT_EQ(engine.value()->stats().rejected, 1u);
+}
+
+TEST(InferenceEngine, RejectsMalformedRequests)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.max_batch = 4;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+
+    // A zero-row tensor cannot even be constructed (Tensor rejects empty
+    // dims), so "no rows" arrives as a rank-0 default tensor.
+    auto zero = engine.value()->submit(Tensor());
+    ASSERT_FALSE(zero.ok());
+    EXPECT_EQ(zero.status().code(), api::StatusCode::InvalidArgument);
+
+    auto width = engine.value()->submit(randomRows(1, 7, 1));
+    ASSERT_FALSE(width.ok());
+    EXPECT_EQ(width.status().code(), api::StatusCode::InvalidArgument);
+
+    auto oversized = engine.value()->submit(randomRows(5, 16, 1));
+    ASSERT_FALSE(oversized.ok());
+    EXPECT_EQ(oversized.status().code(), api::StatusCode::InvalidArgument);
+
+    EXPECT_EQ(engine.value()->stats().rejected, 3u);
+}
+
+TEST(InferenceEngine, CreateValidatesOptions)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    auto frozen = serve::FrozenModel::fromModel(fx.model);
+    ASSERT_TRUE(frozen.ok());
+
+    serve::EngineOptions bad;
+    bad.max_batch = 0;
+    auto engine = serve::InferenceEngine::create(frozen.take(), bad);
+    ASSERT_FALSE(engine.ok());
+    EXPECT_EQ(engine.status().code(), api::StatusCode::InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Facade entry points.
+
+TEST(ServingFacade, PipelineEngineTerminalServes)
+{
+    lutboost::ConvertOptions opts;
+    opts.pq.v = 4;
+    opts.pq.c = 8;
+    opts.centroid_stage.epochs = 1;
+    opts.joint_stage.epochs = 1;
+
+    serve::EngineOptions engine_opts;
+    engine_opts.threads = 1;
+    auto engine = api::Pipeline::forWorkload("mlp-mixture")
+                      .pretrain(nn::TrainConfig::sgd(1, 0.05))
+                      .convert(opts)
+                      .engine(engine_opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+    auto result = engine.value()->submit(randomRows(2, 16, 77));
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result->dim(0), 2);
+    EXPECT_EQ(result->dim(1), 4);
+}
+
+TEST(ServingFacade, WorkloadTraceEngineServes)
+{
+    vq::PQConfig pq;
+    pq.v = 8;
+    pq.c = 16;
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.max_batch = 16;
+    auto engine = api::Pipeline::engineForWorkload("lenet", pq, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    const int64_t width = engine.value()->model().inputWidth();
+    auto result = engine.value()->submit(randomRows(4, width, 21));
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_EQ(result->dim(0), 4);
+
+    auto unknown = api::Pipeline::engineForWorkload("no-such", pq, options);
+    ASSERT_FALSE(unknown.ok());
+    EXPECT_EQ(unknown.status().code(), api::StatusCode::NotFound);
+}
+
+TEST(ServingFacade, ArtifactsEngineReplaysTrace)
+{
+    api::RunArtifacts artifacts;
+    artifacts.pq.v = 4;
+    artifacts.pq.c = 8;
+    artifacts.gemms = {{8, 20, 10, "l0"}, {8, 10, 6, "l1"}};
+    serve::EngineOptions options;
+    options.threads = 1;
+    auto engine = api::Pipeline::engineForArtifacts(artifacts, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+    auto result = engine.value()->submit(randomRows(3, 20, 13));
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->dim(1), 6);
+
+    auto empty = api::Pipeline::engineForArtifacts(api::RunArtifacts{},
+                                                   options);
+    ASSERT_FALSE(empty.ok());
+    EXPECT_EQ(empty.status().code(), api::StatusCode::FailedPrecondition);
+}
+
+} // namespace
+} // namespace lutdla
