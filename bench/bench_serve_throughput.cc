@@ -20,6 +20,12 @@
  * table set for every single row. Worker threads add on multi-core hosts
  * (this bench also sweeps them; on a single-core host they are ~neutral).
  *
+ * A second section tracks CNN serving: a frozen LeNet-style conv chain
+ * (conv -> pool -> flatten -> linear, the lenet-shapes workload model)
+ * lowered onto the serving stage graph and driven with flattened 12x12
+ * image rows, so the im2col + arena conv path has a rows/s number from
+ * day one.
+ *
  * Run: ./build/bench/bench_serve_throughput   (takes ~2 min: it builds the
  * 91 MB resnet18 table set twice, once per implementation)
  *   LUTDLA_SERVE_ROWS=N   override rows per configuration (default 192)
@@ -33,6 +39,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "lutboost/converter.h"
 #include "serve/frozen_model.h"
 #include "util/rng.h"
 #include "vq/lut.h"
@@ -172,7 +179,7 @@ main()
         fatal(model.status().toString());
     std::printf("%lld LUT stages, %.1f MB of table arenas, %lld rows per "
                 "config\n\n",
-                static_cast<long long>(model->numStages()),
+                static_cast<long long>(model->numLutStages()),
                 static_cast<double>(model->tableBytes()) / (1024 * 1024),
                 static_cast<long long>(kRows));
 
@@ -223,5 +230,50 @@ main()
     std::printf("\nbest speedup vs single-thread single-row serving: "
                 "%.2fx (target >= 3x)\n",
                 best_vs_reference);
+
+    // ---- CNN serving: the stage-graph conv path ------------------------
+    // Convert the lenet-shapes workload model (replace only; random
+    // centroids are fine for throughput) and freeze it, then serve
+    // flattened 12x12 image rows through the engine. This tracks the
+    // im2col + arena conv pipeline, not just flat GEMM stages.
+    nn::LayerPtr cnn = nn::makeLeNetStyle(6);
+    lutboost::ConvertOptions convert_opts;
+    convert_opts.pq.v = 3;
+    convert_opts.pq.c = 16;
+    lutboost::replaceOperators(cnn, convert_opts);
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(cnn))
+        layer->refreshInferenceLut();
+    auto cnn_model =
+        serve::FrozenModel::fromModel(cnn, serve::ServeInputShape{12, 12});
+    if (!cnn_model.ok())
+        fatal("CNN lowering failed: ", cnn_model.status().toString());
+    std::printf("\nCNN trace (lenet-shapes, 12x12 rows): %s, %.1f KB of "
+                "tables\n",
+                cnn_model->describe().c_str(),
+                static_cast<double>(cnn_model->tableBytes()) / 1024.0);
+
+    const Tensor cnn_rows = randomRows(kRows, cnn_model->inputWidth(), 23);
+    Table ct("CNN serving throughput (lenet-shapes stage graph)",
+             {"threads", "max_batch", "rows/s", "avg fill", "p50 us",
+              "p99 us"});
+    double cnn_best = 0.0;
+    for (int threads : {1, 2}) {
+        for (int64_t max_batch : {int64_t{16}, int64_t{64}}) {
+            const serve::EngineStats stats =
+                runConfig(*cnn_model, cnn_rows, threads, max_batch);
+            const double rate = stats.rowsPerSec();
+            cnn_best = std::max(cnn_best, rate);
+            ct.addRow({std::to_string(threads), std::to_string(max_batch),
+                       Table::fmt(rate, 1),
+                       Table::fmt(stats.avgBatchFill(), 1),
+                       Table::fmt(stats.p50_latency_us, 0),
+                       Table::fmt(stats.p99_latency_us, 0)});
+        }
+    }
+    ct.addNote("each row is a flattened [1, 12, 12] image; conv stages "
+               "run batched im2col into per-worker scratch");
+    ct.print();
+    std::printf("\nCNN serving best: %.1f rows/s\n", cnn_best);
+
     return best_vs_reference >= 3.0 ? 0 : 1;
 }

@@ -11,6 +11,10 @@
  *      are bit-exact with direct eval-mode model forwards.
  *   3. Pipeline::engineForWorkload(): load-test serving of a registry
  *      GEMM trace (lenet) without any trained model.
+ *   4. CNN serving: freeze a LeNet-style conv chain and serve flattened
+ *      image rows through the stage graph (conv -> relu -> maxpool ->
+ *      flatten -> lut-gemm), verifying bit-exactness against eval-mode
+ *      forward().
  *
  * Default output is deterministic (safe to diff across runs); pass any
  * argument (e.g. `--stats`) to also print live latency numbers.
@@ -23,6 +27,8 @@
 #include <vector>
 
 #include "api/lutdla.h"
+#include "lutboost/converter.h"
+#include "nn/models.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -156,9 +162,53 @@ main(int argc, char **)
                 static_cast<long long>(batch->dim(0)),
                 static_cast<long long>(batch->dim(1)),
                 static_cast<long long>(
-                    trace_engine.value()->model().numStages()),
+                    trace_engine.value()->model().numLutStages()),
                 static_cast<double>(
                     trace_engine.value()->model().tableBytes()) /
                     1024.0);
+
+    // 4. CNN serving: lower a frozen conv chain onto the stage graph and
+    //    serve flattened NCHW rows. Operator replace + freeze is enough
+    //    for a deterministic bit-exactness demo (no training needed).
+    nn::LayerPtr cnn = nn::makeLeNetStyle(6);
+    lutboost::ConvertOptions cnn_opts;
+    cnn_opts.pq.v = 3;
+    cnn_opts.pq.c = 8;
+    lutboost::replaceOperators(cnn, cnn_opts);
+    // No manual freeze needed: makeEngine freezes any layer that is not
+    // yet inferenceLutReady() on the caller's behalf.
+
+    serve::EngineOptions cnn_engine_opts;
+    cnn_engine_opts.threads = 1;
+    cnn_engine_opts.max_batch = 16;
+    auto cnn_engine = api::Pipeline::engine(cnn, cnn_engine_opts,
+                                            serve::ServeInputShape{12, 12});
+    if (!cnn_engine.ok()) {
+        std::fprintf(stderr, "CNN engine failed: %s\n",
+                     cnn_engine.status().toString().c_str());
+        return 1;
+    }
+    const int64_t cnn_width = cnn_engine.value()->model().inputWidth();
+    const Tensor image_rows = randomRows(8, cnn_width, 5);
+    auto cnn_result = cnn_engine.value()->submit(image_rows);
+    if (!cnn_result.ok()) {
+        std::fprintf(stderr, "CNN request failed: %s\n",
+                     cnn_result.status().toString().c_str());
+        return 1;
+    }
+    const Tensor cnn_reference = cnn->forward(
+        image_rows.reshaped(Shape{8, 1, 12, 12}), /*train=*/false);
+    std::printf("\nCNN stage graph: %s\n",
+                cnn_engine.value()->model().describe().c_str());
+    std::printf("served 8 flattened 12x12 images -> [%lld, %lld], "
+                "max |diff| vs eval forward = %g (must be 0)\n",
+                static_cast<long long>(cnn_result->dim(0)),
+                static_cast<long long>(cnn_result->dim(1)),
+                static_cast<double>(
+                    Tensor::maxAbsDiff(*cnn_result, cnn_reference)));
+    if (!cnn_result->equals(cnn_reference)) {
+        std::fprintf(stderr, "BUG: CNN engine diverged from eval forward\n");
+        return 1;
+    }
     return 0;
 }

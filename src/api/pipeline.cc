@@ -429,7 +429,14 @@ PipelineBuilder::engine(const serve::EngineOptions &options)
             "engine() needs a converted model; configure model()/workload "
             "with convert() (trace-only runs can serve via "
             "Pipeline::engineForArtifacts)");
-    return makeEngine(model_, options);
+    // CNN workloads serve flattened NCHW rows; the image shape comes from
+    // the dataset's sample layout ([N, C, H, W] features).
+    serve::ServeInputShape input_shape;
+    if (has_dataset_ && dataset_.train_x.rank() == 4) {
+        input_shape.height = dataset_.train_x.dim(2);
+        input_shape.width = dataset_.train_x.dim(3);
+    }
+    return makeEngine(model_, options, input_shape);
 }
 
 Result<RunArtifacts>

@@ -102,8 +102,10 @@ class PipelineBuilder
     /**
      * Execute all configured stages, then stand up a serving engine on the
      * converted model (freezing any layer deployPrecision() did not already
-     * freeze). The artifacts of the run are discarded; use run() +
-     * Pipeline::engine() to keep both.
+     * freeze). CNN workloads are served as flattened NCHW rows; the image
+     * shape is inferred from the configured dataset's sample shape. The
+     * artifacts of the run are discarded; use run() + Pipeline::engine()
+     * to keep both.
      */
     Result<EngineHandle> engine(const serve::EngineOptions &options = {});
 
@@ -164,12 +166,17 @@ class Pipeline
 
     // ---- Serving entry points (thin aliases over api/serving.h) ----
 
-    /** Serve a LUTBoost-converted model; see api::makeEngine. */
+    /**
+     * Serve a LUTBoost-converted model; see api::makeEngine. CNN models
+     * need `input_shape` (the image height/width their request rows
+     * flatten).
+     */
     static Result<EngineHandle>
     engine(const nn::LayerPtr &converted_model,
-           const serve::EngineOptions &options = {})
+           const serve::EngineOptions &options = {},
+           serve::ServeInputShape input_shape = {})
     {
-        return makeEngine(converted_model, options);
+        return makeEngine(converted_model, options, input_shape);
     }
 
     /** Load-test a named workload's trace; see api::makeEngineForWorkload. */

@@ -10,18 +10,21 @@
 namespace lutdla::api {
 
 Result<EngineHandle>
-makeEngine(const nn::LayerPtr &model, const serve::EngineOptions &options)
+makeEngine(const nn::LayerPtr &model, const serve::EngineOptions &options,
+           serve::ServeInputShape input_shape)
 {
     // Validate the topology BEFORE freezing anything: a rejected model
     // must come back to the caller completely unmodified (freezing pins
     // eval-mode forward() to the inference LUT path).
-    if (Status status = serve::FrozenModel::validateServable(model);
+    if (Status status =
+            serve::FrozenModel::validateServable(model, input_shape);
         !status.ok())
         return status;
     for (lutboost::LutLinear *layer : lutboost::findLutLayers(model))
         if (!layer->inferenceLutReady())
             layer->refreshInferenceLut();
-    Result<serve::FrozenModel> frozen = serve::FrozenModel::fromModel(model);
+    Result<serve::FrozenModel> frozen =
+        serve::FrozenModel::fromModel(model, input_shape);
     if (!frozen.ok())
         return frozen.status();
     return serve::InferenceEngine::create(frozen.take(), options);

@@ -26,16 +26,23 @@ namespace lutdla::api {
 using EngineHandle = std::shared_ptr<serve::InferenceEngine>;
 
 /**
- * Build an engine that serves a LUTBoost-converted model. Layers that are
- * not yet frozen are frozen in place with their current precision (the
- * same step deployPrecision() performs); the engine then snapshots the
- * frozen tables, so later mutation of `model` does not affect it.
+ * Build an engine that serves a LUTBoost-converted model (MLP or CNN
+ * chains; see serve::FrozenModel::fromModel for the lowered layer set).
+ * Layers that are not yet frozen are frozen in place with their current
+ * precision (the same step deployPrecision() performs); the engine then
+ * snapshots the frozen tables, so later mutation of `model` does not
+ * affect it.
  *
+ * @param input_shape Image height/width when the model starts with
+ *        spatial layers (conv/pool/norm) — each request row is then a
+ *        flattened NCHW image. Leave default for flat MLP inputs.
  * @return FailedPrecondition when the model holds no LUT operators,
- *         InvalidArgument for unsupported topologies or bad options.
+ *         InvalidArgument for unsupported topologies (the status names
+ *         the first unlowerable layer) or bad options.
  */
 Result<EngineHandle> makeEngine(const nn::LayerPtr &model,
-                                const serve::EngineOptions &options = {});
+                                const serve::EngineOptions &options = {},
+                                serve::ServeInputShape input_shape = {});
 
 /**
  * Build a load-testing engine from an explicit deployment GEMM trace:

@@ -60,6 +60,30 @@ miniResNetShapesSpec()
     return spec;
 }
 
+/**
+ * LeNet-style CNN on shape images: a plain conv->pool->flatten->linear
+ * chain (no residual skips), so a converted instance lowers end-to-end
+ * onto the serving stage graph and can be served via Pipeline::engine().
+ */
+WorkloadSpec
+lenetShapesSpec()
+{
+    WorkloadSpec spec;
+    spec.name = "lenet-shapes";
+    spec.description =
+        "LeNet-style CNN on 6-class shape images (trainable, servable)";
+    spec.model = [] { return nn::makeLeNetStyle(6); };
+    spec.dataset = [] {
+        nn::ShapeImageConfig cfg;
+        cfg.classes = 6;
+        cfg.train_per_class = 40;
+        cfg.test_per_class = 12;
+        return nn::makeShapeImages(cfg);
+    };
+    spec.pretrain = nn::TrainConfig::sgd(6, 0.05);
+    return spec;
+}
+
 /** TinyTransformer on the sequence task (the BERT-family substitute). */
 WorkloadSpec
 tinyTransformerSpec()
@@ -102,6 +126,7 @@ registry()
         s.push_back(zooSpec("opt-125m", "OPT-125M decoder GEMM trace"));
         s.push_back(mlpMixtureSpec());
         s.push_back(miniResNetShapesSpec());
+        s.push_back(lenetShapesSpec());
         s.push_back(tinyTransformerSpec());
         return s;
     }();

@@ -6,15 +6,46 @@
  * Vector-quantized convolution: im2col + LutLinear + reshape, matching how
  * the LUT-DLA hardware executes convolutions (the paper's CNN evaluations
  * lower every conv onto the LUT GEMM path after im2col).
+ *
+ * Two inference paths exist once the inner LutLinear is frozen:
+ *  - forward(x, false): the reference eval path (im2col -> lookupGemm).
+ *  - forwardBatch(x) / convArenaForward(): the batched serving path that
+ *    lowers the whole NCHW batch through one im2col into reusable scratch
+ *    and sweeps the flat LutTableArena kernel. Bit-exact with the
+ *    reference path and thread-safe (immutable arena only).
  */
 
 #include <memory>
+#include <vector>
 
 #include "lutboost/lut_linear.h"
 #include "nn/conv2d.h"
 #include "tensor/im2col.h"
 
 namespace lutdla::lutboost {
+
+/**
+ * Reusable scratch for the batched conv path: the im2col matrix and the
+ * flat GEMM output. Workers keep one per thread so steady-state serving
+ * performs no per-batch allocations beyond vector growth to the largest
+ * batch seen.
+ */
+struct ConvScratch
+{
+    std::vector<float> cols;  ///< [n*Ho*Wo, patchSize] im2col rows
+    std::vector<float> flat;  ///< [n*Ho*Wo, out_channels] GEMM output
+};
+
+/**
+ * Batched frozen-conv kernel: lower NCHW `x` ([n, C_in, h, w] contiguous)
+ * through im2col into `scratch.cols`, run the arena's row-blocked gather
+ * GEMM into `scratch.flat`, and transpose the result into NCHW `y`
+ * ([n, C_out, Ho, Wo], caller-allocated). Thread-safe; bit-exact with
+ * eval-mode LutConv2d::forward(x, false) on a frozen layer.
+ */
+void convArenaForward(const LutTableArena &arena, const ConvGeometry &geom,
+                      const float *x, int64_t n, int64_t h, int64_t w,
+                      float *y, ConvScratch &scratch);
 
 /** Conv2d whose lowered GEMM runs through a LutLinear. */
 class LutConv2d : public nn::Layer
@@ -39,9 +70,31 @@ class LutConv2d : public nn::Layer
     /** The wrapped LUT GEMM operator (centroids, weight, precision). */
     LutLinear &inner() { return *inner_; }
 
+    /** True once the inner LutLinear froze its inference tables. */
+    bool inferenceLutReady() const { return inner_->inferenceLutReady(); }
+
+    /** Shared handle to the inner frozen arena; see LutLinear. */
+    std::shared_ptr<const LutTableArena>
+    inferenceArena() const
+    {
+        return inner_->inferenceArena();
+    }
+
+    /**
+     * Batched frozen inference: NCHW in, NCHW out, through the flat table
+     * arena (convArenaForward). Thread-safe and bit-exact with eval-mode
+     * forward() on a frozen layer; requires refreshInferenceLut() on the
+     * inner operator first. Serving uses the raw kernel directly with
+     * per-worker scratch; this wrapper allocates its own.
+     */
+    Tensor forwardBatch(const Tensor &x) const;
+
   private:
     ConvGeometry geom_;
     std::shared_ptr<LutLinear> inner_;
+    // Spatial shape of the most recent forward(train=true); backward
+    // validates its grad against this so a shape-changing forward between
+    // the train forward and backward cannot silently corrupt col2im.
     int64_t cached_n_ = 0, cached_h_ = 0, cached_w_ = 0;
 };
 

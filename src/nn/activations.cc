@@ -14,8 +14,7 @@ ReLU::forward(const Tensor &x, bool train)
         mask_ = Tensor(x.shape());
     for (int64_t i = 0; i < y.numel(); ++i) {
         const bool pos = y.at(i) > 0.0f;
-        if (!pos)
-            y.at(i) = 0.0f;
+        y.at(i) = reluForward(y.at(i));
         if (train)
             mask_.at(i) = pos ? 1.0f : 0.0f;
     }
@@ -96,6 +95,39 @@ Flatten::backward(const Tensor &grad_out)
     return grad_out.reshaped(input_shape_);
 }
 
+void
+maxPool2dForward(const float *x, int64_t n, int64_t c, int64_t h, int64_t w,
+                 int64_t kernel, float *y, int64_t *argmax)
+{
+    const int64_t ho_dim = h / kernel, wo_dim = w / kernel;
+    int64_t out_idx = 0;
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float *plane = x + (b * c + ch) * h * w;
+            for (int64_t ho = 0; ho < ho_dim; ++ho) {
+                for (int64_t wo = 0; wo < wo_dim; ++wo, ++out_idx) {
+                    float best = -1e30f;
+                    int64_t best_flat = 0;
+                    for (int64_t kh = 0; kh < kernel; ++kh) {
+                        for (int64_t kw = 0; kw < kernel; ++kw) {
+                            const int64_t hi = ho * kernel + kh;
+                            const int64_t wi = wo * kernel + kw;
+                            const float v = plane[hi * w + wi];
+                            if (v > best) {
+                                best = v;
+                                best_flat = ((b * c + ch) * h + hi) * w + wi;
+                            }
+                        }
+                    }
+                    y[out_idx] = best;
+                    if (argmax)
+                        argmax[out_idx] = best_flat;
+                }
+            }
+        }
+    }
+}
+
 Tensor
 MaxPool2d::forward(const Tensor &x, bool train)
 {
@@ -109,31 +141,8 @@ MaxPool2d::forward(const Tensor &x, bool train)
         input_shape_ = x.shape();
         argmax_.assign(static_cast<size_t>(y.numel()), 0);
     }
-    int64_t out_idx = 0;
-    for (int64_t n = 0; n < N; ++n) {
-        for (int64_t c = 0; c < C; ++c) {
-            for (int64_t ho = 0; ho < Ho; ++ho) {
-                for (int64_t wo = 0; wo < Wo; ++wo, ++out_idx) {
-                    float best = -1e30f;
-                    int64_t best_flat = 0;
-                    for (int64_t kh = 0; kh < kernel_; ++kh) {
-                        for (int64_t kw = 0; kw < kernel_; ++kw) {
-                            const int64_t hi = ho * kernel_ + kh;
-                            const int64_t wi = wo * kernel_ + kw;
-                            const float v = x.at4(n, c, hi, wi);
-                            if (v > best) {
-                                best = v;
-                                best_flat = ((n * C + c) * H + hi) * W + wi;
-                            }
-                        }
-                    }
-                    y.at4(n, c, ho, wo) = best;
-                    if (train)
-                        argmax_[static_cast<size_t>(out_idx)] = best_flat;
-                }
-            }
-        }
-    }
+    maxPool2dForward(x.data(), N, C, H, W, kernel_, y.data(),
+                     train ? argmax_.data() : nullptr);
     return y;
 }
 
@@ -146,6 +155,22 @@ MaxPool2d::backward(const Tensor &grad_out)
     return g;
 }
 
+void
+globalAvgPoolForward(const float *x, int64_t n, int64_t c, int64_t h,
+                     int64_t w, float *y)
+{
+    const float inv = 1.0f / static_cast<float>(h * w);
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ch = 0; ch < c; ++ch) {
+            const float *plane = x + (b * c + ch) * h * w;
+            float s = 0.0f;
+            for (int64_t i = 0; i < h * w; ++i)
+                s += plane[i];
+            y[b * c + ch] = s * inv;
+        }
+    }
+}
+
 Tensor
 GlobalAvgPool::forward(const Tensor &x, bool train)
 {
@@ -154,16 +179,7 @@ GlobalAvgPool::forward(const Tensor &x, bool train)
         input_shape_ = x.shape();
     const int64_t N = x.dim(0), C = x.dim(1), H = x.dim(2), W = x.dim(3);
     Tensor y(Shape{N, C});
-    const float inv = 1.0f / static_cast<float>(H * W);
-    for (int64_t n = 0; n < N; ++n) {
-        for (int64_t c = 0; c < C; ++c) {
-            float s = 0.0f;
-            for (int64_t h = 0; h < H; ++h)
-                for (int64_t w = 0; w < W; ++w)
-                    s += x.at4(n, c, h, w);
-            y.at(n, c) = s * inv;
-        }
-    }
+    globalAvgPoolForward(x.data(), N, C, H, W, y.data());
     return y;
 }
 

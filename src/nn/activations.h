@@ -14,10 +14,39 @@ namespace lutdla::nn {
 
 /**
  * Scalar tanh-approximation GELU (as in BERT). Exposed so the serving
- * layer's frozen post-ops reuse the exact same math as GELU::forward —
+ * layer's frozen stages reuse the exact same math as GELU::forward —
  * the engine's bit-exactness contract depends on a single definition.
  */
 float geluForward(float x);
+
+/** Scalar ReLU; the single definition ReLU::forward and serving share. */
+inline float
+reluForward(float x)
+{
+    return x > 0.0f ? x : 0.0f;
+}
+
+/**
+ * Raw NCHW max-pool kernel (stride == kernel, floor division), shared by
+ * MaxPool2d::forward and the serving layer's pooling stage so both paths
+ * are one definition and therefore bit-exact.
+ *
+ * @param x      Input [n, c, h, w], row-major contiguous.
+ * @param y      Output [n, c, h/kernel, w/kernel], caller-allocated.
+ * @param argmax When non-null, receives the flat input index of each
+ *               output's winning element (training needs it for backward;
+ *               serving passes nullptr).
+ */
+void maxPool2dForward(const float *x, int64_t n, int64_t c, int64_t h,
+                      int64_t w, int64_t kernel, float *y, int64_t *argmax);
+
+/**
+ * Raw NCHW global-average-pool kernel, shared by GlobalAvgPool::forward
+ * and the serving layer's pooling stage (single definition, bit-exact).
+ * `y` is the caller-allocated [n, c] output.
+ */
+void globalAvgPoolForward(const float *x, int64_t n, int64_t c, int64_t h,
+                          int64_t w, float *y);
 
 /** max(0, x). */
 class ReLU : public Layer
@@ -64,6 +93,9 @@ class MaxPool2d : public Layer
     std::string name() const override { return "MaxPool2d"; }
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
+
+    /** Pooling window (== stride); the serving lowering pass reads it. */
+    int64_t kernel() const { return kernel_; }
 
   private:
     int64_t kernel_;

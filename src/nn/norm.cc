@@ -6,6 +6,54 @@
 
 namespace lutdla::nn {
 
+void
+batchNorm2dEval(const float *x, int64_t n, int64_t c, int64_t hw,
+                const float *mean, const float *var, const float *gamma,
+                const float *beta, float eps, float *y)
+{
+    for (int64_t ch = 0; ch < c; ++ch) {
+        const float invstd = 1.0f / std::sqrt(var[ch] + eps);
+        const float m = mean[ch];
+        const float g = gamma[ch], b = beta[ch];
+        for (int64_t bn = 0; bn < n; ++bn) {
+            const float *src = x + (bn * c + ch) * hw;
+            float *dst = y + (bn * c + ch) * hw;
+            for (int64_t i = 0; i < hw; ++i)
+                dst[i] = g * (src[i] - m) * invstd + b;
+        }
+    }
+}
+
+void
+layerNormForward(const float *x, int64_t rows, int64_t features,
+                 const float *gamma, const float *beta, float eps, float *y,
+                 float *xhat, float *invstd)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *src = x + r * features;
+        float *dst = y + r * features;
+        double mean = 0.0;
+        for (int64_t j = 0; j < features; ++j)
+            mean += src[j];
+        mean /= static_cast<double>(features);
+        double var = 0.0;
+        for (int64_t j = 0; j < features; ++j) {
+            const double d = src[j] - mean;
+            var += d * d;
+        }
+        var /= static_cast<double>(features);
+        const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps);
+        for (int64_t j = 0; j < features; ++j) {
+            const float xh = (src[j] - static_cast<float>(mean)) * inv;
+            if (xhat)
+                xhat[r * features + j] = xh;
+            dst[j] = gamma[j] * xh + beta[j];
+        }
+        if (invstd)
+            invstd[r] = inv;
+    }
+}
+
 BatchNorm2d::BatchNorm2d(int64_t channels, float momentum, float eps)
     : channels_(channels), momentum_(momentum), eps_(eps),
       gamma_("gamma", Tensor(Shape{channels}, 1.0f)),
@@ -66,17 +114,10 @@ BatchNorm2d::forward(const Tensor &x, bool train)
             }
         }
     } else {
-        for (int64_t c = 0; c < channels_; ++c) {
-            const float invstd =
-                1.0f / std::sqrt(running_var_.at(c) + eps_);
-            const float mean = running_mean_.at(c);
-            const float g = gamma_.value.at(c), b = beta_.value.at(c);
-            for (int64_t n = 0; n < N; ++n)
-                for (int64_t h = 0; h < H; ++h)
-                    for (int64_t w = 0; w < W; ++w)
-                        y.at4(n, c, h, w) =
-                            g * (x.at4(n, c, h, w) - mean) * invstd + b;
-        }
+        batchNorm2dEval(x.data(), N, channels_, H * W,
+                        running_mean_.data(), running_var_.data(),
+                        gamma_.value.data(), beta_.value.data(), eps_,
+                        y.data());
     }
     return y;
 }
@@ -162,28 +203,10 @@ LayerNorm::forward(const Tensor &x, bool train)
         xhat_ = Tensor(x.shape());
         invstd_.assign(static_cast<size_t>(R), 0.0f);
     }
-    for (int64_t r = 0; r < R; ++r) {
-        double mean = 0.0;
-        for (int64_t j = 0; j < features_; ++j)
-            mean += x.at(r, j);
-        mean /= static_cast<double>(features_);
-        double var = 0.0;
-        for (int64_t j = 0; j < features_; ++j) {
-            const double d = x.at(r, j) - mean;
-            var += d * d;
-        }
-        var /= static_cast<double>(features_);
-        const float inv = 1.0f / std::sqrt(static_cast<float>(var) + eps_);
-        for (int64_t j = 0; j < features_; ++j) {
-            const float xh =
-                (x.at(r, j) - static_cast<float>(mean)) * inv;
-            if (train)
-                xhat_.at(r, j) = xh;
-            y.at(r, j) = gamma_.value.at(j) * xh + beta_.value.at(j);
-        }
-        if (train)
-            invstd_[static_cast<size_t>(r)] = inv;
-    }
+    layerNormForward(x.data(), R, features_, gamma_.value.data(),
+                     beta_.value.data(), eps_, y.data(),
+                     train ? xhat_.data() : nullptr,
+                     train ? invstd_.data() : nullptr);
     return y;
 }
 

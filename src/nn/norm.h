@@ -12,6 +12,32 @@
 
 namespace lutdla::nn {
 
+/**
+ * Raw eval-mode batch-norm kernel over NCHW data: per channel,
+ * y = gamma * (x - mean) / sqrt(var + eps) + beta. Shared by
+ * BatchNorm2d::forward (eval branch) and the serving layer's norm stage
+ * so the frozen snapshot stays bit-exact with the live layer.
+ *
+ * @param x  Input [n, c, hw] flattened spatial planes, contiguous.
+ * @param y  Caller-allocated output of the same extent.
+ */
+void batchNorm2dEval(const float *x, int64_t n, int64_t c, int64_t hw,
+                     const float *mean, const float *var, const float *gamma,
+                     const float *beta, float eps, float *y);
+
+/**
+ * Raw layer-norm kernel over [rows, features]: per row, normalize to zero
+ * mean / unit variance then apply gamma/beta. Shared by LayerNorm::forward
+ * and the serving layer's norm stage (single definition, bit-exact).
+ *
+ * @param xhat   When non-null, receives the normalized activations
+ *               (training caches them for backward; serving passes null).
+ * @param invstd When non-null, receives each row's 1/std.
+ */
+void layerNormForward(const float *x, int64_t rows, int64_t features,
+                      const float *gamma, const float *beta, float eps,
+                      float *y, float *xhat, float *invstd);
+
 /** Per-channel batch normalization over NCHW with running statistics. */
 class BatchNorm2d : public Layer
 {
@@ -27,6 +53,18 @@ class BatchNorm2d : public Layer
     /** Fold (gamma, beta, running stats) into an equivalent scale/shift. */
     void foldedAffine(std::vector<float> &scale,
                       std::vector<float> &shift) const;
+
+    /** @name Frozen-deployment snapshot accessors (read-only)
+     * The serving lowering pass copies these into an immutable norm stage.
+     * @{
+     */
+    int64_t channels() const { return channels_; }
+    float epsilon() const { return eps_; }
+    const Tensor &runningMean() const { return running_mean_; }
+    const Tensor &runningVar() const { return running_var_; }
+    const Tensor &gamma() const { return gamma_.value; }
+    const Tensor &beta() const { return beta_.value; }
+    /** @} */
 
   private:
     int64_t channels_;
@@ -51,6 +89,15 @@ class LayerNorm : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     std::vector<Parameter *> parameters() override;
+
+    /** @name Frozen-deployment snapshot accessors (read-only)
+     * @{
+     */
+    int64_t features() const { return features_; }
+    float epsilon() const { return eps_; }
+    const Tensor &gamma() const { return gamma_.value; }
+    const Tensor &beta() const { return beta_.value; }
+    /** @} */
 
   private:
     int64_t features_;

@@ -172,6 +172,10 @@ InferenceEngine::submit(const Tensor &rows)
 void
 InferenceEngine::workerLoop()
 {
+    // Worker-lifetime scratch: the stage chain's ping-pong activation
+    // planes and conv im2col buffers grow to the largest batch seen and
+    // are reused for every subsequent batch this worker executes.
+    StageScratch scratch;
     while (true) {
         auto first = queue_.pop();
         if (!first)
@@ -193,12 +197,13 @@ InferenceEngine::workerLoop()
             rows += next->rows;
             batch.push_back(std::move(*next));
         }
-        runBatch(batch, rows);
+        runBatch(batch, rows, scratch);
     }
 }
 
 void
-InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows)
+InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
+                          StageScratch &scratch)
 {
     const int64_t in_width = model_.inputWidth();
     Tensor packed(Shape{rows, in_width});
@@ -211,7 +216,7 @@ InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows)
         offset += request.rows;
     }
 
-    const Tensor output = model_.forwardBatch(packed);
+    const Tensor output = model_.forwardBatch(packed, scratch);
     const int64_t out_width = output.dim(1);
     const auto done = Clock::now();
 

@@ -11,10 +11,12 @@
  * dynamic batching: a worker opens a batch with the first request it pops,
  * then keeps admitting requests until the batch holds `max_batch` rows or
  * `max_wait_us` has elapsed since the batch opened, whichever comes first.
- * The coalesced rows run through the row-blocked arena kernel
- * (LutTableArena::forwardBatch), which is where the throughput comes from:
- * each subspace's table bank is loaded into cache once per batch instead of
- * once per row.
+ * The coalesced rows run through the frozen stage graph
+ * (FrozenModel::forwardBatch): each worker iterates the model's stages with
+ * its own reusable StageScratch, so steady-state batches perform no
+ * allocations and each LUT stage's row-blocked arena kernel is where the
+ * throughput comes from — every subspace's table bank is loaded into cache
+ * once per batch instead of once per row.
  *
  * Request lifecycle: submitAsync() validates, stamps, and enqueues the
  * request (blocking for backpressure when the queue is full) and returns a
@@ -122,7 +124,8 @@ class InferenceEngine
     };
 
     void workerLoop();
-    void runBatch(std::vector<Request> &batch, int64_t rows);
+    void runBatch(std::vector<Request> &batch, int64_t rows,
+                  StageScratch &scratch);
     void failRemaining();
 
     FrozenModel model_;

@@ -1,10 +1,13 @@
 #include "serve/frozen_model.h"
 
 #include <cmath>
+#include <cstring>
 #include <string>
 
+#include "lutboost/lut_conv.h"
 #include "lutboost/lut_linear.h"
 #include "nn/activations.h"
+#include "nn/norm.h"
 #include "nn/sequential.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -26,45 +29,234 @@ flattenLayers(const nn::LayerPtr &layer, std::vector<nn::Layer *> &out)
     out.push_back(layer.get());
 }
 
-void
-applyPost(Tensor &t, PostOp op)
-{
-    switch (op) {
-      case PostOp::None:
-        return;
-      case PostOp::Relu:
-        for (int64_t i = 0; i < t.numel(); ++i)
-            if (!(t.at(i) > 0.0f))
-                t.at(i) = 0.0f;
-        return;
-      case PostOp::Gelu:
-        // nn::geluForward IS the eval-path function — sharing the
-        // definition is what keeps the bit-exactness contract honest.
-        for (int64_t i = 0; i < t.numel(); ++i)
-            t.at(i) = nn::geluForward(t.at(i));
-        return;
-    }
-}
-
-/** Cyclic column replication used only by trace-synthesized models. */
-Tensor
-adaptWidth(const Tensor &x, int64_t want)
-{
-    const int64_t rows = x.dim(0), have = x.dim(1);
-    Tensor out(Shape{rows, want});
-    for (int64_t r = 0; r < rows; ++r) {
-        const float *src = x.data() + r * have;
-        float *dst = out.data() + r * want;
-        for (int64_t j = 0; j < want; ++j)
-            dst[j] = src[j % have];
-    }
-    return out;
-}
-
 bool
 isPowerOfTwo(int64_t x)
 {
     return x > 0 && (x & (x - 1)) == 0;
+}
+
+/**
+ * Activation-shape state threaded through the lowering walk: either a
+ * spatial [c, h, w] image per row, a known flat width, or unknown (before
+ * the first width-fixing layer).
+ */
+struct LowerState
+{
+    bool spatial = false;
+    int64_t c = 0, h = 0, w = 0;  ///< valid when spatial
+    int64_t flat = -1;            ///< valid when >= 0 and not spatial
+
+    bool known() const { return spatial || flat >= 0; }
+
+    std::string
+    str() const
+    {
+        if (spatial)
+            return "[C=" + std::to_string(c) + ", H=" + std::to_string(h) +
+                   ", W=" + std::to_string(w) + "]";
+        if (flat >= 0)
+            return "[" + std::to_string(flat) + "]";
+        return "(unknown)";
+    }
+};
+
+/**
+ * The single lowering pass behind fromModel and validateServable: walk a
+ * flattened layer chain tracking the activation shape and either emit a
+ * stage per layer (emit != nullptr; requires frozen LUT operators) or
+ * only validate the topology (emit == nullptr; side-effect free, works
+ * pre-freeze). Every rejection names the first unlowerable layer.
+ */
+api::Status
+lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
+           std::vector<StagePtr> *emit)
+{
+    LowerState st;
+    bool any_lut = false;
+
+    for (nn::Layer *layer : layers) {
+        if (auto *conv = dynamic_cast<lutboost::LutConv2d *>(layer)) {
+            const ConvGeometry &geom = conv->geometry();
+            if (!st.known()) {
+                if (!input.spatial())
+                    return api::Status::invalidArgument(
+                        "LutConv2d at the model input needs the serving "
+                        "image shape; pass ServeInputShape{height, width} "
+                        "(each request row is a flattened NCHW image)");
+                st.spatial = true;
+                st.c = geom.in_channels;
+                st.h = input.height;
+                st.w = input.width;
+            }
+            if (!st.spatial)
+                return api::Status::invalidArgument(
+                    "LutConv2d cannot follow a flat " + st.str() +
+                    " output; conv stages need spatial (NCHW) rows");
+            if (st.c != geom.in_channels)
+                return api::Status::invalidArgument(
+                    "LutConv2d expects " +
+                    std::to_string(geom.in_channels) +
+                    " input channels but the previous stage emits " +
+                    st.str());
+            const int64_t ho = geom.outSize(st.h), wo = geom.outSize(st.w);
+            if (ho < 1 || wo < 1)
+                return api::Status::invalidArgument(
+                    "LutConv2d collapses the spatial extent " + st.str() +
+                    " to zero; the serving input shape is too small");
+            if (emit) {
+                if (!conv->inferenceLutReady())
+                    return api::Status::failedPrecondition(
+                        "LutConv2d is not frozen; call "
+                        "refreshInferenceLut() (or Pipeline "
+                        "deployPrecision()) before serving");
+                emit->push_back(std::make_shared<ConvStage>(
+                    geom, st.h, st.w, conv->inferenceArena()));
+            }
+            st.c = geom.out_channels;
+            st.h = ho;
+            st.w = wo;
+            any_lut = true;
+            continue;
+        }
+        if (auto *lut = dynamic_cast<lutboost::LutLinear *>(layer)) {
+            if (st.spatial)
+                return api::Status::invalidArgument(
+                    "LutLinear follows a spatial " + st.str() +
+                    " output; insert Flatten (or GlobalAvgPool) before "
+                    "the classifier head");
+            if (st.flat >= 0 && st.flat != lut->inFeatures())
+                return api::Status::invalidArgument(
+                    "stage widths do not chain at LutLinear: previous "
+                    "layer emits " + std::to_string(st.flat) +
+                    ", next expects " + std::to_string(lut->inFeatures()));
+            if (emit) {
+                if (!lut->inferenceLutReady())
+                    return api::Status::failedPrecondition(
+                        "LutLinear is not frozen; call "
+                        "refreshInferenceLut() (or Pipeline "
+                        "deployPrecision()) before serving");
+                emit->push_back(
+                    std::make_shared<ArenaStage>(lut->inferenceArena()));
+            }
+            st.spatial = false;
+            st.flat = lut->outFeatures();
+            any_lut = true;
+            continue;
+        }
+        if (dynamic_cast<nn::ReLU *>(layer) != nullptr ||
+            dynamic_cast<nn::GELU *>(layer) != nullptr) {
+            if (!st.known())
+                return api::Status::invalidArgument(
+                    "activation '" + layer->name() +
+                    "' at the model input has no inferable width; put a "
+                    "LUT operator first");
+            if (emit) {
+                const auto op = dynamic_cast<nn::ReLU *>(layer) != nullptr
+                                    ? PointwiseStage::Op::Relu
+                                    : PointwiseStage::Op::Gelu;
+                const int64_t width =
+                    st.spatial ? st.c * st.h * st.w : st.flat;
+                emit->push_back(
+                    std::make_shared<PointwiseStage>(op, width));
+            }
+            continue;
+        }
+        if (dynamic_cast<nn::Flatten *>(layer) != nullptr) {
+            if (st.spatial) {
+                const int64_t width = st.c * st.h * st.w;
+                if (emit)
+                    emit->push_back(
+                        std::make_shared<FlattenStage>(width));
+                st.spatial = false;
+                st.flat = width;
+            }
+            // Already-flat rows: rank-preserving identity, nothing to emit.
+            continue;
+        }
+        if (auto *pool = dynamic_cast<nn::MaxPool2d *>(layer)) {
+            if (!st.spatial)
+                return api::Status::invalidArgument(
+                    "MaxPool2d requires spatial (NCHW) rows but the "
+                    "previous stage emits " + st.str() +
+                    "; serving lowers pools only inside conv chains");
+            const int64_t k = pool->kernel();
+            if (st.h / k < 1 || st.w / k < 1)
+                return api::Status::invalidArgument(
+                    "MaxPool2d kernel " + std::to_string(k) +
+                    " collapses the spatial extent " + st.str() +
+                    " to zero");
+            if (emit)
+                emit->push_back(std::make_shared<MaxPoolStage>(
+                    st.c, st.h, st.w, k));
+            st.h /= k;
+            st.w /= k;
+            continue;
+        }
+        if (dynamic_cast<nn::GlobalAvgPool *>(layer) != nullptr) {
+            if (!st.spatial)
+                return api::Status::invalidArgument(
+                    "GlobalAvgPool requires spatial (NCHW) rows but the "
+                    "previous stage emits " + st.str());
+            if (emit)
+                emit->push_back(std::make_shared<GlobalAvgPoolStage>(
+                    st.c, st.h, st.w));
+            st.spatial = false;
+            st.flat = st.c;
+            continue;
+        }
+        if (auto *bn = dynamic_cast<nn::BatchNorm2d *>(layer)) {
+            if (!st.known()) {
+                if (!input.spatial())
+                    return api::Status::invalidArgument(
+                        "BatchNorm2d at the model input needs the serving "
+                        "image shape; pass ServeInputShape{height, width}");
+                st.spatial = true;
+                st.c = bn->channels();
+                st.h = input.height;
+                st.w = input.width;
+            }
+            if (!st.spatial || st.c != bn->channels())
+                return api::Status::invalidArgument(
+                    "BatchNorm2d over " + std::to_string(bn->channels()) +
+                    " channels cannot follow a stage emitting " + st.str());
+            if (emit) {
+                auto vec = [](const Tensor &t) {
+                    return std::vector<float>(t.data(),
+                                              t.data() + t.numel());
+                };
+                emit->push_back(std::make_shared<BatchNormStage>(
+                    vec(bn->runningMean()), vec(bn->runningVar()),
+                    vec(bn->gamma()), vec(bn->beta()), bn->epsilon(),
+                    st.h, st.w));
+            }
+            continue;
+        }
+        if (auto *ln = dynamic_cast<nn::LayerNorm *>(layer)) {
+            if (st.spatial || st.flat != ln->features())
+                return api::Status::invalidArgument(
+                    "LayerNorm over " + std::to_string(ln->features()) +
+                    " features cannot follow a stage emitting " + st.str());
+            if (emit) {
+                auto vec = [](const Tensor &t) {
+                    return std::vector<float>(t.data(),
+                                              t.data() + t.numel());
+                };
+                emit->push_back(std::make_shared<LayerNormStage>(
+                    vec(ln->gamma()), vec(ln->beta()), ln->epsilon()));
+            }
+            continue;
+        }
+        return api::Status::invalidArgument(
+            "unsupported layer '" + layer->name() +
+            "' for serving; FrozenModel lowers Sequential chains of "
+            "LutLinear/LutConv2d/ReLU/GELU/MaxPool2d/GlobalAvgPool/"
+            "BatchNorm2d/LayerNorm/Flatten (use fromTrace for other "
+            "topologies)");
+    }
+    if (!any_lut)
+        return api::Status::failedPrecondition(
+            "model has no LUT operators; convert it before serving");
+    return {};
 }
 
 } // namespace
@@ -91,76 +283,29 @@ synthesizeTraceLayer(const sim::GemmShape &gemm, const vq::PQConfig &pq,
 }
 
 api::Status
-FrozenModel::validateServable(const nn::LayerPtr &model)
+FrozenModel::validateServable(const nn::LayerPtr &model,
+                              ServeInputShape input)
 {
     if (!model)
         return api::Status::invalidArgument(
             "FrozenModel requires a model");
     std::vector<nn::Layer *> layers;
     flattenLayers(model, layers);
-
-    int64_t prev_out = -1;
-    bool prev_stage_open = false;  // a LUT stage with no post-op yet
-    bool any_lut = false;
-    for (nn::Layer *layer : layers) {
-        if (auto *lut = dynamic_cast<lutboost::LutLinear *>(layer)) {
-            if (prev_out >= 0 && prev_out != lut->inFeatures())
-                return api::Status::invalidArgument(
-                    "stage widths do not chain: previous layer emits " +
-                    std::to_string(prev_out) + ", next expects " +
-                    std::to_string(lut->inFeatures()));
-            prev_out = lut->outFeatures();
-            prev_stage_open = true;
-            any_lut = true;
-            continue;
-        }
-        if (dynamic_cast<nn::Flatten *>(layer) != nullptr)
-            continue;  // identity on the rank-2 rows serving handles
-        if (dynamic_cast<nn::ReLU *>(layer) != nullptr ||
-            dynamic_cast<nn::GELU *>(layer) != nullptr) {
-            if (!prev_stage_open)
-                return api::Status::invalidArgument(
-                    "unsupported activation placement for serving (must "
-                    "directly follow a LUT stage)");
-            prev_stage_open = false;
-            continue;
-        }
-        return api::Status::invalidArgument(
-            "unsupported layer '" + layer->name() +
-            "' for serving; FrozenModel handles Sequential chains of "
-            "LutLinear/ReLU/GELU/Flatten (use fromTrace for other "
-            "topologies)");
-    }
-    if (!any_lut)
-        return api::Status::failedPrecondition(
-            "model has no LUT operators; convert it before serving");
-    return {};
+    return lowerChain(layers, input, nullptr);
 }
 
 api::Result<FrozenModel>
-FrozenModel::fromModel(const nn::LayerPtr &model)
+FrozenModel::fromModel(const nn::LayerPtr &model, ServeInputShape input)
 {
-    if (api::Status status = validateServable(model); !status.ok())
-        return status;
+    if (!model)
+        return api::Status::invalidArgument(
+            "FrozenModel requires a model");
     std::vector<nn::Layer *> layers;
     flattenLayers(model, layers);
-
-    // Topology is validated above; this pass only snapshots arenas and
-    // attaches post-ops.
     FrozenModel frozen;
-    for (nn::Layer *layer : layers) {
-        if (auto *lut = dynamic_cast<lutboost::LutLinear *>(layer)) {
-            if (!lut->inferenceLutReady())
-                return api::Status::failedPrecondition(
-                    "LutLinear is not frozen; call refreshInferenceLut() "
-                    "(or Pipeline deployPrecision()) before serving");
-            frozen.stages_.push_back({lut->inferenceArena(), PostOp::None});
-        } else if (dynamic_cast<nn::ReLU *>(layer) != nullptr) {
-            frozen.stages_.back().post = PostOp::Relu;
-        } else if (dynamic_cast<nn::GELU *>(layer) != nullptr) {
-            frozen.stages_.back().post = PostOp::Gelu;
-        }
-    }
+    if (api::Status status = lowerChain(layers, input, &frozen.stages_);
+        !status.ok())
+        return status;
     return frozen;
 }
 
@@ -181,6 +326,7 @@ FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
 
     FrozenModel frozen;
     int64_t index = 0;
+    int64_t prev_out = -1;
     for (const sim::GemmShape &gemm : gemms) {
         if (gemm.k < 1 || gemm.n < 1)
             return api::Status::invalidArgument(
@@ -191,11 +337,14 @@ FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
             gemm, pq, seed, index++, precision.bf16_similarity);
         const vq::LookupTable lut(layer.quantizer, layer.weights,
                                   precision);
-        frozen.stages_.push_back(
-            {std::make_shared<const lutboost::LutTableArena>(
-                 layer.quantizer, lut, nullptr,
-                 precision.bf16_similarity),
-             PostOp::None});
+        if (prev_out >= 0 && prev_out != gemm.k)
+            frozen.stages_.push_back(
+                std::make_shared<WidthAdaptStage>(prev_out, gemm.k));
+        frozen.stages_.push_back(std::make_shared<ArenaStage>(
+            std::make_shared<const lutboost::LutTableArena>(
+                layer.quantizer, lut, nullptr,
+                precision.bf16_similarity)));
+        prev_out = gemm.n;
     }
     return frozen;
 }
@@ -204,40 +353,99 @@ int64_t
 FrozenModel::inputWidth() const
 {
     LUTDLA_CHECK(!stages_.empty(), "empty FrozenModel");
-    return stages_.front().lut->inFeatures();
+    return stages_.front()->inWidth();
 }
 
 int64_t
 FrozenModel::outputWidth() const
 {
     LUTDLA_CHECK(!stages_.empty(), "empty FrozenModel");
-    return stages_.back().lut->outFeatures();
+    return stages_.back()->outWidth();
+}
+
+int64_t
+FrozenModel::numLutStages() const
+{
+    int64_t count = 0;
+    for (const StagePtr &stage : stages_)
+        if (stage->tableBytes() > 0)
+            ++count;
+    return count;
 }
 
 int64_t
 FrozenModel::tableBytes() const
 {
     int64_t total = 0;
-    for (const FrozenStage &stage : stages_)
-        total += stage.lut->sizeBytes();
+    for (const StagePtr &stage : stages_)
+        total += stage->tableBytes();
     return total;
 }
 
+std::string
+FrozenModel::describe() const
+{
+    std::string out;
+    for (const StagePtr &stage : stages_) {
+        if (!out.empty())
+            out += " -> ";
+        out += stage->kind();
+    }
+    return out;
+}
+
 Tensor
-FrozenModel::forwardBatch(const Tensor &x) const
+FrozenModel::forwardBatch(const Tensor &x, StageScratch &scratch) const
 {
     LUTDLA_CHECK(!stages_.empty(), "empty FrozenModel");
     LUTDLA_CHECK(x.rank() == 2 && x.dim(1) == inputWidth(),
                  "FrozenModel expects [rows, ", inputWidth(), "], got ",
                  shapeStr(x.shape()));
-    Tensor cur = x;
-    for (const FrozenStage &stage : stages_) {
-        if (cur.dim(1) != stage.lut->inFeatures())
-            cur = adaptWidth(cur, stage.lut->inFeatures());
-        cur = stage.lut->forwardBatch(cur);
-        applyPost(cur, stage.post);
+    const int64_t rows = x.dim(0);
+
+    // Ping-pong execution: `cur` tracks the live activations, which start
+    // in the request tensor itself (read-only), move into a scratch plane
+    // at the first stage, and alternate planes at every out-of-place
+    // stage. In-place stages mutate the live plane directly.
+    const float *cur = x.data();
+    float *cur_mut = nullptr;  // non-null once cur points into scratch
+    bool in_ping = false;
+    for (const StagePtr &stage : stages_) {
+        if (stage->inPlace()) {
+            if (cur_mut == nullptr) {
+                scratch.ping.resize(
+                    static_cast<size_t>(rows * stage->inWidth()));
+                std::memcpy(scratch.ping.data(), cur,
+                            static_cast<size_t>(rows * stage->inWidth()) *
+                                sizeof(float));
+                cur_mut = scratch.ping.data();
+                cur = cur_mut;
+                in_ping = true;
+            }
+            stage->forwardInPlace(cur_mut, rows);
+        } else {
+            std::vector<float> &dst =
+                (cur_mut != nullptr && in_ping) ? scratch.pong
+                                                : scratch.ping;
+            dst.resize(static_cast<size_t>(rows * stage->outWidth()));
+            stage->forward(cur, rows, dst.data(), scratch);
+            cur_mut = dst.data();
+            cur = cur_mut;
+            in_ping = (&dst == &scratch.ping);
+        }
     }
-    return cur;
+
+    Tensor y(Shape{rows, outputWidth()});
+    std::memcpy(y.data(), cur,
+                static_cast<size_t>(y.numel()) * sizeof(float));
+    return y;
+}
+
+Tensor
+FrozenModel::forwardBatch(const Tensor &x) const
+{
+    StageScratch scratch;
+    return forwardBatch(x, scratch);
 }
 
 } // namespace lutdla::serve

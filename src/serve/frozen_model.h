@@ -4,32 +4,37 @@
 /**
  * @file
  * FrozenModel: the serving layer's immutable view of a deployed network —
- * an ordered list of flat LUT table arenas with pointwise post-ops between
- * them. Once built it shares the arenas by shared_ptr and never touches the
+ * a stage graph (see serve/stage.h) produced by one lowering pass over a
+ * LUTBoost-converted model. Each stage is an immutable node (arena GEMM,
+ * im2col-lowered conv, pooling, flatten, norm, pointwise activation);
+ * once built, the model shares arenas by shared_ptr and never touches the
  * mutable nn:: training graph again, which is what makes concurrent
  * forwardBatch() calls safe and keeps a live engine unaffected by later
  * re-training or re-freezing of the source model.
  *
  * Two builders:
- *  - fromModel(): snapshot a LUTBoost-converted, frozen nn model
- *    (Sequential chains of LutLinear / ReLU / GELU / Flatten). Bit-exact
- *    with eval-mode model->forward().
+ *  - fromModel(): lower a LUTBoost-converted, frozen nn model — Sequential
+ *    chains of LutLinear / LutConv2d / ReLU / GELU / MaxPool2d /
+ *    GlobalAvgPool / BatchNorm2d / LayerNorm / Flatten. MLP chains lower
+ *    directly; CNN chains additionally need the input image shape
+ *    (ServeInputShape) because serving works on flat rows. Bit-exact with
+ *    eval-mode model->forward().
  *  - fromTrace(): synthesize a load-testing model from a workload's GEMM
- *    trace (randomized codebooks/weights, one arena per traced layer), so
- *    throughput experiments can run the paper's full-scale networks —
- *    e.g. resnet18 — whose float weights this repo does not ship. Stage
- *    widths follow the trace, so consecutive stages need not chain; the
- *    forward pass adapts widths by cyclic column replication, preserving
- *    each layer's true gather workload.
+ *    trace (randomized codebooks/weights, one arena stage per traced
+ *    layer). Stage widths follow the trace, so consecutive stages need
+ *    not chain; the lowering inserts explicit WidthAdaptStage nodes
+ *    (cyclic column replication), preserving each layer's true gather
+ *    workload.
  */
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "api/status.h"
-#include "lutboost/table_arena.h"
 #include "nn/layer.h"
+#include "serve/stage.h"
 #include "sim/config.h"
 #include "vq/pq.h"
 
@@ -53,19 +58,19 @@ TraceLayer synthesizeTraceLayer(const sim::GemmShape &gemm,
                                 const vq::PQConfig &pq, uint64_t seed,
                                 int64_t index, bool bf16_codebooks = false);
 
-/** Pointwise op applied after a LUT stage (mirrors nn:: eval math). */
-enum class PostOp
+/**
+ * Spatial shape of the serving input when the model starts with conv /
+ * pool / norm layers: each request row is a flattened [C, height, width]
+ * NCHW image (C comes from the first layer's geometry). Leave default
+ * (0, 0) for flat MLP-class inputs.
+ */
+struct ServeInputShape
 {
-    None,
-    Relu,
-    Gelu
-};
+    int64_t height = 0;
+    int64_t width = 0;
 
-/** One serving stage: a frozen LUT layer plus its trailing activation. */
-struct FrozenStage
-{
-    std::shared_ptr<const lutboost::LutTableArena> lut;
-    PostOp post = PostOp::None;
+    /** True when a spatial input shape was provided. */
+    bool spatial() const { return height > 0 && width > 0; }
 };
 
 /** Immutable, thread-safe inference snapshot of a deployed LUT network. */
@@ -73,27 +78,32 @@ class FrozenModel
 {
   public:
     /**
-     * Snapshot a converted nn model. Every LutLinear must already be
-     * frozen (refreshInferenceLut); supported layers are Sequential,
-     * LutLinear, ReLU, GELU, and rank-preserving Flatten. Anything else
-     * (unconverted Linear, convolutions, norms) yields InvalidArgument —
-     * serve conv/transformer graphs via fromTrace() for now.
+     * Lower a converted nn model into the stage graph. Every LUT operator
+     * must already be frozen (refreshInferenceLut); supported layers are
+     * Sequential, LutLinear, LutConv2d, ReLU, GELU, MaxPool2d,
+     * GlobalAvgPool, BatchNorm2d, LayerNorm, and Flatten. Anything else
+     * yields InvalidArgument naming the first unlowerable layer. Models
+     * whose first lowered layer is spatial (conv/pool/norm) additionally
+     * require `input` to carry the image height/width.
      */
-    static api::Result<FrozenModel> fromModel(const nn::LayerPtr &model);
+    static api::Result<FrozenModel>
+    fromModel(const nn::LayerPtr &model, ServeInputShape input = {});
 
     /**
-     * Check that `model`'s topology is servable by fromModel WITHOUT
+     * Check that `model`'s topology is lowerable by fromModel WITHOUT
      * requiring (or triggering) any freeze — side-effect free. Callers
      * that freeze layers on the caller's behalf (api::makeEngine) run
      * this first so a rejected model is returned unmodified.
      */
-    static api::Status validateServable(const nn::LayerPtr &model);
+    static api::Status validateServable(const nn::LayerPtr &model,
+                                        ServeInputShape input = {});
 
     /**
      * Synthesize a load-testing model from a deployment GEMM trace: one
-     * arena per GEMM, Gaussian random codebooks and weights (deterministic
-     * in `seed`), no bias, no activations. Validates `pq` like the
-     * conversion pipeline does.
+     * arena stage per GEMM, Gaussian random codebooks and weights
+     * (deterministic in `seed`), no bias, no activations; WidthAdaptStage
+     * between non-chaining widths. Validates `pq` like the conversion
+     * pipeline does.
      */
     static api::Result<FrozenModel>
     fromTrace(const std::vector<sim::GemmShape> &gemms,
@@ -106,27 +116,38 @@ class FrozenModel
     /** Output width the last stage produces. */
     int64_t outputWidth() const;
 
-    /** Number of LUT stages. */
+    /** Number of stages in the graph (all kinds, not just LUT). */
     int64_t numStages() const
     {
         return static_cast<int64_t>(stages_.size());
     }
 
+    /** Number of LUT-backed stages (arena GEMM + conv). */
+    int64_t numLutStages() const;
+
     /** Total arena footprint in bytes across stages. */
     int64_t tableBytes() const;
 
     /** Stage list (read-only). */
-    const std::vector<FrozenStage> &stages() const { return stages_; }
+    const std::vector<StagePtr> &stages() const { return stages_; }
+
+    /** Human-readable stage chain, e.g. "conv -> relu -> ... ". */
+    std::string describe() const;
 
     /**
-     * Run a batch of rows through every stage. Thread-safe and bit-exact
-     * with the source model's eval forward (fromModel case). Rows must be
-     * [batch, inputWidth()].
+     * Run a batch of rows through every stage using caller-owned scratch
+     * (the engine passes per-worker scratch so steady-state batches do
+     * not allocate). Thread-safe — distinct scratch per concurrent caller
+     * — and bit-exact with the source model's eval forward (fromModel
+     * case). Rows must be [batch, inputWidth()].
      */
+    Tensor forwardBatch(const Tensor &x, StageScratch &scratch) const;
+
+    /** Convenience overload with throwaway scratch. */
     Tensor forwardBatch(const Tensor &x) const;
 
   private:
-    std::vector<FrozenStage> stages_;
+    std::vector<StagePtr> stages_;
 };
 
 } // namespace lutdla::serve

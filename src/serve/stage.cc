@@ -1,0 +1,99 @@
+#include "serve/stage.h"
+
+#include <cstring>
+
+#include "nn/activations.h"
+#include "nn/norm.h"
+#include "util/logging.h"
+
+namespace lutdla::serve {
+
+void
+FrozenStage::forward(const float *in, int64_t rows, float *out,
+                     StageScratch &) const
+{
+    // Adapter for in-place stages driven through the out-of-place entry
+    // point (e.g. by callers without a reusable buffer chain).
+    LUTDLA_CHECK(inPlace(), "stage '", kind(),
+                 "' implements neither forward nor forwardInPlace");
+    std::memcpy(out, in,
+                static_cast<size_t>(rows * inWidth()) * sizeof(float));
+    forwardInPlace(out, rows);
+}
+
+void
+FrozenStage::forwardInPlace(float *, int64_t) const
+{
+    panic("stage '", kind(), "' is not an in-place stage");
+}
+
+void
+ArenaStage::forward(const float *in, int64_t rows, float *out,
+                    StageScratch &) const
+{
+    arena_->forwardBatch(in, rows, out);
+}
+
+void
+ConvStage::forward(const float *in, int64_t rows, float *out,
+                   StageScratch &scratch) const
+{
+    lutboost::convArenaForward(*arena_, geom_, in, rows, h_, w_, out,
+                               scratch.conv);
+}
+
+void
+PointwiseStage::forwardInPlace(float *data, int64_t rows) const
+{
+    const int64_t total = rows * width_;
+    if (op_ == Op::Relu) {
+        for (int64_t i = 0; i < total; ++i)
+            data[i] = nn::reluForward(data[i]);
+    } else {
+        for (int64_t i = 0; i < total; ++i)
+            data[i] = nn::geluForward(data[i]);
+    }
+}
+
+void
+MaxPoolStage::forward(const float *in, int64_t rows, float *out,
+                      StageScratch &) const
+{
+    nn::maxPool2dForward(in, rows, c_, h_, w_, k_, out, nullptr);
+}
+
+void
+GlobalAvgPoolStage::forward(const float *in, int64_t rows, float *out,
+                            StageScratch &) const
+{
+    nn::globalAvgPoolForward(in, rows, c_, h_, w_, out);
+}
+
+void
+BatchNormStage::forwardInPlace(float *data, int64_t rows) const
+{
+    nn::batchNorm2dEval(data, rows, static_cast<int64_t>(mean_.size()),
+                        h_ * w_, mean_.data(), var_.data(), gamma_.data(),
+                        beta_.data(), eps_, data);
+}
+
+void
+LayerNormStage::forwardInPlace(float *data, int64_t rows) const
+{
+    nn::layerNormForward(data, rows, inWidth(), gamma_.data(), beta_.data(),
+                         eps_, data, nullptr, nullptr);
+}
+
+void
+WidthAdaptStage::forward(const float *in, int64_t rows, float *out,
+                         StageScratch &) const
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *src = in + r * in_;
+        float *dst = out + r * out_;
+        for (int64_t j = 0; j < out_; ++j)
+            dst[j] = src[j % in_];
+    }
+}
+
+} // namespace lutdla::serve

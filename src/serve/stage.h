@@ -1,0 +1,338 @@
+#ifndef LUTDLA_SERVE_STAGE_H
+#define LUTDLA_SERVE_STAGE_H
+
+/**
+ * @file
+ * The serving stage-graph IR: a FrozenModel is an ordered chain of
+ * immutable FrozenStage nodes, each transforming a batch of flat
+ * activation rows. A single lowering pass (FrozenModel::fromModel) maps
+ * every LUTBoost-converted layer kind onto one of the concrete stages
+ * here — arena GEMM for LutLinear, im2col + arena GEMM for LutConv2d,
+ * pooling / flatten / norm / pointwise for the glue layers — so the
+ * engine's batch loop is topology-agnostic: MLPs, CNNs, and future
+ * attention graphs all execute as "for stage in stages: stage.forward".
+ *
+ * Layout contract: a batch is always a [rows, width] row-major matrix of
+ * floats. Spatial stages interpret each row as a flattened NCHW image
+ * (the C*H*W geometry is baked into the stage at lowering time), which is
+ * exactly the layout nn::Flatten produces — so flattening is a zero-cost
+ * identity stage and conv/pool stages never reshape the batch dimension.
+ *
+ * Numerics contract: every stage reuses the nn:: eval-path math (shared
+ * free functions, not copies) or the bit-exact LutTableArena kernel, so a
+ * lowered chain is bit-exact with eval-mode model->forward(). Tests
+ * enforce this across precisions.
+ *
+ * Thread safety: stages are immutable after construction; all mutable
+ * state lives in the caller-owned StageScratch, so one FrozenModel can
+ * run concurrent batches from many workers.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lutboost/lut_conv.h"
+#include "lutboost/table_arena.h"
+#include "tensor/im2col.h"
+
+namespace lutdla::serve {
+
+/**
+ * Per-worker reusable buffers for one in-flight batch: the ping-pong
+ * activation planes the stage chain alternates between, plus the conv
+ * path's im2col/GEMM scratch. Engine workers each own one, so
+ * steady-state serving performs no per-batch allocations once the
+ * buffers have grown to the largest batch seen.
+ */
+struct StageScratch
+{
+    std::vector<float> ping;        ///< activation buffer A
+    std::vector<float> pong;        ///< activation buffer B
+    lutboost::ConvScratch conv;     ///< im2col + flat-GEMM scratch
+};
+
+/**
+ * One node of the serving stage graph. Implementations are immutable and
+ * thread-safe; `forward` maps [rows, inWidth()] to [rows, outWidth()].
+ * Width-preserving elementwise stages advertise inPlace() and implement
+ * forwardInPlace() instead — the executor then mutates the current buffer
+ * directly and skips a copy.
+ */
+class FrozenStage
+{
+  public:
+    virtual ~FrozenStage() = default;
+
+    /** Stage kind tag for describe() and error messages, e.g. "conv". */
+    virtual std::string kind() const = 0;
+
+    /** Flat row width this stage consumes. */
+    virtual int64_t inWidth() const = 0;
+
+    /** Flat row width this stage produces. */
+    virtual int64_t outWidth() const = 0;
+
+    /** Arena bytes owned by this stage (0 for non-LUT stages). */
+    virtual int64_t tableBytes() const { return 0; }
+
+    /** True when the stage mutates rows in place (inWidth==outWidth). */
+    virtual bool inPlace() const { return false; }
+
+    /**
+     * Out-of-place execution: read [rows, inWidth()] from `in`, write
+     * [rows, outWidth()] to `out` (caller-sized; never aliases `in`).
+     * In-place stages inherit this adapter, which copies then mutates.
+     */
+    virtual void forward(const float *in, int64_t rows, float *out,
+                         StageScratch &scratch) const;
+
+    /** In-place execution; only called when inPlace() is true. */
+    virtual void forwardInPlace(float *data, int64_t rows) const;
+};
+
+/** Shared-ownership handle to an immutable stage. */
+using StagePtr = std::shared_ptr<const FrozenStage>;
+
+/** Arena-backed LUT GEMM stage (lowered LutLinear). */
+class ArenaStage : public FrozenStage
+{
+  public:
+    explicit ArenaStage(
+        std::shared_ptr<const lutboost::LutTableArena> arena)
+        : arena_(std::move(arena))
+    {
+    }
+
+    std::string kind() const override { return "lut-gemm"; }
+    int64_t inWidth() const override { return arena_->inFeatures(); }
+    int64_t outWidth() const override { return arena_->outFeatures(); }
+    int64_t tableBytes() const override { return arena_->sizeBytes(); }
+    void forward(const float *in, int64_t rows, float *out,
+                 StageScratch &scratch) const override;
+
+  private:
+    std::shared_ptr<const lutboost::LutTableArena> arena_;
+};
+
+/**
+ * Im2col-lowered convolution stage (lowered LutConv2d): fixed input
+ * geometry (C, H, W baked in at lowering time), batched im2col into
+ * scratch, arena GEMM, NCHW reshape. Rows are flattened NCHW images.
+ */
+class ConvStage : public FrozenStage
+{
+  public:
+    ConvStage(ConvGeometry geom, int64_t height, int64_t width,
+              std::shared_ptr<const lutboost::LutTableArena> arena)
+        : geom_(geom), h_(height), w_(width), arena_(std::move(arena))
+    {
+    }
+
+    std::string kind() const override { return "conv"; }
+    int64_t
+    inWidth() const override
+    {
+        return geom_.in_channels * h_ * w_;
+    }
+    int64_t
+    outWidth() const override
+    {
+        return geom_.out_channels * geom_.outSize(h_) * geom_.outSize(w_);
+    }
+    int64_t tableBytes() const override { return arena_->sizeBytes(); }
+    void forward(const float *in, int64_t rows, float *out,
+                 StageScratch &scratch) const override;
+
+    /** The conv geometry this stage was lowered with. */
+    const ConvGeometry &geometry() const { return geom_; }
+
+  private:
+    ConvGeometry geom_;
+    int64_t h_, w_;
+    std::shared_ptr<const lutboost::LutTableArena> arena_;
+};
+
+/** Pointwise activation stage (lowered ReLU / GELU); in place. */
+class PointwiseStage : public FrozenStage
+{
+  public:
+    /** Which nn:: eval function the stage applies. */
+    enum class Op
+    {
+        Relu,
+        Gelu
+    };
+
+    PointwiseStage(Op op, int64_t width) : op_(op), width_(width) {}
+
+    std::string
+    kind() const override
+    {
+        return op_ == Op::Relu ? "relu" : "gelu";
+    }
+    int64_t inWidth() const override { return width_; }
+    int64_t outWidth() const override { return width_; }
+    bool inPlace() const override { return true; }
+    void forwardInPlace(float *data, int64_t rows) const override;
+
+  private:
+    Op op_;
+    int64_t width_;
+};
+
+/**
+ * Flatten marker stage: NCHW rows are already stored flat, so this is an
+ * identity — it exists so describe() shows the spatial->flat transition
+ * and widths keep chaining through the graph.
+ */
+class FlattenStage : public FrozenStage
+{
+  public:
+    explicit FlattenStage(int64_t width) : width_(width) {}
+
+    std::string kind() const override { return "flatten"; }
+    int64_t inWidth() const override { return width_; }
+    int64_t outWidth() const override { return width_; }
+    bool inPlace() const override { return true; }
+    void
+    forwardInPlace(float *, int64_t) const override
+    {
+    }
+
+  private:
+    int64_t width_;
+};
+
+/** Non-overlapping max-pool stage (lowered MaxPool2d). */
+class MaxPoolStage : public FrozenStage
+{
+  public:
+    MaxPoolStage(int64_t channels, int64_t height, int64_t width,
+                 int64_t kernel)
+        : c_(channels), h_(height), w_(width), k_(kernel)
+    {
+    }
+
+    std::string kind() const override { return "maxpool"; }
+    int64_t inWidth() const override { return c_ * h_ * w_; }
+    int64_t
+    outWidth() const override
+    {
+        return c_ * (h_ / k_) * (w_ / k_);
+    }
+    void forward(const float *in, int64_t rows, float *out,
+                 StageScratch &scratch) const override;
+
+  private:
+    int64_t c_, h_, w_, k_;
+};
+
+/** Global-average-pool stage (lowered GlobalAvgPool): NCHW -> [C]. */
+class GlobalAvgPoolStage : public FrozenStage
+{
+  public:
+    GlobalAvgPoolStage(int64_t channels, int64_t height, int64_t width)
+        : c_(channels), h_(height), w_(width)
+    {
+    }
+
+    std::string kind() const override { return "gpool"; }
+    int64_t inWidth() const override { return c_ * h_ * w_; }
+    int64_t outWidth() const override { return c_; }
+    void forward(const float *in, int64_t rows, float *out,
+                 StageScratch &scratch) const override;
+
+  private:
+    int64_t c_, h_, w_;
+};
+
+/**
+ * Frozen batch-norm stage (lowered BatchNorm2d): an immutable snapshot
+ * of the layer's running statistics and affine parameters, applied with
+ * the same nn::batchNorm2dEval kernel the live layer uses in eval mode.
+ */
+class BatchNormStage : public FrozenStage
+{
+  public:
+    BatchNormStage(std::vector<float> mean, std::vector<float> var,
+                   std::vector<float> gamma, std::vector<float> beta,
+                   float eps, int64_t height, int64_t width)
+        : mean_(std::move(mean)), var_(std::move(var)),
+          gamma_(std::move(gamma)), beta_(std::move(beta)), eps_(eps),
+          h_(height), w_(width)
+    {
+    }
+
+    std::string kind() const override { return "batchnorm"; }
+    int64_t
+    inWidth() const override
+    {
+        return static_cast<int64_t>(mean_.size()) * h_ * w_;
+    }
+    int64_t outWidth() const override { return inWidth(); }
+    bool inPlace() const override { return true; }
+    void forwardInPlace(float *data, int64_t rows) const override;
+
+  private:
+    std::vector<float> mean_, var_, gamma_, beta_;
+    float eps_;
+    int64_t h_, w_;
+};
+
+/**
+ * Frozen layer-norm stage (lowered LayerNorm): snapshot of gamma/beta,
+ * applied with the shared nn::layerNormForward kernel.
+ */
+class LayerNormStage : public FrozenStage
+{
+  public:
+    LayerNormStage(std::vector<float> gamma, std::vector<float> beta,
+                   float eps)
+        : gamma_(std::move(gamma)), beta_(std::move(beta)), eps_(eps)
+    {
+    }
+
+    std::string kind() const override { return "layernorm"; }
+    int64_t
+    inWidth() const override
+    {
+        return static_cast<int64_t>(gamma_.size());
+    }
+    int64_t outWidth() const override { return inWidth(); }
+    bool inPlace() const override { return true; }
+    void forwardInPlace(float *data, int64_t rows) const override;
+
+  private:
+    std::vector<float> gamma_, beta_;
+    float eps_;
+};
+
+/**
+ * Cyclic width adapter used only by trace-synthesized models, whose
+ * consecutive GEMM widths need not chain: each output column j copies
+ * input column j % inWidth, preserving each traced layer's true gather
+ * workload.
+ */
+class WidthAdaptStage : public FrozenStage
+{
+  public:
+    WidthAdaptStage(int64_t in_width, int64_t out_width)
+        : in_(in_width), out_(out_width)
+    {
+    }
+
+    std::string kind() const override { return "width-adapt"; }
+    int64_t inWidth() const override { return in_; }
+    int64_t outWidth() const override { return out_; }
+    void forward(const float *in, int64_t rows, float *out,
+                 StageScratch &scratch) const override;
+
+  private:
+    int64_t in_, out_;
+};
+
+} // namespace lutdla::serve
+
+#endif // LUTDLA_SERVE_STAGE_H

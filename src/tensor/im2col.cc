@@ -4,6 +4,41 @@
 
 namespace lutdla {
 
+void
+im2colInto(const float *input, int64_t n, int64_t h, int64_t w,
+           const ConvGeometry &geom, float *out)
+{
+    const int64_t C = geom.in_channels;
+    const int64_t Ho = geom.outSize(h), Wo = geom.outSize(w);
+    const int64_t k = geom.kernel;
+
+    int64_t row = 0;
+    for (int64_t b = 0; b < n; ++b) {
+        for (int64_t ho = 0; ho < Ho; ++ho) {
+            for (int64_t wo = 0; wo < Wo; ++wo, ++row) {
+                float *dst = out + row * geom.patchSize();
+                int64_t idx = 0;
+                for (int64_t c = 0; c < C; ++c) {
+                    const float *plane = input + (b * C + c) * h * w;
+                    for (int64_t kh = 0; kh < k; ++kh) {
+                        const int64_t hi = ho * geom.stride - geom.padding
+                                         + kh;
+                        for (int64_t kw = 0; kw < k; ++kw, ++idx) {
+                            const int64_t wi = wo * geom.stride
+                                             - geom.padding + kw;
+                            if (hi < 0 || hi >= h || wi < 0 || wi >= w) {
+                                dst[idx] = 0.0f;
+                            } else {
+                                dst[idx] = plane[hi * w + wi];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
 Tensor
 im2col(const Tensor &input, const ConvGeometry &geom)
 {
@@ -15,33 +50,7 @@ im2col(const Tensor &input, const ConvGeometry &geom)
     LUTDLA_CHECK(Ho > 0 && Wo > 0, "conv output collapsed to zero");
 
     Tensor cols(Shape{N * Ho * Wo, geom.patchSize()});
-    float *out = cols.data();
-    const int64_t k = geom.kernel;
-
-    int64_t row = 0;
-    for (int64_t n = 0; n < N; ++n) {
-        for (int64_t ho = 0; ho < Ho; ++ho) {
-            for (int64_t wo = 0; wo < Wo; ++wo, ++row) {
-                float *dst = out + row * geom.patchSize();
-                int64_t idx = 0;
-                for (int64_t c = 0; c < C; ++c) {
-                    for (int64_t kh = 0; kh < k; ++kh) {
-                        const int64_t hi = ho * geom.stride - geom.padding
-                                         + kh;
-                        for (int64_t kw = 0; kw < k; ++kw, ++idx) {
-                            const int64_t wi = wo * geom.stride
-                                             - geom.padding + kw;
-                            if (hi < 0 || hi >= H || wi < 0 || wi >= W) {
-                                dst[idx] = 0.0f;
-                            } else {
-                                dst[idx] = input.at4(n, c, hi, wi);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-    }
+    im2colInto(input.data(), N, H, W, geom, cols.data());
     return cols;
 }
 

@@ -45,6 +45,16 @@ struct ConvGeometry
 Tensor im2col(const Tensor &input, const ConvGeometry &geom);
 
 /**
+ * Raw batched im2col into a caller-provided buffer — the allocation-free
+ * kernel the serving layer drives with reusable per-worker scratch.
+ * `input` is [n, geom.in_channels, h, w] contiguous NCHW; `out` must hold
+ * n * outSize(h) * outSize(w) * patchSize() floats. Identical element
+ * order to im2col() (which delegates here).
+ */
+void im2colInto(const float *input, int64_t n, int64_t h, int64_t w,
+                const ConvGeometry &geom, float *out);
+
+/**
  * Scatter-add the im2col-shaped gradient back to input layout.
  *
  * @param cols Gradient matrix shaped like im2col's output.

@@ -198,6 +198,103 @@ TEST(LutConv2d, MatchesLinearOnIm2col)
                         1e-4f);
 }
 
+TEST(LutConv2d, SpatialCacheFollowsLatestTrainForward)
+{
+    // Regression: consecutive train forwards at different resolutions
+    // must re-cache H/W so backward unlowers against the latest shape.
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 2;
+    g.kernel = 3;
+    g.padding = 1;
+    LutConv2d conv(g, smallPq(3, 8), false, 23);
+
+    Tensor big(Shape{2, 1, 6, 6});
+    Tensor small(Shape{2, 1, 4, 4});
+    Rng rng(24);
+    for (int64_t i = 0; i < big.numel(); ++i)
+        big.at(i) = static_cast<float>(rng.gaussian(0, 1));
+    for (int64_t i = 0; i < small.numel(); ++i)
+        small.at(i) = static_cast<float>(rng.gaussian(0, 1));
+
+    conv.forward(big, true);
+    Tensor y_small = conv.forward(small, true);
+    Tensor grad(y_small.shape(), 1.0f);
+    Tensor grad_in = conv.backward(grad);
+    ASSERT_EQ(grad_in.rank(), 4);
+    EXPECT_EQ(grad_in.dim(2), 4);
+    EXPECT_EQ(grad_in.dim(3), 4);
+}
+
+TEST(LutConv2d, EvalForwardDoesNotClobberSpatialCache)
+{
+    // Regression: an eval forward between forward(train=true) and
+    // backward (e.g. a mid-training validation pass at another
+    // resolution) must not disturb the cached train shape.
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 2;
+    g.kernel = 3;
+    g.padding = 1;
+    LutConv2d conv(g, smallPq(3, 8), false, 25);
+
+    Tensor train_x(Shape{1, 1, 6, 6});
+    Tensor eval_x(Shape{1, 1, 4, 4});
+    Rng rng(26);
+    for (int64_t i = 0; i < train_x.numel(); ++i)
+        train_x.at(i) = static_cast<float>(rng.gaussian(0, 1));
+    for (int64_t i = 0; i < eval_x.numel(); ++i)
+        eval_x.at(i) = static_cast<float>(rng.gaussian(0, 1));
+
+    Tensor y = conv.forward(train_x, true);
+    conv.forward(eval_x, false);  // shape probe; must leave cache intact
+    Tensor grad_in = conv.backward(Tensor(y.shape(), 1.0f));
+    EXPECT_EQ(grad_in.dim(2), 6);
+    EXPECT_EQ(grad_in.dim(3), 6);
+}
+
+TEST(LutConv2d, BackwardRejectsMismatchedGradShape)
+{
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 2;
+    g.kernel = 3;
+    g.padding = 1;
+    LutConv2d conv(g, smallPq(3, 8), false, 27);
+    Tensor x(Shape{1, 1, 6, 6}, 0.5f);
+    conv.forward(x, true);
+    // A grad whose spatial extent matches a DIFFERENT input shape must be
+    // rejected instead of silently corrupting col2im.
+    EXPECT_DEATH(conv.backward(Tensor(Shape{1, 2, 4, 4}, 1.0f)),
+                 "does not match the last train forward");
+}
+
+TEST(LutConv2d, ForwardBatchBitExactWithEvalForward)
+{
+    ConvGeometry g;
+    g.in_channels = 2;
+    g.out_channels = 3;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 1;
+    for (bool bf16 : {false, true}) {
+        LutConv2d conv(g, smallPq(3, 8), /*bias=*/true, 28);
+        conv.inner().setPrecision(vq::LutPrecision{bf16, false});
+        conv.inner().refreshInferenceLut();
+
+        Tensor x(Shape{3, 2, 5, 5});
+        Rng rng(29);
+        for (int64_t i = 0; i < x.numel(); ++i)
+            x.at(i) = static_cast<float>(rng.gaussian(0, 1));
+
+        const Tensor batched = conv.forwardBatch(x);
+        const Tensor reference = conv.forward(x, false);
+        EXPECT_TRUE(batched.equals(reference))
+            << "bf16=" << bf16 << " maxdiff="
+            << Tensor::maxAbsDiff(batched, reference);
+    }
+}
+
 TEST(Converter, ReplacesLinearAndConv)
 {
     auto model = nn::makeLeNetStyle(4, 21);

@@ -9,9 +9,12 @@
 #include <vector>
 
 #include "api/lutdla.h"
+#include "lutboost/lut_conv.h"
 #include "lutboost/lut_linear.h"
 #include "nn/activations.h"
+#include "nn/conv2d.h"
 #include "nn/models.h"
+#include "nn/norm.h"
 #include "nn/sequential.h"
 #include "serve/frozen_model.h"
 #include "util/rng.h"
@@ -130,7 +133,10 @@ TEST(FrozenModel, MatchesModelEvalBitExact)
     const Tensor reference = fx.model->forward(fx.rows, false);
     EXPECT_TRUE(batched.equals(reference))
         << "maxdiff=" << Tensor::maxAbsDiff(batched, reference);
-    EXPECT_EQ(frozen->numStages(), 2);
+    // Stage graph: lut-gemm -> relu -> lut-gemm.
+    EXPECT_EQ(frozen->numStages(), 3);
+    EXPECT_EQ(frozen->numLutStages(), 2);
+    EXPECT_EQ(frozen->describe(), "lut-gemm -> relu -> lut-gemm");
     EXPECT_GT(frozen->tableBytes(), 0);
 }
 
@@ -167,6 +173,287 @@ TEST(ServingFacade, RejectedModelIsLeftUnfrozen)
     EXPECT_EQ(engine.status().code(), api::StatusCode::InvalidArgument);
     EXPECT_FALSE(lut->inferenceLutReady())
         << "failed makeEngine must not freeze the model's layers";
+}
+
+// ---------------------------------------------------------------------------
+// CNN lowering: the stage graph serves converted conv chains.
+
+/**
+ * A frozen conv -> relu -> pool -> flatten -> linear chain on 8x8
+ * single-channel images, frozen directly (bit-exactness needs no
+ * training). Returns the model; the serving input is 64-wide flat rows.
+ */
+nn::LayerPtr
+makeFrozenCnn(vq::LutPrecision precision)
+{
+    vq::PQConfig pq;
+    pq.v = 3;
+    pq.c = 8;
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 4;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 1;
+    auto model = std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+        std::make_shared<lutboost::LutConv2d>(g, pq, /*bias=*/true, 31),
+        std::make_shared<nn::ReLU>(),
+        std::make_shared<nn::MaxPool2d>(2),
+        std::make_shared<nn::Flatten>(),
+        std::make_shared<lutboost::LutLinear>(4 * 4 * 4, 5, pq,
+                                              /*bias=*/true, 32)});
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(model)) {
+        layer->setPrecision(precision);
+        layer->refreshInferenceLut();
+    }
+    return model;
+}
+
+Tensor
+randomImages(int64_t n, int64_t c, int64_t h, int64_t w, uint64_t seed)
+{
+    Rng rng(seed);
+    Tensor x(Shape{n, c, h, w});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    return x;
+}
+
+/** NCHW batch -> the flat [N, C*H*W] rows the serving layer consumes. */
+Tensor
+flattenImages(const Tensor &x)
+{
+    return x.reshaped(Shape{x.dim(0), x.numel() / x.dim(0)});
+}
+
+TEST(FrozenModel, CnnMatchesModelEvalBitExactAcrossPrecisions)
+{
+    for (bool bf16 : {false, true}) {
+        for (bool int8 : {false, true}) {
+            nn::LayerPtr model =
+                makeFrozenCnn(vq::LutPrecision{bf16, int8});
+            auto frozen = serve::FrozenModel::fromModel(
+                model, serve::ServeInputShape{8, 8});
+            ASSERT_TRUE(frozen.ok()) << frozen.status().toString();
+            EXPECT_EQ(frozen->describe(),
+                      "conv -> relu -> maxpool -> flatten -> lut-gemm");
+            EXPECT_EQ(frozen->numLutStages(), 2);
+            EXPECT_EQ(frozen->inputWidth(), 64);
+            EXPECT_EQ(frozen->outputWidth(), 5);
+
+            const Tensor images = randomImages(6, 1, 8, 8, 33);
+            const Tensor batched =
+                frozen->forwardBatch(flattenImages(images));
+            const Tensor reference = model->forward(images, false);
+            EXPECT_TRUE(batched.equals(reference))
+                << "bf16=" << bf16 << " int8=" << int8 << " maxdiff="
+                << Tensor::maxAbsDiff(batched, reference);
+        }
+    }
+}
+
+TEST(FrozenModel, CnnWithNormAndGlobalPoolLowersBitExact)
+{
+    vq::PQConfig pq;
+    pq.v = 3;
+    pq.c = 8;
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 4;
+    g.kernel = 3;
+    g.stride = 1;
+    g.padding = 1;
+    auto model = std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+        std::make_shared<lutboost::LutConv2d>(g, pq, /*bias=*/false, 41),
+        std::make_shared<nn::BatchNorm2d>(4),
+        std::make_shared<nn::ReLU>(),
+        std::make_shared<nn::GlobalAvgPool>(),
+        std::make_shared<lutboost::LutLinear>(4, 3, pq, /*bias=*/true,
+                                              42)});
+    // Populate BatchNorm running statistics with one training pass, THEN
+    // freeze — the stage must snapshot the post-training stats.
+    model->forward(randomImages(8, 1, 6, 6, 43), true);
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(model))
+        layer->refreshInferenceLut();
+
+    auto frozen = serve::FrozenModel::fromModel(
+        model, serve::ServeInputShape{6, 6});
+    ASSERT_TRUE(frozen.ok()) << frozen.status().toString();
+    EXPECT_EQ(frozen->describe(),
+              "conv -> batchnorm -> relu -> gpool -> lut-gemm");
+
+    const Tensor images = randomImages(5, 1, 6, 6, 44);
+    const Tensor batched = frozen->forwardBatch(flattenImages(images));
+    const Tensor reference = model->forward(images, false);
+    EXPECT_TRUE(batched.equals(reference))
+        << "maxdiff=" << Tensor::maxAbsDiff(batched, reference);
+}
+
+TEST(FrozenModel, LayerNormChainLowersBitExact)
+{
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    auto model = std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+        std::make_shared<lutboost::LutLinear>(16, 8, pq, true, 51),
+        std::make_shared<nn::LayerNorm>(8),
+        std::make_shared<nn::GELU>(),
+        std::make_shared<lutboost::LutLinear>(8, 4, pq, true, 52)});
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(model))
+        layer->refreshInferenceLut();
+
+    auto frozen = serve::FrozenModel::fromModel(model);
+    ASSERT_TRUE(frozen.ok()) << frozen.status().toString();
+    EXPECT_EQ(frozen->describe(),
+              "lut-gemm -> layernorm -> gelu -> lut-gemm");
+
+    const Tensor rows = randomRows(12, 16, 53);
+    const Tensor batched = frozen->forwardBatch(rows);
+    const Tensor reference = model->forward(rows, false);
+    EXPECT_TRUE(batched.equals(reference))
+        << "maxdiff=" << Tensor::maxAbsDiff(batched, reference);
+}
+
+TEST(ServingFacade, CnnViaMakeEngineBitExact)
+{
+    // The acceptance path: a converted CNN (conv -> pool -> flatten ->
+    // linear) served through api::makeEngine answers bit-exactly with
+    // eval-mode model->forward() across deployment precisions.
+    for (vq::LutPrecision precision :
+         {vq::LutPrecision{false, false}, vq::LutPrecision{true, true}}) {
+        nn::LayerPtr model = makeFrozenCnn(precision);
+        serve::EngineOptions options;
+        options.threads = 2;
+        options.max_batch = 8;
+        auto engine = api::makeEngine(model, options,
+                                      serve::ServeInputShape{8, 8});
+        ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+        const Tensor images = randomImages(6, 1, 8, 8, 61);
+        const Tensor reference = model->forward(images, false);
+        auto result = engine.value()->submit(flattenImages(images));
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        EXPECT_TRUE(result->equals(reference))
+            << "bf16=" << precision.bf16_similarity
+            << " maxdiff=" << Tensor::maxAbsDiff(*result, reference);
+    }
+}
+
+TEST(FrozenModel, ErrorPathsNameFirstOffendingLayer)
+{
+    vq::PQConfig pq;
+    pq.v = 3;
+    pq.c = 8;
+    ConvGeometry g;
+    g.in_channels = 1;
+    g.out_channels = 4;
+    g.kernel = 3;
+    g.padding = 1;
+    const serve::ServeInputShape img{8, 8};
+    auto expectInvalid = [](const api::Status &status,
+                            const std::string &needle) {
+        ASSERT_FALSE(status.ok());
+        EXPECT_EQ(status.code(), api::StatusCode::InvalidArgument);
+        EXPECT_NE(status.toString().find(needle), std::string::npos)
+            << "status '" << status.toString() << "' should name '"
+            << needle << "'";
+    };
+
+    // Unconverted operators are named.
+    expectInvalid(
+        serve::FrozenModel::validateServable(nn::makeMlp(8, {6}, 3)),
+        "Linear");
+    expectInvalid(serve::FrozenModel::validateServable(
+                      std::make_shared<nn::Conv2d>(g), img),
+                  "Conv2d");
+    // Residual topologies are named (stage graphs are chains for now).
+    expectInvalid(
+        serve::FrozenModel::validateServable(
+            std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+                std::make_shared<lutboost::LutConv2d>(g, pq, true, 70),
+                std::make_shared<nn::ResidualBlock>(
+                    std::make_shared<nn::ReLU>())}),
+            img),
+        "ResidualBlock");
+
+    // Conv at the input without a serving image shape.
+    auto conv_first =
+        std::make_shared<lutboost::LutConv2d>(g, pq, true, 71);
+    expectInvalid(serve::FrozenModel::validateServable(conv_first),
+                  "ServeInputShape");
+
+    // Channel mismatch between chained convs.
+    ConvGeometry g2 = g;
+    g2.in_channels = 8;
+    expectInvalid(
+        serve::FrozenModel::validateServable(
+            std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+                std::make_shared<lutboost::LutConv2d>(g, pq, true, 72),
+                std::make_shared<lutboost::LutConv2d>(g2, pq, true, 73)}),
+            img),
+        "LutConv2d expects 8 input channels");
+
+    // Spatial output feeding a linear head without Flatten.
+    expectInvalid(
+        serve::FrozenModel::validateServable(
+            std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+                std::make_shared<lutboost::LutConv2d>(g, pq, true, 74),
+                std::make_shared<lutboost::LutLinear>(256, 4, pq)}),
+            img),
+        "insert Flatten");
+
+    // Pooling over flat rows.
+    expectInvalid(
+        serve::FrozenModel::validateServable(
+            std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+                std::make_shared<lutboost::LutLinear>(8, 4, pq),
+                std::make_shared<nn::MaxPool2d>(2)})),
+        "MaxPool2d");
+
+    // Non-chaining widths.
+    expectInvalid(
+        serve::FrozenModel::validateServable(
+            std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+                std::make_shared<lutboost::LutLinear>(8, 4, pq),
+                std::make_shared<lutboost::LutLinear>(6, 2, pq)})),
+        "do not chain");
+
+    // Norm width mismatch.
+    expectInvalid(
+        serve::FrozenModel::validateServable(
+            std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+                std::make_shared<lutboost::LutLinear>(8, 4, pq),
+                std::make_shared<nn::LayerNorm>(6)})),
+        "LayerNorm");
+}
+
+TEST(ServingFacade, PipelineEngineServesCnnWorkload)
+{
+    // End-to-end through the facade: convert the lenet-shapes workload
+    // and serve it; the builder infers the image shape from the dataset.
+    lutboost::ConvertOptions opts;
+    opts.pq.v = 3;
+    opts.pq.c = 8;
+    opts.calibration_rows = 256;
+    opts.centroid_stage.epochs = 0;
+    opts.joint_stage.epochs = 0;
+
+    serve::EngineOptions engine_opts;
+    engine_opts.threads = 1;
+    engine_opts.max_batch = 16;
+    auto builder = api::Pipeline::forWorkload("lenet-shapes")
+                       .pretrain(nn::TrainConfig::sgd(1, 0.05))
+                       .convert(opts);
+    auto engine = builder.engine(engine_opts);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    const Tensor images = randomImages(4, 1, 12, 12, 81);
+    const Tensor reference =
+        builder.convertedModel()->forward(images, false);
+    auto result = engine.value()->submit(flattenImages(images));
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    EXPECT_TRUE(result->equals(reference))
+        << "maxdiff=" << Tensor::maxAbsDiff(*result, reference);
 }
 
 TEST(FrozenModel, TraceModelAdaptsWidthsDeterministically)
