@@ -1,15 +1,26 @@
 /**
  * @file
  * Google-benchmark microbenchmarks: exact GEMM vs LUT-GEMM (encode +
- * lookup) software kernels, plus the encode and lookup phases separately.
- * These are software-kernel timings (host CPU), complementing the cycle
- * simulator's hardware numbers.
+ * lookup) software kernels, the encode and lookup phases separately, and
+ * the serving arena's split data-plane kernels (packed-code encodeBatch,
+ * float-bank gather, INT8-bank gather). These are software-kernel timings
+ * (host CPU), complementing the cycle simulator's hardware numbers.
+ *
+ * Run: ./build/bench/bench_kernels [--json <path>] [google-benchmark args]
+ *   --json <path>  shorthand for --benchmark_out=<path>
+ *                  --benchmark_out_format=json, so CI and the cross-PR
+ *                  perf trajectory get machine-readable results the same
+ *                  way bench_serve_throughput writes them.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
 #include <memory>
+#include <string>
+#include <vector>
 
+#include "lutboost/kernels.h"
 #include "tensor/gemm.h"
 #include "util/rng.h"
 #include "vq/lut.h"
@@ -42,6 +53,24 @@ struct KernelFixture
 
     Tensor a, w;
     std::unique_ptr<vq::LutGemmEngine> engine;
+};
+
+/** The serving arena + scratch for the split-phase benchmarks. */
+struct ArenaFixture
+{
+    ArenaFixture(int64_t m, int64_t k, int64_t n, int64_t v, int64_t c)
+        : fx(m, k, n, v, c),
+          arena(fx.engine->quantizer(), fx.engine->lut(), nullptr, false),
+          y(static_cast<size_t>(m * n))
+    {
+        arena.ensureInt8Bank();
+        arena.encodeBatch(fx.a.data(), m, scratch.codes, scratch.staging);
+    }
+
+    KernelFixture fx;
+    lutboost::LutTableArena arena;
+    lutboost::KernelScratch scratch;
+    std::vector<float> y;
 };
 
 void
@@ -93,6 +122,53 @@ BM_Lookup(benchmark::State &state)
     }
 }
 
+// ---- Serving data-plane phases (the kernels behind KernelBackend) ------
+
+void
+BM_ArenaEncodeBatch(benchmark::State &state)
+{
+    ArenaFixture ax(state.range(0), state.range(1), 64, state.range(2),
+                    16);
+    for (auto _ : state) {
+        ax.arena.encodeBatch(ax.fx.a.data(), ax.fx.a.dim(0),
+                             ax.scratch.codes, ax.scratch.staging);
+        benchmark::DoNotOptimize(ax.scratch.codes.sizeBytes());
+    }
+    state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
+    state.counters["code_bytes"] =
+        static_cast<double>(ax.scratch.codes.sizeBytes());
+}
+
+void
+BM_ArenaGatherFloat(benchmark::State &state)
+{
+    ArenaFixture ax(state.range(0), state.range(1), state.range(2), 4,
+                    16);
+    for (auto _ : state) {
+        ax.arena.gatherAccumulate(ax.scratch.codes, ax.y.data(),
+                                  ax.scratch.unpacked);
+        benchmark::DoNotOptimize(ax.y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
+    state.counters["table_bytes"] =
+        static_cast<double>(ax.arena.sizeBytes());
+}
+
+void
+BM_ArenaGatherInt8(benchmark::State &state)
+{
+    ArenaFixture ax(state.range(0), state.range(1), state.range(2), 4,
+                    16);
+    for (auto _ : state) {
+        ax.arena.gatherAccumulateInt8(ax.scratch.codes, ax.y.data(),
+                                      ax.scratch.unpacked);
+        benchmark::DoNotOptimize(ax.y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
+    state.counters["table_bytes"] =
+        static_cast<double>(ax.arena.int8TableBytes());
+}
+
 } // namespace
 
 BENCHMARK(BM_ExactGemm)
@@ -111,5 +187,43 @@ BENCHMARK(BM_Lookup)
     ->Args({128, 256, 256})
     ->Args({256, 512, 512})
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaEncodeBatch)
+    ->Args({256, 512, 4})
+    ->Args({256, 512, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherFloat)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt8)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Translate our conventional --json <path> flag into google-benchmark's
+    // reporter flags so every bench in the repo shares one CLI shape.
+    std::vector<std::string> args;
+    for (int i = 0; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            args.push_back(std::string("--benchmark_out=") + argv[i + 1]);
+            args.push_back("--benchmark_out_format=json");
+            ++i;
+            continue;
+        }
+        args.push_back(argv[i]);
+    }
+    std::vector<char *> argv2;
+    argv2.reserve(args.size());
+    for (std::string &arg : args)
+        argv2.push_back(arg.data());
+    int argc2 = static_cast<int>(argv2.size());
+    benchmark::Initialize(&argc2, argv2.data());
+    if (benchmark::ReportUnrecognizedArguments(argc2, argv2.data()))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

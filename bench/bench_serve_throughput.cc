@@ -1,33 +1,36 @@
 /**
  * @file
- * Serving throughput sweep: threads x max_batch on the resnet18 registry
- * workload (trace-synthesized frozen LUT model), against single-thread
- * single-row baselines.
+ * Serving throughput sweep: threads x max_batch x kernel backend on the
+ * resnet18 registry workload (trace-synthesized frozen LUT model),
+ * against single-thread single-row baselines.
  *
- * Two baselines are reported:
+ * Baselines reported:
  *   - "reference": single-row serving the way the repo did it before the
  *     serving engine existed — per-row ProductQuantizer::encode +
- *     LookupTable::lookupGemm per layer. This is the status quo the engine
- *     replaces and the acceptance bar: the batched engine must beat it by
- *     >= 3x rows/s.
- *   - "arena 1-row": the new row-blocked arena kernel driven one row at a
+ *     LookupTable::lookupGemm per layer. The batched engine must beat it
+ *     by >= 3x rows/s.
+ *   - "arena 1-row": the row-blocked arena kernel driven one row at a
  *     time, isolating how much of the win comes from batching vs from the
  *     kernel itself.
  *
- * The win comes from the arena kernel's cache behavior: a batch loads each
- * subspace's table bank into cache once and amortizes it across every row
- * in the block, where row-at-a-time serving re-streams the multi-megabyte
- * table set for every single row. Worker threads add on multi-core hosts
- * (this bench also sweeps them; on a single-core host they are ~neutral).
+ * The sweep runs every engine configuration under BOTH data-plane plans:
+ *   - float32: the bit-exact reference backend (the PR-3 stage-graph
+ *     baseline this PR is measured against);
+ *   - int8: the quantized backend — bit-packed codes + INT8 table bank —
+ *     which must beat the float32 plan on rows/s for this (MLP-class,
+ *     memory-bound) arena config. The win is table traffic: the resnet18
+ *     float bank streams ~91 MB per row-block sweep, the INT8 bank ~23.
  *
  * A second section tracks CNN serving: a frozen LeNet-style conv chain
- * (conv -> pool -> flatten -> linear, the lenet-shapes workload model)
  * lowered onto the serving stage graph and driven with flattened 12x12
  * image rows, so the im2col + arena conv path has a rows/s number from
  * day one.
  *
- * Run: ./build/bench/bench_serve_throughput   (takes ~2 min: it builds the
- * 91 MB resnet18 table set twice, once per implementation)
+ * Run: ./build/bench/bench_serve_throughput [--json out.json]
+ *   --json <path>         write machine-readable results (configs, rows/s,
+ *                         p50/p99, arena bytes, phase split) for the
+ *                         cross-PR perf trajectory (BENCH_serve_throughput
+ *                         .json)
  *   LUTDLA_SERVE_ROWS=N   override rows per configuration (default 192)
  */
 
@@ -35,7 +38,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <future>
+#include <string>
 #include <vector>
 
 #include "bench_common.h"
@@ -153,11 +158,82 @@ runConfig(const serve::FrozenModel &model, const Tensor &rows, int threads,
     return engine.value()->stats();
 }
 
+/** One measured configuration for the JSON artifact. */
+struct JsonRecord
+{
+    std::string section;
+    std::string backend;
+    int threads;
+    int64_t max_batch;
+    double rows_per_sec;
+    double p50_us;
+    double p99_us;
+    double avg_fill;
+    int64_t arena_bytes;
+    double encode_s;
+    double gather_s;
+};
+
+void
+writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
+          double reference_rate, double arena_rate,
+          const std::vector<JsonRecord> &records, double best_float,
+          double best_int8)
+{
+    std::FILE *f = std::fopen(path, "w");
+    if (!f)
+        fatal("cannot open ", path, " for writing");
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
+    std::fprintf(f, "  \"workload\": \"resnet18\",\n");
+    std::fprintf(f,
+                 "  \"pq\": {\"v\": %lld, \"c\": %lld},\n",
+                 static_cast<long long>(pq.v), static_cast<long long>(pq.c));
+    std::fprintf(f, "  \"rows_per_config\": %lld,\n",
+                 static_cast<long long>(rows));
+    std::fprintf(f,
+                 "  \"baselines\": {\"reference_1row_rows_per_sec\": %.1f, "
+                 "\"arena_1row_rows_per_sec\": %.1f},\n",
+                 reference_rate, arena_rate);
+    std::fprintf(f, "  \"configs\": [\n");
+    for (size_t i = 0; i < records.size(); ++i) {
+        const JsonRecord &r = records[i];
+        std::fprintf(
+            f,
+            "    {\"section\": \"%s\", \"backend\": \"%s\", "
+            "\"threads\": %d, \"max_batch\": %lld, "
+            "\"rows_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+            "\"avg_fill\": %.2f, \"arena_bytes\": %lld, "
+            "\"encode_s\": %.6f, \"gather_s\": %.6f}%s\n",
+            r.section.c_str(), r.backend.c_str(), r.threads,
+            static_cast<long long>(r.max_batch), r.rows_per_sec, r.p50_us,
+            r.p99_us, r.avg_fill, static_cast<long long>(r.arena_bytes),
+            r.encode_s, r.gather_s,
+            i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"best\": {\"float32_rows_per_sec\": %.1f, "
+                 "\"int8_rows_per_sec\": %.1f, "
+                 "\"int8_vs_float32\": %.3f}\n",
+                 best_float, best_int8,
+                 best_float > 0 ? best_int8 / best_float : 0.0);
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote JSON results to %s\n", path);
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const char *json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
     const char *rows_env = std::getenv("LUTDLA_SERVE_ROWS");
     const int64_t kRows = rows_env ? std::atoll(rows_env) : 192;
     constexpr uint64_t kSeed = 91;  // FrozenModel::fromTrace default
@@ -177,10 +253,18 @@ main()
     auto model = serve::FrozenModel::fromTrace(gemms, pq, {}, kSeed);
     if (!model.ok())
         fatal(model.status().toString());
-    std::printf("%lld LUT stages, %.1f MB of table arenas, %lld rows per "
-                "config\n\n",
+    serve::PlanOptions int8_plan;
+    int8_plan.table_precision = serve::TablePrecision::Int8;
+    auto int8_model =
+        serve::FrozenModel::fromTrace(gemms, pq, {}, kSeed, int8_plan);
+    if (!int8_model.ok())
+        fatal(int8_model.status().toString());
+    std::printf("%lld LUT stages, %.1f MB float arenas / %.1f MB int8 "
+                "bank, %lld rows per config\n\n",
                 static_cast<long long>(model->numLutStages()),
                 static_cast<double>(model->tableBytes()) / (1024 * 1024),
+                static_cast<double>(int8_model->tableBytes()) /
+                    (1024 * 1024),
                 static_cast<long long>(kRows));
 
     const Tensor rows = randomRows(kRows, model->inputWidth(), 17);
@@ -199,43 +283,64 @@ main()
     Table t("serving throughput on the resnet18 trace (reference 1-row: " +
                 Table::fmt(reference_rate, 1) + " rows/s, arena 1-row: " +
                 Table::fmt(arena_rate, 1) + " rows/s)",
-            {"threads", "max_batch", "rows/s", "vs reference", "vs arena",
-             "avg fill", "p50 us", "p99 us"});
+            {"threads", "max_batch", "backend", "rows/s", "vs reference",
+             "avg fill", "p50 us", "p99 us", "enc %"});
 
+    std::vector<JsonRecord> records;
     double best_vs_reference = 0.0;
+    double best_float = 0.0, best_int8 = 0.0;
     for (int threads : {1, 2, 4}) {
         for (int64_t max_batch :
              {int64_t{1}, int64_t{16}, int64_t{64}, int64_t{256}}) {
-            const serve::EngineStats stats =
-                runConfig(*model, rows, threads, max_batch);
-            const double rate = stats.rowsPerSec();
-            best_vs_reference =
-                std::max(best_vs_reference, rate / reference_rate);
-            t.addRow({std::to_string(threads), std::to_string(max_batch),
-                      Table::fmt(rate, 1),
-                      Table::fmtRatio(rate / reference_rate, 2),
-                      Table::fmtRatio(rate / arena_rate, 2),
-                      Table::fmt(stats.avgBatchFill(), 1),
-                      Table::fmt(stats.p50_latency_us, 0),
-                      Table::fmt(stats.p99_latency_us, 0)});
+            for (const bool int8 : {false, true}) {
+                const serve::FrozenModel &m =
+                    int8 ? *int8_model : *model;
+                const serve::EngineStats stats =
+                    runConfig(m, rows, threads, max_batch);
+                const double rate = stats.rowsPerSec();
+                if (int8)
+                    best_int8 = std::max(best_int8, rate);
+                else
+                    best_float = std::max(best_float, rate);
+                best_vs_reference =
+                    std::max(best_vs_reference, rate / reference_rate);
+                t.addRow({std::to_string(threads),
+                          std::to_string(max_batch),
+                          int8 ? "int8" : "float32", Table::fmt(rate, 1),
+                          Table::fmtRatio(rate / reference_rate, 2),
+                          Table::fmt(stats.avgBatchFill(), 1),
+                          Table::fmt(stats.p50_latency_us, 0),
+                          Table::fmt(stats.p99_latency_us, 0),
+                          Table::fmt(stats.encodeFraction() * 100.0, 0)});
+                records.push_back(
+                    {"mlp", int8 ? "int8" : "float32", threads, max_batch,
+                     rate, stats.p50_latency_us, stats.p99_latency_us,
+                     stats.avgBatchFill(), m.tableBytes(),
+                     stats.encode_seconds, stats.gather_seconds});
+            }
         }
     }
     t.addNote("reference = pre-engine serving (per-row vq encode + "
-              "lookupGemm); arena = this PR's kernel driven one row at a "
-              "time");
-    t.addNote("batching amortizes table-bank loads across the block; "
-              "threads add on multi-core hosts");
+              "lookupGemm); float32 = bit-exact plan (PR-3 baseline); "
+              "int8 = packed codes + INT8 tables");
+    t.addNote("batching amortizes table-bank loads across the block; the "
+              "int8 bank streams ~1/4 of the float bank's bytes");
     t.print();
 
     std::printf("\nbest speedup vs single-thread single-row serving: "
                 "%.2fx (target >= 3x)\n",
                 best_vs_reference);
+    std::printf("best rows/s: float32 plan %.1f, int8 plan %.1f "
+                "(int8/float32 = %.2fx, target > 1x on this MLP arena "
+                "config)\n",
+                best_float, best_int8,
+                best_float > 0 ? best_int8 / best_float : 0.0);
 
     // ---- CNN serving: the stage-graph conv path ------------------------
     // Convert the lenet-shapes workload model (replace only; random
     // centroids are fine for throughput) and freeze it, then serve
     // flattened 12x12 image rows through the engine. This tracks the
-    // im2col + arena conv pipeline, not just flat GEMM stages.
+    // im2col + arena conv path, not just flat GEMM stages.
     nn::LayerPtr cnn = nn::makeLeNetStyle(6);
     lutboost::ConvertOptions convert_opts;
     convert_opts.pq.v = 3;
@@ -268,6 +373,12 @@ main()
                        Table::fmt(stats.avgBatchFill(), 1),
                        Table::fmt(stats.p50_latency_us, 0),
                        Table::fmt(stats.p99_latency_us, 0)});
+            records.push_back({"cnn", "float32", threads, max_batch, rate,
+                               stats.p50_latency_us, stats.p99_latency_us,
+                               stats.avgBatchFill(),
+                               cnn_model->tableBytes(),
+                               stats.encode_seconds,
+                               stats.gather_seconds});
         }
     }
     ct.addNote("each row is a flattened [1, 12, 12] image; conv stages "
@@ -275,5 +386,12 @@ main()
     ct.print();
     std::printf("\nCNN serving best: %.1f rows/s\n", cnn_best);
 
-    return best_vs_reference >= 3.0 ? 0 : 1;
+    if (json_path)
+        writeJson(json_path, pq, kRows, reference_rate, arena_rate,
+                  records, best_float, best_int8);
+
+    const bool pass = best_vs_reference >= 3.0 && best_int8 > best_float;
+    if (!pass)
+        std::printf("\nFAIL: acceptance targets not met\n");
+    return pass ? 0 : 1;
 }

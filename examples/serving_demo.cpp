@@ -12,9 +12,13 @@
  *   3. Pipeline::engineForWorkload(): load-test serving of a registry
  *      GEMM trace (lenet) without any trained model.
  *   4. CNN serving: freeze a LeNet-style conv chain and serve flattened
- *      image rows through the stage graph (conv -> relu -> maxpool ->
+ *      image rows through the stage graph (conv+relu -> maxpool ->
  *      flatten -> lut-gemm), verifying bit-exactness against eval-mode
  *      forward().
+ *   5. Plan inspection: print the planned stage chain AFTER the fusion
+ *      pass — which stages folded into arena epilogues, each LUT stage's
+ *      packed code width, and the table precision — for both the default
+ *      bit-exact plan and the quantized INT8 plan.
  *
  * Default output is deterministic (safe to diff across runs); pass any
  * argument (e.g. `--stats`) to also print live latency numbers.
@@ -210,5 +214,39 @@ main(int argc, char **)
         std::fprintf(stderr, "BUG: CNN engine diverged from eval forward\n");
         return 1;
     }
+
+    // 5. Plan inspection: the planning pass records every fusion and
+    //    precision decision; planSummary() makes the lowered data plane
+    //    inspectable by hand.
+    std::printf("\nplanned CNN stage chain (default bit-exact plan):\n%s",
+                cnn_engine.value()->model().planSummary().c_str());
+
+    api::ServeOptions int8_options;
+    int8_options.engine.threads = 1;
+    int8_options.engine.max_batch = 16;
+    int8_options.plan.table_precision = serve::TablePrecision::Int8;
+    int8_options.input_shape = serve::ServeInputShape{12, 12};
+    auto int8_engine = api::Pipeline::engine(cnn, int8_options);
+    if (!int8_engine.ok()) {
+        std::fprintf(stderr, "INT8 engine failed: %s\n",
+                     int8_engine.status().toString().c_str());
+        return 1;
+    }
+    std::printf("\nplanned CNN stage chain (quantized INT8 plan):\n%s",
+                int8_engine.value()->model().planSummary().c_str());
+    auto int8_result = int8_engine.value()->submit(image_rows);
+    if (!int8_result.ok()) {
+        std::fprintf(stderr, "INT8 request failed: %s\n",
+                     int8_result.status().toString().c_str());
+        return 1;
+    }
+    // The INT8 plan is approximate; report its worst divergence from the
+    // bit-exact plan (deterministic, so safe to diff across runs).
+    std::printf("INT8 plan served [%lld, %lld], max |diff| vs bit-exact "
+                "plan = %.4f (small but nonzero by design)\n",
+                static_cast<long long>(int8_result->dim(0)),
+                static_cast<long long>(int8_result->dim(1)),
+                static_cast<double>(
+                    Tensor::maxAbsDiff(*int8_result, *cnn_result)));
     return 0;
 }

@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# Documentation gate for the public surface: every header in src/api/ and
-# src/serve/ must carry a Doxygen file-level comment (@file) and at least
-# one Doxygen block, so the facade docs cannot rot silently. Run from the
-# repo root (CI and ctest both do).
+# Documentation gate for the public surface: every header in src/api/,
+# src/serve/, src/lutboost/, and src/vq/ (the serving data plane's whole
+# dependency chain) must carry a Doxygen file-level comment (@file) and at
+# least one Doxygen block, so the facade docs cannot rot silently. Run
+# from the repo root (CI and ctest both do).
 set -u
 
+HEADERS="src/api/*.h src/serve/*.h src/lutboost/*.h src/vq/*.h"
+
 fail=0
-for header in src/api/*.h src/serve/*.h; do
+for header in $HEADERS; do
     if ! grep -q '@file' "$header"; then
         echo "error: $header is missing a Doxygen file-level comment (@file)"
         fail=1
@@ -35,7 +38,7 @@ while IFS=: read -r file line _; do
         echo "error: $file:$line public type lacks a doc comment"
         fail=1
     fi
-done < <(grep -nE '^(class|struct|enum class) [A-Za-z]' src/api/*.h src/serve/*.h)
+done < <(grep -nE '^(class|struct|enum class) [A-Za-z]' $HEADERS)
 
 if [ "$fail" -ne 0 ]; then
     echo "header documentation check FAILED"

@@ -419,7 +419,7 @@ PipelineBuilder::runTimingStages(RunArtifacts &artifacts)
 }
 
 Result<EngineHandle>
-PipelineBuilder::engine(const serve::EngineOptions &options)
+PipelineBuilder::engine(const ServeOptions &options)
 {
     Result<RunArtifacts> artifacts = run();
     if (!artifacts.ok())
@@ -429,14 +429,16 @@ PipelineBuilder::engine(const serve::EngineOptions &options)
             "engine() needs a converted model; configure model()/workload "
             "with convert() (trace-only runs can serve via "
             "Pipeline::engineForArtifacts)");
+    ServeOptions resolved = options;
     // CNN workloads serve flattened NCHW rows; the image shape comes from
-    // the dataset's sample layout ([N, C, H, W] features).
-    serve::ServeInputShape input_shape;
-    if (has_dataset_ && dataset_.train_x.rank() == 4) {
-        input_shape.height = dataset_.train_x.dim(2);
-        input_shape.width = dataset_.train_x.dim(3);
+    // the dataset's sample layout ([N, C, H, W] features) unless the
+    // caller provided one explicitly.
+    if (!resolved.input_shape.spatial() && has_dataset_ &&
+        dataset_.train_x.rank() == 4) {
+        resolved.input_shape.height = dataset_.train_x.dim(2);
+        resolved.input_shape.width = dataset_.train_x.dim(3);
     }
-    return makeEngine(model_, options, input_shape);
+    return makeEngine(model_, resolved);
 }
 
 Result<RunArtifacts>

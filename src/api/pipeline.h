@@ -102,12 +102,14 @@ class PipelineBuilder
     /**
      * Execute all configured stages, then stand up a serving engine on the
      * converted model (freezing any layer deployPrecision() did not already
-     * freeze). CNN workloads are served as flattened NCHW rows; the image
-     * shape is inferred from the configured dataset's sample shape. The
-     * artifacts of the run are discarded; use run() + Pipeline::engine()
-     * to keep both.
+     * freeze). `options` carries the engine knobs plus the data-plane plan
+     * (table precision, stage fusion); bare serve::EngineOptions convert
+     * implicitly. CNN workloads are served as flattened NCHW rows; the
+     * image shape is inferred from the configured dataset's sample shape
+     * unless options.input_shape is set explicitly. The artifacts of the
+     * run are discarded; use run() + Pipeline::engine() to keep both.
      */
-    Result<EngineHandle> engine(const serve::EngineOptions &options = {});
+    Result<EngineHandle> engine(const ServeOptions &options = {});
 
     /** The model the run operated on (converted in place); null pre-run. */
     const nn::LayerPtr &convertedModel() const { return model_; }
@@ -167,14 +169,25 @@ class Pipeline
     // ---- Serving entry points (thin aliases over api/serving.h) ----
 
     /**
-     * Serve a LUTBoost-converted model; see api::makeEngine. CNN models
-     * need `input_shape` (the image height/width their request rows
-     * flatten).
+     * Serve a LUTBoost-converted model; see api::makeEngine. ServeOptions
+     * carries engine knobs + data-plane plan + input shape; bare
+     * serve::EngineOptions convert implicitly (bit-exact default plan).
      */
     static Result<EngineHandle>
     engine(const nn::LayerPtr &converted_model,
-           const serve::EngineOptions &options = {},
-           serve::ServeInputShape input_shape = {})
+           const ServeOptions &options = {})
+    {
+        return makeEngine(converted_model, options);
+    }
+
+    /**
+     * PR-3-shaped convenience: engine knobs + explicit image shape for
+     * spatial models, default plan; see api::makeEngine.
+     */
+    static Result<EngineHandle>
+    engine(const nn::LayerPtr &converted_model,
+           const serve::EngineOptions &options,
+           serve::ServeInputShape input_shape)
     {
         return makeEngine(converted_model, options, input_shape);
     }

@@ -10,38 +10,48 @@
 namespace lutdla::api {
 
 Result<EngineHandle>
-makeEngine(const nn::LayerPtr &model, const serve::EngineOptions &options,
-           serve::ServeInputShape input_shape)
+makeEngine(const nn::LayerPtr &model, const ServeOptions &options)
 {
     // Validate the topology BEFORE freezing anything: a rejected model
     // must come back to the caller completely unmodified (freezing pins
     // eval-mode forward() to the inference LUT path).
     if (Status status =
-            serve::FrozenModel::validateServable(model, input_shape);
+            serve::FrozenModel::validateServable(model,
+                                                 options.input_shape);
         !status.ok())
         return status;
     for (lutboost::LutLinear *layer : lutboost::findLutLayers(model))
         if (!layer->inferenceLutReady())
             layer->refreshInferenceLut();
-    Result<serve::FrozenModel> frozen =
-        serve::FrozenModel::fromModel(model, input_shape);
+    Result<serve::FrozenModel> frozen = serve::FrozenModel::fromModel(
+        model, options.input_shape, options.plan);
     if (!frozen.ok())
         return frozen.status();
-    return serve::InferenceEngine::create(frozen.take(), options);
+    return serve::InferenceEngine::create(frozen.take(), options.engine);
+}
+
+Result<EngineHandle>
+makeEngine(const nn::LayerPtr &model, const serve::EngineOptions &options,
+           serve::ServeInputShape input_shape)
+{
+    ServeOptions serve_options;
+    serve_options.engine = options;
+    serve_options.input_shape = input_shape;
+    return makeEngine(model, serve_options);
 }
 
 Result<EngineHandle>
 makeTraceEngine(const std::vector<sim::GemmShape> &gemms,
-                const vq::PQConfig &pq, const serve::EngineOptions &options,
+                const vq::PQConfig &pq, const ServeOptions &options,
                 vq::LutPrecision precision, uint64_t seed)
 {
     if (Status status = validatePqConfig(pq); !status.ok())
         return status;
-    Result<serve::FrozenModel> frozen =
-        serve::FrozenModel::fromTrace(gemms, pq, precision, seed);
+    Result<serve::FrozenModel> frozen = serve::FrozenModel::fromTrace(
+        gemms, pq, precision, seed, options.plan);
     if (!frozen.ok())
         return frozen.status();
-    return serve::InferenceEngine::create(frozen.take(), options);
+    return serve::InferenceEngine::create(frozen.take(), options.engine);
 }
 
 Result<EngineHandle>

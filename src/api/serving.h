@@ -19,11 +19,39 @@
 #include "api/status.h"
 #include "nn/layer.h"
 #include "serve/engine.h"
+#include "serve/plan.h"
 
 namespace lutdla::api {
 
 /** Shared-ownership handle every factory below returns. */
 using EngineHandle = std::shared_ptr<serve::InferenceEngine>;
+
+/**
+ * Everything a caller can tune about a serving deployment in one bundle:
+ * the engine's queueing/batching knobs, the data-plane plan (kernel
+ * backend precision + stage fusion), and the input image shape for
+ * spatial models. Default-constructed options serve bit-exactly.
+ * Implicitly constructible from bare EngineOptions so every pre-existing
+ * `makeEngine(model, engine_options)`-shaped call keeps compiling with
+ * the default (bit-exact) plan.
+ */
+struct ServeOptions
+{
+    ServeOptions() = default;
+
+    /** Engine knobs with the default plan and no input shape. */
+    ServeOptions(serve::EngineOptions engine_options)
+        : engine(engine_options)
+    {
+    }
+
+    /** Worker pool / batching / queue knobs. */
+    serve::EngineOptions engine;
+    /** Lowering plan: table precision and stage fusion. */
+    serve::PlanOptions plan;
+    /** Image height/width for models with spatial first layers. */
+    serve::ServeInputShape input_shape;
+};
 
 /**
  * Build an engine that serves a LUTBoost-converted model (MLP or CNN
@@ -33,16 +61,29 @@ using EngineHandle = std::shared_ptr<serve::InferenceEngine>;
  * snapshots the frozen tables, so later mutation of `model` does not
  * affect it.
  *
- * @param input_shape Image height/width when the model starts with
- *        spatial layers (conv/pool/norm) — each request row is then a
- *        flattened NCHW image. Leave default for flat MLP inputs.
+ * `options` bundles the engine knobs with the data-plane plan (table
+ * precision, fusion — how the quantized INT8 plane deploys through the
+ * facade) and the input image shape for models that start with spatial
+ * layers (conv/pool/norm; each request row is then a flattened NCHW
+ * image). Bare serve::EngineOptions convert implicitly for the common
+ * bit-exact case.
+ *
  * @return FailedPrecondition when the model holds no LUT operators,
  *         InvalidArgument for unsupported topologies (the status names
  *         the first unlowerable layer) or bad options.
  */
 Result<EngineHandle> makeEngine(const nn::LayerPtr &model,
-                                const serve::EngineOptions &options = {},
-                                serve::ServeInputShape input_shape = {});
+                                const ServeOptions &options = {});
+
+/**
+ * Convenience overload keeping the PR-3 call shape for spatial models:
+ * engine knobs + explicit image shape, default (bit-exact) plan. No
+ * defaulted parameters, so it never competes with the ServeOptions
+ * overload during overload resolution.
+ */
+Result<EngineHandle> makeEngine(const nn::LayerPtr &model,
+                                const serve::EngineOptions &options,
+                                serve::ServeInputShape input_shape);
 
 /**
  * Build a load-testing engine from an explicit deployment GEMM trace:
@@ -51,8 +92,7 @@ Result<EngineHandle> makeEngine(const nn::LayerPtr &model,
  */
 Result<EngineHandle>
 makeTraceEngine(const std::vector<sim::GemmShape> &gemms,
-                const vq::PQConfig &pq,
-                const serve::EngineOptions &options = {},
+                const vq::PQConfig &pq, const ServeOptions &options = {},
                 vq::LutPrecision precision = {}, uint64_t seed = 91);
 
 /**

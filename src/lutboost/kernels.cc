@@ -1,0 +1,86 @@
+#include "lutboost/kernels.h"
+
+namespace lutdla::lutboost {
+
+void
+KernelBackend::encodeBatch(const LutTableArena &arena, const float *x,
+                           int64_t rows, KernelScratch &scratch) const
+{
+    // Both backends share the exact argmin encode: quantization applies
+    // only to the gather-side tables, so reference and quantized plans
+    // select identical codes and differ purely in accumulation precision.
+    arena.encodeBatch(x, rows, scratch.codes, scratch.staging);
+}
+
+void
+KernelBackend::prepare(const LutTableArena &) const
+{
+}
+
+namespace {
+
+/** Float-bank gather: bit-exact with LutTableArena::forwardBatch. */
+class ReferenceBackend final : public KernelBackend
+{
+  public:
+    std::string name() const override { return "float32"; }
+    bool bitExact() const override { return true; }
+
+    void
+    gatherAccumulate(const LutTableArena &arena, KernelScratch &scratch,
+                     float *y) const override
+    {
+        arena.gatherAccumulate(scratch.codes, y, scratch.unpacked);
+    }
+
+    int64_t
+    tableBytes(const LutTableArena &arena) const override
+    {
+        return arena.sizeBytes();
+    }
+};
+
+/** INT8-bank gather: ~4x less table traffic, approximate. */
+class QuantizedBackend final : public KernelBackend
+{
+  public:
+    std::string name() const override { return "int8"; }
+    bool bitExact() const override { return false; }
+
+    void
+    gatherAccumulate(const LutTableArena &arena, KernelScratch &scratch,
+                     float *y) const override
+    {
+        arena.gatherAccumulateInt8(scratch.codes, y, scratch.unpacked);
+    }
+
+    int64_t
+    tableBytes(const LutTableArena &arena) const override
+    {
+        return arena.int8TableBytes();
+    }
+
+    void
+    prepare(const LutTableArena &arena) const override
+    {
+        arena.ensureInt8Bank();
+    }
+};
+
+} // namespace
+
+const KernelBackend &
+referenceBackend()
+{
+    static const ReferenceBackend backend;
+    return backend;
+}
+
+const KernelBackend &
+quantizedBackend()
+{
+    static const QuantizedBackend backend;
+    return backend;
+}
+
+} // namespace lutdla::lutboost

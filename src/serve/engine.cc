@@ -216,6 +216,11 @@ InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
         offset += request.rows;
     }
 
+    // The stage chain accumulates its encode/gather phase times into the
+    // worker's scratch; the deltas around this batch are what the batch
+    // contributed.
+    const uint64_t encode_before = scratch.encode_ns;
+    const uint64_t gather_before = scratch.gather_ns;
     const Tensor output = model_.forwardBatch(packed, scratch);
     const int64_t out_width = output.dim(1);
     const auto done = Clock::now();
@@ -224,6 +229,8 @@ InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
     // future must already see this batch reflected in stats().
     {
         std::unique_lock<std::mutex> lock(stats_mu_);
+        encode_ns_ += scratch.encode_ns - encode_before;
+        gather_ns_ += scratch.gather_ns - gather_before;
         requests_ += batch.size();
         rows_ += static_cast<uint64_t>(rows);
         batches_++;
@@ -258,6 +265,8 @@ InferenceEngine::stats() const
     out.batches = batches_;
     out.rejected = rejected_;
     out.batch_fill = batch_fill_;
+    out.encode_seconds = static_cast<double>(encode_ns_) * 1e-9;
+    out.gather_seconds = static_cast<double>(gather_ns_) * 1e-9;
     out.mean_latency_us = latency_.meanMicros();
     out.p50_latency_us = latency_.percentileMicros(50.0);
     out.p99_latency_us = latency_.percentileMicros(99.0);

@@ -143,6 +143,8 @@ class InferenceEngine
     uint64_t batches_ = 0;
     uint64_t rejected_ = 0;
     std::vector<uint64_t> batch_fill_;
+    uint64_t encode_ns_ = 0;
+    uint64_t gather_ns_ = 0;
     LatencyHistogram latency_;
     bool saw_first_submit_ = false;
     std::chrono::steady_clock::time_point first_submit_;

@@ -295,7 +295,8 @@ FrozenModel::validateServable(const nn::LayerPtr &model,
 }
 
 api::Result<FrozenModel>
-FrozenModel::fromModel(const nn::LayerPtr &model, ServeInputShape input)
+FrozenModel::fromModel(const nn::LayerPtr &model, ServeInputShape input,
+                       PlanOptions plan)
 {
     if (!model)
         return api::Status::invalidArgument(
@@ -306,13 +307,14 @@ FrozenModel::fromModel(const nn::LayerPtr &model, ServeInputShape input)
     if (api::Status status = lowerChain(layers, input, &frozen.stages_);
         !status.ok())
         return status;
+    planStages(frozen.stages_, plan, frozen.plan_);
     return frozen;
 }
 
 api::Result<FrozenModel>
 FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
                        const vq::PQConfig &pq, vq::LutPrecision precision,
-                       uint64_t seed)
+                       uint64_t seed, PlanOptions plan)
 {
     if (gemms.empty())
         return api::Status::invalidArgument(
@@ -346,6 +348,7 @@ FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
                 precision.bf16_similarity)));
         prev_out = gemm.n;
     }
+    planStages(frozen.stages_, plan, frozen.plan_);
     return frozen;
 }
 
@@ -389,9 +392,15 @@ FrozenModel::describe() const
     for (const StagePtr &stage : stages_) {
         if (!out.empty())
             out += " -> ";
-        out += stage->kind();
+        out += stage->description();
     }
     return out;
+}
+
+std::string
+FrozenModel::planSummary() const
+{
+    return serve::planSummary(plan_);
 }
 
 Tensor

@@ -18,13 +18,20 @@
  *    GlobalAvgPool / BatchNorm2d / LayerNorm / Flatten. MLP chains lower
  *    directly; CNN chains additionally need the input image shape
  *    (ServeInputShape) because serving works on flat rows. Bit-exact with
- *    eval-mode model->forward().
+ *    eval-mode model->forward() under the default plan.
  *  - fromTrace(): synthesize a load-testing model from a workload's GEMM
  *    trace (randomized codebooks/weights, one arena stage per traced
  *    layer). Stage widths follow the trace, so consecutive stages need
  *    not chain; the lowering inserts explicit WidthAdaptStage nodes
  *    (cyclic column replication), preserving each layer's true gather
  *    workload.
+ *
+ * Both builders finish with the planning pass (serve/plan.h): LUT stages
+ * are bound to the kernel backend the PlanOptions select (bit-exact
+ * float32 by default, packed-code + INT8-table quantized on request) and
+ * fusable neighbors (pointwise epilogues, width-adapt prologues) fold
+ * into them. The resulting per-stage decisions are inspectable through
+ * plan() / planSummary().
  */
 
 #include <cstdint>
@@ -34,6 +41,7 @@
 
 #include "api/status.h"
 #include "nn/layer.h"
+#include "serve/plan.h"
 #include "serve/stage.h"
 #include "sim/config.h"
 #include "vq/pq.h"
@@ -84,10 +92,12 @@ class FrozenModel
      * GlobalAvgPool, BatchNorm2d, LayerNorm, and Flatten. Anything else
      * yields InvalidArgument naming the first unlowerable layer. Models
      * whose first lowered layer is spatial (conv/pool/norm) additionally
-     * require `input` to carry the image height/width.
+     * require `input` to carry the image height/width. `plan` selects the
+     * kernel backend and fusion behavior (defaults are bit-exact).
      */
     static api::Result<FrozenModel>
-    fromModel(const nn::LayerPtr &model, ServeInputShape input = {});
+    fromModel(const nn::LayerPtr &model, ServeInputShape input = {},
+              PlanOptions plan = {});
 
     /**
      * Check that `model`'s topology is lowerable by fromModel WITHOUT
@@ -108,7 +118,7 @@ class FrozenModel
     static api::Result<FrozenModel>
     fromTrace(const std::vector<sim::GemmShape> &gemms,
               const vq::PQConfig &pq, vq::LutPrecision precision = {},
-              uint64_t seed = 91);
+              uint64_t seed = 91, PlanOptions plan = {});
 
     /** Input width the first stage expects. */
     int64_t inputWidth() const;
@@ -131,7 +141,13 @@ class FrozenModel
     /** Stage list (read-only). */
     const std::vector<StagePtr> &stages() const { return stages_; }
 
-    /** Human-readable stage chain, e.g. "conv -> relu -> ... ". */
+    /** Per-stage planning decisions, one entry per stage. */
+    const std::vector<StagePlan> &plan() const { return plan_; }
+
+    /** Multi-line plan dump (code widths, table precision, fusions). */
+    std::string planSummary() const;
+
+    /** Human-readable planned chain, e.g. "conv+relu -> maxpool -> ...". */
     std::string describe() const;
 
     /**
@@ -148,6 +164,7 @@ class FrozenModel
 
   private:
     std::vector<StagePtr> stages_;
+    std::vector<StagePlan> plan_;
 };
 
 } // namespace lutdla::serve

@@ -1,0 +1,178 @@
+#include "serve/plan.h"
+
+#include <cstdio>
+
+#include "vq/code_buffer.h"
+
+namespace lutdla::serve {
+
+const char *
+tablePrecisionName(TablePrecision precision)
+{
+    return precision == TablePrecision::Int8 ? "int8" : "float32";
+}
+
+namespace {
+
+/** Collect the run of PointwiseStages starting at `j`; returns one past
+ * the last fused stage. */
+size_t
+collectEpilogue(const std::vector<StagePtr> &stages, size_t j,
+                std::vector<PointwiseOp> &epilogue,
+                std::vector<std::string> &fused)
+{
+    while (j < stages.size()) {
+        const auto *pw =
+            dynamic_cast<const PointwiseStage *>(stages[j].get());
+        if (pw == nullptr)
+            break;
+        epilogue.push_back(pw->op());
+        fused.push_back(pw->kind());
+        ++j;
+    }
+    return j;
+}
+
+StagePlan
+lutPlan(const FrozenStage &stage, const lutboost::LutTableArena &arena,
+        std::vector<std::string> fused, TablePrecision precision)
+{
+    StagePlan plan;
+    plan.kind = stage.kind();
+    plan.description = stage.description();
+    plan.fused = std::move(fused);
+    plan.code_bits = vq::codeBitsFor(arena.numCentroids());
+    plan.precision = precision;
+    plan.table_bytes = stage.tableBytes();
+    return plan;
+}
+
+StagePlan
+passthroughPlan(const FrozenStage &stage)
+{
+    StagePlan plan;
+    plan.kind = stage.kind();
+    plan.description = stage.description();
+    plan.table_bytes = stage.tableBytes();
+    return plan;
+}
+
+} // namespace
+
+void
+planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
+           std::vector<StagePlan> &plan)
+{
+    const lutboost::KernelBackend *backend =
+        options.table_precision == TablePrecision::Int8
+            ? &lutboost::quantizedBackend()
+            : &lutboost::referenceBackend();
+
+    std::vector<StagePtr> out;
+    out.reserve(stages.size());
+    plan.clear();
+
+    size_t i = 0;
+    while (i < stages.size()) {
+        const StagePtr &stage = stages[i];
+
+        // width-adapt directly feeding an arena folds into its encode
+        // prologue (trace models only emit this pair).
+        if (options.fuse && i + 1 < stages.size()) {
+            const auto *adapt =
+                dynamic_cast<const WidthAdaptStage *>(stage.get());
+            const auto *next =
+                dynamic_cast<const ArenaStage *>(stages[i + 1].get());
+            if (adapt != nullptr && next != nullptr &&
+                next->adaptInWidth() == 0) {
+                std::vector<PointwiseOp> epilogue;
+                std::vector<std::string> fused{stage->kind()};
+                const size_t j =
+                    collectEpilogue(stages, i + 2, epilogue, fused);
+                auto planned = std::make_shared<ArenaStage>(
+                    next->arena(), backend, std::move(epilogue),
+                    stage->inWidth());
+                plan.push_back(lutPlan(*planned, *planned->arena(),
+                                       std::move(fused),
+                                       options.table_precision));
+                out.push_back(std::move(planned));
+                i = j;
+                continue;
+            }
+        }
+
+        if (const auto *arena =
+                dynamic_cast<const ArenaStage *>(stage.get())) {
+            std::vector<PointwiseOp> epilogue = arena->epilogue();
+            std::vector<std::string> fused;
+            const size_t j = options.fuse
+                                 ? collectEpilogue(stages, i + 1, epilogue,
+                                                   fused)
+                                 : i + 1;
+            auto planned = std::make_shared<ArenaStage>(
+                arena->arena(), backend, std::move(epilogue),
+                arena->adaptInWidth());
+            plan.push_back(lutPlan(*planned, *planned->arena(),
+                                   std::move(fused),
+                                   options.table_precision));
+            out.push_back(std::move(planned));
+            i = j;
+            continue;
+        }
+
+        if (const auto *conv =
+                dynamic_cast<const ConvStage *>(stage.get())) {
+            std::vector<PointwiseOp> epilogue = conv->epilogue();
+            std::vector<std::string> fused;
+            const size_t j = options.fuse
+                                 ? collectEpilogue(stages, i + 1, epilogue,
+                                                   fused)
+                                 : i + 1;
+            auto planned = std::make_shared<ConvStage>(
+                conv->geometry(), conv->height(), conv->width(),
+                conv->arena(), backend, std::move(epilogue));
+            plan.push_back(lutPlan(*planned, *planned->arena(),
+                                   std::move(fused),
+                                   options.table_precision));
+            out.push_back(std::move(planned));
+            i = j;
+            continue;
+        }
+
+        plan.push_back(passthroughPlan(*stage));
+        out.push_back(stage);
+        ++i;
+    }
+    stages = std::move(out);
+}
+
+std::string
+planSummary(const std::vector<StagePlan> &plan)
+{
+    std::string out;
+    char line[256];
+    for (size_t i = 0; i < plan.size(); ++i) {
+        const StagePlan &p = plan[i];
+        if (p.code_bits > 0) {
+            std::snprintf(line, sizeof(line),
+                          "%2zu: %-24s codes %d-bit, tables %s, %.1f KB",
+                          i, p.description.c_str(), p.code_bits,
+                          tablePrecisionName(p.precision),
+                          static_cast<double>(p.table_bytes) / 1024.0);
+        } else {
+            std::snprintf(line, sizeof(line), "%2zu: %s", i,
+                          p.description.c_str());
+        }
+        out += line;
+        if (!p.fused.empty()) {
+            out += "  (folded:";
+            for (const std::string &kind : p.fused)
+                out += " " + kind;
+            out += ")";
+        }
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace lutdla::serve

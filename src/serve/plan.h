@@ -1,0 +1,81 @@
+#ifndef LUTDLA_SERVE_PLAN_H
+#define LUTDLA_SERVE_PLAN_H
+
+/**
+ * @file
+ * The lowering-time planning pass: after FrozenModel's lowering walk has
+ * produced a literal stage-per-layer chain, planStages() rewrites it into
+ * the chain the data plane actually executes —
+ *
+ *  - precision selection: every LUT stage (ArenaStage / ConvStage) is
+ *    bound to a lutboost::KernelBackend (bit-exact float32 reference, or
+ *    packed-code + INT8-table quantized) and the quantized bank is built
+ *    eagerly so serving never pays the cost;
+ *  - epilogue fusion: pointwise activation stages directly following a
+ *    LUT stage fold into that stage's arena-sweep epilogue (the same
+ *    float ops run while the output slab is cache-hot, so the fused chain
+ *    stays bit-exact under the reference backend);
+ *  - prologue fusion: a WidthAdaptStage directly preceding an ArenaStage
+ *    (trace models) folds into that stage's encode prologue, dropping a
+ *    whole ping-pong plane pass.
+ *
+ * Each planned node is recorded as a StagePlan — final label, what got
+ * folded in, the packed code width, the table precision — surfaced
+ * through FrozenModel::plan()/planSummary() so examples and reports can
+ * show exactly what the data plane will run. See docs/SERVING.md for the
+ * fusion rule table.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/stage.h"
+
+namespace lutdla::serve {
+
+/** Gather-phase table precision the planner binds LUT stages to. */
+enum class TablePrecision
+{
+    Float32,  ///< bit-exact float bank (reference backend)
+    Int8      ///< INT8 bank with per-(subspace, block) scales
+};
+
+/** Stable name for a table precision ("float32" / "int8"). */
+const char *tablePrecisionName(TablePrecision precision);
+
+/** Knobs for the planning pass; defaults preserve bit-exact semantics. */
+struct PlanOptions
+{
+    /** Table bank every LUT stage gathers from. */
+    TablePrecision table_precision = TablePrecision::Float32;
+    /** Fold pointwise / width-adapt neighbors into LUT stages. */
+    bool fuse = true;
+};
+
+/** One planned stage: what the node runs and what was folded into it. */
+struct StagePlan
+{
+    std::string kind;         ///< base stage kind, e.g. "lut-gemm"
+    std::string description;  ///< planned label, e.g. "lut-gemm[int8]+relu"
+    std::vector<std::string> fused;  ///< kinds of stages folded in
+    int code_bits = 0;        ///< packed code width; 0 for non-LUT stages
+    TablePrecision precision = TablePrecision::Float32;  ///< LUT stages
+    int64_t table_bytes = 0;  ///< bytes the stage's gather streams
+};
+
+/**
+ * Rewrite `stages` per `options` and record one StagePlan per surviving
+ * node. Idempotent on an already-planned chain; with fusion off it still
+ * rebinds every LUT stage's backend (so precision and fusion compose
+ * independently).
+ */
+void planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
+                std::vector<StagePlan> &plan);
+
+/** Multi-line human-readable plan dump (one line per planned stage). */
+std::string planSummary(const std::vector<StagePlan> &plan);
+
+} // namespace lutdla::serve
+
+#endif // LUTDLA_SERVE_PLAN_H

@@ -1,5 +1,6 @@
 #include "serve/stage.h"
 
+#include <chrono>
 #include <cstring>
 
 #include "nn/activations.h"
@@ -7,6 +8,46 @@
 #include "util/logging.h"
 
 namespace lutdla::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t
+nanosSince(Clock::time_point start)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+}
+
+/** "+relu+gelu"-style suffix for fused epilogues. */
+std::string
+epilogueSuffix(const std::vector<PointwiseOp> &ops)
+{
+    std::string out;
+    for (PointwiseOp op : ops)
+        out += op == PointwiseOp::Relu ? "+relu" : "+gelu";
+    return out;
+}
+
+} // namespace
+
+void
+applyPointwiseOps(const std::vector<PointwiseOp> &ops, float *data,
+                  int64_t total)
+{
+    for (PointwiseOp op : ops) {
+        if (op == PointwiseOp::Relu) {
+            for (int64_t i = 0; i < total; ++i)
+                data[i] = nn::reluForward(data[i]);
+        } else {
+            for (int64_t i = 0; i < total; ++i)
+                data[i] = nn::geluForward(data[i]);
+        }
+    }
+}
 
 void
 FrozenStage::forward(const float *in, int64_t rows, float *out,
@@ -27,11 +68,77 @@ FrozenStage::forwardInPlace(float *, int64_t) const
     panic("stage '", kind(), "' is not an in-place stage");
 }
 
+ArenaStage::ArenaStage(std::shared_ptr<const lutboost::LutTableArena> arena,
+                       const lutboost::KernelBackend *backend,
+                       std::vector<PointwiseOp> epilogue,
+                       int64_t adapt_in_width)
+    : arena_(std::move(arena)),
+      backend_(backend != nullptr ? backend
+                                  : &lutboost::referenceBackend()),
+      epilogue_(std::move(epilogue)),
+      adapt_in_(adapt_in_width)
+{
+    backend_->prepare(*arena_);
+}
+
+std::string
+ArenaStage::description() const
+{
+    std::string out = adapt_in_ > 0 ? "adapt+lut-gemm" : "lut-gemm";
+    if (!backend_->bitExact())
+        out += "[" + backend_->name() + "]";
+    return out + epilogueSuffix(epilogue_);
+}
+
 void
 ArenaStage::forward(const float *in, int64_t rows, float *out,
-                    StageScratch &) const
+                    StageScratch &scratch) const
 {
-    arena_->forwardBatch(in, rows, out);
+    const auto t0 = Clock::now();
+    const float *src = in;
+    if (adapt_in_ > 0) {
+        // Fused width-adapt prologue: materialize the cyclically
+        // replicated rows into kernel scratch instead of running a whole
+        // extra stage (and ping-pong plane) for them.
+        const int64_t k = arena_->inFeatures();
+        scratch.kernel.adapted.resize(static_cast<size_t>(rows * k));
+        float *dst = scratch.kernel.adapted.data();
+        for (int64_t r = 0; r < rows; ++r) {
+            const float *row = in + r * adapt_in_;
+            float *drow = dst + r * k;
+            for (int64_t j = 0; j < k; ++j)
+                drow[j] = row[j % adapt_in_];
+        }
+        src = dst;
+    }
+    backend_->encodeBatch(*arena_, src, rows, scratch.kernel);
+    scratch.encode_ns += nanosSince(t0);
+
+    const auto t1 = Clock::now();
+    backend_->gatherAccumulate(*arena_, scratch.kernel, out);
+    applyPointwiseOps(epilogue_, out, rows * outWidth());
+    scratch.gather_ns += nanosSince(t1);
+}
+
+ConvStage::ConvStage(ConvGeometry geom, int64_t height, int64_t width,
+                     std::shared_ptr<const lutboost::LutTableArena> arena,
+                     const lutboost::KernelBackend *backend,
+                     std::vector<PointwiseOp> epilogue)
+    : geom_(geom), h_(height), w_(width), arena_(std::move(arena)),
+      backend_(backend != nullptr ? backend
+                                  : &lutboost::referenceBackend()),
+      epilogue_(std::move(epilogue))
+{
+    backend_->prepare(*arena_);
+}
+
+std::string
+ConvStage::description() const
+{
+    std::string out = "conv";
+    if (!backend_->bitExact())
+        out += "[" + backend_->name() + "]";
+    return out + epilogueSuffix(epilogue_);
 }
 
 void
@@ -39,7 +146,15 @@ ConvStage::forward(const float *in, int64_t rows, float *out,
                    StageScratch &scratch) const
 {
     lutboost::convArenaForward(*arena_, geom_, in, rows, h_, w_, out,
-                               scratch.conv);
+                               scratch.conv, *backend_, scratch.kernel,
+                               &scratch.encode_ns, &scratch.gather_ns);
+    if (!epilogue_.empty()) {
+        // Elementwise, so it commutes with the NCHW reshape; applying it
+        // on the final plane keeps it a single cache-hot sweep.
+        const auto t1 = Clock::now();
+        applyPointwiseOps(epilogue_, out, rows * outWidth());
+        scratch.gather_ns += nanosSince(t1);
+    }
 }
 
 void

@@ -7,10 +7,21 @@
  * immutable FrozenStage nodes, each transforming a batch of flat
  * activation rows. A single lowering pass (FrozenModel::fromModel) maps
  * every LUTBoost-converted layer kind onto one of the concrete stages
- * here — arena GEMM for LutLinear, im2col + arena GEMM for LutConv2d,
- * pooling / flatten / norm / pointwise for the glue layers — so the
- * engine's batch loop is topology-agnostic: MLPs, CNNs, and future
- * attention graphs all execute as "for stage in stages: stage.forward".
+ * here — arena LUT-GEMM for LutLinear, im2col + arena LUT-GEMM for
+ * LutConv2d, pooling / flatten / norm / pointwise for the glue layers —
+ * then a planning pass (serve/plan.h) picks each LUT stage's kernel
+ * backend and folds fusable neighbors into it, so the engine's batch loop
+ * is topology-agnostic: MLPs, CNNs, and future attention graphs all
+ * execute as "for stage in stages: stage.forward".
+ *
+ * Execution model: LUT stages do no inline math. They emit two kernel
+ * calls — encodeBatch (rows -> bit-packed centroid indices) and
+ * gatherAccumulate (indices -> accumulated table rows) — dispatched
+ * through the lutboost::KernelBackend chosen at plan time (reference
+ * float = bit-exact, quantized = packed codes + INT8 tables), and then
+ * apply any epilogue ops the planner fused in (pointwise activations,
+ * trace width adaptation) while the output is still cache-hot. The two
+ * phase times are accumulated into StageScratch for EngineStats.
  *
  * Layout contract: a batch is always a [rows, width] row-major matrix of
  * floats. Spatial stages interpret each row as a flattened NCHW image
@@ -19,9 +30,11 @@
  * identity stage and conv/pool stages never reshape the batch dimension.
  *
  * Numerics contract: every stage reuses the nn:: eval-path math (shared
- * free functions, not copies) or the bit-exact LutTableArena kernel, so a
- * lowered chain is bit-exact with eval-mode model->forward(). Tests
- * enforce this across precisions.
+ * free functions, not copies) or the arena kernels behind the reference
+ * backend, so a lowered chain under the default plan is bit-exact with
+ * eval-mode model->forward() — epilogue fusion reorders nothing, it only
+ * moves where the same float ops run. Tests enforce this across
+ * precisions. Quantized-backend stages are deterministic but approximate.
  *
  * Thread safety: stages are immutable after construction; all mutable
  * state lives in the caller-owned StageScratch, so one FrozenModel can
@@ -33,24 +46,38 @@
 #include <string>
 #include <vector>
 
+#include "lutboost/kernels.h"
 #include "lutboost/lut_conv.h"
 #include "lutboost/table_arena.h"
 #include "tensor/im2col.h"
 
 namespace lutdla::serve {
 
+/** Elementwise op a PointwiseStage applies — and, after fusion, the op an
+ * arena-sweep epilogue applies in place of that stage. */
+enum class PointwiseOp
+{
+    Relu,
+    Gelu
+};
+
 /**
  * Per-worker reusable buffers for one in-flight batch: the ping-pong
- * activation planes the stage chain alternates between, plus the conv
- * path's im2col/GEMM scratch. Engine workers each own one, so
- * steady-state serving performs no per-batch allocations once the
- * buffers have grown to the largest batch seen.
+ * activation planes the stage chain alternates between, the conv path's
+ * im2col/GEMM scratch, the kernel backend's packed-code buffers, and the
+ * encode/gather phase-time accumulators the engine folds into its stats.
+ * Engine workers each own one, so steady-state serving performs no
+ * per-batch allocations once the buffers have grown to the largest batch
+ * seen.
  */
 struct StageScratch
 {
-    std::vector<float> ping;        ///< activation buffer A
-    std::vector<float> pong;        ///< activation buffer B
-    lutboost::ConvScratch conv;     ///< im2col + flat-GEMM scratch
+    std::vector<float> ping;           ///< activation buffer A
+    std::vector<float> pong;           ///< activation buffer B
+    lutboost::ConvScratch conv;        ///< im2col + flat-GEMM scratch
+    lutboost::KernelScratch kernel;    ///< packed codes + staging planes
+    uint64_t encode_ns = 0;            ///< accumulated encode-phase time
+    uint64_t gather_ns = 0;            ///< accumulated gather-phase time
 };
 
 /**
@@ -65,8 +92,15 @@ class FrozenStage
   public:
     virtual ~FrozenStage() = default;
 
-    /** Stage kind tag for describe() and error messages, e.g. "conv". */
+    /** Stage kind tag for error messages and plans, e.g. "conv". */
     virtual std::string kind() const = 0;
+
+    /**
+     * Human-readable node label for describe(): the kind plus any planner
+     * decorations (fused epilogues, table precision), e.g.
+     * "lut-gemm[int8]+relu". Defaults to kind().
+     */
+    virtual std::string description() const { return kind(); }
 
     /** Flat row width this stage consumes. */
     virtual int64_t inWidth() const = 0;
@@ -74,7 +108,7 @@ class FrozenStage
     /** Flat row width this stage produces. */
     virtual int64_t outWidth() const = 0;
 
-    /** Arena bytes owned by this stage (0 for non-LUT stages). */
+    /** Table bytes the stage's gather streams (0 for non-LUT stages). */
     virtual int64_t tableBytes() const { return 0; }
 
     /** True when the stage mutates rows in place (inWidth==outWidth). */
@@ -95,42 +129,83 @@ class FrozenStage
 /** Shared-ownership handle to an immutable stage. */
 using StagePtr = std::shared_ptr<const FrozenStage>;
 
-/** Arena-backed LUT GEMM stage (lowered LutLinear). */
+/** Apply fused pointwise epilogue ops to `total` contiguous floats. */
+void applyPointwiseOps(const std::vector<PointwiseOp> &ops, float *data,
+                       int64_t total);
+
+/**
+ * Arena-backed LUT-GEMM stage (lowered LutLinear): encode -> gather
+ * through the planned kernel backend, then any fused epilogue. The
+ * optional `adapt_in_width` prologue absorbs a preceding WidthAdaptStage
+ * (trace models): the stage then consumes `adapt_in_width`-wide rows and
+ * cyclically replicates them to the arena width in scratch before
+ * encoding.
+ */
 class ArenaStage : public FrozenStage
 {
   public:
     explicit ArenaStage(
-        std::shared_ptr<const lutboost::LutTableArena> arena)
-        : arena_(std::move(arena))
-    {
-    }
+        std::shared_ptr<const lutboost::LutTableArena> arena,
+        const lutboost::KernelBackend *backend = nullptr,
+        std::vector<PointwiseOp> epilogue = {},
+        int64_t adapt_in_width = 0);
 
     std::string kind() const override { return "lut-gemm"; }
-    int64_t inWidth() const override { return arena_->inFeatures(); }
+    std::string description() const override;
+    int64_t
+    inWidth() const override
+    {
+        return adapt_in_ > 0 ? adapt_in_ : arena_->inFeatures();
+    }
     int64_t outWidth() const override { return arena_->outFeatures(); }
-    int64_t tableBytes() const override { return arena_->sizeBytes(); }
+    int64_t
+    tableBytes() const override
+    {
+        return backend_->tableBytes(*arena_);
+    }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
+    /** The frozen arena this stage gathers from. */
+    const std::shared_ptr<const lutboost::LutTableArena> &
+    arena() const
+    {
+        return arena_;
+    }
+
+    /** The kernel backend the planner chose. */
+    const lutboost::KernelBackend &backend() const { return *backend_; }
+
+    /** Fused epilogue ops (empty before planning). */
+    const std::vector<PointwiseOp> &epilogue() const { return epilogue_; }
+
+    /** Fused width-adapt prologue input width (0 when absent). */
+    int64_t adaptInWidth() const { return adapt_in_; }
+
   private:
     std::shared_ptr<const lutboost::LutTableArena> arena_;
+    const lutboost::KernelBackend *backend_;
+    std::vector<PointwiseOp> epilogue_;
+    int64_t adapt_in_;
 };
 
 /**
  * Im2col-lowered convolution stage (lowered LutConv2d): fixed input
  * geometry (C, H, W baked in at lowering time), batched im2col into
- * scratch, arena GEMM, NCHW reshape. Rows are flattened NCHW images.
+ * scratch, encode -> gather through the planned backend, NCHW reshape,
+ * then any fused epilogue (elementwise, so it commutes with the
+ * reshape). Rows are flattened NCHW images.
  */
 class ConvStage : public FrozenStage
 {
   public:
     ConvStage(ConvGeometry geom, int64_t height, int64_t width,
-              std::shared_ptr<const lutboost::LutTableArena> arena)
-        : geom_(geom), h_(height), w_(width), arena_(std::move(arena))
-    {
-    }
+              std::shared_ptr<const lutboost::LutTableArena> arena,
+              const lutboost::KernelBackend *backend = nullptr,
+              std::vector<PointwiseOp> epilogue = {});
 
     std::string kind() const override { return "conv"; }
+    std::string description() const override;
     int64_t
     inWidth() const override
     {
@@ -141,17 +216,42 @@ class ConvStage : public FrozenStage
     {
         return geom_.out_channels * geom_.outSize(h_) * geom_.outSize(w_);
     }
-    int64_t tableBytes() const override { return arena_->sizeBytes(); }
+    int64_t
+    tableBytes() const override
+    {
+        return backend_->tableBytes(*arena_);
+    }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
     /** The conv geometry this stage was lowered with. */
     const ConvGeometry &geometry() const { return geom_; }
 
+    /** The frozen arena this stage gathers from. */
+    const std::shared_ptr<const lutboost::LutTableArena> &
+    arena() const
+    {
+        return arena_;
+    }
+
+    /** The kernel backend the planner chose. */
+    const lutboost::KernelBackend &backend() const { return *backend_; }
+
+    /** Fused epilogue ops (empty before planning). */
+    const std::vector<PointwiseOp> &epilogue() const { return epilogue_; }
+
+    /** Input image height baked in at lowering time. */
+    int64_t height() const { return h_; }
+
+    /** Input image width baked in at lowering time. */
+    int64_t width() const { return w_; }
+
   private:
     ConvGeometry geom_;
     int64_t h_, w_;
     std::shared_ptr<const lutboost::LutTableArena> arena_;
+    const lutboost::KernelBackend *backend_;
+    std::vector<PointwiseOp> epilogue_;
 };
 
 /** Pointwise activation stage (lowered ReLU / GELU); in place. */
@@ -159,11 +259,7 @@ class PointwiseStage : public FrozenStage
 {
   public:
     /** Which nn:: eval function the stage applies. */
-    enum class Op
-    {
-        Relu,
-        Gelu
-    };
+    using Op = PointwiseOp;
 
     PointwiseStage(Op op, int64_t width) : op_(op), width_(width) {}
 
@@ -176,6 +272,9 @@ class PointwiseStage : public FrozenStage
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
     void forwardInPlace(float *data, int64_t rows) const override;
+
+    /** The elementwise op this stage applies (read by the fusion pass). */
+    Op op() const { return op_; }
 
   private:
     Op op_;
@@ -313,7 +412,9 @@ class LayerNormStage : public FrozenStage
  * Cyclic width adapter used only by trace-synthesized models, whose
  * consecutive GEMM widths need not chain: each output column j copies
  * input column j % inWidth, preserving each traced layer's true gather
- * workload.
+ * workload. The planner fuses these into the following ArenaStage as an
+ * encode prologue; an unfused node survives only when fusion is off or
+ * no LUT stage follows.
  */
 class WidthAdaptStage : public FrozenStage
 {

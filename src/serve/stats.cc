@@ -95,6 +95,15 @@ EngineStats::avgBatchFill() const
     return static_cast<double>(rows) / static_cast<double>(batches);
 }
 
+double
+EngineStats::encodeFraction() const
+{
+    const double total = encode_seconds + gather_seconds;
+    if (total <= 0.0)
+        return 0.0;
+    return encode_seconds / total;
+}
+
 std::string
 EngineStats::summary() const
 {
@@ -115,6 +124,12 @@ EngineStats::summary() const
     std::snprintf(line, sizeof(line),
                   "latency us: mean %.1f, p50 ~%.1f, p99 ~%.1f\n",
                   mean_latency_us, p50_latency_us, p99_latency_us);
+    out += line;
+    std::snprintf(line, sizeof(line),
+                  "lut phases: encode %.4f s, gather %.4f s (%.0f%% "
+                  "encode)\n",
+                  encode_seconds, gather_seconds,
+                  encodeFraction() * 100.0);
     out += line;
     return out;
 }

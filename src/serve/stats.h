@@ -84,6 +84,17 @@ struct EngineStats
     double p99_latency_us = 0.0;
 
     /**
+     * Cumulative encode-phase seconds across workers (argmin encoding of
+     * batch rows into packed codes, including im2col / BF16 staging).
+     * Summed over threads, so encode + gather can exceed wall_seconds on
+     * multi-worker engines; the ratio is what the split is for.
+     */
+    double encode_seconds = 0.0;
+    /** Cumulative gather-phase seconds across workers (table
+     * accumulation, fused epilogues, NCHW reshape). */
+    double gather_seconds = 0.0;
+
+    /**
      * batch_fill[r] = number of executed batches that carried exactly `r`
      * rows; index 0 is unused. Size is max_batch + 1.
      */
@@ -94,6 +105,9 @@ struct EngineStats
 
     /** Mean rows per executed batch (0 before any batch). */
     double avgBatchFill() const;
+
+    /** Encode share of LUT-stage time, in [0, 1] (0 when unmeasured). */
+    double encodeFraction() const;
 
     /** Multi-line human-readable digest. */
     std::string summary() const;

@@ -1,0 +1,72 @@
+#include "vq/code_buffer.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace lutdla::vq {
+
+int
+codeBitsFor(int64_t num_centroids)
+{
+    if (num_centroids <= 16)
+        return 4;
+    if (num_centroids <= 256)
+        return 8;
+    return 16;
+}
+
+void
+CodeBuffer::reset(int64_t rows, int64_t subspaces, int64_t num_centroids)
+{
+    LUTDLA_CHECK(rows >= 0 && subspaces >= 1,
+                 "CodeBuffer needs rows >= 0 and subspaces >= 1");
+    LUTDLA_CHECK(num_centroids >= 1 && num_centroids <= 65536,
+                 "CodeBuffer supports up to 65536 centroids, got ",
+                 num_centroids);
+    rows_ = rows;
+    subspaces_ = subspaces;
+    bits_ = codeBitsFor(num_centroids);
+    stride_ = (subspaces * bits_ + 7) / 8;
+    data_.assign(static_cast<size_t>(rows_ * stride_), 0);
+}
+
+void
+CodeBuffer::unpackRow(int64_t row, int32_t *out) const
+{
+    const uint8_t *base = data_.data() + row * stride_;
+    switch (bits_) {
+      case 4: {
+        const int64_t pairs = subspaces_ / 2;
+        for (int64_t p = 0; p < pairs; ++p) {
+            const uint8_t byte = base[p];
+            out[2 * p] = byte & 0xF;
+            out[2 * p + 1] = byte >> 4;
+        }
+        if (subspaces_ & 1)
+            out[subspaces_ - 1] = base[pairs] & 0xF;
+        return;
+      }
+      case 8:
+        for (int64_t s = 0; s < subspaces_; ++s)
+            out[s] = base[s];
+        return;
+      default:
+        for (int64_t s = 0; s < subspaces_; ++s)
+            out[s] = static_cast<int32_t>(base[2 * s]) |
+                     (static_cast<int32_t>(base[2 * s + 1]) << 8);
+        return;
+    }
+}
+
+void
+CodeBuffer::unpackRows(int64_t row0, int64_t n, int32_t *out) const
+{
+    LUTDLA_CHECK(row0 >= 0 && row0 + n <= rows_,
+                 "CodeBuffer::unpackRows range [", row0, ", ", row0 + n,
+                 ") exceeds ", rows_, " rows");
+    for (int64_t i = 0; i < n; ++i)
+        unpackRow(row0 + i, out + i * subspaces_);
+}
+
+} // namespace lutdla::vq

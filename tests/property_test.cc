@@ -1,15 +1,20 @@
 /**
  * @file
  * Parameterized property sweeps over the library's core invariants:
- * approximation error trends over (v, c), simulator monotonicity, and
- * dataflow memory dominance.
+ * approximation error trends over (v, c), simulator monotonicity,
+ * dataflow memory dominance, packed-code round-trips, and the serving
+ * data plane's bit-exactness across awkward shapes (K not divisible by
+ * v, centroid counts that are not powers of two, single-row batches).
  */
 
 #include <gtest/gtest.h>
 
 #include "hw/dataflow.h"
+#include "lutboost/kernels.h"
+#include "lutboost/lut_linear.h"
 #include "sim/lutdla_sim.h"
 #include "util/rng.h"
+#include "vq/code_buffer.h"
 #include "vq/lut.h"
 
 namespace lutdla {
@@ -179,6 +184,117 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, DataflowDominance,
     ::testing::Combine(::testing::Values<int64_t>(128, 512, 1024),
                        ::testing::Values<int64_t>(256, 768, 2048)));
+
+// ---- Property: CodeBuffer round-trips codes exactly --------------------
+
+class CodeBufferRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(CodeBufferRoundTrip, PackUnpackIsLossless)
+{
+    const auto [rows, subspaces, centroids] = GetParam();
+    vq::CodeBuffer buffer;
+    buffer.reset(rows, subspaces, centroids);
+
+    // Expected width: 4 bits through c=16, 8 through c=256, else 16.
+    const int want_bits = centroids <= 16 ? 4 : centroids <= 256 ? 8 : 16;
+    EXPECT_EQ(buffer.bits(), want_bits);
+    EXPECT_EQ(buffer.sizeBytes(),
+              rows * ((subspaces * want_bits + 7) / 8));
+
+    Rng rng(17 + static_cast<uint64_t>(centroids));
+    std::vector<int32_t> expected(
+        static_cast<size_t>(rows * subspaces));
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t s = 0; s < subspaces; ++s) {
+            const int32_t code = static_cast<int32_t>(
+                rng.uniformInt(0, centroids - 1));
+            expected[static_cast<size_t>(r * subspaces + s)] = code;
+            buffer.set(r, s, code);
+        }
+    std::vector<int32_t> unpacked(expected.size());
+    buffer.unpackRows(0, rows, unpacked.data());
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t s = 0; s < subspaces; ++s) {
+            const size_t i = static_cast<size_t>(r * subspaces + s);
+            EXPECT_EQ(buffer.get(r, s), expected[i])
+                << "r=" << r << " s=" << s;
+            EXPECT_EQ(unpacked[i], expected[i]) << "r=" << r << " s=" << s;
+        }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, CodeBufferRoundTrip,
+    ::testing::Combine(
+        ::testing::Values<int64_t>(1, 3, 300),          // rows (1 = single)
+        ::testing::Values<int64_t>(1, 5, 8),            // subspaces (odd!)
+        ::testing::Values<int64_t>(5, 16, 100, 257)));  // c, some non-pow2
+
+// ---- Property: reference backend bit-exact on awkward shapes -----------
+
+class AwkwardShapeServing
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(AwkwardShapeServing, ReferenceBackendMatchesEvalForward)
+{
+    const auto [k, v, c, rows] = GetParam();
+    vq::PQConfig pq;
+    pq.v = v;
+    pq.c = c;
+    lutboost::LutLinear layer(k, 9, pq, /*bias=*/true,
+                              /*seed=*/static_cast<uint64_t>(k * 7 + c));
+    layer.refreshInferenceLut();
+
+    Rng rng(101);
+    Tensor x(Shape{rows, k});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    const Tensor reference = layer.forward(x, /*train=*/false);
+
+    // Drive the split encode -> gather pair exactly like a planned
+    // ArenaStage does.
+    const auto arena = layer.inferenceArena();
+    lutboost::KernelScratch scratch;
+    Tensor y(Shape{rows, 9});
+    lutboost::referenceBackend().encodeBatch(*arena, x.data(), rows,
+                                             scratch);
+    EXPECT_EQ(scratch.codes.rows(), rows);
+    EXPECT_EQ(scratch.codes.subspaces(), arena->numSubspaces());
+    lutboost::referenceBackend().gatherAccumulate(*arena, scratch,
+                                                  y.data());
+    EXPECT_TRUE(y.equals(reference))
+        << "k=" << k << " v=" << v << " c=" << c << " rows=" << rows
+        << " maxdiff=" << Tensor::maxAbsDiff(y, reference);
+
+    // The quantized backend must stay finite and within the INT8 error
+    // envelope on the same shapes (exactness is not required).
+    lutboost::quantizedBackend().prepare(*arena);
+    Tensor q(Shape{rows, 9});
+    lutboost::quantizedBackend().gatherAccumulate(*arena, scratch,
+                                                  q.data());
+    double worst = 0.0, scale = 0.0;
+    for (int64_t i = 0; i < q.numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(q.at(i)));
+        worst = std::max(
+            worst, static_cast<double>(std::fabs(q.at(i) - reference.at(i))));
+        scale = std::max(scale,
+                         static_cast<double>(std::fabs(reference.at(i))));
+    }
+    EXPECT_LE(worst, 0.05 * scale + 1e-3)
+        << "k=" << k << " v=" << v << " c=" << c << " rows=" << rows;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, AwkwardShapeServing,
+    ::testing::Combine(::testing::Values<int64_t>(7, 17),  // K % v != 0
+                       ::testing::Values<int64_t>(3, 4),
+                       ::testing::Values<int64_t>(6, 8),   // c = 6: non-pow2
+                       ::testing::Values<int64_t>(1, 5))); // single-row too
 
 // ---- Property: equivalent bits track (v, c) as in Table V -------------
 

@@ -133,11 +133,129 @@ TEST(FrozenModel, MatchesModelEvalBitExact)
     const Tensor reference = fx.model->forward(fx.rows, false);
     EXPECT_TRUE(batched.equals(reference))
         << "maxdiff=" << Tensor::maxAbsDiff(batched, reference);
-    // Stage graph: lut-gemm -> relu -> lut-gemm.
-    EXPECT_EQ(frozen->numStages(), 3);
+    // Planned stage graph: the relu folded into the first arena sweep.
+    EXPECT_EQ(frozen->numStages(), 2);
     EXPECT_EQ(frozen->numLutStages(), 2);
-    EXPECT_EQ(frozen->describe(), "lut-gemm -> relu -> lut-gemm");
+    EXPECT_EQ(frozen->describe(), "lut-gemm+relu -> lut-gemm");
     EXPECT_GT(frozen->tableBytes(), 0);
+}
+
+TEST(FrozenModel, NoFusePlanKeepsDiscreteStagesAndStaysBitExact)
+{
+    FrozenFixture fx = makeFrozenMlp(vq::LutPrecision{true, true});
+    serve::PlanOptions plan;
+    plan.fuse = false;
+    auto unfused = serve::FrozenModel::fromModel(fx.model, {}, plan);
+    ASSERT_TRUE(unfused.ok()) << unfused.status().toString();
+    EXPECT_EQ(unfused->describe(), "lut-gemm -> relu -> lut-gemm");
+    EXPECT_EQ(unfused->numStages(), 3);
+
+    // Fusion only moves where the same float ops run: fused and unfused
+    // plans must agree bit for bit (and with the eval forward).
+    auto fused = serve::FrozenModel::fromModel(fx.model);
+    ASSERT_TRUE(fused.ok());
+    const Tensor a = unfused->forwardBatch(fx.rows);
+    const Tensor b = fused->forwardBatch(fx.rows);
+    EXPECT_TRUE(a.equals(b)) << "maxdiff=" << Tensor::maxAbsDiff(a, b);
+    EXPECT_TRUE(a.equals(fx.model->forward(fx.rows, false)));
+}
+
+TEST(FrozenModel, QuantizedPlanTopOneAgreementWithinTolerance)
+{
+    // The INT8 data plane is approximate by design. The documented
+    // tolerance (docs/SERVING.md): on a trained classifier, top-1
+    // agreement with the bit-exact reference plan must be >= 90%.
+    FrozenFixture fx = makeFrozenMlp();
+    auto reference = serve::FrozenModel::fromModel(fx.model);
+    ASSERT_TRUE(reference.ok());
+
+    serve::PlanOptions plan;
+    plan.table_precision = serve::TablePrecision::Int8;
+    auto quantized = serve::FrozenModel::fromModel(fx.model, {}, plan);
+    ASSERT_TRUE(quantized.ok()) << quantized.status().toString();
+    EXPECT_EQ(quantized->describe(), "lut-gemm[int8]+relu -> lut-gemm[int8]");
+    // The INT8 bank (q table + scales) streams ~4x fewer bytes.
+    EXPECT_LT(quantized->tableBytes(), reference->tableBytes() / 3);
+
+    const Tensor ref = reference->forwardBatch(fx.rows);
+    const Tensor quant = quantized->forwardBatch(fx.rows);
+    ASSERT_TRUE(ref.shape() == quant.shape());
+    const int64_t rows = ref.dim(0), classes = ref.dim(1);
+    int64_t agree = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+        int64_t ref_arg = 0, quant_arg = 0;
+        for (int64_t n = 1; n < classes; ++n) {
+            if (ref.at(r, n) > ref.at(r, ref_arg))
+                ref_arg = n;
+            if (quant.at(r, n) > quant.at(r, quant_arg))
+                quant_arg = n;
+        }
+        agree += ref_arg == quant_arg ? 1 : 0;
+    }
+    const double agreement =
+        static_cast<double>(agree) / static_cast<double>(rows);
+    RecordProperty("top1_agreement", std::to_string(agreement));
+    EXPECT_GE(agreement, 0.9)
+        << "INT8 plan top-1 agreement " << agreement
+        << " below the documented 90% tolerance";
+}
+
+TEST(FrozenModel, TracePlanFusesWidthAdaptIntoArenaProlog)
+{
+    std::vector<sim::GemmShape> gemms{{4, 12, 6, "a"}, {4, 9, 5, "b"}};
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 8;
+    auto fused = serve::FrozenModel::fromTrace(gemms, pq);
+    ASSERT_TRUE(fused.ok());
+    EXPECT_EQ(fused->describe(), "lut-gemm -> adapt+lut-gemm");
+    EXPECT_EQ(fused->numStages(), 2);
+
+    serve::PlanOptions no_fuse;
+    no_fuse.fuse = false;
+    auto unfused = serve::FrozenModel::fromTrace(gemms, pq, {}, 91, no_fuse);
+    ASSERT_TRUE(unfused.ok());
+    EXPECT_EQ(unfused->describe(), "lut-gemm -> width-adapt -> lut-gemm");
+
+    const Tensor x = randomRows(7, 12, 9);
+    EXPECT_TRUE(fused->forwardBatch(x).equals(unfused->forwardBatch(x)));
+
+    // The plan records what was folded where.
+    ASSERT_EQ(fused->plan().size(), 2u);
+    EXPECT_EQ(fused->plan()[1].fused,
+              std::vector<std::string>{"width-adapt"});
+    EXPECT_GT(fused->plan()[0].code_bits, 0);
+    EXPECT_FALSE(fused->planSummary().empty());
+}
+
+TEST(ServingFacade, ServeOptionsDeployQuantizedPlanWithPhaseStats)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    api::ServeOptions options;
+    options.engine.threads = 1;
+    options.engine.max_batch = 8;
+    options.plan.table_precision = serve::TablePrecision::Int8;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+    EXPECT_EQ(engine.value()->model().describe(),
+              "lut-gemm[int8]+relu -> lut-gemm[int8]");
+
+    for (int64_t r = 0; r + 8 <= fx.rows.dim(0); r += 8) {
+        Tensor chunk(Shape{8, 16});
+        std::copy(fx.rows.data() + r * 16, fx.rows.data() + (r + 8) * 16,
+                  chunk.data());
+        auto result = engine.value()->submit(chunk);
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+    }
+    engine.value()->shutdown();
+
+    // The engine splits LUT-stage time into encode vs gather phases.
+    const serve::EngineStats stats = engine.value()->stats();
+    EXPECT_GT(stats.encode_seconds, 0.0);
+    EXPECT_GT(stats.gather_seconds, 0.0);
+    EXPECT_GT(stats.encodeFraction(), 0.0);
+    EXPECT_LT(stats.encodeFraction(), 1.0);
+    EXPECT_NE(stats.summary().find("lut phases"), std::string::npos);
 }
 
 TEST(FrozenModel, RejectsUnconvertedAndUnfrozenModels)
@@ -236,7 +354,7 @@ TEST(FrozenModel, CnnMatchesModelEvalBitExactAcrossPrecisions)
                 model, serve::ServeInputShape{8, 8});
             ASSERT_TRUE(frozen.ok()) << frozen.status().toString();
             EXPECT_EQ(frozen->describe(),
-                      "conv -> relu -> maxpool -> flatten -> lut-gemm");
+                      "conv+relu -> maxpool -> flatten -> lut-gemm");
             EXPECT_EQ(frozen->numLutStages(), 2);
             EXPECT_EQ(frozen->inputWidth(), 64);
             EXPECT_EQ(frozen->outputWidth(), 5);
