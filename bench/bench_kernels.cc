@@ -3,8 +3,11 @@
  * Google-benchmark microbenchmarks: exact GEMM vs LUT-GEMM (encode +
  * lookup) software kernels, the encode and lookup phases separately, and
  * the serving arena's split data-plane kernels (packed-code encodeBatch,
- * float-bank gather, INT8-bank gather). These are software-kernel timings
- * (host CPU), complementing the cycle simulator's hardware numbers.
+ * float-bank gather, INT8-bank gather with every kernel variant forced:
+ * scalar group sweep vs VPSHUFB shuffle vs VPERMB+VPDPBUSD dot — the
+ * c=16 shuffle-vs-scalar pair is the PR-5 acceptance comparison). These
+ * are software-kernel timings (host CPU), complementing the cycle
+ * simulator's hardware numbers.
  *
  * Run: ./build/bench/bench_kernels [--json <path>] [google-benchmark args]
  *   --json <path>  shorthand for --benchmark_out=<path>
@@ -22,6 +25,7 @@
 
 #include "lutboost/kernels.h"
 #include "tensor/gemm.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 #include "vq/lut.h"
 
@@ -146,7 +150,7 @@ BM_ArenaGatherFloat(benchmark::State &state)
                     16);
     for (auto _ : state) {
         ax.arena.gatherAccumulate(ax.scratch.codes, ax.y.data(),
-                                  ax.scratch.unpacked);
+                                  ax.scratch.gather);
         benchmark::DoNotOptimize(ax.y.data());
     }
     state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
@@ -154,19 +158,70 @@ BM_ArenaGatherFloat(benchmark::State &state)
         static_cast<double>(ax.arena.sizeBytes());
 }
 
+/**
+ * INT8 gather at a forced kernel variant (the acceptance comparison:
+ * shuffle vs scalar at c=16 on identical codes, bit-exact outputs).
+ * Unsupported variants (e.g. shuffle on a non-SIMD host) skip.
+ */
 void
-BM_ArenaGatherInt8(benchmark::State &state)
+gatherInt8Variant(benchmark::State &state,
+                  lutboost::Int8GatherVariant variant)
 {
+    if (variant == lutboost::Int8GatherVariant::ShuffleVnni &&
+        util::simdLevel() < util::SimdLevel::Avx512Vnni) {
+        state.SkipWithError("AVX-512 VBMI+VNNI not available");
+        return;
+    }
+    if (variant == lutboost::Int8GatherVariant::ShuffleAvx512 &&
+        util::simdLevel() < util::SimdLevel::Avx512) {
+        state.SkipWithError("AVX-512 not available");
+        return;
+    }
+    if (variant == lutboost::Int8GatherVariant::ShuffleAvx2 &&
+        util::simdLevel() < util::SimdLevel::Avx2) {
+        state.SkipWithError("AVX2 not available");
+        return;
+    }
     ArenaFixture ax(state.range(0), state.range(1), state.range(2), 4,
                     16);
     for (auto _ : state) {
         ax.arena.gatherAccumulateInt8(ax.scratch.codes, ax.y.data(),
-                                      ax.scratch.unpacked);
+                                      ax.scratch.gather, variant);
         benchmark::DoNotOptimize(ax.y.data());
     }
     state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
     state.counters["table_bytes"] =
         static_cast<double>(ax.arena.int8TableBytes());
+}
+
+void
+BM_ArenaGatherInt8(benchmark::State &state)
+{
+    gatherInt8Variant(state, lutboost::Int8GatherVariant::Auto);
+}
+
+void
+BM_ArenaGatherInt8Scalar(benchmark::State &state)
+{
+    gatherInt8Variant(state, lutboost::Int8GatherVariant::Scalar);
+}
+
+void
+BM_ArenaGatherInt8ShuffleAvx512(benchmark::State &state)
+{
+    gatherInt8Variant(state, lutboost::Int8GatherVariant::ShuffleAvx512);
+}
+
+void
+BM_ArenaGatherInt8ShuffleAvx2(benchmark::State &state)
+{
+    gatherInt8Variant(state, lutboost::Int8GatherVariant::ShuffleAvx2);
+}
+
+void
+BM_ArenaGatherInt8ShuffleVnni(benchmark::State &state)
+{
+    gatherInt8Variant(state, lutboost::Int8GatherVariant::ShuffleVnni);
 }
 
 } // namespace
@@ -196,6 +251,22 @@ BENCHMARK(BM_ArenaGatherFloat)
     ->Args({256, 512, 512})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ArenaGatherInt8)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt8Scalar)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt8ShuffleAvx512)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt8ShuffleAvx2)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt8ShuffleVnni)
     ->Args({128, 256, 256})
     ->Args({256, 512, 512})
     ->Unit(benchmark::kMicrosecond);

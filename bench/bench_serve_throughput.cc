@@ -43,9 +43,12 @@
 #include <string>
 #include <vector>
 
+#include <thread>
+
 #include "bench_common.h"
 #include "lutboost/converter.h"
 #include "serve/frozen_model.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 #include "vq/lut.h"
 
@@ -170,9 +173,23 @@ struct JsonRecord
     double p99_us;
     double avg_fill;
     int64_t arena_bytes;
-    double encode_s;
-    double gather_s;
+    double encode_s;  ///< per-active-worker average (EngineStats)
+    double gather_s;  ///< per-active-worker average (EngineStats)
+    int active_workers;
 };
+
+/** Rows/s of the matching threads=1 config, or 0 when absent. */
+double
+singleThreadRate(const std::vector<JsonRecord> &records,
+                 const JsonRecord &config)
+{
+    for (const JsonRecord &r : records) {
+        if (r.section == config.section && r.backend == config.backend &&
+            r.max_batch == config.max_batch && r.threads == 1)
+            return r.rows_per_sec;
+    }
+    return 0.0;
+}
 
 void
 writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
@@ -186,6 +203,10 @@ writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
     std::fprintf(f, "{\n");
     std::fprintf(f, "  \"bench\": \"serve_throughput\",\n");
     std::fprintf(f, "  \"workload\": \"resnet18\",\n");
+    std::fprintf(f, "  \"isa\": \"%s\",\n",
+                 util::simdLevelName(util::simdLevel()));
+    std::fprintf(f, "  \"hardware_threads\": %u,\n",
+                 std::thread::hardware_concurrency());
     std::fprintf(f,
                  "  \"pq\": {\"v\": %lld, \"c\": %lld},\n",
                  static_cast<long long>(pq.v), static_cast<long long>(pq.c));
@@ -204,14 +225,37 @@ writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
             "\"threads\": %d, \"max_batch\": %lld, "
             "\"rows_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
             "\"avg_fill\": %.2f, \"arena_bytes\": %lld, "
-            "\"encode_s\": %.6f, \"gather_s\": %.6f}%s\n",
+            "\"encode_s\": %.6f, \"gather_s\": %.6f, "
+            "\"active_workers\": %d}%s\n",
             r.section.c_str(), r.backend.c_str(), r.threads,
             static_cast<long long>(r.max_batch), r.rows_per_sec, r.p50_us,
             r.p99_us, r.avg_fill, static_cast<long long>(r.arena_bytes),
-            r.encode_s, r.gather_s,
+            r.encode_s, r.gather_s, r.active_workers,
             i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    // Thread-scaling section: every multi-thread config's speedup over
+    // its own threads=1 twin (same backend + max_batch), so the perf
+    // guard and the cross-PR trajectory can see scaling directly.
+    std::fprintf(f, "  \"thread_scaling\": [\n");
+    bool first_scaling = true;
+    for (const JsonRecord &r : records) {
+        if (r.threads == 1)
+            continue;
+        const double base = singleThreadRate(records, r);
+        if (base <= 0.0)
+            continue;
+        std::fprintf(f,
+                     "%s    {\"section\": \"%s\", \"backend\": \"%s\", "
+                     "\"max_batch\": %lld, \"threads\": %d, "
+                     "\"speedup_vs_1\": %.3f}",
+                     first_scaling ? "" : ",\n", r.section.c_str(),
+                     r.backend.c_str(),
+                     static_cast<long long>(r.max_batch), r.threads,
+                     r.rows_per_sec / base);
+        first_scaling = false;
+    }
+    std::fprintf(f, "\n  ],\n");
     std::fprintf(f,
                  "  \"best\": {\"float32_rows_per_sec\": %.1f, "
                  "\"int8_rows_per_sec\": %.1f, "
@@ -316,7 +360,8 @@ main(int argc, char **argv)
                     {"mlp", int8 ? "int8" : "float32", threads, max_batch,
                      rate, stats.p50_latency_us, stats.p99_latency_us,
                      stats.avgBatchFill(), m.tableBytes(),
-                     stats.encode_seconds, stats.gather_seconds});
+                     stats.encode_seconds, stats.gather_seconds,
+                     stats.active_workers});
             }
         }
     }
@@ -326,6 +371,36 @@ main(int argc, char **argv)
     t.addNote("batching amortizes table-bank loads across the block; the "
               "int8 bank streams ~1/4 of the float bank's bytes");
     t.print();
+
+    // Thread-scaling digest: each multi-thread config vs its threads=1
+    // twin. On a single-core host these hover around 1.0x no matter how
+    // well intra-batch sharding works — the JSON records the hardware
+    // thread count so consumers can tell "can't scale" from "didn't".
+    Table st("thread scaling (rows/s speedup vs threads=1; host has " +
+                 std::to_string(std::thread::hardware_concurrency()) +
+                 " hardware threads)",
+             {"backend", "max_batch", "threads=2", "threads=4"});
+    for (const bool int8 : {false, true}) {
+        for (int64_t max_batch :
+             {int64_t{1}, int64_t{16}, int64_t{64}, int64_t{256}}) {
+            double base = 0.0, t2 = 0.0, t4 = 0.0;
+            for (const JsonRecord &r : records) {
+                if (r.section != "mlp" ||
+                    r.backend != (int8 ? "int8" : "float32") ||
+                    r.max_batch != max_batch)
+                    continue;
+                (r.threads == 1 ? base : r.threads == 2 ? t2 : t4) =
+                    r.rows_per_sec;
+            }
+            if (base <= 0.0)
+                continue;
+            st.addRow({int8 ? "int8" : "float32",
+                       std::to_string(max_batch),
+                       Table::fmtRatio(t2 / base, 2),
+                       Table::fmtRatio(t4 / base, 2)});
+        }
+    }
+    st.print();
 
     std::printf("\nbest speedup vs single-thread single-row serving: "
                 "%.2fx (target >= 3x)\n",
@@ -378,7 +453,8 @@ main(int argc, char **argv)
                                stats.avgBatchFill(),
                                cnn_model->tableBytes(),
                                stats.encode_seconds,
-                               stats.gather_seconds});
+                               stats.gather_seconds,
+                               stats.active_workers});
         }
     }
     ct.addNote("each row is a flattened [1, 12, 12] image; conv stages "

@@ -33,6 +33,7 @@
 #include "api/lutdla.h"
 #include "lutboost/converter.h"
 #include "nn/models.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 #include "util/table.h"
 
@@ -56,6 +57,12 @@ int
 main(int argc, char **)
 {
     const bool live_stats = argc > 1;
+
+    // 0. The kernel dispatch probes cpuid once; every serving plan below
+    //    records this level next to its per-stage kernel choices.
+    std::printf("runtime ISA level: %s (cpuid kernel dispatch; cap with "
+                "LUTDLA_SIMD=generic|avx2|avx512)\n",
+                util::simdLevelName(util::simdLevel()));
 
     // 1. Convert + freeze via the pipeline facade.
     lutboost::ConvertOptions opts;

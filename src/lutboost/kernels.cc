@@ -13,6 +13,29 @@ KernelBackend::encodeBatch(const LutTableArena &arena, const float *x,
 }
 
 void
+KernelBackend::encodePrepare(const LutTableArena &arena, int64_t rows,
+                             vq::CodeBuffer &codes) const
+{
+    codes.reset(rows, arena.numSubspaces(), arena.numCentroids());
+}
+
+void
+KernelBackend::encodeBlock(const LutTableArena &arena, const float *x,
+                           int64_t row0, int64_t rows,
+                           vq::CodeBuffer &codes,
+                           KernelScratch &local) const
+{
+    arena.encodeBlock(x, row0, rows, codes, local.staging);
+}
+
+void
+KernelBackend::gatherAccumulate(const LutTableArena &arena,
+                                KernelScratch &scratch, float *y) const
+{
+    gatherBlock(arena, scratch.codes, 0, scratch.codes.rows(), y, scratch);
+}
+
+void
 KernelBackend::prepare(const LutTableArena &) const
 {
 }
@@ -27,10 +50,11 @@ class ReferenceBackend final : public KernelBackend
     bool bitExact() const override { return true; }
 
     void
-    gatherAccumulate(const LutTableArena &arena, KernelScratch &scratch,
-                     float *y) const override
+    gatherBlock(const LutTableArena &arena, const vq::CodeBuffer &codes,
+                int64_t row0, int64_t rows, float *y,
+                KernelScratch &local) const override
     {
-        arena.gatherAccumulate(scratch.codes, y, scratch.unpacked);
+        arena.gatherAccumulate(codes, row0, rows, y, local.gather);
     }
 
     int64_t
@@ -40,7 +64,8 @@ class ReferenceBackend final : public KernelBackend
     }
 };
 
-/** INT8-bank gather: ~4x less table traffic, approximate. */
+/** INT8-bank gather: ~4x less table traffic, approximate. The variant
+ * (shuffle vs scalar) resolves per arena + CPU at run time. */
 class QuantizedBackend final : public KernelBackend
 {
   public:
@@ -48,10 +73,11 @@ class QuantizedBackend final : public KernelBackend
     bool bitExact() const override { return false; }
 
     void
-    gatherAccumulate(const LutTableArena &arena, KernelScratch &scratch,
-                     float *y) const override
+    gatherBlock(const LutTableArena &arena, const vq::CodeBuffer &codes,
+                int64_t row0, int64_t rows, float *y,
+                KernelScratch &local) const override
     {
-        arena.gatherAccumulateInt8(scratch.codes, y, scratch.unpacked);
+        arena.gatherAccumulateInt8(codes, row0, rows, y, local.gather);
     }
 
     int64_t

@@ -39,15 +39,19 @@ namespace lutdla::lutboost {
  * Reusable per-caller buffers for one in-flight batch of kernel calls:
  * the packed code buffer the encode phase fills and the gather phase
  * reads, plus the float staging planes (BF16 rounding, fused width
- * adaptation) and the per-block unpacked-code scratch. Owned by the
- * serving StageScratch so steady-state batches perform no allocations.
+ * adaptation) and the gather-side scratch (unpacked codes, planar code
+ * lanes, shuffle accumulators). Owned by the serving StageScratch so
+ * steady-state batches perform no allocations. When a batch is sharded
+ * across workers, the CodeBuffer of the INITIATING worker is shared
+ * (disjoint row spans never race) while each participant brings its own
+ * staging/gather scratch.
  */
 struct KernelScratch
 {
-    vq::CodeBuffer codes;           ///< bit-packed [rows, Nc] indices
-    std::vector<float> staging;     ///< BF16-rounded input rows
-    std::vector<float> adapted;     ///< width-adapted input rows
-    std::vector<int32_t> unpacked;  ///< per-block unpacked codes
+    vq::CodeBuffer codes;        ///< bit-packed [rows, Nc] indices
+    std::vector<float> staging;  ///< BF16-rounded input rows
+    std::vector<float> adapted;  ///< width-adapted input rows
+    GatherScratch gather;        ///< unpacked / planar / colmajor scratch
 };
 
 /**
@@ -75,12 +79,39 @@ class KernelBackend
                              int64_t rows, KernelScratch &scratch) const;
 
     /**
+     * Size `codes` for a `rows`-row batch before sharded encode: shards
+     * then fill disjoint row spans of the shared buffer concurrently.
+     */
+    void encodePrepare(const LutTableArena &arena, int64_t rows,
+                       vq::CodeBuffer &codes) const;
+
+    /**
+     * Shardable encode span: encode rows [row0, row0 + rows) of the full
+     * batch `x` into the shared (already encodePrepare'd) `codes`,
+     * staging through the EXECUTING worker's `local` scratch.
+     */
+    virtual void encodeBlock(const LutTableArena &arena, const float *x,
+                             int64_t row0, int64_t rows,
+                             vq::CodeBuffer &codes,
+                             KernelScratch &local) const;
+
+    /**
      * Gather phase: accumulate the table rows scratch.codes selects into
-     * `y` ([rows, arena.outFeatures()]), bias included.
+     * `y` ([rows, arena.outFeatures()]), bias included. Default
+     * implementation runs gatherBlock over the whole buffer.
      */
     virtual void gatherAccumulate(const LutTableArena &arena,
-                                  KernelScratch &scratch,
-                                  float *y) const = 0;
+                                  KernelScratch &scratch, float *y) const;
+
+    /**
+     * Shardable gather span: fill output rows [row0, row0 + rows) of `y`
+     * (the full output base) from the same rows of `codes`, using the
+     * EXECUTING worker's `local` scratch. Disjoint spans never race.
+     */
+    virtual void gatherBlock(const LutTableArena &arena,
+                             const vq::CodeBuffer &codes, int64_t row0,
+                             int64_t rows, float *y,
+                             KernelScratch &local) const = 0;
 
     /** Bytes the gather phase streams per full table sweep. */
     virtual int64_t tableBytes(const LutTableArena &arena) const = 0;

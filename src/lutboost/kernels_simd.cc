@@ -1,0 +1,453 @@
+// Runtime-dispatched SIMD kernel variants. This TU is compiled WITHOUT
+// -march flags; every vector function carries a target attribute instead,
+// so the binary always contains all variants and util::simdLevel() picks
+// one at run time. Keep intrinsics inside attributed functions only.
+//
+// Numerics: encode kernels use explicit mul + add (never FMA) and exact
+// min/tie-break reductions, so they are bit-exact with the scalar encode.
+// Gather kernels accumulate in integer lanes and dequantize with one
+// mul + add per (scale group, column) — the identical float op sequence
+// the scalar group sweep performs, so shuffle and scalar paths agree bit
+// for bit (integer addition is associative; tests enforce the match).
+
+#include "lutboost/kernels_simd.h"
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace lutdla::lutboost::simd {
+
+namespace {
+
+/** Scalar argmin scan shared by the NaN fallbacks (lowest-index ties). */
+int32_t
+argminScan16(const float *d)
+{
+    int32_t best = 0;
+    float best_dist = d[0];
+    for (int64_t j = 1; j < 16; ++j) {
+        if (d[j] < best_dist) {
+            best_dist = d[j];
+            best = static_cast<int32_t>(j);
+        }
+    }
+    return best;
+}
+
+__attribute__((target("avx512f"))) int32_t
+argminL2C16Avx512(const float *__restrict__ sub,
+                  const float *__restrict__ cbt, int64_t v)
+{
+    __m512 vd = _mm512_setzero_ps();
+    for (int64_t t = 0; t < v; ++t) {
+        const __m512 row = _mm512_loadu_ps(cbt + t * 16);
+        const __m512 diff = _mm512_sub_ps(_mm512_set1_ps(sub[t]), row);
+        vd = _mm512_add_ps(vd, _mm512_mul_ps(diff, diff));
+    }
+    if (_mm512_cmp_ps_mask(vd, vd, _CMP_UNORD_Q) != 0) {
+        alignas(64) float d[16];
+        _mm512_store_ps(d, vd);
+        return argminScan16(d);
+    }
+    // log2(16) shuffle+min steps broadcast the exact minimum to every
+    // lane (min is order-insensitive, so this is still bit-exact).
+    __m512 m = _mm512_min_ps(vd, _mm512_shuffle_f32x4(vd, vd, 0x4E));
+    m = _mm512_min_ps(m, _mm512_shuffle_f32x4(m, m, 0xB1));
+    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0x4E));
+    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0xB1));
+    const __mmask16 eq = _mm512_cmp_ps_mask(vd, m, _CMP_EQ_OQ);
+    return static_cast<int32_t>(__builtin_ctz(eq));
+}
+
+__attribute__((target("avx2"))) int32_t
+argminL2C16Avx2(const float *__restrict__ sub,
+                const float *__restrict__ cbt, int64_t v)
+{
+    // Centroids 0..7 in d0, 8..15 in d1; same ascending-t add order as
+    // the scalar distance loop, explicit mul + add (no FMA).
+    __m256 d0 = _mm256_setzero_ps(), d1 = _mm256_setzero_ps();
+    for (int64_t t = 0; t < v; ++t) {
+        const __m256 a = _mm256_set1_ps(sub[t]);
+        const __m256 f0 = _mm256_sub_ps(a, _mm256_loadu_ps(cbt + t * 16));
+        const __m256 f1 =
+            _mm256_sub_ps(a, _mm256_loadu_ps(cbt + t * 16 + 8));
+        d0 = _mm256_add_ps(d0, _mm256_mul_ps(f0, f0));
+        d1 = _mm256_add_ps(d1, _mm256_mul_ps(f1, f1));
+    }
+    if (_mm256_movemask_ps(_mm256_cmp_ps(d0, d0, _CMP_UNORD_Q)) != 0 ||
+        _mm256_movemask_ps(_mm256_cmp_ps(d1, d1, _CMP_UNORD_Q)) != 0) {
+        alignas(32) float d[16];
+        _mm256_store_ps(d, d0);
+        _mm256_store_ps(d + 8, d1);
+        return argminScan16(d);
+    }
+    __m256 m = _mm256_min_ps(d0, d1);
+    m = _mm256_min_ps(m, _mm256_permute2f128_ps(m, m, 0x01));
+    m = _mm256_min_ps(m, _mm256_shuffle_ps(m, m, 0x4E));
+    m = _mm256_min_ps(m, _mm256_shuffle_ps(m, m, 0xB1));
+    const unsigned eq0 = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(d0, m, _CMP_EQ_OQ)));
+    const unsigned eq1 = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_cmp_ps(d1, m, _CMP_EQ_OQ)));
+    return static_cast<int32_t>(__builtin_ctz(eq0 | (eq1 << 8)));
+}
+
+__attribute__((target("avx512f"))) void
+encodeL2C16RowsAvx512(const float *x, int64_t rows, int64_t stride,
+                      const float *cbt, int64_t v, int32_t *codes)
+{
+    for (int64_t i = 0; i < rows; ++i)
+        codes[i] = argminL2C16Avx512(x + i * stride, cbt, v);
+}
+
+__attribute__((target("avx2"))) void
+encodeL2C16RowsAvx2(const float *x, int64_t rows, int64_t stride,
+                    const float *cbt, int64_t v, int32_t *codes)
+{
+    for (int64_t i = 0; i < rows; ++i)
+        codes[i] = argminL2C16Avx2(x + i * stride, cbt, v);
+}
+
+__attribute__((target("avx512f,avx512bw"))) void
+gatherChunkAvx512(const int8_t *__restrict__ q_il,
+                  const float *__restrict__ scales,
+                  const uint8_t *__restrict__ planar, int64_t num_subspaces,
+                  int64_t n, int64_t num_blocks, int64_t scale_group,
+                  int64_t block_cols, float *__restrict__ colmajor)
+{
+    constexpr int64_t kChunk = 64;
+    const int64_t num_groups =
+        (num_subspaces + scale_group - 1) / scale_group;
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * scale_group;
+        const int64_t gs =
+            std::min<int64_t>(scale_group, num_subspaces - s0);
+        // Code lanes for the whole group stay register/L1-resident
+        // across the column sweep (<= 16 zmm of indices).
+        __m512i idx[16];
+        for (int64_t i = 0; i < gs; ++i)
+            idx[i] = _mm512_loadu_si512(planar + (s0 + i) * kChunk);
+        const float *srow = scales + g * num_blocks;
+        for (int64_t col = 0; col < n; ++col) {
+            __m512i lo = _mm512_setzero_si512();
+            __m512i hi = _mm512_setzero_si512();
+            for (int64_t i = 0; i < gs; ++i) {
+                // One 16-byte LUT per (subspace, column), broadcast to
+                // every 128-bit lane; VPSHUFB resolves all 64 rows'
+                // lookups in one instruction.
+                const __m512i lut = _mm512_broadcast_i32x4(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                        q_il + ((s0 + i) * n + col) * 16)));
+                const __m512i v = _mm512_shuffle_epi8(lut, idx[i]);
+                lo = _mm512_add_epi16(
+                    lo, _mm512_cvtepi8_epi16(_mm512_castsi512_si256(v)));
+                hi = _mm512_add_epi16(
+                    hi, _mm512_cvtepi8_epi16(
+                            _mm512_extracti64x4_epi64(v, 1)));
+            }
+            // Spill the int16 lanes through int32 and dequantize with one
+            // mul + add per group (the scalar sweep's exact float ops).
+            const __m512 vs = _mm512_set1_ps(srow[col / block_cols]);
+            const __m512 f0 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_castsi512_si256(lo))),
+                vs);
+            const __m512 f1 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_extracti64x4_epi64(lo, 1))),
+                vs);
+            const __m512 f2 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_castsi512_si256(hi))),
+                vs);
+            const __m512 f3 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_extracti64x4_epi64(hi, 1))),
+                vs);
+            float *out = colmajor + col * kChunk;
+            if (g == 0) {
+                _mm512_storeu_ps(out, f0);
+                _mm512_storeu_ps(out + 16, f1);
+                _mm512_storeu_ps(out + 32, f2);
+                _mm512_storeu_ps(out + 48, f3);
+            } else {
+                _mm512_storeu_ps(
+                    out, _mm512_add_ps(_mm512_loadu_ps(out), f0));
+                _mm512_storeu_ps(
+                    out + 16,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 16), f1));
+                _mm512_storeu_ps(
+                    out + 32,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 32), f2));
+                _mm512_storeu_ps(
+                    out + 48,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 48), f3));
+            }
+        }
+    }
+}
+
+__attribute__((target("avx2"))) void
+gatherChunkAvx2(const int8_t *__restrict__ q_il,
+                const float *__restrict__ scales,
+                const uint8_t *__restrict__ planar, int64_t num_subspaces,
+                int64_t n, int64_t num_blocks, int64_t scale_group,
+                int64_t block_cols, float *__restrict__ colmajor)
+{
+    constexpr int64_t kChunk = 32;
+    const int64_t num_groups =
+        (num_subspaces + scale_group - 1) / scale_group;
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * scale_group;
+        const int64_t gs =
+            std::min<int64_t>(scale_group, num_subspaces - s0);
+        __m256i idx[16];
+        for (int64_t i = 0; i < gs; ++i)
+            idx[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                planar + (s0 + i) * kChunk));
+        const float *srow = scales + g * num_blocks;
+        for (int64_t col = 0; col < n; ++col) {
+            __m256i lo = _mm256_setzero_si256();
+            __m256i hi = _mm256_setzero_si256();
+            for (int64_t i = 0; i < gs; ++i) {
+                const __m256i lut = _mm256_broadcastsi128_si256(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                        q_il + ((s0 + i) * n + col) * 16)));
+                const __m256i v = _mm256_shuffle_epi8(lut, idx[i]);
+                lo = _mm256_add_epi16(
+                    lo, _mm256_cvtepi8_epi16(_mm256_castsi256_si128(v)));
+                hi = _mm256_add_epi16(
+                    hi, _mm256_cvtepi8_epi16(
+                            _mm256_extracti128_si256(v, 1)));
+            }
+            const __m256 vs = _mm256_set1_ps(srow[col / block_cols]);
+            const __m256 f0 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(lo))),
+                vs);
+            const __m256 f1 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(lo, 1))),
+                vs);
+            const __m256 f2 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(hi))),
+                vs);
+            const __m256 f3 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(hi, 1))),
+                vs);
+            float *out = colmajor + col * kChunk;
+            if (g == 0) {
+                _mm256_storeu_ps(out, f0);
+                _mm256_storeu_ps(out + 8, f1);
+                _mm256_storeu_ps(out + 16, f2);
+                _mm256_storeu_ps(out + 24, f3);
+            } else {
+                _mm256_storeu_ps(
+                    out, _mm256_add_ps(_mm256_loadu_ps(out), f0));
+                _mm256_storeu_ps(
+                    out + 8, _mm256_add_ps(_mm256_loadu_ps(out + 8), f1));
+                _mm256_storeu_ps(
+                    out + 16,
+                    _mm256_add_ps(_mm256_loadu_ps(out + 16), f2));
+                _mm256_storeu_ps(
+                    out + 24,
+                    _mm256_add_ps(_mm256_loadu_ps(out + 24), f3));
+            }
+        }
+    }
+}
+
+/**
+ * VPERMB + VPDPBUSD gather: one 64-byte LUT carries FOUR subspaces'
+ * 16-entry tables; idx bytes are (code + 16 * j) so a single VPERMB
+ * resolves 16 rows x 4 subspaces, laid out [row-quad interleaved] so
+ * VPDPBUSD(acc, ones, v) folds each row's 4 looked-up bytes straight
+ * into its int32 lane. Kills the int8->int16->int32 widening chain that
+ * port-limits the plain shuffle kernel.
+ */
+__attribute__((target("avx512f,avx512bw,avx512vbmi,avx512vnni"))) void
+gatherChunkVnni(const int8_t *__restrict__ q_quad,
+                const float *__restrict__ scales,
+                const uint8_t *__restrict__ planar, int64_t num_subspaces,
+                int64_t n, int64_t num_blocks, int64_t scale_group,
+                int64_t block_cols, float *__restrict__ colmajor)
+{
+    constexpr int64_t kChunk = 64;
+    const int64_t num_groups =
+        (num_subspaces + scale_group - 1) / scale_group;
+    const __m512i ones = _mm512_set1_epi8(1);
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * scale_group;
+        const int64_t gs =
+            std::min<int64_t>(scale_group, num_subspaces - s0);
+        const int64_t quads = (gs + 3) / 4;
+        // Interleave this group's code lanes into VPERMB index vectors:
+        // qidx[qd][b] covers rows 16b..16b+15, byte 4r+j = code(row,
+        // subspace s0+4qd+j) + 16j (missing tail subspaces index the
+        // LUT's zero padding via code 0).
+        alignas(64) uint8_t qidx[4][4][64];
+        for (int64_t qd = 0; qd < quads; ++qd)
+            for (int64_t j = 0; j < 4; ++j) {
+                const int64_t s = s0 + 4 * qd + j;
+                const uint8_t base = static_cast<uint8_t>(16 * j);
+                if (s < num_subspaces) {
+                    const uint8_t *lane = planar + s * kChunk;
+                    for (int64_t r = 0; r < kChunk; ++r)
+                        qidx[qd][r >> 4][4 * (r & 15) + j] =
+                            static_cast<uint8_t>(lane[r] + base);
+                } else {
+                    for (int64_t r = 0; r < kChunk; ++r)
+                        qidx[qd][r >> 4][4 * (r & 15) + j] = base;
+                }
+            }
+        __m512i idx[4][4];
+        for (int64_t qd = 0; qd < quads; ++qd)
+            for (int64_t b = 0; b < 4; ++b)
+                idx[qd][b] = _mm512_load_si512(qidx[qd][b]);
+        const float *srow = scales + g * num_blocks;
+        const int64_t quad0 = s0 / 4;
+        for (int64_t col = 0; col < n; ++col) {
+            __m512i acc0 = _mm512_setzero_si512();
+            __m512i acc1 = _mm512_setzero_si512();
+            __m512i acc2 = _mm512_setzero_si512();
+            __m512i acc3 = _mm512_setzero_si512();
+            for (int64_t qd = 0; qd < quads; ++qd) {
+                const __m512i lut = _mm512_loadu_si512(
+                    q_quad + ((quad0 + qd) * n + col) * 64);
+                acc0 = _mm512_dpbusd_epi32(
+                    acc0, ones,
+                    _mm512_permutexvar_epi8(idx[qd][0], lut));
+                acc1 = _mm512_dpbusd_epi32(
+                    acc1, ones,
+                    _mm512_permutexvar_epi8(idx[qd][1], lut));
+                acc2 = _mm512_dpbusd_epi32(
+                    acc2, ones,
+                    _mm512_permutexvar_epi8(idx[qd][2], lut));
+                acc3 = _mm512_dpbusd_epi32(
+                    acc3, ones,
+                    _mm512_permutexvar_epi8(idx[qd][3], lut));
+            }
+            const __m512 vs = _mm512_set1_ps(srow[col / block_cols]);
+            const __m512 f0 = _mm512_mul_ps(_mm512_cvtepi32_ps(acc0), vs);
+            const __m512 f1 = _mm512_mul_ps(_mm512_cvtepi32_ps(acc1), vs);
+            const __m512 f2 = _mm512_mul_ps(_mm512_cvtepi32_ps(acc2), vs);
+            const __m512 f3 = _mm512_mul_ps(_mm512_cvtepi32_ps(acc3), vs);
+            float *out = colmajor + col * kChunk;
+            if (g == 0) {
+                _mm512_storeu_ps(out, f0);
+                _mm512_storeu_ps(out + 16, f1);
+                _mm512_storeu_ps(out + 32, f2);
+                _mm512_storeu_ps(out + 48, f3);
+            } else {
+                _mm512_storeu_ps(
+                    out, _mm512_add_ps(_mm512_loadu_ps(out), f0));
+                _mm512_storeu_ps(
+                    out + 16,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 16), f1));
+                _mm512_storeu_ps(
+                    out + 32,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 32), f2));
+                _mm512_storeu_ps(
+                    out + 48,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 48), f3));
+            }
+        }
+    }
+}
+
+} // namespace
+
+bool
+encodeL2C16Supported(util::SimdLevel level)
+{
+    return level >= util::SimdLevel::Avx2;
+}
+
+int32_t
+argminL2C16(util::SimdLevel level, const float *sub, const float *cbt,
+            int64_t v)
+{
+    if (level >= util::SimdLevel::Avx512)
+        return argminL2C16Avx512(sub, cbt, v);
+    LUTDLA_CHECK(level == util::SimdLevel::Avx2,
+                 "argminL2C16 requires AVX2 or AVX-512");
+    return argminL2C16Avx2(sub, cbt, v);
+}
+
+void
+encodeL2C16Rows(util::SimdLevel level, const float *x, int64_t rows,
+                int64_t stride, const float *cbt, int64_t v,
+                int32_t *codes)
+{
+    if (level >= util::SimdLevel::Avx512) {
+        encodeL2C16RowsAvx512(x, rows, stride, cbt, v, codes);
+        return;
+    }
+    LUTDLA_CHECK(level == util::SimdLevel::Avx2,
+                 "encodeL2C16Rows requires AVX2 or AVX-512");
+    encodeL2C16RowsAvx2(x, rows, stride, cbt, v, codes);
+}
+
+bool
+shuffleGatherSupported(util::SimdLevel level)
+{
+    return level >= util::SimdLevel::Avx2;
+}
+
+bool
+vnniGatherSupported(util::SimdLevel level)
+{
+    return level >= util::SimdLevel::Avx512Vnni;
+}
+
+void
+vnniGatherChunk(const int8_t *q_quad, const float *scales,
+                const uint8_t *planar, int64_t num_subspaces, int64_t n,
+                int64_t num_blocks, int64_t scale_group, int64_t block_cols,
+                float *colmajor)
+{
+    LUTDLA_CHECK(vnniGatherSupported(util::simdLevel()),
+                 "vnniGatherChunk requires AVX-512 VBMI + VNNI");
+    LUTDLA_CHECK(scale_group >= 4 && scale_group <= 16 &&
+                     scale_group % 4 == 0,
+                 "vnni gather needs a quad-aligned scale group of <= 16");
+    gatherChunkVnni(q_quad, scales, planar, num_subspaces, n, num_blocks,
+                    scale_group, block_cols, colmajor);
+}
+
+int64_t
+shuffleGatherChunkRows(util::SimdLevel level)
+{
+    if (level >= util::SimdLevel::Avx512)
+        return 64;
+    if (level == util::SimdLevel::Avx2)
+        return 32;
+    return 0;
+}
+
+void
+shuffleGatherChunk(util::SimdLevel level, const int8_t *q_il,
+                   const float *scales, const uint8_t *planar,
+                   int64_t num_subspaces, int64_t n, int64_t num_blocks,
+                   int64_t scale_group, int64_t block_cols, float *colmajor)
+{
+    LUTDLA_CHECK(scale_group >= 1 && scale_group <= 16,
+                 "shuffle gather supports scale groups of 1..16 subspaces");
+    if (level >= util::SimdLevel::Avx512) {
+        gatherChunkAvx512(q_il, scales, planar, num_subspaces, n,
+                          num_blocks, scale_group, block_cols, colmajor);
+        return;
+    }
+    LUTDLA_CHECK(level == util::SimdLevel::Avx2,
+                 "shuffleGatherChunk requires AVX2 or AVX-512");
+    gatherChunkAvx2(q_il, scales, planar, num_subspaces, n, num_blocks,
+                    scale_group, block_cols, colmajor);
+}
+
+} // namespace lutdla::lutboost::simd

@@ -1,0 +1,114 @@
+#ifndef LUTDLA_LUTBOOST_KERNELS_SIMD_H
+#define LUTDLA_LUTBOOST_KERNELS_SIMD_H
+
+/**
+ * @file
+ * Runtime-dispatched SIMD kernels for the serving data plane.
+ *
+ * Every function here is compiled with a per-function target attribute
+ * (AVX-512BW, AVX2) in a TU built WITHOUT -march=native, so a single
+ * binary carries every variant; callers pick one with util::simdLevel()
+ * (cpuid at first use) instead of the compile-time #ifdef guards the
+ * arena kernels used to rely on. See docs/SERVING.md for the full
+ * dispatch matrix (ISA x code width x table precision).
+ *
+ * Two kernel families:
+ *
+ *  - encode: fused L2 distance + argmin for the flagship c == 16 shape,
+ *    keeping all 16 per-centroid accumulators in one register file.
+ *    Bit-exact with the scalar distance + ascending argmin scan
+ *    (explicit mul + add, never FMA; lowest-index tie-break; NaN rows
+ *    fall back to the scalar scan).
+ *
+ *  - shuffle gather (INT8 bank, c <= 16): the in-register table lookup
+ *    the paper's DPE performs in hardware. Codes for a block of rows are
+ *    laid out planar (one byte lane per row), each (subspace, column)'s
+ *    16 centroid entries are one vector-register LUT (the interleaved
+ *    bank layout), and VPSHUFB resolves 64 (AVX-512) / 32 (AVX2) rows'
+ *    lookups per instruction. Partial sums accumulate in int16 lanes
+ *    across a scale group and spill through int32 to float once per
+ *    group — exact integer arithmetic, so the result is bit-identical
+ *    to the scalar group sweep by construction.
+ */
+
+#include <cstdint>
+
+#include "util/cpu_features.h"
+
+namespace lutdla::lutboost::simd {
+
+/** True when `level` provides the c==16 L2 encode fast path. */
+bool encodeL2C16Supported(util::SimdLevel level);
+
+/**
+ * Fused L2 distance + argmin of one `v`-float subvector against a
+ * transposed [v, 16] codebook at `level` (which must satisfy
+ * encodeL2C16Supported). Bit-exact with the scalar reference.
+ */
+int32_t argminL2C16(util::SimdLevel level, const float *sub,
+                    const float *cbt, int64_t v);
+
+/**
+ * Batched variant of argminL2C16: encode `rows` subvectors (row i at
+ * x + i * stride, `v` floats each) against one transposed [v, 16]
+ * codebook, writing one code per row. One call per (subspace, batch), so
+ * the per-row argmin stays inlined inside the attributed loop.
+ */
+void encodeL2C16Rows(util::SimdLevel level, const float *x, int64_t rows,
+                     int64_t stride, const float *cbt, int64_t v,
+                     int32_t *codes);
+
+/** True when `level` provides the shuffle-based INT8 gather. */
+bool shuffleGatherSupported(util::SimdLevel level);
+
+/** Rows one shuffle-gather chunk covers at `level` (64 AVX-512, 32 AVX2;
+ * 0 when unsupported). Callers hand tails to the scalar sweep. */
+int64_t shuffleGatherChunkRows(util::SimdLevel level);
+
+/**
+ * Shuffle-gather one chunk of exactly shuffleGatherChunkRows(level) rows
+ * over the interleaved INT8 bank, writing column-major partial sums.
+ *
+ * @param q_il       interleaved bank: entry (s, col, j) at
+ *                   ((s * n + col) * 16 + j), j padded to 16 with zeros.
+ * @param scales     dequant scales, one per (scale group, column block):
+ *                   scales[g * num_blocks + block].
+ * @param planar     planar codes for the chunk: code (s, row r) at
+ *                   (s * chunk + r); values < 16.
+ * @param num_subspaces / n / num_blocks / scale_group / block_cols
+ *                   bank geometry (see LutTableArena).
+ * @param colmajor   [n, chunk] output, overwritten: colmajor[col * chunk
+ *                   + r] = sum over groups of scale * int-sum. The caller
+ *                   transposes into the row-major output block.
+ */
+void shuffleGatherChunk(util::SimdLevel level, const int8_t *q_il,
+                        const float *scales, const uint8_t *planar,
+                        int64_t num_subspaces, int64_t n,
+                        int64_t num_blocks, int64_t scale_group,
+                        int64_t block_cols, float *colmajor);
+
+/** True when `level` provides the VPERMB/VPDPBUSD dot-accumulate gather
+ * (requires SimdLevel::Avx512Vnni). */
+bool vnniGatherSupported(util::SimdLevel level);
+
+/**
+ * Dot-accumulate gather for one 64-row chunk over the QUAD-interleaved
+ * INT8 bank: entries of four consecutive subspaces live in one 64-byte
+ * LUT (`q_quad[(quad * n + col) * 64 + 16 * j + e]` = entry e of
+ * subspace 4*quad+j, zero-padded past c and past the last subspace), so
+ * one VPERMB resolves 16 rows x 4 subspaces of lookups and one VPDPBUSD
+ * folds each row's four looked-up bytes into its int32 lane — no
+ * widening chain at all, which is what the plain shuffle kernel spends
+ * most of its shuffle-port budget on (~2.5x faster at c=16). Same
+ * contract as shuffleGatherChunk otherwise: exact integer accumulation
+ * per scale group, one dequantizing mul + add per group, column-major
+ * output — bit-identical to every other variant.
+ */
+void vnniGatherChunk(const int8_t *q_quad, const float *scales,
+                     const uint8_t *planar, int64_t num_subspaces,
+                     int64_t n, int64_t num_blocks, int64_t scale_group,
+                     int64_t block_cols, float *colmajor);
+
+} // namespace lutdla::lutboost::simd
+
+#endif // LUTDLA_LUTBOOST_KERNELS_SIMD_H

@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
-#if defined(__AVX512F__)
-#include <immintrin.h>
-#endif
-
+#include "lutboost/kernels_simd.h"
+#include "util/cpu_features.h"
 #include "util/logging.h"
 #include "vq/quant.h"
 
@@ -109,45 +108,89 @@ argminScan(const float *__restrict__ d, int64_t c)
     return best;
 }
 
-#if defined(__AVX512F__)
 /**
- * Fused L2 distance + argmin for the c == 16 case: the 16 per-centroid
- * accumulators live in ONE zmm register for the whole subvector, so no
- * distance array ever hits memory (~8x the generic path on this kernel's
- * hot shape). Bit-exact with distanceAll<L2> + argminScan: each lane
- * subtracts, multiplies, then adds in the same ascending-t order (explicit
- * mul + add intrinsics, never an FMA), the reduce-min is exact, and
- * taking the LOWEST set bit of the equality mask reproduces the scalar
- * scan's lower-index tie-break. Any NaN distance lane (NaN input) makes
- * min/equality semantics diverge from the scalar scan's strict-< walk,
- * so that rare case falls back to the scalar scan on the spilled lanes —
- * bit-exact including NaN poisoning.
+ * The scalar INT8 group sweep as a free function over raw restrict
+ * pointers: in this exact shape GCC vectorizes the unrolled 16-deep
+ * widen-add reduction; as a member-function body (q/scales reached
+ * through the bank reference) it refuses and emits byte-scalar code
+ * ~10x slower. noinline keeps this compilation context when the caller
+ * inlines around it.
  */
-inline int32_t
-argminL2C16(const float *__restrict__ sub, const float *__restrict__ cbt,
-            int64_t v)
+__attribute__((noinline)) void
+sweepInt8ColOuter(const int8_t *__restrict__ qbank,
+                  const float *__restrict__ scales,
+                  const int32_t *__restrict__ codes, int64_t bn,
+                  int64_t n, int64_t num_subspaces, int64_t c,
+                  int64_t num_blocks, int64_t num_groups,
+                  float *__restrict__ yb)
 {
-    __m512 vd = _mm512_setzero_ps();
-    for (int64_t t = 0; t < v; ++t) {
-        const __m512 row = _mm512_loadu_ps(cbt + t * 16);
-        const __m512 diff = _mm512_sub_ps(_mm512_set1_ps(sub[t]), row);
-        vd = _mm512_add_ps(vd, _mm512_mul_ps(diff, diff));
+    constexpr int64_t G = LutTableArena::kInt8ScaleGroup;
+    constexpr int64_t B = LutTableArena::kInt8BlockCols;
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * G;
+        const int64_t gs = std::min<int64_t>(G, num_subspaces - s0);
+        const float *srow = scales + g * num_blocks;
+        for (int64_t r = 0; r < bn; ++r) {
+            const int32_t *rcodes = codes + r * num_subspaces;
+            float *__restrict__ yr = yb + r * n;
+            const int8_t *__restrict__ q[G];
+            for (int64_t gi = 0; gi < gs; ++gi) {
+                const int64_t s = s0 + gi;
+                q[gi] = qbank + (s * c + rcodes[s]) * n;
+            }
+            for (int64_t b = 0; b < num_blocks; ++b) {
+                const int64_t c0 = b * B;
+                const int64_t c1 = std::min(n, c0 + B);
+                const float scale = srow[b];
+                if (gs == G) {
+                    for (int64_t col = c0; col < c1; ++col) {
+                        int32_t acc = 0;
+                        for (int64_t gi = 0; gi < G; ++gi)
+                            acc += q[gi][col];
+                        yr[col] += scale * static_cast<float>(acc);
+                    }
+                } else {
+                    for (int64_t col = c0; col < c1; ++col) {
+                        int32_t acc = 0;
+                        for (int64_t gi = 0; gi < gs; ++gi)
+                            acc += q[gi][col];
+                        yr[col] += scale * static_cast<float>(acc);
+                    }
+                }
+            }
+        }
     }
-    if (_mm512_cmp_ps_mask(vd, vd, _CMP_UNORD_Q) != 0) {
-        alignas(64) float d[16];
-        _mm512_store_ps(d, vd);
-        return argminScan(d, 16);
-    }
-    // log2(16) shuffle+min steps broadcast the exact minimum to every
-    // lane (min is order-insensitive, so this is still bit-exact).
-    __m512 m = _mm512_min_ps(vd, _mm512_shuffle_f32x4(vd, vd, 0x4E));
-    m = _mm512_min_ps(m, _mm512_shuffle_f32x4(m, m, 0xB1));
-    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0x4E));
-    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0xB1));
-    const __mmask16 eq = _mm512_cmp_ps_mask(vd, m, _CMP_EQ_OQ);
-    return static_cast<int32_t>(_tzcnt_u32(eq));
 }
-#endif
+
+/**
+ * Transpose the first `valid_rows` rows of one shuffle-gather chunk's
+ * column-major accumulators ([n, chunk]) into the row-major output block
+ * ([valid_rows, n]). 16x16 tiles keep both sides cache-friendly; values
+ * are moved, never recomputed, so this cannot perturb numerics.
+ */
+inline void
+transposeColMajorTail(const float *__restrict__ colmajor, int64_t chunk,
+                      int64_t n, int64_t valid_rows,
+                      float *__restrict__ yb)
+{
+    constexpr int64_t T = 16;
+    for (int64_t r0 = 0; r0 < valid_rows; r0 += T) {
+        const int64_t r1 = std::min(valid_rows, r0 + T);
+        for (int64_t c0 = 0; c0 < n; c0 += T) {
+            const int64_t c1 = std::min(n, c0 + T);
+            for (int64_t r = r0; r < r1; ++r)
+                for (int64_t col = c0; col < c1; ++col)
+                    yb[r * n + col] = colmajor[col * chunk + r];
+        }
+    }
+}
+
+inline void
+transposeColMajor(const float *__restrict__ colmajor, int64_t chunk,
+                  int64_t n, float *__restrict__ yb)
+{
+    transposeColMajorTail(colmajor, chunk, n, chunk, yb);
+}
 
 } // namespace
 
@@ -166,34 +209,40 @@ LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
         in_features_ % v == 0 ? num_subspaces_ : num_subspaces_ - 1;
     std::vector<float> tail(static_cast<size_t>(v), 0.0f);
     std::vector<float> dist(static_cast<size_t>(c));
-#if defined(__AVX512F__)
-    // Register-resident fast path for the flagship L2 / c=16 shape.
+    // Register-resident fast path for the flagship L2 / c=16 shape,
+    // dispatched on the RUNNING CPU (cpuid, not compile flags).
     if constexpr (M == vq::Metric::L2) {
-        if (c == 16) {
+        const util::SimdLevel level = util::simdLevel();
+        if (c == 16 && simd::encodeL2C16Supported(level)) {
+            std::vector<int32_t> block(static_cast<size_t>(rows));
             for (int64_t s = 0; s < full_subspaces; ++s) {
-                const float *cbt = codebookT(s);
+                simd::encodeL2C16Rows(level, x + s * v, rows, in_features_,
+                                      codebookT(s), v, block.data());
                 for (int64_t i = 0; i < rows; ++i)
-                    sink(i, s,
-                         argminL2C16(x + i * in_features_ + s * v, cbt,
-                                     v));
+                    sink(i, s, block[static_cast<size_t>(i)]);
             }
-            for (int64_t s = full_subspaces; s < num_subspaces_; ++s) {
-                const float *cbt = codebookT(s);
+            if (full_subspaces < num_subspaces_) {
+                // Zero-pad the ragged tail rows into a compact [rows, v]
+                // staging plane, then encode it like a full subspace.
+                const int64_t s = full_subspaces;
                 const int64_t base = s * v;
+                std::vector<float> padded(static_cast<size_t>(rows * v),
+                                          0.0f);
                 for (int64_t i = 0; i < rows; ++i) {
                     const float *row = x + i * in_features_;
-                    for (int64_t t = 0; t < v; ++t) {
-                        const int64_t k = base + t;
-                        tail[static_cast<size_t>(t)] =
-                            k < in_features_ ? row[k] : 0.0f;
-                    }
-                    sink(i, s, argminL2C16(tail.data(), cbt, v));
+                    float *dst = padded.data() + i * v;
+                    for (int64_t t = 0; t < v && base + t < in_features_;
+                         ++t)
+                        dst[t] = row[base + t];
                 }
+                simd::encodeL2C16Rows(level, padded.data(), rows, v,
+                                      codebookT(s), v, block.data());
+                for (int64_t i = 0; i < rows; ++i)
+                    sink(i, s, block[static_cast<size_t>(i)]);
             }
             return;
         }
     }
-#endif
     for (int64_t s = 0; s < full_subspaces; ++s) {
         const float *cbt = codebookT(s);
         for (int64_t i = 0; i < rows; ++i) {
@@ -250,16 +299,26 @@ LutTableArena::encodeBatch(const float *x, int64_t rows,
                            vq::CodeBuffer &codes,
                            std::vector<float> &staging) const
 {
+    codes.reset(rows, num_subspaces_, num_centroids_);
+    encodeBlock(x, 0, rows, codes, staging);
+}
+
+void
+LutTableArena::encodeBlock(const float *x, int64_t row0, int64_t rows,
+                           vq::CodeBuffer &codes,
+                           std::vector<float> &staging) const
+{
+    const float *xb = x + row0 * in_features_;
     if (bf16_inputs_) {
-        staging.assign(x, x + rows * in_features_);
+        staging.assign(xb, xb + rows * in_features_);
         for (float &value : staging)
             value = vq::toBf16(value);
-        x = staging.data();
+        xb = staging.data();
     }
-    codes.reset(rows, num_subspaces_, num_centroids_);
-    encodeDispatch(x, rows, [&codes](int64_t i, int64_t s, int32_t code) {
-        codes.set(i, s, code);
-    });
+    encodeDispatch(xb, rows,
+                   [&codes, row0](int64_t i, int64_t s, int32_t code) {
+                       codes.set(row0 + i, s, code);
+                   });
 }
 
 void
@@ -278,47 +337,143 @@ LutTableArena::addBias(float *yb, int64_t bn) const
 
 void
 LutTableArena::gatherAccumulate(const vq::CodeBuffer &codes, float *y,
-                                std::vector<int32_t> &unpacked) const
+                                GatherScratch &scratch) const
+{
+    gatherAccumulate(codes, 0, codes.rows(), y, scratch);
+}
+
+void
+LutTableArena::gatherAccumulate(const vq::CodeBuffer &codes, int64_t row0,
+                                int64_t rows, float *y,
+                                GatherScratch &scratch) const
 {
     LUTDLA_CHECK(codes.subspaces() == num_subspaces_,
                  "code buffer carries ", codes.subspaces(),
                  " subspaces, arena has ", num_subspaces_);
-    const int64_t rows = codes.rows(), n = out_features_;
-    for (int64_t b0 = 0; b0 < rows; b0 += kRowBlock) {
-        const int64_t bn = std::min(kRowBlock, rows - b0);
-        unpacked.resize(static_cast<size_t>(bn * num_subspaces_));
-        codes.unpackRows(b0, bn, unpacked.data());
+    LUTDLA_CHECK(row0 >= 0 && row0 + rows <= codes.rows(),
+                 "gather span [", row0, ", ", row0 + rows, ") exceeds ",
+                 codes.rows(), " encoded rows");
+    const int64_t n = out_features_;
+    for (int64_t b0 = row0; b0 < row0 + rows; b0 += kRowBlock) {
+        const int64_t bn = std::min(kRowBlock, row0 + rows - b0);
+        scratch.unpacked.resize(static_cast<size_t>(bn * num_subspaces_));
+        codes.unpackRows(b0, bn, scratch.unpacked.data());
         float *yb = y + b0 * n;
         std::fill(yb, yb + bn * n, 0.0f);
         // Same ascending-subspace accumulation as forwardBatch: packing
         // round-trips codes exactly, so this phase split stays bit-exact
         // with the fused reference kernel.
         if (bn >= kTileMinRows)
-            sweepBlockGrouped(unpacked.data(), bn, yb);
+            sweepBlockGrouped(scratch.unpacked.data(), bn, yb);
         else
-            sweepBlockSimple(unpacked.data(), bn, yb);
+            sweepBlockSimple(scratch.unpacked.data(), bn, yb);
         addBias(yb, bn);
     }
 }
 
 void
 LutTableArena::gatherAccumulateInt8(const vq::CodeBuffer &codes, float *y,
-                                    std::vector<int32_t> &unpacked) const
+                                    GatherScratch &scratch,
+                                    Int8GatherVariant variant) const
+{
+    gatherAccumulateInt8(codes, 0, codes.rows(), y, scratch, variant);
+}
+
+void
+LutTableArena::gatherAccumulateInt8(const vq::CodeBuffer &codes,
+                                    int64_t row0, int64_t rows, float *y,
+                                    GatherScratch &scratch,
+                                    Int8GatherVariant variant) const
 {
     LUTDLA_CHECK(int8_bank_ != nullptr,
                  "gatherAccumulateInt8 requires ensureInt8Bank() first");
     LUTDLA_CHECK(codes.subspaces() == num_subspaces_,
                  "code buffer carries ", codes.subspaces(),
                  " subspaces, arena has ", num_subspaces_);
+    LUTDLA_CHECK(row0 >= 0 && row0 + rows <= codes.rows(),
+                 "gather span [", row0, ", ", row0 + rows, ") exceeds ",
+                 codes.rows(), " encoded rows");
     const Int8Bank &bank = *int8_bank_;
-    const int64_t rows = codes.rows(), n = out_features_;
-    for (int64_t b0 = 0; b0 < rows; b0 += kRowBlock) {
-        const int64_t bn = std::min(kRowBlock, rows - b0);
-        unpacked.resize(static_cast<size_t>(bn * num_subspaces_));
-        codes.unpackRows(b0, bn, unpacked.data());
+    if (variant == Int8GatherVariant::Auto)
+        variant = int8AutoVariant();
+    util::SimdLevel level = util::SimdLevel::Generic;
+    if (variant == Int8GatherVariant::ShuffleVnni)
+        level = util::SimdLevel::Avx512Vnni;
+    else if (variant == Int8GatherVariant::ShuffleAvx512)
+        level = util::SimdLevel::Avx512;
+    else if (variant == Int8GatherVariant::ShuffleAvx2)
+        level = util::SimdLevel::Avx2;
+    if (variant != Int8GatherVariant::Scalar) {
+        LUTDLA_CHECK(!bank.q_il.empty(),
+                     "shuffle gather needs c <= 16 (got c = ",
+                     num_centroids_, "); use the scalar variant");
+        LUTDLA_CHECK(level <= util::simdLevel(),
+                     "requested shuffle variant needs ",
+                     util::simdLevelName(level),
+                     " but this CPU provides ",
+                     util::simdLevelName(util::simdLevel()));
+    }
+    const int64_t n = out_features_;
+    const int64_t chunk = variant == Int8GatherVariant::Scalar
+                              ? 0
+                              : simd::shuffleGatherChunkRows(level);
+    const auto run_chunk = [&](const uint8_t *planar, float *colmajor) {
+        if (variant == Int8GatherVariant::ShuffleVnni)
+            simd::vnniGatherChunk(bank.q_quad.data(), bank.scales.data(),
+                                  planar, num_subspaces_, n,
+                                  bank.num_blocks, kInt8ScaleGroup,
+                                  kInt8BlockCols, colmajor);
+        else
+            simd::shuffleGatherChunk(level, bank.q_il.data(),
+                                     bank.scales.data(), planar,
+                                     num_subspaces_, n, bank.num_blocks,
+                                     kInt8ScaleGroup, kInt8BlockCols,
+                                     colmajor);
+    };
+    for (int64_t b0 = row0; b0 < row0 + rows; b0 += kRowBlock) {
+        const int64_t bn = std::min(kRowBlock, row0 + rows - b0);
         float *yb = y + b0 * n;
-        std::fill(yb, yb + bn * n, 0.0f);
-        sweepBlockInt8(bank, unpacked.data(), bn, yb);
+        int64_t done = 0;
+        if (chunk > 0 && bn >= chunk / 4) {
+            scratch.planar.resize(
+                static_cast<size_t>(num_subspaces_ * chunk));
+            scratch.colmajor.resize(static_cast<size_t>(n * chunk));
+            for (; done + chunk <= bn; done += chunk) {
+                codes.unpackPlanar(b0 + done, chunk,
+                                   scratch.planar.data());
+                run_chunk(scratch.planar.data(), scratch.colmajor.data());
+                transposeColMajor(scratch.colmajor.data(), chunk, n,
+                                  yb + done * n);
+            }
+            // Row tails still worth a vector pass run PADDED through one
+            // full-width chunk: pad lanes carry code 0 (a valid index),
+            // their columns are computed and simply never copied out —
+            // cheaper than the scalar sweep above ~chunk/4 rows, and
+            // bit-exact because the valid lanes see identical math.
+            const int64_t tail = bn - done;
+            if (tail >= chunk / 4) {
+                std::fill(scratch.planar.begin(), scratch.planar.end(),
+                          uint8_t{0});
+                codes.unpackPlanar(b0 + done, tail, scratch.planar.data(),
+                                   chunk);
+                run_chunk(scratch.planar.data(), scratch.colmajor.data());
+                transposeColMajorTail(scratch.colmajor.data(), chunk, n,
+                                      tail, yb + done * n);
+                done = bn;
+            }
+        }
+        if (done < bn) {
+            // Row tail (or the whole block for the scalar variant):
+            // identical group scales and exact integer accumulation, so
+            // the seam between paths is invisible in the output.
+            const int64_t tail = bn - done;
+            scratch.unpacked.resize(
+                static_cast<size_t>(tail * num_subspaces_));
+            codes.unpackRows(b0 + done, tail, scratch.unpacked.data());
+            float *yt = yb + done * n;
+            std::fill(yt, yt + tail * n, 0.0f);
+            sweepRowsInt8Scalar(bank, scratch.unpacked.data(), tail, yt);
+        }
         addBias(yb, bn);
     }
 }
@@ -329,35 +484,84 @@ LutTableArena::ensureInt8Bank() const
     std::call_once(int8_once_, [this] {
         auto bank = std::make_unique<Int8Bank>();
         const int64_t n = out_features_;
+        const int64_t c = num_centroids_;
         bank->num_blocks = (n + kInt8BlockCols - 1) / kInt8BlockCols;
-        bank->q.resize(
-            static_cast<size_t>(num_subspaces_ * num_centroids_ * n));
+        bank->num_groups =
+            (num_subspaces_ + kInt8ScaleGroup - 1) / kInt8ScaleGroup;
+        bank->q.resize(static_cast<size_t>(num_subspaces_ * c * n));
         bank->scales.resize(
-            static_cast<size_t>(num_subspaces_ * bank->num_blocks));
-        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            static_cast<size_t>(bank->num_groups * bank->num_blocks));
+        for (int64_t g = 0; g < bank->num_groups; ++g) {
+            const int64_t s0 = g * kInt8ScaleGroup;
+            const int64_t s1 = std::min(num_subspaces_,
+                                        s0 + kInt8ScaleGroup);
             for (int64_t b = 0; b < bank->num_blocks; ++b) {
                 const int64_t c0 = b * kInt8BlockCols;
                 const int64_t c1 = std::min(n, c0 + kInt8BlockCols);
-                // Symmetric scale covering every centroid's entries in
-                // this (subspace, output-block) slab with 127 steps.
+                // One symmetric scale covers every centroid entry of the
+                // whole subspace GROUP in this output block: sharing the
+                // scale across the group is what lets both gather paths
+                // accumulate exact integer partial sums before a single
+                // dequantizing mul + add per group.
                 float max_abs = 0.0f;
-                for (int64_t j = 0; j < num_centroids_; ++j) {
-                    const float *row = entry(s, j);
-                    for (int64_t col = c0; col < c1; ++col)
-                        max_abs = std::max(max_abs, std::fabs(row[col]));
-                }
+                for (int64_t s = s0; s < s1; ++s)
+                    for (int64_t j = 0; j < c; ++j) {
+                        const float *row = entry(s, j);
+                        for (int64_t col = c0; col < c1; ++col)
+                            max_abs =
+                                std::max(max_abs, std::fabs(row[col]));
+                    }
                 const float scale =
                     max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
-                bank->scales[static_cast<size_t>(s * bank->num_blocks +
+                bank->scales[static_cast<size_t>(g * bank->num_blocks +
                                                  b)] = scale;
-                for (int64_t j = 0; j < num_centroids_; ++j) {
-                    const float *row = entry(s, j);
-                    int8_t *qrow =
-                        bank->q.data() + (s * num_centroids_ + j) * n;
-                    for (int64_t col = c0; col < c1; ++col) {
-                        const float q = std::nearbyint(row[col] / scale);
-                        qrow[col] = static_cast<int8_t>(
-                            std::max(-127.0f, std::min(127.0f, q)));
+                for (int64_t s = s0; s < s1; ++s)
+                    for (int64_t j = 0; j < c; ++j) {
+                        const float *row = entry(s, j);
+                        int8_t *qrow = bank->q.data() + (s * c + j) * n;
+                        for (int64_t col = c0; col < c1; ++col) {
+                            const float q =
+                                std::nearbyint(row[col] / scale);
+                            qrow[col] = static_cast<int8_t>(std::max(
+                                -127.0f, std::min(127.0f, q)));
+                        }
+                    }
+            }
+        }
+        // Mirror layouts are built only when the RUNNING CPU can execute
+        // a variant that reads them — INT8 tables dominate this data
+        // plane's memory, so a host that can never run the shuffle
+        // kernels must not pay for their layouts.
+        if (c <= 16 && simd::shuffleGatherSupported(util::simdLevel())) {
+            // Interleaved mirror for the shuffle gather: the 16 centroid
+            // entries of one (subspace, column) pack contiguously (zero
+            // padded past c), so each LUT is one 128-bit register load.
+            bank->q_il.assign(static_cast<size_t>(num_subspaces_ * n * 16),
+                              0);
+            for (int64_t s = 0; s < num_subspaces_; ++s)
+                for (int64_t j = 0; j < c; ++j) {
+                    const int8_t *qrow = bank->q.data() + (s * c + j) * n;
+                    for (int64_t col = 0; col < n; ++col)
+                        bank->q_il[static_cast<size_t>((s * n + col) * 16 +
+                                                       j)] = qrow[col];
+                }
+            // Quad-interleaved mirror for the VNNI gather: four
+            // consecutive subspaces' LUTs share one 64-byte block per
+            // column (zero padded past c and past Nc), so one VPERMB
+            // serves 16 rows x 4 subspaces.
+            if (simd::vnniGatherSupported(util::simdLevel())) {
+                const int64_t quads = (num_subspaces_ + 3) / 4;
+                bank->q_quad.assign(static_cast<size_t>(quads * n * 64),
+                                    0);
+                for (int64_t s = 0; s < num_subspaces_; ++s) {
+                    const int64_t qd = s / 4, j = s % 4;
+                    for (int64_t e = 0; e < c; ++e) {
+                        const int8_t *qrow =
+                            bank->q.data() + (s * c + e) * n;
+                        for (int64_t col = 0; col < n; ++col)
+                            bank->q_quad[static_cast<size_t>(
+                                (qd * n + col) * 64 + 16 * j + e)] =
+                                qrow[col];
                     }
                 }
             }
@@ -381,57 +585,76 @@ LutTableArena::int8TableBytes() const
                                 int8_bank_->scales.size() * sizeof(float));
 }
 
-void
-LutTableArena::sweepBlockInt8(const Int8Bank &bank, const int32_t *codes,
-                              int64_t bn, float *yb) const
+int64_t
+LutTableArena::int8ResidentBytes() const
 {
-    // Same grouped-subspace shape as the float sweep: kSubspaceGroup
-    // quantized banks fold into the output slab in ONE y pass (gi is the
-    // register-resident inner accumulation, exactly like the float
-    // grouped sweep), with each (subspace, output-block) scale hoisted
-    // out of the contiguous column loop. The hot loop is int8-load ->
-    // convert -> fma at a quarter of the float bank's memory traffic.
-    const int64_t n = out_features_;
-    constexpr int64_t G = kSubspaceGroup;
-    for (int64_t s0 = 0; s0 < num_subspaces_; s0 += G) {
-        const int64_t g = std::min<int64_t>(G, num_subspaces_ - s0);
-        for (int64_t r = 0; r < bn; ++r) {
-            const int32_t *rcodes = codes + r * num_subspaces_;
-            float *__restrict__ yr = yb + r * n;
-            const int8_t *__restrict__ q[G];
-            const float *scale_rows[G];
-            for (int64_t gi = 0; gi < g; ++gi) {
-                const int64_t s = s0 + gi;
-                q[gi] = bank.q.data() +
-                        (s * num_centroids_ + rcodes[s]) * n;
-                scale_rows[gi] = bank.scales.data() + s * bank.num_blocks;
-            }
-            for (int64_t b = 0; b < bank.num_blocks; ++b) {
-                const int64_t c0 = b * kInt8BlockCols;
-                const int64_t c1 = std::min(n, c0 + kInt8BlockCols);
-                if (g == G) {
-                    float sc[G];
-                    for (int64_t gi = 0; gi < G; ++gi)
-                        sc[gi] = scale_rows[gi][b];
-                    for (int64_t col = c0; col < c1; ++col) {
-                        float acc = yr[col];
-                        for (int64_t gi = 0; gi < G; ++gi)
-                            acc += sc[gi] *
-                                   static_cast<float>(q[gi][col]);
-                        yr[col] = acc;
-                    }
-                } else {
-                    for (int64_t col = c0; col < c1; ++col) {
-                        float acc = yr[col];
-                        for (int64_t gi = 0; gi < g; ++gi)
-                            acc += scale_rows[gi][b] *
-                                   static_cast<float>(q[gi][col]);
-                        yr[col] = acc;
-                    }
-                }
-            }
-        }
+    if (!int8_bank_)
+        return 0;
+    const Int8Bank &bank = *int8_bank_;
+    return static_cast<int64_t>(
+        (bank.q.size() + bank.q_il.size() + bank.q_quad.size()) *
+            sizeof(int8_t) +
+        bank.scales.size() * sizeof(float));
+}
+
+Int8GatherVariant
+LutTableArena::int8AutoVariant() const
+{
+    if (num_centroids_ > 16)
+        return Int8GatherVariant::Scalar;
+    const util::SimdLevel level = util::simdLevel();
+    if (level >= util::SimdLevel::Avx512Vnni)
+        return Int8GatherVariant::ShuffleVnni;
+    if (level >= util::SimdLevel::Avx512)
+        return Int8GatherVariant::ShuffleAvx512;
+    if (level == util::SimdLevel::Avx2)
+        return Int8GatherVariant::ShuffleAvx2;
+    return Int8GatherVariant::Scalar;
+}
+
+const char *
+LutTableArena::int8GatherVariantName(Int8GatherVariant variant)
+{
+    switch (variant) {
+      case Int8GatherVariant::ShuffleVnni:
+        return "shuffle-vnni";
+      case Int8GatherVariant::ShuffleAvx512:
+        return "shuffle-avx512";
+      case Int8GatherVariant::ShuffleAvx2:
+        return "shuffle-avx2";
+      case Int8GatherVariant::Scalar:
+        return "scalar";
+      default:
+        return "auto";
     }
+}
+
+const char *
+LutTableArena::encodeVariantName() const
+{
+    if (metric_ == vq::Metric::L2 && num_centroids_ == 16 &&
+        simd::encodeL2C16Supported(util::simdLevel())) {
+        return util::simdLevel() >= util::SimdLevel::Avx512
+                   ? "avx512-c16"
+                   : "avx2-c16";
+    }
+    return "generic";
+}
+
+void
+LutTableArena::sweepRowsInt8Scalar(const Int8Bank &bank,
+                                   const int32_t *codes, int64_t bn,
+                                   float *yb) const
+{
+    // The scalar half of the INT8 gather contract: per scale group,
+    // accumulate the group's entries in exact int32 arithmetic, then fold
+    // into the float output with ONE mul + add per (group, column) — the
+    // same float op sequence the shuffle kernels emit, which is what
+    // makes every variant bit-identical. This TU builds with -mno-fma so
+    // the mul + add never contracts.
+    sweepInt8ColOuter(bank.q.data(), bank.scales.data(), codes, bn,
+                      out_features_, num_subspaces_, num_centroids_,
+                      bank.num_blocks, bank.num_groups, yb);
 }
 
 void

@@ -19,13 +19,21 @@
  *
  * Execution model: inference splits into two phases the serving data plane
  * drives separately (see lutboost/kernels.h for the pluggable dispatch):
- *  - encode: `encodeBatch` argmin-encodes rows into a bit-packed
- *    vq::CodeBuffer (BF16 input rounding applied when the arena demands
- *    it);
+ *  - encode: `encodeBatch` / `encodeBlock` argmin-encode rows into a
+ *    bit-packed vq::CodeBuffer (BF16 input rounding applied when the
+ *    arena demands it). The flagship L2 / c=16 shape dispatches to the
+ *    runtime-selected SIMD argmin (lutboost/kernels_simd.h).
  *  - gather: `gatherAccumulate` sweeps the float table bank, or
- *    `gatherAccumulateInt8` sweeps the optional INT8-quantized bank with
- *    per-(subspace, output-block) scales (4x less table traffic, small
- *    controlled rounding error).
+ *    `gatherAccumulateInt8` sweeps the INT8-quantized bank. For c <= 16
+ *    the INT8 gather runs as an in-register shuffle lookup (AVX-512
+ *    VPSHUFB over 64-row chunks, AVX2 over 32) against the bank's
+ *    interleaved layout; otherwise (and for row tails) a scalar group
+ *    sweep runs. Both paths share exact integer accumulation under
+ *    per-(subspace-group, column-block) scales, so they are bit-identical
+ *    by construction.
+ * Both phases take explicit [row0, row0 + rows) spans so the serving
+ * engine can shard one batch across its worker pool; the whole-buffer
+ * overloads are the single-thread convenience.
  * The fused `forwardBatch` composes encode + float gather and is the
  * bit-exact reference everything else is tested against.
  *
@@ -48,6 +56,33 @@
 #include "vq/pq.h"
 
 namespace lutdla::lutboost {
+
+/**
+ * Reusable per-caller gather scratch: the per-block unpacked codes the
+ * scalar sweeps run on, plus the planar code lanes and column-major
+ * accumulator plane the shuffle gather uses. Caller-owned so steady-state
+ * batches perform no allocations; one per concurrent caller.
+ */
+struct GatherScratch
+{
+    std::vector<int32_t> unpacked;  ///< [block rows, Nc] row-major codes
+    std::vector<uint8_t> planar;    ///< [Nc, chunk] planar code lanes
+    std::vector<float> colmajor;    ///< [N, chunk] shuffle accumulators
+};
+
+/**
+ * Which INT8 gather kernel to run. Auto picks the best the CPU supports
+ * (the serving planner records the resolved choice); the explicit
+ * variants exist for benchmarks and the bit-exactness property tests.
+ */
+enum class Int8GatherVariant
+{
+    Auto,           ///< best supported (shuffle when c <= 16 and SIMD)
+    Scalar,         ///< portable group sweep (always available)
+    ShuffleAvx2,    ///< 32-row VPSHUFB chunks (requires AVX2)
+    ShuffleAvx512,  ///< 64-row VPSHUFB chunks (requires AVX-512BW)
+    ShuffleVnni     ///< VPERMB + VPDPBUSD dot chunks (AVX-512 VBMI+VNNI)
+};
 
 /** One frozen LUT layer in a single flat allocation. Immutable. */
 class LutTableArena
@@ -114,24 +149,51 @@ class LutTableArena
                      std::vector<float> &staging) const;
 
     /**
+     * Shardable encode span: encode rows [row0, row0 + rows) of the full
+     * batch `x` into an already-reset `codes` buffer. Packed rows are
+     * byte-aligned, so concurrent shards writing disjoint row spans of
+     * one shared CodeBuffer never race. Thread-safe with distinct
+     * `staging` per shard.
+     */
+    void encodeBlock(const float *x, int64_t row0, int64_t rows,
+                     vq::CodeBuffer &codes,
+                     std::vector<float> &staging) const;
+
+    /**
      * Gather phase over the bit-exact float bank:
-     * y[rows, N] = gather(codes) + bias. `unpacked` is caller-owned
-     * scratch for block-unpacking the codes. Identical numerics to
+     * y[rows, N] = gather(codes) + bias. Identical numerics to
      * forwardBatch. Thread-safe with distinct scratch.
      */
     void gatherAccumulate(const vq::CodeBuffer &codes, float *y,
-                          std::vector<int32_t> &unpacked) const;
+                          GatherScratch &scratch) const;
 
     /**
-     * Gather phase over the INT8 bank: y[rows, N] =
-     * sum_s scale(s, block(col)) * q(s, code_s)[col] + bias. Requires
-     * ensureInt8Bank() first (panics otherwise). ~4x less table traffic
-     * than the float bank; NOT bit-exact — the per-(subspace, block)
-     * symmetric scales bound the per-entry quantization error at
-     * max|entry| / 254 (see docs/SERVING.md for the accuracy caveats).
+     * Shardable float gather span: fill output rows [row0, row0 + rows)
+     * of `y` (the FULL [codes.rows(), N] output base) from the same rows
+     * of `codes`. Disjoint spans never race.
      */
-    void gatherAccumulateInt8(const vq::CodeBuffer &codes, float *y,
-                              std::vector<int32_t> &unpacked) const;
+    void gatherAccumulate(const vq::CodeBuffer &codes, int64_t row0,
+                          int64_t rows, float *y,
+                          GatherScratch &scratch) const;
+
+    /**
+     * Gather phase over the INT8 bank (requires ensureInt8Bank() first;
+     * panics otherwise). Accumulation is exact integer arithmetic per
+     * scale group (kInt8ScaleGroup subspaces share one scale per
+     * kInt8BlockCols-wide output block), dequantized with one mul + add
+     * per group — so every variant, shuffle or scalar, produces
+     * bit-identical output. NOT bit-exact vs the float bank; see
+     * docs/SERVING.md for the error envelope.
+     */
+    void gatherAccumulateInt8(
+        const vq::CodeBuffer &codes, float *y, GatherScratch &scratch,
+        Int8GatherVariant variant = Int8GatherVariant::Auto) const;
+
+    /** Shardable INT8 gather span; see the float span overload. */
+    void gatherAccumulateInt8(
+        const vq::CodeBuffer &codes, int64_t row0, int64_t rows, float *y,
+        GatherScratch &scratch,
+        Int8GatherVariant variant = Int8GatherVariant::Auto) const;
 
     /**
      * Build the INT8-quantized table bank (idempotent, thread-safe). The
@@ -143,9 +205,39 @@ class LutTableArena
     /** True once ensureInt8Bank() has built the quantized bank. */
     bool int8BankReady() const;
 
-    /** Bytes the INT8 gather streams (quantized table + scales); 0 until
-     * ensureInt8Bank(). */
+    /**
+     * Bytes of the canonical INT8 bank (row-major table + scales) — the
+     * traffic number plans and benches report; 0 until ensureInt8Bank().
+     * At the flagship c=16 every mirror layout is the same size, so this
+     * is exactly what any variant streams per sweep; at c < 16 the
+     * 16-entry-padded shuffle layouts stream up to 16/c x more (still
+     * well under the float bank). Resident memory spans every layout
+     * built for this CPU — see int8ResidentBytes().
+     */
     int64_t int8TableBytes() const;
+
+    /**
+     * Total RESIDENT bytes of the INT8 bank: the row-major table plus
+     * whichever mirror layouts were built for this CPU's kernel variants
+     * (mirrors are capability-gated at build time, so a host that cannot
+     * run a variant never pays for its layout; a VNNI host carries up to
+     * 3x the streamed size). 0 until ensureInt8Bank().
+     */
+    int64_t int8ResidentBytes() const;
+
+    /**
+     * The INT8 gather variant Auto resolves to on this arena and CPU
+     * (shuffle needs c <= 16 and at least AVX2). What the serving plan
+     * records.
+     */
+    Int8GatherVariant int8AutoVariant() const;
+
+    /** Stable variant tag, e.g. "shuffle-avx512" / "scalar". */
+    static const char *int8GatherVariantName(Int8GatherVariant variant);
+
+    /** Stable tag of the encode kernel this arena dispatches to, e.g.
+     * "avx512-c16" for the SIMD L2/c=16 fast path, else "generic". */
+    const char *encodeVariantName() const;
 
     /**
      * Batched lookup-accumulate: y[rows, N] = gather(x) + bias.
@@ -171,21 +263,41 @@ class LutTableArena
 
     /**
      * Output columns sharing one INT8 dequantization scale. Wide enough
-     * that the per-(subspace, block) scale broadcasts amortize over many
-     * vector iterations of the gather inner loop — at 32 the broadcasts
-     * dominated and the INT8 sweep measured ~0.7x the float sweep; at 128
-     * it is ~1.2x even when the float bank is LLC-resident.
+     * that the per-block scale handling amortizes over many vector
+     * iterations of the gather inner loop — at 32 the broadcasts
+     * dominated the pre-shuffle sweep and the INT8 path measured ~0.7x
+     * the float sweep; at 128 it wins even when the float bank is
+     * LLC-resident.
      */
     static constexpr int64_t kInt8BlockCols = 128;
 
+    /**
+     * Subspaces sharing one INT8 scale (per output block). Grouping is
+     * what lets both gather paths accumulate exact int16/int32 partial
+     * sums across the group before a single dequantizing mul + add: 16
+     * entries of |q| <= 127 sum to <= 2032, comfortably inside int16.
+     */
+    static constexpr int64_t kInt8ScaleGroup = 16;
+
   private:
-    /** INT8 mirror of the PSum table: same [Nc, c, N] layout, plus one
-     * symmetric scale per (subspace, kInt8BlockCols-wide output block). */
+    /**
+     * INT8 mirror of the PSum table in two layouts: `q` row-major
+     * [Nc, c, N] for the scalar group sweep, and (c <= 16 only) `q_il`
+     * interleaved [Nc, N, 16] — the 16 centroid entries of one
+     * (subspace, column) packed contiguously so the shuffle gather loads
+     * each LUT as one vector register. One symmetric scale per
+     * (kInt8ScaleGroup-subspace group, kInt8BlockCols-wide output block).
+     */
     struct Int8Bank
     {
-        std::vector<int8_t> q;       ///< [Nc, c, N] quantized entries
-        std::vector<float> scales;   ///< [Nc, numBlocks] dequant scales
+        std::vector<int8_t> q;      ///< [Nc, c, N] row-major entries
+        std::vector<int8_t> q_il;   ///< [Nc, N, 16] interleaved (c <= 16)
+        /** [ceil(Nc/4), N, 64] quad-interleaved (c <= 16): one 64-byte
+         * LUT per (subspace quad, column) for the VNNI gather. */
+        std::vector<int8_t> q_quad;
+        std::vector<float> scales;  ///< [numGroups, num_blocks] scales
         int64_t num_blocks = 0;
+        int64_t num_groups = 0;
     };
 
     template <vq::Metric M, typename Sink>
@@ -201,9 +313,9 @@ class LutTableArena
     void sweepBlockGrouped(const int32_t *codes, int64_t bn,
                            float *yb) const;
 
-    /** Grouped-subspace accumulate over the INT8 bank. */
-    void sweepBlockInt8(const Int8Bank &bank, const int32_t *codes,
-                        int64_t bn, float *yb) const;
+    /** Scalar INT8 group sweep (exact integer accumulation per group). */
+    void sweepRowsInt8Scalar(const Int8Bank &bank, const int32_t *codes,
+                             int64_t bn, float *yb) const;
 
     /** Add the packed bias row to `bn` output rows (no-op without bias). */
     void addBias(float *yb, int64_t bn) const;

@@ -61,9 +61,13 @@ InferenceEngine::start()
     if (started_ || shut_down_)
         return;
     started_ = true;
+    {
+        std::unique_lock<std::mutex> stats_lock(stats_mu_);
+        worker_ran_batch_.assign(static_cast<size_t>(options_.threads), 0);
+    }
     workers_.reserve(static_cast<size_t>(options_.threads));
     for (int i = 0; i < options_.threads; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+        workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 void
@@ -170,16 +174,26 @@ InferenceEngine::submit(const Tensor &rows)
 }
 
 void
-InferenceEngine::workerLoop()
+InferenceEngine::workerLoop(int slot)
 {
     // Worker-lifetime scratch: the stage chain's ping-pong activation
     // planes and conv im2col buffers grow to the largest batch seen and
-    // are reused for every subsequent batch this worker executes.
+    // are reused for every subsequent batch this worker executes. With
+    // more than one worker the scratch carries the intra-batch pool, so
+    // the LUT stages this worker initiates can shard across the pool.
     StageScratch scratch;
+    if (options_.threads > 1)
+        scratch.pool = this;
     while (true) {
-        auto first = queue_.pop();
+        std::shared_ptr<ShardTask> task;
+        auto first = queue_.popWork(task);
+        if (task) {
+            // Steal shard blocks from another worker's in-flight batch.
+            runShards(*task, scratch);
+            continue;
+        }
         if (!first)
-            return;  // closed and drained
+            return;  // closed and drained (requests AND shard work)
         std::vector<Request> batch;
         int64_t rows = first->rows;
         batch.push_back(std::move(*first));
@@ -197,13 +211,43 @@ InferenceEngine::workerLoop()
             rows += next->rows;
             batch.push_back(std::move(*next));
         }
-        runBatch(batch, rows, scratch);
+        runBatch(batch, rows, scratch, slot);
     }
 }
 
 void
+InferenceEngine::runShards(ShardTask &task, StageScratch &scratch)
+{
+    while (true) {
+        const int64_t block =
+            task.next.fetch_add(1, std::memory_order_relaxed);
+        if (block >= task.blocks)
+            return;
+        task.fn(block, scratch);
+        queue_.finishShard(task);
+    }
+}
+
+void
+InferenceEngine::parallelFor(int64_t blocks, const ShardFn &fn,
+                             StageScratch &caller)
+{
+    if (blocks <= 1) {
+        for (int64_t b = 0; b < blocks; ++b)
+            fn(b, caller);
+        return;
+    }
+    // Publish, participate, then wait for stolen stragglers. The caller
+    // always claims blocks itself, so the phase completes even when every
+    // other worker is busy with its own batch.
+    auto task = queue_.publishShards(blocks, fn);
+    runShards(*task, caller);
+    queue_.waitTaskDone(task);
+}
+
+void
 InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
-                          StageScratch &scratch)
+                          StageScratch &scratch, int slot)
 {
     const int64_t in_width = model_.inputWidth();
     Tensor packed(Shape{rows, in_width});
@@ -231,6 +275,9 @@ InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
         std::unique_lock<std::mutex> lock(stats_mu_);
         encode_ns_ += scratch.encode_ns - encode_before;
         gather_ns_ += scratch.gather_ns - gather_before;
+        if (slot >= 0 &&
+            static_cast<size_t>(slot) < worker_ran_batch_.size())
+            worker_ran_batch_[static_cast<size_t>(slot)] = 1;
         requests_ += batch.size();
         rows_ += static_cast<uint64_t>(rows);
         batches_++;
@@ -265,8 +312,20 @@ InferenceEngine::stats() const
     out.batches = batches_;
     out.rejected = rejected_;
     out.batch_fill = batch_fill_;
-    out.encode_seconds = static_cast<double>(encode_ns_) * 1e-9;
-    out.gather_seconds = static_cast<double>(gather_ns_) * 1e-9;
+    for (uint8_t ran : worker_ran_batch_)
+        out.active_workers += ran != 0 ? 1 : 0;
+    // Per-phase times are per-ACTIVE-worker averages: each worker's
+    // per-batch deltas are that batch's phase wall time (sharded phases
+    // time only the initiator), so dividing the cross-worker sum by the
+    // number of batch-executing workers yields numbers comparable across
+    // thread counts instead of inflating with concurrency.
+    const double active =
+        out.active_workers > 0 ? static_cast<double>(out.active_workers)
+                               : 1.0;
+    out.encode_cpu_seconds = static_cast<double>(encode_ns_) * 1e-9;
+    out.gather_cpu_seconds = static_cast<double>(gather_ns_) * 1e-9;
+    out.encode_seconds = out.encode_cpu_seconds / active;
+    out.gather_seconds = out.gather_cpu_seconds / active;
     out.mean_latency_us = latency_.meanMicros();
     out.p50_latency_us = latency_.percentileMicros(50.0);
     out.p99_latency_us = latency_.percentileMicros(99.0);

@@ -18,6 +18,16 @@
  * throughput comes from — every subspace's table bank is loaded into cache
  * once per batch instead of once per row.
  *
+ * Intra-batch parallelism: dynamic batching alone serializes a LARGE
+ * batch on the one worker that coalesced it, so on a multi-worker engine
+ * each LUT stage additionally shards its encode and gather phases over
+ * the pool (IntraBatchPool, implemented here): the initiating worker
+ * publishes a shard task on the shared WorkQueue, idle workers steal row
+ * blocks from it (wait-free atomic cursor), and every participant runs
+ * kernels with its own scratch. Busy workers simply don't help — progress
+ * never depends on a free worker — and results are bit-exact with the
+ * unsharded sweep because shards cover disjoint rows.
+ *
  * Request lifecycle: submitAsync() validates, stamps, and enqueues the
  * request (blocking for backpressure when the queue is full) and returns a
  * future; a worker later fulfills the promise with the [rows, outputWidth]
@@ -64,8 +74,10 @@ struct EngineOptions
     bool autostart = true;
 };
 
-/** Batched multi-threaded inference engine over a frozen LUT model. */
-class InferenceEngine
+/** Batched multi-threaded inference engine over a frozen LUT model.
+ * Implements IntraBatchPool so LUT stages can shard a batch's encode /
+ * gather phases across the worker pool. */
+class InferenceEngine : private IntraBatchPool
 {
   public:
     /**
@@ -123,14 +135,21 @@ class InferenceEngine
         int64_t rows = 0;
     };
 
-    void workerLoop();
+    void workerLoop(int slot);
     void runBatch(std::vector<Request> &batch, int64_t rows,
-                  StageScratch &scratch);
+                  StageScratch &scratch, int slot);
     void failRemaining();
+
+    /** Claim-and-run loop every shard participant executes. */
+    void runShards(ShardTask &task, StageScratch &scratch);
+
+    /** IntraBatchPool: shard a LUT-stage phase over the worker pool. */
+    void parallelFor(int64_t blocks, const ShardFn &fn,
+                     StageScratch &caller) override;
 
     FrozenModel model_;
     EngineOptions options_;
-    BoundedQueue<Request> queue_;
+    WorkQueue<Request> queue_;
 
     std::mutex lifecycle_mu_;
     std::vector<std::thread> workers_;
@@ -145,6 +164,7 @@ class InferenceEngine
     std::vector<uint64_t> batch_fill_;
     uint64_t encode_ns_ = 0;
     uint64_t gather_ns_ = 0;
+    std::vector<uint8_t> worker_ran_batch_;  ///< per-slot participation
     LatencyHistogram latency_;
     bool saw_first_submit_ = false;
     std::chrono::steady_clock::time_point first_submit_;

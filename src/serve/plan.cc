@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "lutboost/kernels_simd.h"
+#include "util/cpu_features.h"
 #include "vq/code_buffer.h"
 
 namespace lutdla::serve {
@@ -33,9 +35,25 @@ collectEpilogue(const std::vector<StagePtr> &stages, size_t j,
     return j;
 }
 
+/**
+ * Resolve the shard granularity: explicit wins; auto binds to one
+ * shuffle-gather chunk so a shard never hands the vector kernels a
+ * partial chunk (which would fall back to the scalar tail sweep).
+ */
+int64_t
+resolveShardRows(const PlanOptions &options)
+{
+    if (options.shard_rows > 0)
+        return options.shard_rows;
+    const int64_t chunk =
+        lutboost::simd::shuffleGatherChunkRows(util::simdLevel());
+    return chunk > 0 ? chunk : 32;
+}
+
 StagePlan
 lutPlan(const FrozenStage &stage, const lutboost::LutTableArena &arena,
-        std::vector<std::string> fused, TablePrecision precision)
+        std::vector<std::string> fused, TablePrecision precision,
+        int64_t shard_rows)
 {
     StagePlan plan;
     plan.kind = stage.kind();
@@ -44,6 +62,13 @@ lutPlan(const FrozenStage &stage, const lutboost::LutTableArena &arena,
     plan.code_bits = vq::codeBitsFor(arena.numCentroids());
     plan.precision = precision;
     plan.table_bytes = stage.tableBytes();
+    plan.encode_kernel = arena.encodeVariantName();
+    plan.gather_kernel =
+        precision == TablePrecision::Int8
+            ? lutboost::LutTableArena::int8GatherVariantName(
+                  arena.int8AutoVariant())
+            : "grouped-sweep";
+    plan.shard_rows = shard_rows;
     return plan;
 }
 
@@ -67,6 +92,7 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
         options.table_precision == TablePrecision::Int8
             ? &lutboost::quantizedBackend()
             : &lutboost::referenceBackend();
+    const int64_t shard_rows = resolveShardRows(options);
 
     std::vector<StagePtr> out;
     out.reserve(stages.size());
@@ -91,10 +117,11 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                     collectEpilogue(stages, i + 2, epilogue, fused);
                 auto planned = std::make_shared<ArenaStage>(
                     next->arena(), backend, std::move(epilogue),
-                    stage->inWidth());
+                    stage->inWidth(), shard_rows);
                 plan.push_back(lutPlan(*planned, *planned->arena(),
                                        std::move(fused),
-                                       options.table_precision));
+                                       options.table_precision,
+                                       shard_rows));
                 out.push_back(std::move(planned));
                 i = j;
                 continue;
@@ -111,10 +138,10 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  : i + 1;
             auto planned = std::make_shared<ArenaStage>(
                 arena->arena(), backend, std::move(epilogue),
-                arena->adaptInWidth());
+                arena->adaptInWidth(), shard_rows);
             plan.push_back(lutPlan(*planned, *planned->arena(),
                                    std::move(fused),
-                                   options.table_precision));
+                                   options.table_precision, shard_rows));
             out.push_back(std::move(planned));
             i = j;
             continue;
@@ -131,9 +158,11 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
             auto planned = std::make_shared<ConvStage>(
                 conv->geometry(), conv->height(), conv->width(),
                 conv->arena(), backend, std::move(epilogue));
+            // Conv stages stay unsharded (the im2col plane is shared);
+            // their shard_rows records 0 so the summary says so.
             plan.push_back(lutPlan(*planned, *planned->arena(),
                                    std::move(fused),
-                                   options.table_precision));
+                                   options.table_precision, 0));
             out.push_back(std::move(planned));
             i = j;
             continue;
@@ -149,16 +178,22 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
 std::string
 planSummary(const std::vector<StagePlan> &plan)
 {
-    std::string out;
-    char line[256];
+    std::string out = "isa: ";
+    out += util::simdLevelName(util::simdLevel());
+    out += " (runtime kernel dispatch)\n";
+    char line[320];
     for (size_t i = 0; i < plan.size(); ++i) {
         const StagePlan &p = plan[i];
         if (p.code_bits > 0) {
             std::snprintf(line, sizeof(line),
-                          "%2zu: %-24s codes %d-bit, tables %s, %.1f KB",
+                          "%2zu: %-24s codes %d-bit, tables %s, %.1f KB, "
+                          "enc %s, gat %s, shard %lld",
                           i, p.description.c_str(), p.code_bits,
                           tablePrecisionName(p.precision),
-                          static_cast<double>(p.table_bytes) / 1024.0);
+                          static_cast<double>(p.table_bytes) / 1024.0,
+                          p.encode_kernel.c_str(),
+                          p.gather_kernel.c_str(),
+                          static_cast<long long>(p.shard_rows));
         } else {
             std::snprintf(line, sizeof(line), "%2zu: %s", i,
                           p.description.c_str());

@@ -51,6 +51,13 @@ struct PlanOptions
     TablePrecision table_precision = TablePrecision::Float32;
     /** Fold pointwise / width-adapt neighbors into LUT stages. */
     bool fuse = true;
+    /**
+     * Intra-batch shard granularity in rows for lut-gemm stages (the
+     * engine's worker pool splits batches of >= 2 shards). 0 = auto: one
+     * shuffle-gather chunk (64 rows on AVX-512, 32 on AVX2, else 32) so
+     * sharding never starves the vector kernels of full chunks.
+     */
+    int64_t shard_rows = 0;
 };
 
 /** One planned stage: what the node runs and what was folded into it. */
@@ -62,6 +69,15 @@ struct StagePlan
     int code_bits = 0;        ///< packed code width; 0 for non-LUT stages
     TablePrecision precision = TablePrecision::Float32;  ///< LUT stages
     int64_t table_bytes = 0;  ///< bytes the stage's gather streams
+    /** Encode kernel the runtime dispatch resolved ("avx512-c16",
+     * "avx2-c16", "generic"); empty for non-LUT stages. */
+    std::string encode_kernel;
+    /** Gather kernel ("grouped-sweep" float bank; "shuffle-avx512" /
+     * "shuffle-avx2" / "scalar" INT8 bank); empty for non-LUT stages. */
+    std::string gather_kernel;
+    /** Intra-batch shard granularity bound at plan time (0 = unsharded,
+     * e.g. conv stages). */
+    int64_t shard_rows = 0;
 };
 
 /**
@@ -73,7 +89,9 @@ struct StagePlan
 void planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                 std::vector<StagePlan> &plan);
 
-/** Multi-line human-readable plan dump (one line per planned stage). */
+/** Multi-line human-readable plan dump: a header naming the runtime-
+ * detected ISA level, then one line per planned stage (code width, table
+ * precision, resolved encode/gather kernels, shard granularity). */
 std::string planSummary(const std::vector<StagePlan> &plan);
 
 } // namespace lutdla::serve

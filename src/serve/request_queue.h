@@ -3,38 +3,72 @@
 
 /**
  * @file
- * BoundedQueue: the MPMC request queue under the inference engine.
+ * WorkQueue: the engine's combined work source — a bounded MPMC request
+ * queue PLUS the shared shard-block queue behind intra-batch parallelism
+ * — under ONE mutex/condition pair, so an idle worker sleeps on a single
+ * wait and wakes for whichever kind of work arrives first.
  *
- * A classic mutex + two-condition-variable bounded queue, chosen over a
- * lock-free ring because the engine's batches amortize every pop over
- * hundreds of microseconds of LUT gathering — queue overhead is noise, and
- * the blocking push doubles as admission control (backpressure) when
- * submitters outrun the workers.
+ * Why combined: with separate queues, a worker blocked waiting for
+ * requests could never notice shard work (another worker splitting a big
+ * batch), which is exactly the situation intra-batch sharding exists for.
+ * One condition variable covering both is the simplest structure that
+ * cannot miss a wakeup. The queue half keeps the classic two-condition
+ * bounded design: blocking push doubles as admission control
+ * (backpressure) when submitters outrun the workers.
  *
- * Close semantics: after close(), pushes are refused but pops keep draining
- * whatever is already queued, then report exhaustion. That is exactly the
- * graceful-shutdown contract InferenceEngine::shutdown() needs.
+ * Shard tasks: an initiating worker publishes a ShardTask (a closure over
+ * `blocks` independent row blocks), runs blocks itself, and waits for
+ * stragglers; idle workers steal blocks by bumping the task's atomic
+ * cursor — a wait-free claim, so the lock is only held to publish, sleep,
+ * and signal completion. Every participant runs shards with its OWN
+ * StageScratch (passed by the worker loop), which is what keeps the
+ * kernels allocation-free and race-free.
+ *
+ * Close semantics: after close(), pushes are refused but request pops
+ * keep draining, and workers still steal whatever shard blocks remain —
+ * an in-flight batch always completes. That is the graceful-shutdown
+ * contract InferenceEngine::shutdown() needs.
  */
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <utility>
+#include <vector>
+
+#include "serve/stage.h"
 
 namespace lutdla::serve {
 
-/** Bounded blocking MPMC queue. T must be movable. */
+/**
+ * One intra-batch parallel-for in flight: `blocks` shards claimed via the
+ * atomic `next` cursor (work-stealing without a lock), `completed` counts
+ * finished shards. Published on the WorkQueue by the initiating worker;
+ * helpers hold shared_ptr copies, so the task outlives early removal.
+ */
+struct ShardTask
+{
+    ShardFn fn;                       ///< runs one block on any worker
+    int64_t blocks = 0;               ///< total shard count
+    std::atomic<int64_t> next{0};     ///< next unclaimed block
+    std::atomic<int64_t> completed{0};///< finished blocks
+};
+
+/** Combined bounded MPMC request queue + shard-block queue. T movable. */
 template <typename T>
-class BoundedQueue
+class WorkQueue
 {
   public:
-    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+    explicit WorkQueue(size_t capacity) : capacity_(capacity) {}
 
-    BoundedQueue(const BoundedQueue &) = delete;
-    BoundedQueue &operator=(const BoundedQueue &) = delete;
+    WorkQueue(const WorkQueue &) = delete;
+    WorkQueue &operator=(const WorkQueue &) = delete;
 
     /**
      * Block until space is available, then enqueue.
@@ -50,7 +84,7 @@ class BoundedQueue
         if (closed_)
             return false;
         items_.push_back(std::move(item));
-        not_empty_.notify_one();
+        work_.notify_one();
         return true;
     }
 
@@ -65,34 +99,51 @@ class BoundedQueue
         if (closed_ || items_.size() >= capacity_)
             return false;
         items_.push_back(std::move(item));
-        not_empty_.notify_one();
+        work_.notify_one();
         return true;
     }
 
     /**
-     * Block until an item is available and dequeue it.
-     * @return nullopt only when the queue is closed AND drained.
+     * Block until ANY work exists, preferring shard work: returns a
+     * claimable ShardTask via `task`, or a dequeued request, or nullopt
+     * with null `task` only when closed AND fully drained (requests and
+     * shard blocks both exhausted) — the worker-exit signal.
      */
     std::optional<T>
-    pop()
+    popWork(std::shared_ptr<ShardTask> &task)
     {
         std::unique_lock<std::mutex> lock(mu_);
-        not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
-        return takeFrontLocked();
+        while (true) {
+            work_.wait(lock, [&] {
+                return closed_ || !items_.empty() || claimableLocked();
+            });
+            task = claimableTaskLocked();
+            if (task)
+                return std::nullopt;
+            if (!items_.empty())
+                return takeFrontLocked();
+            if (closed_)
+                return std::nullopt;  // null task + nullopt = exit
+            // Spurious satisfaction: the shard task that woke us was
+            // drained (lock-free cursor) before we could claim it. Keep
+            // waiting — returning here would make a live worker exit.
+        }
     }
 
     /**
-     * Dequeue the front item only if `admit(front)` accepts it, waiting up
-     * to `timeout` for one to arrive. Returns nullopt on timeout, on a
-     * rejected front item (left in place), or when closed and drained —
-     * all three mean "close the current batch" to the engine's batcher.
+     * Dequeue the front request only if `admit(front)` accepts it,
+     * waiting up to `timeout` for one to arrive. Returns nullopt on
+     * timeout, on a rejected front item (left in place), or when closed
+     * and drained — all three mean "close the current batch" to the
+     * engine's batcher. Shard work never interrupts batch filling; the
+     * worker helps again once its own batch is done.
      */
     template <typename Pred>
     std::optional<T>
     popIf(std::chrono::steady_clock::duration timeout, const Pred &admit)
     {
         std::unique_lock<std::mutex> lock(mu_);
-        if (!not_empty_.wait_for(lock, timeout, [&] {
+        if (!work_.wait_for(lock, timeout, [&] {
                 return closed_ || !items_.empty();
             }))
             return std::nullopt;
@@ -101,12 +152,57 @@ class BoundedQueue
         return takeFrontLocked();
     }
 
-    /** Dequeue without blocking; nullopt when empty. */
+    /** Dequeue a request without blocking; nullopt when empty. */
     std::optional<T>
     tryPop()
     {
         std::unique_lock<std::mutex> lock(mu_);
         return takeFrontLocked();
+    }
+
+    /**
+     * Publish a shard task and wake every idle worker. The CALLER must
+     * then claim blocks itself (claim/finish) and finally
+     * waitTaskDone() — publication never blocks.
+     */
+    std::shared_ptr<ShardTask>
+    publishShards(int64_t blocks, ShardFn fn)
+    {
+        auto task = std::make_shared<ShardTask>();
+        task->fn = std::move(fn);
+        task->blocks = blocks;
+        std::unique_lock<std::mutex> lock(mu_);
+        tasks_.push_back(task);
+        work_.notify_all();
+        return task;
+    }
+
+    /** Mark one shard finished; signals waiters when the task completes. */
+    void
+    finishShard(ShardTask &task)
+    {
+        if (task.completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            task.blocks) {
+            std::unique_lock<std::mutex> lock(mu_);
+            task_done_.notify_all();
+        }
+    }
+
+    /** Block until every block of `task` completed, then retire it. */
+    void
+    waitTaskDone(const std::shared_ptr<ShardTask> &task)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        task_done_.wait(lock, [&] {
+            return task->completed.load(std::memory_order_acquire) ==
+                   task->blocks;
+        });
+        for (size_t i = 0; i < tasks_.size(); ++i) {
+            if (tasks_[i] == task) {
+                tasks_.erase(tasks_.begin() + static_cast<long>(i));
+                break;
+            }
+        }
     }
 
     /** Refuse new pushes and wake every waiter. Pops keep draining. */
@@ -115,8 +211,9 @@ class BoundedQueue
     {
         std::unique_lock<std::mutex> lock(mu_);
         closed_ = true;
-        not_empty_.notify_all();
+        work_.notify_all();
         not_full_.notify_all();
+        task_done_.notify_all();
     }
 
     /** True after close(). */
@@ -127,7 +224,7 @@ class BoundedQueue
         return closed_;
     }
 
-    /** Instantaneous queue depth (racy by nature; for stats only). */
+    /** Instantaneous request depth (racy by nature; for stats only). */
     size_t
     size() const
     {
@@ -136,6 +233,24 @@ class BoundedQueue
     }
 
   private:
+    bool
+    claimableLocked() const
+    {
+        for (const auto &task : tasks_)
+            if (task->next.load(std::memory_order_relaxed) < task->blocks)
+                return true;
+        return false;
+    }
+
+    std::shared_ptr<ShardTask>
+    claimableTaskLocked() const
+    {
+        for (const auto &task : tasks_)
+            if (task->next.load(std::memory_order_relaxed) < task->blocks)
+                return task;
+        return nullptr;
+    }
+
     std::optional<T>
     takeFrontLocked()
     {
@@ -148,9 +263,11 @@ class BoundedQueue
     }
 
     mutable std::mutex mu_;
-    std::condition_variable not_empty_;
-    std::condition_variable not_full_;
+    std::condition_variable work_;       ///< requests OR shard work OR close
+    std::condition_variable not_full_;   ///< backpressure
+    std::condition_variable task_done_;  ///< shard-task completion
     std::deque<T> items_;
+    std::vector<std::shared_ptr<ShardTask>> tasks_;
     size_t capacity_;
     bool closed_ = false;
 };

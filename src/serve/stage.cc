@@ -1,5 +1,6 @@
 #include "serve/stage.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 
@@ -71,12 +72,13 @@ FrozenStage::forwardInPlace(float *, int64_t) const
 ArenaStage::ArenaStage(std::shared_ptr<const lutboost::LutTableArena> arena,
                        const lutboost::KernelBackend *backend,
                        std::vector<PointwiseOp> epilogue,
-                       int64_t adapt_in_width)
+                       int64_t adapt_in_width, int64_t shard_rows)
     : arena_(std::move(arena)),
       backend_(backend != nullptr ? backend
                                   : &lutboost::referenceBackend()),
       epilogue_(std::move(epilogue)),
-      adapt_in_(adapt_in_width)
+      adapt_in_(adapt_in_width),
+      shard_rows_(shard_rows)
 {
     backend_->prepare(*arena_);
 }
@@ -111,12 +113,55 @@ ArenaStage::forward(const float *in, int64_t rows, float *out,
         }
         src = dst;
     }
-    backend_->encodeBatch(*arena_, src, rows, scratch.kernel);
+
+    // Shard both phases over the engine's worker pool when the batch is
+    // big enough to split (rows are independent, so the sharded sweep is
+    // bit-exact with the single-thread one). Phase timing stays on the
+    // initiating worker only, so encode_ns / gather_ns deltas measure the
+    // batch's per-phase WALL time regardless of how many workers helped.
+    const int64_t shard = shard_rows_;
+    const bool sharded =
+        scratch.pool != nullptr && shard > 0 && rows >= 2 * shard;
+    if (!sharded) {
+        backend_->encodeBatch(*arena_, src, rows, scratch.kernel);
+        scratch.encode_ns += nanosSince(t0);
+
+        const auto t1 = Clock::now();
+        backend_->gatherAccumulate(*arena_, scratch.kernel, out);
+        applyPointwiseOps(epilogue_, out, rows * outWidth());
+        scratch.gather_ns += nanosSince(t1);
+        return;
+    }
+
+    const int64_t blocks = (rows + shard - 1) / shard;
+    vq::CodeBuffer &codes = scratch.kernel.codes;
+    backend_->encodePrepare(*arena_, rows, codes);
+    scratch.pool->parallelFor(
+        blocks,
+        [&](int64_t block, StageScratch &local) {
+            const int64_t r0 = block * shard;
+            const int64_t rn = std::min(shard, rows - r0);
+            backend_->encodeBlock(*arena_, src, r0, rn, codes,
+                                  local.kernel);
+        },
+        scratch);
     scratch.encode_ns += nanosSince(t0);
 
     const auto t1 = Clock::now();
-    backend_->gatherAccumulate(*arena_, scratch.kernel, out);
-    applyPointwiseOps(epilogue_, out, rows * outWidth());
+    const int64_t out_width = outWidth();
+    scratch.pool->parallelFor(
+        blocks,
+        [&](int64_t block, StageScratch &local) {
+            const int64_t r0 = block * shard;
+            const int64_t rn = std::min(shard, rows - r0);
+            backend_->gatherBlock(*arena_, codes, r0, rn, out,
+                                  local.kernel);
+            // Epilogue per shard: elementwise, so shard boundaries cannot
+            // change it, and the slab is still cache-hot.
+            applyPointwiseOps(epilogue_, out + r0 * out_width,
+                              rn * out_width);
+        },
+        scratch);
     scratch.gather_ns += nanosSince(t1);
 }
 
@@ -160,14 +205,7 @@ ConvStage::forward(const float *in, int64_t rows, float *out,
 void
 PointwiseStage::forwardInPlace(float *data, int64_t rows) const
 {
-    const int64_t total = rows * width_;
-    if (op_ == Op::Relu) {
-        for (int64_t i = 0; i < total; ++i)
-            data[i] = nn::reluForward(data[i]);
-    } else {
-        for (int64_t i = 0; i < total; ++i)
-            data[i] = nn::geluForward(data[i]);
-    }
+    applyPointwiseOps({op_}, data, rows * width_);
 }
 
 void

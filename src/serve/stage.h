@@ -42,6 +42,7 @@
  */
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -52,6 +53,34 @@
 #include "tensor/im2col.h"
 
 namespace lutdla::serve {
+
+/** Defined below; forward-declared for ShardFn / IntraBatchPool. */
+struct StageScratch;
+
+/** One shard of an intra-batch parallel phase: `block` indexes the shard,
+ * `scratch` is the EXECUTING worker's scratch (each participant brings
+ * its own buffers; shared state is captured by the closure). */
+using ShardFn = std::function<void(int64_t block, StageScratch &scratch)>;
+
+/**
+ * Intra-batch parallelism seam: the engine hands each worker's
+ * StageScratch a pool pointer, and LUT stages shard their encode / gather
+ * phases over it instead of sweeping the whole batch on one thread.
+ * parallelFor() blocks until every shard ran; the CALLER participates
+ * (running shards with `caller` scratch) while idle workers steal the
+ * rest from a shared block queue, so progress never depends on another
+ * worker being free.
+ */
+class IntraBatchPool
+{
+  public:
+    virtual ~IntraBatchPool() = default;
+
+    /** Run fn(block, scratch) for block in [0, blocks); returns when all
+     * blocks completed. Safe to call only from an engine worker. */
+    virtual void parallelFor(int64_t blocks, const ShardFn &fn,
+                             StageScratch &caller) = 0;
+};
 
 /** Elementwise op a PointwiseStage applies — and, after fusion, the op an
  * arena-sweep epilogue applies in place of that stage. */
@@ -78,6 +107,10 @@ struct StageScratch
     lutboost::KernelScratch kernel;    ///< packed codes + staging planes
     uint64_t encode_ns = 0;            ///< accumulated encode-phase time
     uint64_t gather_ns = 0;            ///< accumulated gather-phase time
+    /** Intra-batch worker pool (engine-owned); null = single-threaded.
+     * Phase times stay wall-clock: only the initiating worker's timers
+     * run while shards execute in parallel. */
+    IntraBatchPool *pool = nullptr;
 };
 
 /**
@@ -139,7 +172,12 @@ void applyPointwiseOps(const std::vector<PointwiseOp> &ops, float *data,
  * optional `adapt_in_width` prologue absorbs a preceding WidthAdaptStage
  * (trace models): the stage then consumes `adapt_in_width`-wide rows and
  * cyclically replicates them to the arena width in scratch before
- * encoding.
+ * encoding. When the planner set a shard granularity (`shard_rows`) and
+ * the executing scratch carries an IntraBatchPool, batches of at least
+ * two shards run each phase as a parallel-for over row blocks: encode
+ * shards fill disjoint rows of one shared CodeBuffer, gather shards fill
+ * disjoint output rows (epilogue included, still cache-hot) — bit-exact
+ * with the single-thread sweep because rows are independent.
  */
 class ArenaStage : public FrozenStage
 {
@@ -148,7 +186,7 @@ class ArenaStage : public FrozenStage
         std::shared_ptr<const lutboost::LutTableArena> arena,
         const lutboost::KernelBackend *backend = nullptr,
         std::vector<PointwiseOp> epilogue = {},
-        int64_t adapt_in_width = 0);
+        int64_t adapt_in_width = 0, int64_t shard_rows = 0);
 
     std::string kind() const override { return "lut-gemm"; }
     std::string description() const override;
@@ -182,11 +220,15 @@ class ArenaStage : public FrozenStage
     /** Fused width-adapt prologue input width (0 when absent). */
     int64_t adaptInWidth() const { return adapt_in_; }
 
+    /** Intra-batch shard granularity in rows (0 = never shard). */
+    int64_t shardRows() const { return shard_rows_; }
+
   private:
     std::shared_ptr<const lutboost::LutTableArena> arena_;
     const lutboost::KernelBackend *backend_;
     std::vector<PointwiseOp> epilogue_;
     int64_t adapt_in_;
+    int64_t shard_rows_;
 };
 
 /**

@@ -127,9 +127,9 @@ EngineStats::summary() const
     out += line;
     std::snprintf(line, sizeof(line),
                   "lut phases: encode %.4f s, gather %.4f s (%.0f%% "
-                  "encode)\n",
+                  "encode; per-worker avg over %d active)\n",
                   encode_seconds, gather_seconds,
-                  encodeFraction() * 100.0);
+                  encodeFraction() * 100.0, active_workers);
     out += line;
     return out;
 }

@@ -83,16 +83,33 @@ struct EngineStats
     /** Approximate 99th-percentile request latency in microseconds. */
     double p99_latency_us = 0.0;
 
+    /** Workers that executed at least one batch (shard-stealing helpers
+     * do not count; their time shows up in the initiator's wall time). */
+    int active_workers = 0;
+
     /**
-     * Cumulative encode-phase seconds across workers (argmin encoding of
-     * batch rows into packed codes, including im2col / BF16 staging).
-     * Summed over threads, so encode + gather can exceed wall_seconds on
-     * multi-worker engines; the ratio is what the split is for.
+     * Encode-phase seconds (argmin encoding of batch rows into packed
+     * codes, including im2col / BF16 staging), reported as the
+     * PER-ACTIVE-WORKER AVERAGE of per-batch wall times: sharded phases
+     * time only the initiating worker, and the cross-worker sum is
+     * divided by active_workers — so the number is comparable across
+     * thread counts (the old raw sum inflated ~Nx with N concurrent
+     * workers on a contended host). Approximation caveat: the divisor
+     * counts workers that EVER ran a batch, an upper bound on actual
+     * concurrency, so under light load spread round-robin across the
+     * pool this is a LOWER bound on per-worker phase wall time; at
+     * saturation (the regime phase tuning cares about) it is tight.
      */
     double encode_seconds = 0.0;
-    /** Cumulative gather-phase seconds across workers (table
-     * accumulation, fused epilogues, NCHW reshape). */
+    /** Gather-phase seconds (table accumulation, fused epilogues, NCHW
+     * reshape), same per-active-worker-average semantics. */
     double gather_seconds = 0.0;
+
+    /** Raw cross-worker sum of per-batch encode wall times (the old
+     * semantics; exceeds wall_seconds under concurrency). */
+    double encode_cpu_seconds = 0.0;
+    /** Raw cross-worker sum of per-batch gather wall times. */
+    double gather_cpu_seconds = 0.0;
 
     /**
      * batch_fill[r] = number of executed batches that carried exactly `r`

@@ -1,0 +1,70 @@
+#include "util/cpu_features.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace lutdla::util {
+
+namespace {
+
+SimdLevel
+detect()
+{
+    SimdLevel best = SimdLevel::Generic;
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx2"))
+        best = SimdLevel::Avx2;
+    // The shuffle gather needs BW (byte shuffles and int16 lanes on zmm);
+    // the encode argmin needs F. Require both so one level tag covers the
+    // whole 512-bit kernel set.
+    if (__builtin_cpu_supports("avx512f") &&
+        __builtin_cpu_supports("avx512bw")) {
+        best = SimdLevel::Avx512;
+        // The dot-accumulate gather additionally needs VPERMB (VBMI) and
+        // VPDPBUSD (VNNI) — Ice Lake and newer.
+        if (__builtin_cpu_supports("avx512vbmi") &&
+            __builtin_cpu_supports("avx512vnni"))
+            best = SimdLevel::Avx512Vnni;
+    }
+#endif
+    const char *cap = std::getenv("LUTDLA_SIMD");
+    if (cap != nullptr) {
+        if (std::strcmp(cap, "generic") == 0)
+            return SimdLevel::Generic;
+        if (std::strcmp(cap, "avx2") == 0 && best >= SimdLevel::Avx2)
+            return SimdLevel::Avx2;
+        if (std::strcmp(cap, "avx512") == 0 && best >= SimdLevel::Avx512)
+            return SimdLevel::Avx512;
+        // Unknown or uncapping values keep the detected level: the
+        // override can only disable features the CPU has, never enable
+        // ones it lacks.
+    }
+    return best;
+}
+
+} // namespace
+
+SimdLevel
+simdLevel()
+{
+    static const SimdLevel level = detect();
+    return level;
+}
+
+const char *
+simdLevelName(SimdLevel level)
+{
+    switch (level) {
+      case SimdLevel::Avx512Vnni:
+        return "avx512-vnni";
+      case SimdLevel::Avx512:
+        return "avx512";
+      case SimdLevel::Avx2:
+        return "avx2";
+      default:
+        return "generic";
+    }
+}
+
+} // namespace lutdla::util

@@ -1,0 +1,45 @@
+#ifndef LUTDLA_UTIL_CPU_FEATURES_H
+#define LUTDLA_UTIL_CPU_FEATURES_H
+
+/**
+ * @file
+ * Runtime CPU-feature detection for the serving kernel dispatch.
+ *
+ * The SIMD fast paths (the AVX-512 encode argmin, the shuffle-based INT8
+ * gather) used to be compile-time gated behind the -march=native TU flags,
+ * which meant a binary built on one host silently lost (or illegally
+ * used) them on another. simdLevel() probes cpuid once at first use and
+ * the kernels in lutboost/kernels_simd.h are compiled with per-function
+ * target attributes, so one binary carries every variant and picks the
+ * best the *running* CPU supports. The chosen level is recorded in every
+ * serving plan (serve::planSummary) so deployments can see exactly which
+ * data plane they got.
+ *
+ * LUTDLA_SIMD=generic|avx2|avx512 (environment) caps the detected level —
+ * useful for A/B-ing kernel variants and for exercising the fallback
+ * paths on capable hardware.
+ */
+
+namespace lutdla::util {
+
+/** SIMD capability tier the kernel dispatch selects between. */
+enum class SimdLevel
+{
+    Generic,    ///< no usable vector extensions (portable scalar kernels)
+    Avx2,       ///< AVX2: 256-bit shuffle gather + encode fast paths
+    Avx512,     ///< AVX-512F/BW: 512-bit shuffle gather + encode paths
+    Avx512Vnni  ///< + VBMI/VNNI: VPERMB/VPDPBUSD dot-accumulate gather
+};
+
+/**
+ * Best SIMD level the running CPU supports, capped by the LUTDLA_SIMD
+ * environment override. Probed once; subsequent calls are a load.
+ */
+SimdLevel simdLevel();
+
+/** Stable lower-case name for a level ("generic" / "avx2" / "avx512"). */
+const char *simdLevelName(SimdLevel level);
+
+} // namespace lutdla::util
+
+#endif // LUTDLA_UTIL_CPU_FEATURES_H

@@ -69,4 +69,38 @@ CodeBuffer::unpackRows(int64_t row0, int64_t n, int32_t *out) const
         unpackRow(row0 + i, out + i * subspaces_);
 }
 
+void
+CodeBuffer::unpackPlanar(int64_t row0, int64_t n, uint8_t *out,
+                         int64_t stride) const
+{
+    LUTDLA_CHECK(row0 >= 0 && row0 + n <= rows_,
+                 "CodeBuffer::unpackPlanar range [", row0, ", ", row0 + n,
+                 ") exceeds ", rows_, " rows");
+    LUTDLA_CHECK(bits_ <= 8,
+                 "planar unpack carries one byte per code; bits() is ",
+                 bits_);
+    if (stride == 0)
+        stride = n;
+    LUTDLA_CHECK(stride >= n, "planar stride ", stride, " < ", n, " rows");
+    if (bits_ == 4) {
+        for (int64_t i = 0; i < n; ++i) {
+            const uint8_t *base = data_.data() + (row0 + i) * stride_;
+            const int64_t pairs = subspaces_ / 2;
+            for (int64_t p = 0; p < pairs; ++p) {
+                const uint8_t byte = base[p];
+                out[(2 * p) * stride + i] = byte & 0xF;
+                out[(2 * p + 1) * stride + i] = byte >> 4;
+            }
+            if (subspaces_ & 1)
+                out[(subspaces_ - 1) * stride + i] = base[pairs] & 0xF;
+        }
+        return;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+        const uint8_t *base = data_.data() + (row0 + i) * stride_;
+        for (int64_t s = 0; s < subspaces_; ++s)
+            out[s * stride + i] = base[s];
+    }
+}
+
 } // namespace lutdla::vq

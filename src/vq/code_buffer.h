@@ -108,6 +108,19 @@ class CodeBuffer
      */
     void unpackRows(int64_t row0, int64_t n, int32_t *out) const;
 
+    /**
+     * Unpack rows [row0, row0 + n) PLANAR: out[s * stride + i] is the
+     * code of (row0 + i, subspace s), one byte each (stride 0 means n).
+     * This is the lane layout the shuffle-gather kernels consume — all
+     * rows' codes for one subspace land contiguously, so a vector
+     * register loads one subspace's lane block directly; a stride wider
+     * than n leaves the pad lanes untouched (callers zero them to run a
+     * ragged tail through a full-width chunk). Requires bits() <= 8 (the
+     * shuffle path only exists for c <= 256, and in practice c <= 16).
+     */
+    void unpackPlanar(int64_t row0, int64_t n, uint8_t *out,
+                      int64_t stride = 0) const;
+
   private:
     int64_t rows_ = 0;
     int64_t subspaces_ = 0;

@@ -13,6 +13,7 @@
 #include "lutboost/kernels.h"
 #include "lutboost/lut_linear.h"
 #include "sim/lutdla_sim.h"
+#include "util/cpu_features.h"
 #include "util/rng.h"
 #include "vq/code_buffer.h"
 #include "vq/lut.h"
@@ -231,6 +232,130 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values<int64_t>(1, 3, 300),          // rows (1 = single)
         ::testing::Values<int64_t>(1, 5, 8),            // subspaces (odd!)
         ::testing::Values<int64_t>(5, 16, 100, 257)));  // c, some non-pow2
+
+// ---- Property: planar unpack agrees with the row-major view ------------
+
+TEST(CodeBufferPlanar, MatchesRowMajorUnpackOnAwkwardShapes)
+{
+    for (const int64_t centroids : {4, 16, 200}) {
+        for (const int64_t rows : {1, 7, 64, 65}) {
+            for (const int64_t subspaces : {1, 5, 12}) {
+                vq::CodeBuffer buffer;
+                buffer.reset(rows, subspaces, centroids);
+                Rng rng(3 + static_cast<uint64_t>(centroids * rows));
+                for (int64_t r = 0; r < rows; ++r)
+                    for (int64_t s = 0; s < subspaces; ++s)
+                        buffer.set(r, s,
+                                   static_cast<int32_t>(rng.uniformInt(
+                                       0, centroids - 1)));
+                // Planar over a row span: out[s * n + i] = code(row0+i, s).
+                const int64_t row0 = rows > 2 ? 1 : 0;
+                const int64_t n = rows - row0;
+                std::vector<uint8_t> planar(
+                    static_cast<size_t>(subspaces * n));
+                buffer.unpackPlanar(row0, n, planar.data());
+                for (int64_t i = 0; i < n; ++i)
+                    for (int64_t s = 0; s < subspaces; ++s)
+                        EXPECT_EQ(
+                            static_cast<int32_t>(
+                                planar[static_cast<size_t>(s * n + i)]),
+                            buffer.get(row0 + i, s))
+                            << "c=" << centroids << " row=" << row0 + i
+                            << " s=" << s;
+            }
+        }
+    }
+}
+
+// ---- Property: every INT8 gather variant is bit-identical --------------
+
+/**
+ * The INT8 gather contract: shuffle (AVX-512 / AVX2) and scalar variants
+ * share exact integer accumulation under group scales, so their float
+ * outputs must match BIT FOR BIT across awkward shapes — c in {4, 16},
+ * K % v != 0, row counts around the 32/64-row chunk boundaries, single
+ * rows, and multi-block batches with ragged tails.
+ */
+class Int8GatherVariants
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(Int8GatherVariants, ShuffleBitExactVsScalar)
+{
+    const auto [k, v, c, rows] = GetParam();
+    vq::PQConfig pq;
+    pq.v = v;
+    pq.c = c;
+    lutboost::LutLinear layer(k, 70, pq, /*bias=*/true,
+                              /*seed=*/static_cast<uint64_t>(k + c + rows));
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    arena->ensureInt8Bank();
+
+    Rng rng(55 + static_cast<uint64_t>(rows));
+    Tensor x(Shape{rows, k});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    lutboost::KernelScratch scratch;
+    lutboost::referenceBackend().encodeBatch(*arena, x.data(), rows,
+                                             scratch);
+
+    Tensor scalar(Shape{rows, 70});
+    arena->gatherAccumulateInt8(scratch.codes, scalar.data(),
+                                scratch.gather,
+                                lutboost::Int8GatherVariant::Scalar);
+
+    const util::SimdLevel level = util::simdLevel();
+    std::vector<lutboost::Int8GatherVariant> variants;
+    if (level >= util::SimdLevel::Avx2)
+        variants.push_back(lutboost::Int8GatherVariant::ShuffleAvx2);
+    if (level >= util::SimdLevel::Avx512)
+        variants.push_back(lutboost::Int8GatherVariant::ShuffleAvx512);
+    if (level >= util::SimdLevel::Avx512Vnni)
+        variants.push_back(lutboost::Int8GatherVariant::ShuffleVnni);
+    if (variants.empty())
+        GTEST_SKIP() << "no SIMD level on this host; scalar-only";
+    for (const auto variant : variants) {
+        Tensor shuffled(Shape{rows, 70});
+        arena->gatherAccumulateInt8(scratch.codes, shuffled.data(),
+                                    scratch.gather, variant);
+        EXPECT_TRUE(shuffled.equals(scalar))
+            << lutboost::LutTableArena::int8GatherVariantName(variant)
+            << " diverged: k=" << k << " v=" << v << " c=" << c
+            << " rows=" << rows
+            << " maxdiff=" << Tensor::maxAbsDiff(shuffled, scalar);
+        // Auto must resolve to one of the paths just proven equal.
+        Tensor autod(Shape{rows, 70});
+        arena->gatherAccumulateInt8(scratch.codes, autod.data(),
+                                    scratch.gather);
+        EXPECT_TRUE(autod.equals(scalar));
+    }
+
+    // Span-sharded sweep (what the engine's parallel-for runs) must hit
+    // the same bits as the whole-buffer call.
+    Tensor spans(Shape{rows, 70});
+    const int64_t half = rows / 2;
+    if (half > 0)
+        arena->gatherAccumulateInt8(scratch.codes, 0, half, spans.data(),
+                                    scratch.gather);
+    arena->gatherAccumulateInt8(scratch.codes, half, rows - half,
+                                spans.data(), scratch.gather);
+    EXPECT_TRUE(spans.equals(scalar))
+        << "span seam changed the INT8 gather result";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, Int8GatherVariants,
+    ::testing::Combine(::testing::Values<int64_t>(23, 52),  // K % v != 0
+                       ::testing::Values<int64_t>(3, 8),
+                       ::testing::Values<int64_t>(4, 16),
+                       // chunk-boundary row counts: single, sub-chunk,
+                       // one AVX2 chunk, one AVX-512 chunk +/- 1, ragged
+                       ::testing::Values<int64_t>(1, 31, 32, 63, 64, 65,
+                                                  130)));
 
 // ---- Property: reference backend bit-exact on awkward shapes -----------
 

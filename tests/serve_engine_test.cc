@@ -897,5 +897,111 @@ TEST(ServingFacade, ArtifactsEngineReplaysTrace)
     EXPECT_EQ(empty.status().code(), api::StatusCode::FailedPrecondition);
 }
 
+// ---------------------------------------------------------------------------
+// Intra-batch sharding: a multi-worker engine splits one big batch's
+// encode/gather phases across the pool. Must be invisible in the output.
+
+TEST(InferenceEngine, ShardedBigBatchBitExactAcrossPlans)
+{
+    // Big enough rows that every lut-gemm stage shards (shard_rows is 64
+    // on AVX-512 hosts, 32 on AVX2): 256 rows = 4+ shards per phase.
+    std::vector<sim::GemmShape> gemms{{4, 24, 18, "a"}, {4, 18, 7, "b"}};
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+    const Tensor rows = randomRows(256, 24, 77);
+
+    for (const bool int8 : {false, true}) {
+        serve::PlanOptions plan;
+        plan.table_precision = int8 ? serve::TablePrecision::Int8
+                                    : serve::TablePrecision::Float32;
+        auto model = serve::FrozenModel::fromTrace(gemms, pq, {}, 91, plan);
+        ASSERT_TRUE(model.ok()) << model.status().toString();
+        ASSERT_GT(model->plan()[0].shard_rows, 0)
+            << "planner must bind a shard granularity to lut-gemm stages";
+
+        // Reference: the same frozen model swept on ONE thread.
+        const Tensor reference = model->forwardBatch(rows);
+
+        serve::EngineOptions options;
+        options.threads = 4;
+        options.max_batch = 256;
+        auto engine = serve::InferenceEngine::create(*model, options);
+        ASSERT_TRUE(engine.ok()) << engine.status().toString();
+        auto result = engine.value()->submit(rows);
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        EXPECT_TRUE(result->equals(reference))
+            << "int8=" << int8 << " sharded sweep diverged, maxdiff="
+            << Tensor::maxAbsDiff(*result, reference);
+        engine.value()->shutdown();
+
+        const serve::EngineStats stats = engine.value()->stats();
+        EXPECT_GE(stats.active_workers, 1);
+        EXPECT_LE(stats.active_workers, 4);
+        EXPECT_GT(stats.encode_seconds, 0.0);
+        EXPECT_GT(stats.gather_seconds, 0.0);
+        // The raw cross-worker sums are always >= the per-worker average.
+        EXPECT_GE(stats.encode_cpu_seconds, stats.encode_seconds);
+        EXPECT_GE(stats.gather_cpu_seconds, stats.gather_seconds);
+    }
+}
+
+TEST(InferenceEngine, ShardedConcurrentSmallRequestsStayBitExact)
+{
+    // Many small concurrent requests + multi-worker batching + sharding
+    // racing each other must still answer every request bit-exactly.
+    std::vector<sim::GemmShape> gemms{{4, 16, 12, "a"}};
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+    auto model = serve::FrozenModel::fromTrace(gemms, pq);
+    ASSERT_TRUE(model.ok());
+
+    serve::EngineOptions options;
+    options.threads = 3;
+    options.max_batch = 128;
+    options.queue_capacity = 512;
+    auto engine = serve::InferenceEngine::create(*model, options);
+    ASSERT_TRUE(engine.ok());
+
+    std::vector<Tensor> inputs;
+    std::vector<std::future<api::Result<Tensor>>> futures;
+    for (int r = 0; r < 48; ++r) {
+        inputs.push_back(randomRows(5, 16, 100 + static_cast<uint64_t>(r)));
+        futures.push_back(engine.value()->submitAsync(inputs.back()));
+    }
+    for (size_t r = 0; r < futures.size(); ++r) {
+        auto result = futures[r].get();
+        ASSERT_TRUE(result.ok()) << result.status().toString();
+        EXPECT_TRUE(result->equals(model->forwardBatch(inputs[r])))
+            << "request " << r << " diverged";
+    }
+    engine.value()->shutdown();
+}
+
+TEST(PlanSummary, RecordsIsaKernelsAndShardGranularity)
+{
+    std::vector<sim::GemmShape> gemms{{4, 16, 9, "a"}};
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+    serve::PlanOptions plan;
+    plan.table_precision = serve::TablePrecision::Int8;
+    plan.shard_rows = 48;  // explicit granularity wins over auto
+    auto model = serve::FrozenModel::fromTrace(gemms, pq, {}, 91, plan);
+    ASSERT_TRUE(model.ok());
+    ASSERT_EQ(model->plan().size(), 1u);
+    const serve::StagePlan &p = model->plan()[0];
+    EXPECT_EQ(p.shard_rows, 48);
+    EXPECT_FALSE(p.encode_kernel.empty());
+    EXPECT_FALSE(p.gather_kernel.empty());
+
+    const std::string summary = model->planSummary();
+    EXPECT_NE(summary.find("isa: "), std::string::npos)
+        << "planSummary must log the runtime-dispatched ISA level";
+    EXPECT_NE(summary.find("shard 48"), std::string::npos);
+    EXPECT_NE(summary.find(p.gather_kernel), std::string::npos);
+}
+
 } // namespace
 } // namespace lutdla
