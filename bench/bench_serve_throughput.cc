@@ -171,6 +171,10 @@ struct JsonRecord
     double rows_per_sec;
     double p50_us;
     double p99_us;
+    double p50_queue_us;    ///< submit -> batch execution start
+    double p99_queue_us;
+    double p50_service_us;  ///< batch execution start -> done
+    double p99_service_us;
     double avg_fill;
     int64_t arena_bytes;
     double encode_s;  ///< per-active-worker average (EngineStats)
@@ -224,14 +228,17 @@ writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
             "    {\"section\": \"%s\", \"backend\": \"%s\", "
             "\"threads\": %d, \"max_batch\": %lld, "
             "\"rows_per_sec\": %.1f, \"p50_us\": %.1f, \"p99_us\": %.1f, "
+            "\"p50_queue_us\": %.1f, \"p99_queue_us\": %.1f, "
+            "\"p50_service_us\": %.1f, \"p99_service_us\": %.1f, "
             "\"avg_fill\": %.2f, \"arena_bytes\": %lld, "
             "\"encode_s\": %.6f, \"gather_s\": %.6f, "
             "\"active_workers\": %d}%s\n",
             r.section.c_str(), r.backend.c_str(), r.threads,
             static_cast<long long>(r.max_batch), r.rows_per_sec, r.p50_us,
-            r.p99_us, r.avg_fill, static_cast<long long>(r.arena_bytes),
-            r.encode_s, r.gather_s, r.active_workers,
-            i + 1 < records.size() ? "," : "");
+            r.p99_us, r.p50_queue_us, r.p99_queue_us, r.p50_service_us,
+            r.p99_service_us, r.avg_fill,
+            static_cast<long long>(r.arena_bytes), r.encode_s, r.gather_s,
+            r.active_workers, i + 1 < records.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     // Thread-scaling section: every multi-thread config's speedup over
@@ -359,6 +366,8 @@ main(int argc, char **argv)
                 records.push_back(
                     {"mlp", int8 ? "int8" : "float32", threads, max_batch,
                      rate, stats.p50_latency_us, stats.p99_latency_us,
+                     stats.p50_queue_us, stats.p99_queue_us,
+                     stats.p50_service_us, stats.p99_service_us,
                      stats.avgBatchFill(), m.tableBytes(),
                      stats.encode_seconds, stats.gather_seconds,
                      stats.active_workers});
@@ -450,6 +459,8 @@ main(int argc, char **argv)
                        Table::fmt(stats.p99_latency_us, 0)});
             records.push_back({"cnn", "float32", threads, max_batch, rate,
                                stats.p50_latency_us, stats.p99_latency_us,
+                               stats.p50_queue_us, stats.p99_queue_us,
+                               stats.p50_service_us, stats.p99_service_us,
                                stats.avgBatchFill(),
                                cnn_model->tableBytes(),
                                stats.encode_seconds,

@@ -9,6 +9,18 @@ set -u
 HEADERS="src/api/*.h src/serve/*.h src/lutboost/*.h src/vq/*.h"
 
 fail=0
+
+# The front-door surface is the newest public layer; assert the headers
+# exist by name so a rename or move cannot silently drop them out of the
+# globbed set (the glob would just stop matching, and the gate would pass
+# while checking nothing).
+for required in src/serve/frontdoor.h src/serve/registry.h \
+                src/serve/engine.h src/serve/frozen_model.h; do
+    if [ ! -f "$required" ]; then
+        echo "error: required public header $required is missing"
+        fail=1
+    fi
+done
 for header in $HEADERS; do
     if ! grep -q '@file' "$header"; then
         echo "error: $header is missing a Doxygen file-level comment (@file)"

@@ -137,6 +137,20 @@ def main():
               other.get("rows_per_sec", 0.0) * new_scale,
               gate=args.per_config)
 
+    # Latency-split digest (informational, never gated): queue wait vs
+    # service time p99 for the fresh run's matched configs. Older
+    # artifacts predate the split, so the fields are optional; latency is
+    # wall time, which --normalize's rows/s scale does not apply to.
+    split = [(config_key(c), c) for c in new.get("configs", [])
+             if "p99_queue_us" in c and "p99_service_us" in c]
+    if split:
+        print("latency split, fresh run (informational): "
+              "p99 queue-wait / p99 service us")
+        for key, c in split:
+            label = "{}/{} t={} mb={}".format(*key)
+            print(f"  [ ] {label:46s} {c['p99_queue_us']:10.1f} / "
+                  f"{c['p99_service_us']:10.1f}")
+
     if failures:
         print("\nPERF GUARD FAILED (>{:.0f}% rows/s regression):".format(
             args.tolerance * 100))

@@ -69,6 +69,55 @@ makeEngineForWorkload(const std::string &workload, const vq::PQConfig &pq,
     return makeTraceEngine(spec->network().gemms, pq, options);
 }
 
+Result<FrontDoorHandle>
+makeFrontDoor(const serve::FrontDoorOptions &options)
+{
+    return serve::FrontDoor::create(options);
+}
+
+Result<uint64_t>
+publishModel(const FrontDoorHandle &door, const std::string &name,
+             const nn::LayerPtr &model, const ServeOptions &options)
+{
+    if (!door)
+        return Status::invalidArgument(
+            "publishModel needs a front door; call makeFrontDoor first");
+    // Same contract as makeEngine: validate BEFORE freezing so a
+    // rejected model comes back completely unmodified.
+    if (Status status =
+            serve::FrozenModel::validateServable(model,
+                                                 options.input_shape);
+        !status.ok())
+        return status;
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(model))
+        if (!layer->inferenceLutReady())
+            layer->refreshInferenceLut();
+    Result<serve::FrozenModel> frozen = serve::FrozenModel::fromModel(
+        model, options.input_shape, options.plan);
+    if (!frozen.ok())
+        return frozen.status();
+    return door->publish(name, frozen.take(), options.slo);
+}
+
+Result<uint64_t>
+publishTraceModel(const FrontDoorHandle &door, const std::string &name,
+                  const std::vector<sim::GemmShape> &gemms,
+                  const vq::PQConfig &pq, const ServeOptions &options,
+                  vq::LutPrecision precision, uint64_t seed)
+{
+    if (!door)
+        return Status::invalidArgument(
+            "publishTraceModel needs a front door; call makeFrontDoor "
+            "first");
+    if (Status status = validatePqConfig(pq); !status.ok())
+        return status;
+    Result<serve::FrozenModel> frozen = serve::FrozenModel::fromTrace(
+        gemms, pq, precision, seed, options.plan);
+    if (!frozen.ok())
+        return frozen.status();
+    return door->publish(name, frozen.take(), options.slo);
+}
+
 Result<EngineHandle>
 makeEngineForArtifacts(const RunArtifacts &artifacts,
                        const serve::EngineOptions &options)

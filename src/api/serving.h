@@ -9,6 +9,14 @@
  * or the RunArtifacts of a previous pipeline run. `Pipeline::engine(...)`
  * and `PipelineBuilder::engine()` forward here; see docs/SERVING.md for the
  * queueing model and tuning guide.
+ *
+ * Multi-tenant serving goes through makeFrontDoor() instead: one
+ * serve::FrontDoor multiplexes every model published into its registry
+ * over a single shared worker pool, with per-request deadlines,
+ * priorities, cancellation, and typed load shedding. publishModel() /
+ * publishTraceModel() lower a model exactly like the makeEngine()
+ * builders do and install the snapshot under a name + version; calling
+ * either again with the same name is the zero-drain hot-swap.
  */
 
 #include <memory>
@@ -19,6 +27,7 @@
 #include "api/status.h"
 #include "nn/layer.h"
 #include "serve/engine.h"
+#include "serve/frontdoor.h"
 #include "serve/plan.h"
 
 namespace lutdla::api {
@@ -51,6 +60,14 @@ struct ServeOptions
     serve::PlanOptions plan;
     /** Image height/width for models with spatial first layers. */
     serve::ServeInputShape input_shape;
+    /**
+     * SLO fields for multi-tenant deployments: batching window, priority
+     * stratum, and default deadline the front-door scheduler applies to
+     * this model. Read by publishModel()/publishTraceModel() (the
+     * single-model makeEngine() path ignores it — the engine has no
+     * scheduler to enforce SLOs).
+     */
+    serve::ModelSlo slo;
 };
 
 /**
@@ -112,6 +129,45 @@ makeEngineForWorkload(const std::string &workload, const vq::PQConfig &pq,
 Result<EngineHandle>
 makeEngineForArtifacts(const RunArtifacts &artifacts,
                        const serve::EngineOptions &options = {});
+
+/** Shared-ownership handle on a multi-tenant front door. */
+using FrontDoorHandle = std::shared_ptr<serve::FrontDoor>;
+
+/**
+ * Build a multi-tenant serving front door: an empty model registry plus
+ * one shared worker pool with deadline-aware, priority-stratified
+ * scheduling (see serve/frontdoor.h for the scheduling, overload, and
+ * hot-swap contracts). Publish models into it with publishModel() /
+ * publishTraceModel(), or through handle->registry() directly; mint
+ * per-tenant submission handles with handle->tenant().
+ */
+Result<FrontDoorHandle>
+makeFrontDoor(const serve::FrontDoorOptions &options = {});
+
+/**
+ * Lower a LUTBoost-converted model (freezing unfrozen LUT layers in
+ * place, exactly like makeEngine) and publish it into `door`'s registry
+ * under `name`, returning the new version. Re-publishing an existing
+ * name is the zero-drain hot-swap: in-flight and queued requests finish
+ * on the version they resolved, new submissions ride this one.
+ * `options` supplies the lowering plan, input shape, and the ModelSlo
+ * (options.engine is ignored — the front door owns the pool).
+ */
+Result<uint64_t> publishModel(const FrontDoorHandle &door,
+                              const std::string &name,
+                              const nn::LayerPtr &model,
+                              const ServeOptions &options = {});
+
+/**
+ * Publish a load-testing trace model (same synthesis as
+ * makeTraceEngine: one frozen LUT stage per traced GEMM, deterministic
+ * in `seed`) into `door`'s registry under `name`.
+ */
+Result<uint64_t>
+publishTraceModel(const FrontDoorHandle &door, const std::string &name,
+                  const std::vector<sim::GemmShape> &gemms,
+                  const vq::PQConfig &pq, const ServeOptions &options = {},
+                  vq::LutPrecision precision = {}, uint64_t seed = 91);
 
 } // namespace lutdla::api
 

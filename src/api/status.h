@@ -28,7 +28,10 @@ enum class StatusCode
     FailedPrecondition,  ///< a required stage input was never supplied
     NotFound,            ///< named workload/file does not exist
     IoError,             ///< filesystem read/write failed
-    Internal             ///< invariant violation inside the pipeline
+    Internal,            ///< invariant violation inside the pipeline
+    DeadlineExceeded,    ///< request deadline passed before it was served
+    ResourceExhausted,   ///< bounded queue full; request shed under overload
+    Cancelled            ///< caller cancelled the request before execution
 };
 
 /** Printable name of a status code. */
@@ -42,6 +45,9 @@ statusCodeName(StatusCode code)
       case StatusCode::NotFound:           return "NOT_FOUND";
       case StatusCode::IoError:            return "IO_ERROR";
       case StatusCode::Internal:           return "INTERNAL";
+      case StatusCode::DeadlineExceeded:   return "DEADLINE_EXCEEDED";
+      case StatusCode::ResourceExhausted:  return "RESOURCE_EXHAUSTED";
+      case StatusCode::Cancelled:          return "CANCELLED";
     }
     return "UNKNOWN";
 }
@@ -80,6 +86,21 @@ class Status
     internal(std::string msg)
     {
         return {StatusCode::Internal, std::move(msg)};
+    }
+    static Status
+    deadlineExceeded(std::string msg)
+    {
+        return {StatusCode::DeadlineExceeded, std::move(msg)};
+    }
+    static Status
+    resourceExhausted(std::string msg)
+    {
+        return {StatusCode::ResourceExhausted, std::move(msg)};
+    }
+    static Status
+    cancelled(std::string msg)
+    {
+        return {StatusCode::Cancelled, std::move(msg)};
     }
 
     bool ok() const { return code_ == StatusCode::Ok; }

@@ -98,6 +98,12 @@ InferenceEngine::failRemaining()
 std::future<api::Result<Tensor>>
 InferenceEngine::submitAsync(Tensor rows)
 {
+    return submitAsync(std::move(rows), AdmitOptions{});
+}
+
+std::future<api::Result<Tensor>>
+InferenceEngine::submitAsync(Tensor rows, AdmitOptions admit)
+{
     std::promise<api::Result<Tensor>> promise;
     std::future<api::Result<Tensor>> future = promise.get_future();
 
@@ -146,25 +152,52 @@ InferenceEngine::submitAsync(Tensor rows)
         }
     }
     // With no workers running (autostart=false, before start()), a full
-    // queue can never drain, so blocking for space would deadlock the
-    // submitter forever — fail fast instead.
-    const bool pushed = workers_running ? queue_.push(std::move(request))
-                                        : queue_.tryPush(std::move(request));
+    // queue can never drain, so any wait for space would deadlock the
+    // submitter — always fail fast in that state. Otherwise the admit
+    // policy picks the wait: block forever (classic backpressure),
+    // never (trySubmit), or a bounded wait.
+    bool pushed;
+    if (!workers_running || admit.max_wait_us == 0)
+        pushed = queue_.tryPush(std::move(request));
+    else if (admit.max_wait_us < 0)
+        pushed = queue_.push(std::move(request));
+    else
+        pushed = queue_.pushFor(
+            std::move(request),
+            std::chrono::microseconds(admit.max_wait_us));
     if (!pushed) {
         // The request (and its promise) was dropped by the queue; answer
         // through a fresh pair.
+        const bool overloaded = workers_running && !queue_.closed();
         std::promise<api::Result<Tensor>> failed_promise;
         future = failed_promise.get_future();
-        failed_promise.set_value(api::Status::failedPrecondition(
-            workers_running
-                ? "engine shut down while the request was waiting for "
-                  "queue space"
-                : "request queue is full and no workers are running; "
-                  "call start() or raise queue_capacity"));
+        failed_promise.set_value(
+            overloaded
+                ? api::Status::resourceExhausted(
+                      admit.max_wait_us == 0
+                          ? "request queue is full; retry, shed, or "
+                            "raise queue_capacity"
+                          : "request queue stayed full for " +
+                                std::to_string(admit.max_wait_us) +
+                                " us; overloaded — retry, shed, or "
+                                "raise queue_capacity")
+                : api::Status::failedPrecondition(
+                      workers_running
+                          ? "engine shut down while the request was "
+                            "waiting for queue space"
+                          : "request queue is full and no workers are "
+                            "running; call start() or raise "
+                            "queue_capacity"));
         std::unique_lock<std::mutex> lock(stats_mu_);
         rejected_++;
     }
     return future;
+}
+
+api::Result<Tensor>
+InferenceEngine::trySubmit(const Tensor &rows)
+{
+    return submitAsync(rows, AdmitOptions::nonBlocking()).get();
 }
 
 api::Result<Tensor>
@@ -250,6 +283,7 @@ InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
                           StageScratch &scratch, int slot)
 {
     const int64_t in_width = model_.inputWidth();
+    const auto exec_start = Clock::now();  // queue wait ends here
     Tensor packed(Shape{rows, in_width});
     int64_t offset = 0;
     for (const Request &request : batch) {
@@ -283,11 +317,21 @@ InferenceEngine::runBatch(std::vector<Request> &batch, int64_t rows,
         batches_++;
         batch_fill_[static_cast<size_t>(
             std::min<int64_t>(rows, options_.max_batch))]++;
-        for (const Request &request : batch)
-            latency_.record(static_cast<uint64_t>(
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    done - request.enqueued)
+        // Queue wait (submit -> batch execution start) and service time
+        // (execution start -> done) are recorded separately so overload
+        // is visible: saturation blows up queue wait, not service time.
+        const auto micros = [](std::chrono::steady_clock::duration d) {
+            return static_cast<uint64_t>(std::max<int64_t>(
+                0,
+                std::chrono::duration_cast<std::chrono::microseconds>(d)
                     .count()));
+        };
+        const uint64_t service_us = micros(done - exec_start);
+        for (const Request &request : batch) {
+            latency_.record(micros(done - request.enqueued));
+            queue_wait_.record(micros(exec_start - request.enqueued));
+            service_.record(service_us);
+        }
         last_done_ = done;
     }
 
@@ -329,6 +373,12 @@ InferenceEngine::stats() const
     out.mean_latency_us = latency_.meanMicros();
     out.p50_latency_us = latency_.percentileMicros(50.0);
     out.p99_latency_us = latency_.percentileMicros(99.0);
+    out.mean_queue_us = queue_wait_.meanMicros();
+    out.p50_queue_us = queue_wait_.percentileMicros(50.0);
+    out.p99_queue_us = queue_wait_.percentileMicros(99.0);
+    out.mean_service_us = service_.meanMicros();
+    out.p50_service_us = service_.percentileMicros(50.0);
+    out.p99_service_us = service_.percentileMicros(99.0);
     if (saw_first_submit_ && batches_ > 0)
         out.wall_seconds =
             std::chrono::duration<double>(last_done_ - first_submit_)

@@ -29,10 +29,19 @@
  * unsharded sweep because shards cover disjoint rows.
  *
  * Request lifecycle: submitAsync() validates, stamps, and enqueues the
- * request (blocking for backpressure when the queue is full) and returns a
- * future; a worker later fulfills the promise with the [rows, outputWidth]
- * result or a typed api::Status. submit() is the blocking convenience
- * wrapper. Every error is data — the engine never panics on a bad request.
+ * request and returns a future; a worker later fulfills the promise with
+ * the [rows, outputWidth] result or a typed api::Status. submit() is the
+ * blocking convenience wrapper. Every error is data — the engine never
+ * panics on a bad request.
+ *
+ * Admission control: the classic submitAsync() blocks for backpressure
+ * when the bounded queue is full — correct for trusted in-process
+ * producers, wrong under overload from many tenants (the producer hangs
+ * unboundedly). AdmitOptions bounds that wait: max_wait_us = 0 is the
+ * non-blocking trySubmit path, > 0 waits at most that long; either way a
+ * full queue answers with a typed ResourceExhausted instead of blocking.
+ * The multi-tenant FrontDoor (serve/frontdoor.h) builds its never-block
+ * priority shedding on the same principle.
  *
  * Shutdown contract: shutdown() refuses new submissions, lets workers
  * drain everything already queued, then joins them; every accepted request
@@ -72,6 +81,31 @@ struct EngineOptions
      * blocking (nothing could ever drain the queue).
      */
     bool autostart = true;
+};
+
+/**
+ * How long a submission may wait for queue space before it is refused
+ * with ResourceExhausted: -1 blocks indefinitely (the classic
+ * backpressure behavior), 0 never waits (trySubmit), > 0 waits at most
+ * that many microseconds.
+ */
+struct AdmitOptions
+{
+    int64_t max_wait_us = -1;
+
+    /** Non-blocking admission (fail fast when the queue is full). */
+    static AdmitOptions
+    nonBlocking()
+    {
+        return {0};
+    }
+
+    /** Wait at most `us` microseconds for queue space. */
+    static AdmitOptions
+    boundedWait(int64_t us)
+    {
+        return {us};
+    }
 };
 
 /** Batched multi-threaded inference engine over a frozen LUT model.
@@ -116,6 +150,22 @@ class InferenceEngine : private IntraBatchPool
 
     /** Fire-and-wait-later variant of submit(). */
     std::future<api::Result<Tensor>> submitAsync(Tensor rows);
+
+    /**
+     * submitAsync() with explicit admission control: when the queue is
+     * full, wait at most admit.max_wait_us for space (0 = don't wait)
+     * and answer ResourceExhausted on timeout instead of blocking the
+     * submitter unboundedly.
+     */
+    std::future<api::Result<Tensor>> submitAsync(Tensor rows,
+                                                 AdmitOptions admit);
+
+    /**
+     * Non-blocking submit: serve the request if the queue has space
+     * right now, otherwise return ResourceExhausted immediately (still
+     * blocks for the RESULT like submit(); only admission never waits).
+     */
+    api::Result<Tensor> trySubmit(const Tensor &rows);
 
     /** Consistent snapshot of the lifetime serving statistics. */
     EngineStats stats() const;
@@ -166,6 +216,8 @@ class InferenceEngine : private IntraBatchPool
     uint64_t gather_ns_ = 0;
     std::vector<uint8_t> worker_ran_batch_;  ///< per-slot participation
     LatencyHistogram latency_;
+    LatencyHistogram queue_wait_;  ///< submit -> batch execution start
+    LatencyHistogram service_;     ///< batch execution start -> done
     bool saw_first_submit_ = false;
     std::chrono::steady_clock::time_point first_submit_;
     std::chrono::steady_clock::time_point last_done_;

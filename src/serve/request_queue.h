@@ -89,6 +89,26 @@ class WorkQueue
     }
 
     /**
+     * Enqueue, waiting at most `timeout` for space — the bounded-wait
+     * admission path between push() (block forever) and tryPush()
+     * (never wait). @return false on timeout or close (item dropped).
+     */
+    bool
+    pushFor(T item, std::chrono::steady_clock::duration timeout)
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!not_full_.wait_for(lock, timeout, [&] {
+                return closed_ || items_.size() < capacity_;
+            }))
+            return false;
+        if (closed_)
+            return false;
+        items_.push_back(std::move(item));
+        work_.notify_one();
+        return true;
+    }
+
+    /**
      * Enqueue only if space is available right now (never blocks).
      * @return false when full or closed (item is dropped).
      */

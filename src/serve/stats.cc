@@ -126,11 +126,77 @@ EngineStats::summary() const
                   mean_latency_us, p50_latency_us, p99_latency_us);
     out += line;
     std::snprintf(line, sizeof(line),
+                  "  queue us: mean %.1f, p50 ~%.1f, p99 ~%.1f | "
+                  "service us: mean %.1f, p50 ~%.1f, p99 ~%.1f\n",
+                  mean_queue_us, p50_queue_us, p99_queue_us,
+                  mean_service_us, p50_service_us, p99_service_us);
+    out += line;
+    std::snprintf(line, sizeof(line),
                   "lut phases: encode %.4f s, gather %.4f s (%.0f%% "
                   "encode; per-worker avg over %d active)\n",
                   encode_seconds, gather_seconds,
                   encodeFraction() * 100.0, active_workers);
     out += line;
+    return out;
+}
+
+double
+LaneStats::sloAttainment() const
+{
+    if (with_deadline == 0)
+        return 1.0;
+    return static_cast<double>(deadline_met) /
+           static_cast<double>(with_deadline);
+}
+
+namespace {
+
+std::string
+laneLine(const std::string &label, const LaneStats &lane)
+{
+    char line[320];
+    std::snprintf(
+        line, sizeof(line),
+        "%-16s accepted %llu, served %llu (%llu rows), shed %llu "
+        "(cap %llu / ddl %llu / cancel %llu), rejected %llu, "
+        "p50 ~%.0f us, p99 ~%.0f us (queue ~%.0f, service ~%.0f), "
+        "slo %.3f\n",
+        label.c_str(), static_cast<unsigned long long>(lane.accepted),
+        static_cast<unsigned long long>(lane.served),
+        static_cast<unsigned long long>(lane.rows),
+        static_cast<unsigned long long>(lane.shed()),
+        static_cast<unsigned long long>(lane.shed_capacity),
+        static_cast<unsigned long long>(lane.shed_deadline),
+        static_cast<unsigned long long>(lane.cancelled),
+        static_cast<unsigned long long>(lane.rejected),
+        lane.p50_latency_us, lane.p99_latency_us, lane.p99_queue_us,
+        lane.p99_service_us, lane.sloAttainment());
+    return line;
+}
+
+} // namespace
+
+std::string
+FrontDoorStats::summary() const
+{
+    std::string out;
+    char line[160];
+    std::snprintf(line, sizeof(line),
+                  "front door: %llu batches across %zu models, "
+                  "%zu tenants\n",
+                  static_cast<unsigned long long>(batches), models.size(),
+                  tenants.size());
+    out += line;
+    out += laneLine("total", total);
+    for (const auto &entry : models) {
+        std::string label = "model " + entry.first;
+        auto version = last_version.find(entry.first);
+        if (version != last_version.end())
+            label += " @v" + std::to_string(version->second);
+        out += laneLine(label, entry.second);
+    }
+    for (const auto &entry : tenants)
+        out += laneLine("tenant " + entry.first, entry.second);
     return out;
 }
 

@@ -14,6 +14,7 @@
  */
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -83,6 +84,22 @@ struct EngineStats
     /** Approximate 99th-percentile request latency in microseconds. */
     double p99_latency_us = 0.0;
 
+    /**
+     * Queue-wait time (submit -> the request's batch starts executing),
+     * recorded separately from service time so overload is visible: a
+     * saturated engine shows queue wait exploding while service time
+     * stays flat. queue + service == latency per request (up to
+     * microsecond rounding); the percentiles below are each taken over
+     * their own histogram, so they do not add exactly.
+     */
+    double mean_queue_us = 0.0;
+    double p50_queue_us = 0.0;   ///< approximate median queue wait
+    double p99_queue_us = 0.0;   ///< approximate p99 queue wait
+    /** Service time (batch execution start -> result ready). */
+    double mean_service_us = 0.0;
+    double p50_service_us = 0.0; ///< approximate median service time
+    double p99_service_us = 0.0; ///< approximate p99 service time
+
     /** Workers that executed at least one batch (shard-stealing helpers
      * do not count; their time shows up in the initiator's wall time). */
     int active_workers = 0;
@@ -127,6 +144,76 @@ struct EngineStats
     double encodeFraction() const;
 
     /** Multi-line human-readable digest. */
+    std::string summary() const;
+};
+
+/**
+ * One stats bucket of the multi-tenant front door — the same shape is
+ * kept per model, per tenant, and for the totals, so overload shows up
+ * wherever it happens: `shed_capacity` counts requests dropped because
+ * the bounded queue was full (either rejected at admission or evicted by
+ * higher-priority traffic), `shed_deadline` counts requests whose
+ * deadline expired before execution (failed with DeadlineExceeded
+ * WITHOUT running), `cancelled` counts caller-cancelled requests. All
+ * sheds are answered with a typed api::Status — nothing is silently
+ * dropped. Latency percentiles follow EngineStats semantics
+ * (log-linear histogram, ~6% bucket error) and split queue wait from
+ * service time.
+ */
+struct LaneStats
+{
+    uint64_t accepted = 0;       ///< admitted into the queue
+    uint64_t served = 0;         ///< completed with an OK result
+    uint64_t rows = 0;           ///< rows across served requests
+    uint64_t rejected = 0;       ///< refused at submit (bad args, ...)
+    uint64_t shed_capacity = 0;  ///< dropped: queue full / evicted
+    uint64_t shed_deadline = 0;  ///< dropped: deadline expired unserved
+    uint64_t cancelled = 0;      ///< dropped: cancelled before execution
+
+    /** Served requests that carried a deadline. */
+    uint64_t with_deadline = 0;
+    /** Of those, how many completed before their deadline. */
+    uint64_t deadline_met = 0;
+
+    double mean_latency_us = 0.0;
+    double p50_latency_us = 0.0;
+    double p99_latency_us = 0.0;
+    double mean_queue_us = 0.0;
+    double p50_queue_us = 0.0;
+    double p99_queue_us = 0.0;
+    double mean_service_us = 0.0;
+    double p50_service_us = 0.0;
+    double p99_service_us = 0.0;
+
+    /** Fraction of deadline-carrying served requests that met it
+     * (1.0 when none carried a deadline — vacuous SLO attainment). */
+    double sloAttainment() const;
+
+    /** Requests dropped for any reason (capacity, deadline, cancel). */
+    uint64_t shed() const
+    {
+        return shed_capacity + shed_deadline + cancelled;
+    }
+};
+
+/**
+ * Snapshot of a FrontDoor's lifetime counters: totals plus one LaneStats
+ * bucket per model and per tenant (std::map so iteration — and the
+ * summary() dump — is deterministic). `last_version` records the model
+ * version most recently served, making hot-swaps observable from stats.
+ */
+struct FrontDoorStats
+{
+    uint64_t batches = 0;  ///< executed batches across all models
+
+    LaneStats total;                         ///< all traffic combined
+    std::map<std::string, LaneStats> models; ///< per published model
+    std::map<std::string, LaneStats> tenants;///< per tenant bucket
+
+    /** Model version most recently served, per model. */
+    std::map<std::string, uint64_t> last_version;
+
+    /** Multi-line human-readable digest (deterministic ordering). */
     std::string summary() const;
 };
 

@@ -1003,5 +1003,130 @@ TEST(PlanSummary, RecordsIsaKernelsAndShardGranularity)
     EXPECT_NE(summary.find(p.gather_kernel), std::string::npos);
 }
 
+// ---------------------------------------------------------------------------
+// Admission control: non-blocking / bounded-wait submission paths.
+
+TEST(WorkQueue, TryPushAndPushForRespectCapacity)
+{
+    serve::WorkQueue<int> queue(1);
+    EXPECT_TRUE(queue.tryPush(1));
+    EXPECT_FALSE(queue.tryPush(2));  // full, no wait
+    // Bounded wait on a full queue times out instead of blocking forever.
+    EXPECT_FALSE(queue.pushFor(2, std::chrono::milliseconds(5)));
+
+    std::optional<int> out = queue.tryPop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, 1);
+    // With space available both paths admit immediately.
+    EXPECT_TRUE(queue.pushFor(3, std::chrono::milliseconds(0)));
+    out = queue.tryPop();
+    ASSERT_TRUE(out.has_value());
+    EXPECT_EQ(*out, 3);
+
+    queue.close();
+    EXPECT_FALSE(queue.tryPush(4));
+    EXPECT_FALSE(queue.pushFor(4, std::chrono::milliseconds(5)));
+}
+
+TEST(InferenceEngine, TrySubmitShedsTypedInsteadOfBlocking)
+{
+    // Flood a 1-worker engine with a tiny admission queue through the
+    // non-blocking path: every submission must resolve immediately as
+    // either a served result or a typed ResourceExhausted — never a
+    // block, never any other status.
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.queue_capacity = 1;
+    options.max_batch = 1;
+    options.max_wait_us = 0;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+
+    const Tensor rows = randomRows(1, 16, 5);
+    const Tensor reference = fx.model->forward(rows, /*train=*/false);
+    int served = 0, shed = 0;
+    std::vector<std::future<api::Result<Tensor>>> futures;
+    for (int i = 0; i < 200; ++i)
+        futures.push_back(engine.value()->submitAsync(
+            rows, serve::AdmitOptions::nonBlocking()));
+    for (auto &future : futures) {
+        auto result = future.get();
+        if (result.ok()) {
+            served++;
+            EXPECT_TRUE(result->equals(reference));
+        } else {
+            ASSERT_EQ(result.status().code(),
+                      api::StatusCode::ResourceExhausted)
+                << result.status().toString();
+            shed++;
+        }
+    }
+    EXPECT_EQ(served + shed, 200);
+    EXPECT_GT(served, 0);
+    engine.value()->shutdown();
+    EXPECT_EQ(engine.value()->stats().rejected,
+              static_cast<uint64_t>(shed));
+}
+
+TEST(InferenceEngine, BoundedWaitAdmissionTimesOutTyped)
+{
+    // Workers not running + full queue: the bounded wait must expire with
+    // a typed failure instead of hanging (nothing can drain the queue).
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.queue_capacity = 1;
+    options.max_batch = 4;
+    options.autostart = false;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+
+    auto queued = engine.value()->submitAsync(randomRows(1, 16, 1));
+    auto overflow = engine.value()->submitAsync(
+        randomRows(1, 16, 2), serve::AdmitOptions::boundedWait(2000));
+    auto refused = overflow.get();  // must resolve within ~2ms
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(),
+              api::StatusCode::FailedPrecondition);
+
+    // Once workers run, the bounded wait succeeds when space frees up.
+    engine.value()->start();
+    EXPECT_TRUE(queued.get().ok());
+    auto admitted = engine.value()->submitAsync(
+        randomRows(1, 16, 3), serve::AdmitOptions::boundedWait(1'000'000));
+    EXPECT_TRUE(admitted.get().ok());
+    engine.value()->shutdown();
+}
+
+TEST(InferenceEngine, StatsSplitQueueWaitFromServiceTime)
+{
+    FrozenFixture fx = makeFrozenMlp();
+    serve::EngineOptions options;
+    options.threads = 1;
+    options.max_batch = 8;
+    auto engine = api::makeEngine(fx.model, options);
+    ASSERT_TRUE(engine.ok());
+
+    for (int i = 0; i < 32; ++i) {
+        auto result =
+            engine.value()->submit(randomRows(2, 16, 10 + uint64_t(i)));
+        ASSERT_TRUE(result.ok());
+    }
+    engine.value()->shutdown();
+
+    const serve::EngineStats stats = engine.value()->stats();
+    EXPECT_GT(stats.p50_service_us, 0.0);
+    EXPECT_GE(stats.p99_service_us, stats.p50_service_us);
+    EXPECT_GE(stats.p99_queue_us, stats.p50_queue_us);
+    // The two phases partition end-to-end latency (each component is
+    // clock-sampled independently, so allow per-request rounding slack).
+    EXPECT_NEAR(stats.mean_queue_us + stats.mean_service_us,
+                stats.mean_latency_us, 4.0);
+    const std::string summary = stats.summary();
+    EXPECT_NE(summary.find("queue"), std::string::npos);
+    EXPECT_NE(summary.find("service"), std::string::npos);
+}
+
 } // namespace
 } // namespace lutdla
