@@ -47,6 +47,8 @@
 
 #include "bench_common.h"
 #include "lutboost/converter.h"
+#include "nn/attention.h"
+#include "nn/sequential.h"
 #include "serve/frozen_model.h"
 #include "util/cpu_features.h"
 #include "util/rng.h"
@@ -128,10 +130,14 @@ singleRowRate(const Tensor &rows, const Fn &forward)
            std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/** Serve `rows` single-row requests through one engine configuration. */
+/**
+ * Serve `rows` through one engine configuration, `group` rows per
+ * request (1 = single-row requests; attention models must submit whole
+ * seq_len-row sequences, so their sections pass group = seq_len).
+ */
 serve::EngineStats
 runConfig(const serve::FrozenModel &model, const Tensor &rows, int threads,
-          int64_t max_batch)
+          int64_t max_batch, int64_t group = 1)
 {
     serve::EngineOptions options;
     options.threads = threads;
@@ -145,12 +151,12 @@ runConfig(const serve::FrozenModel &model, const Tensor &rows, int threads,
 
     const int64_t n = rows.dim(0), width = rows.dim(1);
     std::vector<std::future<api::Result<Tensor>>> futures;
-    futures.reserve(static_cast<size_t>(n));
-    for (int64_t r = 0; r < n; ++r) {
-        Tensor row(Shape{1, width});
-        std::copy(rows.data() + r * width, rows.data() + (r + 1) * width,
-                  row.data());
-        futures.push_back(engine.value()->submitAsync(std::move(row)));
+    futures.reserve(static_cast<size_t>(n / group));
+    for (int64_t r = 0; r + group <= n; r += group) {
+        Tensor chunk(Shape{group, width});
+        std::copy(rows.data() + r * width,
+                  rows.data() + (r + group) * width, chunk.data());
+        futures.push_back(engine.value()->submitAsync(std::move(chunk)));
     }
     for (auto &future : futures) {
         auto result = future.get();
@@ -472,6 +478,82 @@ main(int argc, char **argv)
                "run batched im2col into per-worker scratch");
     ct.print();
     std::printf("\nCNN serving best: %.1f rows/s\n", cnn_best);
+
+    // ---- Transformer serving: the skip-edge stage graph ----------------
+    // A BERT-style pre-LN encoder block (embedding LutLinear + attention
+    // with LUT-converted Q/K/V/output projections + LUT FFN), served as
+    // whole [B*seq_len, d_model] sequences under both table precisions.
+    // This tracks the attention projections + sdpa + residual skip-edge
+    // path end to end.
+    const int64_t kSeqLen = 64, kHeads = 4, kDModel = 64, kDff = 128;
+    lutboost::ConvertOptions tf_opts;
+    tf_opts.pq.v = 4;
+    tf_opts.pq.c = 16;
+    tf_opts.min_in_features = 0;
+    auto tf = std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+        std::make_shared<lutboost::LutLinear>(kDModel, kDModel, tf_opts.pq,
+                                              /*bias=*/true, 131),
+        std::make_shared<nn::TransformerBlock>(kSeqLen, kDModel, kHeads,
+                                               kDff, 132)});
+    lutboost::replaceOperators(tf, tf_opts);
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(tf))
+        layer->refreshInferenceLut();
+    auto tf_model = serve::FrozenModel::fromModel(tf);
+    if (!tf_model.ok())
+        fatal("transformer lowering failed: ",
+              tf_model.status().toString());
+    auto tf_int8 = serve::FrozenModel::fromModel(tf, {}, int8_plan);
+    if (!tf_int8.ok())
+        fatal("transformer int8 plan failed: ",
+              tf_int8.status().toString());
+    std::printf("\ntransformer block (h%lld, t%lld, d%lld): %s\n",
+                static_cast<long long>(kHeads),
+                static_cast<long long>(kSeqLen),
+                static_cast<long long>(kDModel),
+                tf_model->describe().c_str());
+
+    // Whole sequences only: round the row budget down to full sequences.
+    const int64_t tf_sequences = std::max<int64_t>(1, kRows / kSeqLen);
+    const Tensor tf_rows =
+        randomRows(tf_sequences * kSeqLen, tf_model->inputWidth(), 29);
+    Table tt("transformer serving throughput (one request = one " +
+                 std::to_string(kSeqLen) + "-row sequence)",
+             {"threads", "max_batch", "backend", "rows/s", "avg fill",
+              "p50 us", "p99 us", "enc %"});
+    double tf_best_float = 0.0, tf_best_int8 = 0.0;
+    for (int threads : {1, 2}) {
+        for (int64_t max_batch : {kSeqLen, kSeqLen * 4}) {
+            for (const bool int8 : {false, true}) {
+                const serve::FrozenModel &m = int8 ? *tf_int8 : *tf_model;
+                const serve::EngineStats stats = runConfig(
+                    m, tf_rows, threads, max_batch, kSeqLen);
+                const double rate = stats.rowsPerSec();
+                (int8 ? tf_best_int8 : tf_best_float) =
+                    std::max(int8 ? tf_best_int8 : tf_best_float, rate);
+                tt.addRow({std::to_string(threads),
+                           std::to_string(max_batch),
+                           int8 ? "int8" : "float32", Table::fmt(rate, 1),
+                           Table::fmt(stats.avgBatchFill(), 1),
+                           Table::fmt(stats.p50_latency_us, 0),
+                           Table::fmt(stats.p99_latency_us, 0),
+                           Table::fmt(stats.encodeFraction() * 100.0, 0)});
+                records.push_back(
+                    {"transformer", int8 ? "int8" : "float32", threads,
+                     max_batch, rate, stats.p50_latency_us,
+                     stats.p99_latency_us, stats.p50_queue_us,
+                     stats.p99_queue_us, stats.p50_service_us,
+                     stats.p99_service_us, stats.avgBatchFill(),
+                     m.tableBytes(), stats.encode_seconds,
+                     stats.gather_seconds, stats.active_workers});
+            }
+        }
+    }
+    tt.addNote("four projection LUT-GEMMs + shared-softmax sdpa per "
+               "sequence; skip edges ride per-worker scratch slots");
+    tt.print();
+    std::printf("\ntransformer serving best: float32 %.1f rows/s, int8 "
+                "%.1f rows/s\n",
+                tf_best_float, tf_best_int8);
 
     if (json_path)
         writeJson(json_path, pq, kRows, reference_rate, arena_rate,

@@ -19,7 +19,11 @@
  *      pass — which stages folded into arena epilogues, each LUT stage's
  *      packed code width, and the table precision — for both the default
  *      bit-exact plan and the quantized INT8 plan.
- *   6. Multi-tenant front door: publish two models with different SLOs
+ *   6. Transformer serving: lower a BERT-style pre-LN encoder block
+ *      (attention + FFN projections LUT-converted) onto the skip-edge
+ *      stage graph and serve one whole 64-row sequence, verifying
+ *      bit-exactness against eval-mode forward().
+ *   7. Multi-tenant front door: publish two models with different SLOs
  *      into one serve::FrontDoor, demo typed overload shedding and
  *      priority eviction on a tiny queue, hot-swap one model to a new
  *      version with zero drain, and read per-tenant stats.
@@ -36,7 +40,10 @@
 
 #include "api/lutdla.h"
 #include "lutboost/converter.h"
+#include "lutboost/lut_linear.h"
+#include "nn/attention.h"
 #include "nn/models.h"
+#include "nn/sequential.h"
 #include "util/cpu_features.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -260,7 +267,63 @@ main(int argc, char **)
                 static_cast<double>(
                     Tensor::maxAbsDiff(*int8_result, *cnn_result)));
 
-    // 6. Multi-tenant front door: two models with different SLOs on one
+    // 6. Transformer serving: a BERT-style pre-LN encoder block on the
+    //    skip-edge stage graph. The attention Q/K/V/output projections
+    //    and both FFN linears are LUT operators; softmax and layernorm
+    //    run exact, mirroring the paper's hardware split. Attention
+    //    models admit whole sequences only, so the request is one
+    //    [64, d_model] sequence.
+    const int64_t kSeqLen = 64, kHeads = 4, kTfDModel = 32, kTfDff = 64;
+    lutboost::ConvertOptions tf_opts;
+    tf_opts.pq.v = 4;
+    tf_opts.pq.c = 8;
+    tf_opts.min_in_features = 0;
+    auto tf = std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
+        std::make_shared<lutboost::LutLinear>(kTfDModel, kTfDModel,
+                                              tf_opts.pq, /*bias=*/true,
+                                              61),
+        std::make_shared<nn::TransformerBlock>(kSeqLen, kTfDModel, kHeads,
+                                               kTfDff, 62)});
+    lutboost::replaceOperators(tf, tf_opts);
+
+    serve::EngineOptions tf_engine_opts;
+    tf_engine_opts.threads = 2;
+    tf_engine_opts.max_batch = kSeqLen;
+    auto tf_engine = api::Pipeline::engine(tf, tf_engine_opts);
+    if (!tf_engine.ok()) {
+        std::fprintf(stderr, "transformer engine failed: %s\n",
+                     tf_engine.status().toString().c_str());
+        return 1;
+    }
+    std::printf("\ntransformer stage graph (h%lld, t%lld): %s\n",
+                static_cast<long long>(kHeads),
+                static_cast<long long>(kSeqLen),
+                tf_engine.value()->model().describe().c_str());
+    const Tensor seq_rows = randomRows(kSeqLen, kTfDModel, 63);
+    auto tf_result = tf_engine.value()->submit(seq_rows);
+    if (!tf_result.ok()) {
+        std::fprintf(stderr, "transformer request failed: %s\n",
+                     tf_result.status().toString().c_str());
+        return 1;
+    }
+    const Tensor tf_reference = tf->forward(seq_rows, /*train=*/false);
+    std::printf("served one %lld-row sequence (row group %lld) -> [%lld, "
+                "%lld], max |diff| vs eval forward = %g (must be 0)\n",
+                static_cast<long long>(kSeqLen),
+                static_cast<long long>(
+                    tf_engine.value()->model().rowGroup()),
+                static_cast<long long>(tf_result->dim(0)),
+                static_cast<long long>(tf_result->dim(1)),
+                static_cast<double>(
+                    Tensor::maxAbsDiff(*tf_result, tf_reference)));
+    if (!tf_result->equals(tf_reference)) {
+        std::fprintf(stderr,
+                     "BUG: transformer engine diverged from eval forward\n");
+        return 1;
+    }
+    tf_engine.value()->shutdown();
+
+    // 7. Multi-tenant front door: two models with different SLOs on one
     //    shared pool. autostart=false makes the scheduling deterministic:
     //    requests queue first, then start() drains them priority-first.
     serve::FrontDoorOptions door_opts;

@@ -15,7 +15,9 @@ fail=0
 # globbed set (the glob would just stop matching, and the gate would pass
 # while checking nothing).
 for required in src/serve/frontdoor.h src/serve/registry.h \
-                src/serve/engine.h src/serve/frozen_model.h; do
+                src/serve/engine.h src/serve/frozen_model.h \
+                src/serve/stage.h src/serve/stage_transformer.h \
+                src/serve/plan.h; do
     if [ ! -f "$required" ]; then
         echo "error: required public header $required is missing"
         fail=1

@@ -19,6 +19,10 @@ Gate semantics:
     the artifact). CI uses this; local same-machine runs can omit it.
   - Fresh runs may add configs (new sweep points); only configs present
     in BOTH files are compared. A missing `best` key fails loudly.
+  - Coverage is gated unconditionally (even across ISA levels): every
+    per-(section, backend) best present in the baseline must exist in
+    the fresh run. A bench build that silently drops a section (mlp /
+    cnn / transformer) fails the guard rather than passing vacuously.
 """
 
 import argparse
@@ -124,6 +128,14 @@ def main():
     for key in sorted(set(old_sb) & set(new_sb)):
         check(f"best[{key[0]}/{key[1]}]", old_sb[key], new_sb[key],
               gate=True)
+    # Coverage regression: a section the baseline measures must still be
+    # measured. This gates regardless of ISA — dropping a section is a
+    # bench-coverage bug, not a kernel-tier difference.
+    for key in sorted(set(old_sb) - set(new_sb)):
+        print(f"  [!] best[{key[0]}/{key[1]}] missing from fresh run")
+        failures.append(
+            f"coverage: baseline section best [{key[0]}/{key[1]}] is "
+            f"missing from the fresh run (section dropped from the bench)")
 
     print("matched configs (%s):" %
           ("gated" if args.per_config else "informational"))

@@ -1,5 +1,6 @@
 #include "nn/activations.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/logging.h"
@@ -78,6 +79,54 @@ GELU::backward(const Tensor &grad_out)
     Tensor g = grad_out;
     for (int64_t i = 0; i < g.numel(); ++i)
         g.at(i) *= geluGrad(cached_input_.at(i));
+    return g;
+}
+
+void
+softmaxForward(const float *x, int64_t rows, int64_t features, float *y)
+{
+    for (int64_t r = 0; r < rows; ++r) {
+        const float *xr = x + r * features;
+        float *yr = y + r * features;
+        float row_max = -1e30f;
+        for (int64_t j = 0; j < features; ++j)
+            row_max = std::max(row_max, xr[j]);
+        float denom = 0.0f;
+        for (int64_t j = 0; j < features; ++j) {
+            yr[j] = std::exp(xr[j] - row_max);
+            denom += yr[j];
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t j = 0; j < features; ++j)
+            yr[j] *= inv;
+    }
+}
+
+Tensor
+Softmax::forward(const Tensor &x, bool train)
+{
+    LUTDLA_CHECK(x.rank() == 2, "Softmax expects [N, C]");
+    Tensor y(x.shape());
+    softmaxForward(x.data(), x.dim(0), x.dim(1), y.data());
+    if (train)
+        probs_ = y;
+    return y;
+}
+
+Tensor
+Softmax::backward(const Tensor &grad_out)
+{
+    LUTDLA_CHECK(probs_.numel() == grad_out.numel(),
+                 "Softmax backward shape");
+    const int64_t N = probs_.dim(0), C = probs_.dim(1);
+    Tensor g(probs_.shape());
+    for (int64_t n = 0; n < N; ++n) {
+        float dot = 0.0f;
+        for (int64_t c = 0; c < C; ++c)
+            dot += grad_out.at(n, c) * probs_.at(n, c);
+        for (int64_t c = 0; c < C; ++c)
+            g.at(n, c) = probs_.at(n, c) * (grad_out.at(n, c) - dot);
+    }
     return g;
 }
 

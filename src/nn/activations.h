@@ -48,6 +48,18 @@ void maxPool2dForward(const float *x, int64_t n, int64_t c, int64_t h,
 void globalAvgPoolForward(const float *x, int64_t n, int64_t c, int64_t h,
                           int64_t w, float *y);
 
+/**
+ * Numerically stable row-wise softmax: y[r, :] = softmax(x[r, :]), with
+ * the row max subtracted before exponentiation so logits anywhere in
+ * float range (|x| ~ 1e4 and beyond) never overflow exp. Single
+ * definition shared by Softmax::forward, MultiHeadSelfAttention's
+ * probability rows, and the serving layer's SoftmaxStage — the engine's
+ * bit-exactness contract depends on all three running these exact float
+ * ops in this exact order. In-place operation (y == x) is allowed.
+ */
+void softmaxForward(const float *x, int64_t rows, int64_t features,
+                    float *y);
+
 /** max(0, x). */
 class ReLU : public Layer
 {
@@ -70,6 +82,18 @@ class GELU : public Layer
 
   private:
     Tensor cached_input_;
+};
+
+/** Row-wise softmax over [N, C] (stable; see softmaxForward). */
+class Softmax : public Layer
+{
+  public:
+    std::string name() const override { return "Softmax"; }
+    Tensor forward(const Tensor &x, bool train) override;
+    Tensor backward(const Tensor &grad_out) override;
+
+  private:
+    Tensor probs_;
 };
 
 /** Collapse NCHW to [N, C*H*W] for classifier heads. */

@@ -19,6 +19,24 @@
 
 namespace lutdla::nn {
 
+/**
+ * Scaled-dot-product attention kernel for ONE sequence, shared by
+ * MultiHeadSelfAttention::forward and the serving layer's AttentionStage
+ * (single definition, bit-exact). `q`/`k`/`v` are that sequence's
+ * [seq_len, d_model] projection planes; heads are column slices of width
+ * d_model/heads (no materialized transpose). Per head and query row it
+ * computes the scaled dots, runs the stable shared softmax
+ * (softmaxForward: row-max subtraction, so huge logits never overflow
+ * exp), and accumulates the probability-weighted value rows into `ctx`,
+ * which the CALLER must zero-initialize. `probs` is [heads, seq_len,
+ * seq_len] caller scratch (training wants it cached; serving reuses a
+ * per-worker plane).
+ */
+void attentionSequenceContext(const float *q, const float *k,
+                              const float *v, int64_t seq_len,
+                              int64_t heads, int64_t d_model, float *ctx,
+                              float *probs);
+
 /** Self-attention over [B*T, D] rows with a fixed sequence length. */
 class MultiHeadSelfAttention : public Layer
 {
@@ -36,6 +54,18 @@ class MultiHeadSelfAttention : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     void visitSlots(const SlotVisitor &visitor) override;
+
+    /** @name Serving-lowering accessors (read-only)
+     * @{
+     */
+    int64_t seqLen() const { return seq_len_; }
+    int64_t dModel() const { return d_model_; }
+    int64_t heads() const { return heads_; }
+    const LayerPtr &wq() const { return wq_; }
+    const LayerPtr &wk() const { return wk_; }
+    const LayerPtr &wv() const { return wv_; }
+    const LayerPtr &wo() const { return wo_; }
+    /** @} */
 
   private:
     int64_t seq_len_;
@@ -60,6 +90,15 @@ class TransformerBlock : public Layer
     Tensor forward(const Tensor &x, bool train) override;
     Tensor backward(const Tensor &grad_out) override;
     void visitSlots(const SlotVisitor &visitor) override;
+
+    /** @name Serving-lowering accessors (read-only)
+     * @{
+     */
+    const LayerPtr &ln1() const { return ln1_; }
+    const LayerPtr &attn() const { return attn_; }
+    const LayerPtr &ln2() const { return ln2_; }
+    const LayerPtr &ffn() const { return ffn_; }
+    /** @} */
 
   private:
     LayerPtr ln1_, attn_, ln2_, ffn_;

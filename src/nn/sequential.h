@@ -54,6 +54,13 @@ class ResidualBlock : public Layer
     Tensor backward(const Tensor &grad_out) override;
     void visitSlots(const SlotVisitor &visitor) override;
 
+    /** @name Serving-lowering accessors (read-only)
+     * @{
+     */
+    const LayerPtr &main() const { return main_; }
+    const LayerPtr &shortcut() const { return shortcut_; }
+    /** @} */
+
   private:
     LayerPtr main_;
     LayerPtr shortcut_;

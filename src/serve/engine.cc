@@ -32,6 +32,12 @@ InferenceEngine::create(FrozenModel model, const EngineOptions &options)
     if (model.numStages() == 0)
         return api::Status::failedPrecondition(
             "cannot serve an empty model");
+    if (options.max_batch < model.rowGroup())
+        return api::Status::invalidArgument(
+            "max_batch " + std::to_string(options.max_batch) +
+            " is smaller than the model's row group " +
+            std::to_string(model.rowGroup()) +
+            " (attention models batch whole sequences of seq_len rows)");
     return std::make_shared<InferenceEngine>(std::move(model), options);
 }
 
@@ -122,6 +128,12 @@ InferenceEngine::submitAsync(Tensor rows, AdmitOptions admit)
             "request of " + std::to_string(rows.dim(0)) +
             " rows exceeds max_batch " +
             std::to_string(options_.max_batch) + "; split it");
+    else if (rows.dim(0) % model_.rowGroup() != 0)
+        status = api::Status::invalidArgument(
+            "request of " + std::to_string(rows.dim(0)) +
+            " rows is not a multiple of the model's sequence length " +
+            std::to_string(model_.rowGroup()) +
+            "; attention models serve whole [B*seq_len, D] sequences");
     bool workers_running = false;
     {
         std::unique_lock<std::mutex> lock(lifecycle_mu_);

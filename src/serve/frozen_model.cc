@@ -7,8 +7,10 @@
 #include "lutboost/lut_conv.h"
 #include "lutboost/lut_linear.h"
 #include "nn/activations.h"
+#include "nn/attention.h"
 #include "nn/norm.h"
 #include "nn/sequential.h"
+#include "serve/stage_transformer.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "vq/quant.h"
@@ -61,20 +63,70 @@ struct LowerState
 };
 
 /**
- * The single lowering pass behind fromModel and validateServable: walk a
- * flattened layer chain tracking the activation shape and either emit a
- * stage per layer (emit != nullptr; requires frozen LUT operators) or
- * only validate the topology (emit == nullptr; side-effect free, works
- * pre-freeze). Every rejection names the first unlowerable layer.
+ * Lowering context threaded through the (recursive) walk: the activation
+ * shape state, whether any LUT operator was seen, the skip-edge nesting
+ * depth (which assigns scratch slots — sequential edges at one depth
+ * reuse a slot, nested edges stack), and the row group attention stages
+ * pin to their sequence length.
  */
-api::Status
-lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
-           std::vector<StagePtr> *emit)
+struct LowerCtx
 {
     LowerState st;
+    ServeInputShape input;
+    std::vector<StagePtr> *emit = nullptr;
     bool any_lut = false;
+    int64_t skip_depth = 0;
+    int64_t row_group = 1;
+};
 
-    for (nn::Layer *layer : layers) {
+/** Shape-state equality, used to validate residual-branch widths. */
+bool
+sameState(const LowerState &a, const LowerState &b)
+{
+    if (a.spatial != b.spatial)
+        return false;
+    return a.spatial ? (a.c == b.c && a.h == b.h && a.w == b.w)
+                     : a.flat == b.flat;
+}
+
+api::Status lowerLayer(nn::Layer *layer, LowerCtx &ctx);
+
+api::Status
+lowerLayers(const std::vector<nn::Layer *> &layers, LowerCtx &ctx)
+{
+    for (nn::Layer *layer : layers)
+        if (api::Status status = lowerLayer(layer, ctx); !status.ok())
+            return status;
+    return {};
+}
+
+/** Flatten-and-lower a sub-graph rooted at `child` (skip-edge trunks). */
+api::Status
+lowerChild(const nn::LayerPtr &child, LowerCtx &ctx)
+{
+    std::vector<nn::Layer *> layers;
+    flattenLayers(child, layers);
+    return lowerLayers(layers, ctx);
+}
+
+/**
+ * The per-layer dispatch behind fromModel and validateServable: track the
+ * activation shape and either emit stages (ctx.emit != nullptr; requires
+ * frozen LUT operators) or only validate the topology (ctx.emit ==
+ * nullptr; side-effect free, works pre-freeze). Every rejection names the
+ * first unlowerable layer. Skip-edge layers (TransformerBlock,
+ * identity-shortcut ResidualBlock) recurse into their trunk with a
+ * SkipSave/ResidualAdd pair around it.
+ */
+api::Status
+lowerLayer(nn::Layer *layer, LowerCtx &ctx)
+{
+    LowerState &st = ctx.st;
+    std::vector<StagePtr> *emit = ctx.emit;
+    const ServeInputShape input = ctx.input;
+    bool &any_lut = ctx.any_lut;
+
+    {
         if (auto *conv = dynamic_cast<lutboost::LutConv2d *>(layer)) {
             const ConvGeometry &geom = conv->geometry();
             if (!st.known()) {
@@ -116,7 +168,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
             st.h = ho;
             st.w = wo;
             any_lut = true;
-            continue;
+            return {};
         }
         if (auto *lut = dynamic_cast<lutboost::LutLinear *>(layer)) {
             if (st.spatial)
@@ -141,7 +193,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
             st.spatial = false;
             st.flat = lut->outFeatures();
             any_lut = true;
-            continue;
+            return {};
         }
         if (dynamic_cast<nn::ReLU *>(layer) != nullptr ||
             dynamic_cast<nn::GELU *>(layer) != nullptr) {
@@ -159,7 +211,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
                 emit->push_back(
                     std::make_shared<PointwiseStage>(op, width));
             }
-            continue;
+            return {};
         }
         if (dynamic_cast<nn::Flatten *>(layer) != nullptr) {
             if (st.spatial) {
@@ -171,7 +223,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
                 st.flat = width;
             }
             // Already-flat rows: rank-preserving identity, nothing to emit.
-            continue;
+            return {};
         }
         if (auto *pool = dynamic_cast<nn::MaxPool2d *>(layer)) {
             if (!st.spatial)
@@ -190,7 +242,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
                     st.c, st.h, st.w, k));
             st.h /= k;
             st.w /= k;
-            continue;
+            return {};
         }
         if (dynamic_cast<nn::GlobalAvgPool *>(layer) != nullptr) {
             if (!st.spatial)
@@ -202,7 +254,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
                     st.c, st.h, st.w));
             st.spatial = false;
             st.flat = st.c;
-            continue;
+            return {};
         }
         if (auto *bn = dynamic_cast<nn::BatchNorm2d *>(layer)) {
             if (!st.known()) {
@@ -229,7 +281,7 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
                     vec(bn->gamma()), vec(bn->beta()), bn->epsilon(),
                     st.h, st.w));
             }
-            continue;
+            return {};
         }
         if (auto *ln = dynamic_cast<nn::LayerNorm *>(layer)) {
             if (st.spatial || st.flat != ln->features())
@@ -244,18 +296,201 @@ lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
                 emit->push_back(std::make_shared<LayerNormStage>(
                     vec(ln->gamma()), vec(ln->beta()), ln->epsilon()));
             }
-            continue;
+            return {};
+        }
+        if (dynamic_cast<nn::Softmax *>(layer) != nullptr) {
+            if (!st.known())
+                return api::Status::invalidArgument(
+                    "Softmax at the model input has no inferable width; "
+                    "put a LUT operator first");
+            if (st.spatial)
+                return api::Status::invalidArgument(
+                    "Softmax requires flat rows but the previous stage "
+                    "emits " + st.str() +
+                    "; insert Flatten (or GlobalAvgPool) first");
+            if (emit)
+                emit->push_back(std::make_shared<SoftmaxStage>(st.flat));
+            return {};
+        }
+        if (auto *attn =
+                dynamic_cast<nn::MultiHeadSelfAttention *>(layer)) {
+            if (!st.known())
+                return api::Status::invalidArgument(
+                    "MultiHeadSelfAttention at the model input has no "
+                    "inferable width before the serving input shape is "
+                    "known; front it with a LUT operator (e.g. the "
+                    "embedding LutLinear) — ServeInputShape only "
+                    "describes spatial NCHW inputs");
+            if (st.spatial)
+                return api::Status::invalidArgument(
+                    "MultiHeadSelfAttention follows a spatial " +
+                    st.str() +
+                    " output; attention needs flat [B*T, D] rows "
+                    "(insert Flatten first)");
+            if (st.flat != attn->dModel())
+                return api::Status::invalidArgument(
+                    "stage widths do not chain at MultiHeadSelfAttention: "
+                    "previous layer emits " + std::to_string(st.flat) +
+                    ", attention expects d_model " +
+                    std::to_string(attn->dModel()));
+            if (ctx.row_group != 1 && ctx.row_group != attn->seqLen())
+                return api::Status::invalidArgument(
+                    "mismatched sequence lengths at "
+                    "MultiHeadSelfAttention: an earlier attention stage "
+                    "fixed the serving row group to " +
+                    std::to_string(ctx.row_group) +
+                    " rows per sequence, but this layer expects " +
+                    std::to_string(attn->seqLen()));
+            auto *wq = dynamic_cast<lutboost::LutLinear *>(attn->wq().get());
+            auto *wk = dynamic_cast<lutboost::LutLinear *>(attn->wk().get());
+            auto *wv = dynamic_cast<lutboost::LutLinear *>(attn->wv().get());
+            auto *wo = dynamic_cast<lutboost::LutLinear *>(attn->wo().get());
+            if (wq == nullptr || wk == nullptr || wv == nullptr ||
+                wo == nullptr)
+                return api::Status::invalidArgument(
+                    "MultiHeadSelfAttention projections are not "
+                    "LUT-converted; run the LUTBoost conversion over the "
+                    "Q/K/V/output Linear layers before serving");
+            if (emit) {
+                for (lutboost::LutLinear *proj : {wq, wk, wv, wo})
+                    if (!proj->inferenceLutReady())
+                        return api::Status::failedPrecondition(
+                            "MultiHeadSelfAttention projection is not "
+                            "frozen; call refreshInferenceLut() (or "
+                            "Pipeline deployPrecision()) before serving");
+                emit->push_back(std::make_shared<AttentionStage>(
+                    AttentionStage::Arenas{wq->inferenceArena(),
+                                           wk->inferenceArena(),
+                                           wv->inferenceArena(),
+                                           wo->inferenceArena()},
+                    attn->seqLen(), attn->heads()));
+            }
+            ctx.row_group = attn->seqLen();
+            st.flat = attn->dModel();
+            any_lut = true;
+            return {};
+        }
+        if (auto *block = dynamic_cast<nn::TransformerBlock *>(layer)) {
+            if (!st.known())
+                return api::Status::invalidArgument(
+                    "TransformerBlock at the model input has no inferable "
+                    "width; front it with a LUT operator (e.g. the "
+                    "embedding LutLinear)");
+            if (st.spatial)
+                return api::Status::invalidArgument(
+                    "TransformerBlock follows a spatial " + st.str() +
+                    " output; transformer blocks need flat [B*T, D] rows "
+                    "(insert Flatten first)");
+            const LowerState entry = st;
+            const int64_t width = st.flat;
+            // Skip edge 1: x + attn(ln1(x)).
+            int64_t slot = ctx.skip_depth++;
+            if (emit)
+                emit->push_back(
+                    std::make_shared<SkipSaveStage>(width, slot));
+            if (api::Status status = lowerChild(block->ln1(), ctx);
+                !status.ok())
+                return status;
+            if (api::Status status = lowerChild(block->attn(), ctx);
+                !status.ok())
+                return status;
+            if (!sameState(entry, st))
+                return api::Status::invalidArgument(
+                    "mismatched residual widths at TransformerBlock: the "
+                    "attention path emits " + st.str() +
+                    " but the skip edge carries " + entry.str());
+            if (emit)
+                emit->push_back(
+                    std::make_shared<ResidualAddStage>(width, slot));
+            --ctx.skip_depth;
+            // Skip edge 2: r1 + ffn(ln2(r1)).
+            slot = ctx.skip_depth++;
+            if (emit)
+                emit->push_back(
+                    std::make_shared<SkipSaveStage>(width, slot));
+            if (api::Status status = lowerChild(block->ln2(), ctx);
+                !status.ok())
+                return status;
+            if (api::Status status = lowerChild(block->ffn(), ctx);
+                !status.ok())
+                return status;
+            if (!sameState(entry, st))
+                return api::Status::invalidArgument(
+                    "mismatched residual widths at TransformerBlock: the "
+                    "feed-forward path emits " + st.str() +
+                    " but the skip edge carries " + entry.str());
+            if (emit)
+                emit->push_back(
+                    std::make_shared<ResidualAddStage>(width, slot));
+            --ctx.skip_depth;
+            return {};
+        }
+        if (auto *res = dynamic_cast<nn::ResidualBlock *>(layer)) {
+            if (res->shortcut() != nullptr)
+                return api::Status::invalidArgument(
+                    "unsupported layer 'ResidualBlock' for serving: only "
+                    "identity-shortcut residual blocks lower onto skip "
+                    "edges; a projection shortcut branch has no stage "
+                    "lowering (use fromTrace for other topologies)");
+            if (!st.known())
+                return api::Status::invalidArgument(
+                    "ResidualBlock at the model input has no inferable "
+                    "width; put a LUT operator first");
+            const LowerState entry = st;
+            const int64_t width =
+                st.spatial ? st.c * st.h * st.w : st.flat;
+            const int64_t slot = ctx.skip_depth++;
+            if (emit)
+                emit->push_back(
+                    std::make_shared<SkipSaveStage>(width, slot));
+            if (api::Status status = lowerChild(res->main(), ctx);
+                !status.ok())
+                return status;
+            if (!sameState(entry, st))
+                return api::Status::invalidArgument(
+                    "mismatched residual widths at ResidualBlock: the "
+                    "main path emits " + st.str() +
+                    " but the identity skip edge carries " + entry.str());
+            if (emit) {
+                emit->push_back(
+                    std::make_shared<ResidualAddStage>(width, slot));
+                // ResidualBlock applies ReLU after the add.
+                emit->push_back(std::make_shared<PointwiseStage>(
+                    PointwiseStage::Op::Relu, width));
+            }
+            --ctx.skip_depth;
+            return {};
         }
         return api::Status::invalidArgument(
             "unsupported layer '" + layer->name() +
             "' for serving; FrozenModel lowers Sequential chains of "
-            "LutLinear/LutConv2d/ReLU/GELU/MaxPool2d/GlobalAvgPool/"
-            "BatchNorm2d/LayerNorm/Flatten (use fromTrace for other "
-            "topologies)");
+            "LutLinear/LutConv2d/ReLU/GELU/Softmax/MaxPool2d/"
+            "GlobalAvgPool/BatchNorm2d/LayerNorm/Flatten plus "
+            "MultiHeadSelfAttention/TransformerBlock/identity-skip "
+            "ResidualBlock (use fromTrace for other topologies)");
     }
-    if (!any_lut)
+}
+
+/**
+ * The single lowering pass behind fromModel and validateServable: walk a
+ * flattened layer chain through lowerLayer, then enforce the whole-model
+ * invariants (at least one LUT operator) and surface the row group the
+ * chain pinned (sequence length for attention models, 1 otherwise).
+ */
+api::Status
+lowerChain(const std::vector<nn::Layer *> &layers, ServeInputShape input,
+           std::vector<StagePtr> *emit, int64_t *row_group = nullptr)
+{
+    LowerCtx ctx;
+    ctx.input = input;
+    ctx.emit = emit;
+    if (api::Status status = lowerLayers(layers, ctx); !status.ok())
+        return status;
+    if (!ctx.any_lut)
         return api::Status::failedPrecondition(
             "model has no LUT operators; convert it before serving");
+    if (row_group != nullptr)
+        *row_group = ctx.row_group;
     return {};
 }
 
@@ -304,7 +539,8 @@ FrozenModel::fromModel(const nn::LayerPtr &model, ServeInputShape input,
     std::vector<nn::Layer *> layers;
     flattenLayers(model, layers);
     FrozenModel frozen;
-    if (api::Status status = lowerChain(layers, input, &frozen.stages_);
+    if (api::Status status = lowerChain(layers, input, &frozen.stages_,
+                                        &frozen.row_group_);
         !status.ok())
         return status;
     planStages(frozen.stages_, plan, frozen.plan_);
@@ -431,7 +667,7 @@ FrozenModel::forwardBatch(const Tensor &x, StageScratch &scratch) const
                 cur = cur_mut;
                 in_ping = true;
             }
-            stage->forwardInPlace(cur_mut, rows);
+            stage->forwardInPlace(cur_mut, rows, scratch);
         } else {
             std::vector<float> &dst =
                 (cur_mut != nullptr && in_ping) ? scratch.pong

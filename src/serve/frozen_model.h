@@ -14,11 +14,17 @@
  *
  * Two builders:
  *  - fromModel(): lower a LUTBoost-converted, frozen nn model — Sequential
- *    chains of LutLinear / LutConv2d / ReLU / GELU / MaxPool2d /
- *    GlobalAvgPool / BatchNorm2d / LayerNorm / Flatten. MLP chains lower
- *    directly; CNN chains additionally need the input image shape
- *    (ServeInputShape) because serving works on flat rows. Bit-exact with
- *    eval-mode model->forward() under the default plan.
+ *    chains of LutLinear / LutConv2d / ReLU / GELU / Softmax / MaxPool2d /
+ *    GlobalAvgPool / BatchNorm2d / LayerNorm / Flatten, plus the
+ *    non-linear-dataflow layers that lower onto skip edges
+ *    (serve/stage_transformer.h): TransformerBlock and identity-shortcut
+ *    ResidualBlock become SkipSave/ResidualAdd pairs around their trunk
+ *    stages, and MultiHeadSelfAttention becomes an AttentionStage over
+ *    four projection arenas. MLP chains lower directly; CNN chains
+ *    additionally need the input image shape (ServeInputShape) because
+ *    serving works on flat rows; attention fixes rowGroup() to the
+ *    sequence length. Bit-exact with eval-mode model->forward() under the
+ *    default plan.
  *  - fromTrace(): synthesize a load-testing model from a workload's GEMM
  *    trace (randomized codebooks/weights, one arena stage per traced
  *    layer). Stage widths follow the trace, so consecutive stages need
@@ -88,12 +94,14 @@ class FrozenModel
     /**
      * Lower a converted nn model into the stage graph. Every LUT operator
      * must already be frozen (refreshInferenceLut); supported layers are
-     * Sequential, LutLinear, LutConv2d, ReLU, GELU, MaxPool2d,
-     * GlobalAvgPool, BatchNorm2d, LayerNorm, and Flatten. Anything else
-     * yields InvalidArgument naming the first unlowerable layer. Models
-     * whose first lowered layer is spatial (conv/pool/norm) additionally
-     * require `input` to carry the image height/width. `plan` selects the
-     * kernel backend and fusion behavior (defaults are bit-exact).
+     * Sequential, LutLinear, LutConv2d, ReLU, GELU, Softmax, MaxPool2d,
+     * GlobalAvgPool, BatchNorm2d, LayerNorm, Flatten,
+     * MultiHeadSelfAttention, TransformerBlock, and identity-shortcut
+     * ResidualBlock. Anything else yields InvalidArgument naming the
+     * first unlowerable layer. Models whose first lowered layer is
+     * spatial (conv/pool/norm) additionally require `input` to carry the
+     * image height/width. `plan` selects the kernel backend and fusion
+     * behavior (defaults are bit-exact).
      */
     static api::Result<FrozenModel>
     fromModel(const nn::LayerPtr &model, ServeInputShape input = {},
@@ -132,8 +140,16 @@ class FrozenModel
         return static_cast<int64_t>(stages_.size());
     }
 
-    /** Number of LUT-backed stages (arena GEMM + conv). */
+    /** Number of LUT-backed stages (arena GEMM + conv + attention). */
     int64_t numLutStages() const;
+
+    /**
+     * Row-group granularity requests must respect: 1 for row-independent
+     * models; the sequence length T for models with attention stages
+     * (rows are [B*T, D] and a batch must hold whole sequences). The
+     * engine rejects requests whose row count is not a multiple of this.
+     */
+    int64_t rowGroup() const { return row_group_; }
 
     /** Total arena footprint in bytes across stages. */
     int64_t tableBytes() const;
@@ -165,6 +181,7 @@ class FrozenModel
   private:
     std::vector<StagePtr> stages_;
     std::vector<StagePlan> plan_;
+    int64_t row_group_ = 1;
 };
 
 } // namespace lutdla::serve

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "lutboost/kernels_simd.h"
+#include "serve/stage_transformer.h"
 #include "util/cpu_features.h"
 #include "vq/code_buffer.h"
 
@@ -140,6 +141,28 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                 arena->arena(), backend, std::move(epilogue),
                 arena->adaptInWidth(), shard_rows);
             plan.push_back(lutPlan(*planned, *planned->arena(),
+                                   std::move(fused),
+                                   options.table_precision, shard_rows));
+            out.push_back(std::move(planned));
+            i = j;
+            continue;
+        }
+
+        if (const auto *attn =
+                dynamic_cast<const AttentionStage *>(stage.get())) {
+            std::vector<PointwiseOp> epilogue = attn->epilogue();
+            std::vector<std::string> fused;
+            const size_t j = options.fuse
+                                 ? collectEpilogue(stages, i + 1, epilogue,
+                                                   fused)
+                                 : i + 1;
+            auto planned = std::make_shared<AttentionStage>(
+                attn->arenas(), attn->seqLen(), attn->heads(), backend,
+                std::move(epilogue), shard_rows);
+            // Plan kernels/code width shown for the Q projection arena
+            // (all four projections share shape and dispatch);
+            // table_bytes covers all four.
+            plan.push_back(lutPlan(*planned, *planned->arenas().q,
                                    std::move(fused),
                                    options.table_precision, shard_rows));
             out.push_back(std::move(planned));

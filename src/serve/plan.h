@@ -7,14 +7,18 @@
  * produced a literal stage-per-layer chain, planStages() rewrites it into
  * the chain the data plane actually executes —
  *
- *  - precision selection: every LUT stage (ArenaStage / ConvStage) is
- *    bound to a lutboost::KernelBackend (bit-exact float32 reference, or
- *    packed-code + INT8-table quantized) and the quantized bank is built
- *    eagerly so serving never pays the cost;
+ *  - precision selection: every LUT stage (ArenaStage / ConvStage /
+ *    AttentionStage) is bound to a lutboost::KernelBackend (bit-exact
+ *    float32 reference, or packed-code + INT8-table quantized) and the
+ *    quantized bank is built eagerly so serving never pays the cost;
  *  - epilogue fusion: pointwise activation stages directly following a
  *    LUT stage fold into that stage's arena-sweep epilogue (the same
  *    float ops run while the output slab is cache-hot, so the fused chain
- *    stays bit-exact under the reference backend);
+ *    stays bit-exact under the reference backend). Skip edges are fusion
+ *    barriers: SkipSaveStage / ResidualAddStage / SoftmaxStage are not
+ *    PointwiseStages, so epilogue collection stops at them and no op is
+ *    ever folded across a skip edge (which would change what the edge
+ *    carries or what the residual lands on);
  *  - prologue fusion: a WidthAdaptStage directly preceding an ArenaStage
  *    (trace models) folds into that stage's encode prologue, dropping a
  *    whole ping-pong plane pass.

@@ -52,7 +52,7 @@ applyPointwiseOps(const std::vector<PointwiseOp> &ops, float *data,
 
 void
 FrozenStage::forward(const float *in, int64_t rows, float *out,
-                     StageScratch &) const
+                     StageScratch &scratch) const
 {
     // Adapter for in-place stages driven through the out-of-place entry
     // point (e.g. by callers without a reusable buffer chain).
@@ -60,11 +60,11 @@ FrozenStage::forward(const float *in, int64_t rows, float *out,
                  "' implements neither forward nor forwardInPlace");
     std::memcpy(out, in,
                 static_cast<size_t>(rows * inWidth()) * sizeof(float));
-    forwardInPlace(out, rows);
+    forwardInPlace(out, rows, scratch);
 }
 
 void
-FrozenStage::forwardInPlace(float *, int64_t) const
+FrozenStage::forwardInPlace(float *, int64_t, StageScratch &) const
 {
     panic("stage '", kind(), "' is not an in-place stage");
 }
@@ -93,15 +93,73 @@ ArenaStage::description() const
 }
 
 void
+arenaGemmForward(const lutboost::LutTableArena &arena,
+                 const lutboost::KernelBackend &backend, const float *in,
+                 int64_t rows, float *out, int64_t shard_rows,
+                 const std::vector<PointwiseOp> &epilogue,
+                 StageScratch &scratch)
+{
+    // Shard both phases over the engine's worker pool when the batch is
+    // big enough to split (rows are independent, so the sharded sweep is
+    // bit-exact with the single-thread one). Phase timing stays on the
+    // initiating worker only, so encode_ns / gather_ns deltas measure the
+    // batch's per-phase WALL time regardless of how many workers helped.
+    const auto t0 = Clock::now();
+    const int64_t shard = shard_rows;
+    const int64_t out_width = arena.outFeatures();
+    const bool sharded =
+        scratch.pool != nullptr && shard > 0 && rows >= 2 * shard;
+    if (!sharded) {
+        backend.encodeBatch(arena, in, rows, scratch.kernel);
+        scratch.encode_ns += nanosSince(t0);
+
+        const auto t1 = Clock::now();
+        backend.gatherAccumulate(arena, scratch.kernel, out);
+        applyPointwiseOps(epilogue, out, rows * out_width);
+        scratch.gather_ns += nanosSince(t1);
+        return;
+    }
+
+    const int64_t blocks = (rows + shard - 1) / shard;
+    vq::CodeBuffer &codes = scratch.kernel.codes;
+    backend.encodePrepare(arena, rows, codes);
+    scratch.pool->parallelFor(
+        blocks,
+        [&](int64_t block, StageScratch &local) {
+            const int64_t r0 = block * shard;
+            const int64_t rn = std::min(shard, rows - r0);
+            backend.encodeBlock(arena, in, r0, rn, codes, local.kernel);
+        },
+        scratch);
+    scratch.encode_ns += nanosSince(t0);
+
+    const auto t1 = Clock::now();
+    scratch.pool->parallelFor(
+        blocks,
+        [&](int64_t block, StageScratch &local) {
+            const int64_t r0 = block * shard;
+            const int64_t rn = std::min(shard, rows - r0);
+            backend.gatherBlock(arena, codes, r0, rn, out, local.kernel);
+            // Epilogue per shard: elementwise, so shard boundaries cannot
+            // change it, and the slab is still cache-hot.
+            applyPointwiseOps(epilogue, out + r0 * out_width,
+                              rn * out_width);
+        },
+        scratch);
+    scratch.gather_ns += nanosSince(t1);
+}
+
+void
 ArenaStage::forward(const float *in, int64_t rows, float *out,
                     StageScratch &scratch) const
 {
-    const auto t0 = Clock::now();
     const float *src = in;
     if (adapt_in_ > 0) {
         // Fused width-adapt prologue: materialize the cyclically
         // replicated rows into kernel scratch instead of running a whole
-        // extra stage (and ping-pong plane) for them.
+        // extra stage (and ping-pong plane) for them. Charged to the
+        // encode phase like the historical inline path.
+        const auto t0 = Clock::now();
         const int64_t k = arena_->inFeatures();
         scratch.kernel.adapted.resize(static_cast<size_t>(rows * k));
         float *dst = scratch.kernel.adapted.data();
@@ -112,57 +170,10 @@ ArenaStage::forward(const float *in, int64_t rows, float *out,
                 drow[j] = row[j % adapt_in_];
         }
         src = dst;
-    }
-
-    // Shard both phases over the engine's worker pool when the batch is
-    // big enough to split (rows are independent, so the sharded sweep is
-    // bit-exact with the single-thread one). Phase timing stays on the
-    // initiating worker only, so encode_ns / gather_ns deltas measure the
-    // batch's per-phase WALL time regardless of how many workers helped.
-    const int64_t shard = shard_rows_;
-    const bool sharded =
-        scratch.pool != nullptr && shard > 0 && rows >= 2 * shard;
-    if (!sharded) {
-        backend_->encodeBatch(*arena_, src, rows, scratch.kernel);
         scratch.encode_ns += nanosSince(t0);
-
-        const auto t1 = Clock::now();
-        backend_->gatherAccumulate(*arena_, scratch.kernel, out);
-        applyPointwiseOps(epilogue_, out, rows * outWidth());
-        scratch.gather_ns += nanosSince(t1);
-        return;
     }
-
-    const int64_t blocks = (rows + shard - 1) / shard;
-    vq::CodeBuffer &codes = scratch.kernel.codes;
-    backend_->encodePrepare(*arena_, rows, codes);
-    scratch.pool->parallelFor(
-        blocks,
-        [&](int64_t block, StageScratch &local) {
-            const int64_t r0 = block * shard;
-            const int64_t rn = std::min(shard, rows - r0);
-            backend_->encodeBlock(*arena_, src, r0, rn, codes,
-                                  local.kernel);
-        },
-        scratch);
-    scratch.encode_ns += nanosSince(t0);
-
-    const auto t1 = Clock::now();
-    const int64_t out_width = outWidth();
-    scratch.pool->parallelFor(
-        blocks,
-        [&](int64_t block, StageScratch &local) {
-            const int64_t r0 = block * shard;
-            const int64_t rn = std::min(shard, rows - r0);
-            backend_->gatherBlock(*arena_, codes, r0, rn, out,
-                                  local.kernel);
-            // Epilogue per shard: elementwise, so shard boundaries cannot
-            // change it, and the slab is still cache-hot.
-            applyPointwiseOps(epilogue_, out + r0 * out_width,
-                              rn * out_width);
-        },
-        scratch);
-    scratch.gather_ns += nanosSince(t1);
+    arenaGemmForward(*arena_, *backend_, src, rows, out, shard_rows_,
+                     epilogue_, scratch);
 }
 
 ConvStage::ConvStage(ConvGeometry geom, int64_t height, int64_t width,
@@ -203,7 +214,8 @@ ConvStage::forward(const float *in, int64_t rows, float *out,
 }
 
 void
-PointwiseStage::forwardInPlace(float *data, int64_t rows) const
+PointwiseStage::forwardInPlace(float *data, int64_t rows,
+                               StageScratch &) const
 {
     applyPointwiseOps({op_}, data, rows * width_);
 }
@@ -223,7 +235,8 @@ GlobalAvgPoolStage::forward(const float *in, int64_t rows, float *out,
 }
 
 void
-BatchNormStage::forwardInPlace(float *data, int64_t rows) const
+BatchNormStage::forwardInPlace(float *data, int64_t rows,
+                               StageScratch &) const
 {
     nn::batchNorm2dEval(data, rows, static_cast<int64_t>(mean_.size()),
                         h_ * w_, mean_.data(), var_.data(), gamma_.data(),
@@ -231,7 +244,8 @@ BatchNormStage::forwardInPlace(float *data, int64_t rows) const
 }
 
 void
-LayerNormStage::forwardInPlace(float *data, int64_t rows) const
+LayerNormStage::forwardInPlace(float *data, int64_t rows,
+                               StageScratch &) const
 {
     nn::layerNormForward(data, rows, inWidth(), gamma_.data(), beta_.data(),
                          eps_, data, nullptr, nullptr);

@@ -105,6 +105,21 @@ struct StageScratch
     std::vector<float> pong;           ///< activation buffer B
     lutboost::ConvScratch conv;        ///< im2col + flat-GEMM scratch
     lutboost::KernelScratch kernel;    ///< packed codes + staging planes
+    /**
+     * Skip-edge planes, indexed by the slot a SkipSaveStage was lowered
+     * with: saving copies the live activations ASIDE, out of the
+     * ping-pong rotation, so any number of out-of-place stages may
+     * alternate ping/pong before the matching ResidualAddStage reads the
+     * plane back. Slots nest (transformer blocks reuse slot 0 and 1 in
+     * sequence), and like ping/pong they grow once and are then reused.
+     */
+    std::vector<std::vector<float>> skip;
+    /** Attention working planes (Q/K/V projections and the per-sequence
+     * context accumulator), sized [rows, d_model] by AttentionStage. */
+    std::vector<float> attn_q, attn_k, attn_v, attn_ctx;
+    /** Attention probability rows [heads, T, T]; per-PARTICIPANT scratch
+     * (each sharded sequence runs with its executing worker's plane). */
+    std::vector<float> attn_probs;
     uint64_t encode_ns = 0;            ///< accumulated encode-phase time
     uint64_t gather_ns = 0;            ///< accumulated gather-phase time
     /** Intra-batch worker pool (engine-owned); null = single-threaded.
@@ -155,8 +170,10 @@ class FrozenStage
     virtual void forward(const float *in, int64_t rows, float *out,
                          StageScratch &scratch) const;
 
-    /** In-place execution; only called when inPlace() is true. */
-    virtual void forwardInPlace(float *data, int64_t rows) const;
+    /** In-place execution; only called when inPlace() is true. Skip-edge
+     * stages read/write scratch.skip; pure elementwise stages ignore it. */
+    virtual void forwardInPlace(float *data, int64_t rows,
+                                StageScratch &scratch) const;
 };
 
 /** Shared-ownership handle to an immutable stage. */
@@ -165,6 +182,23 @@ using StagePtr = std::shared_ptr<const FrozenStage>;
 /** Apply fused pointwise epilogue ops to `total` contiguous floats. */
 void applyPointwiseOps(const std::vector<PointwiseOp> &ops, float *data,
                        int64_t total);
+
+/**
+ * The arena LUT-GEMM execution body shared by ArenaStage and
+ * AttentionStage's four projection GEMMs: encode `in` ([rows, arena K])
+ * then gather into `out` ([rows, arena N]) through `backend`, applying
+ * `epilogue` on the output while it is cache-hot, with phase times
+ * accumulated into scratch.encode_ns / gather_ns. When `shard_rows` > 0
+ * and `scratch.pool` is set, batches of at least two shards run each
+ * phase as a parallel-for over row blocks (bit-exact with the
+ * single-thread sweep; see ArenaStage).
+ */
+void arenaGemmForward(const lutboost::LutTableArena &arena,
+                      const lutboost::KernelBackend &backend,
+                      const float *in, int64_t rows, float *out,
+                      int64_t shard_rows,
+                      const std::vector<PointwiseOp> &epilogue,
+                      StageScratch &scratch);
 
 /**
  * Arena-backed LUT-GEMM stage (lowered LutLinear): encode -> gather
@@ -313,7 +347,8 @@ class PointwiseStage : public FrozenStage
     int64_t inWidth() const override { return width_; }
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
-    void forwardInPlace(float *data, int64_t rows) const override;
+    void forwardInPlace(float *data, int64_t rows,
+                        StageScratch &scratch) const override;
 
     /** The elementwise op this stage applies (read by the fusion pass). */
     Op op() const { return op_; }
@@ -338,7 +373,7 @@ class FlattenStage : public FrozenStage
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
     void
-    forwardInPlace(float *, int64_t) const override
+    forwardInPlace(float *, int64_t, StageScratch &) const override
     {
     }
 
@@ -414,7 +449,8 @@ class BatchNormStage : public FrozenStage
     }
     int64_t outWidth() const override { return inWidth(); }
     bool inPlace() const override { return true; }
-    void forwardInPlace(float *data, int64_t rows) const override;
+    void forwardInPlace(float *data, int64_t rows,
+                        StageScratch &scratch) const override;
 
   private:
     std::vector<float> mean_, var_, gamma_, beta_;
@@ -443,7 +479,8 @@ class LayerNormStage : public FrozenStage
     }
     int64_t outWidth() const override { return inWidth(); }
     bool inPlace() const override { return true; }
-    void forwardInPlace(float *data, int64_t rows) const override;
+    void forwardInPlace(float *data, int64_t rows,
+                        StageScratch &scratch) const override;
 
   private:
     std::vector<float> gamma_, beta_;

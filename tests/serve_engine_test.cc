@@ -484,13 +484,15 @@ TEST(FrozenModel, ErrorPathsNameFirstOffendingLayer)
     expectInvalid(serve::FrozenModel::validateServable(
                       std::make_shared<nn::Conv2d>(g), img),
                   "Conv2d");
-    // Residual topologies are named (stage graphs are chains for now).
+    // Projection-shortcut residual topologies are named (identity-skip
+    // blocks lower onto skip edges; a shortcut BRANCH still does not).
     expectInvalid(
         serve::FrozenModel::validateServable(
             std::make_shared<nn::Sequential>(std::vector<nn::LayerPtr>{
                 std::make_shared<lutboost::LutConv2d>(g, pq, true, 70),
                 std::make_shared<nn::ResidualBlock>(
-                    std::make_shared<nn::ReLU>())}),
+                    std::make_shared<nn::ReLU>(),
+                    std::make_shared<nn::Conv2d>(g))}),
             img),
         "ResidualBlock");
 
