@@ -5,7 +5,9 @@
  * the serving arena's split data-plane kernels (packed-code encodeBatch,
  * float-bank gather, INT8-bank gather with every kernel variant forced:
  * scalar group sweep vs VPSHUFB shuffle vs VPERMB+VPDPBUSD dot — the
- * c=16 shuffle-vs-scalar pair is the PR-5 acceptance comparison). These
+ * c=16 shuffle-vs-scalar pair is the PR-5 acceptance comparison — and the
+ * nibble-packed INT4-bank gather at its forced variants for the
+ * bytes-halved-vs-unpack-cost comparison against INT8 and float). These
  * are software-kernel timings (host CPU), complementing the cycle
  * simulator's hardware numbers.
  *
@@ -68,6 +70,7 @@ struct ArenaFixture
           y(static_cast<size_t>(m * n))
     {
         arena.ensureInt8Bank();
+        arena.ensureInt4Bank();
         arena.encodeBatch(fx.a.data(), m, scratch.codes, scratch.staging);
     }
 
@@ -224,6 +227,62 @@ BM_ArenaGatherInt8ShuffleVnni(benchmark::State &state)
     gatherInt8Variant(state, lutboost::Int8GatherVariant::ShuffleVnni);
 }
 
+/**
+ * INT4 gather at a forced kernel variant: same codes, nibble-packed
+ * bit-plane bank (two output columns per byte). Compared against the
+ * INT8 and float rows at identical shapes, this times the cost of the
+ * extra unpack-and-shift against the halved table stream.
+ */
+void
+gatherInt4Variant(benchmark::State &state,
+                  lutboost::Int4GatherVariant variant)
+{
+    if (variant == lutboost::Int4GatherVariant::ShuffleAvx512 &&
+        util::simdLevel() < util::SimdLevel::Avx512) {
+        state.SkipWithError("AVX-512 not available");
+        return;
+    }
+    if (variant == lutboost::Int4GatherVariant::ShuffleAvx2 &&
+        util::simdLevel() < util::SimdLevel::Avx2) {
+        state.SkipWithError("AVX2 not available");
+        return;
+    }
+    ArenaFixture ax(state.range(0), state.range(1), state.range(2), 4,
+                    16);
+    for (auto _ : state) {
+        ax.arena.gatherAccumulateInt4(ax.scratch.codes, ax.y.data(),
+                                      ax.scratch.gather, variant);
+        benchmark::DoNotOptimize(ax.y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
+    state.counters["table_bytes"] =
+        static_cast<double>(ax.arena.int4TableBytes());
+}
+
+void
+BM_ArenaGatherInt4(benchmark::State &state)
+{
+    gatherInt4Variant(state, lutboost::Int4GatherVariant::Auto);
+}
+
+void
+BM_ArenaGatherInt4Scalar(benchmark::State &state)
+{
+    gatherInt4Variant(state, lutboost::Int4GatherVariant::Scalar);
+}
+
+void
+BM_ArenaGatherInt4ShuffleAvx512(benchmark::State &state)
+{
+    gatherInt4Variant(state, lutboost::Int4GatherVariant::ShuffleAvx512);
+}
+
+void
+BM_ArenaGatherInt4ShuffleAvx2(benchmark::State &state)
+{
+    gatherInt4Variant(state, lutboost::Int4GatherVariant::ShuffleAvx2);
+}
+
 } // namespace
 
 BENCHMARK(BM_ExactGemm)
@@ -267,6 +326,22 @@ BENCHMARK(BM_ArenaGatherInt8ShuffleAvx2)
     ->Args({256, 512, 512})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ArenaGatherInt8ShuffleVnni)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt4)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt4Scalar)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt4ShuffleAvx512)
+    ->Args({128, 256, 256})
+    ->Args({256, 512, 512})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaGatherInt4ShuffleAvx2)
     ->Args({128, 256, 256})
     ->Args({256, 512, 512})
     ->Unit(benchmark::kMicrosecond);

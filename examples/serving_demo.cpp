@@ -19,11 +19,16 @@
  *      pass — which stages folded into arena epilogues, each LUT stage's
  *      packed code width, and the table precision — for both the default
  *      bit-exact plan and the quantized INT8 plan.
- *   6. Transformer serving: lower a BERT-style pre-LN encoder block
+ *   6. Auto-tuned mixed precision: re-serve the trained mixture model
+ *      through makeEngine with ServeOptions::autoTunePrecision(0.90) —
+ *      the greedy tuner (serve/autotune.h) assigns per-stage table
+ *      precision (float32 / int8 / int4) under the top-1 agreement
+ *      budget and the winning assignment is readable from the plan.
+ *   7. Transformer serving: lower a BERT-style pre-LN encoder block
  *      (attention + FFN projections LUT-converted) onto the skip-edge
  *      stage graph and serve one whole 64-row sequence, verifying
  *      bit-exactness against eval-mode forward().
- *   7. Multi-tenant front door: publish two models with different SLOs
+ *   8. Multi-tenant front door: publish two models with different SLOs
  *      into one serve::FrontDoor, demo typed overload shedding and
  *      priority eviction on a tiny queue, hot-swap one model to a new
  *      version with zero drain, and read per-tenant stats.
@@ -267,7 +272,54 @@ main(int argc, char **)
                 static_cast<double>(
                     Tensor::maxAbsDiff(*int8_result, *cnn_result)));
 
-    // 6. Transformer serving: a BERT-style pre-LN encoder block on the
+    // 6. Auto-tuned mixed precision: the same trained mixture model from
+    //    step 1, re-served with a 90% top-1 agreement budget. The tuner
+    //    probes the frozen model stage by stage and keeps the
+    //    byte-saving int8/int4 assignments that hold the budget; the
+    //    result is recorded in the plan, so planSummary() names each
+    //    stage's precision.
+    api::ServeOptions auto_options;
+    auto_options.engine.threads = 1;
+    auto_options.engine.max_batch = 32;  // step 2 submits all 24 rows at once
+    auto_options.autoTunePrecision(0.90);
+    auto auto_engine =
+        api::Pipeline::engine(builder.convertedModel(), auto_options);
+    if (!auto_engine.ok()) {
+        std::fprintf(stderr, "auto-tuned engine failed: %s\n",
+                     auto_engine.status().toString().c_str());
+        return 1;
+    }
+    const serve::FrozenModel &auto_model = auto_engine.value()->model();
+    std::printf("\nauto-tuned mixture plan (90%% top-1 agreement "
+                "budget):\n%s",
+                auto_model.planSummary().c_str());
+    auto auto_result = auto_engine.value()->submit(rows);
+    if (!auto_result.ok()) {
+        std::fprintf(stderr, "auto-tuned request failed: %s\n",
+                     auto_result.status().toString().c_str());
+        return 1;
+    }
+    // Quantized plans are approximate by design; report top-1 agreement
+    // against the bit-exact eval forward from step 2 (deterministic).
+    int64_t auto_agree = 0;
+    for (int64_t r = 0; r < auto_result->dim(0); ++r) {
+        int64_t got = 0, want = 0;
+        for (int64_t n = 1; n < auto_result->dim(1); ++n) {
+            if (auto_result->at(r, n) > auto_result->at(r, got))
+                got = n;
+            if (reference.at(r, n) > reference.at(r, want))
+                want = n;
+        }
+        auto_agree += got == want;
+    }
+    std::printf("auto-tuned plan served [%lld, %lld], top-1 agreement "
+                "vs bit-exact forward = %lld/%lld\n",
+                static_cast<long long>(auto_result->dim(0)),
+                static_cast<long long>(auto_result->dim(1)),
+                static_cast<long long>(auto_agree),
+                static_cast<long long>(auto_result->dim(0)));
+
+    // 7. Transformer serving: a BERT-style pre-LN encoder block on the
     //    skip-edge stage graph. The attention Q/K/V/output projections
     //    and both FFN linears are LUT operators; softmax and layernorm
     //    run exact, mirroring the paper's hardware split. Attention
@@ -323,7 +375,7 @@ main(int argc, char **)
     }
     tf_engine.value()->shutdown();
 
-    // 7. Multi-tenant front door: two models with different SLOs on one
+    // 8. Multi-tenant front door: two models with different SLOs on one
     //    shared pool. autostart=false makes the scheduling deterministic:
     //    requests queue first, then start() drains them priority-first.
     serve::FrontDoorOptions door_opts;

@@ -17,7 +17,7 @@ fail=0
 for required in src/serve/frontdoor.h src/serve/registry.h \
                 src/serve/engine.h src/serve/frozen_model.h \
                 src/serve/stage.h src/serve/stage_transformer.h \
-                src/serve/plan.h; do
+                src/serve/plan.h src/serve/autotune.h; do
     if [ ! -f "$required" ]; then
         echo "error: required public header $required is missing"
         fail=1

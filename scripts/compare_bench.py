@@ -118,7 +118,21 @@ def main():
     old_best, new_best = old.get("best"), new.get("best")
     if not old_best or not new_best:
         sys.exit("error: missing `best` section in one of the inputs")
-    for key in ("float32_rows_per_sec", "int8_rows_per_sec"):
+    # int4/auto headline keys appeared with the mixed-precision PR;
+    # gate them only when the baseline artifact already records them so
+    # old artifacts keep working, but fail if a baseline HAS them and
+    # the fresh bench dropped them (coverage, like the section gate).
+    headline = ["float32_rows_per_sec", "int8_rows_per_sec"]
+    for key in ("int4_rows_per_sec", "auto_rows_per_sec"):
+        if key in old_best:
+            if key not in new_best:
+                failures.append(
+                    f"coverage: baseline best.{key} is missing from the "
+                    f"fresh run (plan sweep dropped from the bench)")
+                print(f"  [!] best.{key} missing from fresh run")
+                continue
+            headline.append(key)
+    for key in headline:
         check(f"best.{key}", old_best.get(key, 0.0) * old_scale,
               new_best.get(key, 0.0) * new_scale, gate=True)
 
@@ -148,6 +162,31 @@ def main():
         check(label, c.get("rows_per_sec", 0.0) * old_scale,
               other.get("rows_per_sec", 0.0) * new_scale,
               gate=args.per_config)
+
+    # Resident-bytes digest (informational, never gated): arena bytes
+    # actually resident per plan, printed next to the rows/s movement so
+    # byte savings are visible in the same report. Older artifacts
+    # predate the fields, so every lookup tolerates their absence;
+    # resident bytes are deterministic per (model, plan, ISA), not a
+    # timing, hence never normalized.
+    res_keys = ("float32_resident_bytes", "int8_resident_bytes",
+                "int4_resident_bytes", "auto_resident_bytes",
+                "auto_int8_resident_bytes")
+    if any(k in old_best or k in new_best for k in res_keys):
+        print("arena resident bytes per plan (informational):")
+        for key in res_keys:
+            if key not in old_best and key not in new_best:
+                continue
+            o = old_best.get(key)
+            n = new_best.get(key)
+            if o and n:
+                delta = n / o - 1.0
+                print(f"  [ ] best.{key:34s} {o:12d} -> {n:12d}  "
+                      f"({delta * 100:+6.1f}%)")
+            else:
+                print(f"  [ ] best.{key:34s} "
+                      f"{o if o is not None else '(absent)'} -> "
+                      f"{n if n is not None else '(absent)'}")
 
     # Latency-split digest (informational, never gated): queue wait vs
     # service time p99 for the fresh run's matched configs. Older

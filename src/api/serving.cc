@@ -9,6 +9,27 @@
 
 namespace lutdla::api {
 
+namespace {
+
+/** Apply the mixed-precision auto-tuner when options request it: run
+ * the greedy descent on the lowered model and replan it with the
+ * winning per-stage assignment (arenas shared, so the final replan is
+ * cheap and every already-quantized bank is reused). */
+serve::FrozenModel
+maybeAutoTune(serve::FrozenModel model, const ServeOptions &options)
+{
+    if (!options.auto_tune)
+        return model;
+    const serve::AutoTuneResult tuned = serve::autoTunePrecision(
+        model, options.plan, options.auto_tune_options);
+    serve::PlanOptions plan = options.plan;
+    plan.table_precision = serve::TablePrecision::Float32;
+    plan.stage_precision = tuned.stage_precision;
+    return model.withPlan(plan);
+}
+
+} // namespace
+
 Result<EngineHandle>
 makeEngine(const nn::LayerPtr &model, const ServeOptions &options)
 {
@@ -27,7 +48,8 @@ makeEngine(const nn::LayerPtr &model, const ServeOptions &options)
         model, options.input_shape, options.plan);
     if (!frozen.ok())
         return frozen.status();
-    return serve::InferenceEngine::create(frozen.take(), options.engine);
+    return serve::InferenceEngine::create(
+        maybeAutoTune(frozen.take(), options), options.engine);
 }
 
 Result<EngineHandle>
@@ -51,7 +73,8 @@ makeTraceEngine(const std::vector<sim::GemmShape> &gemms,
         gemms, pq, precision, seed, options.plan);
     if (!frozen.ok())
         return frozen.status();
-    return serve::InferenceEngine::create(frozen.take(), options.engine);
+    return serve::InferenceEngine::create(
+        maybeAutoTune(frozen.take(), options), options.engine);
 }
 
 Result<EngineHandle>
@@ -96,7 +119,8 @@ publishModel(const FrontDoorHandle &door, const std::string &name,
         model, options.input_shape, options.plan);
     if (!frozen.ok())
         return frozen.status();
-    return door->publish(name, frozen.take(), options.slo);
+    return door->publish(name, maybeAutoTune(frozen.take(), options),
+                         options.slo);
 }
 
 Result<uint64_t>
@@ -115,7 +139,8 @@ publishTraceModel(const FrontDoorHandle &door, const std::string &name,
         gemms, pq, precision, seed, options.plan);
     if (!frozen.ok())
         return frozen.status();
-    return door->publish(name, frozen.take(), options.slo);
+    return door->publish(name, maybeAutoTune(frozen.take(), options),
+                         options.slo);
 }
 
 Result<EngineHandle>

@@ -26,6 +26,7 @@
 #include "api/artifacts.h"
 #include "api/status.h"
 #include "nn/layer.h"
+#include "serve/autotune.h"
 #include "serve/engine.h"
 #include "serve/frontdoor.h"
 #include "serve/plan.h"
@@ -68,6 +69,28 @@ struct ServeOptions
      * scheduler to enforce SLOs).
      */
     serve::ModelSlo slo;
+    /**
+     * Run the mixed-precision auto-tuner (serve/autotune.h) after
+     * lowering: each LUT stage is assigned float32 / INT8 / INT4 tables
+     * by greedy bytes-saved-per-accuracy-lost descent under
+     * `auto_tune_options.agreement_budget`, and the winning assignment
+     * replaces plan.table_precision / plan.stage_precision. The chosen
+     * per-stage precisions are visible in the engine's planSummary().
+     */
+    bool auto_tune = false;
+    /** Tuner knobs when `auto_tune` is set (budget, probe rows, seed). */
+    serve::AutoTuneOptions auto_tune_options;
+
+    /** Fluent enable: tune per-stage table precision to the given top-1
+     * agreement budget (e.g. 0.90 keeps >= 90% of probe-row argmaxes
+     * identical to the all-float32 plan). */
+    ServeOptions &
+    autoTunePrecision(double budget)
+    {
+        auto_tune = true;
+        auto_tune_options.agreement_budget = budget;
+        return *this;
+    }
 };
 
 /**

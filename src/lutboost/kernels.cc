@@ -86,10 +86,51 @@ class QuantizedBackend final : public KernelBackend
         return arena.int8TableBytes();
     }
 
+    int64_t
+    residentBytes(const LutTableArena &arena) const override
+    {
+        return arena.int8ResidentBytes();
+    }
+
     void
     prepare(const LutTableArena &arena) const override
     {
         arena.ensureInt8Bank();
+    }
+};
+
+/** INT4-bank gather: nibble-packed tables, ~8x less traffic than float
+ * and half the INT8 bank; coarser quantization (see docs/SERVING.md). */
+class Int4Backend final : public KernelBackend
+{
+  public:
+    std::string name() const override { return "int4"; }
+    bool bitExact() const override { return false; }
+
+    void
+    gatherBlock(const LutTableArena &arena, const vq::CodeBuffer &codes,
+                int64_t row0, int64_t rows, float *y,
+                KernelScratch &local) const override
+    {
+        arena.gatherAccumulateInt4(codes, row0, rows, y, local.gather);
+    }
+
+    int64_t
+    tableBytes(const LutTableArena &arena) const override
+    {
+        return arena.int4TableBytes();
+    }
+
+    int64_t
+    residentBytes(const LutTableArena &arena) const override
+    {
+        return arena.int4ResidentBytes();
+    }
+
+    void
+    prepare(const LutTableArena &arena) const override
+    {
+        arena.ensureInt4Bank();
     }
 };
 
@@ -106,6 +147,13 @@ const KernelBackend &
 quantizedBackend()
 {
     static const QuantizedBackend backend;
+    return backend;
+}
+
+const KernelBackend &
+int4Backend()
+{
+    static const Int4Backend backend;
     return backend;
 }
 

@@ -18,6 +18,10 @@
  *    INT8-quantized bank (per-(subspace, output-block) symmetric scales,
  *    ~4x less table traffic). Approximate — docs/SERVING.md documents the
  *    error envelope, and tests bound top-1 disagreement.
+ *  - int4Backend(): same encode, gather over the nibble-packed INT4 bank
+ *    (two output columns per byte, ~8x less traffic than float).
+ *    Coarser still; the per-stage mixed-precision auto-tuner
+ *    (serve/autotune.h) decides where it is safe.
  *
  * Backends are stateless singletons; all mutable per-batch state lives in
  * the caller-owned KernelScratch, so one backend serves every worker
@@ -117,6 +121,18 @@ class KernelBackend
     virtual int64_t tableBytes(const LutTableArena &arena) const = 0;
 
     /**
+     * Bytes the backend keeps RESIDENT for this arena — the gather
+     * stream plus any CPU-capability-gated mirror layouts (interleaved
+     * shuffle banks, VNNI quads). Defaults to tableBytes(); quantized
+     * backends override with their bank's resident accounting.
+     */
+    virtual int64_t
+    residentBytes(const LutTableArena &arena) const
+    {
+        return tableBytes(arena);
+    }
+
+    /**
      * One-time lowering hook: build whatever derived tables the gather
      * phase needs (e.g. the INT8 bank) so serving never pays the cost.
      */
@@ -128,6 +144,9 @@ const KernelBackend &referenceBackend();
 
 /** The packed-code + INT8-table backend. */
 const KernelBackend &quantizedBackend();
+
+/** The packed-code + nibble-packed INT4-table backend. */
+const KernelBackend &int4Backend();
 
 } // namespace lutdla::lutboost
 

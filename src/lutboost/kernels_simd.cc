@@ -264,6 +264,285 @@ gatherChunkAvx2(const int8_t *__restrict__ q_il,
 }
 
 /**
+ * INT4 shuffle gather, AVX-512 tier: identical chunk/LUT machinery to
+ * gatherChunkAvx512, but each looked-up byte packs TWO adjacent output
+ * columns (low nibble = even column, high nibble = odd column, both
+ * bias-shifted by +8), so one VPSHUFB + one AND + one shift resolve 64
+ * rows of BOTH columns of a pair. Biased nibbles (0..15) accumulate in
+ * int16 lanes — at most 16 * 15 = 240, exact — and one subtract of
+ * 8 * gs recovers the signed sum before the per-group dequantizing
+ * mul + add, the same float op sequence the scalar packed sweep emits.
+ */
+__attribute__((target("avx512f,avx512bw"))) void
+gatherChunkInt4Avx512(const uint8_t *__restrict__ q4_il,
+                      const float *__restrict__ scales,
+                      const uint8_t *__restrict__ planar,
+                      int64_t num_subspaces, int64_t n, int64_t num_blocks,
+                      int64_t scale_group, int64_t block_cols,
+                      float *__restrict__ colmajor)
+{
+    constexpr int64_t kChunk = 64;
+    const int64_t half_n = (n + 1) / 2;
+    const int64_t num_groups =
+        (num_subspaces + scale_group - 1) / scale_group;
+    const __m512i nib_mask = _mm512_set1_epi8(0x0F);
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * scale_group;
+        const int64_t gs =
+            std::min<int64_t>(scale_group, num_subspaces - s0);
+        __m512i idx[16];
+        for (int64_t i = 0; i < gs; ++i)
+            idx[i] = _mm512_loadu_si512(planar + (s0 + i) * kChunk);
+        const float *srow = scales + g * num_blocks;
+        const __m512i bias =
+            _mm512_set1_epi16(static_cast<short>(8 * gs));
+        for (int64_t p = 0; p < half_n; ++p) {
+            __m512i lo_e = _mm512_setzero_si512();
+            __m512i hi_e = _mm512_setzero_si512();
+            __m512i lo_o = _mm512_setzero_si512();
+            __m512i hi_o = _mm512_setzero_si512();
+            for (int64_t i = 0; i < gs; ++i) {
+                const __m512i lut = _mm512_broadcast_i32x4(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                        q4_il + ((s0 + i) * half_n + p) * 16)));
+                const __m512i v = _mm512_shuffle_epi8(lut, idx[i]);
+                // Nibble-plane split; values stay 0..15, so the
+                // int8 -> int16 widen below is sign-safe.
+                const __m512i ve = _mm512_and_si512(v, nib_mask);
+                const __m512i vo = _mm512_and_si512(
+                    _mm512_srli_epi16(v, 4), nib_mask);
+                lo_e = _mm512_add_epi16(
+                    lo_e,
+                    _mm512_cvtepi8_epi16(_mm512_castsi512_si256(ve)));
+                hi_e = _mm512_add_epi16(
+                    hi_e, _mm512_cvtepi8_epi16(
+                              _mm512_extracti64x4_epi64(ve, 1)));
+                lo_o = _mm512_add_epi16(
+                    lo_o,
+                    _mm512_cvtepi8_epi16(_mm512_castsi512_si256(vo)));
+                hi_o = _mm512_add_epi16(
+                    hi_o, _mm512_cvtepi8_epi16(
+                              _mm512_extracti64x4_epi64(vo, 1)));
+            }
+            lo_e = _mm512_sub_epi16(lo_e, bias);
+            hi_e = _mm512_sub_epi16(hi_e, bias);
+            lo_o = _mm512_sub_epi16(lo_o, bias);
+            hi_o = _mm512_sub_epi16(hi_o, bias);
+            // block_cols is even, so both columns of the pair live in
+            // one scale block: a single broadcast serves the pair.
+            const __m512 vs =
+                _mm512_set1_ps(srow[(2 * p) / block_cols]);
+            const __m512 e0 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_castsi512_si256(lo_e))),
+                vs);
+            const __m512 e1 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_extracti64x4_epi64(lo_e, 1))),
+                vs);
+            const __m512 e2 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_castsi512_si256(hi_e))),
+                vs);
+            const __m512 e3 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_extracti64x4_epi64(hi_e, 1))),
+                vs);
+            float *out = colmajor + (2 * p) * kChunk;
+            if (g == 0) {
+                _mm512_storeu_ps(out, e0);
+                _mm512_storeu_ps(out + 16, e1);
+                _mm512_storeu_ps(out + 32, e2);
+                _mm512_storeu_ps(out + 48, e3);
+            } else {
+                _mm512_storeu_ps(
+                    out, _mm512_add_ps(_mm512_loadu_ps(out), e0));
+                _mm512_storeu_ps(
+                    out + 16,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 16), e1));
+                _mm512_storeu_ps(
+                    out + 32,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 32), e2));
+                _mm512_storeu_ps(
+                    out + 48,
+                    _mm512_add_ps(_mm512_loadu_ps(out + 48), e3));
+            }
+            if (2 * p + 1 >= n)
+                continue;  // odd N: the high plane has no partner column
+            const __m512 o0 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_castsi512_si256(lo_o))),
+                vs);
+            const __m512 o1 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_extracti64x4_epi64(lo_o, 1))),
+                vs);
+            const __m512 o2 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_castsi512_si256(hi_o))),
+                vs);
+            const __m512 o3 = _mm512_mul_ps(
+                _mm512_cvtepi32_ps(_mm512_cvtepi16_epi32(
+                    _mm512_extracti64x4_epi64(hi_o, 1))),
+                vs);
+            float *outo = colmajor + (2 * p + 1) * kChunk;
+            if (g == 0) {
+                _mm512_storeu_ps(outo, o0);
+                _mm512_storeu_ps(outo + 16, o1);
+                _mm512_storeu_ps(outo + 32, o2);
+                _mm512_storeu_ps(outo + 48, o3);
+            } else {
+                _mm512_storeu_ps(
+                    outo, _mm512_add_ps(_mm512_loadu_ps(outo), o0));
+                _mm512_storeu_ps(
+                    outo + 16,
+                    _mm512_add_ps(_mm512_loadu_ps(outo + 16), o1));
+                _mm512_storeu_ps(
+                    outo + 32,
+                    _mm512_add_ps(_mm512_loadu_ps(outo + 32), o2));
+                _mm512_storeu_ps(
+                    outo + 48,
+                    _mm512_add_ps(_mm512_loadu_ps(outo + 48), o3));
+            }
+        }
+    }
+}
+
+/** INT4 shuffle gather, AVX2 tier (32-row chunks); see the AVX-512
+ * variant for the nibble-plane contract. */
+__attribute__((target("avx2"))) void
+gatherChunkInt4Avx2(const uint8_t *__restrict__ q4_il,
+                    const float *__restrict__ scales,
+                    const uint8_t *__restrict__ planar,
+                    int64_t num_subspaces, int64_t n, int64_t num_blocks,
+                    int64_t scale_group, int64_t block_cols,
+                    float *__restrict__ colmajor)
+{
+    constexpr int64_t kChunk = 32;
+    const int64_t half_n = (n + 1) / 2;
+    const int64_t num_groups =
+        (num_subspaces + scale_group - 1) / scale_group;
+    const __m256i nib_mask = _mm256_set1_epi8(0x0F);
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * scale_group;
+        const int64_t gs =
+            std::min<int64_t>(scale_group, num_subspaces - s0);
+        __m256i idx[16];
+        for (int64_t i = 0; i < gs; ++i)
+            idx[i] = _mm256_loadu_si256(reinterpret_cast<const __m256i *>(
+                planar + (s0 + i) * kChunk));
+        const float *srow = scales + g * num_blocks;
+        const __m256i bias =
+            _mm256_set1_epi16(static_cast<short>(8 * gs));
+        for (int64_t p = 0; p < half_n; ++p) {
+            __m256i lo_e = _mm256_setzero_si256();
+            __m256i hi_e = _mm256_setzero_si256();
+            __m256i lo_o = _mm256_setzero_si256();
+            __m256i hi_o = _mm256_setzero_si256();
+            for (int64_t i = 0; i < gs; ++i) {
+                const __m256i lut = _mm256_broadcastsi128_si256(
+                    _mm_loadu_si128(reinterpret_cast<const __m128i *>(
+                        q4_il + ((s0 + i) * half_n + p) * 16)));
+                const __m256i v = _mm256_shuffle_epi8(lut, idx[i]);
+                const __m256i ve = _mm256_and_si256(v, nib_mask);
+                const __m256i vo = _mm256_and_si256(
+                    _mm256_srli_epi16(v, 4), nib_mask);
+                lo_e = _mm256_add_epi16(
+                    lo_e,
+                    _mm256_cvtepi8_epi16(_mm256_castsi256_si128(ve)));
+                hi_e = _mm256_add_epi16(
+                    hi_e, _mm256_cvtepi8_epi16(
+                              _mm256_extracti128_si256(ve, 1)));
+                lo_o = _mm256_add_epi16(
+                    lo_o,
+                    _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vo)));
+                hi_o = _mm256_add_epi16(
+                    hi_o, _mm256_cvtepi8_epi16(
+                              _mm256_extracti128_si256(vo, 1)));
+            }
+            lo_e = _mm256_sub_epi16(lo_e, bias);
+            hi_e = _mm256_sub_epi16(hi_e, bias);
+            lo_o = _mm256_sub_epi16(lo_o, bias);
+            hi_o = _mm256_sub_epi16(hi_o, bias);
+            const __m256 vs =
+                _mm256_set1_ps(srow[(2 * p) / block_cols]);
+            const __m256 e0 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(lo_e))),
+                vs);
+            const __m256 e1 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(lo_e, 1))),
+                vs);
+            const __m256 e2 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(hi_e))),
+                vs);
+            const __m256 e3 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(hi_e, 1))),
+                vs);
+            float *out = colmajor + (2 * p) * kChunk;
+            if (g == 0) {
+                _mm256_storeu_ps(out, e0);
+                _mm256_storeu_ps(out + 8, e1);
+                _mm256_storeu_ps(out + 16, e2);
+                _mm256_storeu_ps(out + 24, e3);
+            } else {
+                _mm256_storeu_ps(
+                    out, _mm256_add_ps(_mm256_loadu_ps(out), e0));
+                _mm256_storeu_ps(
+                    out + 8,
+                    _mm256_add_ps(_mm256_loadu_ps(out + 8), e1));
+                _mm256_storeu_ps(
+                    out + 16,
+                    _mm256_add_ps(_mm256_loadu_ps(out + 16), e2));
+                _mm256_storeu_ps(
+                    out + 24,
+                    _mm256_add_ps(_mm256_loadu_ps(out + 24), e3));
+            }
+            if (2 * p + 1 >= n)
+                continue;
+            const __m256 o0 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(lo_o))),
+                vs);
+            const __m256 o1 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(lo_o, 1))),
+                vs);
+            const __m256 o2 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_castsi256_si128(hi_o))),
+                vs);
+            const __m256 o3 = _mm256_mul_ps(
+                _mm256_cvtepi32_ps(_mm256_cvtepi16_epi32(
+                    _mm256_extracti128_si256(hi_o, 1))),
+                vs);
+            float *outo = colmajor + (2 * p + 1) * kChunk;
+            if (g == 0) {
+                _mm256_storeu_ps(outo, o0);
+                _mm256_storeu_ps(outo + 8, o1);
+                _mm256_storeu_ps(outo + 16, o2);
+                _mm256_storeu_ps(outo + 24, o3);
+            } else {
+                _mm256_storeu_ps(
+                    outo, _mm256_add_ps(_mm256_loadu_ps(outo), o0));
+                _mm256_storeu_ps(
+                    outo + 8,
+                    _mm256_add_ps(_mm256_loadu_ps(outo + 8), o1));
+                _mm256_storeu_ps(
+                    outo + 16,
+                    _mm256_add_ps(_mm256_loadu_ps(outo + 16), o2));
+                _mm256_storeu_ps(
+                    outo + 24,
+                    _mm256_add_ps(_mm256_loadu_ps(outo + 24), o3));
+            }
+        }
+    }
+}
+
+/**
  * VPERMB + VPDPBUSD gather: one 64-byte LUT carries FOUR subspaces'
  * 16-entry tables; idx bytes are (code + 16 * j) so a single VPERMB
  * resolves 16 rows x 4 subspaces, laid out [row-quad interleaved] so
@@ -448,6 +727,30 @@ shuffleGatherChunk(util::SimdLevel level, const int8_t *q_il,
                  "shuffleGatherChunk requires AVX2 or AVX-512");
     gatherChunkAvx2(q_il, scales, planar, num_subspaces, n, num_blocks,
                     scale_group, block_cols, colmajor);
+}
+
+void
+shuffleGatherChunkInt4(util::SimdLevel level, const uint8_t *q4_il,
+                       const float *scales, const uint8_t *planar,
+                       int64_t num_subspaces, int64_t n, int64_t num_blocks,
+                       int64_t scale_group, int64_t block_cols,
+                       float *colmajor)
+{
+    LUTDLA_CHECK(scale_group >= 1 && scale_group <= 16,
+                 "shuffle gather supports scale groups of 1..16 subspaces");
+    LUTDLA_CHECK(block_cols % 2 == 0,
+                 "INT4 shuffle gather needs an even scale block width so "
+                 "a packed column pair never straddles a block");
+    if (level >= util::SimdLevel::Avx512) {
+        gatherChunkInt4Avx512(q4_il, scales, planar, num_subspaces, n,
+                              num_blocks, scale_group, block_cols,
+                              colmajor);
+        return;
+    }
+    LUTDLA_CHECK(level == util::SimdLevel::Avx2,
+                 "shuffleGatherChunkInt4 requires AVX2 or AVX-512");
+    gatherChunkInt4Avx2(q4_il, scales, planar, num_subspaces, n,
+                        num_blocks, scale_group, block_cols, colmajor);
 }
 
 } // namespace lutdla::lutboost::simd

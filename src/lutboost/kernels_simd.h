@@ -29,6 +29,14 @@
  *    across a scale group and spill through int32 to float once per
  *    group — exact integer arithmetic, so the result is bit-identical
  *    to the scalar group sweep by construction.
+ *
+ *  - INT4 shuffle gather (nibble-packed bank, c <= 16): same VPSHUFB
+ *    machinery over the packed interleaved layout, where each looked-up
+ *    byte carries TWO adjacent output columns (low/high nibble plane,
+ *    both bias-shifted by +8). One AND + one shift per lookup split the
+ *    planes; biased nibbles accumulate in int16 lanes, and one bias-
+ *    correcting subtract precedes the per-group dequantizing mul + add
+ *    — again bit-identical to the scalar packed sweep.
  */
 
 #include <cstdint>
@@ -86,6 +94,30 @@ void shuffleGatherChunk(util::SimdLevel level, const int8_t *q_il,
                         int64_t num_subspaces, int64_t n,
                         int64_t num_blocks, int64_t scale_group,
                         int64_t block_cols, float *colmajor);
+
+/**
+ * INT4 twin of shuffleGatherChunk over the nibble-packed interleaved
+ * bank: one chunk of exactly shuffleGatherChunkRows(level) rows, writing
+ * column-major partial sums for ALL n output columns.
+ *
+ * @param q4_il      packed interleaved bank: the byte at
+ *                   ((s * half_n + p) * 16 + j) carries entry (s, col
+ *                   2p, j) in its low nibble and entry (s, col 2p+1, j)
+ *                   in its high nibble, both bias-shifted by +8 (pad
+ *                   nibbles hold 8, the exact zero), where half_n =
+ *                   ceil(n / 2).
+ * @param scales     dequant scales as in shuffleGatherChunk; block_cols
+ *                   must be even so a column pair never straddles a
+ *                   scale block.
+ * Other parameters and the colmajor output contract match
+ * shuffleGatherChunk (an odd n's final column is still written; the
+ * missing odd partner is simply never stored).
+ */
+void shuffleGatherChunkInt4(util::SimdLevel level, const uint8_t *q4_il,
+                            const float *scales, const uint8_t *planar,
+                            int64_t num_subspaces, int64_t n,
+                            int64_t num_blocks, int64_t scale_group,
+                            int64_t block_cols, float *colmajor);
 
 /** True when `level` provides the VPERMB/VPDPBUSD dot-accumulate gather
  * (requires SimdLevel::Avx512Vnni). */

@@ -163,6 +163,84 @@ sweepInt8ColOuter(const int8_t *__restrict__ qbank,
 }
 
 /**
+ * The scalar INT4 packed group sweep, a free function for the same
+ * vectorization reason as sweepInt8ColOuter. Walks packed column PAIRS:
+ * each byte yields both nibble planes with one AND + one shift, biased
+ * sums accumulate exactly in int32, and the single bias-correcting
+ * subtract + dequantizing mul + add per (group, column) matches the
+ * shuffle kernels' float op sequence bit for bit.
+ */
+__attribute__((noinline)) void
+sweepInt4ColOuter(const uint8_t *__restrict__ qbank,
+                  const float *__restrict__ scales,
+                  const int32_t *__restrict__ codes, int64_t bn,
+                  int64_t n, int64_t half_n, int64_t num_subspaces,
+                  int64_t c, int64_t num_blocks, int64_t num_groups,
+                  float *__restrict__ yb)
+{
+    constexpr int64_t G = LutTableArena::kInt4ScaleGroup;
+    constexpr int64_t B = LutTableArena::kInt4BlockCols;
+    for (int64_t g = 0; g < num_groups; ++g) {
+        const int64_t s0 = g * G;
+        const int64_t gs = std::min<int64_t>(G, num_subspaces - s0);
+        const int32_t bias = static_cast<int32_t>(8 * gs);
+        const float *srow = scales + g * num_blocks;
+        for (int64_t r = 0; r < bn; ++r) {
+            const int32_t *rcodes = codes + r * num_subspaces;
+            float *__restrict__ yr = yb + r * n;
+            const uint8_t *__restrict__ q[G];
+            for (int64_t gi = 0; gi < gs; ++gi) {
+                const int64_t s = s0 + gi;
+                q[gi] = qbank + (s * c + rcodes[s]) * half_n;
+            }
+            for (int64_t b = 0; b < num_blocks; ++b) {
+                const int64_t c0 = b * B;
+                const int64_t c1 = std::min(n, c0 + B);
+                const float scale = srow[b];
+                // B is even, so c0 is even and the block covers whole
+                // pairs — except the final block of an odd N, whose
+                // dangling low-plane column is handled after the loop.
+                const int64_t p0 = c0 >> 1;
+                const int64_t pairs = (c1 - c0) >> 1;
+                if (gs == G) {
+                    for (int64_t p = 0; p < pairs; ++p) {
+                        int32_t alo = 0, ahi = 0;
+                        for (int64_t gi = 0; gi < G; ++gi) {
+                            const int32_t byte = q[gi][p0 + p];
+                            alo += byte & 15;
+                            ahi += byte >> 4;
+                        }
+                        yr[c0 + 2 * p] +=
+                            scale * static_cast<float>(alo - bias);
+                        yr[c0 + 2 * p + 1] +=
+                            scale * static_cast<float>(ahi - bias);
+                    }
+                } else {
+                    for (int64_t p = 0; p < pairs; ++p) {
+                        int32_t alo = 0, ahi = 0;
+                        for (int64_t gi = 0; gi < gs; ++gi) {
+                            const int32_t byte = q[gi][p0 + p];
+                            alo += byte & 15;
+                            ahi += byte >> 4;
+                        }
+                        yr[c0 + 2 * p] +=
+                            scale * static_cast<float>(alo - bias);
+                        yr[c0 + 2 * p + 1] +=
+                            scale * static_cast<float>(ahi - bias);
+                    }
+                }
+                if ((c1 - c0) & 1) {
+                    int32_t alo = 0;
+                    for (int64_t gi = 0; gi < gs; ++gi)
+                        alo += q[gi][half_n - 1] & 15;
+                    yr[n - 1] += scale * static_cast<float>(alo - bias);
+                }
+            }
+        }
+    }
+}
+
+/**
  * Transpose the first `valid_rows` rows of one shuffle-gather chunk's
  * column-major accumulators ([n, chunk]) into the row-major output block
  * ([valid_rows, n]). 16x16 tiles keep both sides cache-friendly; values
@@ -479,6 +557,103 @@ LutTableArena::gatherAccumulateInt8(const vq::CodeBuffer &codes,
 }
 
 void
+LutTableArena::gatherAccumulateInt4(const vq::CodeBuffer &codes, float *y,
+                                    GatherScratch &scratch,
+                                    Int4GatherVariant variant) const
+{
+    gatherAccumulateInt4(codes, 0, codes.rows(), y, scratch, variant);
+}
+
+void
+LutTableArena::gatherAccumulateInt4(const vq::CodeBuffer &codes,
+                                    int64_t row0, int64_t rows, float *y,
+                                    GatherScratch &scratch,
+                                    Int4GatherVariant variant) const
+{
+    LUTDLA_CHECK(int4_bank_ != nullptr,
+                 "gatherAccumulateInt4 requires ensureInt4Bank() first");
+    LUTDLA_CHECK(codes.subspaces() == num_subspaces_,
+                 "code buffer carries ", codes.subspaces(),
+                 " subspaces, arena has ", num_subspaces_);
+    LUTDLA_CHECK(row0 >= 0 && row0 + rows <= codes.rows(),
+                 "gather span [", row0, ", ", row0 + rows, ") exceeds ",
+                 codes.rows(), " encoded rows");
+    const Int4Bank &bank = *int4_bank_;
+    if (variant == Int4GatherVariant::Auto)
+        variant = int4AutoVariant();
+    util::SimdLevel level = util::SimdLevel::Generic;
+    if (variant == Int4GatherVariant::ShuffleAvx512)
+        level = util::SimdLevel::Avx512;
+    else if (variant == Int4GatherVariant::ShuffleAvx2)
+        level = util::SimdLevel::Avx2;
+    if (variant != Int4GatherVariant::Scalar) {
+        LUTDLA_CHECK(!bank.q4_il.empty(),
+                     "shuffle gather needs c <= 16 (got c = ",
+                     num_centroids_, "); use the scalar variant");
+        LUTDLA_CHECK(level <= util::simdLevel(),
+                     "requested shuffle variant needs ",
+                     util::simdLevelName(level),
+                     " but this CPU provides ",
+                     util::simdLevelName(util::simdLevel()));
+    }
+    const int64_t n = out_features_;
+    const int64_t chunk = variant == Int4GatherVariant::Scalar
+                              ? 0
+                              : simd::shuffleGatherChunkRows(level);
+    // Same block/chunk/tail structure as the INT8 gather: full chunks
+    // through the shuffle kernel, big tails padded through one chunk
+    // (pad lanes carry code 0, computed but never copied out), small
+    // tails through the scalar packed sweep — every seam bit-invisible
+    // because all paths share the exact biased-nibble accumulation.
+    for (int64_t b0 = row0; b0 < row0 + rows; b0 += kRowBlock) {
+        const int64_t bn = std::min(kRowBlock, row0 + rows - b0);
+        float *yb = y + b0 * n;
+        int64_t done = 0;
+        if (chunk > 0 && bn >= chunk / 4) {
+            scratch.planar.resize(
+                static_cast<size_t>(num_subspaces_ * chunk));
+            scratch.colmajor.resize(static_cast<size_t>(n * chunk));
+            for (; done + chunk <= bn; done += chunk) {
+                codes.unpackPlanar(b0 + done, chunk,
+                                   scratch.planar.data());
+                simd::shuffleGatherChunkInt4(
+                    level, bank.q4_il.data(), bank.scales.data(),
+                    scratch.planar.data(), num_subspaces_, n,
+                    bank.num_blocks, kInt4ScaleGroup, kInt4BlockCols,
+                    scratch.colmajor.data());
+                transposeColMajor(scratch.colmajor.data(), chunk, n,
+                                  yb + done * n);
+            }
+            const int64_t tail = bn - done;
+            if (tail >= chunk / 4) {
+                std::fill(scratch.planar.begin(), scratch.planar.end(),
+                          uint8_t{0});
+                codes.unpackPlanar(b0 + done, tail, scratch.planar.data(),
+                                   chunk);
+                simd::shuffleGatherChunkInt4(
+                    level, bank.q4_il.data(), bank.scales.data(),
+                    scratch.planar.data(), num_subspaces_, n,
+                    bank.num_blocks, kInt4ScaleGroup, kInt4BlockCols,
+                    scratch.colmajor.data());
+                transposeColMajorTail(scratch.colmajor.data(), chunk, n,
+                                      tail, yb + done * n);
+                done = bn;
+            }
+        }
+        if (done < bn) {
+            const int64_t tail = bn - done;
+            scratch.unpacked.resize(
+                static_cast<size_t>(tail * num_subspaces_));
+            codes.unpackRows(b0 + done, tail, scratch.unpacked.data());
+            float *yt = yb + done * n;
+            std::fill(yt, yt + tail * n, 0.0f);
+            sweepRowsInt4Scalar(bank, scratch.unpacked.data(), tail, yt);
+        }
+        addBias(yb, bn);
+    }
+}
+
+void
 LutTableArena::ensureInt8Bank() const
 {
     std::call_once(int8_once_, [this] {
@@ -566,7 +741,114 @@ LutTableArena::ensureInt8Bank() const
                 }
             }
         }
+        // Resident-accounting invariant int8ResidentBytes() relies on:
+        // each mirror layout is either fully materialized because this
+        // host can run a kernel that reads it, or left empty — so the
+        // unconditional sum over layout sizes counts exactly the
+        // layouts this CPU built, never a phantom third copy.
+        LUTDLA_CHECK(
+            bank->q_il.empty() ==
+                !(c <= 16 &&
+                  simd::shuffleGatherSupported(util::simdLevel())),
+            "q_il must be materialized exactly when the shuffle gather "
+            "can run on this host");
+        LUTDLA_CHECK(
+            bank->q_quad.empty() ==
+                !(c <= 16 &&
+                  simd::vnniGatherSupported(util::simdLevel())),
+            "q_quad must be materialized exactly when the VNNI gather "
+            "can run on this host");
         int8_bank_ = std::move(bank);
+    });
+}
+
+void
+LutTableArena::ensureInt4Bank() const
+{
+    std::call_once(int4_once_, [this] {
+        auto bank = std::make_unique<Int4Bank>();
+        const int64_t n = out_features_;
+        const int64_t c = num_centroids_;
+        bank->half_n = (n + 1) / 2;
+        bank->num_blocks = (n + kInt4BlockCols - 1) / kInt4BlockCols;
+        bank->num_groups =
+            (num_subspaces_ + kInt4ScaleGroup - 1) / kInt4ScaleGroup;
+        // 0x88 = bias nibble 8 in both planes, the exact packed zero:
+        // odd-N dangling high nibbles and never-indexed pad entries all
+        // decode to 0 by construction.
+        bank->q4.assign(
+            static_cast<size_t>(num_subspaces_ * c * bank->half_n), 0x88);
+        bank->scales.resize(
+            static_cast<size_t>(bank->num_groups * bank->num_blocks));
+        const float max_level = static_cast<float>(kInt4MaxLevel);
+        for (int64_t g = 0; g < bank->num_groups; ++g) {
+            const int64_t s0 = g * kInt4ScaleGroup;
+            const int64_t s1 =
+                std::min(num_subspaces_, s0 + kInt4ScaleGroup);
+            for (int64_t b = 0; b < bank->num_blocks; ++b) {
+                const int64_t c0 = b * kInt4BlockCols;
+                const int64_t c1 = std::min(n, c0 + kInt4BlockCols);
+                // Same shared symmetric scale per (group, block) as the
+                // INT8 bank, over the 15-level nibble range.
+                float max_abs = 0.0f;
+                for (int64_t s = s0; s < s1; ++s)
+                    for (int64_t j = 0; j < c; ++j) {
+                        const float *row = entry(s, j);
+                        for (int64_t col = c0; col < c1; ++col)
+                            max_abs =
+                                std::max(max_abs, std::fabs(row[col]));
+                    }
+                const float scale =
+                    max_abs > 0.0f ? max_abs / max_level : 1.0f;
+                bank->scales[static_cast<size_t>(g * bank->num_blocks +
+                                                 b)] = scale;
+                for (int64_t s = s0; s < s1; ++s)
+                    for (int64_t j = 0; j < c; ++j) {
+                        const float *row = entry(s, j);
+                        uint8_t *qrow = bank->q4.data() +
+                                        (s * c + j) * bank->half_n;
+                        for (int64_t col = c0; col < c1; ++col) {
+                            const float q =
+                                std::nearbyint(row[col] / scale);
+                            const int32_t nib =
+                                static_cast<int32_t>(std::max(
+                                    -max_level,
+                                    std::min(max_level, q))) +
+                                8;
+                            uint8_t &byte = qrow[col >> 1];
+                            if (col & 1)
+                                byte = static_cast<uint8_t>(
+                                    (byte & 0x0F) | (nib << 4));
+                            else
+                                byte = static_cast<uint8_t>(
+                                    (byte & 0xF0) | nib);
+                        }
+                    }
+            }
+        }
+        // Interleaved shuffle mirror, capability-gated like the INT8
+        // mirrors: each (subspace, column pair) packs its 16 centroid
+        // bytes contiguously so one 128-bit load is the whole LUT.
+        if (c <= 16 && simd::shuffleGatherSupported(util::simdLevel())) {
+            bank->q4_il.assign(
+                static_cast<size_t>(num_subspaces_ * bank->half_n * 16),
+                0x88);
+            for (int64_t s = 0; s < num_subspaces_; ++s)
+                for (int64_t j = 0; j < c; ++j) {
+                    const uint8_t *qrow =
+                        bank->q4.data() + (s * c + j) * bank->half_n;
+                    for (int64_t p = 0; p < bank->half_n; ++p)
+                        bank->q4_il[static_cast<size_t>(
+                            (s * bank->half_n + p) * 16 + j)] = qrow[p];
+                }
+        }
+        LUTDLA_CHECK(
+            bank->q4_il.empty() ==
+                !(c <= 16 &&
+                  simd::shuffleGatherSupported(util::simdLevel())),
+            "q4_il must be materialized exactly when the shuffle gather "
+            "can run on this host");
+        int4_bank_ = std::move(bank);
     });
 }
 
@@ -629,6 +911,60 @@ LutTableArena::int8GatherVariantName(Int8GatherVariant variant)
     }
 }
 
+bool
+LutTableArena::int4BankReady() const
+{
+    return int4_bank_ != nullptr;
+}
+
+int64_t
+LutTableArena::int4TableBytes() const
+{
+    if (!int4_bank_)
+        return 0;
+    return static_cast<int64_t>(int4_bank_->q4.size() * sizeof(uint8_t) +
+                                int4_bank_->scales.size() * sizeof(float));
+}
+
+int64_t
+LutTableArena::int4ResidentBytes() const
+{
+    if (!int4_bank_)
+        return 0;
+    const Int4Bank &bank = *int4_bank_;
+    return static_cast<int64_t>(
+        (bank.q4.size() + bank.q4_il.size()) * sizeof(uint8_t) +
+        bank.scales.size() * sizeof(float));
+}
+
+Int4GatherVariant
+LutTableArena::int4AutoVariant() const
+{
+    if (num_centroids_ > 16)
+        return Int4GatherVariant::Scalar;
+    const util::SimdLevel level = util::simdLevel();
+    if (level >= util::SimdLevel::Avx512)
+        return Int4GatherVariant::ShuffleAvx512;
+    if (level == util::SimdLevel::Avx2)
+        return Int4GatherVariant::ShuffleAvx2;
+    return Int4GatherVariant::Scalar;
+}
+
+const char *
+LutTableArena::int4GatherVariantName(Int4GatherVariant variant)
+{
+    switch (variant) {
+      case Int4GatherVariant::ShuffleAvx512:
+        return "shuffle-avx512";
+      case Int4GatherVariant::ShuffleAvx2:
+        return "shuffle-avx2";
+      case Int4GatherVariant::Scalar:
+        return "scalar";
+      default:
+        return "auto";
+    }
+}
+
 const char *
 LutTableArena::encodeVariantName() const
 {
@@ -655,6 +991,21 @@ LutTableArena::sweepRowsInt8Scalar(const Int8Bank &bank,
     sweepInt8ColOuter(bank.q.data(), bank.scales.data(), codes, bn,
                       out_features_, num_subspaces_, num_centroids_,
                       bank.num_blocks, bank.num_groups, yb);
+}
+
+void
+LutTableArena::sweepRowsInt4Scalar(const Int4Bank &bank,
+                                   const int32_t *codes, int64_t bn,
+                                   float *yb) const
+{
+    // INT4 half of the same contract: exact biased-nibble accumulation
+    // per scale group, one bias-correcting subtract, one dequantizing
+    // mul + add per (group, column) — the shuffle kernels' float op
+    // sequence, in a -mno-fma TU so it never contracts.
+    sweepInt4ColOuter(bank.q4.data(), bank.scales.data(), codes, bn,
+                      out_features_, bank.half_n, num_subspaces_,
+                      num_centroids_, bank.num_blocks, bank.num_groups,
+                      yb);
 }
 
 void

@@ -23,14 +23,17 @@
  *    bit-packed vq::CodeBuffer (BF16 input rounding applied when the
  *    arena demands it). The flagship L2 / c=16 shape dispatches to the
  *    runtime-selected SIMD argmin (lutboost/kernels_simd.h).
- *  - gather: `gatherAccumulate` sweeps the float table bank, or
- *    `gatherAccumulateInt8` sweeps the INT8-quantized bank. For c <= 16
- *    the INT8 gather runs as an in-register shuffle lookup (AVX-512
- *    VPSHUFB over 64-row chunks, AVX2 over 32) against the bank's
- *    interleaved layout; otherwise (and for row tails) a scalar group
- *    sweep runs. Both paths share exact integer accumulation under
- *    per-(subspace-group, column-block) scales, so they are bit-identical
- *    by construction.
+ *  - gather: `gatherAccumulate` sweeps the float table bank,
+ *    `gatherAccumulateInt8` sweeps the INT8-quantized bank, and
+ *    `gatherAccumulateInt4` sweeps the nibble-packed INT4 bank. For
+ *    c <= 16 the quantized gathers run as an in-register shuffle lookup
+ *    (AVX-512 VPSHUFB over 64-row chunks, AVX2 over 32) against the
+ *    bank's interleaved layout — the INT4 variant adds one
+ *    unpack-and-shift per chunk to split the two nibble planes;
+ *    otherwise (and for row tails) a scalar group sweep runs. All paths
+ *    of one bank share exact integer accumulation under
+ *    per-(subspace-group, column-block) scales, so every variant of a
+ *    bank is bit-identical by construction.
  * Both phases take explicit [row0, row0 + rows) spans so the serving
  * engine can shard one batch across its worker pool; the whole-buffer
  * overloads are the single-thread convenience.
@@ -82,6 +85,20 @@ enum class Int8GatherVariant
     ShuffleAvx2,    ///< 32-row VPSHUFB chunks (requires AVX2)
     ShuffleAvx512,  ///< 64-row VPSHUFB chunks (requires AVX-512BW)
     ShuffleVnni     ///< VPERMB + VPDPBUSD dot chunks (AVX-512 VBMI+VNNI)
+};
+
+/**
+ * Which INT4 gather kernel to run. Mirrors Int8GatherVariant minus the
+ * VNNI tier (VPDPBUSD folds raw bytes, which would mix the two nibble
+ * planes; the bit-plane split needs the explicit unpack the shuffle
+ * kernels perform).
+ */
+enum class Int4GatherVariant
+{
+    Auto,           ///< best supported (shuffle when c <= 16 and SIMD)
+    Scalar,         ///< portable packed group sweep (always available)
+    ShuffleAvx2,    ///< 32-row VPSHUFB + nibble-unpack chunks (AVX2)
+    ShuffleAvx512   ///< 64-row VPSHUFB + nibble-unpack chunks (AVX-512BW)
 };
 
 /** One frozen LUT layer in a single flat allocation. Immutable. */
@@ -235,6 +252,61 @@ class LutTableArena
     /** Stable variant tag, e.g. "shuffle-avx512" / "scalar". */
     static const char *int8GatherVariantName(Int8GatherVariant variant);
 
+    /**
+     * Gather phase over the INT4 bank (requires ensureInt4Bank() first;
+     * panics otherwise). Entries are symmetric 4-bit codes under the same
+     * per-(kInt4ScaleGroup subspaces, kInt4BlockCols columns) scale
+     * geometry as the INT8 bank, packed two adjacent output columns per
+     * byte. Accumulation is exact integer arithmetic over bias-shifted
+     * nibbles with one bias-correcting subtract and one dequantizing
+     * mul + add per (group, column), so every variant — shuffle or scalar
+     * — produces bit-identical output. NOT bit-exact vs the float or
+     * INT8 banks; see docs/SERVING.md for the error envelope.
+     */
+    void gatherAccumulateInt4(
+        const vq::CodeBuffer &codes, float *y, GatherScratch &scratch,
+        Int4GatherVariant variant = Int4GatherVariant::Auto) const;
+
+    /** Shardable INT4 gather span; see the float span overload. */
+    void gatherAccumulateInt4(
+        const vq::CodeBuffer &codes, int64_t row0, int64_t rows, float *y,
+        GatherScratch &scratch,
+        Int4GatherVariant variant = Int4GatherVariant::Auto) const;
+
+    /**
+     * Build the INT4-quantized table bank (idempotent, thread-safe).
+     * Independent of the INT8 bank — a plan that only serves INT4 never
+     * materializes INT8 layouts.
+     */
+    void ensureInt4Bank() const;
+
+    /** True once ensureInt4Bank() has built the packed bank. */
+    bool int4BankReady() const;
+
+    /**
+     * Bytes of the canonical packed INT4 bank (row-major nibble pairs +
+     * scales) — what plans and benches report; 0 until ensureInt4Bank().
+     */
+    int64_t int4TableBytes() const;
+
+    /**
+     * Total RESIDENT bytes of the INT4 bank: the packed row-major table
+     * plus the interleaved shuffle mirror when this CPU built it
+     * (capability-gated exactly like the INT8 mirrors). 0 until
+     * ensureInt4Bank().
+     */
+    int64_t int4ResidentBytes() const;
+
+    /**
+     * The INT4 gather variant Auto resolves to on this arena and CPU
+     * (shuffle needs c <= 16 and at least AVX2). What the serving plan
+     * records.
+     */
+    Int4GatherVariant int4AutoVariant() const;
+
+    /** Stable variant tag, e.g. "shuffle-avx512" / "scalar". */
+    static const char *int4GatherVariantName(Int4GatherVariant variant);
+
     /** Stable tag of the encode kernel this arena dispatches to, e.g.
      * "avx512-c16" for the SIMD L2/c=16 fast path, else "generic". */
     const char *encodeVariantName() const;
@@ -279,6 +351,29 @@ class LutTableArena
      */
     static constexpr int64_t kInt8ScaleGroup = 16;
 
+    /**
+     * Output columns sharing one INT4 scale. Same geometry as the INT8
+     * bank — kept even so a packed column pair never straddles a scale
+     * block (2p and 2p+1 always share a block when the width is even),
+     * which lets every kernel dequantize a whole pair with one scale.
+     */
+    static constexpr int64_t kInt4BlockCols = kInt8BlockCols;
+
+    /**
+     * Subspaces sharing one INT4 scale (per output block). 16 bias-
+     * shifted nibbles of <= 15 sum to <= 240, comfortably inside the
+     * int16 lanes both gather paths accumulate in before the single
+     * bias-correcting subtract + dequantizing mul + add per group.
+     */
+    static constexpr int64_t kInt4ScaleGroup = kInt8ScaleGroup;
+
+    /**
+     * Symmetric INT4 range: entries clamp to [-7, 7] (scale =
+     * max_abs / 7) and are stored bias-shifted by +8 as unsigned
+     * nibbles 1..15; nibble 8 is the exact zero the padding uses.
+     */
+    static constexpr int64_t kInt4MaxLevel = 7;
+
   private:
     /**
      * INT8 mirror of the PSum table in two layouts: `q` row-major
@@ -300,6 +395,29 @@ class LutTableArena
         int64_t num_groups = 0;
     };
 
+    /**
+     * INT4 mirror of the PSum table, packed two adjacent output columns
+     * per byte (column-pair bit-plane split: low nibble = even column,
+     * high nibble = odd column, both bias-shifted by +8). Codes are per
+     * (row, subspace) and identical across columns, so one looked-up
+     * byte serves BOTH columns of a pair — the shuffle kernels unpack
+     * the two nibble planes with one AND + one shift per lookup. `q4`
+     * row-major [Nc, c, ceil(N/2)] for the scalar sweep; `q4_il`
+     * interleaved [Nc, ceil(N/2), 16] (c <= 16 only) so each
+     * (subspace, column pair) is one vector-register LUT. Odd N leaves
+     * the last pair's high nibble at the bias value 8 (exact zero):
+     * computed, never copied out. Scale geometry matches the INT8 bank.
+     */
+    struct Int4Bank
+    {
+        std::vector<uint8_t> q4;    ///< [Nc, c, ceil(N/2)] packed pairs
+        std::vector<uint8_t> q4_il; ///< [Nc, ceil(N/2), 16] interleaved
+        std::vector<float> scales;  ///< [numGroups, num_blocks] scales
+        int64_t num_blocks = 0;
+        int64_t num_groups = 0;
+        int64_t half_n = 0;         ///< ceil(N/2) packed column pairs
+    };
+
     template <vq::Metric M, typename Sink>
     void encodeRowsImpl(const float *x, int64_t rows, Sink &&sink) const;
 
@@ -315,6 +433,11 @@ class LutTableArena
 
     /** Scalar INT8 group sweep (exact integer accumulation per group). */
     void sweepRowsInt8Scalar(const Int8Bank &bank, const int32_t *codes,
+                             int64_t bn, float *yb) const;
+
+    /** Scalar INT4 packed group sweep (exact biased-nibble accumulation
+     * per group; bit-identical to the shuffle variants). */
+    void sweepRowsInt4Scalar(const Int4Bank &bank, const int32_t *codes,
                              int64_t bn, float *yb) const;
 
     /** Add the packed bias row to `bn` output rows (no-op without bias). */
@@ -350,10 +473,14 @@ class LutTableArena
     size_t bias_offset_;
     std::vector<float> data_;  ///< [codebooks | psum table | bias]
 
-    // Lazily-built INT8 mirror of the table: logically-immutable cache,
-    // built at most once under the flag (planner triggers it eagerly).
+    // Lazily-built quantized mirrors of the table: logically-immutable
+    // caches, each built at most once under its flag (planner triggers
+    // them eagerly). Independent — a plan serving only one precision
+    // never materializes the other bank.
     mutable std::once_flag int8_once_;
     mutable std::unique_ptr<Int8Bank> int8_bank_;
+    mutable std::once_flag int4_once_;
+    mutable std::unique_ptr<Int4Bank> int4_bank_;
 };
 
 } // namespace lutdla::lutboost

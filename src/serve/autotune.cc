@@ -1,0 +1,194 @@
+#include "serve/autotune.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace lutdla::serve {
+
+std::string
+AutoTuneResult::assignmentString() const
+{
+    std::string out;
+    for (size_t i = 0; i < stage_precision.size(); ++i) {
+        if (i > 0)
+            out += "/";
+        out += tablePrecisionName(stage_precision[i]);
+    }
+    return out;
+}
+
+namespace {
+
+/** Argmax per row of a [rows, n] tensor (first index wins ties, which
+ * keeps the probe deterministic across kernels of a bit-identical
+ * bank). */
+std::vector<int64_t>
+topOne(const Tensor &y)
+{
+    const int64_t rows = y.dim(0);
+    const int64_t n = y.dim(1);
+    std::vector<int64_t> labels(static_cast<size_t>(rows), 0);
+    for (int64_t r = 0; r < rows; ++r) {
+        int64_t best = 0;
+        float best_v = y.at(r, 0);
+        for (int64_t c = 1; c < n; ++c) {
+            if (y.at(r, c) > best_v) {
+                best_v = y.at(r, c);
+                best = c;
+            }
+        }
+        labels[static_cast<size_t>(r)] = best;
+    }
+    return labels;
+}
+
+} // namespace
+
+AutoTuneResult
+autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
+                  const AutoTuneOptions &options, AgreementProbe probe)
+{
+    const int64_t num_lut = model.numLutStages();
+    AutoTuneResult result;
+    result.stage_precision.assign(static_cast<size_t>(std::max<int64_t>(
+                                      num_lut, 0)),
+                                  TablePrecision::Float32);
+
+    // The plan template every candidate derives from: caller's fusion /
+    // sharding knobs, precision fully owned by the search.
+    PlanOptions tmpl = base;
+    tmpl.table_precision = TablePrecision::Float32;
+    tmpl.stage_precision.clear();
+
+    auto planFor = [&](const std::vector<TablePrecision> &assign) {
+        PlanOptions p = tmpl;
+        p.stage_precision = assign;
+        return p;
+    };
+
+    // Default agreement harness: deterministic Gaussian probe rows
+    // (whole row groups so attention models see complete sequences),
+    // top-1 labels pinned against the all-float32 replan.
+    Tensor probe_rows({1, 1});
+    std::vector<int64_t> ref_labels;
+    if (probe == nullptr) {
+        const int64_t group = std::max<int64_t>(model.rowGroup(), 1);
+        int64_t rows = std::max<int64_t>(options.probe_rows, 1);
+        rows = ((rows + group - 1) / group) * group;
+        probe_rows = Tensor({rows, model.inputWidth()});
+        Rng rng(options.seed);
+        for (int64_t i = 0; i < probe_rows.numel(); ++i)
+            probe_rows.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+        const FrozenModel ref = model.withPlan(planFor({}));
+        ref_labels = topOne(ref.forwardBatch(probe_rows));
+        ++result.evals;
+
+        probe = [&model, &probe_rows, &ref_labels,
+                 &planFor](const PlanOptions &plan) {
+            const FrozenModel cand = model.withPlan(plan);
+            const std::vector<int64_t> labels =
+                topOne(cand.forwardBatch(probe_rows));
+            int64_t hits = 0;
+            for (size_t i = 0; i < labels.size(); ++i)
+                hits += labels[i] == ref_labels[i] ? 1 : 0;
+            return labels.empty()
+                       ? 1.0
+                       : static_cast<double>(hits) /
+                             static_cast<double>(labels.size());
+        };
+    }
+
+    const FrozenModel float_plan = model.withPlan(planFor({}));
+    const int64_t float_bytes = float_plan.tableBytes();
+
+    if (num_lut <= 0) {
+        result.agreement = 1.0;
+        result.table_bytes = float_bytes;
+        return result;
+    }
+
+    // Bytes a single-stage move saves: replan with only that stage
+    // lowered and diff total table bytes (exact, accounts for conv /
+    // attention stages owning one vs four arenas).
+    auto bytesWith = [&](const std::vector<TablePrecision> &assign) {
+        return model.withPlan(planFor(assign)).tableBytes();
+    };
+
+    // Phase 1: score every single-stage move in isolation.
+    std::vector<TablePrecision> candidates{TablePrecision::Int8};
+    if (options.allow_int4)
+        candidates.push_back(TablePrecision::Int4);
+
+    std::vector<AutoTuneMove> moves;
+    for (int64_t s = 0; s < num_lut; ++s) {
+        for (TablePrecision prec : candidates) {
+            std::vector<TablePrecision> assign(
+                static_cast<size_t>(num_lut), TablePrecision::Float32);
+            assign[static_cast<size_t>(s)] = prec;
+            AutoTuneMove move;
+            move.lut_stage = s;
+            move.precision = prec;
+            move.bytes_saved = float_bytes - bytesWith(assign);
+            move.solo_agreement = probe(planFor(assign));
+            ++result.evals;
+            moves.push_back(move);
+        }
+    }
+
+    // Phase 2: greedy descent ordered by bytes saved per unit of solo
+    // agreement lost (stable sort + (stage, precision) tie-break keeps
+    // the walk deterministic). A move only upgrades a stage if it saves
+    // bytes over whatever that stage already holds.
+    constexpr double kEps = 1e-6;
+    auto ratio = [&](const AutoTuneMove &m) {
+        return static_cast<double>(m.bytes_saved) /
+               std::max(kEps, 1.0 - m.solo_agreement);
+    };
+    std::stable_sort(moves.begin(), moves.end(),
+                     [&](const AutoTuneMove &a, const AutoTuneMove &b) {
+                         const double ra = ratio(a);
+                         const double rb = ratio(b);
+                         if (ra != rb)
+                             return ra > rb;
+                         if (a.lut_stage != b.lut_stage)
+                             return a.lut_stage < b.lut_stage;
+                         return static_cast<int>(a.precision) <
+                                static_cast<int>(b.precision);
+                     });
+
+    std::vector<TablePrecision> current(static_cast<size_t>(num_lut),
+                                        TablePrecision::Float32);
+    int64_t current_bytes = float_bytes;
+    double current_agreement = 1.0;
+
+    for (AutoTuneMove &move : moves) {
+        if (move.bytes_saved <= 0)
+            continue; // never trades accuracy for more bytes
+        if (move.solo_agreement < options.agreement_budget)
+            continue; // cannot survive the combined check either
+        std::vector<TablePrecision> next = current;
+        const size_t s = static_cast<size_t>(move.lut_stage);
+        next[s] = move.precision;
+        const int64_t next_bytes = bytesWith(next);
+        if (next_bytes >= current_bytes)
+            continue; // stage already holds a smaller bank
+        const double agreement = probe(planFor(next));
+        ++result.evals;
+        if (agreement < options.agreement_budget)
+            continue; // revert: combined plan broke the budget
+        current = std::move(next);
+        current_bytes = next_bytes;
+        current_agreement = agreement;
+        move.applied = true;
+    }
+
+    result.stage_precision = current;
+    result.agreement = current_agreement;
+    result.table_bytes = current_bytes;
+    result.moves = std::move(moves);
+    return result;
+}
+
+} // namespace lutdla::serve

@@ -588,6 +588,17 @@ FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
     return frozen;
 }
 
+FrozenModel
+FrozenModel::withPlan(const PlanOptions &plan) const
+{
+    FrozenModel out;
+    out.stages_ = stages_;  // shared_ptr copies: arenas (and their cached
+                            // quantized banks) are shared, never rebuilt
+    out.row_group_ = row_group_;
+    planStages(out.stages_, plan, out.plan_);
+    return out;
+}
+
 int64_t
 FrozenModel::inputWidth() const
 {
@@ -618,6 +629,15 @@ FrozenModel::tableBytes() const
     int64_t total = 0;
     for (const StagePtr &stage : stages_)
         total += stage->tableBytes();
+    return total;
+}
+
+int64_t
+FrozenModel::residentBytes() const
+{
+    int64_t total = 0;
+    for (const StagePtr &stage : stages_)
+        total += stage->residentBytes();
     return total;
 }
 

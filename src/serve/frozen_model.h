@@ -128,6 +128,19 @@ class FrozenModel
               const vq::PQConfig &pq, vq::LutPrecision precision = {},
               uint64_t seed = 91, PlanOptions plan = {});
 
+    /**
+     * Replan this model under different PlanOptions, returning a new
+     * FrozenModel whose stages are rebuilt by the planning pass but
+     * SHARE every arena with the original (shared_ptr copies). Because
+     * quantized banks cache inside the arena, a replanned candidate
+     * pays table quantization at most once per (arena, precision) no
+     * matter how many plans bind it — the property the mixed-precision
+     * auto-tuner's candidate sweep (serve/autotune.h) relies on. The
+     * original model is untouched; planStages is idempotent on an
+     * already-planned chain, so fusion decisions do not compound.
+     */
+    FrozenModel withPlan(const PlanOptions &plan) const;
+
     /** Input width the first stage expects. */
     int64_t inputWidth() const;
 
@@ -153,6 +166,11 @@ class FrozenModel
 
     /** Total arena footprint in bytes across stages. */
     int64_t tableBytes() const;
+
+    /** Total bytes RESIDENT for the planned tables across stages: the
+     * gather streams plus any CPU-gated mirror layouts (interleaved
+     * shuffle banks, VNNI quads) the bound backends keep. */
+    int64_t residentBytes() const;
 
     /** Stage list (read-only). */
     const std::vector<StagePtr> &stages() const { return stages_; }

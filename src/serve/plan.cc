@@ -12,10 +12,41 @@ namespace lutdla::serve {
 const char *
 tablePrecisionName(TablePrecision precision)
 {
-    return precision == TablePrecision::Int8 ? "int8" : "float32";
+    switch (precision) {
+      case TablePrecision::Int8:
+        return "int8";
+      case TablePrecision::Int4:
+        return "int4";
+      default:
+        return "float32";
+    }
 }
 
 namespace {
+
+/** Backend singleton implementing one table precision. */
+const lutboost::KernelBackend *
+backendFor(TablePrecision precision)
+{
+    switch (precision) {
+      case TablePrecision::Int8:
+        return &lutboost::quantizedBackend();
+      case TablePrecision::Int4:
+        return &lutboost::int4Backend();
+      default:
+        return &lutboost::referenceBackend();
+    }
+}
+
+/** Precision of the `lut_index`-th LUT stage in chain order: explicit
+ * per-stage binding when present, else the global default. */
+TablePrecision
+stagePrecisionAt(const PlanOptions &options, size_t lut_index)
+{
+    if (lut_index < options.stage_precision.size())
+        return options.stage_precision[lut_index];
+    return options.table_precision;
+}
 
 /** Collect the run of PointwiseStages starting at `j`; returns one past
  * the last fused stage. */
@@ -64,11 +95,19 @@ lutPlan(const FrozenStage &stage, const lutboost::LutTableArena &arena,
     plan.precision = precision;
     plan.table_bytes = stage.tableBytes();
     plan.encode_kernel = arena.encodeVariantName();
-    plan.gather_kernel =
-        precision == TablePrecision::Int8
-            ? lutboost::LutTableArena::int8GatherVariantName(
-                  arena.int8AutoVariant())
-            : "grouped-sweep";
+    switch (precision) {
+      case TablePrecision::Int8:
+        plan.gather_kernel = lutboost::LutTableArena::int8GatherVariantName(
+            arena.int8AutoVariant());
+        break;
+      case TablePrecision::Int4:
+        plan.gather_kernel = lutboost::LutTableArena::int4GatherVariantName(
+            arena.int4AutoVariant());
+        break;
+      default:
+        plan.gather_kernel = "grouped-sweep";
+        break;
+    }
     plan.shard_rows = shard_rows;
     return plan;
 }
@@ -89,16 +128,17 @@ void
 planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
            std::vector<StagePlan> &plan)
 {
-    const lutboost::KernelBackend *backend =
-        options.table_precision == TablePrecision::Int8
-            ? &lutboost::quantizedBackend()
-            : &lutboost::referenceBackend();
     const int64_t shard_rows = resolveShardRows(options);
 
     std::vector<StagePtr> out;
     out.reserve(stages.size());
     plan.clear();
 
+    // LUT stages resolve their backend individually, counted in chain
+    // order so PlanOptions::stage_precision lines up across replans
+    // (fusion never changes the LUT stage count, so the index is stable
+    // when an already-planned chain is planned again).
+    size_t lut_index = 0;
     size_t i = 0;
     while (i < stages.size()) {
         const StagePtr &stage = stages[i];
@@ -116,12 +156,13 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                 std::vector<std::string> fused{stage->kind()};
                 const size_t j =
                     collectEpilogue(stages, i + 2, epilogue, fused);
+                const TablePrecision prec =
+                    stagePrecisionAt(options, lut_index++);
                 auto planned = std::make_shared<ArenaStage>(
-                    next->arena(), backend, std::move(epilogue),
+                    next->arena(), backendFor(prec), std::move(epilogue),
                     stage->inWidth(), shard_rows);
                 plan.push_back(lutPlan(*planned, *planned->arena(),
-                                       std::move(fused),
-                                       options.table_precision,
+                                       std::move(fused), prec,
                                        shard_rows));
                 out.push_back(std::move(planned));
                 i = j;
@@ -137,12 +178,13 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  ? collectEpilogue(stages, i + 1, epilogue,
                                                    fused)
                                  : i + 1;
+            const TablePrecision prec =
+                stagePrecisionAt(options, lut_index++);
             auto planned = std::make_shared<ArenaStage>(
-                arena->arena(), backend, std::move(epilogue),
+                arena->arena(), backendFor(prec), std::move(epilogue),
                 arena->adaptInWidth(), shard_rows);
             plan.push_back(lutPlan(*planned, *planned->arena(),
-                                   std::move(fused),
-                                   options.table_precision, shard_rows));
+                                   std::move(fused), prec, shard_rows));
             out.push_back(std::move(planned));
             i = j;
             continue;
@@ -156,15 +198,16 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  ? collectEpilogue(stages, i + 1, epilogue,
                                                    fused)
                                  : i + 1;
+            const TablePrecision prec =
+                stagePrecisionAt(options, lut_index++);
             auto planned = std::make_shared<AttentionStage>(
-                attn->arenas(), attn->seqLen(), attn->heads(), backend,
-                std::move(epilogue), shard_rows);
+                attn->arenas(), attn->seqLen(), attn->heads(),
+                backendFor(prec), std::move(epilogue), shard_rows);
             // Plan kernels/code width shown for the Q projection arena
             // (all four projections share shape and dispatch);
             // table_bytes covers all four.
             plan.push_back(lutPlan(*planned, *planned->arenas().q,
-                                   std::move(fused),
-                                   options.table_precision, shard_rows));
+                                   std::move(fused), prec, shard_rows));
             out.push_back(std::move(planned));
             i = j;
             continue;
@@ -178,14 +221,15 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  ? collectEpilogue(stages, i + 1, epilogue,
                                                    fused)
                                  : i + 1;
+            const TablePrecision prec =
+                stagePrecisionAt(options, lut_index++);
             auto planned = std::make_shared<ConvStage>(
                 conv->geometry(), conv->height(), conv->width(),
-                conv->arena(), backend, std::move(epilogue));
+                conv->arena(), backendFor(prec), std::move(epilogue));
             // Conv stages stay unsharded (the im2col plane is shared);
             // their shard_rows records 0 so the summary says so.
             plan.push_back(lutPlan(*planned, *planned->arena(),
-                                   std::move(fused),
-                                   options.table_precision, 0));
+                                   std::move(fused), prec, 0));
             out.push_back(std::move(planned));
             i = j;
             continue;

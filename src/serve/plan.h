@@ -9,7 +9,9 @@
  *
  *  - precision selection: every LUT stage (ArenaStage / ConvStage /
  *    AttentionStage) is bound to a lutboost::KernelBackend (bit-exact
- *    float32 reference, or packed-code + INT8-table quantized) and the
+ *    float32 reference, packed-code + INT8-table, or nibble-packed
+ *    INT4-table) — globally via PlanOptions::table_precision or
+ *    heterogeneously via PlanOptions::stage_precision — and each bound
  *    quantized bank is built eagerly so serving never pays the cost;
  *  - epilogue fusion: pointwise activation stages directly following a
  *    LUT stage fold into that stage's arena-sweep epilogue (the same
@@ -42,17 +44,28 @@ namespace lutdla::serve {
 enum class TablePrecision
 {
     Float32,  ///< bit-exact float bank (reference backend)
-    Int8      ///< INT8 bank with per-(subspace, block) scales
+    Int8,     ///< INT8 bank with per-(subspace, block) scales
+    Int4      ///< nibble-packed INT4 bank, two columns per byte
 };
 
-/** Stable name for a table precision ("float32" / "int8"). */
+/** Stable name for a table precision ("float32" / "int8" / "int4"). */
 const char *tablePrecisionName(TablePrecision precision);
 
 /** Knobs for the planning pass; defaults preserve bit-exact semantics. */
 struct PlanOptions
 {
-    /** Table bank every LUT stage gathers from. */
+    /** Table bank every LUT stage gathers from (unless overridden per
+     * stage below). */
     TablePrecision table_precision = TablePrecision::Float32;
+    /**
+     * Heterogeneous per-stage precision: entry i binds the i-th LUT
+     * stage IN CHAIN ORDER (ArenaStage / AttentionStage / ConvStage,
+     * counted after fusion, which never changes the LUT stage count).
+     * Empty = every LUT stage uses `table_precision`; shorter than the
+     * chain = remaining stages fall back to `table_precision`. This is
+     * the knob the mixed-precision auto-tuner (serve/autotune.h) emits.
+     */
+    std::vector<TablePrecision> stage_precision;
     /** Fold pointwise / width-adapt neighbors into LUT stages. */
     bool fuse = true;
     /**
@@ -77,7 +90,8 @@ struct StagePlan
      * "avx2-c16", "generic"); empty for non-LUT stages. */
     std::string encode_kernel;
     /** Gather kernel ("grouped-sweep" float bank; "shuffle-avx512" /
-     * "shuffle-avx2" / "scalar" INT8 bank); empty for non-LUT stages. */
+     * "shuffle-avx2" / "scalar" for the INT8 and INT4 banks); empty for
+     * non-LUT stages. */
     std::string gather_kernel;
     /** Intra-batch shard granularity bound at plan time (0 = unsharded,
      * e.g. conv stages). */

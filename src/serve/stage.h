@@ -159,6 +159,10 @@ class FrozenStage
     /** Table bytes the stage's gather streams (0 for non-LUT stages). */
     virtual int64_t tableBytes() const { return 0; }
 
+    /** Bytes resident for the stage's tables, mirror layouts included
+     * (== tableBytes() for the float bank; 0 for non-LUT stages). */
+    virtual int64_t residentBytes() const { return 0; }
+
     /** True when the stage mutates rows in place (inWidth==outWidth). */
     virtual bool inPlace() const { return false; }
 
@@ -235,6 +239,11 @@ class ArenaStage : public FrozenStage
     {
         return backend_->tableBytes(*arena_);
     }
+    int64_t
+    residentBytes() const override
+    {
+        return backend_->residentBytes(*arena_);
+    }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
@@ -296,6 +305,11 @@ class ConvStage : public FrozenStage
     tableBytes() const override
     {
         return backend_->tableBytes(*arena_);
+    }
+    int64_t
+    residentBytes() const override
+    {
+        return backend_->residentBytes(*arena_);
     }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;

@@ -132,6 +132,15 @@ AttentionStage::tableBytes() const
            backend_->tableBytes(*arenas_.o);
 }
 
+int64_t
+AttentionStage::residentBytes() const
+{
+    return backend_->residentBytes(*arenas_.q) +
+           backend_->residentBytes(*arenas_.k) +
+           backend_->residentBytes(*arenas_.v) +
+           backend_->residentBytes(*arenas_.o);
+}
+
 void
 AttentionStage::forward(const float *in, int64_t rows, float *out,
                         StageScratch &scratch) const

@@ -160,6 +160,7 @@ class AttentionStage : public FrozenStage
     int64_t inWidth() const override { return arenas_.q->inFeatures(); }
     int64_t outWidth() const override { return arenas_.o->outFeatures(); }
     int64_t tableBytes() const override;
+    int64_t residentBytes() const override;
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 

@@ -1,0 +1,188 @@
+// Mixed-precision auto-tuner (serve/autotune.h): determinism, budget
+// enforcement, greedy-revert behavior under a synthetic agreement
+// landscape, and the api::ServeOptions::autoTunePrecision facade hook.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/serving.h"
+#include "api/workload_registry.h"
+#include "serve/autotune.h"
+#include "serve/frozen_model.h"
+
+namespace lutdla {
+namespace {
+
+/** First `max_gemms` layers of a registry workload's GEMM trace (the
+ * full resnet trace is overkill for a unit test). */
+std::vector<sim::GemmShape>
+traceFor(const std::string &workload, size_t max_gemms)
+{
+    auto spec = api::findWorkload(workload);
+    EXPECT_TRUE(spec.ok()) << spec.status().toString();
+    std::vector<sim::GemmShape> gemms = spec->network().gemms;
+    if (gemms.size() > max_gemms)
+        gemms.resize(max_gemms);
+    // Shrink the batch dimension: the tuner's probe supplies its own
+    // rows, so only (k, n) matter for the arenas.
+    for (sim::GemmShape &g : gemms)
+        g.m = 8;
+    return gemms;
+}
+
+serve::FrozenModel
+traceModel(const std::vector<sim::GemmShape> &gemms)
+{
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+    auto frozen = serve::FrozenModel::fromTrace(gemms, pq);
+    EXPECT_TRUE(frozen.ok()) << frozen.status().toString();
+    return frozen.take();
+}
+
+serve::AutoTuneOptions
+fastTune()
+{
+    serve::AutoTuneOptions tune;
+    tune.probe_rows = 64;
+    return tune;
+}
+
+TEST(AutoTune, DeterministicOnLenetTrace)
+{
+    const std::vector<sim::GemmShape> gemms = traceFor("lenet", 8);
+    ASSERT_FALSE(gemms.empty());
+    const serve::FrozenModel model = traceModel(gemms);
+    ASSERT_GT(model.numLutStages(), 0);
+
+    const serve::AutoTuneResult a =
+        serve::autoTunePrecision(model, {}, fastTune());
+    const serve::AutoTuneResult b =
+        serve::autoTunePrecision(model, {}, fastTune());
+
+    EXPECT_EQ(a.stage_precision, b.stage_precision);
+    EXPECT_EQ(a.agreement, b.agreement);
+    EXPECT_EQ(a.table_bytes, b.table_bytes);
+    EXPECT_EQ(a.evals, b.evals);
+    ASSERT_EQ(a.moves.size(), b.moves.size());
+    for (size_t i = 0; i < a.moves.size(); ++i) {
+        EXPECT_EQ(a.moves[i].lut_stage, b.moves[i].lut_stage);
+        EXPECT_EQ(a.moves[i].precision, b.moves[i].precision);
+        EXPECT_EQ(a.moves[i].applied, b.moves[i].applied);
+    }
+    EXPECT_EQ(a.assignmentString(), b.assignmentString());
+}
+
+TEST(AutoTune, BudgetRespectedAndBytesSavedOnRegistryTraces)
+{
+    for (const char *workload : {"lenet", "resnet18"}) {
+        const serve::FrozenModel model = traceModel(traceFor(workload, 6));
+        const int64_t num_lut = model.numLutStages();
+        ASSERT_GT(num_lut, 0) << workload;
+        const int64_t float_bytes = model.tableBytes();
+
+        const serve::AutoTuneResult tuned =
+            serve::autoTunePrecision(model, {}, fastTune());
+
+        // The budget is a hard constraint on the FINAL assignment.
+        EXPECT_GE(tuned.agreement, 0.90) << workload;
+        ASSERT_EQ(tuned.stage_precision.size(),
+                  static_cast<size_t>(num_lut))
+            << workload;
+        // Synthetic Gaussian traces quantize gracefully: the tuner must
+        // find at least one byte-saving move within budget.
+        EXPECT_LT(tuned.table_bytes, float_bytes) << workload;
+
+        // The assignment reproduces: replanning with it yields exactly
+        // the byte count the tuner reported.
+        serve::PlanOptions plan;
+        plan.stage_precision = tuned.stage_precision;
+        EXPECT_EQ(model.withPlan(plan).tableBytes(), tuned.table_bytes)
+            << workload;
+    }
+}
+
+TEST(AutoTune, SyntheticProbeForcesRevertOfOverBudgetMoves)
+{
+    // Injected agreement landscape (the dse::AccuracyProbe pattern):
+    // any INT4 stage tanks agreement, INT8 is free. The tuner must keep
+    // every byte-saving INT8 move and revert every INT4 one, even
+    // though INT4 saves more bytes per stage.
+    const serve::FrozenModel model = traceModel(traceFor("lenet", 4));
+    const int64_t num_lut = model.numLutStages();
+    ASSERT_GT(num_lut, 0);
+
+    serve::AgreementProbe probe =
+        [](const serve::PlanOptions &plan) {
+            for (serve::TablePrecision p : plan.stage_precision)
+                if (p == serve::TablePrecision::Int4)
+                    return 0.50;
+            return 1.0;
+        };
+    const serve::AutoTuneResult tuned =
+        serve::autoTunePrecision(model, {}, fastTune(), probe);
+
+    ASSERT_EQ(tuned.stage_precision.size(), static_cast<size_t>(num_lut));
+    for (serve::TablePrecision p : tuned.stage_precision)
+        EXPECT_EQ(p, serve::TablePrecision::Int8);
+    EXPECT_EQ(tuned.agreement, 1.0);
+    for (const serve::AutoTuneMove &move : tuned.moves) {
+        if (move.precision == serve::TablePrecision::Int4)
+            EXPECT_FALSE(move.applied);
+    }
+
+    // allow_int4=false must reach the same assignment without ever
+    // scoring an INT4 move.
+    serve::AutoTuneOptions no_int4 = fastTune();
+    no_int4.allow_int4 = false;
+    const serve::AutoTuneResult int8_only =
+        serve::autoTunePrecision(model, {}, no_int4, probe);
+    EXPECT_EQ(int8_only.stage_precision, tuned.stage_precision);
+    for (const serve::AutoTuneMove &move : int8_only.moves)
+        EXPECT_NE(move.precision, serve::TablePrecision::Int4);
+}
+
+TEST(AutoTune, FacadeServesAutoTunedMixedPrecisionPlan)
+{
+    const std::vector<sim::GemmShape> gemms = traceFor("lenet", 6);
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+
+    api::ServeOptions options;
+    options.engine.threads = 1;
+    options.autoTunePrecision(0.90);
+    options.auto_tune_options.probe_rows = 64;
+    auto engine = api::makeTraceEngine(gemms, pq, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    // The tuned assignment is recorded in the plan: at least one stage
+    // left float-reference semantics behind, and the summary names the
+    // per-stage precisions.
+    const serve::FrozenModel &model = engine.value()->model();
+    bool any_quantized = false;
+    for (const serve::StagePlan &plan : model.plan())
+        any_quantized |= plan.code_bits > 0 &&
+                         plan.precision != serve::TablePrecision::Float32;
+    EXPECT_TRUE(any_quantized) << model.planSummary();
+
+    // Same options, same trace -> identical plan (end-to-end
+    // determinism through the facade).
+    auto again = api::makeTraceEngine(gemms, pq, options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value()->model().describe(), model.describe());
+    EXPECT_EQ(again.value()->model().tableBytes(), model.tableBytes());
+
+    // And it serves.
+    Tensor x(Shape{8, model.inputWidth()});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>((i % 13) - 6) / 6.0f;
+    auto result = engine.value()->submit(x);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    engine.value()->shutdown();
+}
+
+} // namespace
+} // namespace lutdla

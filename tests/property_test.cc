@@ -11,6 +11,7 @@
 
 #include "hw/dataflow.h"
 #include "lutboost/kernels.h"
+#include "lutboost/kernels_simd.h"
 #include "lutboost/lut_linear.h"
 #include "sim/lutdla_sim.h"
 #include "util/cpu_features.h"
@@ -357,6 +358,167 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<int64_t>(1, 31, 32, 63, 64, 65,
                                                   130)));
 
+// ---- Property: every INT4 gather variant is bit-identical --------------
+
+/**
+ * The INT4 twin of the Int8GatherVariants contract: the nibble-packed
+ * shuffle kernels and the scalar packed sweep share exact biased-nibble
+ * accumulation under the same group scales, so their float outputs must
+ * match BIT FOR BIT across the same awkward-shape grid. The output width
+ * is ODD (71) so every run exercises the dangling low-plane column of
+ * the last packed pair.
+ */
+class Int4GatherVariants
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(Int4GatherVariants, ShuffleBitExactVsScalar)
+{
+    const auto [k, v, c, rows] = GetParam();
+    vq::PQConfig pq;
+    pq.v = v;
+    pq.c = c;
+    lutboost::LutLinear layer(k, 71, pq, /*bias=*/true,
+                              /*seed=*/static_cast<uint64_t>(k + c + rows));
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    arena->ensureInt4Bank();
+
+    Rng rng(56 + static_cast<uint64_t>(rows));
+    Tensor x(Shape{rows, k});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    lutboost::KernelScratch scratch;
+    lutboost::referenceBackend().encodeBatch(*arena, x.data(), rows,
+                                             scratch);
+
+    Tensor scalar(Shape{rows, 71});
+    arena->gatherAccumulateInt4(scratch.codes, scalar.data(),
+                                scratch.gather,
+                                lutboost::Int4GatherVariant::Scalar);
+
+    const util::SimdLevel level = util::simdLevel();
+    std::vector<lutboost::Int4GatherVariant> variants;
+    if (level >= util::SimdLevel::Avx2)
+        variants.push_back(lutboost::Int4GatherVariant::ShuffleAvx2);
+    if (level >= util::SimdLevel::Avx512)
+        variants.push_back(lutboost::Int4GatherVariant::ShuffleAvx512);
+    if (variants.empty())
+        GTEST_SKIP() << "no SIMD level on this host; scalar-only";
+    for (const auto variant : variants) {
+        Tensor shuffled(Shape{rows, 71});
+        arena->gatherAccumulateInt4(scratch.codes, shuffled.data(),
+                                    scratch.gather, variant);
+        EXPECT_TRUE(shuffled.equals(scalar))
+            << lutboost::LutTableArena::int4GatherVariantName(variant)
+            << " diverged: k=" << k << " v=" << v << " c=" << c
+            << " rows=" << rows
+            << " maxdiff=" << Tensor::maxAbsDiff(shuffled, scalar);
+        Tensor autod(Shape{rows, 71});
+        arena->gatherAccumulateInt4(scratch.codes, autod.data(),
+                                    scratch.gather);
+        EXPECT_TRUE(autod.equals(scalar));
+    }
+
+    Tensor spans(Shape{rows, 71});
+    const int64_t half = rows / 2;
+    if (half > 0)
+        arena->gatherAccumulateInt4(scratch.codes, 0, half, spans.data(),
+                                    scratch.gather);
+    arena->gatherAccumulateInt4(scratch.codes, half, rows - half,
+                                spans.data(), scratch.gather);
+    EXPECT_TRUE(spans.equals(scalar))
+        << "span seam changed the INT4 gather result";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, Int4GatherVariants,
+    ::testing::Combine(::testing::Values<int64_t>(23, 52),  // K % v != 0
+                       ::testing::Values<int64_t>(3, 8),
+                       ::testing::Values<int64_t>(4, 16),
+                       ::testing::Values<int64_t>(1, 31, 32, 63, 64, 65,
+                                                  130)));
+
+// ---- Property: quantized banks account exactly for resident layouts ----
+
+/**
+ * int8ResidentBytes() / int4ResidentBytes() must equal the sum of the
+ * layouts THIS host actually materialized (row-major plus whichever
+ * capability-gated mirrors its SIMD level unlocks) — never an
+ * unconditional all-layouts total. Also pins the INT4 bank's headline
+ * footprint win: at c = 16 the packed bank plus its mirror must stay
+ * at or under 0.55x the INT8 resident bytes.
+ */
+TEST(QuantizedBankAccounting, ResidentBytesMatchMaterializedLayouts)
+{
+    const int64_t k = 52, n = 70, c = 16;
+    vq::PQConfig pq;
+    pq.v = 8;
+    pq.c = c;
+    lutboost::LutLinear layer(k, n, pq, /*bias=*/true, /*seed=*/77);
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    EXPECT_EQ(arena->int8ResidentBytes(), 0);
+    EXPECT_EQ(arena->int4ResidentBytes(), 0);
+    arena->ensureInt8Bank();
+    arena->ensureInt4Bank();
+
+    const int64_t nc = arena->numSubspaces();
+    const int64_t groups =
+        (nc + lutboost::LutTableArena::kInt8ScaleGroup - 1) /
+        lutboost::LutTableArena::kInt8ScaleGroup;
+    const int64_t blocks =
+        (n + lutboost::LutTableArena::kInt8BlockCols - 1) /
+        lutboost::LutTableArena::kInt8BlockCols;
+    const int64_t scale_bytes =
+        groups * blocks * static_cast<int64_t>(sizeof(float));
+    const util::SimdLevel level = util::simdLevel();
+    const bool shuffle = lutboost::simd::shuffleGatherSupported(level);
+    const bool vnni = lutboost::simd::vnniGatherSupported(level);
+
+    int64_t expect8 = nc * c * n + scale_bytes;    // row-major + scales
+    if (shuffle)
+        expect8 += nc * n * 16;                    // q_il mirror
+    if (vnni)
+        expect8 += ((nc + 3) / 4) * n * 64;        // q_quad mirror
+    EXPECT_EQ(arena->int8ResidentBytes(), expect8);
+    EXPECT_EQ(arena->int8TableBytes(), nc * c * n + scale_bytes);
+
+    const int64_t half_n = (n + 1) / 2;
+    int64_t expect4 = nc * c * half_n + scale_bytes;
+    if (shuffle)
+        expect4 += nc * half_n * 16;               // q4_il mirror
+    EXPECT_EQ(arena->int4ResidentBytes(), expect4);
+    EXPECT_EQ(arena->int4TableBytes(), nc * c * half_n + scale_bytes);
+
+    // The acceptance headline: INT4 resident footprint <= 0.55x INT8.
+    EXPECT_LE(static_cast<double>(arena->int4ResidentBytes()),
+              0.55 * static_cast<double>(arena->int8ResidentBytes()));
+}
+
+/** Same accounting with c > 16: no shuffle mirrors on any host, so both
+ * banks are row-major + scales only. */
+TEST(QuantizedBankAccounting, NoMirrorLayoutsAboveSixteenCentroids)
+{
+    const int64_t k = 24, n = 33, c = 20;
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = c;
+    lutboost::LutLinear layer(k, n, pq, /*bias=*/false, /*seed=*/78);
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    arena->ensureInt8Bank();
+    arena->ensureInt4Bank();
+    const int64_t nc = arena->numSubspaces();
+    const int64_t scale_bytes = static_cast<int64_t>(sizeof(float));
+    EXPECT_EQ(arena->int8ResidentBytes(), nc * c * n + scale_bytes);
+    EXPECT_EQ(arena->int4ResidentBytes(),
+              nc * c * ((n + 1) / 2) + scale_bytes);
+}
+
 // ---- Property: reference backend bit-exact on awkward shapes -----------
 
 class AwkwardShapeServing
@@ -420,6 +582,65 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<int64_t>(3, 4),
                        ::testing::Values<int64_t>(6, 8),   // c = 6: non-pow2
                        ::testing::Values<int64_t>(1, 5))); // single-row too
+
+// ---- Property: INT4 gather stays inside its error envelope -------------
+
+/**
+ * The INT4 twin of AwkwardShapeServing's quantized-envelope check. The
+ * nibble step is max_abs / 7 — 127/7 ~ 18x coarser than INT8 — so the
+ * envelope is proportionally looser: per column the absolute error is
+ * bounded by the per-entry rounding (half a step) summed over the
+ * subspaces, with `scale` the reference output magnitude standing in
+ * for the table magnitude. Exactness is never required; finiteness and
+ * the bound are.
+ */
+class Int4ErrorEnvelope
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(Int4ErrorEnvelope, QuantizationErrorBounded)
+{
+    const auto [k, v, c, rows] = GetParam();
+    vq::PQConfig pq;
+    pq.v = v;
+    pq.c = c;
+    lutboost::LutLinear layer(k, 9, pq, /*bias=*/true,
+                              /*seed=*/static_cast<uint64_t>(k * 7 + c));
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    arena->ensureInt4Bank();
+
+    Rng rng(101);
+    Tensor x(Shape{rows, k});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+    const Tensor reference = layer.forward(x, /*train=*/false);
+
+    lutboost::KernelScratch scratch;
+    lutboost::referenceBackend().encodeBatch(*arena, x.data(), rows,
+                                             scratch);
+    Tensor q(Shape{rows, 9});
+    arena->gatherAccumulateInt4(scratch.codes, q.data(), scratch.gather);
+    double worst = 0.0, scale = 0.0;
+    for (int64_t i = 0; i < q.numel(); ++i) {
+        ASSERT_TRUE(std::isfinite(q.at(i)));
+        worst = std::max(worst, static_cast<double>(
+                                    std::fabs(q.at(i) - reference.at(i))));
+        scale = std::max(scale,
+                         static_cast<double>(std::fabs(reference.at(i))));
+    }
+    EXPECT_LE(worst, 0.5 * scale + 2e-2)
+        << "k=" << k << " v=" << v << " c=" << c << " rows=" << rows;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, Int4ErrorEnvelope,
+    ::testing::Combine(::testing::Values<int64_t>(7, 17),
+                       ::testing::Values<int64_t>(3, 4),
+                       ::testing::Values<int64_t>(6, 8),
+                       ::testing::Values<int64_t>(1, 5)));
 
 // ---- Property: equivalent bits track (v, c) as in Table V -------------
 

@@ -517,6 +517,54 @@ TEST(AttentionArenas, Int8GatherVariantsBitIdenticalAcrossSimdTiers)
     EXPECT_EQ(checked, 7) << "embedding + q/k/v/o + 2 FFN arenas";
 }
 
+TEST(AttentionArenas, Int4GatherVariantsBitIdenticalAcrossSimdTiers)
+{
+    // The INT4 mirror of the test above: every SIMD tier's forced
+    // nibble-packed gather over the transformer's projection arenas
+    // must match the scalar sweep bit for bit (one unpack-and-shift
+    // per chunk on top of the same VPSHUFB path; no VNNI tier — the
+    // dot-product instruction would mix the two nibble planes).
+    nn::LayerPtr model =
+        makeLutTransformer(/*seq_len=*/65, /*heads=*/4, {}, 121);
+
+    std::vector<lutboost::Int4GatherVariant> variants;
+    const util::SimdLevel level = util::simdLevel();
+    if (level >= util::SimdLevel::Avx2)
+        variants.push_back(lutboost::Int4GatherVariant::ShuffleAvx2);
+    if (level >= util::SimdLevel::Avx512)
+        variants.push_back(lutboost::Int4GatherVariant::ShuffleAvx512);
+    if (variants.empty())
+        GTEST_SKIP() << "no SIMD level on this host; scalar-only";
+
+    int64_t checked = 0;
+    for (lutboost::LutLinear *layer : lutboost::findLutLayers(model)) {
+        const auto arena = layer->inferenceArena();
+        ASSERT_NE(arena, nullptr);
+        arena->ensureInt4Bank();
+        const int64_t rows = 65, n = arena->outFeatures();
+        const Tensor x = randomRows(rows, arena->inFeatures(),
+                                    static_cast<uint64_t>(222 + checked));
+        lutboost::KernelScratch scratch;
+        lutboost::referenceBackend().encodeBatch(*arena, x.data(), rows,
+                                                 scratch);
+        Tensor scalar(Shape{rows, n});
+        arena->gatherAccumulateInt4(scratch.codes, scalar.data(),
+                                    scratch.gather,
+                                    lutboost::Int4GatherVariant::Scalar);
+        for (const auto variant : variants) {
+            Tensor shuffled(Shape{rows, n});
+            arena->gatherAccumulateInt4(scratch.codes, shuffled.data(),
+                                        scratch.gather, variant);
+            EXPECT_TRUE(shuffled.equals(scalar))
+                << lutboost::LutTableArena::int4GatherVariantName(variant)
+                << " diverged on arena " << checked << " maxdiff="
+                << Tensor::maxAbsDiff(shuffled, scalar);
+        }
+        ++checked;
+    }
+    EXPECT_EQ(checked, 7) << "embedding + q/k/v/o + 2 FFN arenas";
+}
+
 TEST(FrozenModel, QuantizedTransformerPlanDeterministicWithinEnvelope)
 {
     const int64_t seq_len = 64;
