@@ -43,12 +43,18 @@
  * image rows, so the im2col + arena conv path has a rows/s number from
  * day one.
  *
- * Run: ./build/bench/bench_serve_throughput [--json out.json]
+ * A "mlp-untiled" A/B section re-runs the single-thread resnet18 configs
+ * with the row-tiled executor disabled (PlanOptions::tile_rows = -1, the
+ * full-batch phase-barrier executor), so the streaming win is measured
+ * directly instead of inferred across PR artifacts.
+ *
+ * Run: ./build/bench/bench_serve_throughput [--json out.json] [--rows N]
  *   --json <path>         write machine-readable results (configs, rows/s,
  *                         p50/p99, arena bytes, phase split) for the
  *                         cross-PR perf trajectory (BENCH_serve_throughput
  *                         .json)
- *   LUTDLA_SERVE_ROWS=N   override rows per configuration (default 192)
+ *   --rows N              rows per configuration (default 192; the
+ *                         LUTDLA_SERVE_ROWS env var is the fallback)
  */
 
 #include <chrono>
@@ -233,6 +239,10 @@ struct BestStats
     std::string auto_assignment;
     int64_t float_resident = 0, int8_resident = 0, int4_resident = 0,
             auto_resident = 0, auto_int8_resident = 0;
+    /** Tiled-executor A/B: best single-thread int4 rows/s with tiling
+     * disabled, and the tiled/untiled ratio at threads=1. */
+    double int4_untiled = 0.0;
+    double tiled_speedup_int4 = 0.0;
 };
 
 void
@@ -320,6 +330,8 @@ writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
         "\"auto_agreement\": %.4f, "
         "\"auto_assignment\": \"%s\", "
         "\"auto_workload\": \"mlp-mixture\", "
+        "\"int4_untiled_rows_per_sec\": %.1f, "
+        "\"tiled_speedup_int4\": %.3f, "
         "\"float32_resident_bytes\": %lld, "
         "\"int8_resident_bytes\": %lld, "
         "\"int4_resident_bytes\": %lld, "
@@ -331,6 +343,7 @@ writeJson(const char *path, const vq::PQConfig &pq, int64_t rows,
         best.int8 > 0 ? best.int4 / best.int8 : 0.0,
         best.auto_int8 > 0 ? best.auto_plan / best.auto_int8 : 0.0,
         best.auto_agreement, best.auto_assignment.c_str(),
+        best.int4_untiled, best.tiled_speedup_int4,
         static_cast<long long>(best.float_resident),
         static_cast<long long>(best.int8_resident),
         static_cast<long long>(best.int4_resident),
@@ -347,13 +360,17 @@ int
 main(int argc, char **argv)
 {
     const char *json_path = nullptr;
+    const char *rows_env = std::getenv("LUTDLA_SERVE_ROWS");
+    int64_t arg_rows = rows_env ? std::atoll(rows_env) : 192;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--rows") == 0 && i + 1 < argc)
+            arg_rows = std::atoll(argv[++i]);
     }
-
-    const char *rows_env = std::getenv("LUTDLA_SERVE_ROWS");
-    const int64_t kRows = rows_env ? std::atoll(rows_env) : 192;
+    if (arg_rows <= 0)
+        fatal("--rows must be positive");
+    const int64_t kRows = arg_rows;
     constexpr uint64_t kSeed = 91;  // FrozenModel::fromTrace default
 
     vq::PQConfig pq;
@@ -494,6 +511,94 @@ main(int argc, char **argv)
         }
     }
     st.print();
+
+    // ---- Tiled vs untiled executor A/B ---------------------------------
+    // The same resnet18 plans with the row-tiled segment executor
+    // disabled (tile_rows = -1: full-batch phase barriers between
+    // stages), single-thread so the comparison isolates cache residency
+    // rather than work-stealing. The streamed executor must win on int4
+    // — the narrowest table stream leaves activation-plane traffic as
+    // the dominant cost, which is exactly what tiling removes.
+    serve::PlanOptions untiled_float;
+    untiled_float.tile_rows = -1;
+    serve::PlanOptions untiled_int8 = int8_plan;
+    untiled_int8.tile_rows = -1;
+    serve::PlanOptions untiled_int4 = int4_plan;
+    untiled_int4.tile_rows = -1;
+    const serve::FrozenModel untiled_models[] = {
+        model->withPlan(untiled_float), model->withPlan(untiled_int8),
+        model->withPlan(untiled_int4)};
+    Table at("tiled vs untiled executor (threads=1; tiled = streaming "
+             "segment executor, untiled = full-batch phase barriers)",
+             {"backend", "max_batch", "untiled rows/s", "tiled rows/s",
+              "speedup"});
+    // Enough rows that the max_batch=256 configs actually form 256-row
+    // batches (several tiles each) instead of one sub-tile remainder.
+    const int64_t ab_row_count = std::max<int64_t>(kRows, 1024);
+    const Tensor ab_rows =
+        randomRows(ab_row_count, model->inputWidth(), 19);
+    double best_untiled_int4 = 0.0, best_tiled1_int4 = 0.0;
+    for (size_t p = 0; p < 3; ++p) {
+        const char *backend = plans[p].backend;
+        for (int64_t max_batch : {int64_t{64}, int64_t{256}}) {
+            // Both sides run FRESH and interleaved, best of 3, so the
+            // ratio compares executors rather than where in the process
+            // lifetime each side happened to run.
+            double untiled_rate = 0.0, tiled_rate = 0.0;
+            serve::EngineStats stats{};
+            for (int rep = 0; rep < 3; ++rep) {
+                const serve::EngineStats u =
+                    runConfig(untiled_models[p], ab_rows, 1, max_batch);
+                if (u.rowsPerSec() > untiled_rate) {
+                    untiled_rate = u.rowsPerSec();
+                    stats = u;
+                }
+                tiled_rate =
+                    std::max(tiled_rate,
+                             runConfig(*plans[p].model, ab_rows, 1,
+                                       max_batch)
+                                 .rowsPerSec());
+            }
+            at.addRow({backend, std::to_string(max_batch),
+                       Table::fmt(untiled_rate, 1),
+                       Table::fmt(tiled_rate, 1),
+                       Table::fmtRatio(untiled_rate > 0
+                                           ? tiled_rate / untiled_rate
+                                           : 0.0,
+                                       2)});
+            if (std::strcmp(backend, "int4") == 0) {
+                best_untiled_int4 =
+                    std::max(best_untiled_int4, untiled_rate);
+                best_tiled1_int4 = std::max(best_tiled1_int4, tiled_rate);
+            }
+            records.push_back(
+                {"mlp-untiled", backend, 1, max_batch, untiled_rate,
+                 stats.p50_latency_us, stats.p99_latency_us,
+                 stats.p50_queue_us, stats.p99_queue_us,
+                 stats.p50_service_us, stats.p99_service_us,
+                 stats.avgBatchFill(), untiled_models[p].tableBytes(),
+                 untiled_models[p].residentBytes(), stats.encode_seconds,
+                 stats.gather_seconds, stats.active_workers});
+        }
+    }
+    best.int4_untiled = best_untiled_int4;
+    best.tiled_speedup_int4 = best_untiled_int4 > 0
+                                  ? best_tiled1_int4 / best_untiled_int4
+                                  : 0.0;
+    at.addNote("tile plan (int4): " +
+               [&] {
+                   const serve::TileExecPlan &tp = int4_model.tilePlan();
+                   if (tp.segments.empty())
+                       return std::string("off");
+                   return std::to_string(tp.segments.size()) +
+                          " segment(s), tile " +
+                          std::to_string(tp.segments[0].tile_rows) +
+                          " rows (granule " +
+                          std::to_string(tp.segments[0].granule) + ")";
+               }());
+    at.print();
+    std::printf("\ntiled executor speedup (int4, threads=1): %.2fx\n",
+                best.tiled_speedup_int4);
 
     std::printf("\nbest speedup vs single-thread single-row serving: "
                 "%.2fx (target >= 3x)\n",

@@ -57,7 +57,12 @@ struct ServeOptions
 
     /** Worker pool / batching / queue knobs. */
     serve::EngineOptions engine;
-    /** Lowering plan: table precision and stage fusion. */
+    /**
+     * Lowering plan: table precision, stage fusion, and the row-tiled
+     * executor override (`plan.tile_rows`: 0 auto-sizes a cache-resident
+     * row tile, -1 forces the untiled phase-barrier executor, >0 forces
+     * a tile size — all bit-exact; see serve/plan.h).
+     */
     serve::PlanOptions plan;
     /** Image height/width for models with spatial first layers. */
     serve::ServeInputShape input_shape;

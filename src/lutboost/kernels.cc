@@ -1,6 +1,35 @@
 #include "lutboost/kernels.h"
 
+#include <chrono>
+
+#include "lutboost/kernels_simd.h"
+#include "util/cpu_features.h"
+
 namespace lutdla::lutboost {
+
+namespace {
+
+uint64_t
+nanosSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/** Shuffle chunk when the vector kernels dispatch, else the float/scalar
+ * sweeps' row-block granularity. */
+int64_t
+chunkOrRowBlock(bool scalar)
+{
+    if (scalar)
+        return LutTableArena::kRowBlock;
+    const int64_t chunk = simd::shuffleGatherChunkRows(util::simdLevel());
+    return chunk > 0 ? chunk : LutTableArena::kRowBlock;
+}
+
+} // namespace
 
 void
 KernelBackend::encodeBatch(const LutTableArena &arena, const float *x,
@@ -33,6 +62,28 @@ KernelBackend::gatherAccumulate(const LutTableArena &arena,
                                 KernelScratch &scratch, float *y) const
 {
     gatherBlock(arena, scratch.codes, 0, scratch.codes.rows(), y, scratch);
+}
+
+void
+KernelBackend::forwardTile(const LutTableArena &arena, const float *x,
+                           int64_t rows, float *y, KernelScratch &scratch,
+                           uint64_t *encode_ns, uint64_t *gather_ns) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    encodeBatch(arena, x, rows, scratch);
+    if (encode_ns != nullptr)
+        *encode_ns += nanosSince(t0);
+    const auto t1 = std::chrono::steady_clock::now();
+    gatherAccumulate(arena, scratch, y);
+    if (gather_ns != nullptr)
+        *gather_ns += nanosSince(t1);
+}
+
+int64_t
+KernelBackend::gatherGranuleRows(const LutTableArena &) const
+{
+    // Float grouped sweep: one table pass per kRowBlock rows.
+    return LutTableArena::kRowBlock;
 }
 
 void
@@ -87,6 +138,13 @@ class QuantizedBackend final : public KernelBackend
     }
 
     int64_t
+    gatherGranuleRows(const LutTableArena &arena) const override
+    {
+        return chunkOrRowBlock(arena.int8AutoVariant() ==
+                               Int8GatherVariant::Scalar);
+    }
+
+    int64_t
     residentBytes(const LutTableArena &arena) const override
     {
         return arena.int8ResidentBytes();
@@ -119,6 +177,13 @@ class Int4Backend final : public KernelBackend
     tableBytes(const LutTableArena &arena) const override
     {
         return arena.int4TableBytes();
+    }
+
+    int64_t
+    gatherGranuleRows(const LutTableArena &arena) const override
+    {
+        return chunkOrRowBlock(arena.int4AutoVariant() ==
+                               Int4GatherVariant::Scalar);
     }
 
     int64_t

@@ -40,6 +40,28 @@
 namespace lutdla::lutboost {
 
 /**
+ * Issue software prefetches for the first `bytes` of `p` (one per cache
+ * line, read-intent, moderate temporal locality). The row-tiled segment
+ * executor uses this to pull the NEXT tile's input rows toward L1/L2
+ * while the current tile is still streaming through the segment, hiding
+ * the cold-plane latency the full-batch executor paid at every stage
+ * boundary. Callers cap `bytes` — prefetching beyond a few tens of KB
+ * just evicts what the current tile is using.
+ */
+inline void
+prefetchSpan(const void *p, int64_t bytes)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    const char *line = static_cast<const char *>(p);
+    for (int64_t off = 0; off < bytes; off += 64)
+        __builtin_prefetch(line + off, 0, 2);
+#else
+    (void)p;
+    (void)bytes;
+#endif
+}
+
+/**
  * Reusable per-caller buffers for one in-flight batch of kernel calls:
  * the packed code buffer the encode phase fills and the gather phase
  * reads, plus the float staging planes (BF16 rounding, fused width
@@ -106,6 +128,29 @@ class KernelBackend
      */
     virtual void gatherAccumulate(const LutTableArena &arena,
                                   KernelScratch &scratch, float *y) const;
+
+    /**
+     * Fused tile entry point for the row-tiled segment executor: encode
+     * `rows` contiguous rows of `x` and immediately gather them into `y`
+     * in one call, so the tile's packed codes never leave cache between
+     * the phases. Phase wall times are accumulated into *encode_ns /
+     * *gather_ns (either may be null). Bit-exact with a separate
+     * encodeBatch + gatherAccumulate pair by construction — it IS that
+     * pair, minus the full-batch barrier between them.
+     */
+    void forwardTile(const LutTableArena &arena, const float *x,
+                     int64_t rows, float *y, KernelScratch &scratch,
+                     uint64_t *encode_ns, uint64_t *gather_ns) const;
+
+    /**
+     * Rows one full sweep of this backend's table bank covers: kRowBlock
+     * (256) for the float bank's grouped sweep and for the scalar
+     * quantized paths, one shuffle-gather chunk (64 on AVX-512, 32 on
+     * AVX2) for the vectorized INT8/INT4 banks. Row tiles that are a
+     * multiple of this granule add NO extra table traffic versus the
+     * untiled sweep — the planner's tile-size model rounds to it.
+     */
+    virtual int64_t gatherGranuleRows(const LutTableArena &arena) const;
 
     /**
      * Shardable gather span: fill output rows [row0, row0 + rows) of `y`

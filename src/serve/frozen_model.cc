@@ -1,5 +1,6 @@
 #include "serve/frozen_model.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <string>
@@ -543,7 +544,7 @@ FrozenModel::fromModel(const nn::LayerPtr &model, ServeInputShape input,
                                         &frozen.row_group_);
         !status.ok())
         return status;
-    planStages(frozen.stages_, plan, frozen.plan_);
+    planStages(frozen.stages_, plan, frozen.plan_, &frozen.tiles_);
     return frozen;
 }
 
@@ -584,7 +585,7 @@ FrozenModel::fromTrace(const std::vector<sim::GemmShape> &gemms,
                 precision.bf16_similarity)));
         prev_out = gemm.n;
     }
-    planStages(frozen.stages_, plan, frozen.plan_);
+    planStages(frozen.stages_, plan, frozen.plan_, &frozen.tiles_);
     return frozen;
 }
 
@@ -595,7 +596,7 @@ FrozenModel::withPlan(const PlanOptions &plan) const
     out.stages_ = stages_;  // shared_ptr copies: arenas (and their cached
                             // quantized banks) are shared, never rebuilt
     out.row_group_ = row_group_;
-    planStages(out.stages_, plan, out.plan_);
+    planStages(out.stages_, plan, out.plan_, &out.tiles_);
     return out;
 }
 
@@ -656,7 +657,7 @@ FrozenModel::describe() const
 std::string
 FrozenModel::planSummary() const
 {
-    return serve::planSummary(plan_);
+    return serve::planSummary(plan_, &tiles_);
 }
 
 Tensor
@@ -671,11 +672,42 @@ FrozenModel::forwardBatch(const Tensor &x, StageScratch &scratch) const
     // Ping-pong execution: `cur` tracks the live activations, which start
     // in the request tensor itself (read-only), move into a scratch plane
     // at the first stage, and alternate planes at every out-of-place
-    // stage. In-place stages mutate the live plane directly.
+    // stage. In-place stages mutate the live plane directly. Planned tile
+    // segments leave this loop wholesale: the segment streams row tiles
+    // through all its stages (runTiledSegment) and lands its output in
+    // the opposite plane in one step, so only barrier stages and segment
+    // boundaries ever hold full-batch planes.
     const float *cur = x.data();
     float *cur_mut = nullptr;  // non-null once cur points into scratch
     bool in_ping = false;
-    for (const StagePtr &stage : stages_) {
+    size_t seg_idx = 0;
+    size_t i = 0;
+    while (i < stages_.size()) {
+        while (seg_idx < tiles_.segments.size() &&
+               tiles_.segments[seg_idx].end <= static_cast<int64_t>(i))
+            ++seg_idx;
+        const TilePlan *seg =
+            (seg_idx < tiles_.segments.size() &&
+             tiles_.segments[seg_idx].begin == static_cast<int64_t>(i))
+                ? &tiles_.segments[seg_idx]
+                : nullptr;
+        if (seg != nullptr && rows > seg->tile_rows) {
+            // Batches of at most one tile fall through to the per-stage
+            // path below — identical work, no tiling overhead.
+            const int64_t out_w =
+                stages_[static_cast<size_t>(seg->end) - 1]->outWidth();
+            std::vector<float> &dst =
+                (cur_mut != nullptr && in_ping) ? scratch.pong
+                                                : scratch.ping;
+            dst.resize(static_cast<size_t>(rows * out_w));
+            runTiledSegment(*seg, cur, rows, dst.data(), scratch);
+            cur_mut = dst.data();
+            cur = cur_mut;
+            in_ping = (&dst == &scratch.ping);
+            i = static_cast<size_t>(seg->end);
+            continue;
+        }
+        const StagePtr &stage = stages_[i];
         if (stage->inPlace()) {
             if (cur_mut == nullptr) {
                 scratch.ping.resize(
@@ -698,6 +730,7 @@ FrozenModel::forwardBatch(const Tensor &x, StageScratch &scratch) const
             cur = cur_mut;
             in_ping = (&dst == &scratch.ping);
         }
+        ++i;
     }
 
     Tensor y(Shape{rows, outputWidth()});
@@ -711,6 +744,109 @@ FrozenModel::forwardBatch(const Tensor &x) const
 {
     StageScratch scratch;
     return forwardBatch(x, scratch);
+}
+
+void
+FrozenModel::runTiledSegment(const TilePlan &seg, const float *in,
+                             int64_t rows, float *out,
+                             StageScratch &scratch) const
+{
+    const size_t begin = static_cast<size_t>(seg.begin);
+    const size_t end = static_cast<size_t>(seg.end);
+    const int64_t tile = seg.tile_rows;
+    const int64_t tiles = (rows + tile - 1) / tile;
+    const int64_t in_w = stages_[begin]->inWidth();
+    const int64_t out_w = stages_[end - 1]->outWidth();
+
+    // From the LAST out-of-place stage on, a tile writes straight into
+    // its disjoint span of the segment output (trailing in-place stages
+    // mutate it there), so the streamed result never needs a final copy.
+    // Stages before it alternate the tile-local planes.
+    size_t last_oop = begin;
+    for (size_t s = begin; s < end; ++s)
+        if (!stages_[s]->inPlace())
+            last_oop = s;
+
+    const ShardFn run_tile = [&](int64_t t, StageScratch &local) {
+        // A tile IS the work-stealing unit — null the pool so no stage
+        // tries to shard WITHIN the tile (nested parallelFor would also
+        // deadlock the caller-participates pool).
+        IntraBatchPool *const saved_pool = local.pool;
+        local.pool = nullptr;
+        // Helpers' phase counters are restored on exit: only the
+        // initiator's tile deltas feed the engine's per-batch phase
+        // stats, the same wall-clock convention the sharded phases use.
+        const uint64_t saved_encode = local.encode_ns;
+        const uint64_t saved_gather = local.gather_ns;
+
+        const int64_t r0 = t * tile;
+        const int64_t rn = std::min(tile, rows - r0);
+        if (r0 + rn < rows) {
+            // Pull the next tile's input behind this tile's sweep. Capped
+            // well under the tile budget so the prefetch cannot evict the
+            // planes this tile is actively streaming.
+            const int64_t ahead =
+                std::min(std::min(tile, rows - r0 - rn) * in_w *
+                             static_cast<int64_t>(sizeof(float)),
+                         static_cast<int64_t>(16) << 10);
+            lutboost::prefetchSpan(in + (r0 + rn) * in_w, ahead);
+        }
+
+        const float *cur = in + r0 * in_w;
+        float *cur_mut = nullptr;
+        bool in_a = false;  // live plane is tile_a (when cur_mut set)
+        for (size_t s = begin; s < end; ++s) {
+            const FrozenStage &stage = *stages_[s];
+            const bool to_out = s >= last_oop;
+            if (stage.inPlace()) {
+                if (cur_mut == nullptr) {
+                    float *dst;
+                    if (to_out) {
+                        dst = out + r0 * out_w;
+                    } else {
+                        local.tile_a.resize(static_cast<size_t>(
+                            tile * stage.inWidth()));
+                        dst = local.tile_a.data();
+                        in_a = true;
+                    }
+                    std::memcpy(dst, cur,
+                                static_cast<size_t>(rn * stage.inWidth()) *
+                                    sizeof(float));
+                    cur_mut = dst;
+                    cur = cur_mut;
+                }
+                stage.forwardInPlace(cur_mut, rn, local);
+            } else {
+                float *dst;
+                if (to_out) {
+                    dst = out + r0 * out_w;
+                } else {
+                    std::vector<float> &plane =
+                        (cur_mut != nullptr && in_a) ? local.tile_b
+                                                     : local.tile_a;
+                    plane.resize(
+                        static_cast<size_t>(tile * stage.outWidth()));
+                    dst = plane.data();
+                    in_a = (&plane == &local.tile_a);
+                }
+                stage.forward(cur, rn, dst, local);
+                cur_mut = dst;
+                cur = cur_mut;
+            }
+        }
+
+        if (&local != &scratch) {
+            local.encode_ns = saved_encode;
+            local.gather_ns = saved_gather;
+        }
+        local.pool = saved_pool;
+    };
+
+    if (scratch.pool != nullptr && tiles >= 2)
+        scratch.pool->parallelFor(tiles, run_tile, scratch);
+    else
+        for (int64_t t = 0; t < tiles; ++t)
+            run_tile(t, scratch);
 }
 
 } // namespace lutdla::serve

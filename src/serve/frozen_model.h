@@ -178,7 +178,13 @@ class FrozenModel
     /** Per-stage planning decisions, one entry per stage. */
     const std::vector<StagePlan> &plan() const { return plan_; }
 
-    /** Multi-line plan dump (code widths, table precision, fusions). */
+    /** The row-tiled executor's segment partition and per-worker
+     * scratch-plane accounting (see TileExecPlan). Empty segment list
+     * when tiling is disabled or nothing is tileable. */
+    const TileExecPlan &tilePlan() const { return tiles_; }
+
+    /** Multi-line plan dump (code widths, table precision, fusions,
+     * tile segments, scratch-plane accounting). */
     std::string planSummary() const;
 
     /** Human-readable planned chain, e.g. "conv+relu -> maxpool -> ...". */
@@ -190,6 +196,17 @@ class FrozenModel
      * not allocate). Thread-safe — distinct scratch per concurrent caller
      * — and bit-exact with the source model's eval forward (fromModel
      * case). Rows must be [batch, inputWidth()].
+     *
+     * Execution is segment-streamed (the row-tiled executor): barrier
+     * stages run full-batch as before, but each planned TilePlan segment
+     * streams one row tile at a time through ALL its stages — a stage's
+     * gather + fused epilogue feeds the next stage's encode while the
+     * tile is still L1/L2-hot — with the next tile's input software-
+     * prefetched behind it. When the scratch carries an IntraBatchPool,
+     * tiles are the work-stealing unit (one task per tile, replacing the
+     * old two-barriers-per-stage sharding inside segments). Bit-exact
+     * with the untiled path (PlanOptions::tile_rows == -1) at every tile
+     * size and precision, because tileable stages are row-independent.
      */
     Tensor forwardBatch(const Tensor &x, StageScratch &scratch) const;
 
@@ -197,8 +214,16 @@ class FrozenModel
     Tensor forwardBatch(const Tensor &x) const;
 
   private:
+    /** Stream one tiled segment: read [rows, seg-in-width] from `in`,
+     * write [rows, seg-out-width] to `out` (never aliasing), one tile
+     * per pool task. */
+    void runTiledSegment(const TilePlan &seg, const float *in,
+                         int64_t rows, float *out,
+                         StageScratch &scratch) const;
+
     std::vector<StagePtr> stages_;
     std::vector<StagePlan> plan_;
+    TileExecPlan tiles_;
     int64_t row_group_ = 1;
 };
 

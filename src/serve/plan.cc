@@ -1,5 +1,6 @@
 #include "serve/plan.h"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "lutboost/kernels_simd.h"
@@ -122,11 +123,115 @@ passthroughPlan(const FrozenStage &stage)
     return plan;
 }
 
+/** Auto tile-size target: ~half a contemporary L2, the other half left
+ * for the table stream the gather pulls through the cache. */
+constexpr int64_t kDefaultTileCacheBytes = 1 << 20;
+
+/**
+ * Partition the planned chain into row-tiled segments and pick each
+ * segment's tile size (see TilePlan). A segment is a maximal run of
+ * rowTileable() stages holding at least one LUT stage; its tile is the
+ * largest multiple of the run's gather granule whose streamed working
+ * set fits the cache budget, floored at one granule so the vector
+ * gather kernels always see full chunks. Also fills the StagePlan
+ * segment/tile fields and the scratch-plane accounting.
+ */
+void
+planTiles(const std::vector<StagePtr> &stages, const PlanOptions &options,
+          std::vector<StagePlan> &plan, TileExecPlan &tiles)
+{
+    tiles = {};
+    const bool disabled = options.tile_rows < 0;
+    const int64_t budget = options.tile_cache_bytes > 0
+                               ? options.tile_cache_bytes
+                               : kDefaultTileCacheBytes;
+
+    int64_t chain_max_width = 0;   // widest plane the untiled chain holds
+    int64_t barrier_max_width = 0; // widest plane still full-batch, tiled
+    int64_t tile_interior_max = 0; // widest tile-local plane, in bytes/2
+
+    size_t i = 0;
+    while (i < stages.size()) {
+        chain_max_width = std::max(
+            {chain_max_width, stages[i]->inWidth(), stages[i]->outWidth()});
+        if (disabled || !stages[i]->rowTileable()) {
+            barrier_max_width =
+                std::max({barrier_max_width, stages[i]->inWidth(),
+                          stages[i]->outWidth()});
+            ++i;
+            continue;
+        }
+        // Maximal tileable run [i, j).
+        size_t j = i;
+        bool has_lut = false;
+        int64_t granule = 1;
+        int64_t row_bytes = 0;
+        int64_t interior = 0;
+        while (j < stages.size() && stages[j]->rowTileable()) {
+            const FrozenStage &s = *stages[j];
+            has_lut = has_lut || s.tableBytes() > 0;
+            granule = std::max(granule, s.tileGranuleRows());
+            row_bytes = std::max(
+                row_bytes,
+                (s.inWidth() + s.outWidth()) *
+                        static_cast<int64_t>(sizeof(float)) +
+                    s.tileScratchBytesPerRow());
+            interior = std::max({interior, s.inWidth(), s.outWidth()});
+            chain_max_width =
+                std::max({chain_max_width, s.inWidth(), s.outWidth()});
+            ++j;
+        }
+        // Glue-only runs (no table stream to overlap with) stay untiled:
+        // their planes still ping-pong full-batch.
+        if (!has_lut) {
+            for (size_t k = i; k < j; ++k)
+                barrier_max_width =
+                    std::max({barrier_max_width, stages[k]->inWidth(),
+                              stages[k]->outWidth()});
+            i = j;
+            continue;
+        }
+
+        TilePlan seg;
+        seg.begin = static_cast<int64_t>(i);
+        seg.end = static_cast<int64_t>(j);
+        seg.granule = granule;
+        seg.row_bytes = row_bytes;
+        if (options.tile_rows > 0) {
+            seg.tile_rows = options.tile_rows;
+        } else {
+            const int64_t fit = budget / std::max<int64_t>(1, row_bytes);
+            seg.tile_rows = std::max(granule, (fit / granule) * granule);
+        }
+        // Only the segment's boundary planes stay full-batch.
+        barrier_max_width =
+            std::max({barrier_max_width, stages[i]->inWidth(),
+                      stages[j - 1]->outWidth()});
+        tile_interior_max = std::max(
+            tile_interior_max,
+            seg.tile_rows * interior *
+                static_cast<int64_t>(sizeof(float)));
+
+        for (size_t k = i; k < j; ++k) {
+            plan[k].segment = static_cast<int64_t>(tiles.segments.size());
+            plan[k].tile_rows = seg.tile_rows;
+        }
+        tiles.segments.push_back(seg);
+        i = j;
+    }
+
+    tiles.untiled_plane_bytes_per_row =
+        2 * chain_max_width * static_cast<int64_t>(sizeof(float));
+    tiles.tiled_plane_bytes_per_row =
+        2 * barrier_max_width * static_cast<int64_t>(sizeof(float));
+    tiles.tile_plane_bytes = 2 * tile_interior_max;
+}
+
 } // namespace
 
 void
 planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
-           std::vector<StagePlan> &plan)
+           std::vector<StagePlan> &plan, TileExecPlan *tiles)
 {
     const int64_t shard_rows = resolveShardRows(options);
 
@@ -240,10 +345,13 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
         ++i;
     }
     stages = std::move(out);
+
+    if (tiles != nullptr)
+        planTiles(stages, options, plan, *tiles);
 }
 
 std::string
-planSummary(const std::vector<StagePlan> &plan)
+planSummary(const std::vector<StagePlan> &plan, const TileExecPlan *tiles)
 {
     std::string out = "isa: ";
     out += util::simdLevelName(util::simdLevel());
@@ -266,6 +374,12 @@ planSummary(const std::vector<StagePlan> &plan)
                           p.description.c_str());
         }
         out += line;
+        if (p.segment >= 0) {
+            std::snprintf(line, sizeof(line), "  [seg %lld, tile %lld]",
+                          static_cast<long long>(p.segment),
+                          static_cast<long long>(p.tile_rows));
+            out += line;
+        }
         if (!p.fused.empty()) {
             out += "  (folded:";
             for (const std::string &kind : p.fused)
@@ -273,6 +387,48 @@ planSummary(const std::vector<StagePlan> &plan)
             out += ")";
         }
         out += "\n";
+    }
+    if (tiles != nullptr) {
+        if (tiles->segments.empty()) {
+            out += "tiled executor: off (no tileable LUT segment)\n";
+            return out;
+        }
+        std::snprintf(line, sizeof(line), "tiled executor: %zu segment%s",
+                      tiles->segments.size(),
+                      tiles->segments.size() == 1 ? "" : "s");
+        out += line;
+        for (const TilePlan &seg : tiles->segments) {
+            std::snprintf(line, sizeof(line),
+                          "  [%lld,%lld) tile %lld (granule %lld, "
+                          "%.1f KB/row)",
+                          static_cast<long long>(seg.begin),
+                          static_cast<long long>(seg.end),
+                          static_cast<long long>(seg.tile_rows),
+                          static_cast<long long>(seg.granule),
+                          static_cast<double>(seg.row_bytes) / 1024.0);
+            out += line;
+        }
+        out += "\n";
+        // Per-worker steady-state plane accounting at a reference
+        // 256-row batch: the per-row planes scale with the batch, the
+        // tile planes do not.
+        constexpr int64_t kRefRows = 256;
+        std::snprintf(
+            line, sizeof(line),
+            "scratch planes/worker: %.1f KB/row full-batch -> %.1f KB/row"
+            " + %.1f KB tile planes (at %lld rows: %.1f MB -> %.1f MB)\n",
+            static_cast<double>(tiles->untiled_plane_bytes_per_row) /
+                1024.0,
+            static_cast<double>(tiles->tiled_plane_bytes_per_row) / 1024.0,
+            static_cast<double>(tiles->tile_plane_bytes) / 1024.0,
+            static_cast<long long>(kRefRows),
+            static_cast<double>(
+                tiles->scratchBytesPerWorker(kRefRows, false)) /
+                (1024.0 * 1024.0),
+            static_cast<double>(
+                tiles->scratchBytesPerWorker(kRefRows, true)) /
+                (1024.0 * 1024.0));
+        out += line;
     }
     return out;
 }

@@ -75,6 +75,25 @@ struct PlanOptions
      * sharding never starves the vector kernels of full chunks.
      */
     int64_t shard_rows = 0;
+    /**
+     * Row-tile size for the streaming segment executor (see
+     * FrozenModel::forwardBatch): 0 = auto — the largest multiple of the
+     * segment's gather granule whose streamed working set (tile in-plane
+     * + packed codes + tile out-plane, at the segment's widest stage)
+     * fits tile_cache_bytes; -1 = disable tiling entirely (full-batch
+     * phase barriers, the pre-tiling executor — what the bench A/B
+     * measures against); > 0 = force this many rows per tile. Any value
+     * is bit-exact with any other — the tile size only moves throughput,
+     * because tileable stages are row-independent and every gather
+     * variant of a bank is bit-identical across row groupings.
+     */
+    int64_t tile_rows = 0;
+    /**
+     * Cache budget in bytes the auto tile-size model targets. 0 =
+     * default 1 MiB — about half a contemporary L2, leaving the other
+     * half for the table stream the gather pulls through it.
+     */
+    int64_t tile_cache_bytes = 0;
 };
 
 /** One planned stage: what the node runs and what was folded into it. */
@@ -96,21 +115,86 @@ struct StagePlan
     /** Intra-batch shard granularity bound at plan time (0 = unsharded,
      * e.g. conv stages). */
     int64_t shard_rows = 0;
+    /** Tiled-executor segment this stage belongs to; -1 for barrier
+     * stages and untiled glue runs (see TilePlan). */
+    int64_t segment = -1;
+    /** Row-tile size the executor streams this stage's segment with
+     * (0 = full-batch execution). */
+    int64_t tile_rows = 0;
+};
+
+/**
+ * One fusible segment of the planned chain: a maximal run of
+ * row-tileable stages (FrozenStage::rowTileable) containing at least one
+ * LUT stage, which the executor streams one row tile at a time instead
+ * of full-batch stage-at-a-time. Structural barriers — skip edges,
+ * attention's whole-sequence coupling, conv's im2col reshape — bound
+ * the runs; glue-only runs between barriers stay untiled (nothing to
+ * keep cache-hot).
+ */
+struct TilePlan
+{
+    int64_t begin = 0;      ///< first stage index of the segment
+    int64_t end = 0;        ///< one past the last stage index
+    int64_t tile_rows = 0;  ///< rows the executor streams per tile
+    /** Gather sweep granule the tile size is a multiple of: the max of
+     * the segment's per-stage tileGranuleRows(), so no stage pays extra
+     * table sweeps for the tiling. */
+    int64_t granule = 1;
+    /** Streamed working-set bytes per tile row at the segment's widest
+     * stage (in-plane + out-plane + codes + adapt staging) — what the
+     * auto tile-size model fits into PlanOptions::tile_cache_bytes. */
+    int64_t row_bytes = 0;
+};
+
+/**
+ * The tiled executor's whole-chain plan: the segments plus the scratch
+ * accounting planSummary() reports. Plane figures are per engine worker;
+ * the per-row figures scale with the batch size while tile_plane_bytes
+ * is fixed (that asymmetry IS the steady-state scratch reduction — the
+ * full-batch executor's intermediate planes all scaled with the batch).
+ */
+struct TileExecPlan
+{
+    std::vector<TilePlan> segments;  ///< tiled segments, in chain order
+    /** Ping-pong plane bytes per batch row WITHOUT tiling (both planes
+     * grown to the chain's widest stage). */
+    int64_t untiled_plane_bytes_per_row = 0;
+    /** Ping-pong plane bytes per batch row WITH tiling: only barrier
+     * stages and segment-boundary planes still hold full-batch rows. */
+    int64_t tiled_plane_bytes_per_row = 0;
+    /** Fixed tile-local plane bytes (StageScratch::tile_a/tile_b grown
+     * to the widest tiled segment's interior). */
+    int64_t tile_plane_bytes = 0;
+
+    /** Steady-state activation-plane bytes one worker holds for a
+     * `rows`-row batch, with or without the tiled executor. */
+    int64_t
+    scratchBytesPerWorker(int64_t rows, bool tiled) const
+    {
+        return tiled ? tiled_plane_bytes_per_row * rows + tile_plane_bytes
+                     : untiled_plane_bytes_per_row * rows;
+    }
 };
 
 /**
  * Rewrite `stages` per `options` and record one StagePlan per surviving
  * node. Idempotent on an already-planned chain; with fusion off it still
  * rebinds every LUT stage's backend (so precision and fusion compose
- * independently).
+ * independently). When `tiles` is non-null it also receives the row-tiled
+ * executor's segment partition (empty when options.tile_rows == -1).
  */
 void planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
-                std::vector<StagePlan> &plan);
+                std::vector<StagePlan> &plan,
+                TileExecPlan *tiles = nullptr);
 
 /** Multi-line human-readable plan dump: a header naming the runtime-
  * detected ISA level, then one line per planned stage (code width, table
- * precision, resolved encode/gather kernels, shard granularity). */
-std::string planSummary(const std::vector<StagePlan> &plan);
+ * precision, resolved encode/gather kernels, shard granularity, tile
+ * segment), and — when `tiles` is non-null — a tiled-executor footer
+ * with the segment list and the per-worker scratch-plane accounting. */
+std::string planSummary(const std::vector<StagePlan> &plan,
+                        const TileExecPlan *tiles = nullptr);
 
 } // namespace lutdla::serve
 

@@ -7,6 +7,7 @@
 #include "nn/activations.h"
 #include "nn/norm.h"
 #include "util/logging.h"
+#include "vq/code_buffer.h"
 
 namespace lutdla::serve {
 
@@ -92,6 +93,25 @@ ArenaStage::description() const
     return out + epilogueSuffix(epilogue_);
 }
 
+int64_t
+ArenaStage::tileGranuleRows() const
+{
+    return backend_->gatherGranuleRows(*arena_);
+}
+
+int64_t
+ArenaStage::tileScratchBytesPerRow() const
+{
+    // Packed centroid codes the tile carries between encode and gather,
+    // plus the width-adapt materialization when a prologue was fused in.
+    const int64_t code_bits = vq::codeBitsFor(arena_->numCentroids());
+    int64_t bytes = (arena_->numSubspaces() * code_bits + 7) / 8;
+    if (adapt_in_ > 0)
+        bytes += arena_->inFeatures() *
+                 static_cast<int64_t>(sizeof(float));
+    return bytes;
+}
+
 void
 arenaGemmForward(const lutboost::LutTableArena &arena,
                  const lutboost::KernelBackend &backend, const float *in,
@@ -110,11 +130,11 @@ arenaGemmForward(const lutboost::LutTableArena &arena,
     const bool sharded =
         scratch.pool != nullptr && shard > 0 && rows >= 2 * shard;
     if (!sharded) {
-        backend.encodeBatch(arena, in, rows, scratch.kernel);
-        scratch.encode_ns += nanosSince(t0);
-
+        // The fused tile entry point: whole-batch execution is just the
+        // one-tile case of the streaming executor's per-tile sweep.
+        backend.forwardTile(arena, in, rows, out, scratch.kernel,
+                            &scratch.encode_ns, &scratch.gather_ns);
         const auto t1 = Clock::now();
-        backend.gatherAccumulate(arena, scratch.kernel, out);
         applyPointwiseOps(epilogue, out, rows * out_width);
         scratch.gather_ns += nanosSince(t1);
         return;
@@ -166,8 +186,14 @@ ArenaStage::forward(const float *in, int64_t rows, float *out,
         for (int64_t r = 0; r < rows; ++r) {
             const float *row = in + r * adapt_in_;
             float *drow = dst + r * k;
-            for (int64_t j = 0; j < k; ++j)
-                drow[j] = row[j % adapt_in_];
+            // Cyclic replication as whole-period copies (one ragged
+            // tail), not a per-element modulo — the division unit is far
+            // slower than the copy itself at trace widths.
+            for (int64_t j = 0; j < k; j += adapt_in_)
+                std::memcpy(drow + j, row,
+                            static_cast<size_t>(
+                                std::min(adapt_in_, k - j)) *
+                                sizeof(float));
         }
         src = dst;
         scratch.encode_ns += nanosSince(t0);
@@ -258,8 +284,15 @@ WidthAdaptStage::forward(const float *in, int64_t rows, float *out,
     for (int64_t r = 0; r < rows; ++r) {
         const float *src = in + r * in_;
         float *dst = out + r * out_;
-        for (int64_t j = 0; j < out_; ++j)
-            dst[j] = src[j % in_];
+        if (out_ > in_) {
+            for (int64_t j = 0; j < out_; j += in_)
+                std::memcpy(dst + j, src,
+                            static_cast<size_t>(std::min(in_, out_ - j)) *
+                                sizeof(float));
+        } else {
+            std::memcpy(dst, src, static_cast<size_t>(out_) *
+                                      sizeof(float));
+        }
     }
 }
 

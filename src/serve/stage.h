@@ -120,6 +120,15 @@ struct StageScratch
     /** Attention probability rows [heads, T, T]; per-PARTICIPANT scratch
      * (each sharded sequence runs with its executing worker's plane). */
     std::vector<float> attn_probs;
+    /**
+     * Tile-local activation planes for the row-tiled segment executor
+     * (FrozenModel::forwardBatch): while a segment streams one row tile
+     * through its stages, the intermediate planes live here at
+     * [tile_rows, width] instead of full-batch size — ping/pong only
+     * carry segment boundaries. This is where the per-worker steady-state
+     * scratch shrink planSummary() reports comes from.
+     */
+    std::vector<float> tile_a, tile_b;
     uint64_t encode_ns = 0;            ///< accumulated encode-phase time
     uint64_t gather_ns = 0;            ///< accumulated gather-phase time
     /** Intra-batch worker pool (engine-owned); null = single-threaded.
@@ -165,6 +174,34 @@ class FrozenStage
 
     /** True when the stage mutates rows in place (inWidth==outWidth). */
     virtual bool inPlace() const { return false; }
+
+    /**
+     * True when the row-tiled segment executor may stream this stage one
+     * row tile at a time: forward() must be row-independent AND touch
+     * nothing outside the rows handed to it — no skip-edge planes
+     * (SkipSave/ResidualAdd), no whole-sequence coupling (attention), no
+     * batch-shaped internal scratch (conv's im2col plane). Stages that
+     * return false are structural barriers: they execute full-batch and
+     * partition the chain into the fusible segments the planner tiles.
+     * Defaults to false so future stages are barriers until proven
+     * tileable.
+     */
+    virtual bool rowTileable() const { return false; }
+
+    /**
+     * Rows one gather sweep of this stage's tables covers (see
+     * KernelBackend::gatherGranuleRows); tiling below this granule adds
+     * whole extra table sweeps per batch. 1 for glue stages — any tile
+     * size is free for them.
+     */
+    virtual int64_t tileGranuleRows() const { return 1; }
+
+    /**
+     * Per-row kernel-scratch bytes a tile of this stage streams beyond
+     * its in/out planes (packed codes, width-adapt materialization);
+     * input to the planner's tile-size model. 0 for glue stages.
+     */
+    virtual int64_t tileScratchBytesPerRow() const { return 0; }
 
     /**
      * Out-of-place execution: read [rows, inWidth()] from `in`, write
@@ -247,6 +284,12 @@ class ArenaStage : public FrozenStage
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
+    /** Rows are independent (encode and gather are both per-row), so the
+     * streaming executor may tile the stage freely. */
+    bool rowTileable() const override { return true; }
+    int64_t tileGranuleRows() const override;
+    int64_t tileScratchBytesPerRow() const override;
+
     /** The frozen arena this stage gathers from. */
     const std::shared_ptr<const lutboost::LutTableArena> &
     arena() const
@@ -314,6 +357,12 @@ class ConvStage : public FrozenStage
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
+    /** Conv stages are segment barriers for the row-tiled executor (the
+     * inherited rowTileable() == false): the im2col expansion reshapes
+     * the working set into a batch-shaped scratch plane whose patch rows
+     * outnumber the batch rows, so the planner's row-tile size model does
+     * not describe it. The conv path keeps its own internal blocking. */
+
     /** The conv geometry this stage was lowered with. */
     const ConvGeometry &geometry() const { return geom_; }
 
@@ -361,6 +410,7 @@ class PointwiseStage : public FrozenStage
     int64_t inWidth() const override { return width_; }
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
+    bool rowTileable() const override { return true; }
     void forwardInPlace(float *data, int64_t rows,
                         StageScratch &scratch) const override;
 
@@ -386,6 +436,7 @@ class FlattenStage : public FrozenStage
     int64_t inWidth() const override { return width_; }
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
+    bool rowTileable() const override { return true; }
     void
     forwardInPlace(float *, int64_t, StageScratch &) const override
     {
@@ -412,6 +463,7 @@ class MaxPoolStage : public FrozenStage
     {
         return c_ * (h_ / k_) * (w_ / k_);
     }
+    bool rowTileable() const override { return true; }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
@@ -431,6 +483,7 @@ class GlobalAvgPoolStage : public FrozenStage
     std::string kind() const override { return "gpool"; }
     int64_t inWidth() const override { return c_ * h_ * w_; }
     int64_t outWidth() const override { return c_; }
+    bool rowTileable() const override { return true; }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
@@ -463,6 +516,7 @@ class BatchNormStage : public FrozenStage
     }
     int64_t outWidth() const override { return inWidth(); }
     bool inPlace() const override { return true; }
+    bool rowTileable() const override { return true; }
     void forwardInPlace(float *data, int64_t rows,
                         StageScratch &scratch) const override;
 
@@ -493,6 +547,7 @@ class LayerNormStage : public FrozenStage
     }
     int64_t outWidth() const override { return inWidth(); }
     bool inPlace() const override { return true; }
+    bool rowTileable() const override { return true; }
     void forwardInPlace(float *data, int64_t rows,
                         StageScratch &scratch) const override;
 
@@ -520,6 +575,7 @@ class WidthAdaptStage : public FrozenStage
     std::string kind() const override { return "width-adapt"; }
     int64_t inWidth() const override { return in_; }
     int64_t outWidth() const override { return out_; }
+    bool rowTileable() const override { return true; }
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 

@@ -65,6 +65,11 @@ class SkipSaveStage : public FrozenStage
     int64_t inWidth() const override { return width_; }
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
+    /** Segment barrier for the row-tiled executor: the save writes a
+     * full-batch plane into scratch.skip that the matching add reads
+     * back after arbitrarily many stages, so the edge's lifetime spans
+     * stages — a tile cannot carry it through the segment. */
+    bool rowTileable() const override { return false; }
     void forwardInPlace(float *data, int64_t rows,
                         StageScratch &scratch) const override;
 
@@ -95,6 +100,9 @@ class ResidualAddStage : public FrozenStage
     int64_t inWidth() const override { return width_; }
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
+    /** Segment barrier: reads the skip plane its SkipSaveStage partner
+     * saved (see that stage's note). */
+    bool rowTileable() const override { return false; }
     void forwardInPlace(float *data, int64_t rows,
                         StageScratch &scratch) const override;
 
@@ -121,6 +129,10 @@ class SoftmaxStage : public FrozenStage
     int64_t inWidth() const override { return width_; }
     int64_t outWidth() const override { return width_; }
     bool inPlace() const override { return true; }
+    /** Softmax couples columns WITHIN a row, never across rows, so the
+     * row-tiled executor may stream it (unlike arena epilogue fusion,
+     * which it is excluded from for not being pointwise). */
+    bool rowTileable() const override { return true; }
     void forwardInPlace(float *data, int64_t rows,
                         StageScratch &scratch) const override;
 
@@ -159,6 +171,11 @@ class AttentionStage : public FrozenStage
     std::string description() const override;
     int64_t inWidth() const override { return arenas_.q->inFeatures(); }
     int64_t outWidth() const override { return arenas_.o->outFeatures(); }
+    /** Segment barrier: the sdpa core couples all rowGroup() == seq_len
+     * rows of a sequence (every context row reads every K/V row), so the
+     * stage needs whole sequences and full-batch projection planes — it
+     * executes between tiled segments, never inside one. */
+    bool rowTileable() const override { return false; }
     int64_t tableBytes() const override;
     int64_t residentBytes() const override;
     void forward(const float *in, int64_t rows, float *out,

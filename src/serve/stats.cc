@@ -15,9 +15,11 @@ LatencyHistogram::bucketIndex(uint64_t micros)
     int log = 63;
     while (((micros >> log) & 1) == 0)
         --log;
-    // log >= 4 here; 16 linear sub-buckets spanning [2^log, 2^(log+1)).
-    const int sub = static_cast<int>((micros >> (log - 4)) & 15);
-    const int index = (log - 3) * kSubBuckets + sub;
+    // log >= kSubShift here; kSubBuckets linear sub-buckets spanning
+    // [2^log, 2^(log+1)).
+    const int sub = static_cast<int>((micros >> (log - kSubShift)) &
+                                     (kSubBuckets - 1));
+    const int index = (log - kSubShift + 1) * kSubBuckets + sub;
     return std::min(index, kBuckets - 1);
 }
 
@@ -26,12 +28,12 @@ LatencyHistogram::bucketMidpoint(int index)
 {
     if (index < kSubBuckets)
         return static_cast<double>(index);
-    const int log = index / kSubBuckets + 3;
+    const int log = index / kSubBuckets + kSubShift - 1;
     const int sub = index % kSubBuckets;
-    const double low =
-        static_cast<double>((16ull + static_cast<uint64_t>(sub))
-                            << (log - 4));
-    const double width = static_cast<double>(1ull << (log - 4));
+    const double low = static_cast<double>(
+        (static_cast<uint64_t>(kSubBuckets) + static_cast<uint64_t>(sub))
+        << (log - kSubShift));
+    const double width = static_cast<double>(1ull << (log - kSubShift));
     return low + width / 2.0;
 }
 

@@ -7,10 +7,12 @@
  * EngineStats snapshot the engine hands back to callers.
  *
  * Percentile semantics: latencies are recorded into power-of-two buckets
- * with 16 linear sub-buckets each (HdrHistogram-style), so p50/p99 are
- * approximate with at most ~6% relative bucket error — plenty for tuning
- * `max_batch` / `max_wait_us`, with O(1) memory no matter how many requests
- * the engine serves. Counters (requests, rows, batches) are exact.
+ * with 64 linear sub-buckets each (HdrHistogram-style), so p50/p99 are
+ * approximate with at most ~1.6% relative bucket width (~0.8% midpoint
+ * error) — about three significant figures, so ms-scale percentiles no
+ * longer snap to coarse power-of-two edges — with O(1) memory no matter
+ * how many requests the engine serves. Counters (requests, rows,
+ * batches) are exact.
  */
 
 #include <cstdint>
@@ -26,7 +28,7 @@ class LatencyHistogram
   public:
     LatencyHistogram();
 
-    /** Record one latency sample (saturates at ~2^35 us ~ 9.5 hours). */
+    /** Record one latency sample (saturates at ~2^37 us ~ 38 hours). */
     void record(uint64_t micros);
 
     /** Total recorded samples. */
@@ -51,8 +53,11 @@ class LatencyHistogram
     static int bucketIndex(uint64_t micros);
     static double bucketMidpoint(int index);
 
-    // 16 linear buckets below 16us, then 16 sub-buckets per power of two.
-    static constexpr int kSubBuckets = 16;
+    // kSubBuckets linear buckets below kSubBuckets us (exact), then
+    // kSubBuckets sub-buckets per power of two. Must be a power of two;
+    // kSubShift = log2(kSubBuckets) drives the bucket math.
+    static constexpr int kSubBuckets = 64;
+    static constexpr int kSubShift = 6;
     static constexpr int kBuckets = kSubBuckets * 33;
 
     std::vector<uint64_t> buckets_;
@@ -157,8 +162,8 @@ struct EngineStats
  * WITHOUT running), `cancelled` counts caller-cancelled requests. All
  * sheds are answered with a typed api::Status — nothing is silently
  * dropped. Latency percentiles follow EngineStats semantics
- * (log-linear histogram, ~6% bucket error) and split queue wait from
- * service time.
+ * (log-linear histogram, ~0.8% midpoint error) and split queue wait
+ * from service time.
  */
 struct LaneStats
 {
