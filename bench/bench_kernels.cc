@@ -3,7 +3,10 @@
  * Google-benchmark microbenchmarks: exact GEMM vs LUT-GEMM (encode +
  * lookup) software kernels, the encode and lookup phases separately, and
  * the serving arena's split data-plane kernels (packed-code encodeBatch,
- * float-bank gather, INT8-bank gather with every kernel variant forced:
+ * the INT8 argmin-encode at every forced EncodeVariant — scalar integer
+ * reference vs VPMADDUBSW/VPMADDWD vs VPDPBUSD, identical codes across
+ * all three — float-bank gather, INT8-bank gather with every kernel
+ * variant forced:
  * scalar group sweep vs VPSHUFB shuffle vs VPERMB+VPDPBUSD dot — the
  * c=16 shuffle-vs-scalar pair is the PR-5 acceptance comparison — and the
  * nibble-packed INT4-bank gather at its forced variants for the
@@ -162,6 +165,63 @@ BM_ArenaGatherFloat(benchmark::State &state)
 }
 
 /**
+ * INT8 argmin-encode at a forced kernel variant: identical codes across
+ * every variant (exact int32 scores), timed against the float
+ * BM_ArenaEncodeBatch rows at the same shapes — the quantized-encode
+ * acceptance comparison. Unsupported variants skip.
+ */
+void
+encodeInt8Variant(benchmark::State &state, lutboost::EncodeVariant variant)
+{
+    if (variant == lutboost::EncodeVariant::DotVnni &&
+        util::simdLevel() < util::SimdLevel::Avx512Vnni) {
+        state.SkipWithError("AVX-512 VNNI not available");
+        return;
+    }
+    if (variant == lutboost::EncodeVariant::MaddAvx2 &&
+        util::simdLevel() < util::SimdLevel::Avx2) {
+        state.SkipWithError("AVX2 not available");
+        return;
+    }
+    ArenaFixture ax(state.range(0), state.range(1), 64, state.range(2),
+                    16);
+    ax.arena.ensureInt8EncodeBank();
+    for (auto _ : state) {
+        ax.arena.encodeBatchInt8(ax.fx.a.data(), ax.fx.a.dim(0),
+                                 ax.scratch.codes, ax.scratch.staging,
+                                 variant);
+        benchmark::DoNotOptimize(ax.scratch.codes.sizeBytes());
+    }
+    state.SetItemsProcessed(state.iterations() * ax.fx.a.dim(0));
+    state.counters["encode_table_bytes"] =
+        static_cast<double>(ax.arena.int8EncodeTableBytes());
+}
+
+void
+BM_ArenaEncodeInt8(benchmark::State &state)
+{
+    encodeInt8Variant(state, lutboost::EncodeVariant::Auto);
+}
+
+void
+BM_ArenaEncodeInt8Scalar(benchmark::State &state)
+{
+    encodeInt8Variant(state, lutboost::EncodeVariant::Scalar);
+}
+
+void
+BM_ArenaEncodeInt8MaddAvx2(benchmark::State &state)
+{
+    encodeInt8Variant(state, lutboost::EncodeVariant::MaddAvx2);
+}
+
+void
+BM_ArenaEncodeInt8DotVnni(benchmark::State &state)
+{
+    encodeInt8Variant(state, lutboost::EncodeVariant::DotVnni);
+}
+
+/**
  * INT8 gather at a forced kernel variant (the acceptance comparison:
  * shuffle vs scalar at c=16 on identical codes, bit-exact outputs).
  * Unsupported variants (e.g. shuffle on a non-SIMD host) skip.
@@ -302,6 +362,22 @@ BENCHMARK(BM_Lookup)
     ->Args({256, 512, 512})
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_ArenaEncodeBatch)
+    ->Args({256, 512, 4})
+    ->Args({256, 512, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaEncodeInt8)
+    ->Args({256, 512, 4})
+    ->Args({256, 512, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaEncodeInt8Scalar)
+    ->Args({256, 512, 4})
+    ->Args({256, 512, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaEncodeInt8MaddAvx2)
+    ->Args({256, 512, 4})
+    ->Args({256, 512, 8})
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ArenaEncodeInt8DotVnni)
     ->Args({256, 512, 4})
     ->Args({256, 512, 8})
     ->Unit(benchmark::kMicrosecond);

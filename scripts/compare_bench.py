@@ -118,14 +118,16 @@ def main():
     old_best, new_best = old.get("best"), new.get("best")
     if not old_best or not new_best:
         sys.exit("error: missing `best` section in one of the inputs")
-    # int4/auto headline keys appeared with the mixed-precision PR and
-    # int4_untiled with the row-tiled executor; gate them only when the
-    # baseline artifact already records them so old artifacts keep
-    # working, but fail if a baseline HAS them and the fresh bench
-    # dropped them (coverage, like the section gate).
+    # int4/auto headline keys appeared with the mixed-precision PR,
+    # int4_untiled with the row-tiled executor, and int8enc/tableonly
+    # with the quantized encode plane; gate them only when the baseline
+    # artifact already records them so old artifacts keep working, but
+    # fail if a baseline HAS them and the fresh bench dropped them
+    # (coverage, like the section gate).
     headline = ["float32_rows_per_sec", "int8_rows_per_sec"]
     for key in ("int4_rows_per_sec", "auto_rows_per_sec",
-                "int4_untiled_rows_per_sec"):
+                "int4_untiled_rows_per_sec", "int8enc_rows_per_sec",
+                "tableonly_rows_per_sec"):
         if key in old_best:
             if key not in new_best:
                 failures.append(
@@ -156,6 +158,23 @@ def main():
             print(f"  [ ] {'best.tiled_speedup_int4':46s} "
                   f"{old_best['tiled_speedup_int4']:10.3f} -> "
                   f"{new_best['tiled_speedup_int4']:10.3f}")
+
+    # Encode-plane digest (informational, never gated): agreements are
+    # accuracy numbers, not rates, and joint_vs_tableonly is a ratio of
+    # two independently noisy sweeps — the absolute int8enc/tableonly
+    # rates above carry the gate.
+    enc_keys = ("int8enc_vs_int4", "int8enc_agreement",
+                "joint_vs_tableonly", "tableonly_agreement")
+    if any(k in old_best or k in new_best for k in enc_keys):
+        print("quantized encode plane (informational):")
+        for key in enc_keys:
+            if key not in old_best and key not in new_best:
+                continue
+            o = old_best.get(key)
+            n = new_best.get(key)
+            print(f"  [ ] best.{key:34s} "
+                  f"{o if o is not None else '(absent)'} -> "
+                  f"{n if n is not None else '(absent)'}")
 
     print("per-(section, backend) bests (gated):")
     old_sb = section_best(old, old_scale)
@@ -191,8 +210,8 @@ def main():
     # resident bytes are deterministic per (model, plan, ISA), not a
     # timing, hence never normalized.
     res_keys = ("float32_resident_bytes", "int8_resident_bytes",
-                "int4_resident_bytes", "auto_resident_bytes",
-                "auto_int8_resident_bytes")
+                "int4_resident_bytes", "int8enc_resident_bytes",
+                "auto_resident_bytes", "auto_int8_resident_bytes")
     if any(k in old_best or k in new_best for k in res_keys):
         print("arena resident bytes per plan (informational):")
         for key in res_keys:

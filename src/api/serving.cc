@@ -25,6 +25,8 @@ maybeAutoTune(serve::FrozenModel model, const ServeOptions &options)
     serve::PlanOptions plan = options.plan;
     plan.table_precision = serve::TablePrecision::Float32;
     plan.stage_precision = tuned.stage_precision;
+    plan.encode_precision = serve::EncodePrecision::Float32;
+    plan.stage_encode_precision = tuned.stage_encode_precision;
     return model.withPlan(plan);
 }
 

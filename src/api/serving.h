@@ -58,10 +58,14 @@ struct ServeOptions
     /** Worker pool / batching / queue knobs. */
     serve::EngineOptions engine;
     /**
-     * Lowering plan: table precision, stage fusion, and the row-tiled
-     * executor override (`plan.tile_rows`: 0 auto-sizes a cache-resident
-     * row tile, -1 forces the untiled phase-barrier executor, >0 forces
-     * a tile size — all bit-exact; see serve/plan.h).
+     * Lowering plan: table precision, encode precision
+     * (`plan.encode_precision = serve::EncodePrecision::Int8` runs the
+     * integer argmin over the quantized encode bank on every supporting
+     * stage — approximate, top-1-agreement-bounded; see docs/SERVING.md),
+     * stage fusion, and the row-tiled executor override
+     * (`plan.tile_rows`: 0 auto-sizes a cache-resident row tile, -1
+     * forces the untiled phase-barrier executor, >0 forces a tile size —
+     * all tile sizes bit-exact; see serve/plan.h).
      */
     serve::PlanOptions plan;
     /** Image height/width for models with spatial first layers. */
@@ -75,20 +79,23 @@ struct ServeOptions
      */
     serve::ModelSlo slo;
     /**
-     * Run the mixed-precision auto-tuner (serve/autotune.h) after
+     * Run the joint mixed-precision auto-tuner (serve/autotune.h) after
      * lowering: each LUT stage is assigned float32 / INT8 / INT4 tables
-     * by greedy bytes-saved-per-accuracy-lost descent under
+     * AND float32 / INT8 encode arithmetic by greedy
+     * bytes-saved-per-accuracy-lost descent under
      * `auto_tune_options.agreement_budget`, and the winning assignment
-     * replaces plan.table_precision / plan.stage_precision. The chosen
+     * replaces plan.table_precision / plan.stage_precision /
+     * plan.encode_precision / plan.stage_encode_precision. The chosen
      * per-stage precisions are visible in the engine's planSummary().
      */
     bool auto_tune = false;
-    /** Tuner knobs when `auto_tune` is set (budget, probe rows, seed). */
+    /** Tuner knobs when `auto_tune` is set (budget, probe rows, seed,
+     * per-axis enables). */
     serve::AutoTuneOptions auto_tune_options;
 
-    /** Fluent enable: tune per-stage table precision to the given top-1
-     * agreement budget (e.g. 0.90 keeps >= 90% of probe-row argmaxes
-     * identical to the all-float32 plan). */
+    /** Fluent enable: tune per-stage (table, encode) precision to the
+     * given top-1 agreement budget (e.g. 0.90 keeps >= 90% of probe-row
+     * argmaxes identical to the all-float32 plan). */
     ServeOptions &
     autoTunePrecision(double budget)
     {

@@ -29,15 +29,37 @@ chunkOrRowBlock(bool scalar)
     return chunk > 0 ? chunk : LutTableArena::kRowBlock;
 }
 
+/** True when the arena can honor an Int8 encode request; unsupported
+ * arenas (non-L2 metric, oversized subvectors) fall back to the exact
+ * float argmin rather than faulting — the planner resolves the same
+ * predicate, so the fallback only fires for hand-built configurations. */
+bool
+useInt8Encode(const LutTableArena &arena, EncodePrecision encode)
+{
+    return encode == EncodePrecision::Int8 && arena.int8EncodeSupported();
+}
+
 } // namespace
+
+const char *
+encodePrecisionName(EncodePrecision precision)
+{
+    return precision == EncodePrecision::Int8 ? "int8" : "float32";
+}
 
 void
 KernelBackend::encodeBatch(const LutTableArena &arena, const float *x,
-                           int64_t rows, KernelScratch &scratch) const
+                           int64_t rows, KernelScratch &scratch,
+                           EncodePrecision encode) const
 {
-    // Both backends share the exact argmin encode: quantization applies
-    // only to the gather-side tables, so reference and quantized plans
-    // select identical codes and differ purely in accumulation precision.
+    // Every backend shares the arena's encode phase; `encode` picks the
+    // argmin arithmetic (exact float scan vs integer scan over the INT8
+    // encode bank), independent of the gather-side table precision.
+    if (useInt8Encode(arena, encode)) {
+        arena.ensureInt8EncodeBank();
+        arena.encodeBatchInt8(x, rows, scratch.codes, scratch.staging);
+        return;
+    }
     arena.encodeBatch(x, rows, scratch.codes, scratch.staging);
 }
 
@@ -51,9 +73,14 @@ KernelBackend::encodePrepare(const LutTableArena &arena, int64_t rows,
 void
 KernelBackend::encodeBlock(const LutTableArena &arena, const float *x,
                            int64_t row0, int64_t rows,
-                           vq::CodeBuffer &codes,
-                           KernelScratch &local) const
+                           vq::CodeBuffer &codes, KernelScratch &local,
+                           EncodePrecision encode) const
 {
+    if (useInt8Encode(arena, encode)) {
+        arena.ensureInt8EncodeBank();
+        arena.encodeBlockInt8(x, row0, rows, codes, local.staging);
+        return;
+    }
     arena.encodeBlock(x, row0, rows, codes, local.staging);
 }
 
@@ -67,10 +94,11 @@ KernelBackend::gatherAccumulate(const LutTableArena &arena,
 void
 KernelBackend::forwardTile(const LutTableArena &arena, const float *x,
                            int64_t rows, float *y, KernelScratch &scratch,
-                           uint64_t *encode_ns, uint64_t *gather_ns) const
+                           uint64_t *encode_ns, uint64_t *gather_ns,
+                           EncodePrecision encode) const
 {
     const auto t0 = std::chrono::steady_clock::now();
-    encodeBatch(arena, x, rows, scratch);
+    encodeBatch(arena, x, rows, scratch, encode);
     if (encode_ns != nullptr)
         *encode_ns += nanosSince(t0);
     const auto t1 = std::chrono::steady_clock::now();

@@ -11,17 +11,23 @@
  * and KernelBackend is the seam where the precision of each phase is
  * chosen:
  *
- *  - referenceBackend(): float table bank; together with the shared encode
- *    phase it is bit-exact with eval-mode LutLinear::forward (the numerics
- *    contract every serving test pins).
- *  - quantizedBackend(): same encode, gather over the arena's
- *    INT8-quantized bank (per-(subspace, output-block) symmetric scales,
- *    ~4x less table traffic). Approximate — docs/SERVING.md documents the
- *    error envelope, and tests bound top-1 disagreement.
- *  - int4Backend(): same encode, gather over the nibble-packed INT4 bank
- *    (two output columns per byte, ~8x less traffic than float).
- *    Coarser still; the per-stage mixed-precision auto-tuner
- *    (serve/autotune.h) decides where it is safe.
+ *  - referenceBackend(): float table bank; with the default Float32
+ *    encode it is bit-exact with eval-mode LutLinear::forward (the
+ *    numerics contract every serving test pins).
+ *  - quantizedBackend(): gather over the arena's INT8-quantized bank
+ *    (per-(subspace, output-block) symmetric scales, ~4x less table
+ *    traffic). Approximate — docs/SERVING.md documents the error
+ *    envelope, and tests bound top-1 disagreement.
+ *  - int4Backend(): gather over the nibble-packed INT4 bank (two output
+ *    columns per byte, ~8x less traffic than float). Coarser still; the
+ *    per-stage mixed-precision auto-tuner (serve/autotune.h) decides
+ *    where it is safe.
+ *
+ * The ENCODE phase has its own, orthogonal precision axis
+ * (EncodePrecision below): every backend defaults to the exact float
+ * argmin, and any backend can instead run the INT8 integer argmin over
+ * the arena's quantized encode bank — the planner picks per stage, and
+ * the auto-tuner searches the joint (table, encode) space.
  *
  * Backends are stateless singletons; all mutable per-batch state lives in
  * the caller-owned KernelScratch, so one backend serves every worker
@@ -81,6 +87,24 @@ struct KernelScratch
 };
 
 /**
+ * Precision of the ENCODE phase, orthogonal to the backend's gather
+ * precision: Float32 is the bit-exact argmin every numerics contract
+ * pins; Int8 runs the integer argmin over the arena's quantized encode
+ * bank (VNNI/AVX2 tiers, ~4x less codebook traffic) and carries a top-1
+ * agreement envelope instead. Lives here rather than in serve/plan.h so
+ * the lutboost layer needs no serve dependency; the serving planner
+ * re-exports it (serve::EncodePrecision) and resolves per-stage choices.
+ */
+enum class EncodePrecision
+{
+    Float32,  ///< exact float argmin (default; bit-exact contract)
+    Int8      ///< integer argmin over the INT8 encode bank (L2 only)
+};
+
+/** Stable tag for plans and reports: "float32" / "int8". */
+const char *encodePrecisionName(EncodePrecision precision);
+
+/**
  * One precision choice for the encode -> gather execution of a frozen LUT
  * layer. Implementations are stateless and thread-safe; per-batch state
  * lives in the caller's KernelScratch.
@@ -99,10 +123,16 @@ class KernelBackend
     /**
      * Encode phase: argmin-encode `rows` rows of `x` (arena.inFeatures()
      * wide) into scratch.codes at the arena's packed code width. Applies
-     * the arena's BF16 input rounding via scratch.staging.
+     * the arena's BF16 input rounding via scratch.staging. `encode`
+     * selects the argmin arithmetic: Float32 is the exact scan; Int8
+     * routes through the arena's quantized encode bank when the arena
+     * supports it (L2 metric) and silently falls back to the exact scan
+     * otherwise, mirroring how the planner resolves the choice.
      */
-    virtual void encodeBatch(const LutTableArena &arena, const float *x,
-                             int64_t rows, KernelScratch &scratch) const;
+    virtual void encodeBatch(
+        const LutTableArena &arena, const float *x, int64_t rows,
+        KernelScratch &scratch,
+        EncodePrecision encode = EncodePrecision::Float32) const;
 
     /**
      * Size `codes` for a `rows`-row batch before sharded encode: shards
@@ -114,12 +144,13 @@ class KernelBackend
     /**
      * Shardable encode span: encode rows [row0, row0 + rows) of the full
      * batch `x` into the shared (already encodePrepare'd) `codes`,
-     * staging through the EXECUTING worker's `local` scratch.
+     * staging through the EXECUTING worker's `local` scratch. `encode`
+     * follows the encodeBatch contract (Int8 with fallback to Float32).
      */
-    virtual void encodeBlock(const LutTableArena &arena, const float *x,
-                             int64_t row0, int64_t rows,
-                             vq::CodeBuffer &codes,
-                             KernelScratch &local) const;
+    virtual void encodeBlock(
+        const LutTableArena &arena, const float *x, int64_t row0,
+        int64_t rows, vq::CodeBuffer &codes, KernelScratch &local,
+        EncodePrecision encode = EncodePrecision::Float32) const;
 
     /**
      * Gather phase: accumulate the table rows scratch.codes selects into
@@ -140,7 +171,9 @@ class KernelBackend
      */
     void forwardTile(const LutTableArena &arena, const float *x,
                      int64_t rows, float *y, KernelScratch &scratch,
-                     uint64_t *encode_ns, uint64_t *gather_ns) const;
+                     uint64_t *encode_ns, uint64_t *gather_ns,
+                     EncodePrecision encode = EncodePrecision::Float32)
+        const;
 
     /**
      * Rows one full sweep of this backend's table bank covers: kRowBlock

@@ -112,6 +112,291 @@ encodeL2C16RowsAvx2(const float *x, int64_t rows, int64_t stride,
         codes[i] = argminL2C16Avx2(x + i * stride, cbt, v);
 }
 
+/** Scalar distance + argmin scan for generic c (NaN fallback). Same op
+ * sequence as the arena's distanceAll + argminScan: zeroed accumulators,
+ * ascending t, explicit mul + add (this TU builds with -ffp-contract=off
+ * so no FMA contraction), strict-< scan for lowest-index ties. */
+int32_t
+argminScanL2Generic(const float *sub, const float *cbt, int64_t v,
+                    int64_t c)
+{
+    float d[64];
+    for (int64_t j = 0; j < c; ++j)
+        d[j] = 0.0f;
+    for (int64_t t = 0; t < v; ++t) {
+        const float a = sub[t];
+        const float *row = cbt + t * c;
+        for (int64_t j = 0; j < c; ++j) {
+            const float diff = a - row[j];
+            d[j] += diff * diff;
+        }
+    }
+    int32_t best = 0;
+    float best_dist = d[0];
+    for (int64_t j = 1; j < c; ++j) {
+        if (d[j] < best_dist) {
+            best_dist = d[j];
+            best = static_cast<int32_t>(j);
+        }
+    }
+    return best;
+}
+
+__attribute__((target("avx512f"))) int32_t
+argminL2GenericAvx512(const float *__restrict__ sub,
+                      const float *__restrict__ cbt, int64_t v, int64_t c)
+{
+    // Up to 4 blocks of 16 centroid lanes (c <= 64). Pad lanes of the
+    // last block accumulate garbage from the maskz loads; they are
+    // parked at +inf before the reduction and masked out of the
+    // equality scan, so they can never win nor steal a tie.
+    const int64_t nb = (c + 15) / 16;
+    __mmask16 mask[4];
+    __m512 d[4];
+    for (int64_t b = 0; b < nb; ++b) {
+        const int64_t lanes = std::min<int64_t>(16, c - 16 * b);
+        mask[b] = static_cast<__mmask16>((1u << lanes) - 1u);
+        d[b] = _mm512_setzero_ps();
+    }
+    for (int64_t t = 0; t < v; ++t) {
+        const __m512 a = _mm512_set1_ps(sub[t]);
+        const float *row = cbt + t * c;
+        for (int64_t b = 0; b < nb; ++b) {
+            const __m512 r = _mm512_maskz_loadu_ps(mask[b], row + 16 * b);
+            const __m512 diff = _mm512_sub_ps(a, r);
+            d[b] = _mm512_add_ps(d[b], _mm512_mul_ps(diff, diff));
+        }
+    }
+    __mmask16 unord = 0;
+    for (int64_t b = 0; b < nb; ++b)
+        unord |= _mm512_cmp_ps_mask(d[b], d[b], _CMP_UNORD_Q) & mask[b];
+    if (unord != 0)
+        return argminScanL2Generic(sub, cbt, v, c);
+    const __m512 inf = _mm512_set1_ps(__builtin_inff());
+    __m512 m = _mm512_mask_blend_ps(mask[0], inf, d[0]);
+    for (int64_t b = 1; b < nb; ++b) {
+        d[b] = _mm512_mask_blend_ps(mask[b], inf, d[b]);
+        m = _mm512_min_ps(m, d[b]);
+    }
+    m = _mm512_min_ps(m, _mm512_shuffle_f32x4(m, m, 0x4E));
+    m = _mm512_min_ps(m, _mm512_shuffle_f32x4(m, m, 0xB1));
+    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0x4E));
+    m = _mm512_min_ps(m, _mm512_shuffle_ps(m, m, 0xB1));
+    // Ascending block scan + ctz keeps the lowest-index tie-break of the
+    // scalar argmin scan.
+    for (int64_t b = 0; b < nb; ++b) {
+        const __mmask16 eq =
+            _mm512_cmp_ps_mask(d[b], m, _CMP_EQ_OQ) & mask[b];
+        if (eq != 0)
+            return static_cast<int32_t>(16 * b + __builtin_ctz(eq));
+    }
+    return 0;
+}
+
+__attribute__((target("avx2"))) int32_t
+argminL2GenericAvx2(const float *__restrict__ sub,
+                    const float *__restrict__ cbt, int64_t v, int64_t c)
+{
+    static const int32_t kLaneMask[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                          0,  0,  0,  0,  0,  0,  0,  0};
+    const int64_t nb = (c + 7) / 8;
+    __m256i mask[8];
+    unsigned bits[8];
+    __m256 d[8];
+    for (int64_t b = 0; b < nb; ++b) {
+        const int64_t lanes = std::min<int64_t>(8, c - 8 * b);
+        mask[b] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(kLaneMask + 8 - lanes));
+        bits[b] = (1u << lanes) - 1u;
+        d[b] = _mm256_setzero_ps();
+    }
+    for (int64_t t = 0; t < v; ++t) {
+        const __m256 a = _mm256_set1_ps(sub[t]);
+        const float *row = cbt + t * c;
+        for (int64_t b = 0; b < nb; ++b) {
+            const __m256 r = _mm256_maskload_ps(row + 8 * b, mask[b]);
+            const __m256 diff = _mm256_sub_ps(a, r);
+            d[b] = _mm256_add_ps(d[b], _mm256_mul_ps(diff, diff));
+        }
+    }
+    unsigned unord = 0;
+    for (int64_t b = 0; b < nb; ++b)
+        unord |= static_cast<unsigned>(_mm256_movemask_ps(
+                     _mm256_cmp_ps(d[b], d[b], _CMP_UNORD_Q))) &
+                 bits[b];
+    if (unord != 0)
+        return argminScanL2Generic(sub, cbt, v, c);
+    const __m256 inf = _mm256_set1_ps(__builtin_inff());
+    __m256 m =
+        _mm256_blendv_ps(inf, d[0], _mm256_castsi256_ps(mask[0]));
+    for (int64_t b = 1; b < nb; ++b) {
+        d[b] = _mm256_blendv_ps(inf, d[b], _mm256_castsi256_ps(mask[b]));
+        m = _mm256_min_ps(m, d[b]);
+    }
+    m = _mm256_min_ps(m, _mm256_permute2f128_ps(m, m, 0x01));
+    m = _mm256_min_ps(m, _mm256_shuffle_ps(m, m, 0x4E));
+    m = _mm256_min_ps(m, _mm256_shuffle_ps(m, m, 0xB1));
+    for (int64_t b = 0; b < nb; ++b) {
+        const unsigned eq =
+            static_cast<unsigned>(_mm256_movemask_ps(
+                _mm256_cmp_ps(d[b], m, _CMP_EQ_OQ))) &
+            bits[b];
+        if (eq != 0)
+            return static_cast<int32_t>(8 * b + __builtin_ctz(eq));
+    }
+    return 0;
+}
+
+__attribute__((target("avx512f"))) void
+encodeL2GenericRowsAvx512(const float *x, int64_t rows, int64_t stride,
+                          const float *cbt, int64_t v, int64_t c,
+                          int32_t *codes)
+{
+    for (int64_t i = 0; i < rows; ++i)
+        codes[i] = argminL2GenericAvx512(x + i * stride, cbt, v, c);
+}
+
+__attribute__((target("avx2"))) void
+encodeL2GenericRowsAvx2(const float *x, int64_t rows, int64_t stride,
+                        const float *cbt, int64_t v, int64_t c,
+                        int32_t *codes)
+{
+    for (int64_t i = 0; i < rows; ++i)
+        codes[i] = argminL2GenericAvx2(x + i * stride, cbt, v, c);
+}
+
+/**
+ * INT8 argmin-encode, VNNI tier. Per row: quantize the subvector onto
+ * the bank's 7-bit grid in masked 16-float chunks (sub, mul, clamp via
+ * max/min — MAXPS(t, 0) returns 0 for NaN, matching the scalar
+ * reference's `t > 0 ? t : 0` — then CVTPS2DQ under the default
+ * round-to-nearest-even mode, matching std::nearbyint), then one
+ * VPDPBUSD per dim-quad folds x_u (unsigned) against c_s (signed) for
+ * all 16 centroid lanes at once. Bytes past v in the last chunk hold the
+ * quantization of 0.0f; the bank's quad layout stores 0 there, so they
+ * contribute nothing — the scalar reference simply never reads them.
+ */
+__attribute__((target("avx512f,avx512bw,avx512vnni"))) void
+encodeInt8RowsVnni(const float *x, int64_t rows, int64_t stride,
+                   const int8_t *cs_quad, const int32_t *norms, float lo,
+                   float inv, int64_t v, int32_t *codes)
+{
+    const int64_t vq4 = (v + 3) / 4;
+    const __m512 vlo = _mm512_set1_ps(lo);
+    const __m512 vinv = _mm512_set1_ps(inv);
+    const __m512 vzero = _mm512_setzero_ps();
+    const __m512 vmax = _mm512_set1_ps(127.0f);
+    const __m512i vnorm = _mm512_loadu_si512(norms);
+    alignas(64) uint8_t xq[128];
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *sub = x + i * stride;
+        for (int64_t t0 = 0; t0 < v; t0 += 16) {
+            const int64_t lanes = std::min<int64_t>(16, v - t0);
+            const __mmask16 lm =
+                static_cast<__mmask16>((1u << lanes) - 1u);
+            __m512 t = _mm512_maskz_loadu_ps(lm, sub + t0);
+            t = _mm512_mul_ps(_mm512_sub_ps(t, vlo), vinv);
+            t = _mm512_min_ps(_mm512_max_ps(t, vzero), vmax);
+            _mm_storeu_si128(reinterpret_cast<__m128i *>(xq + t0),
+                             _mm512_cvtepi32_epi8(_mm512_cvtps_epi32(t)));
+        }
+        __m512i acc = _mm512_setzero_si512();
+        for (int64_t qd = 0; qd < vq4; ++qd) {
+            uint32_t xw;
+            std::memcpy(&xw, xq + 4 * qd, 4);
+            const __m512i xb = _mm512_set1_epi32(static_cast<int>(xw));
+            const __m512i cb = _mm512_loadu_si512(cs_quad + qd * 64);
+            acc = _mm512_dpbusd_epi32(acc, xb, cb);
+        }
+        // score_j = ||c_u_j||^2 - 2 * dot; pad centroids hold INT32_MAX
+        // norms and zero bank bytes, so they never win the min.
+        const __m512i score =
+            _mm512_sub_epi32(vnorm, _mm512_slli_epi32(acc, 1));
+        __m512i m = _mm512_min_epi32(
+            score, _mm512_shuffle_i32x4(score, score, 0x4E));
+        m = _mm512_min_epi32(m, _mm512_shuffle_i32x4(m, m, 0xB1));
+        m = _mm512_min_epi32(
+            m, _mm512_shuffle_epi32(m, static_cast<_MM_PERM_ENUM>(0x4E)));
+        m = _mm512_min_epi32(
+            m, _mm512_shuffle_epi32(m, static_cast<_MM_PERM_ENUM>(0xB1)));
+        const __mmask16 eq = _mm512_cmpeq_epi32_mask(score, m);
+        codes[i] = static_cast<int32_t>(__builtin_ctz(eq));
+    }
+}
+
+/**
+ * INT8 argmin-encode, AVX2 tier (also serves plain AVX-512 hosts).
+ * VPMADDUBSW pairs x_u (unsigned, <= 127) with c_s (signed, >= -128):
+ * a pair sum is bounded by 127 * 128 * 2 = 32512 < 32767, so the int16
+ * lanes never saturate; VPMADDWD against ones widens the pairs into the
+ * same exact int32 quad-dots VPDPBUSD produces.
+ */
+__attribute__((target("avx2"))) void
+encodeInt8RowsAvx2(const float *x, int64_t rows, int64_t stride,
+                   const int8_t *cs_quad, const int32_t *norms, float lo,
+                   float inv, int64_t v, int32_t *codes)
+{
+    static const int32_t kLaneMask[16] = {-1, -1, -1, -1, -1, -1, -1, -1,
+                                          0,  0,  0,  0,  0,  0,  0,  0};
+    const int64_t vq4 = (v + 3) / 4;
+    const __m256 vlo = _mm256_set1_ps(lo);
+    const __m256 vinv = _mm256_set1_ps(inv);
+    const __m256 vzero = _mm256_setzero_ps();
+    const __m256 vmax = _mm256_set1_ps(127.0f);
+    const __m256i ones16 = _mm256_set1_epi16(1);
+    const __m256i norm0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(norms));
+    const __m256i norm1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i *>(norms + 8));
+    alignas(32) int32_t qtmp[8];
+    alignas(32) uint8_t xq[128];
+    for (int64_t i = 0; i < rows; ++i) {
+        const float *sub = x + i * stride;
+        for (int64_t t0 = 0; t0 < v; t0 += 8) {
+            const int64_t lanes = std::min<int64_t>(8, v - t0);
+            const __m256i lm = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(kLaneMask + 8 - lanes));
+            __m256 t = _mm256_maskload_ps(sub + t0, lm);
+            t = _mm256_mul_ps(_mm256_sub_ps(t, vlo), vinv);
+            t = _mm256_min_ps(_mm256_max_ps(t, vzero), vmax);
+            _mm256_store_si256(reinterpret_cast<__m256i *>(qtmp),
+                               _mm256_cvtps_epi32(t));
+            for (int64_t k = 0; k < 8 && t0 + k < 4 * vq4; ++k)
+                xq[t0 + k] = static_cast<uint8_t>(qtmp[k]);
+        }
+        __m256i acc0 = _mm256_setzero_si256();
+        __m256i acc1 = _mm256_setzero_si256();
+        for (int64_t qd = 0; qd < vq4; ++qd) {
+            uint32_t xw;
+            std::memcpy(&xw, xq + 4 * qd, 4);
+            const __m256i xb = _mm256_set1_epi32(static_cast<int>(xw));
+            const __m256i cb0 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(cs_quad + qd * 64));
+            const __m256i cb1 = _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(cs_quad + qd * 64 + 32));
+            acc0 = _mm256_add_epi32(
+                acc0,
+                _mm256_madd_epi16(_mm256_maddubs_epi16(xb, cb0), ones16));
+            acc1 = _mm256_add_epi32(
+                acc1,
+                _mm256_madd_epi16(_mm256_maddubs_epi16(xb, cb1), ones16));
+        }
+        const __m256i s0 =
+            _mm256_sub_epi32(norm0, _mm256_slli_epi32(acc0, 1));
+        const __m256i s1 =
+            _mm256_sub_epi32(norm1, _mm256_slli_epi32(acc1, 1));
+        __m256i m = _mm256_min_epi32(s0, s1);
+        m = _mm256_min_epi32(m, _mm256_permute2x128_si256(m, m, 0x01));
+        m = _mm256_min_epi32(m, _mm256_shuffle_epi32(m, 0x4E));
+        m = _mm256_min_epi32(m, _mm256_shuffle_epi32(m, 0xB1));
+        const unsigned eq0 = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(s0, m))));
+        const unsigned eq1 = static_cast<unsigned>(_mm256_movemask_ps(
+            _mm256_castsi256_ps(_mm256_cmpeq_epi32(s1, m))));
+        codes[i] = static_cast<int32_t>(__builtin_ctz(eq0 | (eq1 << 8)));
+    }
+}
+
 __attribute__((target("avx512f,avx512bw"))) void
 gatherChunkAvx512(const int8_t *__restrict__ q_il,
                   const float *__restrict__ scales,
@@ -671,6 +956,52 @@ encodeL2C16Rows(util::SimdLevel level, const float *x, int64_t rows,
     LUTDLA_CHECK(level == util::SimdLevel::Avx2,
                  "encodeL2C16Rows requires AVX2 or AVX-512");
     encodeL2C16RowsAvx2(x, rows, stride, cbt, v, codes);
+}
+
+bool
+encodeL2GenericSupported(util::SimdLevel level, int64_t c)
+{
+    return level >= util::SimdLevel::Avx2 && c >= 2 && c <= 64;
+}
+
+void
+encodeL2GenericRows(util::SimdLevel level, const float *x, int64_t rows,
+                    int64_t stride, const float *cbt, int64_t v, int64_t c,
+                    int32_t *codes)
+{
+    LUTDLA_CHECK(c >= 2 && c <= 64,
+                 "encodeL2GenericRows supports 2..64 centroids");
+    if (level >= util::SimdLevel::Avx512) {
+        encodeL2GenericRowsAvx512(x, rows, stride, cbt, v, c, codes);
+        return;
+    }
+    LUTDLA_CHECK(level == util::SimdLevel::Avx2,
+                 "encodeL2GenericRows requires AVX2 or AVX-512");
+    encodeL2GenericRowsAvx2(x, rows, stride, cbt, v, c, codes);
+}
+
+bool
+int8EncodeSupported(util::SimdLevel level)
+{
+    return level >= util::SimdLevel::Avx2;
+}
+
+void
+encodeInt8C16Rows(util::SimdLevel level, const float *x, int64_t rows,
+                  int64_t stride, const int8_t *cs_quad,
+                  const int32_t *norms, float lo, float inv, int64_t v,
+                  int32_t *codes)
+{
+    LUTDLA_CHECK(v >= 1 && v <= 128,
+                 "INT8 encode kernels support subvector lengths up to 128");
+    if (level >= util::SimdLevel::Avx512Vnni) {
+        encodeInt8RowsVnni(x, rows, stride, cs_quad, norms, lo, inv, v,
+                           codes);
+        return;
+    }
+    LUTDLA_CHECK(level >= util::SimdLevel::Avx2,
+                 "encodeInt8C16Rows requires AVX2 or newer");
+    encodeInt8RowsAvx2(x, rows, stride, cs_quad, norms, lo, inv, v, codes);
 }
 
 bool

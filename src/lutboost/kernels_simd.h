@@ -12,13 +12,29 @@
  * arena kernels used to rely on. See docs/SERVING.md for the full
  * dispatch matrix (ISA x code width x table precision).
  *
- * Two kernel families:
+ * Three kernel families:
  *
- *  - encode: fused L2 distance + argmin for the flagship c == 16 shape,
- *    keeping all 16 per-centroid accumulators in one register file.
- *    Bit-exact with the scalar distance + ascending argmin scan
- *    (explicit mul + add, never FMA; lowest-index tie-break; NaN rows
- *    fall back to the scalar scan).
+ *  - float encode: fused L2 distance + argmin for the flagship c == 16
+ *    shape, keeping all 16 per-centroid accumulators in one register
+ *    file, plus a masked generic-c tier for any c <= 64 (centroid
+ *    blocks of 16/8 lanes, pad lanes parked at +inf). Bit-exact with
+ *    the scalar distance + ascending argmin scan (explicit mul + add,
+ *    never FMA; lowest-index tie-break; NaN rows fall back to the
+ *    scalar scan).
+ *
+ *  - INT8 encode: integer argmin over the quantized encode bank.
+ *    Input subvectors are quantized onto the SAME per-subspace 7-bit
+ *    affine grid as the bank's centroids (x_u = clamp(round((x - lo) *
+ *    inv), 0, 127)), so argmin ||x - c||^2 collapses to an integer
+ *    argmin over (||c_u||^2 - 2 * x_u . c_s) with c_s = c_u - 128 —
+ *    the dropped ||x_u||^2 and -256 * sum(x_u) terms are constant
+ *    across centroids. The VNNI tier folds 4 dims x 16 centroids per
+ *    VPDPBUSD over the quad-interleaved bank; the AVX2 tier pairs
+ *    VPMADDUBSW + VPMADDWD (the 7-bit x grid caps a pair sum at
+ *    127 * 128 * 2 = 32512, so the int16 maddubs lanes can never
+ *    saturate). Every tier computes the identical int32 scores, so the
+ *    result is bit-identical to the scalar integer reference by
+ *    construction.
  *
  *  - shuffle gather (INT8 bank, c <= 16): the in-register table lookup
  *    the paper's DPE performs in hardware. Codes for a block of rows are
@@ -65,6 +81,55 @@ int32_t argminL2C16(util::SimdLevel level, const float *sub,
 void encodeL2C16Rows(util::SimdLevel level, const float *x, int64_t rows,
                      int64_t stride, const float *cbt, int64_t v,
                      int32_t *codes);
+
+/** True when `level` provides the masked generic-c (c <= 64) L2 encode
+ * tier for centroid counts without a dedicated fast path. */
+bool encodeL2GenericSupported(util::SimdLevel level, int64_t c);
+
+/**
+ * Generic-c twin of encodeL2C16Rows: encode `rows` subvectors against one
+ * transposed [v, c] codebook for any 2 <= c <= 64. Centroids are
+ * processed in masked blocks of 16 (AVX-512) / 8 (AVX2) lanes with pad
+ * lanes parked at +inf; the cross-block argmin scans blocks in ascending
+ * order and breaks ties toward the lowest index, so the result is
+ * bit-exact with the scalar distance + ascending argmin scan (NaN rows
+ * fall back to the scalar scan).
+ */
+void encodeL2GenericRows(util::SimdLevel level, const float *x,
+                         int64_t rows, int64_t stride, const float *cbt,
+                         int64_t v, int64_t c, int32_t *codes);
+
+/** True when `level` provides an INT8 integer argmin-encode tier
+ * (requires AVX2; the VNNI tier additionally requires
+ * SimdLevel::Avx512Vnni). */
+bool int8EncodeSupported(util::SimdLevel level);
+
+/**
+ * INT8 integer argmin-encode of `rows` subvectors (row i at x + i *
+ * stride, `v` floats each, v <= 128) against one subspace's quantized
+ * encode bank at `level` (which must satisfy int8EncodeSupported).
+ *
+ * Each subvector is quantized onto the bank's 7-bit grid (x_u =
+ * clamp(round((x - lo) * inv), 0, 127), NaN -> 0) and scored against all
+ * 16 centroid lanes as score_j = norms[j] - 2 * dot(x_u, cs_quad[j]) in
+ * exact int32 arithmetic; pad centroids carry norms = INT32_MAX and
+ * all-zero bank bytes so they never win. Lowest-index tie-break.
+ *
+ * @param cs_quad  quad-interleaved signed bank for this subspace: byte
+ *                 (q * 16 + j) * 4 + k holds c_s[j][4q + k] = c_u - 128
+ *                 (zero past v and past c), q < vq4 = ceil(v / 4).
+ * @param norms    16 int32 centroid norms ||c_u||^2 (INT32_MAX pads).
+ * @param lo, inv  the subspace's affine grid (inv = 1 / step).
+ *
+ * At SimdLevel::Avx512Vnni the dot is one VPDPBUSD per quad; at AVX2 /
+ * plain AVX-512 it is VPMADDUBSW + VPMADDWD over two 8-centroid halves.
+ * Both produce the identical int32 scores as the scalar reference in
+ * LutTableArena, so codes match bit-for-bit.
+ */
+void encodeInt8C16Rows(util::SimdLevel level, const float *x, int64_t rows,
+                       int64_t stride, const int8_t *cs_quad,
+                       const int32_t *norms, float lo, float inv,
+                       int64_t v, int32_t *codes);
 
 /** True when `level` provides the shuffle-based INT8 gather. */
 bool shuffleGatherSupported(util::SimdLevel level);

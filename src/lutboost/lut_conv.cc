@@ -40,7 +40,7 @@ convArenaForward(const LutTableArena &arena, const ConvGeometry &geom,
                  const float *x, int64_t n, int64_t h, int64_t w, float *y,
                  ConvScratch &scratch, const KernelBackend &backend,
                  KernelScratch &kscratch, uint64_t *encode_ns,
-                 uint64_t *gather_ns)
+                 uint64_t *gather_ns, EncodePrecision encode)
 {
     using Clock = std::chrono::steady_clock;
     const int64_t Ho = geom.outSize(h), Wo = geom.outSize(w);
@@ -55,7 +55,8 @@ convArenaForward(const LutTableArena &arena, const ConvGeometry &geom,
     scratch.cols.resize(static_cast<size_t>(rows * geom.patchSize()));
     scratch.flat.resize(static_cast<size_t>(rows * co_dim));
     im2colInto(x, n, h, w, geom, scratch.cols.data());
-    backend.encodeBatch(arena, scratch.cols.data(), rows, kscratch);
+    backend.encodeBatch(arena, scratch.cols.data(), rows, kscratch,
+                        encode);
     const auto t1 = Clock::now();
     backend.gatherAccumulate(arena, kscratch, scratch.flat.data());
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "lutboost/kernels_simd.h"
 #include "util/cpu_features.h"
@@ -92,6 +93,26 @@ distanceAll(const float *__restrict__ sub, const float *__restrict__ cbt,
                 d[j] = std::max(d[j], std::fabs(a - row[j]));
         }
     }
+}
+
+/**
+ * Quantize one value onto a subspace's 7-bit encode grid. The exact op
+ * sequence the SIMD tiers vectorize: (x - lo) * inv in float (this TU
+ * builds with -ffp-contract=off, so sub and mul never contract), clamp
+ * in the FLOAT domain with the MAXPS/MINPS select semantics (t > 0 ? t :
+ * 0 maps NaN to 0, exactly like _mm*_max_ps(t, 0)), then
+ * round-to-nearest-even (std::nearbyint under the default FP
+ * environment == CVTPS2DQ). Used for BOTH the bank's centroids and the
+ * encode-time inputs — sharing the grid is what makes the integer
+ * argmin equivalent to the quantized L2 argmin.
+ */
+inline int32_t
+quantizeEncodeLevel(float x, float lo, float inv)
+{
+    float t = (x - lo) * inv;
+    t = t > 0.0f ? t : 0.0f;
+    t = t < 127.0f ? t : 127.0f;
+    return static_cast<int32_t>(std::nearbyint(t));
 }
 
 inline int32_t
@@ -287,15 +308,29 @@ LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
         in_features_ % v == 0 ? num_subspaces_ : num_subspaces_ - 1;
     std::vector<float> tail(static_cast<size_t>(v), 0.0f);
     std::vector<float> dist(static_cast<size_t>(c));
-    // Register-resident fast path for the flagship L2 / c=16 shape,
-    // dispatched on the RUNNING CPU (cpuid, not compile flags).
+    // Register-resident fast paths, dispatched on the RUNNING CPU (cpuid,
+    // not compile flags): the flagship L2 / c=16 kernel, or the masked
+    // generic-c tier for any other c <= 64.
     if constexpr (M == vq::Metric::L2) {
         const util::SimdLevel level = util::simdLevel();
-        if (c == 16 && simd::encodeL2C16Supported(level)) {
+        const bool c16 = c == 16 && simd::encodeL2C16Supported(level);
+        const bool generic =
+            !c16 && simd::encodeL2GenericSupported(level, c);
+        if (c16 || generic) {
+            const auto run = [&](const float *xs, int64_t nrows,
+                                 int64_t stride, const float *cbt,
+                                 int32_t *out) {
+                if (c16)
+                    simd::encodeL2C16Rows(level, xs, nrows, stride, cbt, v,
+                                          out);
+                else
+                    simd::encodeL2GenericRows(level, xs, nrows, stride,
+                                              cbt, v, c, out);
+            };
             std::vector<int32_t> block(static_cast<size_t>(rows));
             for (int64_t s = 0; s < full_subspaces; ++s) {
-                simd::encodeL2C16Rows(level, x + s * v, rows, in_features_,
-                                      codebookT(s), v, block.data());
+                run(x + s * v, rows, in_features_, codebookT(s),
+                    block.data());
                 for (int64_t i = 0; i < rows; ++i)
                     sink(i, s, block[static_cast<size_t>(i)]);
             }
@@ -313,8 +348,7 @@ LutTableArena::encodeRowsImpl(const float *x, int64_t rows,
                          ++t)
                         dst[t] = row[base + t];
                 }
-                simd::encodeL2C16Rows(level, padded.data(), rows, v,
-                                      codebookT(s), v, block.data());
+                run(padded.data(), rows, v, codebookT(s), block.data());
                 for (int64_t i = 0; i < rows; ++i)
                     sink(i, s, block[static_cast<size_t>(i)]);
             }
@@ -394,6 +428,147 @@ LutTableArena::encodeBlock(const float *x, int64_t row0, int64_t rows,
         xb = staging.data();
     }
     encodeDispatch(xb, rows,
+                   [&codes, row0](int64_t i, int64_t s, int32_t code) {
+                       codes.set(row0 + i, s, code);
+                   });
+}
+
+template <typename Sink>
+void
+LutTableArena::encodeRowsInt8(const float *x, int64_t rows,
+                              EncodeVariant variant, Sink &&sink) const
+{
+    const Int8EncodeBank &bank = *int8_encode_bank_;
+    const int64_t v = subvector_len_, c = num_centroids_;
+    if (variant == EncodeVariant::Auto)
+        variant = int8EncodeAutoVariant();
+    util::SimdLevel level = util::SimdLevel::Generic;
+    if (variant == EncodeVariant::DotVnni)
+        level = util::SimdLevel::Avx512Vnni;
+    else if (variant == EncodeVariant::MaddAvx2)
+        level = util::SimdLevel::Avx2;
+    if (variant != EncodeVariant::Scalar) {
+        LUTDLA_CHECK(!bank.cs_quad.empty(),
+                     "SIMD INT8 encode needs c <= 16 and v <= 128 (got "
+                     "c = ", c, ", v = ", v, "); use the scalar variant");
+        LUTDLA_CHECK(level <= util::simdLevel(),
+                     "requested encode variant needs ",
+                     util::simdLevelName(level),
+                     " but this CPU provides ",
+                     util::simdLevelName(util::simdLevel()));
+    }
+    const int64_t full_subspaces =
+        in_features_ % v == 0 ? num_subspaces_ : num_subspaces_ - 1;
+
+    if (variant != EncodeVariant::Scalar) {
+        // Same subspace-outer block/tail structure as the float fast
+        // path: one subspace's quad bank stays L1-resident across the
+        // whole batch, and the ragged tail is zero-padded into a compact
+        // [rows, v] plane and encoded like a full subspace.
+        std::vector<int32_t> block(static_cast<size_t>(rows));
+        for (int64_t s = 0; s < full_subspaces; ++s) {
+            simd::encodeInt8C16Rows(
+                level, x + s * v, rows, in_features_,
+                bank.cs_quad.data() + s * bank.vq4 * 64,
+                bank.norms.data() + s * bank.norm_stride, bank.lo[s],
+                bank.inv[s], v, block.data());
+            for (int64_t i = 0; i < rows; ++i)
+                sink(i, s, block[static_cast<size_t>(i)]);
+        }
+        if (full_subspaces < num_subspaces_) {
+            const int64_t s = full_subspaces;
+            const int64_t base = s * v;
+            std::vector<float> padded(static_cast<size_t>(rows * v),
+                                      0.0f);
+            for (int64_t i = 0; i < rows; ++i) {
+                const float *row = x + i * in_features_;
+                float *dst = padded.data() + i * v;
+                for (int64_t t = 0; t < v && base + t < in_features_; ++t)
+                    dst[t] = row[base + t];
+            }
+            simd::encodeInt8C16Rows(
+                level, padded.data(), rows, v,
+                bank.cs_quad.data() + s * bank.vq4 * 64,
+                bank.norms.data() + s * bank.norm_stride, bank.lo[s],
+                bank.inv[s], v, block.data());
+            for (int64_t i = 0; i < rows; ++i)
+                sink(i, s, block[static_cast<size_t>(i)]);
+        }
+        return;
+    }
+
+    // Scalar integer reference: identical quantization (shared
+    // quantizeEncodeLevel), identical int32 scores, identical strict-<
+    // lowest-index argmin — the SIMD tiers are bit-identical to this by
+    // construction, and the property tests pin it.
+    std::vector<int32_t> xq(static_cast<size_t>(v));
+    std::vector<float> tail(static_cast<size_t>(v), 0.0f);
+    for (int64_t s = 0; s < num_subspaces_; ++s) {
+        const int8_t *cs = bank.cs.data() + s * c * v;
+        const int32_t *norms = bank.norms.data() + s * bank.norm_stride;
+        const float lo = bank.lo[static_cast<size_t>(s)];
+        const float inv = bank.inv[static_cast<size_t>(s)];
+        const int64_t base = s * v;
+        const bool ragged = s >= full_subspaces;
+        for (int64_t i = 0; i < rows; ++i) {
+            const float *sub = x + i * in_features_ + base;
+            if (ragged) {
+                const float *row = x + i * in_features_;
+                for (int64_t t = 0; t < v; ++t) {
+                    const int64_t k = base + t;
+                    tail[static_cast<size_t>(t)] =
+                        k < in_features_ ? row[k] : 0.0f;
+                }
+                sub = tail.data();
+            }
+            for (int64_t t = 0; t < v; ++t)
+                xq[static_cast<size_t>(t)] =
+                    quantizeEncodeLevel(sub[t], lo, inv);
+            int32_t best = 0;
+            int32_t best_score = std::numeric_limits<int32_t>::max();
+            for (int64_t j = 0; j < c; ++j) {
+                const int8_t *crow = cs + j * v;
+                int32_t dot = 0;
+                for (int64_t t = 0; t < v; ++t)
+                    dot += xq[static_cast<size_t>(t)] *
+                           static_cast<int32_t>(crow[t]);
+                const int32_t score = norms[j] - 2 * dot;
+                if (score < best_score) {
+                    best_score = score;
+                    best = static_cast<int32_t>(j);
+                }
+            }
+            sink(i, s, best);
+        }
+    }
+}
+
+void
+LutTableArena::encodeBatchInt8(const float *x, int64_t rows,
+                               vq::CodeBuffer &codes,
+                               std::vector<float> &staging,
+                               EncodeVariant variant) const
+{
+    codes.reset(rows, num_subspaces_, num_centroids_);
+    encodeBlockInt8(x, 0, rows, codes, staging, variant);
+}
+
+void
+LutTableArena::encodeBlockInt8(const float *x, int64_t row0, int64_t rows,
+                               vq::CodeBuffer &codes,
+                               std::vector<float> &staging,
+                               EncodeVariant variant) const
+{
+    LUTDLA_CHECK(int8_encode_bank_ != nullptr,
+                 "encodeBlockInt8 requires ensureInt8EncodeBank() first");
+    const float *xb = x + row0 * in_features_;
+    if (bf16_inputs_) {
+        staging.assign(xb, xb + rows * in_features_);
+        for (float &value : staging)
+            value = vq::toBf16(value);
+        xb = staging.data();
+    }
+    encodeRowsInt8(xb, rows, variant,
                    [&codes, row0](int64_t i, int64_t s, int32_t code) {
                        codes.set(row0 + i, s, code);
                    });
@@ -965,14 +1140,172 @@ LutTableArena::int4GatherVariantName(Int4GatherVariant variant)
     }
 }
 
+void
+LutTableArena::ensureInt8EncodeBank() const
+{
+    std::call_once(int8_encode_once_, [this] {
+        // The integer score norm - 2 * dot is bounded by
+        // v * (127^2 + 2 * 127 * 128); cap v so it can never leave
+        // int32 — every realistic PQ subvector is orders of magnitude
+        // shorter.
+        LUTDLA_CHECK(metric_ == vq::Metric::L2,
+                     "the INT8 encode bank requires the L2 metric");
+        LUTDLA_CHECK(subvector_len_ <= 32768,
+                     "INT8 encode supports subvector lengths up to 32768");
+        auto bank = std::make_unique<Int8EncodeBank>();
+        const int64_t v = subvector_len_, c = num_centroids_;
+        bank->vq4 = (v + 3) / 4;
+        bank->norm_stride = std::max<int64_t>(c, 16);
+        bank->cs.resize(static_cast<size_t>(num_subspaces_ * c * v));
+        bank->norms.assign(
+            static_cast<size_t>(num_subspaces_ * bank->norm_stride),
+            std::numeric_limits<int32_t>::max());
+        bank->lo.resize(static_cast<size_t>(num_subspaces_));
+        bank->inv.resize(static_cast<size_t>(num_subspaces_));
+        for (int64_t s = 0; s < num_subspaces_; ++s) {
+            // One shared 7-bit affine grid per subspace, spanning the
+            // codebook's value range; encode-time inputs are clamped
+            // onto the same grid, so the integer argmin is exactly the
+            // L2 argmin over the quantized values.
+            const float *cbt = codebookT(s);
+            float mn = cbt[0], mx = cbt[0];
+            for (int64_t k = 1; k < c * v; ++k) {
+                mn = std::min(mn, cbt[k]);
+                mx = std::max(mx, cbt[k]);
+            }
+            const float step = mx > mn ? (mx - mn) / 127.0f : 1.0f;
+            bank->lo[static_cast<size_t>(s)] = mn;
+            bank->inv[static_cast<size_t>(s)] = 1.0f / step;
+            for (int64_t j = 0; j < c; ++j) {
+                int8_t *crow = bank->cs.data() + (s * c + j) * v;
+                int32_t norm = 0;
+                for (int64_t t = 0; t < v; ++t) {
+                    const int32_t cu = quantizeEncodeLevel(
+                        cbt[t * c + j], mn,
+                        bank->inv[static_cast<size_t>(s)]);
+                    // c_u - 128 lands in [-128, -1]: signed for the
+                    // VPDPBUSD/VPMADDUBSW operand, and never 0, so the
+                    // quad mirror's zero padding is unambiguous.
+                    crow[t] = static_cast<int8_t>(cu - 128);
+                    norm += cu * cu;
+                }
+                bank->norms[static_cast<size_t>(
+                    s * bank->norm_stride + j)] = norm;
+            }
+        }
+        // Quad-interleaved mirror for the SIMD tiers, capability-gated
+        // like the gather mirrors: byte ((q * 16) + j) * 4 + k holds
+        // c_s[j][4q + k], zero past v and past c.
+        if (c <= 16 && v <= 128 &&
+            simd::int8EncodeSupported(util::simdLevel())) {
+            bank->cs_quad.assign(
+                static_cast<size_t>(num_subspaces_ * bank->vq4 * 64), 0);
+            for (int64_t s = 0; s < num_subspaces_; ++s)
+                for (int64_t j = 0; j < c; ++j) {
+                    const int8_t *crow =
+                        bank->cs.data() + (s * c + j) * v;
+                    for (int64_t t = 0; t < v; ++t)
+                        bank->cs_quad[static_cast<size_t>(
+                            (s * bank->vq4 + t / 4) * 64 + j * 4 +
+                            t % 4)] = crow[t];
+                }
+        }
+        LUTDLA_CHECK(
+            bank->cs_quad.empty() ==
+                !(c <= 16 && v <= 128 &&
+                  simd::int8EncodeSupported(util::simdLevel())),
+            "cs_quad must be materialized exactly when a SIMD encode "
+            "tier can run on this host");
+        int8_encode_bank_ = std::move(bank);
+    });
+}
+
+bool
+LutTableArena::int8EncodeBankReady() const
+{
+    return int8_encode_bank_ != nullptr;
+}
+
+int64_t
+LutTableArena::int8EncodeTableBytes() const
+{
+    if (!int8_encode_bank_)
+        return 0;
+    const Int8EncodeBank &bank = *int8_encode_bank_;
+    return static_cast<int64_t>(
+        bank.cs.size() * sizeof(int8_t) +
+        bank.norms.size() * sizeof(int32_t) +
+        (bank.lo.size() + bank.inv.size()) * sizeof(float));
+}
+
+int64_t
+LutTableArena::int8EncodeResidentBytes() const
+{
+    if (!int8_encode_bank_)
+        return 0;
+    return int8EncodeTableBytes() +
+           static_cast<int64_t>(int8_encode_bank_->cs_quad.size() *
+                                sizeof(int8_t));
+}
+
+bool
+LutTableArena::int8EncodeSupported() const
+{
+    return metric_ == vq::Metric::L2 && subvector_len_ <= 32768;
+}
+
+EncodeVariant
+LutTableArena::int8EncodeAutoVariant() const
+{
+    if (num_centroids_ > 16 || subvector_len_ > 128)
+        return EncodeVariant::Scalar;
+    const util::SimdLevel level = util::simdLevel();
+    if (level >= util::SimdLevel::Avx512Vnni)
+        return EncodeVariant::DotVnni;
+    if (level >= util::SimdLevel::Avx2)
+        return EncodeVariant::MaddAvx2;
+    return EncodeVariant::Scalar;
+}
+
+const char *
+LutTableArena::encodeVariantName(EncodeVariant variant)
+{
+    switch (variant) {
+      case EncodeVariant::DotVnni:
+        return "dot-vnni";
+      case EncodeVariant::MaddAvx2:
+        return "madd-avx2";
+      case EncodeVariant::Scalar:
+        return "scalar";
+      default:
+        return "auto";
+    }
+}
+
+const char *
+LutTableArena::int8EncodeKernelName() const
+{
+    switch (int8EncodeAutoVariant()) {
+      case EncodeVariant::DotVnni:
+        return "int8-dot-vnni";
+      case EncodeVariant::MaddAvx2:
+        return "int8-madd-avx2";
+      default:
+        return "int8-scalar";
+    }
+}
+
 const char *
 LutTableArena::encodeVariantName() const
 {
-    if (metric_ == vq::Metric::L2 && num_centroids_ == 16 &&
-        simd::encodeL2C16Supported(util::simdLevel())) {
-        return util::simdLevel() >= util::SimdLevel::Avx512
-                   ? "avx512-c16"
-                   : "avx2-c16";
+    const util::SimdLevel level = util::simdLevel();
+    if (metric_ == vq::Metric::L2) {
+        if (num_centroids_ == 16 && simd::encodeL2C16Supported(level))
+            return level >= util::SimdLevel::Avx512 ? "avx512-c16"
+                                                    : "avx2-c16";
+        if (simd::encodeL2GenericSupported(level, num_centroids_))
+            return level >= util::SimdLevel::Avx512 ? "avx512-genc"
+                                                    : "avx2-genc";
     }
     return "generic";
 }

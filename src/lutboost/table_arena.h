@@ -88,6 +88,21 @@ enum class Int8GatherVariant
 };
 
 /**
+ * Which INT8 encode kernel to run. Mirrors the gather-variant pattern:
+ * Auto picks the best the CPU supports (the serving planner records the
+ * resolved choice); the explicit variants exist for benchmarks and the
+ * bit-identity property tests. Every variant computes the identical
+ * int32 scores, so codes match bit-for-bit across the whole enum.
+ */
+enum class EncodeVariant
+{
+    Auto,      ///< best supported (SIMD when c <= 16, v <= 128)
+    Scalar,    ///< portable integer reference (always available)
+    MaddAvx2,  ///< VPMADDUBSW + VPMADDWD dots (AVX2 / plain AVX-512)
+    DotVnni    ///< VPDPBUSD quad dots (requires AVX-512 VNNI)
+};
+
+/**
  * Which INT4 gather kernel to run. Mirrors Int8GatherVariant minus the
  * VNNI tier (VPDPBUSD folds raw bytes, which would mix the two nibble
  * planes; the bit-plane split needs the explicit unpack the shuffle
@@ -175,6 +190,74 @@ class LutTableArena
     void encodeBlock(const float *x, int64_t row0, int64_t rows,
                      vq::CodeBuffer &codes,
                      std::vector<float> &staging) const;
+
+    /**
+     * INT8 twins of encodeBatch / encodeBlock: argmin-encode over the
+     * quantized encode bank (requires ensureInt8EncodeBank() first;
+     * panics otherwise). Rows are quantized onto the bank's per-subspace
+     * 7-bit grid and scored in exact int32 arithmetic, so every variant
+     * — scalar or SIMD — selects bit-identical codes; vs the float
+     * encode the codes carry a top-1 agreement envelope instead (see
+     * docs/SERVING.md). BF16 input rounding still applies first, and
+     * ragged tail subspaces are zero-padded exactly like the float path.
+     * L2 metric only. Thread-safe with distinct `staging` per shard.
+     */
+    void encodeBatchInt8(const float *x, int64_t rows,
+                         vq::CodeBuffer &codes, std::vector<float> &staging,
+                         EncodeVariant variant = EncodeVariant::Auto) const;
+
+    /** Shardable INT8 encode span; see encodeBlock for the contract. */
+    void encodeBlockInt8(const float *x, int64_t row0, int64_t rows,
+                         vq::CodeBuffer &codes, std::vector<float> &staging,
+                         EncodeVariant variant = EncodeVariant::Auto) const;
+
+    /**
+     * Build the INT8 encode bank (idempotent, thread-safe): per-subspace
+     * affine-quantized transposed codebooks on a shared 7-bit grid,
+     * precomputed integer centroid norms, and — when this CPU can run a
+     * SIMD tier and c <= 16 — the quad-interleaved signed mirror the
+     * VNNI/AVX2 kernels consume. Independent of the gather banks.
+     * Requires the L2 metric (panics otherwise; callers gate on
+     * int8EncodeSupported()).
+     */
+    void ensureInt8EncodeBank() const;
+
+    /** True once ensureInt8EncodeBank() has built the encode bank. */
+    bool int8EncodeBankReady() const;
+
+    /**
+     * Bytes of the canonical INT8 encode bank (scalar codes + norms +
+     * grid) — what the encode phase streams per sweep instead of the
+     * float codebooks; 0 until ensureInt8EncodeBank(). Deliberately
+     * capability-independent so the auto-tuner's byte accounting is
+     * deterministic across hosts.
+     */
+    int64_t int8EncodeTableBytes() const;
+
+    /**
+     * Total RESIDENT bytes of the INT8 encode bank including the
+     * capability-gated quad mirror; 0 until ensureInt8EncodeBank().
+     * Separate from int8ResidentBytes(): the gather banks' accounting is
+     * pinned by tests and must not absorb the encode bank.
+     */
+    int64_t int8EncodeResidentBytes() const;
+
+    /** True when this arena can serve INT8 encode at all (L2 metric). */
+    bool int8EncodeSupported() const;
+
+    /**
+     * The encode variant Auto resolves to on this arena and CPU (SIMD
+     * needs c <= 16, v <= 128 and at least AVX2). What the serving plan
+     * records.
+     */
+    EncodeVariant int8EncodeAutoVariant() const;
+
+    /** Stable variant tag, e.g. "dot-vnni" / "madd-avx2" / "scalar". */
+    static const char *encodeVariantName(EncodeVariant variant);
+
+    /** Stable kernel tag for plans serving INT8 encode, e.g.
+     * "int8-dot-vnni"; the INT8 twin of encodeVariantName(). */
+    const char *int8EncodeKernelName() const;
 
     /**
      * Gather phase over the bit-exact float bank:
@@ -307,8 +390,10 @@ class LutTableArena
     /** Stable variant tag, e.g. "shuffle-avx512" / "scalar". */
     static const char *int4GatherVariantName(Int4GatherVariant variant);
 
-    /** Stable tag of the encode kernel this arena dispatches to, e.g.
-     * "avx512-c16" for the SIMD L2/c=16 fast path, else "generic". */
+    /** Stable tag of the FLOAT encode kernel this arena dispatches to:
+     * "avx512-c16"/"avx2-c16" for the SIMD L2/c=16 fast path,
+     * "avx512-genc"/"avx2-genc" for the masked generic-c (c <= 64) tier,
+     * else "generic" (scalar scan). */
     const char *encodeVariantName() const;
 
     /**
@@ -418,11 +503,44 @@ class LutTableArena
         int64_t half_n = 0;         ///< ceil(N/2) packed column pairs
     };
 
+    /**
+     * INT8 encode bank: the quantized twin of the transposed codebooks.
+     * One shared 7-bit affine grid per subspace (lo + inverse step)
+     * quantizes BOTH the stored centroids and, at encode time, the input
+     * subvectors, which is what collapses argmin ||x - c||^2 to the
+     * integer argmin over (||c_u||^2 - 2 * x_u . c_s) with c_s = c_u -
+     * 128 (the shift makes centroids signed for VPDPBUSD/VPMADDUBSW; the
+     * dropped ||x_u||^2 and -256 * sum(x_u) terms are centroid-
+     * independent). `cs` row-major [Nc, c, v] for the scalar reference;
+     * `cs_quad` quad-interleaved [Nc, ceil(v/4), 16, 4] (byte
+     * ((s-local quad * 16) + j) * 4 + k = c_s[j][4q + k], zero past v
+     * and past c) for the SIMD tiers, built only when c <= 16, v <= 128
+     * and the CPU has a tier. `norms` [Nc, norm_stride] int32 centroid
+     * norms with INT32_MAX pads so pad lanes never win the argmin.
+     */
+    struct Int8EncodeBank
+    {
+        std::vector<int8_t> cs;       ///< [Nc, c, v] shifted codes
+        std::vector<int8_t> cs_quad;  ///< [Nc, vq4 * 64] quad mirror
+        std::vector<int32_t> norms;   ///< [Nc, norm_stride] ||c_u||^2
+        std::vector<float> lo;        ///< [Nc] grid offsets
+        std::vector<float> inv;       ///< [Nc] inverse grid steps
+        int64_t vq4 = 0;              ///< ceil(v / 4) dim quads
+        int64_t norm_stride = 0;      ///< max(c, 16)
+    };
+
     template <vq::Metric M, typename Sink>
     void encodeRowsImpl(const float *x, int64_t rows, Sink &&sink) const;
 
     template <typename Sink>
     void encodeDispatch(const float *x, int64_t rows, Sink &&sink) const;
+
+    /** INT8 encode over `rows` already-staged rows: per-subspace scalar
+     * integer reference or SIMD kernel per `variant` (Auto resolved by
+     * the caller). Shared by encodeBatchInt8 / encodeBlockInt8. */
+    template <typename Sink>
+    void encodeRowsInt8(const float *x, int64_t rows, EncodeVariant variant,
+                        Sink &&sink) const;
 
     /** Row-major accumulate: optimal for tiny batches. */
     void sweepBlockSimple(const int32_t *codes, int64_t bn, float *yb) const;
@@ -481,6 +599,8 @@ class LutTableArena
     mutable std::unique_ptr<Int8Bank> int8_bank_;
     mutable std::once_flag int4_once_;
     mutable std::unique_ptr<Int4Bank> int4_bank_;
+    mutable std::once_flag int8_encode_once_;
+    mutable std::unique_ptr<Int8EncodeBank> int8_encode_bank_;
 };
 
 } // namespace lutdla::lutboost

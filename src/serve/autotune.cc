@@ -18,6 +18,18 @@ AutoTuneResult::assignmentString() const
     return out;
 }
 
+std::string
+AutoTuneResult::encodeAssignmentString() const
+{
+    std::string out;
+    for (size_t i = 0; i < stage_encode_precision.size(); ++i) {
+        if (i > 0)
+            out += "/";
+        out += encodePrecisionName(stage_encode_precision[i]);
+    }
+    return out;
+}
+
 namespace {
 
 /** Argmax per row of a [rows, n] tensor (first index wins ties, which
@@ -54,16 +66,24 @@ autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
     result.stage_precision.assign(static_cast<size_t>(std::max<int64_t>(
                                       num_lut, 0)),
                                   TablePrecision::Float32);
+    result.stage_encode_precision.assign(
+        static_cast<size_t>(std::max<int64_t>(num_lut, 0)),
+        EncodePrecision::Float32);
 
     // The plan template every candidate derives from: caller's fusion /
-    // sharding knobs, precision fully owned by the search.
+    // sharding knobs, (table, encode) precision fully owned by the
+    // search.
     PlanOptions tmpl = base;
     tmpl.table_precision = TablePrecision::Float32;
     tmpl.stage_precision.clear();
+    tmpl.encode_precision = EncodePrecision::Float32;
+    tmpl.stage_encode_precision.clear();
 
-    auto planFor = [&](const std::vector<TablePrecision> &assign) {
+    auto planFor = [&](const std::vector<TablePrecision> &assign,
+                       const std::vector<EncodePrecision> &enc_assign) {
         PlanOptions p = tmpl;
         p.stage_precision = assign;
+        p.stage_encode_precision = enc_assign;
         return p;
     };
 
@@ -81,7 +101,7 @@ autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
         for (int64_t i = 0; i < probe_rows.numel(); ++i)
             probe_rows.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
 
-        const FrozenModel ref = model.withPlan(planFor({}));
+        const FrozenModel ref = model.withPlan(planFor({}, {}));
         ref_labels = topOne(ref.forwardBatch(probe_rows));
         ++result.evals;
 
@@ -100,23 +120,37 @@ autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
         };
     }
 
-    const FrozenModel float_plan = model.withPlan(planFor({}));
-    const int64_t float_bytes = float_plan.tableBytes();
+    const FrozenModel float_plan = model.withPlan(planFor({}, {}));
+    // One byte currency for both precision axes: the gather stream plus
+    // the encode stream — the two table pulls a batch makes per sweep.
+    const int64_t float_bytes =
+        float_plan.tableBytes() + float_plan.encodeBytes();
 
     if (num_lut <= 0) {
         result.agreement = 1.0;
-        result.table_bytes = float_bytes;
+        result.table_bytes = float_plan.tableBytes();
+        result.encode_bytes = float_plan.encodeBytes();
         return result;
     }
 
     // Bytes a single-stage move saves: replan with only that stage
-    // lowered and diff total table bytes (exact, accounts for conv /
-    // attention stages owning one vs four arenas).
-    auto bytesWith = [&](const std::vector<TablePrecision> &assign) {
-        return model.withPlan(planFor(assign)).tableBytes();
+    // lowered and diff total (gather + encode) bytes (exact, accounts
+    // for conv / attention stages owning one vs four arenas, and for
+    // encode moves resolving to Float32 on unsupported arenas — those
+    // save zero bytes and are skipped by the descent).
+    auto bytesWith = [&](const std::vector<TablePrecision> &assign,
+                         const std::vector<EncodePrecision> &enc_assign) {
+        const FrozenModel cand = model.withPlan(planFor(assign, enc_assign));
+        return cand.tableBytes() + cand.encodeBytes();
     };
 
-    // Phase 1: score every single-stage move in isolation.
+    const std::vector<TablePrecision> all_float_t(
+        static_cast<size_t>(num_lut), TablePrecision::Float32);
+    const std::vector<EncodePrecision> all_float_e(
+        static_cast<size_t>(num_lut), EncodePrecision::Float32);
+
+    // Phase 1: score every single-stage move in isolation — table moves
+    // and encode moves enter one shared ranking.
     std::vector<TablePrecision> candidates{TablePrecision::Int8};
     if (options.allow_int4)
         candidates.push_back(TablePrecision::Int4);
@@ -124,15 +158,29 @@ autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
     std::vector<AutoTuneMove> moves;
     for (int64_t s = 0; s < num_lut; ++s) {
         for (TablePrecision prec : candidates) {
-            std::vector<TablePrecision> assign(
-                static_cast<size_t>(num_lut), TablePrecision::Float32);
+            std::vector<TablePrecision> assign = all_float_t;
             assign[static_cast<size_t>(s)] = prec;
             AutoTuneMove move;
             move.lut_stage = s;
             move.precision = prec;
-            move.bytes_saved = float_bytes - bytesWith(assign);
-            move.solo_agreement = probe(planFor(assign));
+            move.bytes_saved = float_bytes - bytesWith(assign, all_float_e);
+            move.solo_agreement = probe(planFor(assign, all_float_e));
             ++result.evals;
+            moves.push_back(move);
+        }
+        if (options.allow_int8_encode) {
+            std::vector<EncodePrecision> enc = all_float_e;
+            enc[static_cast<size_t>(s)] = EncodePrecision::Int8;
+            AutoTuneMove move;
+            move.lut_stage = s;
+            move.encode_move = true;
+            move.bytes_saved = float_bytes - bytesWith(all_float_t, enc);
+            if (move.bytes_saved > 0) {
+                // Only probe encode moves the arena can actually honor
+                // (zero-byte moves mean the stage resolved to Float32).
+                move.solo_agreement = probe(planFor(all_float_t, enc));
+                ++result.evals;
+            }
             moves.push_back(move);
         }
     }
@@ -154,12 +202,16 @@ autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
                              return ra > rb;
                          if (a.lut_stage != b.lut_stage)
                              return a.lut_stage < b.lut_stage;
+                         if (a.encode_move != b.encode_move)
+                             return !a.encode_move; // table moves first
                          return static_cast<int>(a.precision) <
                                 static_cast<int>(b.precision);
                      });
 
     std::vector<TablePrecision> current(static_cast<size_t>(num_lut),
                                         TablePrecision::Float32);
+    std::vector<EncodePrecision> current_enc(static_cast<size_t>(num_lut),
+                                             EncodePrecision::Float32);
     int64_t current_bytes = float_bytes;
     double current_agreement = 1.0;
 
@@ -169,24 +221,35 @@ autoTunePrecision(const FrozenModel &model, const PlanOptions &base,
         if (move.solo_agreement < options.agreement_budget)
             continue; // cannot survive the combined check either
         std::vector<TablePrecision> next = current;
+        std::vector<EncodePrecision> next_enc = current_enc;
         const size_t s = static_cast<size_t>(move.lut_stage);
-        next[s] = move.precision;
-        const int64_t next_bytes = bytesWith(next);
+        if (move.encode_move)
+            next_enc[s] = EncodePrecision::Int8;
+        else
+            next[s] = move.precision;
+        const int64_t next_bytes = bytesWith(next, next_enc);
         if (next_bytes >= current_bytes)
             continue; // stage already holds a smaller bank
-        const double agreement = probe(planFor(next));
+        const double agreement = probe(planFor(next, next_enc));
         ++result.evals;
         if (agreement < options.agreement_budget)
             continue; // revert: combined plan broke the budget
         current = std::move(next);
+        current_enc = std::move(next_enc);
         current_bytes = next_bytes;
         current_agreement = agreement;
         move.applied = true;
     }
 
-    result.stage_precision = current;
+    // Record the final plan's two byte streams separately (the descent
+    // tracked their sum); the replan is free — every bank is cached.
+    const FrozenModel final_plan =
+        model.withPlan(planFor(current, current_enc));
+    result.stage_precision = std::move(current);
+    result.stage_encode_precision = std::move(current_enc);
     result.agreement = current_agreement;
-    result.table_bytes = current_bytes;
+    result.table_bytes = final_plan.tableBytes();
+    result.encode_bytes = final_plan.encodeBytes();
     result.moves = std::move(moves);
     return result;
 }

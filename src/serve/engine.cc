@@ -234,7 +234,16 @@ InferenceEngine::workerLoop(int slot)
         auto first = queue_.popWork(task);
         if (task) {
             // Steal shard blocks from another worker's in-flight batch.
-            runShards(*task, scratch);
+            // A worker that actually claimed work counts as active even
+            // if it never initiates a batch of its own — otherwise
+            // stats() under-counts active_workers whenever batch
+            // coalescing funnels every request through one initiator.
+            if (runShards(*task, scratch)) {
+                std::unique_lock<std::mutex> lock(stats_mu_);
+                if (slot >= 0 &&
+                    static_cast<size_t>(slot) < worker_ran_batch_.size())
+                    worker_ran_batch_[static_cast<size_t>(slot)] = 1;
+            }
             continue;
         }
         if (!first)
@@ -260,16 +269,18 @@ InferenceEngine::workerLoop(int slot)
     }
 }
 
-void
+bool
 InferenceEngine::runShards(ShardTask &task, StageScratch &scratch)
 {
+    bool ran = false;
     while (true) {
         const int64_t block =
             task.next.fetch_add(1, std::memory_order_relaxed);
         if (block >= task.blocks)
-            return;
+            return ran;
         task.fn(block, scratch);
         queue_.finishShard(task);
+        ran = true;
     }
 }
 
@@ -373,8 +384,9 @@ InferenceEngine::stats() const
     // Per-phase times are per-ACTIVE-worker averages: each worker's
     // per-batch deltas are that batch's phase wall time (sharded phases
     // time only the initiator), so dividing the cross-worker sum by the
-    // number of batch-executing workers yields numbers comparable across
-    // thread counts instead of inflating with concurrency.
+    // number of workers that did batch OR shard work yields numbers
+    // comparable across thread counts instead of inflating with
+    // concurrency.
     const double active =
         out.active_workers > 0 ? static_cast<double>(out.active_workers)
                                : 1.0;

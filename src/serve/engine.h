@@ -190,8 +190,10 @@ class InferenceEngine : private IntraBatchPool
                   StageScratch &scratch, int slot);
     void failRemaining();
 
-    /** Claim-and-run loop every shard participant executes. */
-    void runShards(ShardTask &task, StageScratch &scratch);
+    /** Claim-and-run loop every shard participant executes. Returns
+     * whether this participant executed at least one block — workerLoop
+     * uses that to count shard-stealing helpers as active workers. */
+    bool runShards(ShardTask &task, StageScratch &scratch);
 
     /** IntraBatchPool: shard a LUT-stage phase over the worker pool. */
     void parallelFor(int64_t blocks, const ShardFn &fn,

@@ -634,6 +634,15 @@ FrozenModel::tableBytes() const
 }
 
 int64_t
+FrozenModel::encodeBytes() const
+{
+    int64_t total = 0;
+    for (const StagePtr &stage : stages_)
+        total += stage->encodeBytes();
+    return total;
+}
+
+int64_t
 FrozenModel::residentBytes() const
 {
     int64_t total = 0;

@@ -167,6 +167,12 @@ class FrozenModel
     /** Total arena footprint in bytes across stages. */
     int64_t tableBytes() const;
 
+    /** Total encode-phase sweep bytes across LUT stages (transposed
+     * float codebooks, or the INT8 encode bank where the plan bound
+     * Int8 encode). tableBytes() + encodeBytes() is the byte currency
+     * the joint (table, encode) auto-tuner descends on. */
+    int64_t encodeBytes() const;
+
     /** Total bytes RESIDENT for the planned tables across stages: the
      * gather streams plus any CPU-gated mirror layouts (interleaved
      * shuffle banks, VNNI quads) the bound backends keep. */

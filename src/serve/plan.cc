@@ -49,6 +49,16 @@ stagePrecisionAt(const PlanOptions &options, size_t lut_index)
     return options.table_precision;
 }
 
+/** Encode precision REQUESTED for the `lut_index`-th LUT stage; the
+ * stage itself resolves it against its arena's capability. */
+EncodePrecision
+stageEncodePrecisionAt(const PlanOptions &options, size_t lut_index)
+{
+    if (lut_index < options.stage_encode_precision.size())
+        return options.stage_encode_precision[lut_index];
+    return options.encode_precision;
+}
+
 /** Collect the run of PointwiseStages starting at `j`; returns one past
  * the last fused stage. */
 size_t
@@ -86,7 +96,7 @@ resolveShardRows(const PlanOptions &options)
 StagePlan
 lutPlan(const FrozenStage &stage, const lutboost::LutTableArena &arena,
         std::vector<std::string> fused, TablePrecision precision,
-        int64_t shard_rows)
+        EncodePrecision encode, int64_t shard_rows)
 {
     StagePlan plan;
     plan.kind = stage.kind();
@@ -94,8 +104,12 @@ lutPlan(const FrozenStage &stage, const lutboost::LutTableArena &arena,
     plan.fused = std::move(fused);
     plan.code_bits = vq::codeBitsFor(arena.numCentroids());
     plan.precision = precision;
+    plan.encode_precision = encode;
     plan.table_bytes = stage.tableBytes();
-    plan.encode_kernel = arena.encodeVariantName();
+    plan.encode_bytes = stage.encodeBytes();
+    plan.encode_kernel = encode == EncodePrecision::Int8
+                             ? arena.int8EncodeKernelName()
+                             : arena.encodeVariantName();
     switch (precision) {
       case TablePrecision::Int8:
         plan.gather_kernel = lutboost::LutTableArena::int8GatherVariantName(
@@ -261,13 +275,15 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                 std::vector<std::string> fused{stage->kind()};
                 const size_t j =
                     collectEpilogue(stages, i + 2, epilogue, fused);
-                const TablePrecision prec =
-                    stagePrecisionAt(options, lut_index++);
+                const size_t li = lut_index++;
+                const TablePrecision prec = stagePrecisionAt(options, li);
                 auto planned = std::make_shared<ArenaStage>(
                     next->arena(), backendFor(prec), std::move(epilogue),
-                    stage->inWidth(), shard_rows);
+                    stage->inWidth(), shard_rows,
+                    stageEncodePrecisionAt(options, li));
                 plan.push_back(lutPlan(*planned, *planned->arena(),
                                        std::move(fused), prec,
+                                       planned->encodePrecision(),
                                        shard_rows));
                 out.push_back(std::move(planned));
                 i = j;
@@ -283,13 +299,16 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  ? collectEpilogue(stages, i + 1, epilogue,
                                                    fused)
                                  : i + 1;
-            const TablePrecision prec =
-                stagePrecisionAt(options, lut_index++);
+            const size_t li = lut_index++;
+            const TablePrecision prec = stagePrecisionAt(options, li);
             auto planned = std::make_shared<ArenaStage>(
                 arena->arena(), backendFor(prec), std::move(epilogue),
-                arena->adaptInWidth(), shard_rows);
+                arena->adaptInWidth(), shard_rows,
+                stageEncodePrecisionAt(options, li));
             plan.push_back(lutPlan(*planned, *planned->arena(),
-                                   std::move(fused), prec, shard_rows));
+                                   std::move(fused), prec,
+                                   planned->encodePrecision(),
+                                   shard_rows));
             out.push_back(std::move(planned));
             i = j;
             continue;
@@ -303,16 +322,19 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  ? collectEpilogue(stages, i + 1, epilogue,
                                                    fused)
                                  : i + 1;
-            const TablePrecision prec =
-                stagePrecisionAt(options, lut_index++);
+            const size_t li = lut_index++;
+            const TablePrecision prec = stagePrecisionAt(options, li);
             auto planned = std::make_shared<AttentionStage>(
                 attn->arenas(), attn->seqLen(), attn->heads(),
-                backendFor(prec), std::move(epilogue), shard_rows);
+                backendFor(prec), std::move(epilogue), shard_rows,
+                stageEncodePrecisionAt(options, li));
             // Plan kernels/code width shown for the Q projection arena
             // (all four projections share shape and dispatch);
             // table_bytes covers all four.
             plan.push_back(lutPlan(*planned, *planned->arenas().q,
-                                   std::move(fused), prec, shard_rows));
+                                   std::move(fused), prec,
+                                   planned->encodePrecision(),
+                                   shard_rows));
             out.push_back(std::move(planned));
             i = j;
             continue;
@@ -326,15 +348,17 @@ planStages(std::vector<StagePtr> &stages, const PlanOptions &options,
                                  ? collectEpilogue(stages, i + 1, epilogue,
                                                    fused)
                                  : i + 1;
-            const TablePrecision prec =
-                stagePrecisionAt(options, lut_index++);
+            const size_t li = lut_index++;
+            const TablePrecision prec = stagePrecisionAt(options, li);
             auto planned = std::make_shared<ConvStage>(
                 conv->geometry(), conv->height(), conv->width(),
-                conv->arena(), backendFor(prec), std::move(epilogue));
+                conv->arena(), backendFor(prec), std::move(epilogue),
+                stageEncodePrecisionAt(options, li));
             // Conv stages stay unsharded (the im2col plane is shared);
             // their shard_rows records 0 so the summary says so.
             plan.push_back(lutPlan(*planned, *planned->arena(),
-                                   std::move(fused), prec, 0));
+                                   std::move(fused), prec,
+                                   planned->encodePrecision(), 0));
             out.push_back(std::move(planned));
             i = j;
             continue;

@@ -51,6 +51,18 @@ enum class TablePrecision
 /** Stable name for a table precision ("float32" / "int8" / "int4"). */
 const char *tablePrecisionName(TablePrecision precision);
 
+/**
+ * Encode-phase argmin precision, re-exported from lutboost: Float32 is
+ * the exact scan, Int8 the integer argmin over the quantized encode
+ * bank. Orthogonal to TablePrecision — the planner binds (table, encode)
+ * per LUT stage and the joint auto-tuner (serve/autotune.h) searches the
+ * product space.
+ */
+using EncodePrecision = lutboost::EncodePrecision;
+
+/** Stable name for an encode precision ("float32" / "int8"). */
+using lutboost::encodePrecisionName;
+
 /** Knobs for the planning pass; defaults preserve bit-exact semantics. */
 struct PlanOptions
 {
@@ -66,6 +78,21 @@ struct PlanOptions
      * the knob the mixed-precision auto-tuner (serve/autotune.h) emits.
      */
     std::vector<TablePrecision> stage_precision;
+    /**
+     * Encode-phase precision every LUT stage argmin-encodes with (unless
+     * overridden per stage below). Int8 is honored only on stages whose
+     * arena supports the quantized encode bank (L2 metric); others
+     * silently resolve to Float32 — the StagePlan records the RESOLVED
+     * choice.
+     */
+    EncodePrecision encode_precision = EncodePrecision::Float32;
+    /**
+     * Heterogeneous per-stage encode precision, indexed exactly like
+     * `stage_precision` (i-th LUT stage in chain order; shorter than the
+     * chain = fall back to `encode_precision`). The joint auto-tuner
+     * emits this alongside `stage_precision`.
+     */
+    std::vector<EncodePrecision> stage_encode_precision;
     /** Fold pointwise / width-adapt neighbors into LUT stages. */
     bool fuse = true;
     /**
@@ -104,9 +131,17 @@ struct StagePlan
     std::vector<std::string> fused;  ///< kinds of stages folded in
     int code_bits = 0;        ///< packed code width; 0 for non-LUT stages
     TablePrecision precision = TablePrecision::Float32;  ///< LUT stages
+    /** RESOLVED encode-phase precision (Float32 when the stage's arena
+     * cannot honor an Int8 request). */
+    EncodePrecision encode_precision = EncodePrecision::Float32;
     int64_t table_bytes = 0;  ///< bytes the stage's gather streams
+    /** Bytes the stage's encode phase streams per sweep (transposed
+     * float codebooks, or the INT8 encode bank); 0 for non-LUT stages. */
+    int64_t encode_bytes = 0;
     /** Encode kernel the runtime dispatch resolved ("avx512-c16",
-     * "avx2-c16", "generic"); empty for non-LUT stages. */
+     * "avx2-c16", "avx512-genc", "generic" for the float scan;
+     * "int8-dot-vnni" / "int8-madd-avx2" / "int8-scalar" under Int8
+     * encode); empty for non-LUT stages. */
     std::string encode_kernel;
     /** Gather kernel ("grouped-sweep" float bank; "shuffle-avx512" /
      * "shuffle-avx2" / "scalar" for the INT8 and INT4 banks); empty for

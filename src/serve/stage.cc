@@ -34,6 +34,41 @@ epilogueSuffix(const std::vector<PointwiseOp> &ops)
     return out;
 }
 
+/** Resolve a requested encode precision against the arena's capability
+ * (Int8 needs the L2-metric quantized encode bank), mirroring the
+ * planner's per-stage resolution. Int8 eagerly builds the bank so the
+ * first serving batch never pays the lazy cost. */
+lutboost::EncodePrecision
+resolveEncode(const lutboost::LutTableArena &arena,
+              lutboost::EncodePrecision encode)
+{
+    if (encode != lutboost::EncodePrecision::Int8 ||
+        !arena.int8EncodeSupported())
+        return lutboost::EncodePrecision::Float32;
+    arena.ensureInt8EncodeBank();
+    return lutboost::EncodePrecision::Int8;
+}
+
+/** "[enc:int8]" decoration for describe(); empty under Float32 so the
+ * default plan's strings stay exactly as tests pin them. */
+std::string
+encodeSuffix(lutboost::EncodePrecision encode)
+{
+    return encode == lutboost::EncodePrecision::Int8 ? "[enc:int8]" : "";
+}
+
+/** Bytes one full sweep of the stage's encode phase streams: the
+ * transposed float codebooks, or the INT8 encode bank's table bytes. */
+int64_t
+encodeSweepBytes(const lutboost::LutTableArena &arena,
+                 lutboost::EncodePrecision encode)
+{
+    if (encode == lutboost::EncodePrecision::Int8)
+        return arena.int8EncodeTableBytes();
+    return arena.inFeatures() * arena.numCentroids() *
+           static_cast<int64_t>(sizeof(float));
+}
+
 } // namespace
 
 void
@@ -73,13 +108,15 @@ FrozenStage::forwardInPlace(float *, int64_t, StageScratch &) const
 ArenaStage::ArenaStage(std::shared_ptr<const lutboost::LutTableArena> arena,
                        const lutboost::KernelBackend *backend,
                        std::vector<PointwiseOp> epilogue,
-                       int64_t adapt_in_width, int64_t shard_rows)
+                       int64_t adapt_in_width, int64_t shard_rows,
+                       lutboost::EncodePrecision encode)
     : arena_(std::move(arena)),
       backend_(backend != nullptr ? backend
                                   : &lutboost::referenceBackend()),
       epilogue_(std::move(epilogue)),
       adapt_in_(adapt_in_width),
-      shard_rows_(shard_rows)
+      shard_rows_(shard_rows),
+      encode_(resolveEncode(*arena_, encode))
 {
     backend_->prepare(*arena_);
 }
@@ -90,7 +127,22 @@ ArenaStage::description() const
     std::string out = adapt_in_ > 0 ? "adapt+lut-gemm" : "lut-gemm";
     if (!backend_->bitExact())
         out += "[" + backend_->name() + "]";
-    return out + epilogueSuffix(epilogue_);
+    return out + encodeSuffix(encode_) + epilogueSuffix(epilogue_);
+}
+
+int64_t
+ArenaStage::encodeBytes() const
+{
+    return encodeSweepBytes(*arena_, encode_);
+}
+
+int64_t
+ArenaStage::residentBytes() const
+{
+    int64_t bytes = backend_->residentBytes(*arena_);
+    if (encode_ == lutboost::EncodePrecision::Int8)
+        bytes += arena_->int8EncodeResidentBytes();
+    return bytes;
 }
 
 int64_t
@@ -117,7 +169,7 @@ arenaGemmForward(const lutboost::LutTableArena &arena,
                  const lutboost::KernelBackend &backend, const float *in,
                  int64_t rows, float *out, int64_t shard_rows,
                  const std::vector<PointwiseOp> &epilogue,
-                 StageScratch &scratch)
+                 StageScratch &scratch, lutboost::EncodePrecision encode)
 {
     // Shard both phases over the engine's worker pool when the batch is
     // big enough to split (rows are independent, so the sharded sweep is
@@ -133,7 +185,8 @@ arenaGemmForward(const lutboost::LutTableArena &arena,
         // The fused tile entry point: whole-batch execution is just the
         // one-tile case of the streaming executor's per-tile sweep.
         backend.forwardTile(arena, in, rows, out, scratch.kernel,
-                            &scratch.encode_ns, &scratch.gather_ns);
+                            &scratch.encode_ns, &scratch.gather_ns,
+                            encode);
         const auto t1 = Clock::now();
         applyPointwiseOps(epilogue, out, rows * out_width);
         scratch.gather_ns += nanosSince(t1);
@@ -148,7 +201,8 @@ arenaGemmForward(const lutboost::LutTableArena &arena,
         [&](int64_t block, StageScratch &local) {
             const int64_t r0 = block * shard;
             const int64_t rn = std::min(shard, rows - r0);
-            backend.encodeBlock(arena, in, r0, rn, codes, local.kernel);
+            backend.encodeBlock(arena, in, r0, rn, codes, local.kernel,
+                                encode);
         },
         scratch);
     scratch.encode_ns += nanosSince(t0);
@@ -199,17 +253,19 @@ ArenaStage::forward(const float *in, int64_t rows, float *out,
         scratch.encode_ns += nanosSince(t0);
     }
     arenaGemmForward(*arena_, *backend_, src, rows, out, shard_rows_,
-                     epilogue_, scratch);
+                     epilogue_, scratch, encode_);
 }
 
 ConvStage::ConvStage(ConvGeometry geom, int64_t height, int64_t width,
                      std::shared_ptr<const lutboost::LutTableArena> arena,
                      const lutboost::KernelBackend *backend,
-                     std::vector<PointwiseOp> epilogue)
+                     std::vector<PointwiseOp> epilogue,
+                     lutboost::EncodePrecision encode)
     : geom_(geom), h_(height), w_(width), arena_(std::move(arena)),
       backend_(backend != nullptr ? backend
                                   : &lutboost::referenceBackend()),
-      epilogue_(std::move(epilogue))
+      epilogue_(std::move(epilogue)),
+      encode_(resolveEncode(*arena_, encode))
 {
     backend_->prepare(*arena_);
 }
@@ -220,7 +276,22 @@ ConvStage::description() const
     std::string out = "conv";
     if (!backend_->bitExact())
         out += "[" + backend_->name() + "]";
-    return out + epilogueSuffix(epilogue_);
+    return out + encodeSuffix(encode_) + epilogueSuffix(epilogue_);
+}
+
+int64_t
+ConvStage::encodeBytes() const
+{
+    return encodeSweepBytes(*arena_, encode_);
+}
+
+int64_t
+ConvStage::residentBytes() const
+{
+    int64_t bytes = backend_->residentBytes(*arena_);
+    if (encode_ == lutboost::EncodePrecision::Int8)
+        bytes += arena_->int8EncodeResidentBytes();
+    return bytes;
 }
 
 void
@@ -229,7 +300,8 @@ ConvStage::forward(const float *in, int64_t rows, float *out,
 {
     lutboost::convArenaForward(*arena_, geom_, in, rows, h_, w_, out,
                                scratch.conv, *backend_, scratch.kernel,
-                               &scratch.encode_ns, &scratch.gather_ns);
+                               &scratch.encode_ns, &scratch.gather_ns,
+                               encode_);
     if (!epilogue_.empty()) {
         // Elementwise, so it commutes with the NCHW reshape; applying it
         // on the final plane keeps it a single cache-hot sweep.

@@ -168,6 +168,16 @@ class FrozenStage
     /** Table bytes the stage's gather streams (0 for non-LUT stages). */
     virtual int64_t tableBytes() const { return 0; }
 
+    /**
+     * Bytes the stage's ENCODE phase streams per full sweep: the
+     * transposed float codebooks under Float32 encode, the INT8 encode
+     * bank (quantized codebooks + centroid norms + grid parameters)
+     * under Int8. 0 for non-LUT stages. Together with tableBytes() this
+     * is the byte currency the joint (table, encode) auto-tuner descends
+     * on (serve/autotune.h).
+     */
+    virtual int64_t encodeBytes() const { return 0; }
+
     /** Bytes resident for the stage's tables, mirror layouts included
      * (== tableBytes() for the float bank; 0 for non-LUT stages). */
     virtual int64_t residentBytes() const { return 0; }
@@ -232,14 +242,17 @@ void applyPointwiseOps(const std::vector<PointwiseOp> &ops, float *data,
  * accumulated into scratch.encode_ns / gather_ns. When `shard_rows` > 0
  * and `scratch.pool` is set, batches of at least two shards run each
  * phase as a parallel-for over row blocks (bit-exact with the
- * single-thread sweep; see ArenaStage).
+ * single-thread sweep; see ArenaStage). `encode` picks the encode-phase
+ * arithmetic (see lutboost::EncodePrecision); sharded and unsharded
+ * sweeps route it identically, so the choice never depends on batch
+ * size.
  */
-void arenaGemmForward(const lutboost::LutTableArena &arena,
-                      const lutboost::KernelBackend &backend,
-                      const float *in, int64_t rows, float *out,
-                      int64_t shard_rows,
-                      const std::vector<PointwiseOp> &epilogue,
-                      StageScratch &scratch);
+void arenaGemmForward(
+    const lutboost::LutTableArena &arena,
+    const lutboost::KernelBackend &backend, const float *in, int64_t rows,
+    float *out, int64_t shard_rows,
+    const std::vector<PointwiseOp> &epilogue, StageScratch &scratch,
+    lutboost::EncodePrecision encode = lutboost::EncodePrecision::Float32);
 
 /**
  * Arena-backed LUT-GEMM stage (lowered LutLinear): encode -> gather
@@ -253,6 +266,12 @@ void arenaGemmForward(const lutboost::LutTableArena &arena,
  * shards fill disjoint rows of one shared CodeBuffer, gather shards fill
  * disjoint output rows (epilogue included, still cache-hot) — bit-exact
  * with the single-thread sweep because rows are independent.
+ *
+ * `encode` picks the encode-phase arithmetic (lutboost::EncodePrecision):
+ * Int8 is honored only when the arena supports the quantized encode bank
+ * (L2 metric); otherwise the stage silently resolves to Float32, exactly
+ * as the planner would. The bank is built eagerly at construction so
+ * serving never pays the lazy-build cost.
  */
 class ArenaStage : public FrozenStage
 {
@@ -261,7 +280,9 @@ class ArenaStage : public FrozenStage
         std::shared_ptr<const lutboost::LutTableArena> arena,
         const lutboost::KernelBackend *backend = nullptr,
         std::vector<PointwiseOp> epilogue = {},
-        int64_t adapt_in_width = 0, int64_t shard_rows = 0);
+        int64_t adapt_in_width = 0, int64_t shard_rows = 0,
+        lutboost::EncodePrecision encode =
+            lutboost::EncodePrecision::Float32);
 
     std::string kind() const override { return "lut-gemm"; }
     std::string description() const override;
@@ -276,11 +297,8 @@ class ArenaStage : public FrozenStage
     {
         return backend_->tableBytes(*arena_);
     }
-    int64_t
-    residentBytes() const override
-    {
-        return backend_->residentBytes(*arena_);
-    }
+    int64_t encodeBytes() const override;
+    int64_t residentBytes() const override;
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
@@ -309,12 +327,21 @@ class ArenaStage : public FrozenStage
     /** Intra-batch shard granularity in rows (0 = never shard). */
     int64_t shardRows() const { return shard_rows_; }
 
+    /** The RESOLVED encode precision (Int8 only when the arena supports
+     * the quantized encode bank; Float32 otherwise). */
+    lutboost::EncodePrecision
+    encodePrecision() const
+    {
+        return encode_;
+    }
+
   private:
     std::shared_ptr<const lutboost::LutTableArena> arena_;
     const lutboost::KernelBackend *backend_;
     std::vector<PointwiseOp> epilogue_;
     int64_t adapt_in_;
     int64_t shard_rows_;
+    lutboost::EncodePrecision encode_;
 };
 
 /**
@@ -330,7 +357,9 @@ class ConvStage : public FrozenStage
     ConvStage(ConvGeometry geom, int64_t height, int64_t width,
               std::shared_ptr<const lutboost::LutTableArena> arena,
               const lutboost::KernelBackend *backend = nullptr,
-              std::vector<PointwiseOp> epilogue = {});
+              std::vector<PointwiseOp> epilogue = {},
+              lutboost::EncodePrecision encode =
+                  lutboost::EncodePrecision::Float32);
 
     std::string kind() const override { return "conv"; }
     std::string description() const override;
@@ -349,11 +378,8 @@ class ConvStage : public FrozenStage
     {
         return backend_->tableBytes(*arena_);
     }
-    int64_t
-    residentBytes() const override
-    {
-        return backend_->residentBytes(*arena_);
-    }
+    int64_t encodeBytes() const override;
+    int64_t residentBytes() const override;
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
 
@@ -385,12 +411,20 @@ class ConvStage : public FrozenStage
     /** Input image width baked in at lowering time. */
     int64_t width() const { return w_; }
 
+    /** The RESOLVED encode precision (see ArenaStage). */
+    lutboost::EncodePrecision
+    encodePrecision() const
+    {
+        return encode_;
+    }
+
   private:
     ConvGeometry geom_;
     int64_t h_, w_;
     std::shared_ptr<const lutboost::LutTableArena> arena_;
     const lutboost::KernelBackend *backend_;
     std::vector<PointwiseOp> epilogue_;
+    lutboost::EncodePrecision encode_;
 };
 
 /** Pointwise activation stage (lowered ReLU / GELU); in place. */

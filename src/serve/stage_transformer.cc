@@ -95,12 +95,14 @@ AttentionStage::AttentionStage(Arenas arenas, int64_t seq_len,
                                int64_t heads,
                                const lutboost::KernelBackend *backend,
                                std::vector<PointwiseOp> epilogue,
-                               int64_t shard_rows)
+                               int64_t shard_rows,
+                               lutboost::EncodePrecision encode)
     : arenas_(std::move(arenas)), seq_len_(seq_len), heads_(heads),
       d_model_(arenas_.q->outFeatures()),
       backend_(backend != nullptr ? backend
                                   : &lutboost::referenceBackend()),
-      epilogue_(std::move(epilogue)), shard_rows_(shard_rows)
+      epilogue_(std::move(epilogue)), shard_rows_(shard_rows),
+      encode_(lutboost::EncodePrecision::Float32)
 {
     LUTDLA_CHECK(arenas_.q && arenas_.k && arenas_.v && arenas_.o,
                  "AttentionStage needs all four projection arenas");
@@ -111,6 +113,21 @@ AttentionStage::AttentionStage(Arenas arenas, int64_t seq_len,
     backend_->prepare(*arenas_.k);
     backend_->prepare(*arenas_.v);
     backend_->prepare(*arenas_.o);
+    // The stage is one plan unit, so the encode choice is all-or-nothing
+    // across the four projections: Int8 resolves only when every arena
+    // carries the quantized encode bank (they share metric and geometry
+    // in practice, so this is not restrictive).
+    if (encode == lutboost::EncodePrecision::Int8 &&
+        arenas_.q->int8EncodeSupported() &&
+        arenas_.k->int8EncodeSupported() &&
+        arenas_.v->int8EncodeSupported() &&
+        arenas_.o->int8EncodeSupported()) {
+        arenas_.q->ensureInt8EncodeBank();
+        arenas_.k->ensureInt8EncodeBank();
+        arenas_.v->ensureInt8EncodeBank();
+        arenas_.o->ensureInt8EncodeBank();
+        encode_ = lutboost::EncodePrecision::Int8;
+    }
 }
 
 std::string
@@ -120,6 +137,8 @@ AttentionStage::description() const
                       std::to_string(seq_len_) + ")";
     if (!backend_->bitExact())
         out += "[" + backend_->name() + "]";
+    if (encode_ == lutboost::EncodePrecision::Int8)
+        out += "[enc:int8]";
     return out + epilogueSuffix(epilogue_);
 }
 
@@ -133,12 +152,32 @@ AttentionStage::tableBytes() const
 }
 
 int64_t
+AttentionStage::encodeBytes() const
+{
+    const auto arena_encode_bytes =
+        [&](const lutboost::LutTableArena &arena) {
+            if (encode_ == lutboost::EncodePrecision::Int8)
+                return arena.int8EncodeTableBytes();
+            return arena.inFeatures() * arena.numCentroids() *
+                   static_cast<int64_t>(sizeof(float));
+        };
+    return arena_encode_bytes(*arenas_.q) + arena_encode_bytes(*arenas_.k) +
+           arena_encode_bytes(*arenas_.v) + arena_encode_bytes(*arenas_.o);
+}
+
+int64_t
 AttentionStage::residentBytes() const
 {
-    return backend_->residentBytes(*arenas_.q) +
-           backend_->residentBytes(*arenas_.k) +
-           backend_->residentBytes(*arenas_.v) +
-           backend_->residentBytes(*arenas_.o);
+    int64_t bytes = backend_->residentBytes(*arenas_.q) +
+                    backend_->residentBytes(*arenas_.k) +
+                    backend_->residentBytes(*arenas_.v) +
+                    backend_->residentBytes(*arenas_.o);
+    if (encode_ == lutboost::EncodePrecision::Int8)
+        bytes += arenas_.q->int8EncodeResidentBytes() +
+                 arenas_.k->int8EncodeResidentBytes() +
+                 arenas_.v->int8EncodeResidentBytes() +
+                 arenas_.o->int8EncodeResidentBytes();
+    return bytes;
 }
 
 void
@@ -159,13 +198,13 @@ AttentionStage::forward(const float *in, int64_t rows, float *out,
     static const std::vector<PointwiseOp> kNoEpilogue;
     arenaGemmForward(*arenas_.q, *backend_, in, rows,
                      scratch.attn_q.data(), shard_rows_, kNoEpilogue,
-                     scratch);
+                     scratch, encode_);
     arenaGemmForward(*arenas_.k, *backend_, in, rows,
                      scratch.attn_k.data(), shard_rows_, kNoEpilogue,
-                     scratch);
+                     scratch, encode_);
     arenaGemmForward(*arenas_.v, *backend_, in, rows,
                      scratch.attn_v.data(), shard_rows_, kNoEpilogue,
-                     scratch);
+                     scratch, encode_);
 
     // Scaled-dot-product core: the shared eval kernel per sequence, into
     // a zeroed context plane. Sequences are independent, so sharding over
@@ -197,7 +236,7 @@ AttentionStage::forward(const float *in, int64_t rows, float *out,
 
     // Output projection (with any fused epilogue) into the stage output.
     arenaGemmForward(*arenas_.o, *backend_, ctx, rows, out, shard_rows_,
-                     epilogue_, scratch);
+                     epilogue_, scratch, encode_);
 }
 
 } // namespace lutdla::serve

@@ -165,7 +165,9 @@ class AttentionStage : public FrozenStage
     AttentionStage(Arenas arenas, int64_t seq_len, int64_t heads,
                    const lutboost::KernelBackend *backend = nullptr,
                    std::vector<PointwiseOp> epilogue = {},
-                   int64_t shard_rows = 0);
+                   int64_t shard_rows = 0,
+                   lutboost::EncodePrecision encode =
+                       lutboost::EncodePrecision::Float32);
 
     std::string kind() const override { return "attention"; }
     std::string description() const override;
@@ -177,6 +179,7 @@ class AttentionStage : public FrozenStage
      * executes between tiled segments, never inside one. */
     bool rowTileable() const override { return false; }
     int64_t tableBytes() const override;
+    int64_t encodeBytes() const override;
     int64_t residentBytes() const override;
     void forward(const float *in, int64_t rows, float *out,
                  StageScratch &scratch) const override;
@@ -202,6 +205,15 @@ class AttentionStage : public FrozenStage
     /** Intra-batch shard granularity in rows (0 = never shard). */
     int64_t shardRows() const { return shard_rows_; }
 
+    /** The RESOLVED encode precision, shared by all four projection
+     * GEMMs (Int8 only when EVERY projection arena supports the
+     * quantized encode bank; Float32 otherwise). */
+    lutboost::EncodePrecision
+    encodePrecision() const
+    {
+        return encode_;
+    }
+
   private:
     Arenas arenas_;
     int64_t seq_len_;
@@ -210,6 +222,7 @@ class AttentionStage : public FrozenStage
     const lutboost::KernelBackend *backend_;
     std::vector<PointwiseOp> epilogue_;
     int64_t shard_rows_;
+    lutboost::EncodePrecision encode_;
 };
 
 } // namespace lutdla::serve

@@ -105,8 +105,11 @@ struct EngineStats
     double p50_service_us = 0.0; ///< approximate median service time
     double p99_service_us = 0.0; ///< approximate p99 service time
 
-    /** Workers that executed at least one batch (shard-stealing helpers
-     * do not count; their time shows up in the initiator's wall time). */
+    /** Workers that did real batch work: initiated at least one batch OR
+     * stole at least one shard block from another worker's batch. (Shard
+     * helpers used to go uncounted, so a 2-thread engine whose requests
+     * all coalesced through one initiator reported active_workers 1 and
+     * inflated the per-worker phase averages below.) */
     int active_workers = 0;
 
     /**

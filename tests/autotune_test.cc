@@ -184,5 +184,153 @@ TEST(AutoTune, FacadeServesAutoTunedMixedPrecisionPlan)
     engine.value()->shutdown();
 }
 
+// ---------------------------------------------------------------------------
+// Joint (table, encode) search: the same four contracts over the second
+// precision axis.
+
+TEST(AutoTuneJoint, DeterministicEncodeAssignment)
+{
+    const serve::FrozenModel model = traceModel(traceFor("lenet", 8));
+    ASSERT_GT(model.numLutStages(), 0);
+
+    const serve::AutoTuneResult a =
+        serve::autoTunePrecision(model, {}, fastTune());
+    const serve::AutoTuneResult b =
+        serve::autoTunePrecision(model, {}, fastTune());
+
+    EXPECT_EQ(a.stage_encode_precision, b.stage_encode_precision);
+    EXPECT_EQ(a.encode_bytes, b.encode_bytes);
+    EXPECT_EQ(a.encodeAssignmentString(), b.encodeAssignmentString());
+    ASSERT_EQ(a.moves.size(), b.moves.size());
+    for (size_t i = 0; i < a.moves.size(); ++i) {
+        EXPECT_EQ(a.moves[i].encode_move, b.moves[i].encode_move);
+        EXPECT_EQ(a.moves[i].applied, b.moves[i].applied);
+    }
+    // assignmentString stays table-only (benches pin its alphabet) — the
+    // encode axis has its own string.
+    EXPECT_EQ(a.assignmentString().find("enc"), std::string::npos);
+}
+
+TEST(AutoTuneJoint, BudgetRespectedAndAssignmentReproduces)
+{
+    const serve::FrozenModel model = traceModel(traceFor("lenet", 6));
+    const int64_t num_lut = model.numLutStages();
+    ASSERT_GT(num_lut, 0);
+
+    const serve::AutoTuneResult joint =
+        serve::autoTunePrecision(model, {}, fastTune());
+    EXPECT_GE(joint.agreement, 0.90);
+    ASSERT_EQ(joint.stage_encode_precision.size(),
+              static_cast<size_t>(num_lut));
+
+    // Replanning with BOTH emitted vectors reproduces both byte streams
+    // the tuner reported.
+    serve::PlanOptions plan;
+    plan.stage_precision = joint.stage_precision;
+    plan.stage_encode_precision = joint.stage_encode_precision;
+    const serve::FrozenModel replanned = model.withPlan(plan);
+    EXPECT_EQ(replanned.tableBytes(), joint.table_bytes);
+    EXPECT_EQ(replanned.encodeBytes(), joint.encode_bytes);
+
+    // Encode moves were scored: the joint search probes strictly more
+    // than the table-only walk at equal settings.
+    serve::AutoTuneOptions table_only = fastTune();
+    table_only.allow_int8_encode = false;
+    const serve::AutoTuneResult tonly =
+        serve::autoTunePrecision(model, {}, table_only);
+    EXPECT_GT(joint.evals, tonly.evals);
+    for (const serve::AutoTuneMove &move : tonly.moves)
+        EXPECT_FALSE(move.encode_move);
+    // The joint optimum never streams more total bytes than table-only.
+    EXPECT_LE(joint.table_bytes + joint.encode_bytes,
+              tonly.table_bytes + tonly.encode_bytes);
+}
+
+TEST(AutoTuneJoint, SyntheticProbeRevertsEncodeMovesIndependently)
+{
+    // Injected landscape: INT8 ENCODE on any stage tanks agreement,
+    // table moves are free. The tuner must apply every byte-saving table
+    // move and revert every encode move — the axes fail independently.
+    const serve::FrozenModel model = traceModel(traceFor("lenet", 4));
+    const int64_t num_lut = model.numLutStages();
+    ASSERT_GT(num_lut, 0);
+
+    serve::AgreementProbe probe =
+        [](const serve::PlanOptions &plan) {
+            for (serve::EncodePrecision e : plan.stage_encode_precision)
+                if (e == serve::EncodePrecision::Int8)
+                    return 0.50;
+            return 1.0;
+        };
+    const serve::AutoTuneResult tuned =
+        serve::autoTunePrecision(model, {}, fastTune(), probe);
+
+    ASSERT_EQ(tuned.stage_encode_precision.size(),
+              static_cast<size_t>(num_lut));
+    for (serve::EncodePrecision e : tuned.stage_encode_precision)
+        EXPECT_EQ(e, serve::EncodePrecision::Float32);
+    for (serve::TablePrecision p : tuned.stage_precision)
+        EXPECT_NE(p, serve::TablePrecision::Float32)
+            << "free table moves must all apply";
+    EXPECT_EQ(tuned.agreement, 1.0);
+    for (const serve::AutoTuneMove &move : tuned.moves)
+        if (move.encode_move)
+            EXPECT_FALSE(move.applied);
+
+    // The mirror landscape: encode is free, INT4 tables tank. Encode
+    // moves must survive alongside the INT8 table moves.
+    serve::AgreementProbe mirror =
+        [](const serve::PlanOptions &plan) {
+            for (serve::TablePrecision p : plan.stage_precision)
+                if (p == serve::TablePrecision::Int4)
+                    return 0.50;
+            return 1.0;
+        };
+    const serve::AutoTuneResult both =
+        serve::autoTunePrecision(model, {}, fastTune(), mirror);
+    for (serve::EncodePrecision e : both.stage_encode_precision)
+        EXPECT_EQ(e, serve::EncodePrecision::Int8)
+            << "free encode moves must all apply";
+    for (serve::TablePrecision p : both.stage_precision)
+        EXPECT_EQ(p, serve::TablePrecision::Int8);
+}
+
+TEST(AutoTuneJoint, FacadeAppliesJointAssignmentDeterministically)
+{
+    const std::vector<sim::GemmShape> gemms = traceFor("lenet", 6);
+    vq::PQConfig pq;
+    pq.v = 4;
+    pq.c = 16;
+
+    api::ServeOptions options;
+    options.engine.threads = 1;
+    options.autoTunePrecision(0.90);
+    options.auto_tune_options.probe_rows = 64;
+    auto engine = api::makeTraceEngine(gemms, pq, options);
+    ASSERT_TRUE(engine.ok()) << engine.status().toString();
+
+    // The plan records a resolved encode precision for every LUT stage;
+    // whatever the search chose must reproduce exactly across builds.
+    const serve::FrozenModel &model = engine.value()->model();
+    for (const serve::StagePlan &plan : model.plan())
+        if (plan.code_bits > 0)
+            EXPECT_GT(plan.encode_bytes, 0) << model.planSummary();
+
+    auto again = api::makeTraceEngine(gemms, pq, options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again.value()->model().describe(), model.describe());
+    EXPECT_EQ(again.value()->model().encodeBytes(), model.encodeBytes());
+    EXPECT_EQ(again.value()->model().tableBytes(), model.tableBytes());
+
+    // And it serves.
+    Tensor x(Shape{8, model.inputWidth()});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>((i % 13) - 6) / 6.0f;
+    auto result = engine.value()->submit(x);
+    ASSERT_TRUE(result.ok()) << result.status().toString();
+    engine.value()->shutdown();
+    again.value()->shutdown();
+}
+
 } // namespace
 } // namespace lutdla

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "hw/dataflow.h"
 #include "lutboost/kernels.h"
 #include "lutboost/kernels_simd.h"
@@ -442,6 +444,187 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values<int64_t>(1, 31, 32, 63, 64, 65,
                                                   130)));
 
+// ---- Property: every INT8 encode variant is bit-identical --------------
+
+/**
+ * The INT8 encode contract: the VNNI and AVX2 tiers quantize inputs onto
+ * the same 7-bit grid and score centroids in the same exact int32
+ * arithmetic as the scalar integer reference, so the SELECTED CODES must
+ * match BIT FOR BIT across awkward shapes — c in {4, 16}, K % v != 0
+ * (zero-padded ragged tail subspace), attention-shaped arenas (K = 64,
+ * v | K), and row counts around the SIMD chunk boundaries. Agreement
+ * with the float encode is a separate, statistical contract (see the
+ * serve tests); THIS test is about exactness across kernels.
+ */
+class Int8EncodeVariants
+    : public ::testing::TestWithParam<
+          std::tuple<int64_t, int64_t, int64_t, int64_t>>
+{
+};
+
+TEST_P(Int8EncodeVariants, SimdTiersBitIdenticalToScalarReference)
+{
+    const auto [k, v, c, rows] = GetParam();
+    vq::PQConfig pq;
+    pq.v = v;
+    pq.c = c;
+    lutboost::LutLinear layer(k, 10, pq, /*bias=*/false,
+                              /*seed=*/static_cast<uint64_t>(k * 3 + c + rows));
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    ASSERT_TRUE(arena->int8EncodeSupported());
+    arena->ensureInt8EncodeBank();
+    EXPECT_TRUE(arena->int8EncodeBankReady());
+
+    Rng rng(91 + static_cast<uint64_t>(rows));
+    Tensor x(Shape{rows, k});
+    for (int64_t i = 0; i < x.numel(); ++i)
+        x.at(i) = static_cast<float>(rng.gaussian(0.0, 1.0));
+
+    const int64_t nc = arena->numSubspaces();
+    std::vector<float> staging;
+    vq::CodeBuffer scalar;
+    arena->encodeBatchInt8(x.data(), rows, scalar, staging,
+                           lutboost::EncodeVariant::Scalar);
+    ASSERT_EQ(scalar.rows(), rows);
+    ASSERT_EQ(scalar.subspaces(), nc);
+
+    const util::SimdLevel level = util::simdLevel();
+    std::vector<lutboost::EncodeVariant> variants;
+    if (level >= util::SimdLevel::Avx2)
+        variants.push_back(lutboost::EncodeVariant::MaddAvx2);
+    if (level >= util::SimdLevel::Avx512Vnni)
+        variants.push_back(lutboost::EncodeVariant::DotVnni);
+    if (variants.empty())
+        GTEST_SKIP() << "no SIMD level on this host; scalar-only";
+    for (const auto variant : variants) {
+        vq::CodeBuffer simd;
+        arena->encodeBatchInt8(x.data(), rows, simd, staging, variant);
+        for (int64_t r = 0; r < rows; ++r)
+            for (int64_t s = 0; s < nc; ++s)
+                ASSERT_EQ(simd.get(r, s), scalar.get(r, s))
+                    << lutboost::LutTableArena::encodeVariantName(variant)
+                    << " diverged: k=" << k << " v=" << v << " c=" << c
+                    << " rows=" << rows << " r=" << r << " s=" << s;
+    }
+
+    // Auto must resolve to one of the tiers just proven identical.
+    vq::CodeBuffer autod;
+    arena->encodeBatchInt8(x.data(), rows, autod, staging);
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t s = 0; s < nc; ++s)
+            ASSERT_EQ(autod.get(r, s), scalar.get(r, s));
+
+    // Span-sharded encode (what the engine's parallel-for runs) must
+    // select the same codes as the whole-buffer call across the seam.
+    vq::CodeBuffer spans;
+    spans.reset(rows, nc, c);
+    const int64_t half = rows / 2;
+    if (half > 0)
+        arena->encodeBlockInt8(x.data(), 0, half, spans, staging);
+    arena->encodeBlockInt8(x.data(), half, rows - half, spans, staging);
+    for (int64_t r = 0; r < rows; ++r)
+        for (int64_t s = 0; s < nc; ++s)
+            ASSERT_EQ(spans.get(r, s), scalar.get(r, s))
+                << "span seam changed the INT8 encode at r=" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AwkwardShapes, Int8EncodeVariants,
+    ::testing::Combine(
+        // K % v != 0 plus the attention-shaped d_model 64 (v | K)
+        ::testing::Values<int64_t>(23, 52, 64),
+        ::testing::Values<int64_t>(3, 8),
+        ::testing::Values<int64_t>(4, 16),
+        // chunk-boundary row counts: single, sub-chunk, one AVX2 chunk,
+        // one AVX-512 chunk +/- 1, ragged multi-chunk
+        ::testing::Values<int64_t>(1, 31, 32, 63, 64, 65, 130)));
+
+// ---- Property: generic-c float SIMD encode is bit-exact vs scalar ------
+
+/**
+ * The masked generic-c float encode tier (c <= 64, any v) must select
+ * bit-identical codes to the scalar distance + ascending argmin scan:
+ * pad lanes park at +inf, blocks scan in ascending order, ties break to
+ * the lowest index, and NaN rows fall back to the scalar scan. Exercised
+ * at every SIMD level this host can run, over ragged row strides.
+ */
+TEST(GenericCFloatEncode, MaskedSimdBitExactVsScalarScan)
+{
+    const util::SimdLevel host = util::simdLevel();
+    std::vector<util::SimdLevel> levels;
+    if (host >= util::SimdLevel::Avx2)
+        levels.push_back(util::SimdLevel::Avx2);
+    if (host >= util::SimdLevel::Avx512)
+        levels.push_back(util::SimdLevel::Avx512);
+    if (levels.empty())
+        GTEST_SKIP() << "no SIMD level on this host; scalar-only";
+
+    for (const int64_t c : {4, 8, 32, 11}) {     // 11: non-pow2, odd mask
+        for (const int64_t v : {3, 8, 11}) {
+            for (const int64_t rows : {1, 7, 33}) {
+                const int64_t stride = v + 2;    // ragged row stride
+                Rng rng(7 + static_cast<uint64_t>(c * 100 + v * 10 + rows));
+                std::vector<float> cbt(static_cast<size_t>(v * c));
+                for (float &e : cbt)
+                    e = static_cast<float>(rng.gaussian(0.0, 1.0));
+                std::vector<float> x(static_cast<size_t>(rows * stride));
+                for (float &e : x)
+                    e = static_cast<float>(rng.gaussian(0.0, 1.0));
+                // Force a tie: centroid c/2 duplicates centroid 0, and
+                // row 0 sits exactly on it — index 0 must win.
+                for (int64_t d = 0; d < v; ++d) {
+                    cbt[static_cast<size_t>(d * c + c / 2)] =
+                        cbt[static_cast<size_t>(d * c)];
+                    x[static_cast<size_t>(d)] =
+                        cbt[static_cast<size_t>(d * c)];
+                }
+                // A NaN row must take the scalar fallback (argmin 0).
+                if (rows > 2)
+                    x[static_cast<size_t>(2 * stride + 1)] =
+                        std::numeric_limits<float>::quiet_NaN();
+
+                // Scalar reference: explicit mul + add (this TU builds
+                // without -march, so no FMA contraction), strict < scan.
+                std::vector<int32_t> want(static_cast<size_t>(rows), 0);
+                for (int64_t r = 0; r < rows; ++r) {
+                    const float *sub = x.data() + r * stride;
+                    int32_t best = 0;
+                    float best_d = std::numeric_limits<float>::infinity();
+                    for (int64_t j = 0; j < c; ++j) {
+                        float dist = 0.0f;
+                        for (int64_t d = 0; d < v; ++d) {
+                            const float diff =
+                                sub[d] - cbt[static_cast<size_t>(d * c + j)];
+                            dist += diff * diff;
+                        }
+                        if (dist < best_d) {
+                            best_d = dist;
+                            best = static_cast<int32_t>(j);
+                        }
+                    }
+                    want[static_cast<size_t>(r)] = best;
+                }
+
+                for (const util::SimdLevel level : levels) {
+                    ASSERT_TRUE(
+                        lutboost::simd::encodeL2GenericSupported(level, c));
+                    std::vector<int32_t> got(static_cast<size_t>(rows), -1);
+                    lutboost::simd::encodeL2GenericRows(
+                        level, x.data(), rows, stride, cbt.data(), v, c,
+                        got.data());
+                    for (int64_t r = 0; r < rows; ++r)
+                        ASSERT_EQ(got[static_cast<size_t>(r)],
+                                  want[static_cast<size_t>(r)])
+                            << util::simdLevelName(level) << " c=" << c
+                            << " v=" << v << " rows=" << rows
+                            << " r=" << r;
+                }
+            }
+        }
+    }
+}
+
 // ---- Property: quantized banks account exactly for resident layouts ----
 
 /**
@@ -517,6 +700,56 @@ TEST(QuantizedBankAccounting, NoMirrorLayoutsAboveSixteenCentroids)
     EXPECT_EQ(arena->int8ResidentBytes(), nc * c * n + scale_bytes);
     EXPECT_EQ(arena->int4ResidentBytes(),
               nc * c * ((n + 1) / 2) + scale_bytes);
+}
+
+/**
+ * The INT8 ENCODE bank has its own accounting, strictly separate from
+ * the gather banks': int8EncodeTableBytes() counts the
+ * capability-independent scalar layout (shifted codes + padded norms +
+ * grid), int8EncodeResidentBytes() adds the capability-gated quad
+ * mirror, and neither ever leaks into int8ResidentBytes() /
+ * int4ResidentBytes() (whose exact values other tests pin).
+ */
+TEST(QuantizedBankAccounting, EncodeBankSeparateFromGatherBanks)
+{
+    const int64_t k = 52, c = 16;
+    vq::PQConfig pq;
+    pq.v = 8;
+    pq.c = c;
+    lutboost::LutLinear layer(k, 70, pq, /*bias=*/true, /*seed=*/79);
+    layer.refreshInferenceLut();
+    const auto arena = layer.inferenceArena();
+    EXPECT_TRUE(arena->int8EncodeSupported());
+    EXPECT_FALSE(arena->int8EncodeBankReady());
+    EXPECT_EQ(arena->int8EncodeTableBytes(), 0);
+    EXPECT_EQ(arena->int8EncodeResidentBytes(), 0);
+    arena->ensureInt8EncodeBank();
+    EXPECT_TRUE(arena->int8EncodeBankReady());
+
+    const int64_t nc = arena->numSubspaces();
+    const int64_t v = arena->subvectorLen();
+    const int64_t norm_stride = std::max<int64_t>(c, 16);
+    const int64_t table =
+        nc * c * v +                                         // cs codes
+        nc * norm_stride * static_cast<int64_t>(sizeof(int32_t)) +
+        2 * nc * static_cast<int64_t>(sizeof(float));        // lo + inv
+    EXPECT_EQ(arena->int8EncodeTableBytes(), table);
+
+    int64_t resident = table;
+    if (lutboost::simd::int8EncodeSupported(util::simdLevel()))
+        resident += nc * ((v + 3) / 4) * 64;                 // quad mirror
+    EXPECT_EQ(arena->int8EncodeResidentBytes(), resident);
+
+    // The encode sweep streams a fraction of the float transposed
+    // codebooks it replaces (4 bytes/entry -> 1 + norm/grid overhead).
+    EXPECT_LT(table, nc * c * v * 4);
+
+    // Building the ENCODE bank must not materialize (or be charged to)
+    // any GATHER bank.
+    EXPECT_EQ(arena->int8ResidentBytes(), 0);
+    EXPECT_EQ(arena->int4ResidentBytes(), 0);
+    EXPECT_FALSE(arena->int8BankReady());
+    EXPECT_FALSE(arena->int4BankReady());
 }
 
 // ---- Property: reference backend bit-exact on awkward shapes -----------
